@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation for Section III-H: the four enrollment strategies' three-
+ * way trade between accuracy, NVM footprint, and per-conversion
+ * runtime cost on MSP430-class hardware.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "calib/error_bounds.h"
+#include "circuit/power_model.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace fs;
+    using calib::Strategy;
+
+    bench::banner("Ablation (Section III-H)",
+                  "Enrollment strategy trade space: accuracy vs. NVM "
+                  "vs. conversion cycles (21-stage / 90 nm, 32 "
+                  "enrollment points, 8-bit entries).");
+
+    circuit::ChainSpec spec;
+    spec.roStages = 21;
+    spec.counterBits = 16;
+    const circuit::MonitorChain chain(circuit::Technology::node90(),
+                                      spec);
+    constexpr double t_en = 50e-6;
+    const auto data = calib::enroll(chain, t_en, 32, 8, 1.8, 3.6);
+
+    TablePrinter table;
+    table.columns({"strategy", "NVM (B)", "cycles/conv",
+                   "max error (mV)"});
+    double err[4];
+    std::size_t nvm[4];
+    std::size_t cyc[4];
+    const Strategy strategies[] = {
+        Strategy::FullTable, Strategy::PiecewiseConstant,
+        Strategy::PiecewiseLinear, Strategy::Polynomial};
+    for (std::size_t i = 0; i < 4; ++i) {
+        const auto conv = calib::makeConverter(strategies[i], data, 3);
+        err[i] =
+            calib::empiricalMaxError(*conv, chain, t_en, 1.8, 3.6);
+        nvm[i] = conv->nvmBytes();
+        cyc[i] = conv->conversionCycles();
+        table.row(conv->name(), nvm[i], cyc[i],
+                  TablePrinter::num(err[i] * 1e3, 2));
+    }
+    table.print(std::cout);
+
+    bench::paperNote("full enrollment maximizes accuracy and NVM; "
+                     "piecewise-linear matches piecewise-constant's "
+                     "footprint with better accuracy at slightly "
+                     "higher runtime; polynomial minimizes NVM but "
+                     "costs float math per conversion.");
+    bench::shapeCheck("full table has the largest NVM footprint",
+                      nvm[0] >= nvm[1] && nvm[0] >= nvm[2] &&
+                          nvm[0] >= nvm[3]);
+    bench::shapeCheck("PWL error <= PWC error at equal NVM",
+                      err[2] <= err[1] && nvm[2] == nvm[1]);
+    bench::shapeCheck("polynomial has the smallest NVM footprint",
+                      nvm[3] <= nvm[1] && nvm[3] <= nvm[2]);
+    bench::shapeCheck("polynomial costs the most cycles",
+                      cyc[3] > cyc[2] && cyc[2] > cyc[1] &&
+                          cyc[1] > cyc[0]);
+    return 0;
+}

@@ -1,0 +1,29 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace fs {
+namespace bench {
+
+void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("\n=== %s ===\n%s\n\n", artifact.c_str(),
+                description.c_str());
+}
+
+void
+paperNote(const std::string &note)
+{
+    std::printf("[paper] %s\n", note.c_str());
+}
+
+void
+shapeCheck(const std::string &what, bool holds)
+{
+    std::printf("[shape] %-60s %s\n", what.c_str(),
+                holds ? "HOLDS" : "VIOLATED");
+}
+
+} // namespace bench
+} // namespace fs

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared bench-harness helpers: banner formatting and paper-value
+ * annotations so each binary's output is self-describing.
+ */
+
+#ifndef FS_BENCH_BENCH_COMMON_H_
+#define FS_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+namespace fs {
+namespace bench {
+
+/** Print a banner naming the experiment and the paper artifact. */
+void banner(const std::string &artifact, const std::string &description);
+
+/** Print a "paper reports ..." annotation line. */
+void paperNote(const std::string &note);
+
+/** Print a trailing summary line (pass/fail style shape checks). */
+void shapeCheck(const std::string &what, bool holds);
+
+} // namespace bench
+} // namespace fs
+
+#endif // FS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Section V-D discussion, extended: the monitor comparison across
+ * four harvesting environments. The monitor tax (comparator/ADC
+ * penalty vs. Failure Sentinels) recurs everywhere the system
+ * actually power-cycles; in energy-rich environments everything
+ * converges because the harvester carries the load.
+ */
+
+#include <iostream>
+
+#include "analog/adc_monitor.h"
+#include "analog/comparator_monitor.h"
+#include "analog/ideal_monitor.h"
+#include "bench_common.h"
+#include "harvest/system_comparison.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fs;
+using namespace fs::harvest;
+
+struct EnvResult {
+    std::string name;
+    double fs_norm = 0.0;
+    double comp_norm = 0.0;
+    double adc_norm = 0.0;
+    std::size_t ideal_checkpoints = 0;
+};
+
+EnvResult
+runEnvironment(const std::string &name, IrradianceTrace trace)
+{
+    IntermittentSim sim(std::move(trace));
+    analog::IdealMonitor ideal;
+    auto fs_lp = makeFsLowPower();
+    analog::ComparatorMonitor comp;
+    comp.setThreshold(sim.checkpointVoltage(comp));
+    analog::AdcMonitor adc;
+
+    const auto s_ideal = sim.run(ideal);
+    const auto s_fs = sim.run(*fs_lp);
+    const auto s_comp = sim.run(comp);
+    const auto s_adc = sim.run(adc);
+
+    EnvResult r;
+    r.name = name;
+    r.ideal_checkpoints = s_ideal.checkpoints;
+    if (s_ideal.appSeconds > 0.0) {
+        r.fs_norm = s_fs.appSeconds / s_ideal.appSeconds;
+        r.comp_norm = s_comp.appSeconds / s_ideal.appSeconds;
+        r.adc_norm = s_adc.appSeconds / s_ideal.appSeconds;
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Discussion (environments)",
+                  "Monitor impact across harvesting environments "
+                  "(normalized app time vs. the ideal monitor).");
+
+    std::vector<EnvResult> results;
+    results.push_back(runEnvironment(
+        "pedestrian-night", IrradianceTrace::nycPedestrianNight(400.0)));
+    results.push_back(runEnvironment(
+        "office-lighting", IrradianceTrace::officeLighting(400.0)));
+    results.push_back(runEnvironment(
+        "rf-bursts", IrradianceTrace::rfBursts(120.0)));
+    results.push_back(runEnvironment(
+        "outdoor-day", IrradianceTrace::outdoorDiurnal(400.0)));
+
+    TablePrinter table;
+    table.columns({"environment", "FS (LP)", "Comparator", "ADC",
+                   "ideal ckpts"});
+    for (const auto &r : results) {
+        table.row(r.name, TablePrinter::num(r.fs_norm, 3),
+                  TablePrinter::num(r.comp_norm, 3),
+                  TablePrinter::num(r.adc_norm, 3), r.ideal_checkpoints);
+    }
+    table.print(std::cout);
+
+    bench::paperNote("the voltage-monitor tax is paid on every "
+                     "charge/discharge cycle; FS stays near-ideal in "
+                     "every energy-scarce environment.");
+    bool ordering = true;
+    bool fs_near_ideal = true;
+    for (const auto &r : results) {
+        if (r.ideal_checkpoints < 3)
+            continue; // energy-rich: no intermittency to measure
+        ordering = ordering && r.fs_norm > r.comp_norm &&
+                   r.comp_norm > r.adc_norm;
+        fs_near_ideal = fs_near_ideal && r.fs_norm > 0.9;
+    }
+    bench::shapeCheck("FS > comparator > ADC in every scarce "
+                      "environment",
+                      ordering);
+    bench::shapeCheck("FS within 10% of ideal everywhere",
+                      fs_near_ideal);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 3: frequency-voltage sensitivity df/dV for ROs across length
+ * and technology. Sensitivity is what the divider tunes the RO into
+ * (Section III-F-b).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "circuit/ring_oscillator.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace fs;
+    using circuit::RingOscillator;
+    using circuit::Technology;
+
+    bench::banner("Fig. 3", "Frequency-voltage sensitivity for ROs "
+                            "across length and technology (MHz/V).");
+
+    const std::size_t lengths[] = {7, 11, 21, 41};
+    for (const Technology *tech : Technology::all()) {
+        TablePrinter table(tech->name());
+        table.columns({"V (V)", "7-stage", "11-stage", "21-stage",
+                       "41-stage"});
+        for (double v = 0.4; v <= 3.601; v += 0.2) {
+            std::vector<std::string> cells;
+            table.row(
+                TablePrinter::num(v, 1),
+                TablePrinter::num(
+                    RingOscillator(*tech, lengths[0]).sensitivity(v) / 1e6,
+                    2),
+                TablePrinter::num(
+                    RingOscillator(*tech, lengths[1]).sensitivity(v) / 1e6,
+                    2),
+                TablePrinter::num(
+                    RingOscillator(*tech, lengths[2]).sensitivity(v) / 1e6,
+                    2),
+                TablePrinter::num(
+                    RingOscillator(*tech, lengths[3]).sensitivity(v) / 1e6,
+                    2));
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    bench::paperNote("shorter rings have higher absolute sensitivity; "
+                     "sensitivity peaks at low voltage and collapses "
+                     "above ~2.5 V.");
+    RingOscillator short_ro(Technology::node90(), 7);
+    RingOscillator long_ro(Technology::node90(), 41);
+    bench::shapeCheck("7-stage sensitivity > 41-stage at 0.8 V",
+                      short_ro.sensitivity(0.8) > long_ro.sensitivity(0.8));
+    bench::shapeCheck("sensitivity at 0.8 V > sensitivity at 3.0 V",
+                      long_ro.sensitivity(0.8) > long_ro.sensitivity(3.0));
+    return 0;
+}

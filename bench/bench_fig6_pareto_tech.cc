@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 6: Pareto-optimal configurations for each technology at
+ * F_s = 5 kHz -- current vs. granularity (and effective bits over a
+ * 1.8 V dynamic range).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "dse/fs_design_space.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace fs;
+    using circuit::Technology;
+
+    bench::banner("Fig. 6", "Pareto-optimal configurations per "
+                            "technology with F_s = 5 kHz.");
+
+    struct NodeResult {
+        std::string name;
+        double bestGranularity = 1e9;
+        double bestCurrent = 1e9;
+    };
+    std::vector<NodeResult> nodes;
+
+    for (const Technology *tech : Technology::all()) {
+        dse::Nsga2::Options opts;
+        opts.populationSize = 64;
+        opts.generations = 32;
+        auto front =
+            dse::exploreDesignSpace(*tech, opts, /*fixed_rate=*/5e3);
+
+        TablePrinter table(tech->name() + " @ 5 kHz");
+        table.columns({"configuration", "I mean (uA)",
+                       "granularity (mV)", "bits (1.8 V range)"});
+        NodeResult node;
+        node.name = tech->name();
+        for (const auto &p : front) {
+            table.row(p.config.summary(),
+                      TablePrinter::num(p.perf.meanCurrent * 1e6, 3),
+                      TablePrinter::num(p.perf.granularity * 1e3, 1),
+                      TablePrinter::num(p.perf.effectiveBits(), 2));
+            node.bestGranularity =
+                std::min(node.bestGranularity, p.perf.granularity);
+            node.bestCurrent =
+                std::min(node.bestCurrent, p.perf.meanCurrent);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+        nodes.push_back(node);
+    }
+
+    bench::paperNote("5-6 bits of resolution below 1 uA total; smaller "
+                     "nodes reach finer resolution and lower current at "
+                     "the same sample rate.");
+    bool sub_ua = true;
+    for (const auto &n : nodes)
+        sub_ua = sub_ua && n.bestCurrent < 1e-6;
+    bench::shapeCheck("every node has sub-1uA configurations", sub_ua);
+    bench::shapeCheck(
+        "65nm granularity floor <= 130nm floor",
+        nodes.back().bestGranularity <= nodes.front().bestGranularity);
+    bench::shapeCheck("effective bits in the 5-6 bit band somewhere",
+                      std::any_of(nodes.begin(), nodes.end(),
+                                  [](const NodeResult &n) {
+                                      const double bits =
+                                          std::log2(1.8 /
+                                                    n.bestGranularity);
+                                      return bits >= 5.0;
+                                  }));
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): the host-side cost of the
+ * library's hot paths -- transfer-function evaluation, count
+ * conversion for each strategy, performance-model evaluation, ISS
+ * instruction throughput, and one NSGA-II generation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "calib/error_bounds.h"
+#include "core/performance_model.h"
+#include "dse/fs_design_space.h"
+#include "riscv/assembler.h"
+#include "riscv/hart.h"
+#include "soc/soc.h"
+
+namespace {
+
+using namespace fs;
+
+const circuit::MonitorChain &
+chain90()
+{
+    // 12-bit counter: a 50 us enrollment window at peak frequency
+    // must not overflow.
+    static const circuit::MonitorChain chain(
+        circuit::Technology::node90(), [] {
+            circuit::ChainSpec spec;
+            spec.counterBits = 12;
+            return spec;
+        }());
+    return chain;
+}
+
+void
+BM_ChainFrequency(benchmark::State &state)
+{
+    double v = 1.8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chain90().frequency(v));
+        v = v >= 3.6 ? 1.8 : v + 0.01;
+    }
+}
+BENCHMARK(BM_ChainFrequency);
+
+void
+BM_Conversion(benchmark::State &state)
+{
+    const auto data = calib::enroll(chain90(), 50e-6, 64, 8, 1.8, 3.6);
+    const auto conv = calib::makeConverter(
+        static_cast<calib::Strategy>(state.range(0)), data, 3);
+    std::uint32_t count = 100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(conv->toVoltage(count));
+        count = (count + 37) & 0x3ff;
+    }
+}
+BENCHMARK(BM_Conversion)->DenseRange(0, 3)->ArgNames({"strategy"});
+
+void
+BM_PerformanceEvaluate(benchmark::State &state)
+{
+    core::PerformanceModel model(circuit::Technology::node90());
+    core::FsConfig cfg;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.evaluate(cfg));
+}
+BENCHMARK(BM_PerformanceEvaluate);
+
+void
+BM_IssThroughput(benchmark::State &state)
+{
+    // Tight arithmetic loop in guest code.
+    riscv::Ram ram(4096);
+    riscv::Assembler as(0);
+    as.li(riscv::kA0, 0);
+    as.li(riscv::kA1, 1000000);
+    const auto loop = as.newLabel();
+    as.bind(loop);
+    as.emit(riscv::addi(riscv::kA0, riscv::kA0, 1));
+    as.emit(riscv::xor_(riscv::kA2, riscv::kA0, riscv::kA1));
+    as.bltTo(riscv::kA0, riscv::kA1, loop);
+    ram.loadWords(0, as.finalize());
+    riscv::Hart hart(ram);
+    hart.reset(0);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        // Wrap back to the top when the loop exits (pc past the blt).
+        if (hart.pc() > 20)
+            hart.reset(0);
+        hart.step();
+        ++instructions;
+    }
+    state.SetItemsProcessed(std::int64_t(instructions));
+}
+BENCHMARK(BM_IssThroughput);
+
+void
+BM_Nsga2Generation(benchmark::State &state)
+{
+    dse::FsDesignSpace space(circuit::Technology::node90());
+    dse::Nsga2::Options opts;
+    opts.populationSize = 24;
+    opts.generations = 1000000; // stepped manually
+    dse::Nsga2 optimizer(space, opts);
+    for (auto _ : state)
+        optimizer.stepGeneration();
+}
+BENCHMARK(BM_Nsga2Generation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

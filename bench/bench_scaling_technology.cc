@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Section V-B: Failure Sentinels scales with technology -- ~14 %
+ * power reduction per node step at equal conditions, and higher
+ * voltage sensitivity at smaller features (65 nm ~2 % over 90 nm,
+ * ~14 % over 130 nm).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "circuit/power_model.h"
+#include "util/numeric.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace fs;
+    using circuit::RingOscillator;
+    using circuit::Technology;
+
+    bench::banner("Section V-B", "Technology scaling of power and "
+                                 "sensitivity.");
+
+    // Active current of the assembled chain at the low-voltage
+    // operating point, per node.
+    TablePrinter power("Active current at V_ro = 0.62 V (21-stage)");
+    power.columns({"node", "I active (uA)", "vs. previous node"});
+    double prev = 0.0;
+    std::vector<double> currents;
+    for (const Technology *tech : Technology::all()) {
+        RingOscillator ro(*tech, 21);
+        const double i = ro.dynamicCurrent(0.62);
+        currents.push_back(i);
+        power.row(tech->name(), TablePrinter::num(i * 1e6, 2),
+                  prev > 0.0
+                      ? TablePrinter::num((1.0 - i / prev) * 100.0, 1) +
+                            "% lower"
+                      : std::string("-"));
+        prev = i;
+    }
+    power.print(std::cout);
+    std::cout << '\n';
+
+    // Mean relative sensitivity over the divided operating region.
+    TablePrinter sens("Mean relative sensitivity over 0.6-1.2 V");
+    sens.columns({"node", "(1/f) df/dV (1/V)"});
+    std::vector<double> sensitivity;
+    for (const Technology *tech : Technology::all()) {
+        RingOscillator ro(*tech, 21);
+        double acc = 0.0;
+        std::size_t n = 0;
+        for (double v : linspace(0.6, 1.2, 31)) {
+            acc += ro.relativeSensitivity(v);
+            ++n;
+        }
+        sensitivity.push_back(acc / double(n));
+        sens.row(tech->name(), TablePrinter::num(acc / double(n), 3));
+    }
+    sens.print(std::cout);
+
+    const double power_step_1 = 1.0 - currents[1] / currents[0];
+    const double power_step_2 = 1.0 - currents[2] / currents[1];
+    const double sens_65_90 = sensitivity[2] / sensitivity[1] - 1.0;
+    const double sens_65_130 = sensitivity[2] / sensitivity[0] - 1.0;
+    std::cout << "\npower: -" << TablePrinter::num(power_step_1 * 100, 1)
+              << "% (130->90), -" << TablePrinter::num(power_step_2 * 100, 1)
+              << "% (90->65); sensitivity: +"
+              << TablePrinter::num(sens_65_90 * 100, 1) << "% (65 vs 90), +"
+              << TablePrinter::num(sens_65_130 * 100, 1)
+              << "% (65 vs 130)\n";
+
+    bench::paperNote("~14 % power reduction per node step; 65 nm ~2 % "
+                     "more sensitive than 90 nm and ~14 % more than "
+                     "130 nm.");
+    bench::shapeCheck("power drops 10-20 % per node step",
+                      power_step_1 > 0.10 && power_step_1 < 0.20 &&
+                          power_step_2 > 0.10 && power_step_2 < 0.20);
+    bench::shapeCheck("65 vs 90 sensitivity within 0-6 %",
+                      sens_65_90 > 0.0 && sens_65_90 < 0.06);
+    bench::shapeCheck("65 vs 130 sensitivity within 10-18 %",
+                      sens_65_130 > 0.10 && sens_65_130 < 0.18);
+    return 0;
+}

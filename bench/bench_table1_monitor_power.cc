@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table I: core vs. ADC/comparator current requirements of
+ * sensor-mote-class microcontrollers, including reference draw.
+ */
+
+#include <iostream>
+
+#include "analog/device_cards.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace fs;
+
+    bench::banner("Table I",
+                  "Core versus ADC/comparator power requirements of "
+                  "sensor-mote-class microcontrollers.");
+
+    TablePrinter table;
+    table.columns({"Platform", "Core I (uA/MHz)", "ADC I (uA)",
+                   "Comp. I (uA)", "Core Vmin (V)", "Ref. Vmin (V)"});
+    for (const analog::McuCard *mcu : analog::allMcuCards()) {
+        table.row(mcu->name, TablePrinter::num(mcu->coreCurrentPerMHz * 1e6, 0),
+                  TablePrinter::num(mcu->adcCurrent * 1e6, 0),
+                  TablePrinter::num(mcu->comparatorCurrent * 1e6, 0),
+                  TablePrinter::num(mcu->coreVmin, 1),
+                  TablePrinter::num(mcu->refVmin, 1));
+    }
+    table.print(std::cout);
+
+    const auto &msp = analog::msp430fr5969();
+    bench::paperNote("the ADC consumes as much or more current than the "
+                     "core itself at 1 MHz.");
+    bench::shapeCheck("ADC current >= core current @1MHz (both cards)",
+                      msp.adcCurrent >= msp.coreCurrent(1e6) &&
+                          analog::pic16lf15386().adcCurrent >=
+                              analog::pic16lf15386().coreCurrent(1e6));
+    return 0;
+}

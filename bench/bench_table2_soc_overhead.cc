@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table II: hardware overheads of adding Failure Sentinels to a
+ * RISC-V SoC (area/timing/power), from the LUT-equivalent inventory
+ * model.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "soc/area_model.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace fs;
+
+    bench::banner("Table II", "Failure Sentinels hardware overheads "
+                              "when added to a RISC-V SoC (21-stage "
+                              "RO, 8-bit counter).");
+
+    const auto s = soc::AreaModel::tableII(8, 21);
+
+    TablePrinter table;
+    table.columns({"", "area (LUTs)", "timing (MHz)", "power (W)"});
+    table.row("Base SoC", s.baseLuts, TablePrinter::num(s.baseFmaxMhz, 0),
+              TablePrinter::num(s.basePowerW, 3));
+    table.row("+Failure Sentinels",
+              std::to_string(s.withFsLuts) + " (+" +
+                  TablePrinter::num(s.areaOverheadPercent, 2) + "%)",
+              TablePrinter::num(s.withFsFmaxMhz, 0) + " (+0.0%)",
+              TablePrinter::num(s.withFsPowerW, 3));
+    table.print(std::cout);
+
+    std::cout << "\nFailure Sentinels component inventory:\n";
+    TablePrinter inv;
+    inv.columns({"component", "LUTs"});
+    for (const auto &c : soc::AreaModel::failureSentinelsInventory(8, 21))
+        inv.row(c.name, c.luts);
+    inv.print(std::cout);
+
+    bench::paperNote("base SoC 53664 LUTs; +23 LUTs (+0.04%), Fmax "
+                     "unchanged at 30 MHz, power within tool noise.");
+    bench::shapeCheck("base total = 53664", s.baseLuts == 53664);
+    bench::shapeCheck("area overhead < 0.1%",
+                      s.areaOverheadPercent < 0.1);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table III: the design and performance parameter bounds of the
+ * exploration, plus spot evaluations showing the rejection filter at
+ * work on the boundary.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/performance_model.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace fs;
+    using core::DesignBounds;
+    using core::PerformanceLimits;
+
+    bench::banner("Table III", "Design and performance parameters "
+                               "bounding the exploration.");
+
+    const DesignBounds b;
+    const PerformanceLimits lim;
+
+    TablePrinter design("Design parameters");
+    design.columns({"Parameter", "Min.", "Max."});
+    design.row("RO Length", b.roStagesMin, b.roStagesMax);
+    design.row("F_s (kHz)", TablePrinter::num(b.sampleRateMin / 1e3, 0),
+               TablePrinter::num(b.sampleRateMax / 1e3, 0));
+    design.row("Counter Size (bits)", b.counterBitsMin, b.counterBitsMax);
+    design.row("Enable Time", "1 us", "1 ms");
+    design.row("NVM Entries", b.nvmEntriesMin, b.nvmEntriesMax);
+    design.row("Entry Size (bits)", b.entryBitsMin, b.entryBitsMax);
+    design.print(std::cout);
+    std::cout << '\n';
+
+    TablePrinter perf("Performance parameters");
+    perf.columns({"Parameter", "Min.", "Max."});
+    perf.row("Mean Current (uA)", 0,
+             TablePrinter::num(lim.meanCurrentMax * 1e6, 0));
+    perf.row("F_s (kHz)", 1, 10);
+    perf.row("Granularity (mV)", 0,
+             TablePrinter::num(lim.granularityMax * 1e3, 0));
+    perf.row("NVM Overhead (B)", 0, lim.nvmBytesMax);
+    perf.row("Transistor Count", 0, lim.transistorsMax);
+    perf.print(std::cout);
+    std::cout << '\n';
+
+    // Spot-check the rejection filter on boundary configurations.
+    core::PerformanceModel model(circuit::Technology::node90());
+    core::FsConfig ok;
+    ok.roStages = 21;
+    ok.counterBits = 8;
+    ok.enableTime = 10e-6;
+    ok.sampleRate = 1e3;
+    auto p_ok = model.evaluate(ok);
+
+    core::FsConfig overflow = ok;
+    overflow.counterBits = 4; // 15 counts max: overflows instantly
+    auto p_overflow = model.evaluate(overflow);
+
+    core::FsConfig over_duty = ok;
+    over_duty.enableTime = 1e-3;
+    over_duty.sampleRate = 10e3; // duty = 10
+    auto p_duty = model.evaluate(over_duty);
+
+    TablePrinter spot("Rejection filter spot checks");
+    spot.columns({"config", "realizable", "reason"});
+    spot.row(ok.summary(), p_ok.realizable ? "yes" : "no",
+             p_ok.rejectReason);
+    spot.row(overflow.summary(), p_overflow.realizable ? "yes" : "no",
+             p_overflow.rejectReason);
+    spot.row(over_duty.summary(), p_duty.realizable ? "yes" : "no",
+             p_duty.rejectReason);
+    spot.print(std::cout);
+
+    bench::shapeCheck("nominal config realizable", p_ok.realizable);
+    bench::shapeCheck("undersized counter rejected (overflow)",
+                      !p_overflow.realizable);
+    bench::shapeCheck("duty > 1 rejected", !p_duty.realizable);
+    return 0;
+}

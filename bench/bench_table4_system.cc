@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table IV: voltage monitors evaluated within a full system --
+ * system current, resolution, sample rate, and the resulting
+ * checkpoint voltage.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "harvest/system_comparison.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace fs;
+    using namespace fs::harvest;
+
+    bench::banner("Table IV", "Voltage monitors evaluated within a "
+                              "full system (solar pedestrian trace, "
+                              "47 uF buffer, MSP430-class load).");
+
+    IntermittentSim sim(IrradianceTrace::nycPedestrianNight(600.0));
+    SystemComparison comparison(sim);
+    const auto rows = comparison.run();
+
+    TablePrinter table;
+    table.columns({"Monitor", "Sys. Current (uA)", "Res. (mV)",
+                   "F_s (kHz)", "V_ckpt (V)"});
+    for (const auto &row : rows) {
+        const auto &s = row.stats;
+        table.row(s.monitor, TablePrinter::num(s.systemCurrent * 1e6, 1),
+                  s.resolution <= 0.0
+                      ? std::string("Infinite")
+                      : TablePrinter::num(s.resolution * 1e3, 1),
+                  s.sampleRate <= 0.0
+                      ? std::string("Infinite")
+                      : TablePrinter::num(s.sampleRate / 1e3, 1),
+                  TablePrinter::num(s.checkpointVoltage, 2));
+    }
+    table.print(std::cout);
+
+    bench::paperNote("paper rows: Ideal 112.3uA/1.82V; FS(LP) "
+                     "112.5uA/50mV/1kHz/1.87V; FS(HP) 113.6uA/38mV/"
+                     "10kHz/1.86V; Comparator 147.3uA/30mV/1.86V; ADC "
+                     "377.3uA/0.293mV/200kHz/1.87V.");
+    const auto &ideal = rows[0].stats;
+    const auto &lp = rows[1].stats;
+    const auto &hp = rows[2].stats;
+    const auto &comp = rows[3].stats;
+    const auto &adc = rows[4].stats;
+    bench::shapeCheck("ideal system current ~112.3 uA",
+                      std::abs(ideal.systemCurrent - 112.3e-6) < 0.2e-6);
+    bench::shapeCheck("FS adds < 1 uA to the system",
+                      lp.systemCurrent - ideal.systemCurrent < 1e-6 &&
+                          hp.systemCurrent - ideal.systemCurrent < 1e-6);
+    bench::shapeCheck("comparator adds ~35 uA",
+                      std::abs(comp.systemCurrent - ideal.systemCurrent -
+                               35e-6) < 1e-6);
+    bench::shapeCheck("ADC adds ~265 uA",
+                      std::abs(adc.systemCurrent - ideal.systemCurrent -
+                               265e-6) < 1e-6);
+    bench::shapeCheck("checkpoint voltages within 1.80-1.92 V",
+                      [&] {
+                          for (const auto &r : rows) {
+                              if (r.stats.checkpointVoltage < 1.80 ||
+                                  r.stats.checkpointVoltage > 1.92)
+                                  return false;
+                          }
+                          return true;
+                      }());
+    bench::shapeCheck("no failed checkpoints anywhere",
+                      [&] {
+                          for (const auto &r : rows) {
+                              if (r.stats.failedCheckpoints != 0)
+                                  return false;
+                          }
+                          return true;
+                      }());
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Design-space explorer: run the NSGA-II exploration for a chosen
+ * process node and dump the Pareto front as CSV (the raw material of
+ * Fig. 5 / Fig. 6).
+ *
+ *   $ ./design_space_explorer [node] [generations] [fixed_fs_khz]
+ *   $ ./design_space_explorer 65nm 40 5 > pareto_65nm_5khz.csv
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "fs/failure_sentinels.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fs;
+
+    const circuit::Technology *tech = &circuit::Technology::node90();
+    if (argc > 1) {
+        bool found = false;
+        for (const circuit::Technology *t : circuit::Technology::all()) {
+            if (t->name() == argv[1]) {
+                tech = t;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "unknown node '" << argv[1]
+                      << "' (use 130nm, 90nm, or 65nm)\n";
+            return 1;
+        }
+    }
+    dse::Nsga2::Options opts;
+    opts.populationSize = 72;
+    opts.generations = argc > 2 ? std::size_t(std::atoi(argv[2])) : 40;
+    const double fixed_rate =
+        argc > 3 ? std::atof(argv[3]) * 1e3 : 0.0;
+
+    std::cerr << "exploring " << tech->name() << " for "
+              << opts.generations << " generations"
+              << (fixed_rate > 0 ? " (fixed F_s)" : "") << "...\n";
+
+    const auto front = dse::exploreDesignSpace(*tech, opts, fixed_rate);
+
+    CsvWriter csv(std::cout);
+    csv.header({"ro_stages", "counter_bits", "enable_time_us",
+                "sample_rate_hz", "nvm_entries", "entry_bits",
+                "mean_current_ua", "granularity_mv", "nvm_bytes",
+                "transistors", "effective_bits"});
+    for (const auto &p : front) {
+        csv.row(p.config.roStages, p.config.counterBits,
+                p.config.enableTime * 1e6, p.config.sampleRate,
+                p.config.nvmEntries, p.config.entryBits,
+                p.perf.meanCurrent * 1e6, p.perf.granularity * 1e3,
+                p.perf.nvmBytes, p.perf.transistors,
+                p.perf.effectiveBits());
+    }
+    std::cerr << "wrote " << front.size() << " Pareto points\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Energy-aware task scheduling (Section II-C): a Dewdrop/HarvOS-style
+ * runtime built from the library's TaskAdmission policy. It polls
+ * Failure Sentinels before launching each task and sleeps when the
+ * buffer cannot finish it -- something a single-bit comparator cannot
+ * express. Compared against a blind scheduler that attempts tasks
+ * regardless and wastes partial work on brown-out.
+ *
+ *   $ ./energy_aware_scheduler
+ */
+
+#include <cstdio>
+
+#include "fs/failure_sentinels.h"
+
+namespace {
+
+using namespace fs;
+
+constexpr double kCap = 47e-6;
+constexpr double kVmin = 1.8;
+constexpr double kVEnable = 3.0;
+
+struct Outcome {
+    std::size_t completed = 0;
+    std::size_t aborted = 0;
+};
+
+/**
+ * Run the scenario. When `energy_aware`, the library's admission
+ * policy measures the supply through the monitor and only starts a
+ * task whose worst-case charge the capacitor can deliver; otherwise
+ * the scheduler always tries.
+ */
+Outcome
+runScheduler(bool energy_aware, const core::FailureSentinels &monitor,
+             const harvest::IrradianceTrace &trace)
+{
+    harvest::SolarPanel panel;
+    harvest::SystemLoad load;
+    const double i_run = load.activeCurrentWith(monitor);
+    const runtime::Task tasks[] = {
+        {"sense", 0.05, i_run},
+        {"filter", 0.15, i_run},
+        {"transmit", 0.40, i_run},
+    };
+
+    runtime::EnergyAssessor assessor(
+        monitor, runtime::EnergyModel(kCap, kVmin));
+    runtime::TaskAdmission admission(assessor, /*margin=*/1.1);
+
+    harvest::StorageCapacitor cap(kCap, kVEnable);
+    Outcome out;
+    double t = 0.0;
+    std::size_t next = 0;
+    const double dt = 1e-3;
+
+    while (t < trace.duration()) {
+        const runtime::Task &task = tasks[next % 3];
+        const bool start =
+            !energy_aware || admission.admit(task, cap.voltage());
+
+        if (!start) {
+            // Sleep one scheduling quantum and keep charging.
+            const double sleep = 10e-3;
+            for (double s = 0; s < sleep && t < trace.duration();
+                 s += dt, t += dt) {
+                cap.step(dt, panel.current(trace.at(t), cap.voltage()),
+                         load.offCurrent());
+            }
+            continue;
+        }
+        // Execute the task; abort (wasting the energy) on brown-out.
+        bool aborted = false;
+        for (double s = 0; s < task.seconds && t < trace.duration();
+             s += dt, t += dt) {
+            cap.step(dt, panel.current(trace.at(t), cap.voltage()),
+                     i_run);
+            if (cap.voltage() < kVmin) {
+                aborted = true;
+                break;
+            }
+        }
+        if (aborted) {
+            ++out.aborted;
+            // Recover: wait for the capacitor to recharge.
+            while (cap.voltage() < kVEnable && t < trace.duration()) {
+                cap.step(dt, panel.current(trace.at(t), cap.voltage()),
+                         load.offCurrent());
+                t += dt;
+            }
+        } else {
+            ++out.completed;
+            ++next;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace fs;
+
+    auto monitor = harvest::makeFsLowPower();
+    const auto trace =
+        harvest::IrradianceTrace::nycPedestrianNight(1200.0, 0.05, 7);
+
+    const Outcome aware = runScheduler(true, *monitor, trace);
+    const Outcome blind = runScheduler(false, *monitor, trace);
+
+    std::printf("scheduler comparison over %.0f s of harvested energy\n",
+                trace.duration());
+    std::printf("%-14s %-10s %s\n", "scheduler", "completed", "aborted");
+    std::printf("%-14s %-10zu %zu\n", "energy-aware", aware.completed,
+                aware.aborted);
+    std::printf("%-14s %-10zu %zu\n", "blind", blind.completed,
+                blind.aborted);
+    std::printf("\nthe energy-aware runtime avoids wasted partial work "
+                "by polling Failure Sentinels (%.3f uA) before each "
+                "task -- an ADC doing the same job would cost %.0f uA.\n",
+                monitor->meanCurrent() * 1e6,
+                analog::msp430fr5969().adcCurrent * 1e6);
+    return aware.aborted <= blind.aborted ? 0 : 1;
+}

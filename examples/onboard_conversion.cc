@@ -1,0 +1,69 @@
+/**
+ * @file
+ * On-device voltage readout: the path a deployed mote actually runs.
+ * The Failure Sentinels peripheral latches counter samples; guest
+ * RV32 code executes the custom `fs.read` instruction and converts
+ * the count to millivolts by integer piecewise-linear interpolation
+ * over the calibration table enrolled into FRAM (Sections III-C and
+ * III-H, made literal).
+ *
+ *   $ ./onboard_conversion
+ */
+
+#include <cstdio>
+
+#include "fs/failure_sentinels.h"
+
+int
+main()
+{
+    using namespace fs;
+
+    // An enrolled low-power monitor and a SoC wrapped around it.
+    auto monitor = harvest::makeFsLowPower();
+    auto cell = std::make_shared<harvest::VoltageCell>();
+    soc::CheckpointLayout layout;
+    layout.sramSize = 1024;
+    soc::Soc soc(*monitor, [cell](double) { return cell->volts; },
+                 layout);
+    soc.loadRuntime(monitor->countThresholdFor(1.87));
+
+    // Ship the calibration table to FRAM, exactly as enrollment would.
+    const auto table = soc::packCalibrationTable(monitor->enrollment());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        soc.fram().write(soc::kCalibrationTableAddr - soc::kFramBase +
+                             std::uint32_t(i),
+                         table[i], 1);
+    }
+    std::printf("calibration table: %zu entries, %zu B of NVM\n",
+                monitor->enrollment().points.size(), table.size());
+
+    // The guest program: fs.read -> table walk -> millivolts.
+    const std::uint32_t result_addr = soc::kFramBase + 0x8000;
+    soc.loadApp(soc::buildConversionProgram(soc::kCalibrationTableAddr,
+                                            result_addr));
+
+    std::printf("\n%-12s %-14s %-14s %s\n", "true (V)", "guest (mV)",
+                "host (mV)", "guest err (mV)");
+    for (double v = 1.9; v <= 3.55; v += 0.15) {
+        cell->volts = v;
+        soc.powerOn();
+        soc.run(5'000'000);
+        if (!soc.appFinished()) {
+            std::printf("guest did not finish at %.2f V\n", v);
+            return 1;
+        }
+        const std::uint32_t guest_mv =
+            soc.fram().read(result_addr - soc::kFramBase, 4);
+        const double host_mv =
+            monitor->converter().toVoltage(monitor->rawSample(v)) * 1e3;
+        std::printf("%-12.2f %-14u %-14.1f %+.1f\n", v, guest_mv,
+                    host_mv, double(guest_mv) - v * 1e3);
+        soc.powerFail(); // reset for the next reading
+    }
+
+    std::printf("\nper-conversion cost on the mote: ~%zu cycles "
+                "(piecewise-linear, Section III-H)\n",
+                monitor->converter().conversionCycles());
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: configure a Failure Sentinels monitor, enroll it,
+ * measure some supply voltages, and inspect its performance envelope.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "fs/failure_sentinels.h"
+
+int
+main()
+{
+    using namespace fs;
+
+    // 1. Pick a design point: the six Table III parameters. This is
+    //    the low-power corner: ~50 mV granularity at 1 kHz.
+    core::FsConfig cfg;
+    cfg.roStages = 21;    // ring length
+    cfg.counterBits = 8;  // edge counter width
+    cfg.enableTime = 10e-6;  // T_en: RO on-time per sample
+    cfg.sampleRate = 1e3;    // F_s
+    cfg.nvmEntries = 49;     // calibration table entries
+    cfg.entryBits = 8;       // stored-voltage precision
+
+    // 2. Instantiate the device on a process node and enroll it
+    //    (manufacture-time calibration against known voltages).
+    core::FailureSentinels monitor(circuit::Technology::node90(), cfg,
+                                   "FS demo");
+    monitor.enrollDevice();
+
+    // 3. Inspect the performance envelope the analytical model
+    //    predicts for this configuration.
+    const core::Performance &perf = monitor.performance();
+    std::printf("configuration     : %s\n", cfg.summary().c_str());
+    std::printf("realizable        : %s\n",
+                perf.realizable ? "yes" : perf.rejectReason.c_str());
+    std::printf("mean current      : %.3f uA\n", perf.meanCurrent * 1e6);
+    std::printf("granularity       : %.1f mV  (quant %.1f + thermal %.1f "
+                "+ interp %.1f)\n",
+                perf.granularity * 1e3, perf.quantizationError * 1e3,
+                perf.thermalError * 1e3, perf.interpolationError * 1e3);
+    std::printf("effective bits    : %.1f over a 1.8 V range\n",
+                perf.effectiveBits());
+    std::printf("NVM footprint     : %zu B, %zu transistors\n\n",
+                perf.nvmBytes, perf.transistors);
+
+    // 4. Measure: hand the monitor a "true" capacitor voltage and see
+    //    what software would read back through the count->voltage
+    //    conversion.
+    std::printf("%-12s %-10s %-12s %s\n", "true (V)", "count",
+                "measured (V)", "error (mV)");
+    for (double v = 1.8; v <= 3.6; v += 0.3) {
+        const auto count = monitor.rawSample(v);
+        const double measured = monitor.readVoltage(v);
+        std::printf("%-12.2f %-10u %-12.3f %+.1f\n", v, count, measured,
+                    (measured - v) * 1e3);
+    }
+
+    // 5. Program a checkpoint threshold: the counter value at which
+    //    the hardware comparator should interrupt software.
+    const double v_ckpt = 1.87;
+    std::printf("\ncheckpoint threshold for %.2f V -> counter value %u\n",
+                v_ckpt, monitor.countThresholdFor(v_ckpt));
+    return 0;
+}

@@ -1,0 +1,28 @@
+#include "analog/adc_monitor.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace analog {
+
+AdcMonitor::AdcMonitor(const McuCard &mcu, unsigned bits, double full_scale,
+                       double f_sample)
+    : mcu_(&mcu), bits_(bits), full_scale_(full_scale), f_sample_(f_sample)
+{
+    if (bits == 0 || bits > 24)
+        fatal("unreasonable ADC width: ", bits);
+    if (f_sample <= 0.0)
+        fatal("ADC sample rate must be positive");
+}
+
+double
+AdcMonitor::resolution() const
+{
+    // One LSB of the converter's input range. The supply is divided
+    // down to the reference range, so an LSB maps 1:1 to supply volts
+    // scaled by the same divider; Table IV quotes the LSB directly.
+    return full_scale_ / double(1u << bits_);
+}
+
+} // namespace analog
+} // namespace fs

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SAR ADC voltage monitor baseline (Table I / Table IV).
+ *
+ * Models the integrated 12-bit ADC plus bandgap reference of a
+ * sensor-mote microcontroller: excellent resolution and sample rate,
+ * at a current cost exceeding the processor core's.
+ */
+
+#ifndef FS_ANALOG_ADC_MONITOR_H_
+#define FS_ANALOG_ADC_MONITOR_H_
+
+#include "analog/device_cards.h"
+#include "analog/voltage_monitor.h"
+
+namespace fs {
+namespace analog {
+
+class AdcMonitor : public VoltageMonitor
+{
+  public:
+    /**
+     * @param mcu        device card supplying the current numbers
+     * @param bits       converter resolution (12 for the MSP430 ADC12)
+     * @param full_scale input range after the internal divider (V)
+     * @param f_sample   conversion rate (Hz)
+     */
+    explicit AdcMonitor(const McuCard &mcu = msp430fr5969(),
+                        unsigned bits = 12, double full_scale = 1.2,
+                        double f_sample = 200e3);
+
+    std::string name() const override { return "ADC"; }
+    double resolution() const override;
+    double samplePeriod() const override { return 1.0 / f_sample_; }
+    double meanCurrent() const override { return mcu_->adcCurrent; }
+    double minOperatingVoltage() const override { return mcu_->refVmin; }
+
+    unsigned bits() const { return bits_; }
+
+  private:
+    const McuCard *mcu_;
+    unsigned bits_;
+    double full_scale_;
+    double f_sample_;
+};
+
+} // namespace analog
+} // namespace fs
+
+#endif // FS_ANALOG_ADC_MONITOR_H_

@@ -1,0 +1,19 @@
+#include "analog/comparator_monitor.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace analog {
+
+ComparatorMonitor::ComparatorMonitor(const McuCard &mcu, double hysteresis,
+                                     double response_time)
+    : mcu_(&mcu), hysteresis_(hysteresis), response_time_(response_time)
+{
+    if (hysteresis <= 0.0)
+        fatal("comparator hysteresis must be positive");
+    if (response_time <= 0.0)
+        fatal("comparator response time must be positive");
+}
+
+} // namespace analog
+} // namespace fs

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Single-bit analog comparator baseline (Section II-B, Table IV).
+ *
+ * Hibernus-style systems compare the supply against one reference
+ * threshold. Resolution is set by hysteresis plus reference error;
+ * the "sample rate" is the comparator's response time. Cheaper than
+ * an ADC, but the reference still burns tens of microamps and the
+ * single bit rules out dynamic, poll-able energy measurements.
+ */
+
+#ifndef FS_ANALOG_COMPARATOR_MONITOR_H_
+#define FS_ANALOG_COMPARATOR_MONITOR_H_
+
+#include "analog/device_cards.h"
+#include "analog/voltage_monitor.h"
+
+namespace fs {
+namespace analog {
+
+class ComparatorMonitor : public VoltageMonitor
+{
+  public:
+    /**
+     * @param mcu           device card supplying the current numbers
+     * @param hysteresis    input-referred uncertainty band (V)
+     * @param response_time comparator propagation delay (s)
+     */
+    explicit ComparatorMonitor(const McuCard &mcu = msp430fr5969(),
+                               double hysteresis = 30e-3,
+                               double response_time = 330e-9);
+
+    std::string name() const override { return "Comparator"; }
+    double resolution() const override { return hysteresis_; }
+    double samplePeriod() const override { return response_time_; }
+    double meanCurrent() const override { return mcu_->comparatorCurrent; }
+    double minOperatingVoltage() const override { return mcu_->refVmin; }
+
+    /** Set the single threshold the comparator watches (V). */
+    void setThreshold(double v) { threshold_ = v; }
+    double threshold() const { return threshold_; }
+
+    /** One-bit output: true when the supply is above the threshold. */
+    bool above(double v_true) const { return v_true > threshold_; }
+
+    /**
+     * A comparator cannot report a voltage, only a bit; measure()
+     * returns the threshold when above it, else 0 (Section II-B's
+     * "single-bit solutions limit utility").
+     */
+    double
+    measure(double v_true) const override
+    {
+        return above(v_true) ? threshold_ : 0.0;
+    }
+
+    /** Trip exactly when the supply crosses below the threshold. */
+    bool
+    indicatesCheckpoint(double v_true, double v_ckpt) const override
+    {
+        (void)v_ckpt; // the hardware threshold is the trigger
+        return !above(v_true);
+    }
+
+  private:
+    const McuCard *mcu_;
+    double hysteresis_;
+    double response_time_;
+    double threshold_ = 1.8;
+};
+
+} // namespace analog
+} // namespace fs
+
+#endif // FS_ANALOG_COMPARATOR_MONITOR_H_

@@ -1,0 +1,51 @@
+#include "analog/device_cards.h"
+
+namespace fs {
+namespace analog {
+
+const McuCard &
+msp430fr5969()
+{
+    static const McuCard card{
+        .name = "MSP430FR5969",
+        .coreCurrentPerMHz = 110e-6,
+        .adcCurrent = 265e-6,
+        .comparatorCurrent = 35e-6,
+        .coreVmin = 1.8,
+        .refVmin = 1.8,
+    };
+    return card;
+}
+
+const McuCard &
+pic16lf15386()
+{
+    static const McuCard card{
+        .name = "PIC16LF15386",
+        .coreCurrentPerMHz = 90e-6,
+        .adcCurrent = 295e-6,
+        .comparatorCurrent = 75e-6,
+        .coreVmin = 1.8,
+        .refVmin = 2.5,
+    };
+    return card;
+}
+
+std::vector<const McuCard *>
+allMcuCards()
+{
+    return {&msp430fr5969(), &pic16lf15386()};
+}
+
+const PeripheralCard &
+adxl362()
+{
+    static const PeripheralCard card{
+        .name = "ADXL362",
+        .activeCurrent = 1.8e-6,
+    };
+    return card;
+}
+
+} // namespace analog
+} // namespace fs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Datasheet constants for the sensor-mote-class parts the paper
+ * evaluates against (Table I and Section V-D). These are data cards,
+ * not simulations; they parameterize the analog baselines and the
+ * system-level comparison.
+ */
+
+#ifndef FS_ANALOG_DEVICE_CARDS_H_
+#define FS_ANALOG_DEVICE_CARDS_H_
+
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace analog {
+
+/** Microcontroller card (Table I). */
+struct McuCard {
+    std::string name;
+    double coreCurrentPerMHz;  ///< A per MHz of core clock
+    double adcCurrent;         ///< A while the ADC samples
+    double comparatorCurrent;  ///< A while the comparator runs
+    double coreVmin;           ///< minimum core operating voltage (V)
+    double refVmin;            ///< minimum voltage for the reference (V)
+
+    /** Core current at the given clock (Hz). */
+    double
+    coreCurrent(double f_clk_hz) const
+    {
+        return coreCurrentPerMHz * (f_clk_hz / 1e6);
+    }
+};
+
+/** TI MSP430FR5969 (primary evaluation platform). */
+const McuCard &msp430fr5969();
+
+/** Microchip PIC16LF15386. */
+const McuCard &pic16lf15386();
+
+/** Both Table I cards. */
+std::vector<const McuCard *> allMcuCards();
+
+/** Peripheral card for the ADXL362-class accelerometer (Section V-D). */
+struct PeripheralCard {
+    std::string name;
+    double activeCurrent; ///< A while measuring
+};
+
+const PeripheralCard &adxl362();
+
+} // namespace analog
+} // namespace fs
+
+#endif // FS_ANALOG_DEVICE_CARDS_H_

@@ -1,0 +1,3 @@
+#include "analog/ideal_monitor.h"
+
+// IdealMonitor is header-only; this translation unit anchors the target.

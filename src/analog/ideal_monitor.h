@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Ideal voltage monitor: perfect resolution, continuous sampling,
+ * zero current. The normalization baseline for Fig. 8.
+ */
+
+#ifndef FS_ANALOG_IDEAL_MONITOR_H_
+#define FS_ANALOG_IDEAL_MONITOR_H_
+
+#include "analog/voltage_monitor.h"
+
+namespace fs {
+namespace analog {
+
+class IdealMonitor : public VoltageMonitor
+{
+  public:
+    std::string name() const override { return "Ideal"; }
+    double resolution() const override { return 0.0; }
+    double samplePeriod() const override { return 0.0; }
+    double meanCurrent() const override { return 0.0; }
+    double measure(double v_true) const override { return v_true; }
+};
+
+} // namespace analog
+} // namespace fs
+
+#endif // FS_ANALOG_IDEAL_MONITOR_H_

@@ -1,0 +1,20 @@
+#include "analog/voltage_monitor.h"
+
+#include <cmath>
+
+namespace fs {
+namespace analog {
+
+VoltageMonitor::~VoltageMonitor() = default;
+
+double
+VoltageMonitor::measure(double v_true) const
+{
+    const double res = resolution();
+    if (res <= 0.0)
+        return v_true;
+    return std::floor(v_true / res) * res;
+}
+
+} // namespace analog
+} // namespace fs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Common interface for supply-voltage monitors.
+ *
+ * The system-level comparison (Section V-D) treats every monitor as
+ * three numbers -- resolution, sample period, and current draw -- plus
+ * a measurement function. Failure Sentinels and the analog baselines
+ * all implement this interface.
+ */
+
+#ifndef FS_ANALOG_VOLTAGE_MONITOR_H_
+#define FS_ANALOG_VOLTAGE_MONITOR_H_
+
+#include <string>
+
+#include "util/random.h"
+
+namespace fs {
+namespace analog {
+
+class VoltageMonitor
+{
+  public:
+    virtual ~VoltageMonitor();
+
+    /** Human-readable monitor name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Worst-case measurement resolution (V): the reported value is
+     * within this distance of the true supply voltage.
+     */
+    virtual double resolution() const = 0;
+
+    /** Time between successive measurements (s); 0 = continuous. */
+    virtual double samplePeriod() const = 0;
+
+    /** Mean supply current the monitor adds to the system (A). */
+    virtual double meanCurrent() const = 0;
+
+    /**
+     * Measure the supply. The default quantizes the true voltage to
+     * the resolution grid, rounding down (the monitor must never
+     * report more voltage than is present, Section V-D-b).
+     */
+    virtual double measure(double v_true) const;
+
+    /** Minimum supply voltage at which the monitor works (V). */
+    virtual double minOperatingVoltage() const { return 0.0; }
+
+    /**
+     * Checkpoint trigger predicate: does this monitor, observing the
+     * true supply voltage, believe the supply has reached the
+     * checkpoint threshold? Multi-bit monitors compare their reading;
+     * the single-bit comparator overrides this with its hardware trip
+     * behavior.
+     */
+    virtual bool
+    indicatesCheckpoint(double v_true, double v_ckpt) const
+    {
+        return measure(v_true) <= v_ckpt;
+    }
+};
+
+} // namespace analog
+} // namespace fs
+
+#endif // FS_ANALOG_VOLTAGE_MONITOR_H_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Count-to-voltage converter interface (Section III-H).
+ *
+ * Four strategies trade accuracy, NVM footprint, and runtime cost:
+ * full table, piecewise-constant, piecewise-linear, and polynomial.
+ * Runtime cost is expressed in MSP430-class CPU cycles per conversion
+ * so the system model can charge software overhead for each strategy.
+ */
+
+#ifndef FS_CALIB_CONVERTER_H_
+#define FS_CALIB_CONVERTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "calib/enrollment.h"
+
+namespace fs {
+namespace calib {
+
+class CountConverter
+{
+  public:
+    virtual ~CountConverter();
+
+    /** Strategy name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Map a raw counter value to a supply-voltage estimate (V). */
+    virtual double toVoltage(std::uint32_t count) const = 0;
+
+    /** NVM bytes consumed by the stored representation. */
+    virtual std::size_t nvmBytes() const = 0;
+
+    /** Approximate CPU cycles per conversion on a 16-bit MCU. */
+    virtual std::size_t conversionCycles() const = 0;
+};
+
+/** Identifier for constructing converters generically. */
+enum class Strategy {
+    FullTable,
+    PiecewiseConstant,
+    PiecewiseLinear,
+    Polynomial,
+};
+
+/** Human-readable strategy name. */
+std::string strategyName(Strategy s);
+
+/**
+ * Build a converter of the requested strategy from enrollment data.
+ * For Polynomial, `degree` selects the fit order (default 3).
+ */
+std::unique_ptr<CountConverter> makeConverter(Strategy s,
+                                              const EnrollmentData &data,
+                                              std::size_t degree = 3);
+
+} // namespace calib
+} // namespace fs
+
+#endif // FS_CALIB_CONVERTER_H_

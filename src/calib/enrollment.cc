@@ -1,0 +1,251 @@
+#include "calib/enrollment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace fs {
+namespace calib {
+
+std::size_t
+EnrollmentData::nvmBytes() const
+{
+    return (points.size() * entryBits + 7) / 8;
+}
+
+double
+EnrollmentData::quantizationStep() const
+{
+    return (vMax - vMin) / double(1u << std::min<std::size_t>(entryBits, 31));
+}
+
+bool
+EnrollmentData::monotonic() const
+{
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].count <= points[i - 1].count)
+            return false;
+    }
+    return true;
+}
+
+double
+quantizeVoltage(double v, double v_min, double v_max,
+                std::size_t entry_bits)
+{
+    FS_ASSERT(entry_bits >= 1 && entry_bits <= 16,
+              "entry width out of range: ", entry_bits);
+    const double step = (v_max - v_min) / double(1u << entry_bits);
+    const double clamped = std::clamp(v, v_min, v_max);
+    // Nudge before flooring so values already on the grid are not
+    // pushed down a step by floating-point rounding.
+    return v_min + std::floor((clamped - v_min) / step + 1e-6) * step;
+}
+
+EnrollmentData
+enroll(const circuit::MonitorChain &chain, double t_en, std::size_t entries,
+       std::size_t entry_bits, double v_min, double v_max, double temp_c)
+{
+    if (entries < 1)
+        fatal("enrollment needs at least one calibration point");
+    if (v_max <= v_min)
+        fatal("empty enrollment voltage range");
+    if (t_en <= 0.0)
+        fatal("enrollment enable time must be positive");
+
+    EnrollmentData data;
+    data.entryBits = entry_bits;
+    data.vMin = v_min;
+    data.vMax = v_max;
+    data.enableTime = t_en;
+
+    const auto voltages =
+        entries == 1 ? std::vector<double>{v_min}
+                     : linspace(v_min, v_max, entries);
+    for (double v : voltages) {
+        const auto sample = chain.sample(v, t_en, temp_c);
+        if (sample.overflowed) {
+            warn("enrollment: counter overflow at ", v,
+                 " V; configuration is not realizable");
+        }
+        data.points.push_back(
+            {sample.count, quantizeVoltage(v, v_min, v_max, entry_bits)});
+    }
+    std::sort(data.points.begin(), data.points.end(),
+              [](const CalibrationPoint &a, const CalibrationPoint &b) {
+                  return a.count < b.count;
+              });
+    return data;
+}
+
+} // namespace calib
+} // namespace fs
+
+namespace {
+
+/** Build an EnrollmentData record from explicit sample voltages. */
+fs::calib::EnrollmentData
+enrollAt(const fs::circuit::MonitorChain &chain, double t_en,
+         const std::vector<double> &voltages, std::size_t entry_bits,
+         double v_min, double v_max, double temp_c)
+{
+    fs::calib::EnrollmentData data;
+    data.entryBits = entry_bits;
+    data.vMin = v_min;
+    data.vMax = v_max;
+    data.enableTime = t_en;
+    for (double v : voltages) {
+        const auto sample = chain.sample(v, t_en, temp_c);
+        data.points.push_back(
+            {sample.count,
+             fs::calib::quantizeVoltage(v, v_min, v_max, entry_bits)});
+    }
+    std::sort(data.points.begin(), data.points.end(),
+              [](const fs::calib::CalibrationPoint &a,
+                 const fs::calib::CalibrationPoint &b) {
+                  return a.count < b.count;
+              });
+    // Duplicate counts carry no information; keep the first.
+    data.points.erase(
+        std::unique(data.points.begin(), data.points.end(),
+                    [](const fs::calib::CalibrationPoint &a,
+                       const fs::calib::CalibrationPoint &b) {
+                        return a.count == b.count;
+                    }),
+        data.points.end());
+    return data;
+}
+
+/** Linear reconstruction through the stored points at a raw count. */
+double
+pwlEstimate(const fs::calib::EnrollmentData &data, std::uint32_t count)
+{
+    const auto &pts = data.points;
+    if (count <= pts.front().count)
+        return pts.front().voltage;
+    if (count >= pts.back().count)
+        return pts.back().voltage;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        if (count <= pts[i].count) {
+            const auto &a = pts[i - 1];
+            const auto &b = pts[i];
+            const double t = double(count - a.count) /
+                             double(b.count - a.count);
+            return a.voltage + t * (b.voltage - a.voltage);
+        }
+    }
+    return pts.back().voltage;
+}
+
+} // namespace
+
+namespace fs {
+namespace calib {
+
+EnrollmentData
+enrollUniformFrequency(const circuit::MonitorChain &chain, double t_en,
+                       std::size_t entries, std::size_t entry_bits,
+                       double v_min, double v_max, double temp_c)
+{
+    if (entries < 2)
+        fatal("enrollment needs at least two points");
+    if (v_max <= v_min)
+        fatal("empty enrollment voltage range");
+
+    const double f_lo = chain.frequency(v_min, temp_c);
+    const double f_hi = chain.frequency(v_max, temp_c);
+    FS_ASSERT(f_hi > f_lo, "transfer function not increasing");
+
+    std::vector<double> chosen;
+    chosen.reserve(entries);
+    const auto targets = linspace(f_lo, f_hi, entries);
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+        // The endpoints are known exactly; bisecting them would fail
+        // on last-ulp rounding of the linspace arithmetic.
+        if (k == 0) {
+            chosen.push_back(v_min);
+            continue;
+        }
+        if (k + 1 == targets.size()) {
+            chosen.push_back(v_max);
+            continue;
+        }
+        chosen.push_back(bisect(
+            [&](double v_probe) {
+                return chain.frequency(v_probe, temp_c) - targets[k];
+            },
+            v_min, v_max, 1e-6));
+    }
+    return enrollAt(chain, t_en, chosen, entry_bits, v_min, v_max,
+                    temp_c);
+}
+
+EnrollmentData
+enrollAdaptive(const circuit::MonitorChain &chain, double t_en,
+               std::size_t entries, std::size_t entry_bits, double v_min,
+               double v_max, double temp_c)
+{
+    if (entries < 2)
+        fatal("adaptive enrollment needs at least two points");
+    if (v_max <= v_min)
+        fatal("empty enrollment voltage range");
+    if (t_en <= 0.0)
+        fatal("enrollment enable time must be positive");
+
+    // Optimal knot placement for piecewise-linear interpolation:
+    // equidistribute points by the local density sqrt(|g''(f)|) in
+    // frequency space, where g = f^-1 is the count-to-voltage mapping
+    // (footnote 8: "more data points in areas where the derivatives
+    // are highest"). In supply-voltage space the density becomes
+    // sqrt(|f''| / |f'|^3) * f'.
+    constexpr std::size_t kGrid = 512;
+    const auto grid = linspace(v_min, v_max, kGrid);
+    const double h = grid[1] - grid[0];
+
+    std::vector<double> freq(kGrid);
+    for (std::size_t i = 0; i < kGrid; ++i)
+        freq[i] = chain.frequency(grid[i], temp_c);
+
+    std::vector<double> weight(kGrid, 0.0);
+    double max_weight = 0.0;
+    for (std::size_t i = 1; i + 1 < kGrid; ++i) {
+        const double f1 = (freq[i + 1] - freq[i - 1]) / (2.0 * h);
+        const double f2 =
+            (freq[i + 1] - 2.0 * freq[i] + freq[i - 1]) / (h * h);
+        if (std::fabs(f1) < 1e3)
+            continue;
+        const double g2 = std::fabs(f2) / std::fabs(f1 * f1 * f1);
+        weight[i] = std::sqrt(g2) * std::fabs(f1);
+        max_weight = std::max(max_weight, weight[i]);
+    }
+    // Floor the density so flat regions still receive coverage.
+    for (double &w : weight)
+        w = std::max(w, 0.05 * max_weight);
+
+    std::vector<double> cumulative(kGrid, 0.0);
+    for (std::size_t i = 1; i < kGrid; ++i)
+        cumulative[i] = cumulative[i - 1] + 0.5 * (weight[i] +
+                                                   weight[i - 1]) * h;
+    const double total = cumulative.back();
+
+    std::vector<double> chosen;
+    chosen.reserve(entries);
+    std::size_t cursor = 0;
+    for (std::size_t k = 0; k < entries; ++k) {
+        const double target =
+            total * double(k) / double(entries - 1);
+        while (cursor + 1 < kGrid && cumulative[cursor + 1] < target)
+            ++cursor;
+        chosen.push_back(grid[std::min(cursor + 1, kGrid - 1)]);
+    }
+    chosen.front() = v_min;
+    chosen.back() = v_max;
+
+    return enrollAt(chain, t_en, chosen, entry_bits, v_min, v_max,
+                    temp_c);
+}
+
+} // namespace calib
+} // namespace fs

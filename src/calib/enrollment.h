@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Enrollment (Section III-H).
+ *
+ * Manufacturing-time characterization of a specific chip's monitor
+ * chain: drive known supply voltages, record the resulting counter
+ * values, and store (count, voltage) pairs -- voltage quantized to the
+ * NVM entry width -- for the runtime count-to-voltage converters.
+ */
+
+#ifndef FS_CALIB_ENROLLMENT_H_
+#define FS_CALIB_ENROLLMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/power_model.h"
+
+namespace fs {
+namespace calib {
+
+/** One stored calibration entry. */
+struct CalibrationPoint {
+    std::uint32_t count = 0; ///< raw counter value observed
+    double voltage = 0.0;    ///< quantized supply voltage (V)
+};
+
+/** The device-specific calibration record written to NVM. */
+struct EnrollmentData {
+    std::vector<CalibrationPoint> points; ///< sorted by count, ascending
+    std::size_t entryBits = 8;            ///< stored-voltage width
+    double vMin = 1.8;                    ///< characterized range low (V)
+    double vMax = 3.6;                    ///< characterized range high (V)
+    double enableTime = 0.0;              ///< T_en used during enrollment
+
+    /** NVM footprint in bytes (entries * entry width, rounded up). */
+    std::size_t nvmBytes() const;
+
+    /** Smallest voltage difference the entry width can represent. */
+    double quantizationStep() const;
+
+    /** True when counts are strictly increasing with voltage. */
+    bool monotonic() const;
+};
+
+/**
+ * Quantize a voltage to the entry grid over [v_min, v_max]; rounds
+ * DOWN so a stored value never overstates the available voltage.
+ */
+double quantizeVoltage(double v, double v_min, double v_max,
+                       std::size_t entry_bits);
+
+/**
+ * Characterize a monitor chain at `entries` evenly spaced supply
+ * voltages across [v_min, v_max].
+ *
+ * @param chain      the device under enrollment (includes its process
+ *                   variation corner)
+ * @param t_en       enable window used per sample (s)
+ * @param entries    number of (count, voltage) pairs to store
+ * @param entry_bits NVM width of each stored voltage (1..16)
+ * @param v_min      low end of the characterized supply range (V)
+ * @param v_max      high end of the characterized supply range (V)
+ * @param temp_c     enrollment temperature (deg C)
+ */
+EnrollmentData enroll(const circuit::MonitorChain &chain, double t_en,
+                      std::size_t entries, std::size_t entry_bits,
+                      double v_min, double v_max,
+                      double temp_c = circuit::kNominalTempC);
+
+/**
+ * Enrollment at points evenly spaced in *frequency* rather than in
+ * supply voltage -- the spacing Eq. 3/4's error analysis assumes
+ * (h = (H - L) / c). On a curved transfer function this crowds
+ * points into the flat region; footnote 8's placement fixes that.
+ */
+EnrollmentData enrollUniformFrequency(
+    const circuit::MonitorChain &chain, double t_en, std::size_t entries,
+    std::size_t entry_bits, double v_min, double v_max,
+    double temp_c = circuit::kNominalTempC);
+
+/**
+ * Non-uniform enrollment (the paper's footnote 8): equidistribute
+ * calibration points by the curvature of the count-to-voltage mapping
+ * (density ~ sqrt(|g''(f)|)), the optimal knot placement for
+ * piecewise-linear interpolation. Same NVM footprint, lower
+ * worst-case error on curved transfer functions.
+ */
+EnrollmentData enrollAdaptive(const circuit::MonitorChain &chain,
+                              double t_en, std::size_t entries,
+                              std::size_t entry_bits, double v_min,
+                              double v_max,
+                              double temp_c = circuit::kNominalTempC);
+
+} // namespace calib
+} // namespace fs
+
+#endif // FS_CALIB_ENROLLMENT_H_

@@ -1,0 +1,81 @@
+#include "calib/full_table.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace calib {
+
+CountConverter::~CountConverter() = default;
+
+std::string
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::FullTable:
+        return "full-table";
+      case Strategy::PiecewiseConstant:
+        return "piecewise-constant";
+      case Strategy::PiecewiseLinear:
+        return "piecewise-linear";
+      case Strategy::Polynomial:
+        return "polynomial";
+    }
+    panic("unknown strategy");
+}
+
+FullTableConverter::FullTableConverter(const EnrollmentData &data)
+    : entry_bits_(data.entryBits)
+{
+    if (data.points.empty())
+        fatal("full table needs enrollment data");
+    if (!data.monotonic())
+        fatal("full table needs strictly increasing enrollment counts");
+
+    base_count_ = data.points.front().count;
+    const std::uint32_t last = data.points.back().count;
+    table_.resize(last - base_count_ + 1);
+
+    // Densify by linear interpolation between enrollment points, then
+    // re-quantize to the entry width (the table is stored in NVM at
+    // the same precision as any other strategy).
+    std::size_t seg = 0;
+    for (std::uint32_t c = base_count_; c <= last; ++c) {
+        while (seg + 1 < data.points.size() &&
+               data.points[seg + 1].count < c) {
+            ++seg;
+        }
+        const auto &lo = data.points[seg];
+        const auto &hi =
+            data.points[std::min(seg + 1, data.points.size() - 1)];
+        double v;
+        if (hi.count == lo.count) {
+            v = lo.voltage;
+        } else {
+            const double t =
+                double(c - lo.count) / double(hi.count - lo.count);
+            v = lo.voltage + t * (hi.voltage - lo.voltage);
+        }
+        table_[c - base_count_] =
+            quantizeVoltage(v, data.vMin, data.vMax, entry_bits_);
+    }
+}
+
+double
+FullTableConverter::toVoltage(std::uint32_t count) const
+{
+    if (count <= base_count_)
+        return table_.front();
+    const std::size_t idx = count - base_count_;
+    if (idx >= table_.size())
+        return table_.back();
+    return table_[idx];
+}
+
+std::size_t
+FullTableConverter::nvmBytes() const
+{
+    return (table_.size() * entry_bits_ + 7) / 8;
+}
+
+} // namespace calib
+} // namespace fs

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Full-enrollment converter: one stored voltage for every possible
+ * count in the device's range (Section III-H, "Full enrollment").
+ * Maximum accuracy and speed, maximum NVM footprint.
+ */
+
+#ifndef FS_CALIB_FULL_TABLE_H_
+#define FS_CALIB_FULL_TABLE_H_
+
+#include <vector>
+
+#include "calib/converter.h"
+
+namespace fs {
+namespace calib {
+
+class FullTableConverter : public CountConverter
+{
+  public:
+    /**
+     * Expand enrollment data into a dense count-indexed table covering
+     * [min stored count, max stored count].
+     */
+    explicit FullTableConverter(const EnrollmentData &data);
+
+    std::string name() const override { return "full-table"; }
+    double toVoltage(std::uint32_t count) const override;
+    std::size_t nvmBytes() const override;
+    /** A bounds check and an indexed load. */
+    std::size_t conversionCycles() const override { return 8; }
+
+    std::size_t tableSize() const { return table_.size(); }
+
+  private:
+    std::uint32_t base_count_ = 0;
+    std::size_t entry_bits_ = 8;
+    std::vector<double> table_;
+};
+
+} // namespace calib
+} // namespace fs
+
+#endif // FS_CALIB_FULL_TABLE_H_

@@ -1,0 +1,55 @@
+#include "calib/piecewise_constant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace calib {
+
+PiecewiseConstantConverter::PiecewiseConstantConverter(
+    const EnrollmentData &data)
+    : points_(data.points), entry_bits_(data.entryBits)
+{
+    if (points_.empty())
+        fatal("piecewise converter needs enrollment data");
+}
+
+std::size_t
+PiecewiseConstantConverter::floorIndex(std::uint32_t count) const
+{
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), count,
+        [](std::uint32_t c, const CalibrationPoint &p) {
+            return c < p.count;
+        });
+    if (it == points_.begin())
+        return 0;
+    return std::size_t(it - points_.begin()) - 1;
+}
+
+double
+PiecewiseConstantConverter::toVoltage(std::uint32_t count) const
+{
+    return points_[floorIndex(count)].voltage;
+}
+
+std::size_t
+PiecewiseConstantConverter::nvmBytes() const
+{
+    return (points_.size() * entry_bits_ + 7) / 8;
+}
+
+std::size_t
+PiecewiseConstantConverter::conversionCycles() const
+{
+    // ~6 cycles per binary-search step on an MSP430-class core.
+    const auto steps = std::size_t(
+        std::ceil(std::log2(double(std::max<std::size_t>(points_.size(),
+                                                          2)))));
+    return 8 + 6 * steps;
+}
+
+} // namespace calib
+} // namespace fs

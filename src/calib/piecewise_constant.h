@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Piecewise-constant converter (Section III-H): report the voltage of
+ * the closest stored count at or below the measurement. Pessimistic by
+ * construction -- the reported voltage never exceeds the true voltage
+ * between enrollment points.
+ */
+
+#ifndef FS_CALIB_PIECEWISE_CONSTANT_H_
+#define FS_CALIB_PIECEWISE_CONSTANT_H_
+
+#include <vector>
+
+#include "calib/converter.h"
+
+namespace fs {
+namespace calib {
+
+class PiecewiseConstantConverter : public CountConverter
+{
+  public:
+    explicit PiecewiseConstantConverter(const EnrollmentData &data);
+
+    std::string name() const override { return "piecewise-constant"; }
+    double toVoltage(std::uint32_t count) const override;
+    std::size_t nvmBytes() const override;
+    /** Binary search over the stored points plus one indexed load. */
+    std::size_t conversionCycles() const override;
+
+    std::size_t entries() const { return points_.size(); }
+
+  protected:
+    /** Index of the last stored point with count <= the argument. */
+    std::size_t floorIndex(std::uint32_t count) const;
+
+    std::vector<CalibrationPoint> points_;
+    std::size_t entry_bits_;
+};
+
+} // namespace calib
+} // namespace fs
+
+#endif // FS_CALIB_PIECEWISE_CONSTANT_H_

@@ -1,0 +1,23 @@
+#include "calib/piecewise_linear.h"
+
+namespace fs {
+namespace calib {
+
+double
+PiecewiseLinearConverter::toVoltage(std::uint32_t count) const
+{
+    const std::size_t lo = floorIndex(count);
+    if (count <= points_.front().count)
+        return points_.front().voltage;
+    if (lo + 1 >= points_.size())
+        return points_.back().voltage;
+    const auto &a = points_[lo];
+    const auto &b = points_[lo + 1];
+    if (b.count == a.count)
+        return a.voltage;
+    const double t = double(count - a.count) / double(b.count - a.count);
+    return a.voltage + t * (b.voltage - a.voltage);
+}
+
+} // namespace calib
+} // namespace fs

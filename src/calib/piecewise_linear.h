@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Piecewise-linear converter (Section III-H): interpolate between the
+ * nearest two stored points. Same NVM footprint as piecewise-constant
+ * with quadratically better error (Eq. 4 vs. Eq. 3), at a modest
+ * arithmetic cost per conversion.
+ */
+
+#ifndef FS_CALIB_PIECEWISE_LINEAR_H_
+#define FS_CALIB_PIECEWISE_LINEAR_H_
+
+#include "calib/piecewise_constant.h"
+
+namespace fs {
+namespace calib {
+
+class PiecewiseLinearConverter : public PiecewiseConstantConverter
+{
+  public:
+    explicit PiecewiseLinearConverter(const EnrollmentData &data)
+        : PiecewiseConstantConverter(data)
+    {
+    }
+
+    std::string name() const override { return "piecewise-linear"; }
+    double toVoltage(std::uint32_t count) const override;
+    /** Search plus a fixed-point multiply/divide for the slope. */
+    std::size_t
+    conversionCycles() const override
+    {
+        return PiecewiseConstantConverter::conversionCycles() + 44;
+    }
+};
+
+} // namespace calib
+} // namespace fs
+
+#endif // FS_CALIB_PIECEWISE_LINEAR_H_

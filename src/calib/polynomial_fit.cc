@@ -1,0 +1,58 @@
+#include "calib/polynomial_fit.h"
+
+#include <algorithm>
+
+#include "calib/full_table.h"
+#include "calib/piecewise_constant.h"
+#include "calib/piecewise_linear.h"
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace fs {
+namespace calib {
+
+PolynomialConverter::PolynomialConverter(const EnrollmentData &data,
+                                         std::size_t degree)
+    : v_min_(data.vMin), v_max_(data.vMax)
+{
+    if (data.points.empty())
+        fatal("polynomial converter needs enrollment data");
+    degree = std::min(degree, data.points.size() - 1);
+    if (degree == 0 && data.points.size() == 1) {
+        coeffs_ = {data.points.front().voltage};
+        return;
+    }
+    std::vector<double> xs, ys;
+    xs.reserve(data.points.size());
+    ys.reserve(data.points.size());
+    for (const auto &p : data.points) {
+        xs.push_back(double(p.count));
+        ys.push_back(p.voltage);
+    }
+    coeffs_ = polyfit(xs, ys, degree);
+}
+
+double
+PolynomialConverter::toVoltage(std::uint32_t count) const
+{
+    return std::clamp(polyval(coeffs_, double(count)), v_min_, v_max_);
+}
+
+std::unique_ptr<CountConverter>
+makeConverter(Strategy s, const EnrollmentData &data, std::size_t degree)
+{
+    switch (s) {
+      case Strategy::FullTable:
+        return std::make_unique<FullTableConverter>(data);
+      case Strategy::PiecewiseConstant:
+        return std::make_unique<PiecewiseConstantConverter>(data);
+      case Strategy::PiecewiseLinear:
+        return std::make_unique<PiecewiseLinearConverter>(data);
+      case Strategy::Polynomial:
+        return std::make_unique<PolynomialConverter>(data, degree);
+    }
+    panic("unknown strategy");
+}
+
+} // namespace calib
+} // namespace fs

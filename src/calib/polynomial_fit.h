@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Polynomial-regression converter (Section III-H): store only the
+ * coefficients of a low-degree fit. Minimal NVM, but each conversion
+ * costs software floating-point multiplies -- expensive on harvesting
+ * class hardware.
+ */
+
+#ifndef FS_CALIB_POLYNOMIAL_FIT_H_
+#define FS_CALIB_POLYNOMIAL_FIT_H_
+
+#include <vector>
+
+#include "calib/converter.h"
+
+namespace fs {
+namespace calib {
+
+class PolynomialConverter : public CountConverter
+{
+  public:
+    /**
+     * Fit voltage = P(count) of the given degree to the enrollment
+     * points (degree is clamped to the available point count).
+     */
+    PolynomialConverter(const EnrollmentData &data, std::size_t degree);
+
+    std::string name() const override { return "polynomial"; }
+    double toVoltage(std::uint32_t count) const override;
+    /** One float32 per coefficient. */
+    std::size_t nvmBytes() const override { return 4 * coeffs_.size(); }
+    /** ~160 cycles per software float multiply-accumulate. */
+    std::size_t
+    conversionCycles() const override
+    {
+        return 20 + 160 * (coeffs_.size() - 1);
+    }
+
+    std::size_t degree() const { return coeffs_.size() - 1; }
+    const std::vector<double> &coefficients() const { return coeffs_; }
+
+  private:
+    std::vector<double> coeffs_;
+    double v_min_;
+    double v_max_;
+};
+
+} // namespace calib
+} // namespace fs
+
+#endif // FS_CALIB_POLYNOMIAL_FIT_H_

@@ -1,0 +1,62 @@
+#include "circuit/edge_counter.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace circuit {
+
+namespace {
+/** Switched capacitance per flip-flop toggle (F). */
+constexpr double kFlopCap = 6e-15;
+} // namespace
+
+EdgeCounter::EdgeCounter(const Technology &tech, std::size_t bits)
+    : tech_(&tech), bits_(bits)
+{
+    if (bits < 1 || bits > 16)
+        fatal("counter width must be in [1, 16] bits, got ", bits);
+    max_count_ = std::uint32_t((1u << bits) - 1);
+}
+
+EdgeCounter::Sample
+EdgeCounter::count(double f, double t_en) const
+{
+    FS_ASSERT(f >= 0.0 && t_en >= 0.0, "negative frequency or window");
+    Sample s;
+    const double edges = std::floor(f * t_en);
+    if (edges > double(max_count_)) {
+        s.count = max_count_;
+        s.overflowed = true;
+    } else {
+        s.count = std::uint32_t(edges);
+    }
+    return s;
+}
+
+bool
+EdgeCounter::wouldOverflow(double f, double t_en) const
+{
+    return std::floor(f * t_en) > double(max_count_);
+}
+
+double
+EdgeCounter::dynamicCurrent(double f, double v_core) const
+{
+    // Sum over bits of f / 2^i toggle rates.
+    double toggle_rate = 0.0;
+    for (std::size_t i = 0; i < bits_; ++i)
+        toggle_rate += f / double(1u << i);
+    return kFlopCap * v_core * toggle_rate;
+}
+
+double
+EdgeCounter::staticCurrent(double v_core, double temp_c) const
+{
+    // A flip-flop leaks like ~4 inverters.
+    return 4.0 * double(bits_) * tech_->gateLeakage(v_core, temp_c);
+}
+
+} // namespace circuit
+} // namespace fs

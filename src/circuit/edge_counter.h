@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Edge counter model (Section III-E/III-G).
+ *
+ * Increments on every positive edge of the (level-shifted) RO output
+ * during the enable window. The count C = floor(f_ro * T_en) is the
+ * monitor's raw sample; the bit-width caps the representable count and
+ * overflow invalidates a sample, which the design-space rejection
+ * filter must rule out.
+ */
+
+#ifndef FS_CIRCUIT_EDGE_COUNTER_H_
+#define FS_CIRCUIT_EDGE_COUNTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "circuit/technology.h"
+
+namespace fs {
+namespace circuit {
+
+class EdgeCounter
+{
+  public:
+    /** Result of one enable window. */
+    struct Sample {
+        std::uint32_t count = 0;
+        bool overflowed = false;
+    };
+
+    /**
+     * @param tech process node (for power/area accounting)
+     * @param bits counter width, 1..16 (Table III bound)
+     */
+    EdgeCounter(const Technology &tech, std::size_t bits);
+
+    std::size_t bits() const { return bits_; }
+    /** Largest representable count, 2^bits - 1. */
+    std::uint32_t maxCount() const { return max_count_; }
+
+    /**
+     * Count edges of a signal at frequency f (Hz) over window t_en
+     * seconds; saturates and flags overflow past maxCount().
+     */
+    Sample count(double f, double t_en) const;
+
+    /** Would a signal at frequency f overflow within t_en seconds? */
+    bool wouldOverflow(double f, double t_en) const;
+
+    /**
+     * Mean dynamic current while counting an input of frequency f (A).
+     * A ripple counter's bit i toggles at f / 2^i, so total toggle
+     * rate approaches 2f regardless of width.
+     */
+    double dynamicCurrent(double f, double v_core) const;
+
+    /** Static leakage (A); scales with width. */
+    double staticCurrent(double v_core,
+                         double temp_c = kNominalTempC) const;
+
+    /** ~24 transistors per bit (flip-flop plus glue). */
+    std::size_t transistorCount() const { return bits_ * 24; }
+
+  private:
+    const Technology *tech_;
+    std::size_t bits_;
+    std::uint32_t max_count_;
+};
+
+} // namespace circuit
+} // namespace fs
+
+#endif // FS_CIRCUIT_EDGE_COUNTER_H_

@@ -1,0 +1,50 @@
+#include "circuit/level_shifter.h"
+
+namespace fs {
+namespace circuit {
+
+namespace {
+/**
+ * Gate delays needed per input transition for reliable regeneration.
+ * The shifter's devices are small and fast relative to the
+ * wire-loaded RO stages, so two core-voltage delays suffice.
+ */
+constexpr double kDelaysPerTransition = 2.0;
+/** Switched capacitance of the shifter's output stage (F). */
+constexpr double kShifterCap = 8e-15;
+} // namespace
+
+double
+LevelShifter::maxFrequency(double v_core, double temp_c) const
+{
+    const double tau = tech_->gateDelay(v_core, temp_c);
+    // Two transitions per period.
+    return 1.0 / (2.0 * kDelaysPerTransition * tau);
+}
+
+bool
+LevelShifter::canShift(double f_in, double v_in, double v_core,
+                       double temp_c) const
+{
+    return v_in >= minInputSwing() &&
+           f_in <= maxFrequency(v_core, temp_c);
+}
+
+double
+LevelShifter::dynamicCurrent(double f_in, double v_core,
+                             double temp_c) const
+{
+    (void)temp_c;
+    // Two output transitions per input period, C*V of charge each.
+    return 2.0 * kShifterCap * v_core * f_in;
+}
+
+double
+LevelShifter::staticCurrent(double v_core, double temp_c) const
+{
+    // Roughly five inverter-equivalents of leakage.
+    return 5.0 * tech_->gateLeakage(v_core, temp_c);
+}
+
+} // namespace circuit
+} // namespace fs

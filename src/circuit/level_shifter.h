@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Level shifter model (Section III-G).
+ *
+ * Boosts the RO's low-voltage output swing up to the core voltage so
+ * the counter sees clean CMOS levels. The model captures the two
+ * properties the paper relies on: a maximum operating frequency set by
+ * core-voltage gate speed (always well above RO frequency), and a
+ * dynamic current proportional to the input frequency.
+ */
+
+#ifndef FS_CIRCUIT_LEVEL_SHIFTER_H_
+#define FS_CIRCUIT_LEVEL_SHIFTER_H_
+
+#include <cstddef>
+
+#include "circuit/technology.h"
+
+namespace fs {
+namespace circuit {
+
+class LevelShifter
+{
+  public:
+    explicit LevelShifter(const Technology &tech) : tech_(&tech) {}
+
+    /**
+     * Highest input frequency the shifter can track at the given core
+     * voltage and temperature (Hz). Modeled as a handful of
+     * core-voltage gate delays per transition.
+     */
+    double maxFrequency(double v_core,
+                        double temp_c = kNominalTempC) const;
+
+    /**
+     * Minimum input swing the shifter can regenerate (V). Below this
+     * the cross-coupled pair cannot flip.
+     */
+    double minInputSwing() const { return 0.18; }
+
+    /** True if the shifter can pass a signal of f_in at swing v_in. */
+    bool canShift(double f_in, double v_in, double v_core,
+                  double temp_c = kNominalTempC) const;
+
+    /** Dynamic current at input frequency f_in (A). */
+    double dynamicCurrent(double f_in, double v_core,
+                          double temp_c = kNominalTempC) const;
+
+    /** Static leakage (A). */
+    double staticCurrent(double v_core,
+                         double temp_c = kNominalTempC) const;
+
+    /** Cross-coupled pair + input/output buffers. */
+    std::size_t transistorCount() const { return 10; }
+
+  private:
+    const Technology *tech_;
+};
+
+} // namespace circuit
+} // namespace fs
+
+#endif // FS_CIRCUIT_LEVEL_SHIFTER_H_

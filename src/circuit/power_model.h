@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Assembled Failure Sentinels analog/mixed-signal chain (Fig. 2):
+ * voltage divider -> ring oscillator -> level shifter -> edge counter,
+ * with duty-cycled enable. Provides the count transfer function and
+ * the component-resolved current model that drive enrollment, the
+ * performance model, and the design-space exploration.
+ */
+
+#ifndef FS_CIRCUIT_POWER_MODEL_H_
+#define FS_CIRCUIT_POWER_MODEL_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "circuit/edge_counter.h"
+#include "circuit/level_shifter.h"
+#include "circuit/ring_oscillator.h"
+#include "circuit/technology.h"
+#include "circuit/voltage_divider.h"
+
+namespace fs {
+namespace circuit {
+
+/** Currents of each block while the monitor is enabled (A). */
+struct ActiveCurrents {
+    double roDynamic = 0.0;
+    double dividerBias = 0.0;
+    double shifter = 0.0;
+    double counter = 0.0;
+    double staticLeak = 0.0;
+
+    double
+    total() const
+    {
+        return roDynamic + dividerBias + shifter + counter + staticLeak;
+    }
+};
+
+/** Structural description of one monitor chain instance. */
+struct ChainSpec {
+    std::size_t roStages = 21;
+    std::size_t counterBits = 8;
+    /** Divider tap/total; equal values (e.g. 1/1) mean no divider. */
+    std::size_t dividerTap = 1;
+    std::size_t dividerTotal = 3;
+    double dividerWidth = 4.0;
+    double processSpeed = 1.0;
+    InverterCell cell = InverterCell::Simple;
+
+    bool hasDivider() const { return dividerTotal > dividerTap; }
+};
+
+class MonitorChain
+{
+  public:
+    MonitorChain(const Technology &tech, const ChainSpec &spec);
+
+    const Technology &tech() const { return *tech_; }
+    const ChainSpec &spec() const { return spec_; }
+    const RingOscillator &ro() const { return ro_; }
+    const EdgeCounter &counter() const { return counter_; }
+    const LevelShifter &shifter() const { return shifter_; }
+    /** Null when the chain runs the RO straight off the supply. */
+    const VoltageDivider *divider() const;
+
+    /**
+     * RO rail voltage for a given system supply voltage, solving the
+     * divider droop self-consistently against the RO's current draw.
+     */
+    double roVoltage(double v_supply, double temp_c = kNominalTempC) const;
+
+    /**
+     * Frequency presented to the counter (Hz). Zero when the ring does
+     * not oscillate or the level shifter cannot regenerate the signal.
+     */
+    double frequency(double v_supply, double temp_c = kNominalTempC) const;
+
+    /** Raw counter sample for one enable window of t_en seconds. */
+    EdgeCounter::Sample sample(double v_supply, double t_en,
+                               double temp_c = kNominalTempC) const;
+
+    /** Per-block currents while enabled. */
+    ActiveCurrents activeCurrents(double v_supply,
+                                  double temp_c = kNominalTempC) const;
+
+    /** Leakage-only current while disabled (A). */
+    double idleCurrent(double v_supply,
+                       double temp_c = kNominalTempC) const;
+
+    /**
+     * Mean supply current at duty cycle t_en * f_sample (A). Duty is
+     * clamped at 1 (always on).
+     */
+    double meanCurrent(double v_supply, double t_en, double f_sample,
+                       double temp_c = kNominalTempC) const;
+
+    /** Total transistors in the chain. */
+    std::size_t transistorCount() const;
+
+  private:
+    const Technology *tech_;
+    ChainSpec spec_;
+    RingOscillator ro_;
+    std::optional<VoltageDivider> divider_;
+    LevelShifter shifter_;
+    EdgeCounter counter_;
+};
+
+} // namespace circuit
+} // namespace fs
+
+#endif // FS_CIRCUIT_POWER_MODEL_H_

@@ -1,0 +1,109 @@
+#include "circuit/ring_oscillator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace fs {
+namespace circuit {
+
+namespace {
+/** Nominal bias design point for the current-starved cell (V). */
+constexpr double kStarvedBias = 1.2;
+} // namespace
+
+RingOscillator::RingOscillator(const Technology &tech, std::size_t stages,
+                               double speed, InverterCell cell)
+    : tech_(&tech), stages_(stages), speed_(speed), cell_(cell)
+{
+    if (stages < 3)
+        fatal("ring oscillator needs at least 3 stages, got ", stages);
+    if (stages % 2 == 0)
+        fatal("ring oscillator length must be odd, got ", stages);
+    if (speed <= 0.0)
+        fatal("process speed factor must be positive, got ", speed);
+}
+
+double
+RingOscillator::effectiveSupply(double v) const
+{
+    if (cell_ == InverterCell::Simple)
+        return v;
+    // The current source holds the cell near its bias point; only a
+    // small fraction of the supply swing reaches the inverter.
+    return kStarvedBias + kStarvedIsolation * (v - kStarvedBias);
+}
+
+double
+RingOscillator::gateDelay(double v, double temp_c) const
+{
+    return tech_->gateDelay(effectiveSupply(v), temp_c) / speed_;
+}
+
+double
+RingOscillator::frequency(double v, double temp_c) const
+{
+    if (v <= 0.0)
+        return 0.0;
+    return 1.0 / (2.0 * double(stages_) * gateDelay(v, temp_c));
+}
+
+bool
+RingOscillator::oscillates(double v, double temp_c) const
+{
+    return v > 0.0 && frequency(v, temp_c) >= kMinOscillationHz;
+}
+
+double
+RingOscillator::minOscillationVoltage(double temp_c) const
+{
+    const double hi = tech_->vddMax();
+    if (!oscillates(hi, temp_c))
+        return hi;
+    return bisect(
+        [&](double v) { return frequency(v, temp_c) - kMinOscillationHz; },
+        1e-3, hi, 1e-6);
+}
+
+double
+RingOscillator::sensitivity(double v, double temp_c) const
+{
+    return derivative([&](double x) { return frequency(x, temp_c); }, v);
+}
+
+double
+RingOscillator::relativeSensitivity(double v, double temp_c) const
+{
+    const double f = frequency(v, temp_c);
+    if (f <= 0.0)
+        return 0.0;
+    return sensitivity(v, temp_c) / f;
+}
+
+double
+RingOscillator::meanSensitivity(double lo, double hi, double temp_c) const
+{
+    FS_ASSERT(hi > lo, "empty sensitivity interval");
+    // Mean of df/dv over [lo, hi] is just the secant slope.
+    return (frequency(hi, temp_c) - frequency(lo, temp_c)) / (hi - lo);
+}
+
+double
+RingOscillator::dynamicCurrent(double v, double temp_c) const
+{
+    if (!oscillates(v, temp_c))
+        return 0.0;
+    // One stage switches at a time: energy C*v^2 per gate transition,
+    // 2n transitions per period, at f = 1/(2n tau) -> I = C*v/(2 tau).
+    return tech_->switchedCap() * v / (2.0 * gateDelay(v, temp_c));
+}
+
+double
+RingOscillator::staticCurrent(double v, double temp_c) const
+{
+    return double(stages_ + 1) * tech_->gateLeakage(v, temp_c);
+}
+
+} // namespace circuit
+} // namespace fs

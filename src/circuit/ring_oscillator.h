@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ring oscillator model (Section III-A/III-B).
+ *
+ * An odd ring of n simple CMOS inverters (plus the NAND enable gate)
+ * oscillating at f = 1 / (2 * n * tau_d) (Eq. 1). The class exposes
+ * frequency, sensitivity, and current draw as functions of supply
+ * voltage and temperature, plus a per-chip process-variation speed
+ * factor used by enrollment experiments.
+ */
+
+#ifndef FS_CIRCUIT_RING_OSCILLATOR_H_
+#define FS_CIRCUIT_RING_OSCILLATOR_H_
+
+#include <cstddef>
+
+#include "circuit/technology.h"
+
+namespace fs {
+namespace circuit {
+
+/** Inverter cell flavors explored in Section III-F-a. */
+enum class InverterCell {
+    /**
+     * Single PMOS/NMOS pair tied directly to the rails: maximum
+     * sensitivity to supply voltage. This is the Failure Sentinels
+     * choice.
+     */
+    Simple,
+    /**
+     * Current-starved cell: a bias-controlled current source isolates
+     * the inverter from the supply, suppressing exactly the
+     * sensitivity Failure Sentinels needs. Modeled for the ablation
+     * study.
+     */
+    CurrentStarved,
+};
+
+class RingOscillator
+{
+  public:
+    /** Frequency below which we consider the ring "not oscillating". */
+    static constexpr double kMinOscillationHz = 100e3;
+
+    /** Fraction of supply swing the current-starved source passes. */
+    static constexpr double kStarvedIsolation = 0.12;
+
+    /**
+     * @param tech      process node
+     * @param stages    ring length n (odd, >= 3)
+     * @param speed     per-chip process-variation multiplier on drive
+     *                  strength (1.0 = typical corner)
+     * @param cell      inverter cell flavor
+     */
+    RingOscillator(const Technology &tech, std::size_t stages,
+                   double speed = 1.0,
+                   InverterCell cell = InverterCell::Simple);
+
+    const Technology &tech() const { return *tech_; }
+    std::size_t stages() const { return stages_; }
+    double speedFactor() const { return speed_; }
+    InverterCell cell() const { return cell_; }
+
+    /** Per-stage propagation delay at (v, temp) including variation. */
+    double gateDelay(double v, double temp_c = kNominalTempC) const;
+
+    /** Oscillation frequency (Hz); ~0 when the ring cannot oscillate. */
+    double frequency(double v, double temp_c = kNominalTempC) const;
+
+    /** True if the ring oscillates usefully at this voltage. */
+    bool oscillates(double v, double temp_c = kNominalTempC) const;
+
+    /** Lowest supply voltage at which the ring oscillates (V). */
+    double minOscillationVoltage(double temp_c = kNominalTempC) const;
+
+    /** Absolute sensitivity df/dv (Hz per V) at the given point. */
+    double sensitivity(double v, double temp_c = kNominalTempC) const;
+
+    /** Relative sensitivity (1/f) df/dv (1 per V). */
+    double relativeSensitivity(double v,
+                               double temp_c = kNominalTempC) const;
+
+    /** Mean absolute sensitivity over [lo, hi] (Hz per V). */
+    double meanSensitivity(double lo, double hi,
+                           double temp_c = kNominalTempC) const;
+
+    /**
+     * Dynamic supply current while enabled and oscillating (A). Only
+     * one inverter switches at a time, so this is independent of ring
+     * length: I = C_sw * v / (2 * tau_d).
+     */
+    double dynamicCurrent(double v, double temp_c = kNominalTempC) const;
+
+    /** Static leakage of the ring (A); scales with length. */
+    double staticCurrent(double v, double temp_c = kNominalTempC) const;
+
+    /** Transistor count: 2 per inverter + 4 for the enable NAND. */
+    std::size_t transistorCount() const { return 2 * stages_ + 4; }
+
+  private:
+    /** Supply swing actually seen by the switching transistors. */
+    double effectiveSupply(double v) const;
+
+    const Technology *tech_;
+    std::size_t stages_;
+    double speed_;
+    InverterCell cell_;
+};
+
+} // namespace circuit
+} // namespace fs
+
+#endif // FS_CIRCUIT_RING_OSCILLATOR_H_

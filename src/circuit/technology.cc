@@ -1,0 +1,159 @@
+#include "circuit/technology.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace circuit {
+
+namespace {
+
+constexpr double kT0Kelvin = 298.15; // 25 C
+
+/**
+ * Calibration table.
+ *
+ * These constants are fit so the model reproduces the relationships the
+ * paper reports rather than raw PTM netlists:
+ *
+ *  - ROs stop oscillating below ~0.2 V (softplus width gammaSub);
+ *  - the frequency-voltage curve peaks near ~2.6 V and declines above
+ *    it (theta), Fig. 1;
+ *  - mean relative sensitivity over the divided operating region is
+ *    ~2 % higher in 65 nm than 90 nm and ~14 % higher than 130 nm
+ *    (vth0/alpha spread), Section V-B;
+ *  - active RO current drops ~14 % per node step at equal voltage
+ *    (cSwitch/tau0), Section V-B;
+ *  - the mobility and threshold temperature effects cancel near the
+ *    divided-down operating point (Veff ~ 0.3 V), leaving a ~1 %
+ *    frequency drift across 25-75 C (mobilityExp/dVthdT), Fig. 7.
+ */
+const Technology::Params kNode130{
+    .name = "130nm",
+    .featureNm = 130.0,
+    .vth0 = 0.340,
+    .alpha = 1.275,
+    .theta = 0.302,
+    .tau0 = 1.00e-9,
+    .gammaSub = 0.050,
+    .cSwitch = 64e-15,
+    .gateLeak = 0.8e-9,
+    .mobilityExp = 0.35,
+    .dVthdT = -2.71e-4,
+    .vddMax = 3.6,
+};
+
+const Technology::Params kNode90{
+    .name = "90nm",
+    .featureNm = 90.0,
+    .vth0 = 0.350,
+    .alpha = 1.350,
+    .theta = 0.42,
+    .tau0 = 0.78e-9,
+    .gammaSub = 0.050,
+    .cSwitch = 51e-15,
+    .gateLeak = 1.1e-9,
+    .mobilityExp = 0.35,
+    .dVthdT = -2.61e-4,
+    .vddMax = 3.6,
+};
+
+const Technology::Params kNode65{
+    .name = "65nm",
+    .featureNm = 65.0,
+    .vth0 = 0.360,
+    .alpha = 1.320,
+    .theta = 0.377,
+    .tau0 = 0.62e-9,
+    .gammaSub = 0.050,
+    .cSwitch = 34.7e-15,
+    .gateLeak = 1.5e-9,
+    .mobilityExp = 0.35,
+    .dVthdT = -2.67e-4,
+    .vddMax = 3.6,
+};
+
+} // namespace
+
+double
+Technology::vth(double temp_c) const
+{
+    return p_.vth0 + p_.dVthdT * (temp_c - kNominalTempC);
+}
+
+double
+Technology::mobilityRel(double temp_c) const
+{
+    const double t = temp_c + 273.15;
+    return std::pow(t / kT0Kelvin, -p_.mobilityExp);
+}
+
+double
+Technology::overdrive(double v, double temp_c) const
+{
+    const double x = (v - vth(temp_c)) / p_.gammaSub;
+    // Numerically stable softplus: gamma * ln(1 + exp(x)).
+    double sp;
+    if (x > 30.0)
+        sp = x;
+    else if (x < -30.0)
+        sp = std::exp(x);
+    else
+        sp = std::log1p(std::exp(x));
+    return p_.gammaSub * sp;
+}
+
+double
+Technology::gateDelay(double v, double temp_c) const
+{
+    FS_ASSERT(v > 0.0, "gate delay requires positive supply voltage");
+    const double veff = overdrive(v, temp_c);
+    // Drain saturation: at supply voltages of a few kT/q the drain
+    // current collapses as (1 - e^(-v/vT)), which is what actually
+    // stops rings from oscillating below ~0.2 V (Section III-B).
+    constexpr double kThermalVoltage = 0.026;
+    const double saturation = 1.0 - std::exp(-v / kThermalVoltage);
+    const double drive =
+        mobilityRel(temp_c) * std::pow(veff, p_.alpha) * saturation /
+        (1.0 + p_.theta * veff);
+    return p_.tau0 * v / drive;
+}
+
+double
+Technology::gateLeakage(double v, double temp_c) const
+{
+    // Leakage grows roughly linearly with rail voltage and
+    // exponentially with temperature (~e^(dT/45 C)).
+    return p_.gateLeak * v * std::exp((temp_c - kNominalTempC) / 45.0);
+}
+
+const Technology &
+Technology::node130()
+{
+    static const Technology tech(kNode130);
+    return tech;
+}
+
+const Technology &
+Technology::node90()
+{
+    static const Technology tech(kNode90);
+    return tech;
+}
+
+const Technology &
+Technology::node65()
+{
+    static const Technology tech(kNode65);
+    return tech;
+}
+
+std::vector<const Technology *>
+Technology::all()
+{
+    return {&node130(), &node90(), &node65()};
+}
+
+} // namespace circuit
+} // namespace fs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * CMOS technology model.
+ *
+ * Substitutes for the Predictive Technology Model SPICE cards the paper
+ * uses (130/90/65 nm). The only quantities the Failure Sentinels design
+ * flow consumes from SPICE are: inverter propagation delay as a function
+ * of supply voltage and temperature, effective switched capacitance
+ * (dynamic power), and leakage. We model those with the alpha-power-law
+ * MOSFET drive equation extended with
+ *
+ *  - a softplus sub-threshold roll-off, so rings smoothly stop
+ *    oscillating below ~0.2 V (Section III-B), and
+ *  - first-order mobility degradation, which makes the
+ *    frequency-voltage curve level off around 2.5 V and fall beyond it
+ *    (Fig. 1's non-monotonic high-voltage region), and
+ *  - temperature terms (mobility ~ T^-m, dVth/dT < 0) whose competing
+ *    effects keep net RO drift across 25-75 C around 1 % (Fig. 7).
+ *
+ * Constants are calibrated against the relationships the paper reports,
+ * not against PTM netlists; see technology.cc for the table.
+ */
+
+#ifndef FS_CIRCUIT_TECHNOLOGY_H_
+#define FS_CIRCUIT_TECHNOLOGY_H_
+
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace circuit {
+
+/** Reference enrollment/operating temperature (deg C). */
+constexpr double kNominalTempC = 25.0;
+
+/** One CMOS process node's calibrated parameters. */
+class Technology
+{
+  public:
+    /** Parameter bundle; see the member comments for units. */
+    struct Params {
+        std::string name;       ///< e.g. "130nm"
+        double featureNm;       ///< drawn feature size in nm
+        double vth0;            ///< threshold voltage at 25 C (V)
+        double alpha;           ///< alpha-power-law exponent
+        double theta;           ///< mobility degradation (1/V)
+        double tau0;            ///< delay scale constant (s)
+        double gammaSub;        ///< softplus sub-threshold width (V)
+        double cSwitch;         ///< effective switched cap per stage (F)
+        double gateLeak;        ///< static leakage per inverter at 1 V (A)
+        double mobilityExp;     ///< mobility ~ (T/T0)^-mobilityExp
+        double dVthdT;          ///< threshold shift (V per deg C)
+        double vddMax;          ///< max rated supply (V)
+    };
+
+    explicit Technology(Params p) : p_(std::move(p)) {}
+
+    const std::string &name() const { return p_.name; }
+    double featureNm() const { return p_.featureNm; }
+    double vddMax() const { return p_.vddMax; }
+    const Params &params() const { return p_; }
+
+    /** Threshold voltage at the given temperature (deg C). */
+    double vth(double temp_c = kNominalTempC) const;
+
+    /** Relative carrier mobility vs. the 25 C reference. */
+    double mobilityRel(double temp_c) const;
+
+    /**
+     * Smooth effective gate overdrive (V). Behaves like v - vth above
+     * threshold and decays exponentially below it, so delay stays
+     * defined (but enormous) in sub-threshold.
+     */
+    double overdrive(double v, double temp_c = kNominalTempC) const;
+
+    /**
+     * Inverter propagation delay tau_d at supply voltage v (V) and
+     * temperature (deg C). Monotonically decreasing in v up to the
+     * mobility-degradation knee, then increasing.
+     */
+    double gateDelay(double v, double temp_c = kNominalTempC) const;
+
+    /** Static leakage current of one inverter at supply v (A). */
+    double gateLeakage(double v, double temp_c = kNominalTempC) const;
+
+    /** Effective switched capacitance per stage (F). */
+    double switchedCap() const { return p_.cSwitch; }
+
+    /** The three calibrated nodes used throughout the paper. */
+    static const Technology &node130();
+    static const Technology &node90();
+    static const Technology &node65();
+
+    /** All calibrated nodes, largest feature size first. */
+    static std::vector<const Technology *> all();
+
+  private:
+    Params p_;
+};
+
+} // namespace circuit
+} // namespace fs
+
+#endif // FS_CIRCUIT_TECHNOLOGY_H_

@@ -1,0 +1,71 @@
+#include "circuit/voltage_divider.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace circuit {
+
+namespace {
+
+/**
+ * Small-signal resistance of one minimum-width diode-connected device
+ * (ohms). A diode-connected MOSFET presents roughly 1/gm; gm grows
+ * with overdrive, so the stack softens as supply rises. The constant
+ * is sized so that a ~10 uA RO load on a minimum-width stack droops
+ * tens of millivolts, matching the "reduced but not eliminated by
+ * sizing" behavior the paper describes.
+ */
+constexpr double kDeviceResistanceAt1V = 6.0e3;
+
+} // namespace
+
+VoltageDivider::VoltageDivider(const Technology &tech, std::size_t tap,
+                               std::size_t total, double width)
+    : tech_(&tech), tap_(tap), total_(total), width_(width)
+{
+    if (tap == 0)
+        fatal("divider tap must be at least one device above ground");
+    if (total <= tap)
+        fatal("divider stack (", total, ") must exceed the tap (", tap, ")");
+    if (width < 1.0)
+        fatal("device width factor must be >= 1.0, got ", width);
+}
+
+double
+VoltageDivider::unloadedOutput(double v_supply) const
+{
+    return v_supply * ratio();
+}
+
+double
+VoltageDivider::loadedOutput(double v_supply, double i_load) const
+{
+    // The load current flows through the (total - tap) devices between
+    // the supply and the tap; widening them divides the resistance.
+    const double per_device =
+        kDeviceResistanceAt1V / std::max(v_supply, 0.2);
+    const double r_top = per_device * double(total_ - tap_) / width_;
+    const double droop = i_load * r_top;
+    const double out = unloadedOutput(v_supply) - droop;
+    return out > 0.0 ? out : 0.0;
+}
+
+double
+VoltageDivider::biasCurrent(double v_supply) const
+{
+    // Each device sees Vgs = v_supply / m, well below threshold, so
+    // the stack passes a small sub-threshold bias current that grows
+    // exponentially with the per-device drop.
+    const double vgs = v_supply / double(total_);
+    const double vth = tech_->vth();
+    constexpr double kSubSlope = 0.080; // 80 mV/decade-ish in natural units
+    return 2e-9 * width_ * std::exp((vgs - vth) / kSubSlope > 0.0
+                                        ? 0.0
+                                        : (vgs - vth) / kSubSlope) +
+           0.5e-9;
+}
+
+} // namespace circuit
+} // namespace fs

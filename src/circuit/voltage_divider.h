@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Transistor-based voltage divider (Section III-F-b).
+ *
+ * A stack of m diode-connected PMOS devices with the RO tapping the
+ * node n devices above ground, giving V_ro = V_supply * n / m minus a
+ * load-dependent droop. The droop is predictable per supply voltage,
+ * so enrollment absorbs it (Section III-H); the model makes it explicit
+ * so tests can verify that claim.
+ */
+
+#ifndef FS_CIRCUIT_VOLTAGE_DIVIDER_H_
+#define FS_CIRCUIT_VOLTAGE_DIVIDER_H_
+
+#include <cstddef>
+
+#include "circuit/technology.h"
+
+namespace fs {
+namespace circuit {
+
+class VoltageDivider
+{
+  public:
+    /**
+     * @param tech   process node (sets device conductance)
+     * @param tap    number of devices between the tap and ground (n)
+     * @param total  total devices in the stack (m), > tap
+     * @param width  relative widening of the devices above the tap,
+     *               which cuts the droop (Section III-F-b); 1.0 =
+     *               minimum-size devices
+     */
+    VoltageDivider(const Technology &tech, std::size_t tap,
+                   std::size_t total, double width = 4.0);
+
+    std::size_t tap() const { return tap_; }
+    std::size_t total() const { return total_; }
+    /** Nominal division ratio n/m. */
+    double ratio() const { return double(tap_) / double(total_); }
+
+    /** Unloaded divider output for the given supply voltage (V). */
+    double unloadedOutput(double v_supply) const;
+
+    /**
+     * Divider output when the RO draws i_load amperes from the tap.
+     * The droop grows with load and shrinks with device width.
+     */
+    double loadedOutput(double v_supply, double i_load) const;
+
+    /** Quiescent bias current through the stack itself (A). */
+    double biasCurrent(double v_supply) const;
+
+    /** Devices in the stack plus the enable NMOS footer. */
+    std::size_t transistorCount() const { return total_ + 1; }
+
+  private:
+    const Technology *tech_;
+    std::size_t tap_;
+    std::size_t total_;
+    double width_;
+};
+
+} // namespace circuit
+} // namespace fs
+
+#endif // FS_CIRCUIT_VOLTAGE_DIVIDER_H_

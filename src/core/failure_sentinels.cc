@@ -1,0 +1,98 @@
+#include "core/failure_sentinels.h"
+
+#include "calib/enrollment.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace core {
+
+FailureSentinels::FailureSentinels(const circuit::Technology &tech,
+                                   FsConfig cfg, std::string label,
+                                   double process_speed)
+    : tech_(&tech), cfg_(std::move(cfg)), label_(std::move(label)),
+      chain_(tech, cfg_.chainSpec(process_speed))
+{
+    const std::string invalid = cfg_.validate();
+    if (!invalid.empty())
+        fatal("invalid Failure Sentinels configuration: ", invalid);
+    perf_ = PerformanceModel(tech).evaluate(cfg_);
+}
+
+FailureSentinels::~FailureSentinels() = default;
+
+const calib::EnrollmentData &
+FailureSentinels::enrollment() const
+{
+    FS_ASSERT(converter_ != nullptr, "device not enrolled");
+    return enrollment_;
+}
+
+const calib::CountConverter &
+FailureSentinels::converter() const
+{
+    FS_ASSERT(converter_ != nullptr, "device not enrolled");
+    return *converter_;
+}
+
+void
+FailureSentinels::enrollDevice(double temp_c)
+{
+    enrollment_ = calib::enroll(chain_, cfg_.enableTime, cfg_.nvmEntries,
+                                cfg_.entryBits, cfg_.vMin, cfg_.vMax,
+                                temp_c);
+    converter_ = calib::makeConverter(cfg_.strategy, enrollment_);
+}
+
+std::uint32_t
+FailureSentinels::rawSample(double v_true, double temp_c) const
+{
+    return chain_.sample(v_true, cfg_.enableTime, temp_c).count;
+}
+
+double
+FailureSentinels::readVoltage(double v_true, double temp_c) const
+{
+    if (!converter_)
+        fatal("readVoltage before enrollment; call enrollDevice()");
+    return converter_->toVoltage(rawSample(v_true, temp_c));
+}
+
+std::uint32_t
+FailureSentinels::countThresholdFor(double v_threshold) const
+{
+    if (!converter_)
+        fatal("countThresholdFor before enrollment; call enrollDevice()");
+    // Counts increase with voltage; find the largest count whose
+    // converted voltage stays at or below the threshold.
+    std::uint32_t lo = 0;
+    std::uint32_t hi = chain_.counter().maxCount();
+    while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo + 1) / 2;
+        if (converter_->toVoltage(mid) <= v_threshold)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+double
+FailureSentinels::measure(double v_true) const
+{
+    if (!converter_)
+        fatal("measure before enrollment; call enrollDevice()");
+    return readVoltage(v_true);
+}
+
+double
+FailureSentinels::minOperatingVoltage() const
+{
+    // The supply voltage at which the divided-down RO stops
+    // oscillating; below this the monitor reads zero counts.
+    const double ratio =
+        double(cfg_.dividerTap) / double(cfg_.dividerTotal);
+    return chain_.ro().minOscillationVoltage() / ratio;
+}
+
+} // namespace core
+} // namespace fs

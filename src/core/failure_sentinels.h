@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The Failure Sentinels monitor facade: the library's primary public
+ * API. Owns the analog chain for one configured device, performs
+ * enrollment, converts counts to voltages with the configured
+ * strategy, and exposes the analog::VoltageMonitor interface so it
+ * drops into the system-level comparison beside the ADC and
+ * comparator baselines.
+ */
+
+#ifndef FS_CORE_FAILURE_SENTINELS_H_
+#define FS_CORE_FAILURE_SENTINELS_H_
+
+#include <memory>
+#include <string>
+
+#include "analog/voltage_monitor.h"
+#include "calib/converter.h"
+#include "core/fs_config.h"
+#include "core/performance_model.h"
+
+namespace fs {
+namespace core {
+
+class FailureSentinels : public analog::VoltageMonitor
+{
+  public:
+    /**
+     * @param tech          process node
+     * @param cfg           design point (validated on construction)
+     * @param label         display name, e.g. "FS (LP)"
+     * @param process_speed per-chip process variation multiplier
+     */
+    FailureSentinels(const circuit::Technology &tech, FsConfig cfg,
+                     std::string label = "FS", double process_speed = 1.0);
+    ~FailureSentinels() override;
+
+    const FsConfig &config() const { return cfg_; }
+    const circuit::MonitorChain &chain() const { return chain_; }
+    const Performance &performance() const { return perf_; }
+    bool enrolled() const { return converter_ != nullptr; }
+    const calib::EnrollmentData &enrollment() const;
+    const calib::CountConverter &converter() const;
+
+    /**
+     * Manufacture-time enrollment (Section III-H): characterize this
+     * chip's chain at the configured number of supply points and build
+     * the configured converter. Must be called before measurements.
+     */
+    void enrollDevice(double temp_c = circuit::kNominalTempC);
+
+    /** Raw counter value for one enable window at the true voltage. */
+    std::uint32_t rawSample(double v_true,
+                            double temp_c = circuit::kNominalTempC) const;
+
+    /** Full measurement path: sample, then convert to volts. */
+    double readVoltage(double v_true,
+                       double temp_c = circuit::kNominalTempC) const;
+
+    /**
+     * Largest counter value that still indicates the supply is at or
+     * below v_threshold -- the value to program into the hardware
+     * comparator for a checkpoint interrupt.
+     */
+    std::uint32_t countThresholdFor(double v_threshold) const;
+
+    // --- analog::VoltageMonitor interface ---
+    std::string name() const override { return label_; }
+    /** Worst-case error: the performance model's granularity. */
+    double resolution() const override { return perf_.granularity; }
+    double samplePeriod() const override { return 1.0 / cfg_.sampleRate; }
+    double meanCurrent() const override { return perf_.meanCurrent; }
+    double measure(double v_true) const override;
+    double minOperatingVoltage() const override;
+
+  private:
+    const circuit::Technology *tech_;
+    FsConfig cfg_;
+    std::string label_;
+    circuit::MonitorChain chain_;
+    Performance perf_;
+    calib::EnrollmentData enrollment_;
+    std::unique_ptr<calib::CountConverter> converter_;
+};
+
+} // namespace core
+} // namespace fs
+
+#endif // FS_CORE_FAILURE_SENTINELS_H_

@@ -1,0 +1,60 @@
+#include "core/fs_config.h"
+
+#include <sstream>
+
+namespace fs {
+namespace core {
+
+circuit::ChainSpec
+FsConfig::chainSpec(double process_speed) const
+{
+    circuit::ChainSpec spec;
+    spec.roStages = roStages;
+    spec.counterBits = counterBits;
+    spec.dividerTap = dividerTap;
+    spec.dividerTotal = dividerTotal;
+    spec.processSpeed = process_speed;
+    return spec;
+}
+
+std::string
+FsConfig::validate(const DesignBounds &b) const
+{
+    std::ostringstream why;
+    if (roStages < b.roStagesMin || roStages > b.roStagesMax)
+        why << "RO length " << roStages << " outside ["
+            << b.roStagesMin << ", " << b.roStagesMax << "]; ";
+    if (roStages % 2 == 0)
+        why << "RO length must be odd; ";
+    if (sampleRate < b.sampleRateMin || sampleRate > b.sampleRateMax)
+        why << "sample rate " << sampleRate << " Hz outside bounds; ";
+    if (counterBits < b.counterBitsMin || counterBits > b.counterBitsMax)
+        why << "counter width " << counterBits << " outside bounds; ";
+    if (enableTime < b.enableTimeMin || enableTime > b.enableTimeMax)
+        why << "enable time " << enableTime << " s outside bounds; ";
+    if (nvmEntries < b.nvmEntriesMin || nvmEntries > b.nvmEntriesMax)
+        why << "NVM entries " << nvmEntries << " outside bounds; ";
+    if (entryBits < b.entryBitsMin || entryBits > b.entryBitsMax)
+        why << "entry width " << entryBits << " outside bounds; ";
+    if (duty() > 1.0)
+        why << "duty cycle " << duty() << " exceeds 1; ";
+    if (dividerTap == 0 || dividerTotal < dividerTap)
+        why << "invalid divider ratio " << dividerTap << "/"
+            << dividerTotal << "; ";
+    if (vMax <= vMin)
+        why << "empty operating range; ";
+    return why.str();
+}
+
+std::string
+FsConfig::summary() const
+{
+    std::ostringstream os;
+    os << roStages << "-stage/" << counterBits << "b/"
+       << enableTime * 1e6 << "us@" << sampleRate / 1e3 << "kHz/"
+       << nvmEntries << "x" << entryBits << "b";
+    return os.str();
+}
+
+} // namespace core
+} // namespace fs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Failure Sentinels configuration: the six design parameters of
+ * Table III plus structural choices (process node, divider ratio,
+ * calibration strategy). A config is the unit the design-space
+ * exploration optimizes over.
+ */
+
+#ifndef FS_CORE_FS_CONFIG_H_
+#define FS_CORE_FS_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+
+#include "calib/converter.h"
+#include "circuit/power_model.h"
+#include "circuit/technology.h"
+
+namespace fs {
+namespace core {
+
+/** Table III design-parameter bounds. */
+struct DesignBounds {
+    std::size_t roStagesMin = 3;
+    std::size_t roStagesMax = 73;
+    double sampleRateMin = 1e3;  ///< Hz
+    double sampleRateMax = 10e3; ///< Hz
+    std::size_t counterBitsMin = 1;
+    std::size_t counterBitsMax = 16;
+    double enableTimeMin = 1e-6; ///< s
+    double enableTimeMax = 1e-3; ///< s
+    std::size_t nvmEntriesMin = 1;
+    std::size_t nvmEntriesMax = 128;
+    std::size_t entryBitsMin = 1;
+    std::size_t entryBitsMax = 16;
+};
+
+/** Table III performance-parameter limits. */
+struct PerformanceLimits {
+    double meanCurrentMax = 5e-6;    ///< A
+    double granularityMax = 50e-3;   ///< V
+    std::size_t nvmBytesMax = 128;   ///< B
+    std::size_t transistorsMax = 1000;
+};
+
+/** One point in the Failure Sentinels design space. */
+struct FsConfig {
+    // --- Table III design parameters ---
+    std::size_t roStages = 21;
+    double sampleRate = 1e3;  ///< F_s (Hz)
+    std::size_t counterBits = 8;
+    double enableTime = 10e-6; ///< T_en (s)
+    std::size_t nvmEntries = 49;
+    std::size_t entryBits = 8;
+
+    // --- structural choices ---
+    std::size_t dividerTap = 1;
+    std::size_t dividerTotal = 3;
+    calib::Strategy strategy = calib::Strategy::PiecewiseLinear;
+
+    // --- operating envelope ---
+    double vMin = 1.8; ///< supply range low (V)
+    double vMax = 3.6; ///< supply range high (V)
+    /**
+     * Worst-case thermal frequency error as a fraction of f; the
+     * paper doubles its measured 1 % FPGA drift to a conservative 2 %
+     * (Section V-C).
+     */
+    double thermalErrorFraction = 0.02;
+    /**
+     * Width of the accuracy band above vMin over which granularity is
+     * assessed (V). Just-in-time checkpointing needs its resolution in
+     * the region just above the minimum operating voltage, where the
+     * checkpoint decision is made (Section V-D); the transfer function
+     * must still be monotonic and overflow-free across the full range.
+     */
+    double granularityBand = 0.2;
+    /**
+     * Supply voltage at which mean current is reported (V). Harvesting
+     * systems spend their active time just above the checkpoint
+     * threshold, so this sits near the bottom of the range.
+     */
+    double currentRefVoltage = 1.9;
+
+    /** Duty cycle D = T_en * F_s (Section III-E). */
+    double duty() const { return enableTime * sampleRate; }
+
+    /** Structural spec for building the analog chain. */
+    circuit::ChainSpec chainSpec(double process_speed = 1.0) const;
+
+    /**
+     * Check the Table III design-parameter bounds; returns an empty
+     * string when valid, else a description of the violation.
+     */
+    std::string validate(const DesignBounds &bounds = {}) const;
+
+    /** Short human-readable summary, e.g. "21-stage/8b/10us@1kHz". */
+    std::string summary() const;
+};
+
+} // namespace core
+} // namespace fs
+
+#endif // FS_CORE_FS_CONFIG_H_

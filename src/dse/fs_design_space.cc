@@ -1,0 +1,151 @@
+#include "dse/fs_design_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace dse {
+
+namespace {
+
+/** Round to the nearest odd integer within [lo, hi]. */
+std::size_t
+toOdd(double v, std::size_t lo, std::size_t hi)
+{
+    auto n = std::int64_t(std::llround(v));
+    if (n % 2 == 0)
+        ++n;
+    n = std::clamp<std::int64_t>(n, std::int64_t(lo), std::int64_t(hi));
+    if (n % 2 == 0)
+        --n;
+    return std::size_t(n);
+}
+
+} // namespace
+
+const std::vector<std::pair<std::size_t, std::size_t>> &
+FsDesignSpace::dividerCandidates()
+{
+    static const std::vector<std::pair<std::size_t, std::size_t>>
+        candidates = {{1, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 3}, {1, 1}};
+    return candidates;
+}
+
+FsDesignSpace::FsDesignSpace(const circuit::Technology &tech,
+                             double fixed_rate, bool explore_divider)
+    : model_(tech), fixed_rate_(fixed_rate)
+{
+    const core::DesignBounds b;
+    vars_ = {
+        {"ro_stages", Variable::Kind::Integer, double(b.roStagesMin),
+         double(b.roStagesMax)},
+        {"sample_rate", Variable::Kind::Real, b.sampleRateMin,
+         b.sampleRateMax},
+        {"counter_bits", Variable::Kind::Integer, double(b.counterBitsMin),
+         double(b.counterBitsMax)},
+        {"enable_time", Variable::Kind::LogReal, b.enableTimeMin,
+         b.enableTimeMax},
+        {"nvm_entries", Variable::Kind::Integer, double(b.nvmEntriesMin),
+         double(b.nvmEntriesMax)},
+        {"entry_bits", Variable::Kind::Integer, double(b.entryBitsMin),
+         double(b.entryBitsMax)},
+    };
+    if (explore_divider) {
+        vars_.push_back({"divider_ratio", Variable::Kind::Integer, 0.0,
+                         double(dividerCandidates().size() - 1)});
+    }
+}
+
+const std::vector<Variable> &
+FsDesignSpace::variables() const
+{
+    return vars_;
+}
+
+core::FsConfig
+FsDesignSpace::decode(const Genome &g) const
+{
+    FS_ASSERT(g.size() == vars_.size(), "bad genome size");
+    const core::DesignBounds b;
+    core::FsConfig cfg;
+    cfg.roStages = toOdd(g[0], b.roStagesMin, b.roStagesMax);
+    cfg.sampleRate = fixed_rate_ > 0.0 ? fixed_rate_ : g[1];
+    cfg.counterBits = std::size_t(std::llround(g[2]));
+    cfg.enableTime = g[3];
+    cfg.nvmEntries = std::size_t(std::llround(g[4]));
+    cfg.entryBits = std::size_t(std::llround(g[5]));
+    if (g.size() > 6) {
+        const auto &candidates = dividerCandidates();
+        const auto idx = std::size_t(std::clamp<std::int64_t>(
+            std::llround(g[6]), 0,
+            std::int64_t(candidates.size()) - 1));
+        cfg.dividerTap = candidates[idx].first;
+        cfg.dividerTotal = candidates[idx].second;
+    }
+    return cfg;
+}
+
+Evaluation
+FsDesignSpace::evaluate(const Genome &genome) const
+{
+    const core::FsConfig cfg = decode(genome);
+    const core::Performance perf = model_.evaluate(cfg);
+    const core::PerformanceLimits &lim = model_.limits();
+
+    Evaluation ev;
+    ev.objectives = {perf.meanCurrent, perf.granularity, -cfg.sampleRate,
+                     double(perf.nvmBytes), double(perf.transistors)};
+    ev.feasible = perf.realizable;
+    if (!perf.realizable) {
+        if (perf.granularity <= 0.0) {
+            // Structural reject (no oscillation, overflow, duty > 1):
+            // far from feasible.
+            ev.violation = 10.0;
+        } else {
+            ev.violation =
+                std::max(0.0, perf.meanCurrent / lim.meanCurrentMax - 1.0) +
+                std::max(0.0, perf.granularity / lim.granularityMax - 1.0) +
+                std::max(0.0,
+                         double(perf.nvmBytes) / double(lim.nvmBytesMax) -
+                             1.0) +
+                std::max(0.0, double(perf.transistors) /
+                                      double(lim.transistorsMax) -
+                                  1.0);
+            if (ev.violation <= 0.0)
+                ev.violation = 1.0;
+        }
+    }
+    return ev;
+}
+
+std::vector<FsParetoPoint>
+exploreDesignSpace(const circuit::Technology &tech, Nsga2::Options opts,
+                   double fixed_rate, bool explore_divider)
+{
+    FsDesignSpace space(tech, fixed_rate, explore_divider);
+    Nsga2 optimizer(space, opts);
+    optimizer.run();
+
+    std::vector<FsParetoPoint> out;
+    std::set<std::string> seen;
+    for (const auto &ind : optimizer.paretoFront()) {
+        FsParetoPoint point;
+        point.config = space.decode(ind.genome);
+        point.perf = space.model().evaluate(point.config);
+        if (!point.perf.realizable)
+            continue;
+        if (seen.insert(point.config.summary()).second)
+            out.push_back(std::move(point));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FsParetoPoint &a, const FsParetoPoint &b) {
+                  return a.perf.meanCurrent < b.perf.meanCurrent;
+              });
+    return out;
+}
+
+} // namespace dse
+} // namespace fs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Failure Sentinels design space as an optimization problem
+ * (Section V-A, Table III): six design parameters in, five minimized
+ * performance objectives out, with the realizability rejection filter
+ * expressed as constraint violation.
+ */
+
+#ifndef FS_DSE_FS_DESIGN_SPACE_H_
+#define FS_DSE_FS_DESIGN_SPACE_H_
+
+#include <vector>
+
+#include "core/performance_model.h"
+#include "dse/nsga2.h"
+#include "dse/problem.h"
+
+namespace fs {
+namespace dse {
+
+/** Objective vector indices (all minimized). */
+enum FsObjective : std::size_t {
+    kObjMeanCurrent = 0,   ///< A
+    kObjGranularity = 1,   ///< V
+    kObjNegSampleRate = 2, ///< -Hz (maximize F_s)
+    kObjNvmBytes = 3,      ///< B
+    kObjTransistors = 4,   ///< count
+    kNumFsObjectives = 5,
+};
+
+class FsDesignSpace : public Problem
+{
+  public:
+    /**
+     * @param tech            process node to explore
+     * @param fixed_rate      when > 0, pins F_s to this value (Hz) and
+     *                        removes it from the search (Fig. 6's
+     *                        F_s = 5 kHz slices)
+     * @param explore_divider add a seventh gene choosing the divider
+     *                        ratio from a small candidate set, rather
+     *                        than fixing the paper's 1/3 -- used to
+     *                        check that 1/3-class ratios emerge from
+     *                        the optimization (Section III-F-b)
+     */
+    explicit FsDesignSpace(const circuit::Technology &tech,
+                           double fixed_rate = 0.0,
+                           bool explore_divider = false);
+
+    /** Candidate (tap, total) divider ratios for the seventh gene. */
+    static const std::vector<std::pair<std::size_t, std::size_t>> &
+    dividerCandidates();
+
+    const std::vector<Variable> &variables() const override;
+    std::size_t numObjectives() const override { return kNumFsObjectives; }
+    Evaluation evaluate(const Genome &genome) const override;
+
+    /** Decode a genome into a concrete configuration. */
+    core::FsConfig decode(const Genome &genome) const;
+
+    const core::PerformanceModel &model() const { return model_; }
+
+  private:
+    core::PerformanceModel model_;
+    double fixed_rate_;
+    std::vector<Variable> vars_;
+};
+
+/** A decoded Pareto-front member with its metrics. */
+struct FsParetoPoint {
+    core::FsConfig config;
+    core::Performance perf;
+};
+
+/**
+ * Run NSGA-II over the design space and return the decoded feasible
+ * Pareto front, de-duplicated by configuration.
+ */
+std::vector<FsParetoPoint>
+exploreDesignSpace(const circuit::Technology &tech,
+                   Nsga2::Options opts = {}, double fixed_rate = 0.0,
+                   bool explore_divider = false);
+
+} // namespace dse
+} // namespace fs
+
+#endif // FS_DSE_FS_DESIGN_SPACE_H_

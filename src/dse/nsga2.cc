@@ -1,0 +1,277 @@
+#include "dse/nsga2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace dse {
+
+Nsga2::Nsga2(const Problem &problem, Options opts)
+    : problem_(problem), opts_(opts), rng_(opts.seed)
+{
+    FS_ASSERT(opts_.populationSize >= 4, "population too small");
+    if (opts_.populationSize % 2)
+        ++opts_.populationSize;
+    if (opts_.mutationProb <= 0.0)
+        opts_.mutationProb = 1.0 / double(problem.numVariables());
+}
+
+Genome
+Nsga2::randomGenome()
+{
+    const auto &vars = problem_.variables();
+    Genome g(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i].kind == Variable::Kind::LogReal) {
+            const double lo = std::log(vars[i].lo);
+            const double hi = std::log(vars[i].hi);
+            g[i] = std::exp(rng_.uniform(lo, hi));
+        } else {
+            g[i] = rng_.uniform(vars[i].lo, vars[i].hi);
+        }
+        g[i] = vars[i].clamp(g[i]);
+    }
+    return g;
+}
+
+Individual
+Nsga2::makeIndividual(Genome g)
+{
+    problem_.repair(g);
+    Individual ind;
+    ind.eval = problem_.evaluate(g);
+    ind.genome = std::move(g);
+    ++evaluations_;
+    return ind;
+}
+
+void
+Nsga2::initialize()
+{
+    pop_.clear();
+    pop_.reserve(opts_.populationSize);
+    for (std::size_t i = 0; i < opts_.populationSize; ++i)
+        pop_.push_back(makeIndividual(randomGenome()));
+    auto fronts = nonDominatedSort(pop_);
+    for (const auto &front : fronts)
+        assignCrowding(pop_, front);
+    initialized_ = true;
+}
+
+std::vector<std::vector<std::size_t>>
+Nsga2::nonDominatedSort(std::vector<Individual> &pop)
+{
+    const std::size_t n = pop.size();
+    std::vector<std::vector<std::size_t>> dominated(n);
+    std::vector<std::size_t> dom_count(n, 0);
+    std::vector<std::vector<std::size_t>> fronts(1);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            if (dominates(pop[i].eval, pop[j].eval))
+                dominated[i].push_back(j);
+            else if (dominates(pop[j].eval, pop[i].eval))
+                ++dom_count[i];
+        }
+        if (dom_count[i] == 0) {
+            pop[i].rank = 0;
+            fronts[0].push_back(i);
+        }
+    }
+    std::size_t current = 0;
+    while (!fronts[current].empty()) {
+        std::vector<std::size_t> next;
+        for (std::size_t i : fronts[current]) {
+            for (std::size_t j : dominated[i]) {
+                if (--dom_count[j] == 0) {
+                    pop[j].rank = current + 1;
+                    next.push_back(j);
+                }
+            }
+        }
+        ++current;
+        fronts.push_back(std::move(next));
+    }
+    fronts.pop_back(); // trailing empty front
+    return fronts;
+}
+
+void
+Nsga2::assignCrowding(std::vector<Individual> &pop,
+                      const std::vector<std::size_t> &front)
+{
+    if (front.empty())
+        return;
+    const std::size_t m = pop[front[0]].eval.objectives.size();
+    for (std::size_t i : front)
+        pop[i].crowding = 0.0;
+    if (front.size() <= 2) {
+        for (std::size_t i : front)
+            pop[i].crowding = std::numeric_limits<double>::infinity();
+        return;
+    }
+    std::vector<std::size_t> order(front);
+    for (std::size_t obj = 0; obj < m; ++obj) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return pop[a].eval.objectives[obj] <
+                             pop[b].eval.objectives[obj];
+                  });
+        const double lo = pop[order.front()].eval.objectives[obj];
+        const double hi = pop[order.back()].eval.objectives[obj];
+        pop[order.front()].crowding =
+            std::numeric_limits<double>::infinity();
+        pop[order.back()].crowding =
+            std::numeric_limits<double>::infinity();
+        if (hi - lo < 1e-30)
+            continue;
+        for (std::size_t k = 1; k + 1 < order.size(); ++k) {
+            pop[order[k]].crowding +=
+                (pop[order[k + 1]].eval.objectives[obj] -
+                 pop[order[k - 1]].eval.objectives[obj]) /
+                (hi - lo);
+        }
+    }
+}
+
+const Individual &
+Nsga2::tournament()
+{
+    const Individual &a = pop_[rng_.index(pop_.size())];
+    const Individual &b = pop_[rng_.index(pop_.size())];
+    if (a.rank != b.rank)
+        return a.rank < b.rank ? a : b;
+    return a.crowding > b.crowding ? a : b;
+}
+
+void
+Nsga2::sbxCrossover(const Genome &a, const Genome &b, Genome &c1,
+                    Genome &c2)
+{
+    const auto &vars = problem_.variables();
+    c1 = a;
+    c2 = b;
+    if (rng_.uniform() > opts_.crossoverProb)
+        return;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (rng_.uniform() > 0.5)
+            continue;
+        const double x1 = a[i];
+        const double x2 = b[i];
+        if (std::fabs(x1 - x2) < 1e-14)
+            continue;
+        const double u = rng_.uniform();
+        const double eta = opts_.crossoverEta;
+        double beta;
+        if (u <= 0.5)
+            beta = std::pow(2.0 * u, 1.0 / (eta + 1.0));
+        else
+            beta = std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+        c1[i] = 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2);
+        c2[i] = 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2);
+    }
+}
+
+void
+Nsga2::mutate(Genome &g)
+{
+    const auto &vars = problem_.variables();
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (rng_.uniform() > opts_.mutationProb)
+            continue;
+        const double span = vars[i].hi - vars[i].lo;
+        if (span <= 0.0)
+            continue;
+        const double u = rng_.uniform();
+        const double eta = opts_.mutationEta;
+        double delta;
+        if (u < 0.5)
+            delta = std::pow(2.0 * u, 1.0 / (eta + 1.0)) - 1.0;
+        else
+            delta = 1.0 - std::pow(2.0 * (1.0 - u), 1.0 / (eta + 1.0));
+        g[i] += delta * span;
+    }
+}
+
+void
+Nsga2::environmentalSelection(std::vector<Individual> &merged)
+{
+    auto fronts = nonDominatedSort(merged);
+    for (const auto &front : fronts)
+        assignCrowding(merged, front);
+
+    std::vector<Individual> next;
+    next.reserve(opts_.populationSize);
+    for (const auto &front : fronts) {
+        if (next.size() + front.size() <= opts_.populationSize) {
+            for (std::size_t i : front)
+                next.push_back(merged[i]);
+        } else {
+            std::vector<std::size_t> order(front);
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return merged[a].crowding > merged[b].crowding;
+                      });
+            for (std::size_t i : order) {
+                if (next.size() >= opts_.populationSize)
+                    break;
+                next.push_back(merged[i]);
+            }
+        }
+        if (next.size() >= opts_.populationSize)
+            break;
+    }
+    pop_ = std::move(next);
+    // Re-rank the survivors for the next round of tournaments.
+    auto final_fronts = nonDominatedSort(pop_);
+    for (const auto &front : final_fronts)
+        assignCrowding(pop_, front);
+}
+
+void
+Nsga2::stepGeneration()
+{
+    if (!initialized_)
+        initialize();
+    std::vector<Individual> merged = pop_;
+    merged.reserve(2 * opts_.populationSize);
+    while (merged.size() < 2 * opts_.populationSize) {
+        Genome c1, c2;
+        sbxCrossover(tournament().genome, tournament().genome, c1, c2);
+        mutate(c1);
+        mutate(c2);
+        merged.push_back(makeIndividual(std::move(c1)));
+        if (merged.size() < 2 * opts_.populationSize)
+            merged.push_back(makeIndividual(std::move(c2)));
+    }
+    environmentalSelection(merged);
+    ++generations_run_;
+}
+
+void
+Nsga2::run()
+{
+    if (!initialized_)
+        initialize();
+    while (generations_run_ < opts_.generations)
+        stepGeneration();
+}
+
+std::vector<Individual>
+Nsga2::paretoFront() const
+{
+    std::vector<Individual> front;
+    for (const auto &ind : pop_) {
+        if (ind.rank == 0 && ind.eval.feasible)
+            front.push_back(ind);
+    }
+    return front;
+}
+
+} // namespace dse
+} // namespace fs

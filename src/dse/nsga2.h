@@ -1,0 +1,94 @@
+/**
+ * @file
+ * NSGA-II multi-objective genetic optimizer (Deb et al. 2002),
+ * standing in for the Pymoo runs behind Fig. 5 and Fig. 6: fast
+ * non-dominated sorting, crowding distance, binary tournaments,
+ * simulated-binary crossover, and polynomial mutation, with
+ * constraint-dominated selection for the rejection filter.
+ */
+
+#ifndef FS_DSE_NSGA2_H_
+#define FS_DSE_NSGA2_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dse/problem.h"
+#include "util/random.h"
+
+namespace fs {
+namespace dse {
+
+/** One evaluated population member. */
+struct Individual {
+    Genome genome;
+    Evaluation eval;
+    std::size_t rank = 0;      ///< non-domination front index
+    double crowding = 0.0;     ///< crowding distance within the front
+};
+
+class Nsga2
+{
+  public:
+    struct Options {
+        std::size_t populationSize = 96;
+        std::size_t generations = 60;
+        double crossoverProb = 0.9;
+        double crossoverEta = 15.0; ///< SBX distribution index
+        double mutationEta = 20.0;  ///< polynomial mutation index
+        /** Per-gene mutation probability; 0 = 1/num_variables. */
+        double mutationProb = 0.0;
+        std::uint64_t seed = 0x5eed;
+    };
+
+    explicit Nsga2(const Problem &problem) : Nsga2(problem, Options{}) {}
+    Nsga2(const Problem &problem, Options opts);
+
+    /** Run the configured number of generations. */
+    void run();
+
+    /** Advance one generation (after an implicit initialization). */
+    void stepGeneration();
+
+    /** Current population, sorted by (rank, -crowding). */
+    const std::vector<Individual> &population() const { return pop_; }
+
+    /** Feasible rank-0 individuals of the current population. */
+    std::vector<Individual> paretoFront() const;
+
+    std::size_t generationsRun() const { return generations_run_; }
+    std::size_t evaluations() const { return evaluations_; }
+
+    // --- exposed for unit testing ---
+    /** Assign ranks via fast non-dominated sort; returns the fronts. */
+    static std::vector<std::vector<std::size_t>>
+    nonDominatedSort(std::vector<Individual> &pop);
+
+    /** Assign crowding distances within one front. */
+    static void assignCrowding(std::vector<Individual> &pop,
+                               const std::vector<std::size_t> &front);
+
+  private:
+    void initialize();
+    Genome randomGenome();
+    const Individual &tournament();
+    void sbxCrossover(const Genome &a, const Genome &b, Genome &c1,
+                      Genome &c2);
+    void mutate(Genome &g);
+    Individual makeIndividual(Genome g);
+    void environmentalSelection(std::vector<Individual> &merged);
+
+    const Problem &problem_;
+    Options opts_;
+    Rng rng_;
+    std::vector<Individual> pop_;
+    bool initialized_ = false;
+    std::size_t generations_run_ = 0;
+    std::size_t evaluations_ = 0;
+};
+
+} // namespace dse
+} // namespace fs
+
+#endif // FS_DSE_NSGA2_H_

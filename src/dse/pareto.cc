@@ -1,0 +1,103 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace dse {
+
+bool
+paretoDominates(const std::vector<double> &a, const std::vector<double> &b)
+{
+    FS_ASSERT(a.size() == b.size(), "dimension mismatch");
+    bool strict = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strict = true;
+    }
+    return strict;
+}
+
+std::vector<std::size_t>
+nonDominatedIndices(const std::vector<std::vector<double>> &points)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (i != j && paretoDominates(points[j], points[i]))
+                dominated = true;
+        }
+        if (!dominated)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::vector<double>>
+dedupePoints(std::vector<std::vector<double>> points, double tol)
+{
+    std::vector<std::vector<double>> out;
+    for (auto &p : points) {
+        bool dup = false;
+        for (const auto &q : out) {
+            bool same = p.size() == q.size();
+            for (std::size_t k = 0; same && k < p.size(); ++k)
+                same = std::fabs(p[k] - q[k]) <= tol;
+            if (same) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            out.push_back(std::move(p));
+    }
+    return out;
+}
+
+double
+hypervolume2d(std::vector<std::vector<double>> points, double ref_x,
+              double ref_y)
+{
+    // Keep points that improve on the reference in both objectives.
+    points.erase(std::remove_if(points.begin(), points.end(),
+                                [&](const std::vector<double> &p) {
+                                    FS_ASSERT(p.size() == 2,
+                                              "hypervolume2d needs 2-D");
+                                    return p[0] >= ref_x || p[1] >= ref_y;
+                                }),
+                 points.end());
+    if (points.empty())
+        return 0.0;
+    // Reduce to the non-dominated staircase: x ascending, y strictly
+    // decreasing.
+    std::sort(points.begin(), points.end());
+    std::vector<std::vector<double>> stairs;
+    double best_y = ref_y;
+    for (const auto &p : points) {
+        if (p[1] < best_y) {
+            // Among equal x keep only the first (smallest y survives
+            // via best_y tracking on the sorted order).
+            if (!stairs.empty() && stairs.back()[0] == p[0])
+                stairs.back() = p;
+            else
+                stairs.push_back(p);
+            best_y = p[1];
+        }
+    }
+    // Sum rectangles: each stair covers [x_i, x_{i+1}) x [y_i, ref_y).
+    double volume = 0.0;
+    for (std::size_t i = 0; i < stairs.size(); ++i) {
+        const double next_x =
+            i + 1 < stairs.size() ? stairs[i + 1][0] : ref_x;
+        volume += (next_x - stairs[i][0]) * (ref_y - stairs[i][1]);
+    }
+    return volume;
+}
+
+} // namespace dse
+} // namespace fs

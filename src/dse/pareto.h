@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Pareto-front utilities: dominance filtering over raw objective
+ * vectors, deduplication, and hypervolume (2-D) for measuring front
+ * quality in tests.
+ */
+
+#ifndef FS_DSE_PARETO_H_
+#define FS_DSE_PARETO_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fs {
+namespace dse {
+
+/** True if a dominates b (all <=, at least one <; minimization). */
+bool paretoDominates(const std::vector<double> &a,
+                     const std::vector<double> &b);
+
+/**
+ * Indices of the non-dominated points among `points` (brute force;
+ * used for small sets and as a test oracle for the NSGA-II sort).
+ */
+std::vector<std::size_t>
+nonDominatedIndices(const std::vector<std::vector<double>> &points);
+
+/** Remove duplicate points (within tolerance) keeping first instances. */
+std::vector<std::vector<double>>
+dedupePoints(std::vector<std::vector<double>> points, double tol = 1e-12);
+
+/**
+ * 2-D hypervolume dominated by `points` relative to a reference point
+ * (both objectives minimized; points beyond the reference are ignored).
+ */
+double hypervolume2d(std::vector<std::vector<double>> points,
+                     double ref_x, double ref_y);
+
+} // namespace dse
+} // namespace fs
+
+#endif // FS_DSE_PARETO_H_

@@ -1,0 +1,52 @@
+#include "dse/problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace dse {
+
+double
+Variable::clamp(double v) const
+{
+    v = std::clamp(v, lo, hi);
+    if (kind == Kind::Integer)
+        v = std::round(v);
+    return v;
+}
+
+Problem::~Problem() = default;
+
+void
+Problem::repair(Genome &genome) const
+{
+    const auto &vars = variables();
+    FS_ASSERT(genome.size() == vars.size(), "genome/variable size mismatch");
+    for (std::size_t i = 0; i < vars.size(); ++i)
+        genome[i] = vars[i].clamp(genome[i]);
+}
+
+bool
+dominates(const Evaluation &a, const Evaluation &b)
+{
+    if (a.feasible != b.feasible)
+        return a.feasible;
+    if (!a.feasible)
+        return a.violation < b.violation;
+
+    FS_ASSERT(a.objectives.size() == b.objectives.size(),
+              "objective count mismatch");
+    bool strictly_better = false;
+    for (std::size_t i = 0; i < a.objectives.size(); ++i) {
+        if (a.objectives[i] > b.objectives[i])
+            return false;
+        if (a.objectives[i] < b.objectives[i])
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+} // namespace dse
+} // namespace fs

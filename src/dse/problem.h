@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-objective optimization problem abstraction.
+ *
+ * Substitutes for the Pymoo setup the paper uses for its objective
+ * space exploration (Section V-A): mixed real/integer decision
+ * variables, minimized objectives, and a feasibility flag with a
+ * violation magnitude for constraint-dominated selection.
+ */
+
+#ifndef FS_DSE_PROBLEM_H_
+#define FS_DSE_PROBLEM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace dse {
+
+/** A decision vector; integer variables are stored rounded. */
+using Genome = std::vector<double>;
+
+/** One decision variable's domain. */
+struct Variable {
+    enum class Kind { Real, Integer, LogReal };
+    std::string name;
+    Kind kind = Kind::Real;
+    double lo = 0.0;
+    double hi = 1.0;
+
+    /** Clamp (and round, for integers) a raw value into the domain. */
+    double clamp(double v) const;
+};
+
+/** Result of evaluating one genome. */
+struct Evaluation {
+    std::vector<double> objectives; ///< all minimized
+    bool feasible = false;
+    double violation = 0.0; ///< >0 for infeasible; lower is closer
+};
+
+class Problem
+{
+  public:
+    virtual ~Problem();
+
+    virtual const std::vector<Variable> &variables() const = 0;
+    virtual std::size_t numObjectives() const = 0;
+    virtual Evaluation evaluate(const Genome &genome) const = 0;
+
+    std::size_t numVariables() const { return variables().size(); }
+
+    /** Clamp every gene into its variable's domain. */
+    void repair(Genome &genome) const;
+};
+
+/**
+ * Constraint-dominated Pareto dominance (Deb 2002): feasible beats
+ * infeasible; between infeasible, lower violation wins; between
+ * feasible, standard dominance on the objective vectors.
+ */
+bool dominates(const Evaluation &a, const Evaluation &b);
+
+} // namespace dse
+} // namespace fs
+
+#endif // FS_DSE_PROBLEM_H_

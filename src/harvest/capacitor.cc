@@ -1,0 +1,49 @@
+#include "harvest/capacitor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace harvest {
+
+StorageCapacitor::StorageCapacitor(double farads, double initial_v)
+    : c_(farads), v_(initial_v)
+{
+    if (farads <= 0.0)
+        fatal("capacitance must be positive");
+    if (initial_v < 0.0)
+        fatal("initial voltage cannot be negative");
+}
+
+void
+StorageCapacitor::setVoltage(double v)
+{
+    FS_ASSERT(v >= 0.0, "capacitor voltage cannot be negative");
+    v_ = std::min(v, v_max_);
+}
+
+double
+StorageCapacitor::energy() const
+{
+    return 0.5 * c_ * v_ * v_;
+}
+
+void
+StorageCapacitor::step(double dt, double i_in, double i_out)
+{
+    FS_ASSERT(dt >= 0.0, "time step cannot be negative");
+    v_ += (i_in - i_out) / c_ * dt;
+    v_ = std::clamp(v_, 0.0, v_max_);
+}
+
+double
+StorageCapacitor::dischargeTime(double farads, double v_from, double v_to,
+                                double i)
+{
+    FS_ASSERT(i > 0.0, "discharge current must be positive");
+    return farads * (v_from - v_to) / i;
+}
+
+} // namespace harvest
+} // namespace fs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Storage (buffer) capacitor: the energy reservoir between the
+ * harvester and the load (Section II). Voltage is the system's energy
+ * surrogate -- exactly what Failure Sentinels measures.
+ */
+
+#ifndef FS_HARVEST_CAPACITOR_H_
+#define FS_HARVEST_CAPACITOR_H_
+
+namespace fs {
+namespace harvest {
+
+class StorageCapacitor
+{
+  public:
+    /**
+     * @param farads    capacitance (the paper uses 47 uF)
+     * @param initial_v starting voltage (V)
+     */
+    explicit StorageCapacitor(double farads = 47e-6,
+                              double initial_v = 0.0);
+
+    double capacitance() const { return c_; }
+    double voltage() const { return v_; }
+    void setVoltage(double v);
+
+    /** Stored energy, E = C v^2 / 2 (J). */
+    double energy() const;
+
+    /**
+     * Integrate one step: dv = (i_in - i_out) / C * dt. Voltage
+     * clamps at zero (a real capacitor cannot be driven negative by
+     * its load) and at the rail limit.
+     */
+    void step(double dt, double i_in, double i_out);
+
+    /** Rail clamp (harvester front ends limit the cap voltage). */
+    double maxVoltage() const { return v_max_; }
+    void setMaxVoltage(double v) { v_max_ = v; }
+
+    /**
+     * Time for a constant current i to discharge the capacitor from
+     * v_from to v_to (s): t = C (v_from - v_to) / i.
+     */
+    static double dischargeTime(double farads, double v_from, double v_to,
+                                double i);
+
+  private:
+    double c_;
+    double v_;
+    double v_max_ = 3.6;
+};
+
+} // namespace harvest
+} // namespace fs
+
+#endif // FS_HARVEST_CAPACITOR_H_

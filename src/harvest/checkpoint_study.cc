@@ -1,0 +1,123 @@
+#include "harvest/checkpoint_study.h"
+
+#include "analog/ideal_monitor.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace harvest {
+
+double
+StrategyResult::efficiency() const
+{
+    const double total = usefulSeconds + checkpointSeconds + lostSeconds;
+    return total > 0.0 ? usefulSeconds / total : 0.0;
+}
+
+CheckpointStudy::CheckpointStudy(IrradianceTrace trace, SolarPanel panel,
+                                 SystemLoad load, ScenarioParams params)
+    : trace_(std::move(trace)), panel_(panel), load_(load), params_(params)
+{
+}
+
+StrategyResult
+CheckpointStudy::runJustInTime(const analog::VoltageMonitor &mon) const
+{
+    IntermittentSim sim(trace_, panel_, load_, params_);
+    const RunStats stats = sim.run(mon);
+    StrategyResult result;
+    result.name = "jit(" + mon.name() + ")";
+    // Every second of app time before a *successful* checkpoint is
+    // useful; a failed checkpoint forfeits that whole on-period.
+    // Approximate the forfeited share by the failed/total ratio.
+    const std::size_t total_periods =
+        stats.checkpoints + stats.failedCheckpoints;
+    const double kept =
+        total_periods == 0
+            ? 1.0
+            : double(stats.checkpoints) / double(total_periods);
+    result.usefulSeconds = stats.appSeconds * kept;
+    result.lostSeconds = stats.appSeconds * (1.0 - kept);
+    result.checkpointSeconds = stats.checkpointSeconds;
+    result.checkpoints = stats.checkpoints;
+    result.powerFailures = total_periods;
+    return result;
+}
+
+StrategyResult
+CheckpointStudy::runPeriodic(double period) const
+{
+    FS_ASSERT(period > 0.0, "checkpoint period must be positive");
+
+    StrategyResult result;
+    result.name = "periodic(" + std::to_string(period) + "s)";
+
+    StorageCapacitor cap(params_.capacitance, 0.0);
+    const double dt = params_.simStep;
+    const double v_min = load_.coreVmin();
+    const double i_run = load_.activeCurrent(); // no monitor attached
+
+    enum class State { Off, Running, Checkpointing };
+    State state = State::Off;
+    double since_commit = 0.0;   // app progress not yet checkpointed
+    double next_ckpt = period;   // execution-time of the next commit
+    double exec_clock = 0.0;     // execution time this power cycle
+    double ckpt_done = 0.0;
+
+    for (double t = 0.0; t < trace_.duration(); t += dt) {
+        const double i_in = panel_.current(trace_.at(t), cap.voltage());
+        double i_out = load_.offCurrent();
+
+        switch (state) {
+          case State::Off:
+            if (cap.voltage() >= params_.enableVoltage) {
+                state = State::Running;
+                exec_clock = 0.0;
+                next_ckpt = period;
+            }
+            break;
+
+          case State::Running:
+            i_out = i_run;
+            since_commit += dt;
+            exec_clock += dt;
+            if (cap.voltage() < v_min) {
+                // Brown-out with no warning: roll back to the last
+                // committed checkpoint.
+                result.lostSeconds += since_commit;
+                since_commit = 0.0;
+                ++result.powerFailures;
+                state = State::Off;
+            } else if (exec_clock >= next_ckpt) {
+                state = State::Checkpointing;
+                ckpt_done = t + params_.checkpointSeconds;
+            }
+            break;
+
+          case State::Checkpointing:
+            i_out = i_run;
+            result.checkpointSeconds += dt;
+            if (cap.voltage() < v_min) {
+                // Died mid-checkpoint: the whole uncommitted span is
+                // lost (the two-phase flag protects the previous one).
+                result.lostSeconds += since_commit;
+                since_commit = 0.0;
+                ++result.powerFailures;
+                state = State::Off;
+            } else if (t >= ckpt_done) {
+                result.usefulSeconds += since_commit;
+                since_commit = 0.0;
+                ++result.checkpoints;
+                next_ckpt = exec_clock + period;
+                state = State::Running;
+            }
+            break;
+        }
+        cap.step(dt, i_in, i_out);
+    }
+    // Work in flight when the trace ends is neither useful nor lost;
+    // drop it (both strategies are treated identically).
+    return result;
+}
+
+} // namespace harvest
+} // namespace fs

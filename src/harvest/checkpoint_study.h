@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Checkpoint-strategy study (Section II-A).
+ *
+ * Intermittent systems either checkpoint *just in time* -- once per
+ * power cycle, when a voltage monitor says failure is imminent -- or
+ * *continuously/periodically* without a monitor, paying checkpoint
+ * overhead throughout execution and losing the work done since the
+ * last commit on every power failure. This study quantifies that
+ * trade on a harvesting trace: it is the systems argument for paying
+ * for a voltage monitor at all, and therefore for making that monitor
+ * nearly free (Failure Sentinels).
+ */
+
+#ifndef FS_HARVEST_CHECKPOINT_STUDY_H_
+#define FS_HARVEST_CHECKPOINT_STUDY_H_
+
+#include <string>
+
+#include "harvest/intermittent_sim.h"
+
+namespace fs {
+namespace harvest {
+
+/** Outcome of running one checkpointing strategy over the trace. */
+struct StrategyResult {
+    std::string name;
+    /** Forward progress that survived to a committed checkpoint (s). */
+    double usefulSeconds = 0.0;
+    /** Execution time spent writing checkpoints (s). */
+    double checkpointSeconds = 0.0;
+    /** Execution re-done because it was lost to a power failure (s). */
+    double lostSeconds = 0.0;
+    std::size_t checkpoints = 0;
+    std::size_t powerFailures = 0;
+
+    /** usefulSeconds / (useful + checkpoint + lost). */
+    double efficiency() const;
+};
+
+class CheckpointStudy
+{
+  public:
+    CheckpointStudy(IrradianceTrace trace, SolarPanel panel = SolarPanel(),
+                    SystemLoad load = SystemLoad(),
+                    ScenarioParams params = {});
+
+    /**
+     * Just-in-time checkpointing: the monitor triggers exactly one
+     * checkpoint per power cycle at its checkpoint voltage; its
+     * current draw is charged continuously while running.
+     */
+    StrategyResult runJustInTime(const analog::VoltageMonitor &mon) const;
+
+    /**
+     * Periodic checkpointing with no voltage monitor: a checkpoint
+     * every `period` seconds of execution. Short periods burn time
+     * checkpointing; long periods lose large rollbacks on power
+     * failure (there is no warning before brown-out).
+     */
+    StrategyResult runPeriodic(double period) const;
+
+  private:
+    IrradianceTrace trace_;
+    SolarPanel panel_;
+    SystemLoad load_;
+    ScenarioParams params_;
+};
+
+} // namespace harvest
+} // namespace fs
+
+#endif // FS_HARVEST_CHECKPOINT_STUDY_H_

@@ -1,0 +1,181 @@
+#include "harvest/intermittent_sim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace harvest {
+
+double
+RunStats::appFraction() const
+{
+    return simulatedSeconds > 0.0 ? appSeconds / simulatedSeconds : 0.0;
+}
+
+IntermittentSim::IntermittentSim(IrradianceTrace trace, SolarPanel panel,
+                                 SystemLoad load, ScenarioParams params)
+    : trace_(std::move(trace)), panel_(panel), load_(load), params_(params)
+{
+    FS_ASSERT(params_.simStep > 0.0, "sim step must be positive");
+}
+
+double
+IntermittentSim::idealCheckpointVoltage(
+    const analog::VoltageMonitor &mon) const
+{
+    // Enough headroom above the core's minimum operating voltage to
+    // finish a worst-case checkpoint at full system load, treating
+    // the discharge as a constant-current ramp (Section V-D-b).
+    const double i_total = load_.activeCurrentWith(mon);
+    return load_.coreVmin() +
+           i_total * params_.checkpointSeconds / params_.capacitance;
+}
+
+double
+IntermittentSim::checkpointVoltage(const analog::VoltageMonitor &mon) const
+{
+    // Pad by the monitor's worst-case measurement error so the
+    // checkpoint completes despite mis-measurement.
+    return idealCheckpointVoltage(mon) + mon.resolution();
+}
+
+RunStats
+IntermittentSim::run(const analog::VoltageMonitor &mon) const
+{
+    enum class State { Off, Running, Checkpointing };
+
+    RunStats stats;
+    stats.monitor = mon.name();
+    stats.systemCurrent = load_.activeCurrentWith(mon);
+    stats.resolution = mon.resolution();
+    stats.sampleRate =
+        mon.samplePeriod() > 0.0 ? 1.0 / mon.samplePeriod() : 0.0;
+    stats.checkpointVoltage = checkpointVoltage(mon);
+
+    StorageCapacitor cap(params_.capacitance, 0.0);
+    const double dt = params_.simStep;
+    const double duration = trace_.duration();
+    const double v_min = load_.coreVmin();
+    State state = State::Off;
+    double next_sample = 0.0;
+    double ckpt_done = 0.0;
+
+    for (double t = 0.0; t < duration; t += dt) {
+        const double i_in = panel_.current(trace_.at(t), cap.voltage());
+        double i_out = load_.offCurrent();
+
+        switch (state) {
+          case State::Off:
+            if (cap.voltage() >= params_.enableVoltage) {
+                state = State::Running;
+                next_sample = t;
+            }
+            break;
+
+          case State::Running: {
+            i_out = stats.systemCurrent;
+            stats.appSeconds += dt;
+            bool trigger = false;
+            if (mon.samplePeriod() <= 0.0) {
+                trigger = mon.indicatesCheckpoint(cap.voltage(),
+                                                  stats.checkpointVoltage);
+            } else if (t >= next_sample) {
+                trigger = mon.indicatesCheckpoint(cap.voltage(),
+                                                  stats.checkpointVoltage);
+                next_sample += mon.samplePeriod();
+            }
+            if (trigger) {
+                state = State::Checkpointing;
+                ckpt_done = t + params_.checkpointSeconds;
+                ++stats.checkpoints;
+            } else if (cap.voltage() < v_min) {
+                // The monitor missed the falling edge: uncheckpointed
+                // death.
+                ++stats.failedCheckpoints;
+                state = State::Off;
+            }
+            break;
+          }
+
+          case State::Checkpointing:
+            i_out = stats.systemCurrent;
+            stats.checkpointSeconds += dt;
+            if (cap.voltage() < v_min) {
+                ++stats.failedCheckpoints;
+                state = State::Off;
+            } else if (t >= ckpt_done) {
+                // Committed; sleep until the capacitor refills.
+                state = State::Off;
+            }
+            break;
+        }
+
+        if (state == State::Off)
+            i_out = load_.offCurrent();
+        cap.step(dt, i_in, i_out);
+        stats.simulatedSeconds += dt;
+    }
+    stats.chargingSeconds = stats.simulatedSeconds - stats.appSeconds -
+                            stats.checkpointSeconds;
+    return stats;
+}
+
+SocHarvestSim::SocHarvestSim(soc::Soc &soc,
+                             std::shared_ptr<VoltageCell> cell,
+                             IrradianceTrace trace, SolarPanel panel,
+                             SystemLoad load, ScenarioParams params)
+    : soc_(soc), cell_(std::move(cell)), trace_(std::move(trace)),
+      panel_(panel), load_(load), params_(params),
+      cap_(params.capacitance, 0.0)
+{
+    FS_ASSERT(cell_ != nullptr, "voltage cell required");
+    cell_->volts = cap_.voltage();
+}
+
+SocHarvestSim::Result
+SocHarvestSim::run(double max_seconds)
+{
+    Result result;
+    const double dt = params_.simStep;
+    const double monitor_current =
+        soc_.fsPeripheral().monitor().meanCurrent();
+    bool powered = false;
+
+    while (time_ < max_seconds && !soc_.appFinished()) {
+        const double i_in = panel_.current(trace_.at(time_), cap_.voltage());
+        if (!powered) {
+            cap_.step(dt, i_in, load_.offCurrent());
+            time_ += dt;
+            cell_->volts = cap_.voltage();
+            if (cap_.voltage() >= params_.enableVoltage) {
+                powered = true;
+                soc_.powerOn();
+                ++result.boots;
+            }
+            continue;
+        }
+        // Execute a batch of instructions worth ~one integration step.
+        double batch = 0.0;
+        while (batch < params_.simStep && !soc_.hart().halted())
+            batch += soc_.step();
+        if (batch <= 0.0)
+            batch = params_.simStep; // halted hart: time still passes
+        cap_.step(batch, i_in,
+                  load_.activeCurrent() + monitor_current);
+        time_ += batch;
+        cell_->volts = cap_.voltage();
+        if (cap_.voltage() < load_.coreVmin() && !soc_.appFinished()) {
+            soc_.powerFail();
+            powered = false;
+            ++result.powerFailures;
+        }
+    }
+    result.appFinished = soc_.appFinished();
+    result.simulatedSeconds = time_;
+    result.cpuCycles = soc_.totalCycles();
+    return result;
+}
+
+} // namespace harvest
+} // namespace fs

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Intermittent-system lifecycle simulation (Section V-D).
+ *
+ * Two levels of fidelity:
+ *
+ *  - IntermittentSim: the analytical charge/execute/checkpoint/off
+ *    loop behind Table IV and Fig. 8, with any analog::VoltageMonitor
+ *    plugged in as the checkpoint trigger;
+ *  - SocHarvestSim: the same lifecycle driving a full soc::Soc, so
+ *    real RV32 software runs across real power failures with the
+ *    generated checkpoint runtime.
+ */
+
+#ifndef FS_HARVEST_INTERMITTENT_SIM_H_
+#define FS_HARVEST_INTERMITTENT_SIM_H_
+
+#include <memory>
+#include <string>
+
+#include "harvest/capacitor.h"
+#include "harvest/irradiance.h"
+#include "harvest/loads.h"
+#include "harvest/solar_panel.h"
+#include "soc/soc.h"
+
+namespace fs {
+namespace harvest {
+
+/** Scenario constants (Section V-D-a/b defaults). */
+struct ScenarioParams {
+    double capacitance = 47e-6;       ///< F
+    double enableVoltage = 3.5;       ///< V: MCU turns on here
+    double checkpointSeconds = 8.192e-3; ///< worst-case FRAM commit
+    double simStep = 50e-6;           ///< integration step (s)
+};
+
+/** Results of one monitor's run through the scenario. */
+struct RunStats {
+    std::string monitor;
+    double systemCurrent = 0.0;   ///< A while executing (incl. monitor)
+    double resolution = 0.0;      ///< V
+    double sampleRate = 0.0;      ///< Hz (0 = continuous)
+    double checkpointVoltage = 0.0; ///< V
+    double appSeconds = 0.0;      ///< time spent in application code
+    double chargingSeconds = 0.0;
+    double checkpointSeconds = 0.0;
+    std::size_t checkpoints = 0;
+    std::size_t failedCheckpoints = 0; ///< died before commit finished
+    double simulatedSeconds = 0.0;
+
+    /** Fraction of wall-clock available to application code. */
+    double appFraction() const;
+};
+
+class IntermittentSim
+{
+  public:
+    IntermittentSim(IrradianceTrace trace, SolarPanel panel = SolarPanel(),
+                    SystemLoad load = SystemLoad(),
+                    ScenarioParams params = {});
+
+    /**
+     * The checkpoint threshold for a monitor: the ideal minimum
+     * voltage (enough headroom to finish a checkpoint at full load)
+     * plus the monitor's worst-case resolution (Section V-D-b).
+     */
+    double checkpointVoltage(const analog::VoltageMonitor &mon) const;
+
+    /** The headroom-only threshold with a perfect monitor. */
+    double idealCheckpointVoltage(
+        const analog::VoltageMonitor &mon) const;
+
+    /** Run the scenario for its full trace duration. */
+    RunStats run(const analog::VoltageMonitor &mon) const;
+
+    const ScenarioParams &params() const { return params_; }
+    const SystemLoad &load() const { return load_; }
+    const IrradianceTrace &trace() const { return trace_; }
+
+  private:
+    IrradianceTrace trace_;
+    SolarPanel panel_;
+    SystemLoad load_;
+    ScenarioParams params_;
+};
+
+/**
+ * Shared supply-voltage cell: the harvest loop writes the capacitor
+ * voltage here and the SoC's FS peripheral reads it, breaking the
+ * construction-order cycle between the two.
+ */
+struct VoltageCell {
+    double volts = 0.0;
+};
+
+/** Lifecycle driver for a full SoC (integration-level fidelity). */
+class SocHarvestSim
+{
+  public:
+    struct Result {
+        bool appFinished = false;
+        std::size_t powerFailures = 0;
+        std::size_t boots = 0;
+        double simulatedSeconds = 0.0;
+        std::uint64_t cpuCycles = 0;
+    };
+
+    /**
+     * @param soc   SoC built with a voltage source reading `cell`
+     * @param cell  shared supply cell this sim updates
+     */
+    SocHarvestSim(soc::Soc &soc, std::shared_ptr<VoltageCell> cell,
+                  IrradianceTrace trace, SolarPanel panel = SolarPanel(),
+                  SystemLoad load = SystemLoad(),
+                  ScenarioParams params = {});
+
+    /** Current capacitor voltage (the SoC's supply). */
+    double supplyVoltage() const { return cap_.voltage(); }
+
+    /** Run until the app finishes or the time budget expires. */
+    Result run(double max_seconds);
+
+  private:
+    soc::Soc &soc_;
+    std::shared_ptr<VoltageCell> cell_;
+    IrradianceTrace trace_;
+    SolarPanel panel_;
+    SystemLoad load_;
+    ScenarioParams params_;
+    StorageCapacitor cap_;
+    double time_ = 0.0;
+};
+
+} // namespace harvest
+} // namespace fs
+
+#endif // FS_HARVEST_INTERMITTENT_SIM_H_

@@ -1,0 +1,25 @@
+#include "harvest/loads.h"
+
+namespace fs {
+namespace harvest {
+
+SystemLoad::SystemLoad(const analog::McuCard &mcu, double clock_hz,
+                       double accel, double leakage)
+    : mcu_(&mcu), clock_hz_(clock_hz), accel_(accel), leakage_(leakage)
+{
+}
+
+double
+SystemLoad::activeCurrent() const
+{
+    return mcu_->coreCurrent(clock_hz_) + accel_ + leakage_;
+}
+
+double
+SystemLoad::activeCurrentWith(const analog::VoltageMonitor &mon) const
+{
+    return activeCurrent() + mon.meanCurrent();
+}
+
+} // namespace harvest
+} // namespace fs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * System load model (Section V-D-a): the MSP430-class core, an
+ * ADXL362-class accelerometer, always-on leakage, and a pluggable
+ * voltage monitor.
+ */
+
+#ifndef FS_HARVEST_LOADS_H_
+#define FS_HARVEST_LOADS_H_
+
+#include "analog/device_cards.h"
+#include "analog/voltage_monitor.h"
+
+namespace fs {
+namespace harvest {
+
+class SystemLoad
+{
+  public:
+    /**
+     * @param mcu       microcontroller card (core current/Vmin)
+     * @param clock_hz  core clock (1 MHz in the paper's scenario)
+     * @param accel     accelerometer current (A)
+     * @param leakage   always-on leakage (A)
+     */
+    explicit SystemLoad(const analog::McuCard &mcu = analog::msp430fr5969(),
+                        double clock_hz = 1e6,
+                        double accel = analog::adxl362().activeCurrent,
+                        double leakage = 0.5e-6);
+
+    const analog::McuCard &mcu() const { return *mcu_; }
+    double clockHz() const { return clock_hz_; }
+    double coreVmin() const { return mcu_->coreVmin; }
+    double leakage() const { return leakage_; }
+
+    /** Core + accelerometer + leakage while executing (A). */
+    double activeCurrent() const;
+
+    /** Active current plus the given monitor's draw (A). */
+    double activeCurrentWith(const analog::VoltageMonitor &mon) const;
+
+    /** Current while the system is off/charging (A). */
+    double offCurrent() const { return leakage_; }
+
+  private:
+    const analog::McuCard *mcu_;
+    double clock_hz_;
+    double accel_;
+    double leakage_;
+};
+
+} // namespace harvest
+} // namespace fs
+
+#endif // FS_HARVEST_LOADS_H_

@@ -1,0 +1,34 @@
+#include "harvest/solar_panel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace harvest {
+
+SolarPanel::SolarPanel(double area_cm2, double efficiency)
+    : area_cm2_(area_cm2), efficiency_(efficiency)
+{
+    if (area_cm2 <= 0.0)
+        fatal("panel area must be positive");
+    if (efficiency <= 0.0 || efficiency > 1.0)
+        fatal("panel efficiency must be in (0, 1]");
+}
+
+double
+SolarPanel::power(double irradiance_wpm2) const
+{
+    const double area_m2 = area_cm2_ * 1e-4;
+    return std::max(0.0, irradiance_wpm2) * area_m2 * efficiency_;
+}
+
+double
+SolarPanel::current(double irradiance_wpm2, double v_cap) const
+{
+    const double v = std::max(v_cap, 0.5);
+    return power(irradiance_wpm2) / v;
+}
+
+} // namespace harvest
+} // namespace fs

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Photovoltaic harvester front end: the paper's 5 cm^2, 15 %-efficient
+ * panel charging the storage capacitor (Section V-D-a).
+ */
+
+#ifndef FS_HARVEST_SOLAR_PANEL_H_
+#define FS_HARVEST_SOLAR_PANEL_H_
+
+namespace fs {
+namespace harvest {
+
+class SolarPanel
+{
+  public:
+    /**
+     * @param area_cm2   panel area in cm^2
+     * @param efficiency electrical conversion efficiency (0..1)
+     */
+    explicit SolarPanel(double area_cm2 = 5.0, double efficiency = 0.15);
+
+    double areaCm2() const { return area_cm2_; }
+    double efficiency() const { return efficiency_; }
+
+    /** Electrical output power for the given irradiance (W). */
+    double power(double irradiance_wpm2) const;
+
+    /**
+     * Charging current into a capacitor at voltage v (A). An ideal
+     * harvesting front end delivers the panel's power at the
+     * capacitor voltage; a floor voltage avoids the singularity at
+     * v = 0.
+     */
+    double current(double irradiance_wpm2, double v_cap) const;
+
+  private:
+    double area_cm2_;
+    double efficiency_;
+};
+
+} // namespace harvest
+} // namespace fs
+
+#endif // FS_HARVEST_SOLAR_PANEL_H_

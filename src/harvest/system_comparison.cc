@@ -1,0 +1,79 @@
+#include "harvest/system_comparison.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace harvest {
+
+std::unique_ptr<core::FailureSentinels>
+makeFsLowPower()
+{
+    core::FsConfig cfg;
+    cfg.roStages = 21;
+    cfg.counterBits = 8;
+    cfg.enableTime = 10e-6;
+    cfg.sampleRate = 1e3;
+    cfg.nvmEntries = 49;
+    cfg.entryBits = 8;
+    auto fs = std::make_unique<core::FailureSentinels>(
+        circuit::Technology::node90(), cfg, "FS (LP)");
+    fs->enrollDevice();
+    return fs;
+}
+
+std::unique_ptr<core::FailureSentinels>
+makeFsHighPerformance()
+{
+    core::FsConfig cfg;
+    cfg.roStages = 9;
+    cfg.counterBits = 9;
+    cfg.enableTime = 7.5e-6;
+    cfg.sampleRate = 10e3;
+    cfg.nvmEntries = 80;
+    cfg.entryBits = 8;
+    auto fs = std::make_unique<core::FailureSentinels>(
+        circuit::Technology::node90(), cfg, "FS (HP)");
+    fs->enrollDevice();
+    return fs;
+}
+
+SystemComparison::SystemComparison(IntermittentSim sim)
+    : sim_(std::move(sim))
+{
+}
+
+std::vector<ComparisonRow>
+SystemComparison::run()
+{
+    analog::IdealMonitor ideal;
+    auto fs_lp = makeFsLowPower();
+    auto fs_hp = makeFsHighPerformance();
+    analog::ComparatorMonitor comparator;
+    analog::AdcMonitor adc;
+
+    // The comparator's single hardware threshold is its checkpoint
+    // voltage for this scenario.
+    comparator.setThreshold(sim_.checkpointVoltage(comparator));
+
+    const analog::VoltageMonitor *monitors[] = {&ideal, fs_lp.get(),
+                                                fs_hp.get(), &comparator,
+                                                &adc};
+
+    std::vector<ComparisonRow> rows;
+    double ideal_app_seconds = 0.0;
+    for (const analog::VoltageMonitor *mon : monitors) {
+        ComparisonRow row;
+        row.stats = sim_.run(*mon);
+        if (rows.empty())
+            ideal_app_seconds = row.stats.appSeconds;
+        row.normalizedRuntime = ideal_app_seconds > 0.0
+                                    ? row.stats.appSeconds /
+                                          ideal_app_seconds
+                                    : 0.0;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace harvest
+} // namespace fs

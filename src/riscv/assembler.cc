@@ -1,0 +1,124 @@
+#include "riscv/assembler.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace riscv {
+
+std::uint32_t
+Assembler::here() const
+{
+    return origin_ + std::uint32_t(words_.size() * 4);
+}
+
+Assembler::Label
+Assembler::newLabel()
+{
+    labels_.push_back(-1);
+    return labels_.size() - 1;
+}
+
+void
+Assembler::bind(Label label)
+{
+    FS_ASSERT(label < labels_.size(), "unknown label");
+    FS_ASSERT(labels_[label] < 0, "label bound twice");
+    labels_[label] = std::int64_t(words_.size() * 4);
+}
+
+void
+Assembler::emit(Word word)
+{
+    words_.push_back(word);
+}
+
+void
+Assembler::branchTo(Word funct3, Word rs1, Word rs2, Label target)
+{
+    Fixup fix;
+    fix.index = words_.size();
+    fix.label = target;
+    fix.kind = FixKind::Branch;
+    fix.funct3 = funct3;
+    fix.rs1 = rs1;
+    fix.rs2 = rs2;
+    fixups_.push_back(fix);
+    words_.push_back(0); // placeholder
+}
+
+void Assembler::beqTo(Word a, Word b, Label t) { branchTo(0, a, b, t); }
+void Assembler::bneTo(Word a, Word b, Label t) { branchTo(1, a, b, t); }
+void Assembler::bltTo(Word a, Word b, Label t) { branchTo(4, a, b, t); }
+void Assembler::bgeTo(Word a, Word b, Label t) { branchTo(5, a, b, t); }
+void Assembler::bltuTo(Word a, Word b, Label t) { branchTo(6, a, b, t); }
+void Assembler::bgeuTo(Word a, Word b, Label t) { branchTo(7, a, b, t); }
+
+void
+Assembler::jalTo(Word rd, Label target)
+{
+    Fixup fix;
+    fix.index = words_.size();
+    fix.label = target;
+    fix.kind = FixKind::Jal;
+    fix.rd = rd;
+    fixups_.push_back(fix);
+    words_.push_back(0);
+}
+
+void
+Assembler::jTo(Label target)
+{
+    jalTo(kZero, target);
+}
+
+void
+Assembler::li(Word rd, std::int32_t value)
+{
+    if (value >= -2048 && value <= 2047) {
+        emit(addi(rd, kZero, value));
+        return;
+    }
+    // lui loads the upper 20 bits; addi sign-extends, so round up the
+    // upper part when bit 11 of the low part is set. Widen to 64 bits
+    // first: the +0x800 carry overflows int32 for values near the top
+    // of the range.
+    const std::int64_t wide = value;
+    const auto hi = std::int32_t((wide + 0x800) >> 12);
+    const auto lo = std::int32_t(wide - (std::int64_t(hi) << 12));
+    emit(lui(rd, hi & 0xfffff));
+    if (lo != 0)
+        emit(addi(rd, rd, lo));
+}
+
+void
+Assembler::nop()
+{
+    emit(addi(kZero, kZero, 0));
+}
+
+std::vector<Word>
+Assembler::finalize()
+{
+    for (const Fixup &fix : fixups_) {
+        FS_ASSERT(fix.label < labels_.size(), "unknown label in fixup");
+        const std::int64_t target = labels_[fix.label];
+        if (target < 0)
+            fatal("unbound label referenced at word ", fix.index);
+        const auto offset =
+            std::int32_t(target - std::int64_t(fix.index * 4));
+        switch (fix.kind) {
+          case FixKind::Branch:
+            words_[fix.index] = encodeB(kOpBranch, fix.funct3, fix.rs1,
+                                        fix.rs2, offset);
+            break;
+          case FixKind::Jal:
+            words_[fix.index] = encodeJ(kOpJal, fix.rd, offset);
+            break;
+        }
+    }
+    fixups_.clear();
+    return words_;
+}
+
+} // namespace riscv
+} // namespace fs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Programmatic assembler for building firmware images.
+ *
+ * There is no cross-compiler in this environment, so guest programs
+ * (the checkpoint runtime and the example workloads) are assembled in
+ * process: instructions are emitted through the encoding helpers with
+ * label-based control flow, and fixups are resolved when the image is
+ * finalized.
+ */
+
+#ifndef FS_RISCV_ASSEMBLER_H_
+#define FS_RISCV_ASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "riscv/encoding.h"
+
+namespace fs {
+namespace riscv {
+
+class Assembler
+{
+  public:
+    /** Opaque label handle. */
+    using Label = std::size_t;
+
+    /** @param origin load address of the first emitted word */
+    explicit Assembler(std::uint32_t origin = 0) : origin_(origin) {}
+
+    std::uint32_t origin() const { return origin_; }
+    /** Address the next emitted instruction will occupy. */
+    std::uint32_t here() const;
+
+    /** Create an unbound label. */
+    Label newLabel();
+    /** Bind a label to the current position. */
+    void bind(Label label);
+
+    /** Emit a raw instruction word. */
+    void emit(Word word);
+
+    // --- label-targeted control flow (fixed up at finalize) ---
+    void beqTo(Word rs1, Word rs2, Label target);
+    void bneTo(Word rs1, Word rs2, Label target);
+    void bltTo(Word rs1, Word rs2, Label target);
+    void bgeTo(Word rs1, Word rs2, Label target);
+    void bltuTo(Word rs1, Word rs2, Label target);
+    void bgeuTo(Word rs1, Word rs2, Label target);
+    void jalTo(Word rd, Label target);
+    /** Unconditional jump (jal zero). */
+    void jTo(Label target);
+
+    /** Load a 32-bit constant (lui+addi as needed). */
+    void li(Word rd, std::int32_t value);
+
+    /** No-op (addi zero, zero, 0). */
+    void nop();
+
+    /** Resolve fixups and return the finished image. */
+    std::vector<Word> finalize();
+
+  private:
+    enum class FixKind { Branch, Jal };
+    struct Fixup {
+        std::size_t index = 0; ///< word index of the placeholder
+        Label label = 0;
+        FixKind kind = FixKind::Branch;
+        Word funct3 = 0;
+        Word rs1 = 0;
+        Word rs2 = 0;
+        Word rd = 0;
+    };
+
+    void branchTo(Word funct3, Word rs1, Word rs2, Label target);
+
+    std::uint32_t origin_;
+    std::vector<Word> words_;
+    std::vector<std::int64_t> labels_; ///< byte offset or -1 if unbound
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace riscv
+} // namespace fs
+
+#endif // FS_RISCV_ASSEMBLER_H_

@@ -1,0 +1,190 @@
+#include "riscv/encoding.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace riscv {
+
+std::string
+regName(Word reg)
+{
+    static const char *names[32] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    };
+    if (reg < 32)
+        return names[reg];
+    return "x" + std::to_string(reg);
+}
+
+namespace {
+
+void
+checkReg(Word r)
+{
+    FS_ASSERT(r < 32, "register index out of range: ", r);
+}
+
+void
+checkImm12(std::int32_t imm)
+{
+    FS_ASSERT(imm >= -2048 && imm <= 2047, "imm12 out of range: ", imm);
+}
+
+} // namespace
+
+Word
+encodeR(Word opcode, Word rd, Word funct3, Word rs1, Word rs2, Word funct7)
+{
+    checkReg(rd);
+    checkReg(rs1);
+    checkReg(rs2);
+    return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) |
+           (rs2 << 20) | (funct7 << 25);
+}
+
+Word
+encodeI(Word opcode, Word rd, Word funct3, Word rs1, std::int32_t imm)
+{
+    checkReg(rd);
+    checkReg(rs1);
+    checkImm12(imm);
+    return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) |
+           (Word(imm & 0xfff) << 20);
+}
+
+Word
+encodeS(Word opcode, Word funct3, Word rs1, Word rs2, std::int32_t imm)
+{
+    checkReg(rs1);
+    checkReg(rs2);
+    checkImm12(imm);
+    const Word u = Word(imm & 0xfff);
+    return opcode | ((u & 0x1f) << 7) | (funct3 << 12) | (rs1 << 15) |
+           (rs2 << 20) | ((u >> 5) << 25);
+}
+
+Word
+encodeB(Word opcode, Word funct3, Word rs1, Word rs2, std::int32_t offset)
+{
+    checkReg(rs1);
+    checkReg(rs2);
+    FS_ASSERT(offset >= -4096 && offset <= 4094 && (offset & 1) == 0,
+              "branch offset out of range: ", offset);
+    const Word u = Word(offset);
+    return opcode | (((u >> 11) & 1) << 7) | (((u >> 1) & 0xf) << 8) |
+           (funct3 << 12) | (rs1 << 15) | (rs2 << 20) |
+           (((u >> 5) & 0x3f) << 25) | (((u >> 12) & 1) << 31);
+}
+
+Word
+encodeU(Word opcode, Word rd, std::int32_t imm20)
+{
+    checkReg(rd);
+    return opcode | (rd << 7) | (Word(imm20) << 12);
+}
+
+Word
+encodeJ(Word opcode, Word rd, std::int32_t offset)
+{
+    checkReg(rd);
+    FS_ASSERT(offset >= -(1 << 20) && offset < (1 << 20) &&
+                  (offset & 1) == 0,
+              "jump offset out of range: ", offset);
+    const Word u = Word(offset);
+    return opcode | (rd << 7) | (((u >> 12) & 0xff) << 12) |
+           (((u >> 11) & 1) << 20) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 20) & 1) << 31);
+}
+
+Word lui(Word rd, std::int32_t imm20) { return encodeU(kOpLui, rd, imm20); }
+Word auipc(Word rd, std::int32_t imm20) { return encodeU(kOpAuipc, rd, imm20); }
+Word jal(Word rd, std::int32_t off) { return encodeJ(kOpJal, rd, off); }
+Word jalr(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpJalr, rd, 0, rs1, imm); }
+Word beq(Word a, Word b, std::int32_t off) { return encodeB(kOpBranch, 0, a, b, off); }
+Word bne(Word a, Word b, std::int32_t off) { return encodeB(kOpBranch, 1, a, b, off); }
+Word blt(Word a, Word b, std::int32_t off) { return encodeB(kOpBranch, 4, a, b, off); }
+Word bge(Word a, Word b, std::int32_t off) { return encodeB(kOpBranch, 5, a, b, off); }
+Word bltu(Word a, Word b, std::int32_t off) { return encodeB(kOpBranch, 6, a, b, off); }
+Word bgeu(Word a, Word b, std::int32_t off) { return encodeB(kOpBranch, 7, a, b, off); }
+Word lb(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpLoad, rd, 0, rs1, imm); }
+Word lh(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpLoad, rd, 1, rs1, imm); }
+Word lw(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpLoad, rd, 2, rs1, imm); }
+Word lbu(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpLoad, rd, 4, rs1, imm); }
+Word lhu(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpLoad, rd, 5, rs1, imm); }
+Word sb(Word rs2, Word rs1, std::int32_t imm) { return encodeS(kOpStore, 0, rs1, rs2, imm); }
+Word sh(Word rs2, Word rs1, std::int32_t imm) { return encodeS(kOpStore, 1, rs1, rs2, imm); }
+Word sw(Word rs2, Word rs1, std::int32_t imm) { return encodeS(kOpStore, 2, rs1, rs2, imm); }
+Word addi(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpImm, rd, 0, rs1, imm); }
+Word slti(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpImm, rd, 2, rs1, imm); }
+Word sltiu(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpImm, rd, 3, rs1, imm); }
+Word xori(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpImm, rd, 4, rs1, imm); }
+Word ori(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpImm, rd, 6, rs1, imm); }
+Word andi(Word rd, Word rs1, std::int32_t imm) { return encodeI(kOpImm, rd, 7, rs1, imm); }
+Word slli(Word rd, Word rs1, Word sh) { return encodeR(kOpImm, rd, 1, rs1, sh, 0); }
+Word srli(Word rd, Word rs1, Word sh) { return encodeR(kOpImm, rd, 5, rs1, sh, 0); }
+Word srai(Word rd, Word rs1, Word sh) { return encodeR(kOpImm, rd, 5, rs1, sh, 0x20); }
+Word add(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 0, a, b, 0); }
+Word sub(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 0, a, b, 0x20); }
+Word sll(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 1, a, b, 0); }
+Word slt(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 2, a, b, 0); }
+Word sltu(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 3, a, b, 0); }
+Word xor_(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 4, a, b, 0); }
+Word srl(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 5, a, b, 0); }
+Word sra(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 5, a, b, 0x20); }
+Word or_(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 6, a, b, 0); }
+Word and_(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 7, a, b, 0); }
+Word mul(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 0, a, b, 1); }
+Word mulh(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 1, a, b, 1); }
+Word mulhsu(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 2, a, b, 1); }
+Word mulhu(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 3, a, b, 1); }
+Word div(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 4, a, b, 1); }
+Word divu(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 5, a, b, 1); }
+Word rem(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 6, a, b, 1); }
+Word remu(Word rd, Word a, Word b) { return encodeR(kOpReg, rd, 7, a, b, 1); }
+Word ecall() { return encodeI(kOpSystem, 0, 0, 0, 0); }
+Word ebreak() { return encodeI(kOpSystem, 0, 0, 0, 1); }
+Word mret() { return 0x30200073u; }
+Word wfi() { return 0x10500073u; }
+
+Word
+csrrw(Word rd, Word csr, Word rs1)
+{
+    return kOpSystem | (rd << 7) | (1u << 12) | (rs1 << 15) | (csr << 20);
+}
+
+Word
+csrrs(Word rd, Word csr, Word rs1)
+{
+    return kOpSystem | (rd << 7) | (2u << 12) | (rs1 << 15) | (csr << 20);
+}
+
+Word
+csrrc(Word rd, Word csr, Word rs1)
+{
+    return kOpSystem | (rd << 7) | (3u << 12) | (rs1 << 15) | (csr << 20);
+}
+
+Word
+csrrwi(Word rd, Word csr, Word zimm)
+{
+    FS_ASSERT(zimm < 32, "csr immediate out of range");
+    return kOpSystem | (rd << 7) | (5u << 12) | (zimm << 15) | (csr << 20);
+}
+
+Word
+fsRead(Word rd)
+{
+    return encodeR(kOpCustom0, rd, 0, 0, 0, 0);
+}
+
+Word
+fsCfg(Word rs1, Word rs2)
+{
+    return encodeR(kOpCustom0, 0, 1, rs1, rs2, 0);
+}
+
+} // namespace riscv
+} // namespace fs

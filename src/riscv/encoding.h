@@ -1,0 +1,152 @@
+/**
+ * @file
+ * RV32IM instruction encodings plus the two Failure Sentinels custom
+ * instructions (Section IV-B): the SoC substitute for the paper's
+ * RocketChip FPGA prototype executes these.
+ *
+ * Custom instructions live in the custom-0 opcode space (0x0B):
+ *   fs.read  rd        (funct3=0): rd <- latest energy count
+ *   fs.cfg   rs1, rs2  (funct3=1): threshold <- rs1, control <- rs2
+ */
+
+#ifndef FS_RISCV_ENCODING_H_
+#define FS_RISCV_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fs {
+namespace riscv {
+
+using Word = std::uint32_t;
+
+/** Base-ISA opcodes (bits [6:0]). */
+enum Opcode : Word {
+    kOpLui = 0x37,
+    kOpAuipc = 0x17,
+    kOpJal = 0x6f,
+    kOpJalr = 0x67,
+    kOpBranch = 0x63,
+    kOpLoad = 0x03,
+    kOpStore = 0x23,
+    kOpImm = 0x13,
+    kOpReg = 0x33,
+    kOpSystem = 0x73,
+    kOpFence = 0x0f,
+    kOpCustom0 = 0x0b, ///< Failure Sentinels instructions
+};
+
+/** ABI register indices. */
+enum Reg : Word {
+    kZero = 0, kRa = 1, kSp = 2, kGp = 3, kTp = 4,
+    kT0 = 5, kT1 = 6, kT2 = 7,
+    kS0 = 8, kS1 = 9,
+    kA0 = 10, kA1 = 11, kA2 = 12, kA3 = 13, kA4 = 14, kA5 = 15,
+    kA6 = 16, kA7 = 17,
+    kS2 = 18, kS3 = 19, kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23,
+    kS8 = 24, kS9 = 25, kS10 = 26, kS11 = 27,
+    kT3 = 28, kT4 = 29, kT5 = 30, kT6 = 31,
+};
+
+/** ABI name of a register index ("x7" style for invalid values). */
+std::string regName(Word reg);
+
+// --- format encoders ---
+
+Word encodeR(Word opcode, Word rd, Word funct3, Word rs1, Word rs2,
+             Word funct7);
+Word encodeI(Word opcode, Word rd, Word funct3, Word rs1,
+             std::int32_t imm);
+Word encodeS(Word opcode, Word funct3, Word rs1, Word rs2,
+             std::int32_t imm);
+Word encodeB(Word opcode, Word funct3, Word rs1, Word rs2,
+             std::int32_t offset);
+Word encodeU(Word opcode, Word rd, std::int32_t imm20);
+Word encodeJ(Word opcode, Word rd, std::int32_t offset);
+
+// --- instruction helpers (each returns the encoded word) ---
+
+Word lui(Word rd, std::int32_t imm20);
+Word auipc(Word rd, std::int32_t imm20);
+Word jal(Word rd, std::int32_t offset);
+Word jalr(Word rd, Word rs1, std::int32_t imm);
+Word beq(Word rs1, Word rs2, std::int32_t offset);
+Word bne(Word rs1, Word rs2, std::int32_t offset);
+Word blt(Word rs1, Word rs2, std::int32_t offset);
+Word bge(Word rs1, Word rs2, std::int32_t offset);
+Word bltu(Word rs1, Word rs2, std::int32_t offset);
+Word bgeu(Word rs1, Word rs2, std::int32_t offset);
+Word lb(Word rd, Word rs1, std::int32_t imm);
+Word lh(Word rd, Word rs1, std::int32_t imm);
+Word lw(Word rd, Word rs1, std::int32_t imm);
+Word lbu(Word rd, Word rs1, std::int32_t imm);
+Word lhu(Word rd, Word rs1, std::int32_t imm);
+Word sb(Word rs2, Word rs1, std::int32_t imm);
+Word sh(Word rs2, Word rs1, std::int32_t imm);
+Word sw(Word rs2, Word rs1, std::int32_t imm);
+Word addi(Word rd, Word rs1, std::int32_t imm);
+Word slti(Word rd, Word rs1, std::int32_t imm);
+Word sltiu(Word rd, Word rs1, std::int32_t imm);
+Word xori(Word rd, Word rs1, std::int32_t imm);
+Word ori(Word rd, Word rs1, std::int32_t imm);
+Word andi(Word rd, Word rs1, std::int32_t imm);
+Word slli(Word rd, Word rs1, Word shamt);
+Word srli(Word rd, Word rs1, Word shamt);
+Word srai(Word rd, Word rs1, Word shamt);
+Word add(Word rd, Word rs1, Word rs2);
+Word sub(Word rd, Word rs1, Word rs2);
+Word sll(Word rd, Word rs1, Word rs2);
+Word slt(Word rd, Word rs1, Word rs2);
+Word sltu(Word rd, Word rs1, Word rs2);
+Word xor_(Word rd, Word rs1, Word rs2);
+Word srl(Word rd, Word rs1, Word rs2);
+Word sra(Word rd, Word rs1, Word rs2);
+Word or_(Word rd, Word rs1, Word rs2);
+Word and_(Word rd, Word rs1, Word rs2);
+// M extension
+Word mul(Word rd, Word rs1, Word rs2);
+Word mulh(Word rd, Word rs1, Word rs2);
+Word mulhsu(Word rd, Word rs1, Word rs2);
+Word mulhu(Word rd, Word rs1, Word rs2);
+Word div(Word rd, Word rs1, Word rs2);
+Word divu(Word rd, Word rs1, Word rs2);
+Word rem(Word rd, Word rs1, Word rs2);
+Word remu(Word rd, Word rs1, Word rs2);
+// System
+Word ecall();
+Word ebreak();
+Word mret();
+Word wfi();
+Word csrrw(Word rd, Word csr, Word rs1);
+Word csrrs(Word rd, Word csr, Word rs1);
+Word csrrc(Word rd, Word csr, Word rs1);
+Word csrrwi(Word rd, Word csr, Word zimm);
+// Failure Sentinels custom instructions (Section IV-B)
+Word fsRead(Word rd);
+Word fsCfg(Word rs1, Word rs2);
+
+/** CSR addresses used by the machine-mode trap path. */
+enum Csr : Word {
+    kCsrMstatus = 0x300,
+    kCsrMie = 0x304,
+    kCsrMtvec = 0x305,
+    kCsrMscratch = 0x340,
+    kCsrMepc = 0x341,
+    kCsrMcause = 0x342,
+    kCsrMip = 0x344,
+    kCsrMcycle = 0xb00,
+    kCsrMinstret = 0xb02,
+};
+
+/** mstatus/mie/mip bit positions. */
+constexpr Word kMstatusMie = 1u << 3;
+constexpr Word kMstatusMpie = 1u << 7;
+constexpr Word kMieMeie = 1u << 11;
+constexpr Word kMipMeip = 1u << 11;
+/** mcause value for a machine external interrupt. */
+constexpr Word kCauseMachineExternal = 0x8000000bu;
+
+} // namespace riscv
+} // namespace fs
+
+#endif // FS_RISCV_ENCODING_H_

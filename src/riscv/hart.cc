@@ -1,0 +1,451 @@
+#include "riscv/hart.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace riscv {
+
+namespace {
+
+std::int32_t
+signExtend(std::uint32_t value, unsigned bits)
+{
+    const std::uint32_t mask = 1u << (bits - 1);
+    return std::int32_t((value ^ mask) - mask);
+}
+
+std::int32_t
+immI(Word inst)
+{
+    return signExtend(inst >> 20, 12);
+}
+
+std::int32_t
+immS(Word inst)
+{
+    const std::uint32_t v = ((inst >> 25) << 5) | ((inst >> 7) & 0x1f);
+    return signExtend(v, 12);
+}
+
+std::int32_t
+immB(Word inst)
+{
+    const std::uint32_t v = (((inst >> 31) & 1) << 12) |
+                            (((inst >> 7) & 1) << 11) |
+                            (((inst >> 25) & 0x3f) << 5) |
+                            (((inst >> 8) & 0xf) << 1);
+    return signExtend(v, 13);
+}
+
+std::int32_t
+immJ(Word inst)
+{
+    const std::uint32_t v = (((inst >> 31) & 1) << 20) |
+                            (((inst >> 12) & 0xff) << 12) |
+                            (((inst >> 20) & 1) << 11) |
+                            (((inst >> 21) & 0x3ff) << 1);
+    return signExtend(v, 21);
+}
+
+} // namespace
+
+FsCoprocessor::~FsCoprocessor() = default;
+
+Hart::Hart(MemoryDevice &bus) : bus_(bus) {}
+
+void
+Hart::setReg(Word index, std::uint32_t value)
+{
+    FS_ASSERT(index < 32, "register index out of range");
+    if (index != 0)
+        regs_[index] = value;
+}
+
+std::uint32_t &
+Hart::csrRef(Word addr)
+{
+    switch (addr) {
+      case kCsrMstatus:
+        return mstatus_;
+      case kCsrMie:
+        return mie_;
+      case kCsrMip:
+        return mip_;
+      case kCsrMtvec:
+        return mtvec_;
+      case kCsrMepc:
+        return mepc_;
+      case kCsrMcause:
+        return mcause_;
+      case kCsrMscratch:
+        return mscratch_;
+      default:
+        fatal("unimplemented CSR 0x", std::hex, addr);
+    }
+}
+
+std::uint32_t
+Hart::csr(Word addr) const
+{
+    if (addr == kCsrMcycle)
+        return std::uint32_t(cycles_);
+    if (addr == kCsrMinstret)
+        return std::uint32_t(instret_);
+    return const_cast<Hart *>(this)->csrRef(addr);
+}
+
+void
+Hart::setCsr(Word addr, std::uint32_t value)
+{
+    csrRef(addr) = value;
+}
+
+void
+Hart::setExternalInterrupt(bool asserted)
+{
+    if (asserted)
+        mip_ |= kMipMeip;
+    else
+        mip_ &= ~kMipMeip;
+}
+
+bool
+Hart::interruptPending() const
+{
+    return (mstatus_ & kMstatusMie) && (mie_ & mip_ & kMipMeip);
+}
+
+void
+Hart::takeInterrupt()
+{
+    mepc_ = pc_;
+    mcause_ = kCauseMachineExternal;
+    // MPIE <- MIE; MIE <- 0.
+    if (mstatus_ & kMstatusMie)
+        mstatus_ |= kMstatusMpie;
+    else
+        mstatus_ &= ~kMstatusMpie;
+    mstatus_ &= ~kMstatusMie;
+    pc_ = mtvec_ & ~3u;
+    wfi_ = false;
+    cycles_ += costs_.trap;
+}
+
+std::uint64_t
+Hart::step()
+{
+    if (halted_)
+        return 0;
+    if (interruptPending()) {
+        takeInterrupt();
+        return costs_.trap;
+    }
+    if (wfi_) {
+        // Idle; wake only via interrupt (checked above). With
+        // interrupts globally disabled, WFI still wakes on a pending
+        // enabled interrupt per the spec.
+        if (mie_ & mip_ & kMipMeip) {
+            wfi_ = false;
+        } else {
+            ++cycles_;
+            return 1;
+        }
+    }
+    const Word inst = bus_.read(pc_, 4);
+    const std::uint64_t spent = execute(inst);
+    cycles_ += spent;
+    ++instret_;
+    return spent;
+}
+
+std::uint64_t
+Hart::run(std::uint64_t max_cycles)
+{
+    std::uint64_t spent = 0;
+    while (!halted_ && spent < max_cycles)
+        spent += step();
+    return spent;
+}
+
+void
+Hart::powerFail()
+{
+    regs_.fill(0);
+    pc_ = 0;
+    mstatus_ = mie_ = mip_ = mtvec_ = mepc_ = mcause_ = mscratch_ = 0;
+    wfi_ = false;
+    halted_ = true;
+}
+
+void
+Hart::reset(std::uint32_t pc)
+{
+    regs_.fill(0);
+    mstatus_ = mie_ = mip_ = mtvec_ = mepc_ = mcause_ = mscratch_ = 0;
+    pc_ = pc;
+    wfi_ = false;
+    halted_ = false;
+}
+
+std::uint64_t
+Hart::execute(Word inst)
+{
+    const Word opcode = inst & 0x7f;
+    const Word rd = (inst >> 7) & 0x1f;
+    const Word funct3 = (inst >> 12) & 0x7;
+    const Word rs1 = (inst >> 15) & 0x1f;
+    const Word rs2 = (inst >> 20) & 0x1f;
+    const Word funct7 = inst >> 25;
+    const std::uint32_t a = regs_[rs1];
+    const std::uint32_t b = regs_[rs2];
+    std::uint32_t next_pc = pc_ + 4;
+    std::uint64_t cost = costs_.alu;
+
+    switch (opcode) {
+      case kOpLui:
+        setReg(rd, inst & 0xfffff000u);
+        break;
+      case kOpAuipc:
+        setReg(rd, pc_ + (inst & 0xfffff000u));
+        break;
+      case kOpJal:
+        setReg(rd, pc_ + 4);
+        next_pc = pc_ + std::uint32_t(immJ(inst));
+        cost = costs_.branchTaken;
+        break;
+      case kOpJalr:
+        setReg(rd, pc_ + 4);
+        next_pc = (a + std::uint32_t(immI(inst))) & ~1u;
+        cost = costs_.branchTaken;
+        break;
+      case kOpBranch: {
+        bool taken = false;
+        switch (funct3) {
+          case 0: taken = a == b; break;
+          case 1: taken = a != b; break;
+          case 4: taken = std::int32_t(a) < std::int32_t(b); break;
+          case 5: taken = std::int32_t(a) >= std::int32_t(b); break;
+          case 6: taken = a < b; break;
+          case 7: taken = a >= b; break;
+          default:
+            fatal("illegal branch funct3 ", funct3);
+        }
+        if (taken) {
+            next_pc = pc_ + std::uint32_t(immB(inst));
+            cost = costs_.branchTaken;
+        }
+        break;
+      }
+      case kOpLoad: {
+        const std::uint32_t addr = a + std::uint32_t(immI(inst));
+        std::uint32_t v = 0;
+        switch (funct3) {
+          case 0: v = std::uint32_t(signExtend(bus_.read(addr, 1), 8)); break;
+          case 1: v = std::uint32_t(signExtend(bus_.read(addr, 2), 16)); break;
+          case 2: v = bus_.read(addr, 4); break;
+          case 4: v = bus_.read(addr, 1); break;
+          case 5: v = bus_.read(addr, 2); break;
+          default:
+            fatal("illegal load funct3 ", funct3);
+        }
+        setReg(rd, v);
+        cost = costs_.loadStore;
+        break;
+      }
+      case kOpStore: {
+        const std::uint32_t addr = a + std::uint32_t(immS(inst));
+        switch (funct3) {
+          case 0: bus_.write(addr, b, 1); break;
+          case 1: bus_.write(addr, b, 2); break;
+          case 2: bus_.write(addr, b, 4); break;
+          default:
+            fatal("illegal store funct3 ", funct3);
+        }
+        cost = costs_.loadStore;
+        break;
+      }
+      case kOpImm: {
+        const std::int32_t imm = immI(inst);
+        const Word shamt = rs2;
+        switch (funct3) {
+          case 0: setReg(rd, a + std::uint32_t(imm)); break;
+          case 1: setReg(rd, a << shamt); break;
+          case 2: setReg(rd, std::int32_t(a) < imm ? 1 : 0); break;
+          case 3: setReg(rd, a < std::uint32_t(imm) ? 1 : 0); break;
+          case 4: setReg(rd, a ^ std::uint32_t(imm)); break;
+          case 5:
+            if (funct7 & 0x20)
+                setReg(rd, std::uint32_t(std::int32_t(a) >> shamt));
+            else
+                setReg(rd, a >> shamt);
+            break;
+          case 6: setReg(rd, a | std::uint32_t(imm)); break;
+          case 7: setReg(rd, a & std::uint32_t(imm)); break;
+        }
+        break;
+      }
+      case kOpReg:
+        if (funct7 == 1) {
+            // M extension.
+            const std::int64_t sa = std::int32_t(a);
+            const std::int64_t sb = std::int32_t(b);
+            switch (funct3) {
+              case 0: setReg(rd, a * b); cost = costs_.mul; break;
+              case 1:
+                setReg(rd, std::uint32_t((sa * sb) >> 32));
+                cost = costs_.mul;
+                break;
+              case 2:
+                setReg(rd,
+                       std::uint32_t((sa * std::int64_t(std::uint64_t(b))) >>
+                                     32));
+                cost = costs_.mul;
+                break;
+              case 3:
+                setReg(rd, std::uint32_t((std::uint64_t(a) *
+                                          std::uint64_t(b)) >>
+                                         32));
+                cost = costs_.mul;
+                break;
+              case 4:
+                if (b == 0)
+                    setReg(rd, 0xffffffffu);
+                else if (a == 0x80000000u && b == 0xffffffffu)
+                    setReg(rd, 0x80000000u);
+                else
+                    setReg(rd, std::uint32_t(std::int32_t(a) /
+                                             std::int32_t(b)));
+                cost = costs_.div;
+                break;
+              case 5:
+                setReg(rd, b == 0 ? 0xffffffffu : a / b);
+                cost = costs_.div;
+                break;
+              case 6:
+                if (b == 0)
+                    setReg(rd, a);
+                else if (a == 0x80000000u && b == 0xffffffffu)
+                    setReg(rd, 0);
+                else
+                    setReg(rd, std::uint32_t(std::int32_t(a) %
+                                             std::int32_t(b)));
+                cost = costs_.div;
+                break;
+              case 7:
+                setReg(rd, b == 0 ? a : a % b);
+                cost = costs_.div;
+                break;
+            }
+        } else {
+            switch (funct3) {
+              case 0:
+                setReg(rd, funct7 & 0x20 ? a - b : a + b);
+                break;
+              case 1: setReg(rd, a << (b & 0x1f)); break;
+              case 2:
+                setReg(rd, std::int32_t(a) < std::int32_t(b) ? 1 : 0);
+                break;
+              case 3: setReg(rd, a < b ? 1 : 0); break;
+              case 4: setReg(rd, a ^ b); break;
+              case 5:
+                if (funct7 & 0x20)
+                    setReg(rd,
+                           std::uint32_t(std::int32_t(a) >> (b & 0x1f)));
+                else
+                    setReg(rd, a >> (b & 0x1f));
+                break;
+              case 6: setReg(rd, a | b); break;
+              case 7: setReg(rd, a & b); break;
+            }
+        }
+        break;
+      case kOpFence:
+        break; // no-op in a single-hart system
+      case kOpCustom0:
+        if (!cop_)
+            fatal("custom-0 instruction with no coprocessor attached");
+        if (funct3 == 0) {
+            setReg(rd, cop_->fsRead());
+        } else if (funct3 == 1) {
+            cop_->fsConfigure(a, b);
+        } else {
+            fatal("illegal custom-0 funct3 ", funct3);
+        }
+        cost = costs_.csr;
+        break;
+      case kOpSystem:
+        return executeSystem(inst);
+      default:
+        fatal("illegal opcode 0x", std::hex, opcode, " at pc 0x", pc_);
+    }
+    pc_ = next_pc;
+    return cost;
+}
+
+std::uint64_t
+Hart::executeSystem(Word inst)
+{
+    const Word rd = (inst >> 7) & 0x1f;
+    const Word funct3 = (inst >> 12) & 0x7;
+    const Word rs1 = (inst >> 15) & 0x1f;
+    const Word csr_addr = inst >> 20;
+
+    if (funct3 == 0) {
+        if (inst == ecall()) {
+            pc_ += 4;
+            if (ecall_ && ecall_(*this))
+                halted_ = true;
+            return costs_.trap;
+        }
+        if (inst == ebreak()) {
+            halted_ = true;
+            pc_ += 4;
+            return costs_.trap;
+        }
+        if (inst == mret()) {
+            pc_ = mepc_;
+            // MIE <- MPIE; MPIE <- 1.
+            if (mstatus_ & kMstatusMpie)
+                mstatus_ |= kMstatusMie;
+            else
+                mstatus_ &= ~kMstatusMie;
+            mstatus_ |= kMstatusMpie;
+            return costs_.trap;
+        }
+        if (inst == wfi()) {
+            wfi_ = true;
+            pc_ += 4;
+            return 1;
+        }
+        fatal("illegal system instruction 0x", std::hex, inst);
+    }
+
+    // Zicsr.
+    const std::uint32_t old =
+        (csr_addr == kCsrMcycle || csr_addr == kCsrMinstret)
+            ? csr(csr_addr)
+            : csrRef(csr_addr);
+    const std::uint32_t src =
+        (funct3 & 4) ? rs1 /* immediate form */ : regs_[rs1];
+    switch (funct3 & 3) {
+      case 1: // CSRRW
+        csrRef(csr_addr) = src;
+        break;
+      case 2: // CSRRS
+        if (src)
+            csrRef(csr_addr) = old | src;
+        break;
+      case 3: // CSRRC
+        if (src)
+            csrRef(csr_addr) = old & ~src;
+        break;
+      default:
+        fatal("illegal CSR funct3");
+    }
+    setReg(rd, old);
+    pc_ += 4;
+    return costs_.csr;
+}
+
+} // namespace riscv
+} // namespace fs

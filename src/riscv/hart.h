@@ -1,0 +1,133 @@
+/**
+ * @file
+ * RV32IM hart with machine-mode traps and the Failure Sentinels
+ * custom instructions -- the instruction-set-simulator substitute for
+ * the paper's RocketChip FPGA prototype (Section IV-B).
+ *
+ * The core is cycle-counting (per-instruction cost model) rather than
+ * cycle-accurate microarchitecture: what the reproduction needs is a
+ * faithful software execution substrate with energy-relevant timing.
+ */
+
+#ifndef FS_RISCV_HART_H_
+#define FS_RISCV_HART_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "riscv/encoding.h"
+#include "riscv/memory.h"
+
+namespace fs {
+namespace riscv {
+
+/**
+ * Hook for the custom-0 instructions: the SoC wires this to the
+ * Failure Sentinels peripheral.
+ */
+class FsCoprocessor
+{
+  public:
+    virtual ~FsCoprocessor();
+
+    /** fs.read: the latest energy (counter) value. */
+    virtual std::uint32_t fsRead() = 0;
+
+    /** fs.cfg: program the interrupt threshold and control flags. */
+    virtual void fsConfigure(std::uint32_t threshold,
+                             std::uint32_t control) = 0;
+};
+
+class Hart
+{
+  public:
+    /** Per-instruction-class cycle costs. */
+    struct CycleCosts {
+        std::uint64_t alu = 1;
+        std::uint64_t loadStore = 2;
+        std::uint64_t branchTaken = 2;
+        std::uint64_t mul = 3;
+        std::uint64_t div = 32;
+        std::uint64_t csr = 2;
+        std::uint64_t trap = 4;
+    };
+
+    /**
+     * @param bus full 32-bit address space the hart loads/stores
+     *            through (typically a soc::Bus)
+     */
+    explicit Hart(MemoryDevice &bus);
+
+    // --- architectural state ---
+    std::uint32_t pc() const { return pc_; }
+    void setPc(std::uint32_t pc) { pc_ = pc; }
+    std::uint32_t reg(Word index) const { return regs_.at(index); }
+    void setReg(Word index, std::uint32_t value);
+    std::uint32_t csr(Word addr) const;
+    void setCsr(Word addr, std::uint32_t value);
+
+    std::uint64_t cycles() const { return cycles_; }
+    std::uint64_t instructionsRetired() const { return instret_; }
+    bool waitingForInterrupt() const { return wfi_; }
+    bool halted() const { return halted_; }
+
+    /** Wire the Failure Sentinels coprocessor. */
+    void attachCoprocessor(FsCoprocessor *cop) { cop_ = cop; }
+
+    /** ecall handler; return true to halt the hart (program exit). */
+    using EcallHandler = std::function<bool(Hart &)>;
+    void onEcall(EcallHandler handler) { ecall_ = std::move(handler); }
+
+    /** Assert/deassert the machine external interrupt line (MEIP). */
+    void setExternalInterrupt(bool asserted);
+
+    /**
+     * Execute one instruction (or take a pending interrupt, or idle
+     * one cycle in WFI). @return cycles consumed.
+     */
+    std::uint64_t step();
+
+    /** Run until halted or the cycle budget is exhausted. */
+    std::uint64_t run(std::uint64_t max_cycles);
+
+    /** Power failure: all volatile architectural state decays. */
+    void powerFail();
+
+    /** Cold-boot reset to the given pc; regs and CSRs cleared. */
+    void reset(std::uint32_t pc);
+
+  private:
+    bool interruptPending() const;
+    void takeInterrupt();
+    std::uint64_t execute(Word inst);
+    std::uint32_t &csrRef(Word addr);
+    std::uint64_t executeSystem(Word inst);
+
+    MemoryDevice &bus_;
+    CycleCosts costs_;
+    std::array<std::uint32_t, 32> regs_{};
+    std::uint32_t pc_ = 0;
+
+    // Machine-mode CSRs.
+    std::uint32_t mstatus_ = 0;
+    std::uint32_t mie_ = 0;
+    std::uint32_t mip_ = 0;
+    std::uint32_t mtvec_ = 0;
+    std::uint32_t mepc_ = 0;
+    std::uint32_t mcause_ = 0;
+    std::uint32_t mscratch_ = 0;
+
+    std::uint64_t cycles_ = 0;
+    std::uint64_t instret_ = 0;
+    bool wfi_ = false;
+    bool halted_ = false;
+
+    FsCoprocessor *cop_ = nullptr;
+    EcallHandler ecall_;
+};
+
+} // namespace riscv
+} // namespace fs
+
+#endif // FS_RISCV_HART_H_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memory abstraction for the RISC-V hart: a byte-addressed interface
+ * plus a simple RAM implementation with volatile/non-volatile
+ * semantics (SRAM loses its contents on power failure, FRAM keeps
+ * them -- the distinction the checkpointing runtime exists to bridge).
+ */
+
+#ifndef FS_RISCV_MEMORY_H_
+#define FS_RISCV_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fs {
+namespace riscv {
+
+/** Byte-addressed memory target. Addresses are bus-relative. */
+class MemoryDevice
+{
+  public:
+    virtual ~MemoryDevice();
+
+    virtual std::uint32_t read(std::uint32_t addr, unsigned bytes) = 0;
+    virtual void write(std::uint32_t addr, std::uint32_t value,
+                       unsigned bytes) = 0;
+    virtual std::uint32_t size() const = 0;
+};
+
+/** Plain RAM; optionally non-volatile. */
+class Ram : public MemoryDevice
+{
+  public:
+    /**
+     * @param bytes       capacity
+     * @param non_volatile survives powerFail()
+     */
+    explicit Ram(std::uint32_t bytes, bool non_volatile = false);
+
+    std::uint32_t read(std::uint32_t addr, unsigned bytes) override;
+    void write(std::uint32_t addr, std::uint32_t value,
+               unsigned bytes) override;
+    std::uint32_t size() const override { return std::uint32_t(data_.size()); }
+
+    bool nonVolatile() const { return non_volatile_; }
+
+    /** Power failure: volatile contents decay to zero. */
+    void powerFail();
+
+    /** Raw contents for test inspection / program loading. */
+    std::vector<std::uint8_t> &data() { return data_; }
+    const std::vector<std::uint8_t> &data() const { return data_; }
+
+    /** Copy a program image (little-endian words) at an offset. */
+    void loadWords(std::uint32_t offset,
+                   const std::vector<std::uint32_t> &words);
+
+    std::uint64_t writeCount() const { return writes_; }
+
+  private:
+    std::vector<std::uint8_t> data_;
+    bool non_volatile_;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace riscv
+} // namespace fs
+
+#endif // FS_RISCV_MEMORY_H_

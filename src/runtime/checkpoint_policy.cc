@@ -1,0 +1,52 @@
+#include "runtime/checkpoint_policy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace runtime {
+
+AdaptiveCheckpointPolicy::AdaptiveCheckpointPolicy(
+    Config config, const EnergyAssessor *assessor)
+    : config_(config), assessor_(assessor)
+{
+    if (config.checkpointEnergy <= 0.0)
+        fatal("checkpoint energy must be positive");
+    if (config.candidatePeriod <= 0.0)
+        fatal("candidate period must be positive");
+}
+
+void
+AdaptiveCheckpointPolicy::notifyPowerOn(double boot_energy)
+{
+    blind_energy_estimate_ = boot_energy;
+}
+
+bool
+AdaptiveCheckpointPolicy::onCandidate(double v_true)
+{
+    ++candidates_;
+    bool take;
+    if (assessor_) {
+        // Skip while the buffer can provably cover one more period
+        // of execution plus the eventual checkpoint.
+        const double need =
+            config_.checkpointEnergy + config_.worstCasePeriodEnergy;
+        take = !assessor_->canAfford(v_true, need);
+    } else {
+        // Blind: decay a pessimistic estimate by the guard-banded
+        // worst case per period; checkpoint once it cannot guarantee
+        // another full period.
+        blind_energy_estimate_ -=
+            config_.worstCasePeriodEnergy + config_.guardBandEnergy;
+        take = blind_energy_estimate_ <
+               config_.checkpointEnergy + config_.worstCasePeriodEnergy;
+    }
+    if (take)
+        ++taken_;
+    return take;
+}
+
+} // namespace runtime
+} // namespace fs

@@ -1,0 +1,63 @@
+#include "runtime/energy_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace runtime {
+
+EnergyModel::EnergyModel(double capacitance, double v_min)
+    : c_(capacitance), v_min_(v_min)
+{
+    if (capacitance <= 0.0)
+        fatal("capacitance must be positive");
+    if (v_min < 0.0)
+        fatal("minimum voltage cannot be negative");
+}
+
+double
+EnergyModel::usableEnergy(double v) const
+{
+    if (v <= v_min_)
+        return 0.0;
+    return 0.5 * c_ * (v * v - v_min_ * v_min_);
+}
+
+double
+EnergyModel::voltageFor(double energy) const
+{
+    if (energy <= 0.0)
+        return v_min_;
+    return std::sqrt(2.0 * energy / c_ + v_min_ * v_min_);
+}
+
+EnergyAssessor::EnergyAssessor(const analog::VoltageMonitor &monitor,
+                               EnergyModel model)
+    : monitor_(&monitor), model_(model)
+{
+}
+
+EnergyStatus
+EnergyAssessor::assess(double v_true) const
+{
+    EnergyStatus status;
+    status.measuredVolts = monitor_->measure(v_true);
+    status.usableJoules = model_.usableEnergy(status.measuredVolts);
+    return status;
+}
+
+bool
+EnergyAssessor::canAfford(double v_true, double energy_needed) const
+{
+    const EnergyStatus status = assess(v_true);
+    // The reading can overstate the true voltage by up to the
+    // monitor's resolution; discount that much energy.
+    const double margin =
+        model_.capacitance() * status.measuredVolts *
+        monitor_->resolution();
+    return status.usableJoules - margin >= energy_needed;
+}
+
+} // namespace runtime
+} // namespace fs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Capacitor energy arithmetic for software runtimes (Section II-C).
+ *
+ * The monitors report volts; runtimes reason in joules. This model
+ * converts between the two for a buffer-capacitor system with a hard
+ * minimum operating voltage, and binds a voltage monitor to it so
+ * policies can ask "can I afford this much work right now?".
+ */
+
+#ifndef FS_RUNTIME_ENERGY_MODEL_H_
+#define FS_RUNTIME_ENERGY_MODEL_H_
+
+#include "analog/voltage_monitor.h"
+
+namespace fs {
+namespace runtime {
+
+class EnergyModel
+{
+  public:
+    /**
+     * @param capacitance buffer capacitor (F)
+     * @param v_min       minimum useful voltage (V): energy below it
+     *                    is stranded
+     */
+    EnergyModel(double capacitance, double v_min);
+
+    double capacitance() const { return c_; }
+    double vMin() const { return v_min_; }
+
+    /** Usable energy above v_min at voltage v (J); 0 below v_min. */
+    double usableEnergy(double v) const;
+
+    /** Voltage at which `energy` joules sit above v_min (V). */
+    double voltageFor(double energy) const;
+
+    /** Energy one load draws over a duration at roughly v volts (J). */
+    static double
+    loadEnergy(double current, double v, double seconds)
+    {
+        return current * v * seconds;
+    }
+
+  private:
+    double c_;
+    double v_min_;
+};
+
+/** A monitor reading converted into runtime-usable terms. */
+struct EnergyStatus {
+    double measuredVolts = 0.0;
+    double usableJoules = 0.0;
+};
+
+/**
+ * Binds a voltage monitor to an energy model. All judgments go
+ * through the monitor's measure() path, so a coarse or single-bit
+ * monitor degrades the policy exactly as it would on hardware.
+ */
+class EnergyAssessor
+{
+  public:
+    EnergyAssessor(const analog::VoltageMonitor &monitor,
+                   EnergyModel model);
+
+    const EnergyModel &model() const { return model_; }
+    const analog::VoltageMonitor &monitor() const { return *monitor_; }
+
+    /** Measure the supply and convert to usable energy. */
+    EnergyStatus assess(double v_true) const;
+
+    /**
+     * True when the measured usable energy covers `energy_needed`
+     * plus the monitor's own worst-case error margin (in joules at
+     * the measured voltage).
+     */
+    bool canAfford(double v_true, double energy_needed) const;
+
+  private:
+    const analog::VoltageMonitor *monitor_;
+    EnergyModel model_;
+};
+
+} // namespace runtime
+} // namespace fs
+
+#endif // FS_RUNTIME_ENERGY_MODEL_H_

@@ -1,0 +1,81 @@
+#include "runtime/phase_controller.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace runtime {
+
+PhaseController::PhaseController(Config config,
+                                 const EnergyAssessor &assessor)
+    : config_(config), assessor_(&assessor)
+{
+    if (!(config.vLow < config.vMid && config.vMid < config.vHigh))
+        fatal("phase thresholds must be ordered vLow < vMid < vHigh");
+    if (config.hysteresis < 0.0)
+        fatal("hysteresis cannot be negative");
+}
+
+ExecutionMode
+PhaseController::select(double v_true)
+{
+    const double v = assessor_->assess(v_true).measuredVolts;
+    const double h = config_.hysteresis;
+
+    ExecutionMode next = mode_;
+    switch (mode_) {
+      case ExecutionMode::Sleep:
+        if (v >= config_.vHigh)
+            next = ExecutionMode::HighPerformance;
+        else if (v >= config_.vLow + h)
+            next = ExecutionMode::HighEfficiency;
+        break;
+      case ExecutionMode::HighEfficiency:
+        if (v >= config_.vHigh)
+            next = ExecutionMode::HighPerformance;
+        else if (v < config_.vLow)
+            next = ExecutionMode::Sleep;
+        break;
+      case ExecutionMode::HighPerformance:
+        if (v < config_.vLow)
+            next = ExecutionMode::Sleep;
+        else if (v < config_.vMid - h)
+            next = ExecutionMode::HighEfficiency;
+        break;
+    }
+    if (next != mode_) {
+        mode_ = next;
+        ++switches_;
+    }
+    return mode_;
+}
+
+double
+PhaseController::modeCurrent(ExecutionMode mode) const
+{
+    switch (mode) {
+      case ExecutionMode::Sleep:
+        return 0.5e-6;
+      case ExecutionMode::HighEfficiency:
+        return config_.heCurrent;
+      case ExecutionMode::HighPerformance:
+        return config_.hpCurrent;
+    }
+    panic("unknown mode");
+}
+
+double
+PhaseController::modeWorkRate(ExecutionMode mode) const
+{
+    switch (mode) {
+      case ExecutionMode::Sleep:
+        return 0.0;
+      case ExecutionMode::HighEfficiency:
+        return 1.0;
+      case ExecutionMode::HighPerformance:
+        return config_.hpSpeedup;
+    }
+    panic("unknown mode");
+}
+
+} // namespace runtime
+} // namespace fs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * PHASE-style execution-mode selection (Section II-C): a
+ * single-workload heterogeneous system switches between a
+ * high-performance core and a high-efficiency core depending on
+ * ambient power. The decision needs a cheap, poll-able energy
+ * reading -- exactly what Failure Sentinels provides.
+ */
+
+#ifndef FS_RUNTIME_PHASE_CONTROLLER_H_
+#define FS_RUNTIME_PHASE_CONTROLLER_H_
+
+#include <cstddef>
+
+#include "runtime/energy_model.h"
+
+namespace fs {
+namespace runtime {
+
+enum class ExecutionMode { Sleep, HighEfficiency, HighPerformance };
+
+class PhaseController
+{
+  public:
+    struct Config {
+        double hpCurrent = 400e-6; ///< high-performance core draw (A)
+        double heCurrent = 110e-6; ///< high-efficiency core draw (A)
+        double hpSpeedup = 3.0;    ///< work per second vs. the HE core
+        /** Enter HP above this measured voltage (V). */
+        double vHigh = 3.0;
+        /** Drop to HE below this measured voltage (V). */
+        double vMid = 2.4;
+        /** Sleep below this measured voltage (V). */
+        double vLow = 2.0;
+        /** Hysteresis to avoid mode thrash (V). */
+        double hysteresis = 0.1;
+    };
+
+    PhaseController(Config config, const EnergyAssessor &assessor);
+
+    /** Pick the mode for the current (measured) supply state. */
+    ExecutionMode select(double v_true);
+
+    ExecutionMode currentMode() const { return mode_; }
+    std::size_t modeSwitches() const { return switches_; }
+
+    /** Load current of a mode (A). */
+    double modeCurrent(ExecutionMode mode) const;
+
+    /** Relative work rate of a mode (HE = 1). */
+    double modeWorkRate(ExecutionMode mode) const;
+
+  private:
+    Config config_;
+    const EnergyAssessor *assessor_;
+    ExecutionMode mode_ = ExecutionMode::Sleep;
+    std::size_t switches_ = 0;
+};
+
+} // namespace runtime
+} // namespace fs
+
+#endif // FS_RUNTIME_PHASE_CONTROLLER_H_

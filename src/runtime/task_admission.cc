@@ -1,0 +1,36 @@
+#include "runtime/task_admission.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace runtime {
+
+TaskAdmission::TaskAdmission(const EnergyAssessor &assessor, double margin)
+    : assessor_(&assessor), margin_(margin)
+{
+    if (margin < 1.0)
+        fatal("admission margin below 1.0 under-provisions tasks");
+}
+
+double
+TaskAdmission::taskEnergy(const Task &task, double v_now) const
+{
+    return EnergyModel::loadEnergy(task.currentA, v_now, task.seconds);
+}
+
+bool
+TaskAdmission::admit(const Task &task, double v_true)
+{
+    const EnergyStatus status = assessor_->assess(v_true);
+    const double need =
+        margin_ * taskEnergy(task, status.measuredVolts);
+    const bool ok = assessor_->canAfford(v_true, need);
+    if (ok)
+        ++admitted_;
+    else
+        ++deferred_;
+    return ok;
+}
+
+} // namespace runtime
+} // namespace fs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Dewdrop-style task admission (Section II-C): before launching a
+ * task, check whether the buffer holds enough measured energy to
+ * finish it; otherwise sleep and let the harvester work. Aborted
+ * tasks waste everything they consumed, so admission accuracy is
+ * throughput.
+ */
+
+#ifndef FS_RUNTIME_TASK_ADMISSION_H_
+#define FS_RUNTIME_TASK_ADMISSION_H_
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/energy_model.h"
+
+namespace fs {
+namespace runtime {
+
+/** One schedulable unit of work. */
+struct Task {
+    std::string name;
+    double seconds = 0.0; ///< execution time at full load
+    double currentA = 0.0; ///< load current while executing
+};
+
+class TaskAdmission
+{
+  public:
+    /**
+     * @param assessor monitor-backed energy oracle
+     * @param margin   extra safety factor on the task's energy
+     *                 (1.0 = exact; Dewdrop uses a small cushion)
+     */
+    explicit TaskAdmission(const EnergyAssessor &assessor,
+                           double margin = 1.1);
+
+    /** Worst-case energy the task draws at the measured voltage (J). */
+    double taskEnergy(const Task &task, double v_now) const;
+
+    /** Admit iff measured energy covers the task with margin. */
+    bool admit(const Task &task, double v_true);
+
+    std::size_t admitted() const { return admitted_; }
+    std::size_t deferred() const { return deferred_; }
+
+  private:
+    const EnergyAssessor *assessor_;
+    double margin_;
+    std::size_t admitted_ = 0;
+    std::size_t deferred_ = 0;
+};
+
+} // namespace runtime
+} // namespace fs
+
+#endif // FS_RUNTIME_TASK_ADMISSION_H_

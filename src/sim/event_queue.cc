@@ -1,0 +1,65 @@
+#include "sim/event_queue.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace sim {
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    FS_ASSERT(when >= now_, "scheduling into the past: ", when, " < ", now_);
+    auto entry = std::make_shared<Entry>();
+    entry->when = when;
+    entry->seq = next_seq_++;
+    entry->cb = std::move(cb);
+    live_.emplace(entry->seq, entry);
+    heap_.push(std::move(entry));
+    return next_seq_ - 1;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Lazy deletion: drop the liveness record; the heap entry is skipped
+    // when popped.
+    return live_.erase(id) > 0;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        auto entry = heap_.top();
+        heap_.pop();
+        auto it = live_.find(entry->seq);
+        if (it == live_.end())
+            continue; // cancelled
+        live_.erase(it);
+        now_ = entry->when;
+        entry->cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run(Tick until)
+{
+    while (!heap_.empty()) {
+        // Skip cancelled events without advancing time.
+        auto top = heap_.top();
+        if (!live_.count(top->seq)) {
+            heap_.pop();
+            continue;
+        }
+        if (top->when > until)
+            break;
+        step();
+    }
+    if (now_ < until && until != ~Tick(0))
+        now_ = until;
+}
+
+} // namespace sim
+} // namespace fs

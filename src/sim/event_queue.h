@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Time is kept in integer ticks of 1 picosecond, which comfortably
+ * resolves both RO periods (nanoseconds) and harvesting dynamics
+ * (seconds: ~1e12 ticks, far below the 64-bit limit).
+ */
+
+#ifndef FS_SIM_EVENT_QUEUE_H_
+#define FS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace fs {
+namespace sim {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per second (1 ps resolution). */
+constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+/** Convert seconds to ticks (rounding to nearest). */
+constexpr Tick
+toTicks(double seconds)
+{
+    return Tick(seconds * double(kTicksPerSecond) + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+toSeconds(Tick ticks)
+{
+    return double(ticks) / double(kTicksPerSecond);
+}
+
+/**
+ * Time-ordered event queue. Events scheduled for the same tick fire in
+ * FIFO order of scheduling, which keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    using EventId = std::uint64_t;
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule a callback a relative number of ticks in the future. */
+    EventId
+    scheduleIn(Tick delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Cancel a scheduled event; returns false if it already fired. */
+    bool cancel(EventId id);
+
+    /** Fire the next live event; returns false if the queue is empty. */
+    bool step();
+
+    /**
+     * Run until the queue drains or an event beyond `until` would fire
+     * (that event stays queued; now() advances to at most `until`).
+     */
+    void run(Tick until = ~Tick(0));
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    bool empty() const { return live_.empty(); }
+    std::size_t pending() const { return live_.size(); }
+
+  private:
+    struct Entry {
+        Tick when;
+        EventId seq;
+        Callback cb;
+    };
+    struct Order {
+        bool
+        operator()(const std::shared_ptr<Entry> &a,
+                   const std::shared_ptr<Entry> &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    Tick now_ = 0;
+    EventId next_seq_ = 1;
+    std::unordered_map<EventId, std::shared_ptr<Entry>> live_;
+    std::priority_queue<std::shared_ptr<Entry>,
+                        std::vector<std::shared_ptr<Entry>>, Order> heap_;
+};
+
+} // namespace sim
+} // namespace fs
+
+#endif // FS_SIM_EVENT_QUEUE_H_

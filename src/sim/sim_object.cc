@@ -1,0 +1,14 @@
+#include "sim/sim_object.h"
+
+namespace fs {
+namespace sim {
+
+SimObject::SimObject(EventQueue &queue, std::string name)
+    : queue_(queue), name_(std::move(name))
+{
+}
+
+SimObject::~SimObject() = default;
+
+} // namespace sim
+} // namespace fs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Base class for simulated components that live on an EventQueue.
+ */
+
+#ifndef FS_SIM_SIM_OBJECT_H_
+#define FS_SIM_SIM_OBJECT_H_
+
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace fs {
+namespace sim {
+
+/**
+ * A named component bound to an event queue. Subclasses schedule their
+ * own events and expose state to the rest of the system.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &queue, std::string name);
+    virtual ~SimObject();
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    EventQueue &queue() { return queue_; }
+    Tick now() const { return queue_.now(); }
+
+  protected:
+    EventQueue &queue_;
+
+  private:
+    std::string name_;
+};
+
+} // namespace sim
+} // namespace fs
+
+#endif // FS_SIM_SIM_OBJECT_H_

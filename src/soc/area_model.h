@@ -1,0 +1,65 @@
+/**
+ * @file
+ * LUT-equivalent area/timing/power model for Table II.
+ *
+ * The paper reports the cost of adding Failure Sentinels to a
+ * RocketChip SoC on an Artix-7: +23 LUTs (+0.04 %), no Fmax change,
+ * and power within tool noise. We model area as a component inventory
+ * calibrated to the paper's base total (53 664 LUTs); the reproduced
+ * quantity is the delta from adding the monitor's digital logic
+ * (counter, comparator, control, synchronizers).
+ */
+
+#ifndef FS_SOC_AREA_MODEL_H_
+#define FS_SOC_AREA_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace soc {
+
+/** One synthesized block and its LUT-equivalent footprint. */
+struct AreaComponent {
+    std::string name;
+    std::uint32_t luts;
+};
+
+class AreaModel
+{
+  public:
+    /** RocketChip-class base SoC inventory (sums to 53 664 LUTs). */
+    static std::vector<AreaComponent> baseSocInventory();
+
+    /**
+     * Failure Sentinels digital logic for the given counter width.
+     * The RO, divider, and level shifter are transistor-level blocks
+     * with no LUT cost (and on an FPGA the RO maps into the same LUT
+     * count as its stage count -- included here).
+     */
+    static std::vector<AreaComponent>
+    failureSentinelsInventory(std::size_t counter_bits = 8,
+                              std::size_t ro_stages = 21);
+
+    static std::uint32_t totalLuts(const std::vector<AreaComponent> &inv);
+
+    /** Table II row data. */
+    struct Summary {
+        std::uint32_t baseLuts;
+        std::uint32_t withFsLuts;
+        double areaOverheadPercent;
+        double baseFmaxMhz;
+        double withFsFmaxMhz;
+        double basePowerW;
+        double withFsPowerW;
+    };
+
+    static Summary tableII(std::size_t counter_bits = 8,
+                           std::size_t ro_stages = 21);
+};
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_AREA_MODEL_H_

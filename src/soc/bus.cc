@@ -1,0 +1,48 @@
+#include "soc/bus.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace soc {
+
+void
+Bus::attach(std::string name, std::uint32_t base,
+            riscv::MemoryDevice &device, std::uint32_t span)
+{
+    if (span == 0)
+        span = device.size();
+    for (const auto &m : mappings_) {
+        const bool overlap =
+            base < m.base + m.span && m.base < base + span;
+        if (overlap)
+            fatal("bus mapping '", name, "' overlaps '", m.name, "'");
+    }
+    mappings_.push_back({std::move(name), base, span, &device});
+}
+
+const Bus::Mapping &
+Bus::decode(std::uint32_t addr, unsigned bytes) const
+{
+    for (const auto &m : mappings_) {
+        if (addr >= m.base && addr + bytes <= m.base + m.span)
+            return m;
+    }
+    fatal("bus: access to unmapped address 0x", std::hex, addr);
+}
+
+std::uint32_t
+Bus::read(std::uint32_t addr, unsigned bytes)
+{
+    const Mapping &m = decode(addr, bytes);
+    return m.device->read(addr - m.base, bytes);
+}
+
+void
+Bus::write(std::uint32_t addr, std::uint32_t value, unsigned bytes)
+{
+    const Mapping &m = decode(addr, bytes);
+    m.device->write(addr - m.base, value, bytes);
+}
+
+} // namespace soc
+} // namespace fs

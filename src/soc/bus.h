@@ -1,0 +1,57 @@
+/**
+ * @file
+ * System bus: decodes 32-bit physical addresses onto the SoC's
+ * memory-mapped devices (FRAM, SRAM, the Failure Sentinels
+ * peripheral).
+ */
+
+#ifndef FS_SOC_BUS_H_
+#define FS_SOC_BUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "riscv/memory.h"
+
+namespace fs {
+namespace soc {
+
+/** Default SoC memory map. */
+constexpr std::uint32_t kFramBase = 0x00000000;
+constexpr std::uint32_t kFramSize = 128 * 1024;
+constexpr std::uint32_t kSramBase = 0x20000000;
+constexpr std::uint32_t kDefaultSramSize = 8 * 1024;
+constexpr std::uint32_t kFsMmioBase = 0x40000000;
+constexpr std::uint32_t kFsMmioSize = 0x40;
+
+class Bus : public riscv::MemoryDevice
+{
+  public:
+    /** Map a device at [base, base + span); span defaults to size(). */
+    void attach(std::string name, std::uint32_t base,
+                riscv::MemoryDevice &device, std::uint32_t span = 0);
+
+    std::uint32_t read(std::uint32_t addr, unsigned bytes) override;
+    void write(std::uint32_t addr, std::uint32_t value,
+               unsigned bytes) override;
+    /** Buses span the whole address space. */
+    std::uint32_t size() const override { return 0xffffffffu; }
+
+  private:
+    struct Mapping {
+        std::string name;
+        std::uint32_t base;
+        std::uint32_t span;
+        riscv::MemoryDevice *device;
+    };
+
+    const Mapping &decode(std::uint32_t addr, unsigned bytes) const;
+
+    std::vector<Mapping> mappings_;
+};
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_BUS_H_

@@ -1,0 +1,139 @@
+#include "soc/checkpoint_firmware.h"
+
+#include "riscv/assembler.h"
+#include "soc/fs_peripheral.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace soc {
+
+using namespace riscv; // encoding helpers and register names
+
+std::vector<Word>
+buildCheckpointRuntime(const CheckpointLayout &layout,
+                       std::uint32_t threshold_count)
+{
+    FS_ASSERT(layout.sramSize % 4 == 0, "SRAM size must be word aligned");
+    FS_ASSERT(layout.sramSaveAddr() > layout.appBase,
+              "save area collides with application space");
+
+    Assembler as(layout.framBase);
+    const auto reset_code = as.newLabel();
+    const auto copy_loop = as.newLabel();
+    const auto dead_loop = as.newLabel();
+    const auto restore = as.newLabel();
+    const auto restore_loop = as.newLabel();
+    const auto cold = as.newLabel();
+    const auto halt_loop = as.newLabel();
+
+    // --- word 0: reset vector jumps over the handler region ---
+    as.jTo(reset_code);
+    while (as.here() < layout.handlerAddr())
+        as.nop();
+
+    // --- trap handler: save a checkpoint (two-phase commit) ---
+    FS_ASSERT(as.here() == layout.handlerAddr(), "handler misplaced");
+    as.emit(csrrw(kT0, kCsrMscratch, kT0)); // stash t0
+    // Invalidate any previous checkpoint before overwriting it.
+    as.li(kT0, std::int32_t(layout.commitFlagAddr()));
+    as.emit(sw(kZero, kT0, 0));
+    // Save x1..x31 (t0 via mscratch) plus the interrupted pc.
+    as.li(kT0, std::int32_t(layout.regSaveAddr()));
+    for (Word r = 1; r < 32; ++r) {
+        if (r == kT0)
+            continue;
+        as.emit(sw(r, kT0, std::int32_t((r - 1) * 4)));
+    }
+    as.emit(csrrs(kT1, kCsrMscratch, kZero));
+    as.emit(sw(kT1, kT0, std::int32_t((kT0 - 1) * 4)));
+    as.emit(csrrs(kT1, kCsrMepc, kZero));
+    as.emit(sw(kT1, kT0, 124)); // pc slot
+    // Copy SRAM to the FRAM save area.
+    as.li(kT1, std::int32_t(layout.sramBase));
+    as.li(kT2, std::int32_t(layout.sramSaveAddr()));
+    as.li(kT3, std::int32_t(layout.sramBase + layout.sramSize));
+    as.bind(copy_loop);
+    as.emit(lw(kT4, kT1, 0));
+    as.emit(sw(kT4, kT2, 0));
+    as.emit(addi(kT1, kT1, 4));
+    as.emit(addi(kT2, kT2, 4));
+    as.bltuTo(kT1, kT3, copy_loop);
+    // Commit.
+    as.li(kT1, std::int32_t(layout.commitFlagAddr()));
+    as.li(kT2, 1);
+    as.emit(sw(kT2, kT1, 0));
+    // Acknowledge the FS interrupt and sleep until power dies.
+    as.li(kT1, std::int32_t(layout.fsMmioBase));
+    as.emit(sw(kZero, kT1, kFsRegStatus));
+    as.bind(dead_loop);
+    as.emit(wfi());
+    as.jTo(dead_loop);
+
+    // --- reset path ---
+    as.bind(reset_code);
+    as.li(kSp, std::int32_t(layout.stackTop()));
+    as.li(kT0, std::int32_t(layout.handlerAddr()));
+    as.emit(csrrw(kZero, kCsrMtvec, kT0));
+    as.li(kT0, std::int32_t(layout.commitFlagAddr()));
+    as.emit(lw(kT1, kT0, 0));
+    as.bneTo(kT1, kZero, restore);
+    as.jTo(cold);
+
+    // --- restore a committed checkpoint ---
+    as.bind(restore);
+    as.li(kT1, std::int32_t(layout.sramSaveAddr()));
+    as.li(kT2, std::int32_t(layout.sramBase));
+    as.li(kT3, std::int32_t(layout.sramBase + layout.sramSize));
+    as.bind(restore_loop);
+    as.emit(lw(kT4, kT1, 0));
+    as.emit(sw(kT4, kT2, 0));
+    as.emit(addi(kT1, kT1, 4));
+    as.emit(addi(kT2, kT2, 4));
+    as.bltuTo(kT2, kT3, restore_loop);
+    // Re-enable the monitor and re-arm the checkpoint interrupt.
+    as.li(kT1, std::int32_t(threshold_count));
+    as.li(kT2, std::int32_t(kFsCtrlEnable | kFsCtrlArmIrq));
+    as.emit(fsCfg(kT1, kT2));
+    // MEIE on; MPIE on so mret restores MIE=1.
+    as.li(kT1, std::int32_t(kMieMeie));
+    as.emit(csrrw(kZero, kCsrMie, kT1));
+    as.li(kT1, std::int32_t(kMstatusMpie));
+    as.emit(csrrs(kZero, kCsrMstatus, kT1));
+    // mepc <- saved pc, then reload every register (t0 last: it is
+    // the base pointer for the loads).
+    as.li(kT0, std::int32_t(layout.regSaveAddr()));
+    as.emit(lw(kT1, kT0, 124));
+    as.emit(csrrw(kZero, kCsrMepc, kT1));
+    for (Word r = 1; r < 32; ++r) {
+        if (r == kT0)
+            continue;
+        as.emit(lw(r, kT0, std::int32_t((r - 1) * 4)));
+    }
+    as.emit(lw(kT0, kT0, std::int32_t((kT0 - 1) * 4)));
+    as.emit(mret());
+
+    // --- cold start ---
+    as.bind(cold);
+    as.li(kT1, std::int32_t(threshold_count));
+    as.li(kT2, std::int32_t(kFsCtrlEnable | kFsCtrlArmIrq));
+    as.emit(fsCfg(kT1, kT2));
+    as.li(kT1, std::int32_t(kMieMeie));
+    as.emit(csrrw(kZero, kCsrMie, kT1));
+    as.li(kT1, std::int32_t(kMstatusMie));
+    as.emit(csrrs(kZero, kCsrMstatus, kT1));
+    as.li(kT0, std::int32_t(layout.appBase));
+    as.emit(jalr(kRa, kT0, 0));
+    // Application returned: report completion to the host.
+    as.emit(ecall());
+    as.bind(halt_loop);
+    as.emit(wfi());
+    as.jTo(halt_loop);
+
+    auto image = as.finalize();
+    FS_ASSERT(image.size() * 4 + layout.framBase <= layout.appBase,
+              "runtime overflows into the application region");
+    return image;
+}
+
+} // namespace soc
+} // namespace fs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Just-in-time checkpointing runtime (Sections II-A and IV-B),
+ * generated as real RV32 machine code.
+ *
+ * The paper links unmodified software against a library-level
+ * interrupt handler that saves a checkpoint when Failure Sentinels
+ * fires. This module assembles that runtime:
+ *
+ *  - reset stub: set up the trap vector and stack, then either
+ *    restore the last committed checkpoint or cold-start the app;
+ *  - interrupt handler: save every register and the whole SRAM to
+ *    FRAM with a two-phase commit flag, then sleep awaiting power
+ *    death;
+ *  - restore path: copy SRAM back, re-enable and re-arm the monitor,
+ *    reload registers, and mret into the interrupted instruction.
+ *
+ * Application code is loaded separately at `appBase` and is entirely
+ * unaware of power failures.
+ */
+
+#ifndef FS_SOC_CHECKPOINT_FIRMWARE_H_
+#define FS_SOC_CHECKPOINT_FIRMWARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "riscv/encoding.h"
+#include "soc/bus.h"
+
+namespace fs {
+namespace soc {
+
+/** Address-space layout shared by the runtime and the SoC. */
+struct CheckpointLayout {
+    std::uint32_t framBase = kFramBase;
+    std::uint32_t framSize = kFramSize;
+    std::uint32_t sramBase = kSramBase;
+    std::uint32_t sramSize = kDefaultSramSize;
+    std::uint32_t appBase = kFramBase + 0x1000;
+    std::uint32_t fsMmioBase = kFsMmioBase;
+
+    /** Fixed trap-handler address programmed into mtvec. */
+    std::uint32_t handlerAddr() const { return framBase + 0x100; }
+    /** Commit flag: last word of FRAM. */
+    std::uint32_t commitFlagAddr() const
+    {
+        return framBase + framSize - 4;
+    }
+    /** Register save area: x1..x31 then pc (33 slots incl. padding). */
+    std::uint32_t regSaveAddr() const { return commitFlagAddr() - 132; }
+    /** SRAM image save area, directly below the register area. */
+    std::uint32_t sramSaveAddr() const { return regSaveAddr() - sramSize; }
+    /** Initial stack pointer (top of SRAM). */
+    std::uint32_t stackTop() const { return sramBase + sramSize; }
+};
+
+/**
+ * Assemble the checkpointing runtime.
+ *
+ * @param layout          address-space layout
+ * @param threshold_count FS counter threshold at which the interrupt
+ *                        fires (from FailureSentinels::countThresholdFor)
+ * @return the firmware image to load at layout.framBase
+ */
+std::vector<riscv::Word>
+buildCheckpointRuntime(const CheckpointLayout &layout,
+                       std::uint32_t threshold_count);
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_CHECKPOINT_FIRMWARE_H_

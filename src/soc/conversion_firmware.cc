@@ -1,0 +1,102 @@
+#include "soc/conversion_firmware.h"
+
+#include <cmath>
+
+#include "riscv/assembler.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace soc {
+
+using namespace riscv;
+
+std::vector<std::uint8_t>
+packCalibrationTable(const calib::EnrollmentData &data)
+{
+    FS_ASSERT(!data.points.empty(), "empty enrollment record");
+    FS_ASSERT(data.monotonic(), "calibration table must be monotonic");
+
+    std::vector<std::uint8_t> out;
+    auto push = [&out](std::uint32_t value) {
+        for (unsigned b = 0; b < 4; ++b)
+            out.push_back(std::uint8_t(value >> (8 * b)));
+    };
+    push(std::uint32_t(data.points.size()));
+    for (const auto &p : data.points) {
+        push(p.count);
+        push(std::uint32_t(std::lround(p.voltage * 1e3))); // millivolts
+    }
+    return out;
+}
+
+std::vector<Word>
+buildConversionProgram(std::uint32_t table_addr,
+                       std::uint32_t result_addr)
+{
+    Assembler as;
+    const auto scan = as.newLabel();
+    const auto interp = as.newLabel();
+    const auto clamp_low = as.newLabel();
+    const auto clamp_high = as.newLabel();
+    const auto store = as.newLabel();
+
+    // a0 <- raw counter value via the custom instruction. The
+    // monitor latches on its own sample schedule, so poll until a
+    // sample is available (a zero count also means "rail too low to
+    // oscillate", which cannot happen while the core itself runs).
+    const auto poll = as.newLabel();
+    as.bind(poll);
+    as.emit(fsRead(kA0));
+    as.beqTo(kA0, kZero, poll);
+    as.li(kT2, std::int32_t(table_addr));
+    as.emit(lw(kT1, kT2, 0));   // n
+    as.emit(addi(kT0, kT2, 4)); // entries base
+    as.emit(lw(kT3, kT0, 0));   // count[0]
+    as.bltuTo(kA0, kT3, clamp_low);
+
+    // Scan for the first entry whose count exceeds a0.
+    as.li(kS1, 1);
+    as.bind(scan);
+    as.bgeuTo(kS1, kT1, clamp_high);
+    as.emit(slli(kT4, kS1, 3));
+    as.emit(add(kT4, kT4, kT0)); // &entry[i]
+    as.emit(lw(kT5, kT4, 0));    // count[i]
+    as.bltuTo(kA0, kT5, interp);
+    as.emit(addi(kS1, kS1, 1));
+    as.jTo(scan);
+
+    // Integer piecewise-linear interpolation in millivolts:
+    //   mv = mv_lo + (c - c_lo) * (mv_hi - mv_lo) / (c_hi - c_lo)
+    as.bind(interp);
+    as.emit(addi(kT6, kT4, -8)); // lower entry
+    as.emit(lw(kT2, kT6, 0));    // c_lo
+    as.emit(lw(kT3, kT6, 4));    // mv_lo
+    as.emit(lw(kT5, kT4, 0));    // c_hi
+    as.emit(lw(kS0, kT4, 4));    // mv_hi
+    as.emit(sub(kS1, kS0, kT3)); // dmv
+    as.emit(sub(kT5, kT5, kT2)); // dc (> 0: table is deduplicated)
+    as.emit(sub(kT2, kA0, kT2)); // c - c_lo
+    as.emit(mul(kS1, kS1, kT2));
+    as.emit(divu(kS1, kS1, kT5));
+    as.emit(add(kA1, kT3, kS1));
+    as.jTo(store);
+
+    as.bind(clamp_low);
+    as.emit(lw(kA1, kT0, 4));
+    as.jTo(store);
+
+    as.bind(clamp_high);
+    as.emit(addi(kT4, kT1, -1));
+    as.emit(slli(kT4, kT4, 3));
+    as.emit(add(kT4, kT4, kT0));
+    as.emit(lw(kA1, kT4, 4));
+
+    as.bind(store);
+    as.li(kT0, std::int32_t(result_addr));
+    as.emit(sw(kA1, kT0, 0));
+    as.emit(jalr(kZero, kRa, 0));
+    return as.finalize();
+}
+
+} // namespace soc
+} // namespace fs

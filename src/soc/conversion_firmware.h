@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Guest-side count-to-voltage conversion (Section III-C/III-H).
+ *
+ * "Software maps the resulting counter values to supply voltage
+ * values using enrollment data stored in the NVM." This module makes
+ * that literal: it packs a device's enrollment record into the FRAM
+ * layout a mote would ship with, and assembles the RV32 subroutine
+ * that reads the Failure Sentinels counter with the custom `fs.read`
+ * instruction and converts it to millivolts by integer piecewise-
+ * linear interpolation over that table.
+ */
+
+#ifndef FS_SOC_CONVERSION_FIRMWARE_H_
+#define FS_SOC_CONVERSION_FIRMWARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "calib/enrollment.h"
+#include "riscv/encoding.h"
+#include "soc/bus.h"
+
+namespace fs {
+namespace soc {
+
+/** Default FRAM address for the calibration table. */
+constexpr std::uint32_t kCalibrationTableAddr = kFramBase + 0xc000;
+
+/**
+ * Pack enrollment data for the guest: a word count, then per entry a
+ * 32-bit raw count and a 32-bit voltage in millivolts (integer math
+ * friendly; a real mote would bit-pack to entryBits, which only
+ * changes the load code, not the algorithm).
+ */
+std::vector<std::uint8_t>
+packCalibrationTable(const calib::EnrollmentData &data);
+
+/**
+ * Assemble the conversion program: executes `fs.read`, walks the
+ * table at `table_addr` for the bracketing entries, interpolates in
+ * integer millivolts, stores the result to `result_addr`, returns via
+ * ra. Counts below/above the table clamp to its ends.
+ */
+std::vector<riscv::Word>
+buildConversionProgram(std::uint32_t table_addr,
+                       std::uint32_t result_addr);
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_CONVERSION_FIRMWARE_H_

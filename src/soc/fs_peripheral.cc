@@ -1,0 +1,127 @@
+#include "soc/fs_peripheral.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace soc {
+
+FsPeripheral::FsPeripheral(const core::FailureSentinels &monitor,
+                           VoltageSource source)
+    : monitor_(monitor), source_(std::move(source))
+{
+    FS_ASSERT(monitor.enrolled(),
+              "FS peripheral needs an enrolled monitor");
+}
+
+void
+FsPeripheral::advance(double dt_seconds)
+{
+    FS_ASSERT(dt_seconds >= 0.0, "time cannot run backwards");
+    const double period = monitor_.samplePeriod();
+    time_ += dt_seconds;
+    while (enabled() && next_sample_ <= time_) {
+        latch();
+        next_sample_ += period;
+    }
+}
+
+void
+FsPeripheral::latch()
+{
+    const double v = source_(next_sample_);
+    count_ = monitor_.rawSample(v);
+    fresh_count_ = true;
+    ++samples_;
+    updateIrq();
+}
+
+void
+FsPeripheral::updateIrq()
+{
+    // The comparator only has a meaningful input once a sample has
+    // been latched this power cycle; arming must not trip on the
+    // reset count of zero.
+    if (fresh_count_ && (ctrl_ & kFsCtrlArmIrq) && count_ <= threshold_) {
+        irq_pending_ = true;
+        ctrl_ &= ~kFsCtrlArmIrq; // one-shot until re-armed
+    }
+    if (hart_)
+        hart_->setExternalInterrupt(irq_pending_);
+}
+
+void
+FsPeripheral::powerFail()
+{
+    count_ = 0;
+    threshold_ = 0;
+    ctrl_ = 0;
+    irq_pending_ = false;
+    fresh_count_ = false;
+    // The sampling schedule restarts relative to the next power-on.
+    next_sample_ = time_;
+}
+
+std::uint32_t
+FsPeripheral::read(std::uint32_t addr, unsigned bytes)
+{
+    FS_ASSERT(bytes == 4, "FS MMIO requires word access");
+    switch (addr) {
+      case kFsRegCount:
+        return count_;
+      case kFsRegThreshold:
+        return threshold_;
+      case kFsRegCtrl:
+        return ctrl_;
+      case kFsRegStatus:
+        return irq_pending_ ? 1u : 0u;
+      case kFsRegVoltageMv:
+        return std::uint32_t(std::lround(source_(time_) * 1e3));
+      default:
+        fatal("FS MMIO read from bad offset 0x", std::hex, addr);
+    }
+}
+
+void
+FsPeripheral::write(std::uint32_t addr, std::uint32_t value, unsigned bytes)
+{
+    FS_ASSERT(bytes == 4, "FS MMIO requires word access");
+    switch (addr) {
+      case kFsRegThreshold:
+        threshold_ = value;
+        break;
+      case kFsRegCtrl:
+        if (!enabled() && (value & kFsCtrlEnable))
+            next_sample_ = time_ + monitor_.samplePeriod();
+        ctrl_ = value;
+        updateIrq();
+        break;
+      case kFsRegStatus:
+        irq_pending_ = false;
+        if (hart_)
+            hart_->setExternalInterrupt(false);
+        break;
+      default:
+        fatal("FS MMIO write to bad offset 0x", std::hex, addr);
+    }
+}
+
+std::uint32_t
+FsPeripheral::fsRead()
+{
+    return count_;
+}
+
+void
+FsPeripheral::fsConfigure(std::uint32_t threshold, std::uint32_t control)
+{
+    threshold_ = threshold;
+    if (!enabled() && (control & kFsCtrlEnable))
+        next_sample_ = time_ + monitor_.samplePeriod();
+    ctrl_ = control;
+    updateIrq();
+}
+
+} // namespace soc
+} // namespace fs

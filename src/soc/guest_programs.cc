@@ -1,0 +1,335 @@
+#include "soc/guest_programs.h"
+
+#include "riscv/assembler.h"
+#include "util/random.h"
+
+namespace fs {
+namespace soc {
+
+using namespace riscv;
+
+namespace {
+
+/** Append a little-endian 32-bit word to a byte vector. */
+void
+pushWord(std::vector<std::uint8_t> &bytes, std::uint32_t value)
+{
+    for (unsigned b = 0; b < 4; ++b)
+        bytes.push_back(std::uint8_t(value >> (8 * b)));
+}
+
+} // namespace
+
+GuestProgram
+makeCrc32Program(std::size_t len, std::uint64_t seed)
+{
+    GuestProgram prog;
+    prog.name = "crc32/" + std::to_string(len);
+    prog.dataAddr = kGuestDataAddr;
+    prog.resultAddr = kGuestResultAddr;
+
+    Rng rng(seed);
+    prog.data.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+        prog.data.push_back(std::uint8_t(rng.uniformInt(0, 255)));
+
+    // Host oracle: reflected CRC-32, poly 0xEDB88320.
+    std::uint32_t crc = 0xffffffffu;
+    for (std::uint8_t byte : prog.data) {
+        crc ^= byte;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+    }
+    prog.expected = crc ^ 0xffffffffu;
+
+    Assembler as;
+    const auto byte_loop = as.newLabel();
+    const auto bit_loop = as.newLabel();
+    const auto skip_xor = as.newLabel();
+    const auto done = as.newLabel();
+    as.li(kT0, std::int32_t(prog.dataAddr));
+    as.li(kT1, std::int32_t(prog.dataAddr + len));
+    as.li(kA2, -1); // crc = 0xffffffff
+    as.li(kT4, std::int32_t(0xedb88320u));
+    as.bind(byte_loop);
+    as.bgeuTo(kT0, kT1, done);
+    as.emit(lbu(kT2, kT0, 0));
+    as.emit(xor_(kA2, kA2, kT2));
+    as.li(kT5, 8);
+    as.bind(bit_loop);
+    as.emit(andi(kT3, kA2, 1));
+    as.emit(srli(kA2, kA2, 1));
+    as.beqTo(kT3, kZero, skip_xor);
+    as.emit(xor_(kA2, kA2, kT4));
+    as.bind(skip_xor);
+    as.emit(addi(kT5, kT5, -1));
+    as.bneTo(kT5, kZero, bit_loop);
+    as.emit(addi(kT0, kT0, 1));
+    as.jTo(byte_loop);
+    as.bind(done);
+    as.emit(xori(kA2, kA2, -1));
+    as.li(kT0, std::int32_t(prog.resultAddr));
+    as.emit(sw(kA2, kT0, 0));
+    as.emit(jalr(kZero, kRa, 0));
+    prog.code = as.finalize();
+    return prog;
+}
+
+GuestProgram
+makeFirProgram(std::size_t taps, std::size_t samples, std::uint64_t seed)
+{
+    GuestProgram prog;
+    prog.name = "fir/" + std::to_string(taps) + "x" +
+                std::to_string(samples);
+    prog.dataAddr = kGuestDataAddr;
+    prog.resultAddr = kGuestResultAddr;
+
+    Rng rng(seed);
+    std::vector<std::uint32_t> x(samples), h(taps);
+    for (auto &v : x)
+        v = std::uint32_t(rng.uniformInt(-1000, 1000));
+    for (auto &v : h)
+        v = std::uint32_t(rng.uniformInt(-64, 64));
+    for (std::uint32_t v : x)
+        pushWord(prog.data, v);
+    for (std::uint32_t v : h)
+        pushWord(prog.data, v);
+
+    // Host oracle with the same mod-2^32 wraparound as the guest.
+    const std::size_t outputs = samples - taps + 1;
+    std::uint32_t checksum = 0;
+    for (std::size_t i = 0; i < outputs; ++i) {
+        std::uint32_t acc = 0;
+        for (std::size_t k = 0; k < taps; ++k)
+            acc += x[i + k] * h[k];
+        checksum += acc;
+    }
+    prog.expected = checksum;
+
+    const std::uint32_t h_addr =
+        prog.dataAddr + std::uint32_t(samples) * 4;
+    Assembler as;
+    const auto outer = as.newLabel();
+    const auto inner = as.newLabel();
+    const auto done = as.newLabel();
+    as.li(kS0, std::int32_t(prog.dataAddr)); // x window base
+    as.li(kS2, std::int32_t(outputs));       // outer trip count
+    as.li(kA2, 0);                           // checksum
+    as.bind(outer);
+    as.beqTo(kS2, kZero, done);
+    as.emit(add(kT0, kS0, kZero)); // x pointer for this window
+    as.li(kT1, std::int32_t(h_addr));
+    as.li(kT5, std::int32_t(taps));
+    as.li(kT2, 0); // accumulator
+    as.bind(inner);
+    as.emit(lw(kT3, kT0, 0));
+    as.emit(lw(kT4, kT1, 0));
+    as.emit(mul(kT3, kT3, kT4));
+    as.emit(add(kT2, kT2, kT3));
+    as.emit(addi(kT0, kT0, 4));
+    as.emit(addi(kT1, kT1, 4));
+    as.emit(addi(kT5, kT5, -1));
+    as.bneTo(kT5, kZero, inner);
+    as.emit(add(kA2, kA2, kT2));
+    as.emit(addi(kS0, kS0, 4));
+    as.emit(addi(kS2, kS2, -1));
+    as.jTo(outer);
+    as.bind(done);
+    as.li(kT0, std::int32_t(prog.resultAddr));
+    as.emit(sw(kA2, kT0, 0));
+    as.emit(jalr(kZero, kRa, 0));
+    prog.code = as.finalize();
+    return prog;
+}
+
+GuestProgram
+makeSortProgram(std::size_t n, std::uint64_t seed)
+{
+    GuestProgram prog;
+    prog.name = "sort/" + std::to_string(n);
+    prog.dataAddr = kGuestDataAddr;
+    prog.resultAddr = kGuestResultAddr;
+
+    Rng rng(seed);
+    std::vector<std::uint32_t> values(n);
+    for (auto &v : values)
+        v = std::uint32_t(rng.uniformInt(-100000, 100000));
+    for (std::uint32_t v : values)
+        pushWord(prog.data, v);
+
+    // Oracle: sort (signed) then position-weighted checksum.
+    std::vector<std::int32_t> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::uint32_t checksum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        checksum += std::uint32_t(i + 1) * std::uint32_t(sorted[i]);
+    prog.expected = checksum;
+
+    // The working array lives in SRAM: volatile state the checkpoint
+    // runtime must carry across power failures.
+    const std::uint32_t sram_array = kSramBase + 0x100;
+
+    Assembler as;
+    const auto copy = as.newLabel();
+    const auto outer = as.newLabel();
+    const auto shift = as.newLabel();
+    const auto place = as.newLabel();
+    const auto next_i = as.newLabel();
+    const auto sum_loop = as.newLabel();
+    const auto done = as.newLabel();
+
+    // Copy FRAM -> SRAM.
+    as.li(kT0, std::int32_t(prog.dataAddr));
+    as.li(kT1, std::int32_t(sram_array));
+    as.li(kT2, std::int32_t(n));
+    as.bind(copy);
+    as.emit(lw(kT3, kT0, 0));
+    as.emit(sw(kT3, kT1, 0));
+    as.emit(addi(kT0, kT0, 4));
+    as.emit(addi(kT1, kT1, 4));
+    as.emit(addi(kT2, kT2, -1));
+    as.bneTo(kT2, kZero, copy);
+
+    // Insertion sort: s0 = base, s1 = i (byte offset).
+    as.li(kS0, std::int32_t(sram_array));
+    as.li(kS1, 4); // i = 1 (in bytes)
+    as.li(kS2, std::int32_t(n * 4));
+    as.bind(outer);
+    as.bgeuTo(kS1, kS2, sum_loop);
+    as.emit(add(kT0, kS0, kS1));
+    as.emit(lw(kT1, kT0, 0)); // key
+    as.emit(add(kT2, kS1, kZero)); // j+1 byte offset
+    as.bind(shift);
+    as.beqTo(kT2, kZero, place);
+    as.emit(add(kT3, kS0, kT2));
+    as.emit(lw(kT4, kT3, -4)); // a[j]
+    as.bgeTo(kT1, kT4, place); // key >= a[j]: stop (signed)
+    as.emit(sw(kT4, kT3, 0));  // a[j+1] = a[j]
+    as.emit(addi(kT2, kT2, -4));
+    as.jTo(shift);
+    as.bind(place);
+    as.emit(add(kT3, kS0, kT2));
+    as.emit(sw(kT1, kT3, 0));
+    as.bind(next_i);
+    as.emit(addi(kS1, kS1, 4));
+    as.jTo(outer);
+
+    // Position-weighted checksum.
+    as.bind(sum_loop);
+    as.li(kT0, std::int32_t(sram_array));
+    as.li(kT1, std::int32_t(n));
+    as.li(kT2, 1);  // position weight
+    as.li(kA2, 0);  // checksum
+    const auto sum_body = as.newLabel();
+    as.bind(sum_body);
+    as.beqTo(kT1, kZero, done);
+    as.emit(lw(kT3, kT0, 0));
+    as.emit(mul(kT3, kT3, kT2));
+    as.emit(add(kA2, kA2, kT3));
+    as.emit(addi(kT0, kT0, 4));
+    as.emit(addi(kT2, kT2, 1));
+    as.emit(addi(kT1, kT1, -1));
+    as.jTo(sum_body);
+    as.bind(done);
+    as.li(kT0, std::int32_t(prog.resultAddr));
+    as.emit(sw(kA2, kT0, 0));
+    as.emit(jalr(kZero, kRa, 0));
+    prog.code = as.finalize();
+    return prog;
+}
+
+GuestProgram
+makeMatmulProgram(std::size_t n, std::uint64_t seed)
+{
+    GuestProgram prog;
+    prog.name = "matmul/" + std::to_string(n);
+    prog.dataAddr = kGuestDataAddr;
+    prog.resultAddr = kGuestResultAddr;
+
+    Rng rng(seed);
+    std::vector<std::uint32_t> a(n * n), b(n * n);
+    for (auto &v : a)
+        v = std::uint32_t(rng.uniformInt(-50, 50));
+    for (auto &v : b)
+        v = std::uint32_t(rng.uniformInt(-50, 50));
+    for (std::uint32_t v : a)
+        pushWord(prog.data, v);
+    for (std::uint32_t v : b)
+        pushWord(prog.data, v);
+
+    std::uint32_t checksum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            std::uint32_t acc = 0;
+            for (std::size_t k = 0; k < n; ++k)
+                acc += a[i * n + k] * b[k * n + j];
+            checksum += acc;
+        }
+    }
+    prog.expected = checksum;
+
+    const std::uint32_t a_addr = prog.dataAddr;
+    const std::uint32_t b_addr =
+        prog.dataAddr + std::uint32_t(n * n) * 4;
+
+    Assembler as;
+    const auto i_loop = as.newLabel();
+    const auto j_loop = as.newLabel();
+    const auto k_loop = as.newLabel();
+    const auto j_done = as.newLabel();
+    const auto i_done = as.newLabel();
+    as.li(kA2, 0);            // checksum
+    as.li(kS0, 0);            // i
+    as.li(kS3, std::int32_t(n));
+    as.bind(i_loop);
+    as.bgeTo(kS0, kS3, i_done);
+    as.li(kS1, 0); // j
+    as.bind(j_loop);
+    as.bgeTo(kS1, kS3, j_done);
+    // t0 = &A[i*n], walks k; t1 = &B[j], walks k*n.
+    as.emit(mul(kT0, kS0, kS3));
+    as.emit(slli(kT0, kT0, 2));
+    as.li(kT2, std::int32_t(a_addr));
+    as.emit(add(kT0, kT0, kT2));
+    as.emit(slli(kT1, kS1, 2));
+    as.li(kT2, std::int32_t(b_addr));
+    as.emit(add(kT1, kT1, kT2));
+    as.li(kS2, 0); // k
+    as.li(kT6, 0); // acc
+    as.bind(k_loop);
+    as.emit(lw(kT3, kT0, 0));
+    as.emit(lw(kT4, kT1, 0));
+    as.emit(mul(kT3, kT3, kT4));
+    as.emit(add(kT6, kT6, kT3));
+    as.emit(addi(kT0, kT0, 4));
+    as.emit(slli(kT5, kS3, 2));
+    as.emit(add(kT1, kT1, kT5)); // B row stride
+    as.emit(addi(kS2, kS2, 1));
+    as.bltTo(kS2, kS3, k_loop);
+    as.emit(add(kA2, kA2, kT6));
+    as.emit(addi(kS1, kS1, 1));
+    as.jTo(j_loop);
+    as.bind(j_done);
+    as.emit(addi(kS0, kS0, 1));
+    as.jTo(i_loop);
+    as.bind(i_done);
+    as.li(kT0, std::int32_t(prog.resultAddr));
+    as.emit(sw(kA2, kT0, 0));
+    as.emit(jalr(kZero, kRa, 0));
+    prog.code = as.finalize();
+    return prog;
+}
+
+std::vector<GuestProgram>
+standardWorkloads()
+{
+    std::vector<GuestProgram> out;
+    out.push_back(makeCrc32Program(2048));
+    out.push_back(makeFirProgram(16, 512));
+    out.push_back(makeSortProgram(160));
+    out.push_back(makeMatmulProgram(16));
+    return out;
+}
+
+} // namespace soc
+} // namespace fs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Library of assembled guest workloads.
+ *
+ * The paper checkpoints "unmodified software"; these programs are the
+ * unmodified software: real RV32 kernels (CRC-32, FIR filtering,
+ * insertion sort, matrix multiply) assembled in-process, each paired
+ * with a host-side oracle so intermittent runs can be checked
+ * bit-for-bit. They follow the runtime's calling convention: entered
+ * via jalr from the cold-start path, return via ra, result stored to
+ * a fixed FRAM address.
+ */
+
+#ifndef FS_SOC_GUEST_PROGRAMS_H_
+#define FS_SOC_GUEST_PROGRAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "riscv/encoding.h"
+#include "soc/checkpoint_firmware.h"
+
+namespace fs {
+namespace soc {
+
+/** An assembled workload plus everything needed to run and check it. */
+struct GuestProgram {
+    std::string name;
+    std::vector<riscv::Word> code;    ///< load at layout.appBase
+    std::vector<std::uint8_t> data;   ///< preload at dataAddr (FRAM)
+    std::uint32_t dataAddr = 0;       ///< absolute address of data
+    std::uint32_t resultAddr = 0;     ///< absolute address of the result
+    std::uint32_t expected = 0;       ///< oracle result value
+};
+
+/** Default FRAM scratch addresses used by the workloads. */
+constexpr std::uint32_t kGuestDataAddr = kFramBase + 0x4000;
+constexpr std::uint32_t kGuestResultAddr = kFramBase + 0x8000;
+
+/**
+ * CRC-32 (reflected, poly 0xEDB88320) over `len` pseudo-random bytes
+ * staged in FRAM. Bitwise implementation: ~20 instructions per byte.
+ */
+GuestProgram makeCrc32Program(std::size_t len, std::uint64_t seed = 1);
+
+/**
+ * Integer FIR filter: `taps`-tap convolution over `samples` 16-bit
+ * inputs, accumulating a wraparound checksum of the outputs.
+ */
+GuestProgram makeFirProgram(std::size_t taps, std::size_t samples,
+                            std::uint64_t seed = 2);
+
+/**
+ * In-place insertion sort of `n` 32-bit words staged in SRAM (the
+ * array itself is volatile state the checkpoint must preserve);
+ * result is a position-weighted checksum.
+ */
+GuestProgram makeSortProgram(std::size_t n, std::uint64_t seed = 3);
+
+/**
+ * n x n int32 matrix multiply with wraparound arithmetic; result is
+ * the sum of the product matrix.
+ */
+GuestProgram makeMatmulProgram(std::size_t n, std::uint64_t seed = 4);
+
+/** All four workloads at test-friendly sizes. */
+std::vector<GuestProgram> standardWorkloads();
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_GUEST_PROGRAMS_H_

@@ -1,0 +1,3 @@
+#include "soc/nvm.h"
+
+// Nvm is header-only; this translation unit anchors the target.

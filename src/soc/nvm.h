@@ -1,0 +1,41 @@
+/**
+ * @file
+ * FRAM-class non-volatile memory with write accounting. Checkpoints
+ * land here; the byte/write counters let the system model charge the
+ * checkpoint's time and energy cost (Section V-D-b).
+ */
+
+#ifndef FS_SOC_NVM_H_
+#define FS_SOC_NVM_H_
+
+#include "riscv/memory.h"
+
+namespace fs {
+namespace soc {
+
+class Nvm : public riscv::Ram
+{
+  public:
+    explicit Nvm(std::uint32_t bytes)
+        : riscv::Ram(bytes, /*non_volatile=*/true)
+    {
+    }
+
+    void
+    write(std::uint32_t addr, std::uint32_t value, unsigned bytes) override
+    {
+        riscv::Ram::write(addr, value, bytes);
+        bytes_written_ += bytes;
+    }
+
+    std::uint64_t bytesWritten() const { return bytes_written_; }
+    void resetStats() { bytes_written_ = 0; }
+
+  private:
+    std::uint64_t bytes_written_ = 0;
+};
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_NVM_H_

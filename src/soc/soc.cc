@@ -1,0 +1,106 @@
+#include "soc/soc.h"
+
+#include "util/logging.h"
+
+namespace fs {
+namespace soc {
+
+Soc::Soc(const core::FailureSentinels &monitor,
+         FsPeripheral::VoltageSource source, CheckpointLayout layout,
+         double clock_hz)
+    : layout_(layout), clock_hz_(clock_hz), fram_(layout.framSize),
+      sram_(layout.sramSize), fs_(monitor, std::move(source)),
+      hart_(bus_)
+{
+    FS_ASSERT(clock_hz > 0.0, "clock must be positive");
+    bus_.attach("fram", layout_.framBase, fram_);
+    bus_.attach("sram", layout_.sramBase, sram_);
+    bus_.attach("fs", layout_.fsMmioBase, fs_, kFsMmioSize);
+    fs_.attachHart(&hart_);
+    hart_.attachCoprocessor(&fs_);
+    hart_.onEcall([this](riscv::Hart &) {
+        app_finished_ = true;
+        return true; // halt
+    });
+}
+
+void
+Soc::loadRuntime(std::uint32_t threshold_count)
+{
+    const auto image = buildCheckpointRuntime(layout_, threshold_count);
+    fram_.loadWords(0, image);
+}
+
+void
+Soc::loadApp(const std::vector<riscv::Word> &words)
+{
+    fram_.loadWords(layout_.appBase - layout_.framBase, words);
+}
+
+void
+Soc::loadGuest(const GuestProgram &prog)
+{
+    loadApp(prog.code);
+    for (std::size_t i = 0; i < prog.data.size(); ++i) {
+        fram_.write(prog.dataAddr - layout_.framBase +
+                        std::uint32_t(i),
+                    prog.data[i], 1);
+    }
+}
+
+std::uint32_t
+Soc::guestResult(const GuestProgram &prog)
+{
+    return fram_.read(prog.resultAddr - layout_.framBase, 4);
+}
+
+void
+Soc::powerOn()
+{
+    hart_.reset(layout_.framBase);
+    ++power_cycles_;
+}
+
+void
+Soc::powerFail()
+{
+    sram_.powerFail();
+    hart_.powerFail();
+    fs_.powerFail();
+}
+
+double
+Soc::step()
+{
+    const std::uint64_t cycles = hart_.step();
+    total_cycles_ += cycles;
+    const double dt = double(cycles) / clock_hz_;
+    fs_.advance(dt);
+    return dt;
+}
+
+void
+Soc::run(std::uint64_t max_cycles)
+{
+    std::uint64_t spent = 0;
+    while (!hart_.halted() && spent < max_cycles) {
+        const std::uint64_t before = hart_.cycles();
+        step();
+        spent += hart_.cycles() - before;
+    }
+}
+
+bool
+Soc::checkpointCommitted()
+{
+    return fram_.read(layout_.commitFlagAddr() - layout_.framBase, 4) != 0;
+}
+
+double
+Soc::elapsedSeconds() const
+{
+    return double(total_cycles_) / clock_hz_;
+}
+
+} // namespace soc
+} // namespace fs

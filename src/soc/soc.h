@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The composed system-on-chip (Section IV-B's FPGA prototype,
+ * simulated): RV32IM hart + FRAM + SRAM + the Failure Sentinels
+ * peripheral on one bus, with power-failure semantics. The harvesting
+ * environment drives it through step()/powerOn()/powerFail().
+ */
+
+#ifndef FS_SOC_SOC_H_
+#define FS_SOC_SOC_H_
+
+#include <memory>
+
+#include "riscv/hart.h"
+#include "soc/bus.h"
+#include "soc/checkpoint_firmware.h"
+#include "soc/guest_programs.h"
+#include "soc/fs_peripheral.h"
+#include "soc/nvm.h"
+
+namespace fs {
+namespace soc {
+
+class Soc
+{
+  public:
+    /**
+     * @param monitor  enrolled Failure Sentinels device
+     * @param source   supply (capacitor) voltage vs. time (s)
+     * @param layout   address-space layout
+     * @param clock_hz core clock (1 MHz, MSP430-class)
+     */
+    Soc(const core::FailureSentinels &monitor,
+        FsPeripheral::VoltageSource source,
+        CheckpointLayout layout = {}, double clock_hz = 1e6);
+
+    const CheckpointLayout &layout() const { return layout_; }
+    double clockHz() const { return clock_hz_; }
+
+    riscv::Hart &hart() { return hart_; }
+    Nvm &fram() { return fram_; }
+    riscv::Ram &sram() { return sram_; }
+    FsPeripheral &fsPeripheral() { return fs_; }
+    Bus &bus() { return bus_; }
+
+    /** Assemble and load the checkpoint runtime for this threshold. */
+    void loadRuntime(std::uint32_t threshold_count);
+
+    /** Load application code at layout().appBase. */
+    void loadApp(const std::vector<riscv::Word> &words);
+
+    /** Load a guest workload: code plus its staged FRAM data. */
+    void loadGuest(const GuestProgram &prog);
+
+    /** Read the 32-bit result a guest workload stored to FRAM. */
+    std::uint32_t guestResult(const GuestProgram &prog);
+
+    /** Reset the hart to the reset vector (power restored). */
+    void powerOn();
+
+    /** Power failure: volatile state (SRAM, hart, peripheral) decays. */
+    void powerFail();
+
+    /**
+     * Execute one instruction and advance the peripheral clock.
+     * @return seconds of simulated time consumed.
+     */
+    double step();
+
+    /** Run until the app signals completion or the budget expires. */
+    void run(std::uint64_t max_cycles);
+
+    /** True once the application executed its completion ecall. */
+    bool appFinished() const { return app_finished_; }
+
+    /** True when FRAM holds a committed checkpoint. */
+    bool checkpointCommitted();
+
+    /** Simulated seconds elapsed (cycles / clock). */
+    double elapsedSeconds() const;
+
+    std::uint64_t totalCycles() const { return total_cycles_; }
+    std::uint64_t powerCycles() const { return power_cycles_; }
+
+  private:
+    CheckpointLayout layout_;
+    double clock_hz_;
+
+    Nvm fram_;
+    riscv::Ram sram_;
+    FsPeripheral fs_;
+    Bus bus_;
+    riscv::Hart hart_;
+
+    bool app_finished_ = false;
+    std::uint64_t total_cycles_ = 0;
+    std::uint64_t power_cycles_ = 0;
+};
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_SOC_H_

@@ -1,0 +1,54 @@
+#include "util/csv.h"
+
+#include <cstdlib>
+
+namespace fs {
+
+void
+CsvWriter::header(const std::vector<std::string> &names)
+{
+    std::string line;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i)
+            line += ',';
+        line += names[i];
+    }
+    writeLine(line);
+}
+
+void
+CsvWriter::writeLine(const std::string &line)
+{
+    os_ << line << '\n';
+    ++rows_;
+}
+
+std::vector<std::vector<double>>
+parseNumericCsv(const std::string &text)
+{
+    std::vector<std::vector<double>> rows;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        if (line.empty())
+            continue;
+        std::vector<double> row;
+        std::istringstream fields(line);
+        std::string field;
+        bool numeric = true;
+        while (std::getline(fields, field, ',')) {
+            char *end = nullptr;
+            const double v = std::strtod(field.c_str(), &end);
+            if (end == field.c_str()) {
+                numeric = false;
+                break;
+            }
+            row.push_back(v);
+        }
+        if (numeric && !row.empty())
+            rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace fs

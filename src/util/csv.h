@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal CSV output/input, used by benches to dump figure series and by
+ * the harvest module to ingest external irradiance traces.
+ */
+
+#ifndef FS_UTIL_CSV_H_
+#define FS_UTIL_CSV_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs {
+
+/** Streams rows of comma-separated values to any std::ostream. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &names);
+
+    /** Write one data row of streamable values. */
+    template <typename... Args>
+    void
+    row(Args &&...args)
+    {
+        std::ostringstream line;
+        bool first = true;
+        auto emit = [&](auto &&v) {
+            if (!first)
+                line << ',';
+            first = false;
+            line << v;
+        };
+        (emit(std::forward<Args>(args)), ...);
+        writeLine(line.str());
+    }
+
+    std::size_t rowsWritten() const { return rows_; }
+
+  private:
+    void writeLine(const std::string &line);
+
+    std::ostream &os_;
+    std::size_t rows_ = 0;
+};
+
+/**
+ * Parse simple CSV text (no quoting/escapes) into rows of doubles,
+ * skipping a header row if the first field is non-numeric.
+ */
+std::vector<std::vector<double>> parseNumericCsv(const std::string &text);
+
+} // namespace fs
+
+#endif // FS_UTIL_CSV_H_

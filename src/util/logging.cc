@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace fs {
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg;
+    if (file)
+        std::cerr << " (" << file << ":" << line << ")";
+    std::cerr << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace fs

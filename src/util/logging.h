@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 fatal/panic convention.
+ *
+ * - panic():  an internal invariant is broken (a library bug). Aborts.
+ * - fatal():  the *user's* configuration or input is unusable. Throws
+ *             FatalError so library embedders (and tests) can catch it.
+ * - warn():   something is questionable but execution can continue.
+ * - inform(): plain status output.
+ */
+
+#ifndef FS_UTIL_LOGGING_H_
+#define FS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fs {
+
+/** Exception thrown by fatal() for unusable user input/configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message: something that should never happen did. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(nullptr, 0, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Throw FatalError: the simulation cannot continue due to user error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational message to stderr; execution continues. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define FS_ASSERT(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::fs::detail::panicImpl(__FILE__, __LINE__,                       \
+                ::fs::detail::concat("assertion failed: " #cond " ",          \
+                                     ##__VA_ARGS__));                         \
+        }                                                                     \
+    } while (0)
+
+} // namespace fs
+
+#endif // FS_UTIL_LOGGING_H_

@@ -1,0 +1,160 @@
+#include "util/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+
+double
+derivative(const Fn &f, double x, double h)
+{
+    return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+double
+secondDerivative(const Fn &f, double x, double h)
+{
+    return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+}
+
+double
+maxAbsOnInterval(const Fn &f, double lo, double hi, std::size_t samples)
+{
+    FS_ASSERT(samples >= 2, "need at least two samples");
+    double best = 0.0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double x = lo + (hi - lo) * double(i) / double(samples - 1);
+        best = std::max(best, std::fabs(f(x)));
+    }
+    return best;
+}
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    FS_ASSERT(n >= 2, "linspace needs n >= 2");
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = lo + (hi - lo) * double(i) / double(n - 1);
+    return out;
+}
+
+std::vector<double>
+solveLinear(std::vector<double> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    FS_ASSERT(a.size() == n * n, "matrix/vector size mismatch");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col]))
+                pivot = r;
+        }
+        if (std::fabs(a[pivot * n + col]) < 1e-14)
+            fatal("singular matrix in solveLinear");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a[col * n + c], a[pivot * n + c]);
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r * n + col] / a[col * n + col];
+            for (std::size_t c = col; c < n; ++c)
+                a[r * n + c] -= factor * a[col * n + c];
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            acc -= a[i * n + c] * x[c];
+        x[i] = acc / a[i * n + i];
+    }
+    return x;
+}
+
+std::vector<double>
+polyfit(const std::vector<double> &x, const std::vector<double> &y,
+        std::size_t degree)
+{
+    FS_ASSERT(x.size() == y.size(), "polyfit input size mismatch");
+    if (x.size() <= degree)
+        fatal("polyfit: need more samples (", x.size(),
+              ") than the degree (", degree, ")");
+
+    const std::size_t m = degree + 1;
+    // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+    std::vector<double> ata(m * m, 0.0);
+    std::vector<double> aty(m, 0.0);
+    for (std::size_t k = 0; k < x.size(); ++k) {
+        std::vector<double> pow(m, 1.0);
+        for (std::size_t i = 1; i < m; ++i)
+            pow[i] = pow[i - 1] * x[k];
+        for (std::size_t i = 0; i < m; ++i) {
+            aty[i] += pow[i] * y[k];
+            for (std::size_t j = 0; j < m; ++j)
+                ata[i * m + j] += pow[i] * pow[j];
+        }
+    }
+    return solveLinear(std::move(ata), std::move(aty));
+}
+
+double
+polyval(const std::vector<double> &coeffs, double x)
+{
+    double acc = 0.0;
+    for (std::size_t i = coeffs.size(); i-- > 0;)
+        acc = acc * x + coeffs[i];
+    return acc;
+}
+
+double
+bisect(const Fn &f, double lo, double hi, double tol, std::size_t max_iter)
+{
+    double flo = f(lo);
+    double fhi = f(hi);
+    if (flo == 0.0)
+        return lo;
+    if (fhi == 0.0)
+        return hi;
+    if (flo * fhi > 0.0)
+        fatal("bisect: no sign change on [", lo, ", ", hi, "]");
+    for (std::size_t i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double fmid = f(mid);
+        if (fmid == 0.0)
+            return mid;
+        if (flo * fmid < 0.0) {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+interp1(const std::vector<double> &xs, const std::vector<double> &ys,
+        double x)
+{
+    FS_ASSERT(xs.size() == ys.size() && !xs.empty(), "interp1 size mismatch");
+    if (x <= xs.front())
+        return ys.front();
+    if (x >= xs.back())
+        return ys.back();
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    const std::size_t hi = std::size_t(it - xs.begin());
+    const std::size_t lo = hi - 1;
+    const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+    return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+} // namespace fs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Numerical helpers: finite differences, least-squares polynomial fits,
+ * root finding, and grid generation. These back the circuit sensitivity
+ * analysis (Fig. 3), the interpolation error bounds (Fig. 4), and the
+ * polynomial calibration strategy.
+ */
+
+#ifndef FS_UTIL_NUMERIC_H_
+#define FS_UTIL_NUMERIC_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace fs {
+
+/** Scalar function of one variable. */
+using Fn = std::function<double(double)>;
+
+/** Central-difference first derivative of f at x. */
+double derivative(const Fn &f, double x, double h = 1e-4);
+
+/** Central-difference second derivative of f at x. */
+double secondDerivative(const Fn &f, double x, double h = 1e-3);
+
+/** Maximum of |f| sampled on [lo, hi] with the given number of points. */
+double maxAbsOnInterval(const Fn &f, double lo, double hi,
+                        std::size_t samples = 512);
+
+/** n evenly spaced points from lo to hi inclusive (n >= 2). */
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/**
+ * Least-squares polynomial fit of the given degree.
+ *
+ * @return coefficients c such that y ~= sum_i c[i] * x^i.
+ */
+std::vector<double> polyfit(const std::vector<double> &x,
+                            const std::vector<double> &y,
+                            std::size_t degree);
+
+/** Evaluate a polynomial (coefficients low-order first) at x. */
+double polyval(const std::vector<double> &coeffs, double x);
+
+/**
+ * Bisection root finding for f(x) = 0 on [lo, hi]; requires a sign
+ * change across the bracket.
+ *
+ * @return the root location within tol.
+ */
+double bisect(const Fn &f, double lo, double hi, double tol = 1e-9,
+              std::size_t max_iter = 200);
+
+/**
+ * Solve the square linear system A x = b by Gaussian elimination with
+ * partial pivoting. A is row-major n x n.
+ */
+std::vector<double> solveLinear(std::vector<double> a,
+                                std::vector<double> b);
+
+/** Linear interpolation of y(x) over sorted sample arrays (clamped). */
+double interp1(const std::vector<double> &xs, const std::vector<double> &ys,
+               double x);
+
+} // namespace fs
+
+#endif // FS_UTIL_NUMERIC_H_

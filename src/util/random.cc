@@ -1,0 +1,3 @@
+#include "util/random.h"
+
+// Rng is header-only; this translation unit anchors the library target.

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component in the library draws from an explicitly
+ * seeded Rng instance so simulations and tests are reproducible.
+ */
+
+#ifndef FS_UTIL_RANDOM_H_
+#define FS_UTIL_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fs {
+
+/** Seedable wrapper around std::mt19937_64 with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0xf5f5f5f5ULL) : engine_(seed) {}
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** True with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Pick a random index into a container of the given size. */
+    std::size_t
+    index(std::size_t size)
+    {
+        return size == 0 ? 0
+                         : std::size_t(uniformInt(0,
+                               std::int64_t(size) - 1));
+    }
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace fs
+
+#endif // FS_UTIL_RANDOM_H_

@@ -1,0 +1,86 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fs {
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const double total = double(n_ + other.n_);
+    m2_ += other.m2_ + delta * delta * double(n_) * double(other.n_) / total;
+    mean_ += delta * double(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    FS_ASSERT(bins > 0, "histogram needs at least one bin");
+    FS_ASSERT(hi > lo, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto bin = std::int64_t(frac * double(counts_.size()));
+    bin = std::clamp<std::int64_t>(bin, 0,
+                                   std::int64_t(counts_.size()) - 1);
+    ++counts_[std::size_t(bin)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    const double width = (hi_ - lo_) / double(counts_.size());
+    return lo_ + (double(bin) + 0.5) * width;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = std::size_t(q * double(total_));
+    std::size_t seen = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        seen += counts_[b];
+        if (seen >= target)
+            return binCenter(b);
+    }
+    return binCenter(counts_.size() - 1);
+}
+
+} // namespace fs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Streaming statistics accumulators.
+ */
+
+#ifndef FS_UTIL_STATS_H_
+#define FS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace fs {
+
+/**
+ * Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance. */
+    double variance() const { return n_ ? m2_ / double(n_) : 0.0; }
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return mean_ * double(n_); }
+    /** Peak-to-peak spread. */
+    double range() const { return n_ ? max_ - min_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+ * edge bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t countAt(std::size_t bin) const { return counts_.at(bin); }
+    std::size_t total() const { return total_; }
+    /** Center value of the given bin. */
+    double binCenter(std::size_t bin) const;
+    /** Approximate quantile in [0, 1] from the binned data. */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace fs
+
+#endif // FS_UTIL_STATS_H_

@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace fs {
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    // Column widths from headers and rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(headers_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    if (!title_.empty()) {
+        os << title_ << '\n';
+        os << std::string(std::max<std::size_t>(total, title_.size()), '-')
+           << '\n';
+    }
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(int(widths[i])) << cell;
+            if (i + 1 < widths.size())
+                os << " | ";
+        }
+        os << '\n';
+    };
+    if (!headers_.empty()) {
+        emitRow(headers_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emitRow(r);
+    os.flush();
+}
+
+} // namespace fs

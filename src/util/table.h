@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-width console table printer. The bench harness uses this to
+ * print paper tables/figure series in a readable, diffable format.
+ */
+
+#ifndef FS_UTIL_TABLE_H_
+#define FS_UTIL_TABLE_H_
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs {
+
+/** Collects rows of strings, then prints with aligned columns. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set column headers. */
+    void
+    columns(const std::vector<std::string> &names)
+    {
+        headers_ = names;
+    }
+
+    /** Append one row; values are any streamable types. */
+    template <typename... Args>
+    void
+    row(Args &&...args)
+    {
+        std::vector<std::string> cells;
+        (cells.push_back(toCell(std::forward<Args>(args))), ...);
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Render the table to the stream. */
+    void print(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format a double with fixed precision (helper for row()). */
+    static std::string
+    num(double v, int precision = 3)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(T &&v)
+    {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+    }
+
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fs
+
+#endif // FS_UTIL_TABLE_H_

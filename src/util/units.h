@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Physical-unit helpers.
+ *
+ * All quantities in the library are carried as `double` in SI base units
+ * (volts, seconds, amperes, farads, hertz, kelvin-relative celsius noted
+ * explicitly). This header provides literal suffixes and conversion
+ * constants so call sites read in the units the paper uses (mV, us, uA,
+ * uF, kHz, ...).
+ */
+
+#ifndef FS_UTIL_UNITS_H_
+#define FS_UTIL_UNITS_H_
+
+namespace fs {
+namespace units {
+
+constexpr double kPico = 1e-12;
+constexpr double kNano = 1e-9;
+constexpr double kMicro = 1e-6;
+constexpr double kMilli = 1e-3;
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+} // namespace units
+
+inline namespace literals {
+
+// Voltage
+constexpr double operator""_V(long double v) { return double(v); }
+constexpr double operator""_V(unsigned long long v) { return double(v); }
+constexpr double operator""_mV(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return double(v) * 1e-3; }
+
+// Time
+constexpr double operator""_s(long double v) { return double(v); }
+constexpr double operator""_s(unsigned long long v) { return double(v); }
+constexpr double operator""_ms(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_ms(unsigned long long v) { return double(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_us(unsigned long long v) { return double(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return double(v) * 1e-9; }
+constexpr double operator""_ns(unsigned long long v) { return double(v) * 1e-9; }
+
+// Current
+constexpr double operator""_A(long double v) { return double(v); }
+constexpr double operator""_mA(long double v) { return double(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_uA(unsigned long long v) { return double(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return double(v) * 1e-9; }
+constexpr double operator""_nA(unsigned long long v) { return double(v) * 1e-9; }
+
+// Capacitance
+constexpr double operator""_F(long double v) { return double(v); }
+constexpr double operator""_uF(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_uF(unsigned long long v) { return double(v) * 1e-6; }
+constexpr double operator""_nF(long double v) { return double(v) * 1e-9; }
+constexpr double operator""_pF(long double v) { return double(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return double(v) * 1e-15; }
+constexpr double operator""_fF(unsigned long long v) { return double(v) * 1e-15; }
+
+// Frequency
+constexpr double operator""_Hz(long double v) { return double(v); }
+constexpr double operator""_Hz(unsigned long long v) { return double(v); }
+constexpr double operator""_kHz(long double v) { return double(v) * 1e3; }
+constexpr double operator""_kHz(unsigned long long v) { return double(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return double(v) * 1e6; }
+constexpr double operator""_MHz(unsigned long long v) { return double(v) * 1e6; }
+
+} // namespace literals
+} // namespace fs
+
+#endif // FS_UTIL_UNITS_H_

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the analog baseline monitors and device cards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analog/adc_monitor.h"
+#include "analog/comparator_monitor.h"
+#include "analog/device_cards.h"
+#include "analog/ideal_monitor.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace analog {
+namespace {
+
+TEST(DeviceCards, TableIValues)
+{
+    const McuCard &msp = msp430fr5969();
+    EXPECT_DOUBLE_EQ(msp.coreCurrentPerMHz, 110e-6);
+    EXPECT_DOUBLE_EQ(msp.adcCurrent, 265e-6);
+    EXPECT_DOUBLE_EQ(msp.comparatorCurrent, 35e-6);
+    EXPECT_DOUBLE_EQ(msp.coreVmin, 1.8);
+    EXPECT_DOUBLE_EQ(msp.refVmin, 1.8);
+
+    const McuCard &pic = pic16lf15386();
+    EXPECT_DOUBLE_EQ(pic.coreCurrentPerMHz, 90e-6);
+    EXPECT_DOUBLE_EQ(pic.adcCurrent, 295e-6);
+    EXPECT_DOUBLE_EQ(pic.comparatorCurrent, 75e-6);
+    EXPECT_DOUBLE_EQ(pic.refVmin, 2.5);
+
+    EXPECT_EQ(allMcuCards().size(), 2u);
+    EXPECT_DOUBLE_EQ(adxl362().activeCurrent, 1.8e-6);
+}
+
+TEST(DeviceCards, CoreCurrentScalesWithClock)
+{
+    EXPECT_DOUBLE_EQ(msp430fr5969().coreCurrent(1e6), 110e-6);
+    EXPECT_DOUBLE_EQ(msp430fr5969().coreCurrent(8e6), 880e-6);
+}
+
+TEST(AdcMonitor, TableIvRow)
+{
+    AdcMonitor adc;
+    EXPECT_EQ(adc.name(), "ADC");
+    EXPECT_NEAR(adc.resolution(), 0.293e-3, 1e-6); // 1.2 V / 2^12
+    EXPECT_DOUBLE_EQ(adc.samplePeriod(), 1.0 / 200e3);
+    EXPECT_DOUBLE_EQ(adc.meanCurrent(), 265e-6);
+    EXPECT_DOUBLE_EQ(adc.minOperatingVoltage(), 1.8);
+}
+
+TEST(AdcMonitor, MeasureQuantizesDownward)
+{
+    AdcMonitor adc;
+    const double v = 2.5;
+    const double m = adc.measure(v);
+    EXPECT_LE(m, v);
+    EXPECT_GT(m, v - adc.resolution());
+}
+
+TEST(AdcMonitor, RejectsBadParameters)
+{
+    EXPECT_THROW(AdcMonitor(msp430fr5969(), 0), FatalError);
+    EXPECT_THROW(AdcMonitor(msp430fr5969(), 12, 1.2, 0.0), FatalError);
+}
+
+TEST(ComparatorMonitor, TableIvRow)
+{
+    ComparatorMonitor comp;
+    EXPECT_EQ(comp.name(), "Comparator");
+    EXPECT_DOUBLE_EQ(comp.resolution(), 30e-3);
+    EXPECT_DOUBLE_EQ(comp.samplePeriod(), 330e-9);
+    EXPECT_DOUBLE_EQ(comp.meanCurrent(), 35e-6);
+}
+
+TEST(ComparatorMonitor, SingleBitSemantics)
+{
+    ComparatorMonitor comp;
+    comp.setThreshold(1.86);
+    EXPECT_TRUE(comp.above(2.0));
+    EXPECT_FALSE(comp.above(1.80));
+    EXPECT_DOUBLE_EQ(comp.measure(2.0), 1.86);
+    EXPECT_DOUBLE_EQ(comp.measure(1.5), 0.0);
+}
+
+TEST(ComparatorMonitor, CheckpointTriggerUsesHardwareThreshold)
+{
+    ComparatorMonitor comp;
+    comp.setThreshold(1.86);
+    EXPECT_FALSE(comp.indicatesCheckpoint(2.0, 1.86));
+    EXPECT_TRUE(comp.indicatesCheckpoint(1.85, 1.86));
+}
+
+TEST(ComparatorMonitor, RejectsBadParameters)
+{
+    EXPECT_THROW(ComparatorMonitor(msp430fr5969(), 0.0), FatalError);
+    EXPECT_THROW(ComparatorMonitor(msp430fr5969(), 0.03, 0.0),
+                 FatalError);
+}
+
+TEST(IdealMonitor, PerfectAndFree)
+{
+    IdealMonitor ideal;
+    EXPECT_DOUBLE_EQ(ideal.resolution(), 0.0);
+    EXPECT_DOUBLE_EQ(ideal.samplePeriod(), 0.0);
+    EXPECT_DOUBLE_EQ(ideal.meanCurrent(), 0.0);
+    EXPECT_DOUBLE_EQ(ideal.measure(2.345), 2.345);
+    EXPECT_TRUE(ideal.indicatesCheckpoint(1.82, 1.82));
+    EXPECT_FALSE(ideal.indicatesCheckpoint(1.83, 1.82));
+}
+
+TEST(VoltageMonitor, DefaultMeasureNeverOverstates)
+{
+    // The paper's checkpoint logic depends on monitors never
+    // reporting more voltage than is present (Section V-D-b).
+    AdcMonitor adc;
+    ComparatorMonitor comp;
+    comp.setThreshold(1.9);
+    for (double v = 1.8; v <= 3.6; v += 0.05) {
+        EXPECT_LE(adc.measure(v), v);
+        EXPECT_LE(comp.measure(v), v + comp.resolution());
+    }
+}
+
+} // namespace
+} // namespace analog
+} // namespace fs

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit and property tests for enrollment and the count-to-voltage
+ * converters, including verification of the Eq. 3/4 interpolation
+ * error bounds against measured converter error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "calib/converter.h"
+#include "calib/enrollment.h"
+#include "calib/error_bounds.h"
+#include "calib/full_table.h"
+#include "calib/piecewise_constant.h"
+#include "calib/piecewise_linear.h"
+#include "calib/polynomial_fit.h"
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace fs {
+namespace calib {
+namespace {
+
+using circuit::ChainSpec;
+using circuit::MonitorChain;
+using circuit::Technology;
+
+constexpr double kVLo = 1.8;
+constexpr double kVHi = 3.6;
+constexpr double kTEn = 50e-6;
+
+const MonitorChain &
+testChain()
+{
+    static ChainSpec spec = [] {
+        ChainSpec s;
+        s.roStages = 21;
+        s.counterBits = 16;
+        return s;
+    }();
+    static const MonitorChain chain(Technology::node90(), spec);
+    return chain;
+}
+
+EnrollmentData
+testData(std::size_t entries, std::size_t bits = 8)
+{
+    return enroll(testChain(), kTEn, entries, bits, kVLo, kVHi);
+}
+
+// ---------------------------------------------------------------------
+// Enrollment
+// ---------------------------------------------------------------------
+
+TEST(Enrollment, ProducesMonotonicSortedCounts)
+{
+    const auto data = testData(32);
+    EXPECT_EQ(data.points.size(), 32u);
+    EXPECT_TRUE(data.monotonic());
+}
+
+TEST(Enrollment, StoredVoltagesAreQuantizedDown)
+{
+    const auto data = testData(16, 8);
+    const double step = (kVHi - kVLo) / 256.0;
+    for (const auto &p : data.points) {
+        const double offset = (p.voltage - kVLo) / step;
+        EXPECT_NEAR(offset, std::round(offset), 1e-6);
+        EXPECT_GE(p.voltage, kVLo);
+        EXPECT_LE(p.voltage, kVHi);
+    }
+}
+
+TEST(Enrollment, NvmFootprintMatchesEntryWidth)
+{
+    EXPECT_EQ(testData(32, 8).nvmBytes(), 32u);
+    EXPECT_EQ(testData(32, 16).nvmBytes(), 64u);
+    EXPECT_EQ(testData(10, 12).nvmBytes(), 15u);
+}
+
+TEST(Enrollment, RejectsBadArguments)
+{
+    EXPECT_THROW(enroll(testChain(), kTEn, 0, 8, kVLo, kVHi), FatalError);
+    EXPECT_THROW(enroll(testChain(), kTEn, 8, 8, kVHi, kVLo), FatalError);
+    EXPECT_THROW(enroll(testChain(), 0.0, 8, 8, kVLo, kVHi), FatalError);
+}
+
+TEST(Enrollment, QuantizeVoltageRoundsDown)
+{
+    // 8-bit grid over [0, 2.56): step is 10 mV.
+    EXPECT_NEAR(quantizeVoltage(1.2345, 0.0, 2.56, 8), 1.23, 1e-9);
+    EXPECT_NEAR(quantizeVoltage(-1.0, 0.0, 2.56, 8), 0.0, 1e-9);
+}
+
+TEST(Enrollment, UniformFrequencySpacesCountsEvenly)
+{
+    const auto data =
+        enrollUniformFrequency(testChain(), kTEn, 9, 16, kVLo, kVHi);
+    ASSERT_GE(data.points.size(), 8u);
+    EXPECT_TRUE(data.monotonic());
+    // Count gaps between consecutive points are near-constant.
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < data.points.size(); ++i)
+        gaps.push_back(double(data.points[i].count) -
+                       double(data.points[i - 1].count));
+    const double mean =
+        std::accumulate(gaps.begin(), gaps.end(), 0.0) /
+        double(gaps.size());
+    for (double g : gaps)
+        EXPECT_NEAR(g, mean, 0.15 * mean);
+}
+
+TEST(Enrollment, AdaptivePinsEndpoints)
+{
+    const auto data =
+        enrollAdaptive(testChain(), kTEn, 12, 16, kVLo, kVHi);
+    EXPECT_TRUE(data.monotonic());
+    EXPECT_NEAR(data.points.front().voltage, kVLo, 1e-3);
+    EXPECT_NEAR(data.points.back().voltage, kVHi, 1e-3);
+    EXPECT_LE(data.points.size(), 12u);
+    EXPECT_GE(data.points.size(), 8u);
+}
+
+TEST(Enrollment, AdaptiveBeatsUniformFrequencyOnCurvedChain)
+{
+    // An undivided chain over the curved low-voltage region: the
+    // footnote-8 placement must clearly beat even frequency spacing.
+    circuit::ChainSpec spec;
+    spec.roStages = 21;
+    spec.counterBits = 16;
+    spec.dividerTap = 1;
+    spec.dividerTotal = 1;
+    const circuit::MonitorChain chain(circuit::Technology::node90(),
+                                      spec);
+    const double lo = 0.5, hi = 1.5, t_en = 200e-6;
+    const auto uf = enrollUniformFrequency(chain, t_en, 8, 16, lo, hi);
+    const auto ad = enrollAdaptive(chain, t_en, 8, 16, lo, hi);
+    PiecewiseLinearConverter cu(uf), ca(ad);
+    EXPECT_LT(empiricalMaxError(ca, chain, t_en, lo, hi) * 2.0,
+              empiricalMaxError(cu, chain, t_en, lo, hi));
+}
+
+TEST(Enrollment, VariantsRejectBadArguments)
+{
+    EXPECT_THROW(
+        enrollUniformFrequency(testChain(), kTEn, 1, 8, kVLo, kVHi),
+        FatalError);
+    EXPECT_THROW(enrollAdaptive(testChain(), kTEn, 1, 8, kVLo, kVHi),
+                 FatalError);
+    EXPECT_THROW(enrollAdaptive(testChain(), 0.0, 8, 8, kVLo, kVHi),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Converters
+// ---------------------------------------------------------------------
+
+TEST(FullTable, ExactAtEnrollmentPoints)
+{
+    const auto data = testData(32);
+    FullTableConverter conv(data);
+    for (const auto &p : data.points)
+        EXPECT_DOUBLE_EQ(conv.toVoltage(p.count), p.voltage);
+}
+
+TEST(FullTable, CoversEveryCountInRange)
+{
+    const auto data = testData(16);
+    FullTableConverter conv(data);
+    EXPECT_EQ(conv.tableSize(), std::size_t(data.points.back().count -
+                                            data.points.front().count +
+                                            1));
+    // Every intermediate count maps into the characterized range.
+    for (std::uint32_t c = data.points.front().count;
+         c <= data.points.back().count; ++c) {
+        const double v = conv.toVoltage(c);
+        EXPECT_GE(v, kVLo);
+        EXPECT_LE(v, kVHi);
+    }
+}
+
+TEST(FullTable, ClampsOutOfRangeCounts)
+{
+    const auto data = testData(8);
+    FullTableConverter conv(data);
+    EXPECT_DOUBLE_EQ(conv.toVoltage(0), data.points.front().voltage);
+    EXPECT_DOUBLE_EQ(conv.toVoltage(0xffffffffu),
+                     data.points.back().voltage);
+}
+
+TEST(PiecewiseConstant, IsPessimistic)
+{
+    // The reported voltage never exceeds the true voltage between
+    // stored points (Section III-H) -- up to the counter's own
+    // quantization: voltages within one count of an enrollment point
+    // share its stored value.
+    const auto data = testData(16);
+    PiecewiseConstantConverter conv(data);
+    // One count step (1/T_en) referred through the shallowest slope.
+    const double worst_slope =
+        (testChain().frequency(kVHi) - testChain().frequency(kVLo)) /
+        (kVHi - kVLo) * 0.5;
+    const double count_slack = (1.0 / kTEn) / worst_slope;
+    for (double v : linspace(kVLo, kVHi, 200)) {
+        const auto count = testChain().sample(v, kTEn).count;
+        EXPECT_LE(conv.toVoltage(count), v + count_slack) << "at " << v;
+    }
+}
+
+TEST(PiecewiseConstant, BelowRangeClampsToFirstEntry)
+{
+    const auto data = testData(8);
+    PiecewiseConstantConverter conv(data);
+    EXPECT_DOUBLE_EQ(conv.toVoltage(0), data.points.front().voltage);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenNeighbors)
+{
+    const auto data = testData(8);
+    PiecewiseLinearConverter conv(data);
+    const auto &a = data.points[3];
+    const auto &b = data.points[4];
+    const std::uint32_t mid = (a.count + b.count) / 2;
+    const double expected =
+        a.voltage + (b.voltage - a.voltage) *
+                        double(mid - a.count) / double(b.count - a.count);
+    EXPECT_NEAR(conv.toVoltage(mid), expected, 1e-12);
+}
+
+TEST(PiecewiseLinear, MoreAccurateThanConstant)
+{
+    const auto data = testData(16);
+    PiecewiseConstantConverter pwc(data);
+    PiecewiseLinearConverter pwl(data);
+    EXPECT_LT(empiricalMaxError(pwl, testChain(), kTEn, kVLo, kVHi),
+              empiricalMaxError(pwc, testChain(), kTEn, kVLo, kVHi));
+    EXPECT_EQ(pwl.nvmBytes(), pwc.nvmBytes());
+}
+
+TEST(Polynomial, FitsSmoothTransferWell)
+{
+    const auto data = testData(32);
+    PolynomialConverter conv(data, 3);
+    EXPECT_EQ(conv.degree(), 3u);
+    EXPECT_EQ(conv.nvmBytes(), 16u); // 4 float32 coefficients
+    const double err =
+        empiricalMaxError(conv, testChain(), kTEn, kVLo, kVHi);
+    EXPECT_LT(err, 60e-3);
+}
+
+TEST(Polynomial, DegreeClampedToPointCount)
+{
+    const auto data = testData(3);
+    PolynomialConverter conv(data, 9);
+    EXPECT_LE(conv.degree(), 2u);
+}
+
+TEST(Polynomial, OutputClampedToCharacterizedRange)
+{
+    const auto data = testData(8);
+    PolynomialConverter conv(data, 3);
+    EXPECT_GE(conv.toVoltage(0), kVLo);
+    EXPECT_LE(conv.toVoltage(0xffffu), kVHi);
+}
+
+TEST(Factory, BuildsEveryStrategy)
+{
+    const auto data = testData(16);
+    EXPECT_EQ(makeConverter(Strategy::FullTable, data)->name(),
+              "full-table");
+    EXPECT_EQ(makeConverter(Strategy::PiecewiseConstant, data)->name(),
+              "piecewise-constant");
+    EXPECT_EQ(makeConverter(Strategy::PiecewiseLinear, data)->name(),
+              "piecewise-linear");
+    EXPECT_EQ(makeConverter(Strategy::Polynomial, data)->name(),
+              "polynomial");
+}
+
+TEST(Factory, ConversionCyclesOrdering)
+{
+    // Full table < PWC < PWL < polynomial (Section III-H).
+    const auto data = testData(32);
+    const auto full = makeConverter(Strategy::FullTable, data);
+    const auto pwc = makeConverter(Strategy::PiecewiseConstant, data);
+    const auto pwl = makeConverter(Strategy::PiecewiseLinear, data);
+    const auto poly = makeConverter(Strategy::Polynomial, data);
+    EXPECT_LT(full->conversionCycles(), pwc->conversionCycles());
+    EXPECT_LT(pwc->conversionCycles(), pwl->conversionCycles());
+    EXPECT_LT(pwl->conversionCycles(), poly->conversionCycles());
+}
+
+// ---------------------------------------------------------------------
+// Error bounds (Eq. 3 / Eq. 4)
+// ---------------------------------------------------------------------
+
+class ErrorBoundTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ErrorBoundTest, EmpiricalErrorRespectsAnalyticBounds)
+{
+    const std::size_t entries = GetParam();
+    // Use 16-bit entries so storage quantization does not mask the
+    // interpolation error itself.
+    const auto data = testData(entries, 16);
+    const auto bounds =
+        interpolationBounds(testChain(), kVLo, kVHi, entries, 16);
+
+    PiecewiseConstantConverter pwc(data);
+    PiecewiseLinearConverter pwl(data);
+    const double pwc_err =
+        empiricalMaxError(pwc, testChain(), kTEn, kVLo, kVHi);
+    const double pwl_err =
+        empiricalMaxError(pwl, testChain(), kTEn, kVLo, kVHi);
+
+    // Count quantization (1/T_en) adds error the interpolation bound
+    // does not cover; allow that much slack.
+    const double count_slack = 2.0 / kTEn * bounds.pwcBound /
+                               ((bounds.freqHigh - bounds.freqLow) /
+                                double(entries));
+    EXPECT_LE(pwc_err, bounds.pwcBound + count_slack + bounds.quantFloor)
+        << entries << " entries";
+    EXPECT_LE(pwl_err, bounds.pwlBound + count_slack + bounds.quantFloor)
+        << entries << " entries";
+    // And the bounds must not be vacuous: Eq. 4 beats Eq. 3.
+    EXPECT_LT(bounds.pwlBound, bounds.pwcBound);
+}
+
+INSTANTIATE_TEST_SUITE_P(EntryCounts, ErrorBoundTest,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+TEST(ErrorBounds, MoreEntriesShrinkBothBounds)
+{
+    double prev_pwc = 1e9, prev_pwl = 1e9;
+    for (std::size_t entries : {4, 8, 16, 32, 64}) {
+        const auto b =
+            interpolationBounds(testChain(), kVLo, kVHi, entries, 8);
+        EXPECT_LT(b.pwcBound, prev_pwc);
+        EXPECT_LT(b.pwlBound, prev_pwl);
+        prev_pwc = b.pwcBound;
+        prev_pwl = b.pwlBound;
+    }
+}
+
+TEST(ErrorBounds, LinearScalesQuadratically)
+{
+    // Doubling the datapoints halves Eq. 3 but quarters Eq. 4.
+    const auto b16 = interpolationBounds(testChain(), kVLo, kVHi, 16, 8);
+    const auto b32 = interpolationBounds(testChain(), kVLo, kVHi, 32, 8);
+    EXPECT_NEAR(b16.pwcBound / b32.pwcBound, 2.0, 0.2);
+    EXPECT_NEAR(b16.pwlBound / b32.pwlBound, 4.0, 0.5);
+}
+
+TEST(ErrorBounds, EightBitFloorNearSevenMillivolts)
+{
+    // Paper: 1.8 V / 2^8 ~ 7 mV (Section III-H).
+    const auto b = interpolationBounds(testChain(), kVLo, kVHi, 16, 8);
+    EXPECT_NEAR(b.quantFloor, 7e-3, 0.5e-3);
+}
+
+TEST(ErrorBounds, EmpiricalErrorNeverBelowQuantFloorAtHighEntries)
+{
+    // With abundant entries, storage quantization dominates: measured
+    // error approaches but cannot beat ~half the floor.
+    const auto data = testData(128, 8);
+    PiecewiseLinearConverter pwl(data);
+    const double err =
+        empiricalMaxError(pwl, testChain(), kTEn, kVLo, kVHi);
+    EXPECT_GE(err, 0.5 * 7e-3 * 0.5);
+}
+
+} // namespace
+} // namespace calib
+} // namespace fs

@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Unit and property tests for the circuit substrate: technology
+ * model, ring oscillator, divider, level shifter, counter, and the
+ * assembled monitor chain. Property sweeps are parameterized over
+ * process nodes and ring lengths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/power_model.h"
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace fs {
+namespace circuit {
+namespace {
+
+std::vector<const Technology *>
+nodes()
+{
+    return Technology::all();
+}
+
+// ---------------------------------------------------------------------
+// Technology model
+// ---------------------------------------------------------------------
+
+class TechnologyTest : public ::testing::TestWithParam<const Technology *>
+{
+};
+
+TEST_P(TechnologyTest, GateDelayDecreasesWithVoltageInLowRegion)
+{
+    const Technology &t = *GetParam();
+    double prev = t.gateDelay(0.5);
+    for (double v = 0.6; v <= 2.0; v += 0.1) {
+        const double d = t.gateDelay(v);
+        EXPECT_LT(d, prev) << "at " << v << " V in " << t.name();
+        prev = d;
+    }
+}
+
+TEST_P(TechnologyTest, GateDelayRisesAgainAtHighVoltage)
+{
+    const Technology &t = *GetParam();
+    // Mobility degradation: beyond the knee, delay grows again.
+    EXPECT_GT(t.gateDelay(3.6), t.gateDelay(2.6)) << t.name();
+}
+
+TEST_P(TechnologyTest, SubThresholdDelayIsEnormous)
+{
+    const Technology &t = *GetParam();
+    EXPECT_GT(t.gateDelay(0.15), 100.0 * t.gateDelay(1.0)) << t.name();
+}
+
+TEST_P(TechnologyTest, ThresholdShiftsDownWithTemperature)
+{
+    const Technology &t = *GetParam();
+    EXPECT_LT(t.vth(75.0), t.vth(25.0)) << t.name();
+    EXPECT_DOUBLE_EQ(t.vth(kNominalTempC), t.params().vth0);
+}
+
+TEST_P(TechnologyTest, MobilityReferenceAt25C)
+{
+    const Technology &t = *GetParam();
+    EXPECT_NEAR(t.mobilityRel(25.0), 1.0, 1e-9);
+    EXPECT_LT(t.mobilityRel(75.0), 1.0);
+}
+
+TEST_P(TechnologyTest, LeakageGrowsWithVoltageAndTemperature)
+{
+    const Technology &t = *GetParam();
+    EXPECT_GT(t.gateLeakage(3.6), t.gateLeakage(1.8));
+    EXPECT_GT(t.gateLeakage(1.8, 75.0), t.gateLeakage(1.8, 25.0));
+}
+
+TEST_P(TechnologyTest, OverdriveMatchesLinearAboveThreshold)
+{
+    const Technology &t = *GetParam();
+    const double v = t.params().vth0 + 0.8;
+    EXPECT_NEAR(t.overdrive(v), 0.8, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, TechnologyTest,
+                         ::testing::ValuesIn(nodes()),
+                         [](const auto &info) {
+                             return info.param->name().substr(
+                                 0, info.param->name().size() - 2);
+                         });
+
+// ---------------------------------------------------------------------
+// Ring oscillator
+// ---------------------------------------------------------------------
+
+struct RoCase {
+    const Technology *tech;
+    std::size_t stages;
+};
+
+class RingOscillatorTest : public ::testing::TestWithParam<RoCase>
+{
+};
+
+TEST_P(RingOscillatorTest, FrequencyMatchesEquationOne)
+{
+    const auto [tech, n] = GetParam();
+    RingOscillator ro(*tech, n);
+    for (double v : {0.6, 0.9, 1.2, 1.8}) {
+        EXPECT_NEAR(ro.frequency(v),
+                    1.0 / (2.0 * double(n) * ro.gateDelay(v)), 1.0);
+    }
+}
+
+TEST_P(RingOscillatorTest, RelativeSensitivityIndependentOfLength)
+{
+    // (1/f) df/dV depends only on the per-gate delay response, so it
+    // must match a reference 3-stage ring at every voltage.
+    const auto [tech, n] = GetParam();
+    RingOscillator ro(*tech, n);
+    RingOscillator reference(*tech, 3);
+    for (double v : {0.6, 0.8, 1.0, 1.2}) {
+        EXPECT_NEAR(ro.relativeSensitivity(v),
+                    reference.relativeSensitivity(v), 1e-4);
+    }
+}
+
+TEST_P(RingOscillatorTest, DynamicCurrentIndependentOfLength)
+{
+    // Only one inverter switches at a time (Section III-D).
+    const auto [tech, n] = GetParam();
+    RingOscillator ro(*tech, n);
+    RingOscillator reference(*tech, 3);
+    for (double v : {0.6, 0.9, 1.2})
+        EXPECT_NEAR(ro.dynamicCurrent(v), reference.dynamicCurrent(v),
+                    1e-12);
+}
+
+TEST_P(RingOscillatorTest, StaticCurrentScalesWithLength)
+{
+    const auto [tech, n] = GetParam();
+    RingOscillator ro(*tech, n);
+    RingOscillator reference(*tech, 3);
+    EXPECT_NEAR(ro.staticCurrent(1.8) / reference.staticCurrent(1.8),
+                double(n + 1) / 4.0, 1e-9);
+}
+
+TEST_P(RingOscillatorTest, MinOscillationVoltageNearPaperFloor)
+{
+    // "below 0.2 V the rings do not oscillate" (Section III-B).
+    const auto [tech, n] = GetParam();
+    RingOscillator ro(*tech, n);
+    const double v_min = ro.minOscillationVoltage();
+    EXPECT_GT(v_min, 0.10);
+    EXPECT_LT(v_min, 0.45);
+    EXPECT_FALSE(ro.oscillates(v_min - 0.05));
+    EXPECT_TRUE(ro.oscillates(v_min + 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsAndNodes, RingOscillatorTest,
+    ::testing::Values(RoCase{&Technology::node130(), 3},
+                      RoCase{&Technology::node130(), 21},
+                      RoCase{&Technology::node90(), 7},
+                      RoCase{&Technology::node90(), 21},
+                      RoCase{&Technology::node90(), 67},
+                      RoCase{&Technology::node65(), 11},
+                      RoCase{&Technology::node65(), 73}),
+    [](const auto &info) {
+        return info.param.tech->name().substr(0, 2) + "nm_" +
+               std::to_string(info.param.stages) + "stages";
+    });
+
+TEST(RingOscillator, RejectsInvalidLengths)
+{
+    EXPECT_THROW(RingOscillator(Technology::node90(), 1), FatalError);
+    EXPECT_THROW(RingOscillator(Technology::node90(), 4), FatalError);
+    EXPECT_THROW(RingOscillator(Technology::node90(), 21, 0.0),
+                 FatalError);
+}
+
+TEST(RingOscillator, SpeedFactorScalesFrequency)
+{
+    RingOscillator typical(Technology::node90(), 21, 1.0);
+    RingOscillator fast(Technology::node90(), 21, 1.1);
+    EXPECT_NEAR(fast.frequency(1.0) / typical.frequency(1.0), 1.1, 1e-9);
+}
+
+TEST(RingOscillator, CurrentStarvedCellSuppressesSensitivity)
+{
+    RingOscillator simple(Technology::node90(), 21);
+    RingOscillator starved(Technology::node90(), 21, 1.0,
+                           InverterCell::CurrentStarved);
+    EXPECT_LT(std::fabs(starved.sensitivity(0.9)) * 5.0,
+              std::fabs(simple.sensitivity(0.9)));
+}
+
+TEST(RingOscillator, TransistorCount)
+{
+    RingOscillator ro(Technology::node90(), 21);
+    EXPECT_EQ(ro.transistorCount(), 2u * 21u + 4u);
+}
+
+// ---------------------------------------------------------------------
+// Paper calibration anchors (Section V-B / V-C)
+// ---------------------------------------------------------------------
+
+double
+meanRelativeSensitivity(const Technology &tech)
+{
+    RingOscillator ro(tech, 21);
+    double acc = 0.0;
+    const auto grid = linspace(0.6, 1.2, 31);
+    for (double v : grid)
+        acc += ro.relativeSensitivity(v);
+    return acc / double(grid.size());
+}
+
+TEST(PaperCalibration, SensitivitySpreadAcrossNodes)
+{
+    const double s130 = meanRelativeSensitivity(Technology::node130());
+    const double s90 = meanRelativeSensitivity(Technology::node90());
+    const double s65 = meanRelativeSensitivity(Technology::node65());
+    // Paper: 65 nm ~2 % more sensitive than 90 nm, ~14 % more than
+    // 130 nm.
+    EXPECT_NEAR(s65 / s90 - 1.0, 0.02, 0.02);
+    EXPECT_NEAR(s65 / s130 - 1.0, 0.14, 0.03);
+}
+
+TEST(PaperCalibration, PowerDropsPerNodeStep)
+{
+    // Paper: ~14 % power reduction per node step at equal conditions.
+    RingOscillator r130(Technology::node130(), 21);
+    RingOscillator r90(Technology::node90(), 21);
+    RingOscillator r65(Technology::node65(), 21);
+    const double step1 = 1.0 - r90.dynamicCurrent(0.62) /
+                                   r130.dynamicCurrent(0.62);
+    const double step2 =
+        1.0 - r65.dynamicCurrent(0.62) / r90.dynamicCurrent(0.62);
+    EXPECT_NEAR(step1, 0.14, 0.04);
+    EXPECT_NEAR(step2, 0.14, 0.04);
+}
+
+TEST(PaperCalibration, ThermalDriftUnderOnePercent)
+{
+    // Paper Fig. 7: <= 1 % frequency change over 25-75 C.
+    for (const Technology *tech : nodes()) {
+        RingOscillator ro(*tech, 21);
+        const double f25 = ro.frequency(0.65, 25.0);
+        for (double t = 25.0; t <= 75.0; t += 5.0) {
+            EXPECT_NEAR(ro.frequency(0.65, t) / f25, 1.0, 0.01)
+                << tech->name() << " at " << t << " C";
+        }
+    }
+}
+
+TEST(PaperCalibration, FrequencyPeaksNearPaperKnee)
+{
+    // Fig. 1: levels off ~2.5 V and decreases beyond.
+    for (const Technology *tech : nodes()) {
+        RingOscillator ro(*tech, 21);
+        double best_v = 0.0, best_f = 0.0;
+        for (double v = 1.0; v <= 3.6; v += 0.05) {
+            if (ro.frequency(v) > best_f) {
+                best_f = ro.frequency(v);
+                best_v = v;
+            }
+        }
+        EXPECT_GT(best_v, 2.2) << tech->name();
+        EXPECT_LT(best_v, 3.1) << tech->name();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Voltage divider
+// ---------------------------------------------------------------------
+
+TEST(VoltageDivider, UnloadedOutputIsExactRatio)
+{
+    VoltageDivider div(Technology::node90(), 1, 3);
+    EXPECT_DOUBLE_EQ(div.ratio(), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(div.unloadedOutput(3.0), 1.0);
+}
+
+TEST(VoltageDivider, LoadDroopsOutput)
+{
+    VoltageDivider div(Technology::node90(), 1, 3);
+    const double unloaded = div.unloadedOutput(2.4);
+    const double loaded = div.loadedOutput(2.4, 10e-6);
+    EXPECT_LT(loaded, unloaded);
+    EXPECT_GT(loaded, 0.8 * unloaded);
+}
+
+TEST(VoltageDivider, WideningDevicesReducesDroop)
+{
+    VoltageDivider narrow(Technology::node90(), 1, 3, 1.0);
+    VoltageDivider wide(Technology::node90(), 1, 3, 8.0);
+    const double i = 10e-6;
+    EXPECT_GT(wide.loadedOutput(2.4, i), narrow.loadedOutput(2.4, i));
+}
+
+TEST(VoltageDivider, DroopIsPredictablePerSupplyVoltage)
+{
+    // Section III-F-b: the offset is predictable at each supply
+    // voltage, so enrollment absorbs it -- i.e., it is a pure
+    // function of (v_supply, load).
+    VoltageDivider div(Technology::node90(), 1, 3);
+    EXPECT_DOUBLE_EQ(div.loadedOutput(2.4, 5e-6),
+                     div.loadedOutput(2.4, 5e-6));
+}
+
+TEST(VoltageDivider, RejectsInvalidStacks)
+{
+    EXPECT_THROW(VoltageDivider(Technology::node90(), 0, 3), FatalError);
+    EXPECT_THROW(VoltageDivider(Technology::node90(), 3, 3), FatalError);
+    EXPECT_THROW(VoltageDivider(Technology::node90(), 1, 3, 0.5),
+                 FatalError);
+}
+
+TEST(VoltageDivider, BiasCurrentIsNanoampScale)
+{
+    VoltageDivider div(Technology::node90(), 1, 3);
+    EXPECT_LT(div.biasCurrent(3.6), 100e-9);
+    EXPECT_GT(div.biasCurrent(1.8), 0.0);
+}
+
+TEST(VoltageDivider, TransistorCountIncludesFooter)
+{
+    VoltageDivider div(Technology::node90(), 1, 3);
+    EXPECT_EQ(div.transistorCount(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Level shifter
+// ---------------------------------------------------------------------
+
+TEST(LevelShifter, MaxFrequencyWellAboveRoFrequency)
+{
+    // Section V-C: RO frequency is always well below the shifter's
+    // maximum.
+    LevelShifter shifter(Technology::node90());
+    RingOscillator ro(Technology::node90(), 3); // fastest ring
+    for (double v = 1.8; v <= 3.6; v += 0.3) {
+        EXPECT_GT(shifter.maxFrequency(v), ro.frequency(v / 3.0))
+            << "at " << v;
+    }
+}
+
+TEST(LevelShifter, RejectsTinySwing)
+{
+    LevelShifter shifter(Technology::node90());
+    EXPECT_FALSE(shifter.canShift(1e6, 0.1, 1.8));
+    EXPECT_TRUE(shifter.canShift(1e6, 0.6, 1.8));
+}
+
+TEST(LevelShifter, DynamicCurrentScalesWithFrequency)
+{
+    LevelShifter shifter(Technology::node90());
+    EXPECT_NEAR(shifter.dynamicCurrent(2e6, 1.8) /
+                    shifter.dynamicCurrent(1e6, 1.8),
+                2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Edge counter
+// ---------------------------------------------------------------------
+
+class EdgeCounterTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(EdgeCounterTest, MaxCountMatchesWidth)
+{
+    EdgeCounter counter(Technology::node90(), GetParam());
+    EXPECT_EQ(counter.maxCount(), (1u << GetParam()) - 1);
+}
+
+TEST_P(EdgeCounterTest, SaturatesAndFlagsOverflow)
+{
+    EdgeCounter counter(Technology::node90(), GetParam());
+    const double f = double(counter.maxCount()) + 10.0;
+    const auto s = counter.count(f, 1.0);
+    EXPECT_TRUE(s.overflowed);
+    EXPECT_EQ(s.count, counter.maxCount());
+    EXPECT_TRUE(counter.wouldOverflow(f, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EdgeCounterTest,
+                         ::testing::Values(1, 4, 8, 12, 16));
+
+TEST(EdgeCounter, CountTruncatesFractionalEdges)
+{
+    // C = f * T_en with decimal values truncated (Section III-E).
+    EdgeCounter counter(Technology::node90(), 16);
+    EXPECT_EQ(counter.count(999.9, 1.0).count, 999u);
+    EXPECT_EQ(counter.count(10e6, 10e-6).count, 100u);
+    EXPECT_FALSE(counter.count(10e6, 10e-6).overflowed);
+}
+
+TEST(EdgeCounter, ZeroWindowCountsZero)
+{
+    EdgeCounter counter(Technology::node90(), 8);
+    EXPECT_EQ(counter.count(1e6, 0.0).count, 0u);
+}
+
+TEST(EdgeCounter, RejectsBadWidths)
+{
+    EXPECT_THROW(EdgeCounter(Technology::node90(), 0), FatalError);
+    EXPECT_THROW(EdgeCounter(Technology::node90(), 17), FatalError);
+}
+
+TEST(EdgeCounter, DynamicCurrentGrowsWithFrequency)
+{
+    EdgeCounter counter(Technology::node90(), 8);
+    EXPECT_GT(counter.dynamicCurrent(10e6, 1.8),
+              counter.dynamicCurrent(1e6, 1.8));
+}
+
+// ---------------------------------------------------------------------
+// Assembled monitor chain
+// ---------------------------------------------------------------------
+
+TEST(MonitorChain, RoVoltageTracksDividerRatioWithDroop)
+{
+    MonitorChain chain(Technology::node90(), ChainSpec{});
+    for (double v = 1.8; v <= 3.6; v += 0.3) {
+        const double v_ro = chain.roVoltage(v);
+        EXPECT_LT(v_ro, v / 3.0);
+        EXPECT_GT(v_ro, 0.85 * v / 3.0);
+    }
+}
+
+TEST(MonitorChain, NoDividerPassesSupplyThrough)
+{
+    ChainSpec spec;
+    spec.dividerTap = 1;
+    spec.dividerTotal = 1;
+    MonitorChain chain(Technology::node90(), spec);
+    EXPECT_EQ(chain.divider(), nullptr);
+    EXPECT_DOUBLE_EQ(chain.roVoltage(2.5), 2.5);
+}
+
+class MonitorChainNodeTest
+    : public ::testing::TestWithParam<const Technology *>
+{
+};
+
+TEST_P(MonitorChainNodeTest, MonotonicOverOperatingRange)
+{
+    // The divider keeps the RO in the monotonic region across
+    // 1.8-3.6 V (Section III-F-b).
+    MonitorChain chain(*GetParam(), ChainSpec{});
+    double prev = 0.0;
+    for (double v : linspace(1.8, 3.6, 64)) {
+        const double f = chain.frequency(v);
+        EXPECT_GT(f, prev) << "at " << v << " V in "
+                           << GetParam()->name();
+        prev = f;
+    }
+}
+
+TEST_P(MonitorChainNodeTest, ActiveCurrentsDominatedByRo)
+{
+    // "the RO represents over 90% of total current consumption"
+    // (Section V-A).
+    MonitorChain chain(*GetParam(), ChainSpec{});
+    const auto c = chain.activeCurrents(1.9);
+    EXPECT_GT(c.roDynamic / c.total(), 0.80) << GetParam()->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, MonitorChainNodeTest,
+                         ::testing::ValuesIn(nodes()),
+                         [](const auto &info) {
+                             return info.param->name().substr(
+                                 0, info.param->name().size() - 2);
+                         });
+
+TEST(MonitorChain, MeanCurrentScalesWithDuty)
+{
+    MonitorChain chain(Technology::node90(), ChainSpec{});
+    const double idle = chain.idleCurrent(1.9);
+    const double low = chain.meanCurrent(1.9, 10e-6, 1e3);
+    const double high = chain.meanCurrent(1.9, 100e-6, 1e3);
+    EXPECT_GT(low, idle);
+    EXPECT_NEAR((high - idle) / (low - idle), 10.0, 0.5);
+}
+
+TEST(MonitorChain, SampleUsesCounterSemantics)
+{
+    MonitorChain chain(Technology::node90(), ChainSpec{});
+    const double f = chain.frequency(2.4);
+    const auto s = chain.sample(2.4, 10e-6);
+    EXPECT_EQ(s.count, std::uint32_t(f * 10e-6));
+}
+
+TEST(MonitorChain, TransistorBudgetWithinTableIII)
+{
+    ChainSpec spec;
+    spec.roStages = 73;
+    spec.counterBits = 16;
+    MonitorChain chain(Technology::node90(), spec);
+    EXPECT_LE(chain.transistorCount(), 1000u);
+}
+
+} // namespace
+} // namespace circuit
+} // namespace fs

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Unit and property tests for the multi-objective optimizer and the
+ * Failure Sentinels design-space binding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/fs_design_space.h"
+#include "dse/nsga2.h"
+#include "dse/pareto.h"
+#include "dse/problem.h"
+#include "util/random.h"
+
+namespace fs {
+namespace dse {
+namespace {
+
+// ---------------------------------------------------------------------
+// Dominance and Pareto utilities
+// ---------------------------------------------------------------------
+
+Evaluation
+feasible(std::vector<double> objs)
+{
+    Evaluation e;
+    e.objectives = std::move(objs);
+    e.feasible = true;
+    return e;
+}
+
+Evaluation
+infeasible(double violation)
+{
+    Evaluation e;
+    e.objectives = {0.0, 0.0};
+    e.violation = violation;
+    return e;
+}
+
+TEST(Dominance, StandardParetoRules)
+{
+    EXPECT_TRUE(dominates(feasible({1, 1}), feasible({2, 2})));
+    EXPECT_TRUE(dominates(feasible({1, 2}), feasible({2, 2})));
+    EXPECT_FALSE(dominates(feasible({2, 2}), feasible({1, 1})));
+    EXPECT_FALSE(dominates(feasible({1, 3}), feasible({2, 2})));
+    EXPECT_FALSE(dominates(feasible({1, 1}), feasible({1, 1})));
+}
+
+TEST(Dominance, FeasibilityFirst)
+{
+    EXPECT_TRUE(dominates(feasible({9, 9}), infeasible(0.1)));
+    EXPECT_FALSE(dominates(infeasible(0.1), feasible({9, 9})));
+    EXPECT_TRUE(dominates(infeasible(0.1), infeasible(0.5)));
+    EXPECT_FALSE(dominates(infeasible(0.5), infeasible(0.1)));
+}
+
+TEST(Pareto, NonDominatedIndicesMatchesManualOracle)
+{
+    const std::vector<std::vector<double>> pts = {
+        {1, 5}, {2, 4}, {3, 3}, {2, 6}, {4, 4}, {0.5, 7}};
+    const auto front = nonDominatedIndices(pts);
+    // {1,5},{2,4},{3,3},{0.5,7} are non-dominated; {2,6} loses to
+    // {1,5} and {2,4}; {4,4} loses to {3,3} and {2,4}.
+    EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2, 5}));
+}
+
+TEST(Pareto, DedupeRemovesNearDuplicates)
+{
+    const auto out = dedupePoints(
+        {{1.0, 2.0}, {1.0, 2.0}, {1.0 + 1e-15, 2.0}, {3.0, 4.0}}, 1e-12);
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Pareto, Hypervolume2dKnownValue)
+{
+    // Single point (1,1) vs. reference (3,3): rectangle 2x2.
+    EXPECT_DOUBLE_EQ(hypervolume2d({{1, 1}}, 3, 3), 4.0);
+    // Staircase {(1,2),(2,1)}: 2x1 + 1x2 - overlap handled by sweep =
+    // (2-1)*(3-2) + (3-2)*(3-1) = 1 + 2 = 3... computed as strips:
+    // [1,2)x[2,3) = 1, [2,3)x[1,3) = 2 -> 3.
+    EXPECT_DOUBLE_EQ(hypervolume2d({{1, 2}, {2, 1}}, 3, 3), 3.0);
+    // Dominated point adds nothing.
+    EXPECT_DOUBLE_EQ(hypervolume2d({{1, 2}, {2, 1}, {2, 2}}, 3, 3), 3.0);
+    // Points beyond the reference are ignored.
+    EXPECT_DOUBLE_EQ(hypervolume2d({{5, 5}}, 3, 3), 0.0);
+}
+
+TEST(Variable, ClampAndRound)
+{
+    Variable real{"r", Variable::Kind::Real, 0.0, 1.0};
+    EXPECT_DOUBLE_EQ(real.clamp(1.5), 1.0);
+    EXPECT_DOUBLE_EQ(real.clamp(-0.2), 0.0);
+    EXPECT_DOUBLE_EQ(real.clamp(0.37), 0.37);
+
+    Variable integer{"i", Variable::Kind::Integer, 1.0, 10.0};
+    EXPECT_DOUBLE_EQ(integer.clamp(3.7), 4.0);
+    EXPECT_DOUBLE_EQ(integer.clamp(99.0), 10.0);
+}
+
+// ---------------------------------------------------------------------
+// NSGA-II internals
+// ---------------------------------------------------------------------
+
+std::vector<Individual>
+individualsFrom(const std::vector<std::vector<double>> &points)
+{
+    std::vector<Individual> pop;
+    for (const auto &p : points) {
+        Individual ind;
+        ind.eval = feasible(p);
+        pop.push_back(ind);
+    }
+    return pop;
+}
+
+TEST(Nsga2Sort, FirstFrontMatchesBruteForce)
+{
+    Rng rng(77);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 60; ++i)
+        points.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+
+    auto pop = individualsFrom(points);
+    const auto fronts = Nsga2::nonDominatedSort(pop);
+    const auto oracle = nonDominatedIndices(points);
+
+    ASSERT_FALSE(fronts.empty());
+    auto first = fronts[0];
+    std::sort(first.begin(), first.end());
+    EXPECT_EQ(first, oracle);
+}
+
+TEST(Nsga2Sort, RanksAreConsistentWithDominance)
+{
+    Rng rng(99);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 40; ++i)
+        points.push_back({rng.uniform(), rng.uniform()});
+    auto pop = individualsFrom(points);
+    Nsga2::nonDominatedSort(pop);
+    // No individual may be dominated by one of equal or higher rank
+    // index... specifically: if a dominates b then rank(a) < rank(b).
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+        for (std::size_t j = 0; j < pop.size(); ++j) {
+            if (dominates(pop[i].eval, pop[j].eval)) {
+                EXPECT_LT(pop[i].rank, pop[j].rank);
+            }
+        }
+    }
+}
+
+TEST(Nsga2Crowding, BoundaryPointsAreInfinite)
+{
+    auto pop = individualsFrom({{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}});
+    std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+    Nsga2::assignCrowding(pop, front);
+    EXPECT_TRUE(std::isinf(pop[0].crowding));
+    EXPECT_TRUE(std::isinf(pop[4].crowding));
+    EXPECT_FALSE(std::isinf(pop[2].crowding));
+    EXPECT_GT(pop[2].crowding, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// NSGA-II end to end on analytic problems
+// ---------------------------------------------------------------------
+
+/** Schaffer's problem: minimize (x^2, (x-2)^2); front at x in [0,2]. */
+class SchafferProblem : public Problem
+{
+  public:
+    SchafferProblem()
+        : vars_{{"x", Variable::Kind::Real, -10.0, 10.0}}
+    {
+    }
+    const std::vector<Variable> &variables() const override
+    {
+        return vars_;
+    }
+    std::size_t numObjectives() const override { return 2; }
+    Evaluation
+    evaluate(const Genome &g) const override
+    {
+        Evaluation e;
+        e.feasible = true;
+        e.objectives = {g[0] * g[0], (g[0] - 2.0) * (g[0] - 2.0)};
+        return e;
+    }
+
+  private:
+    std::vector<Variable> vars_;
+};
+
+TEST(Nsga2, SolvesSchafferProblem)
+{
+    SchafferProblem problem;
+    Nsga2::Options opts;
+    opts.populationSize = 40;
+    opts.generations = 40;
+    Nsga2 optimizer(problem, opts);
+    optimizer.run();
+
+    const auto front = optimizer.paretoFront();
+    ASSERT_GE(front.size(), 10u);
+    for (const auto &ind : front) {
+        EXPECT_GE(ind.genome[0], -0.1);
+        EXPECT_LE(ind.genome[0], 2.1);
+    }
+    // Coverage: both extremes of the front are approached.
+    double best_f1 = 1e9, best_f2 = 1e9;
+    for (const auto &ind : front) {
+        best_f1 = std::min(best_f1, ind.eval.objectives[0]);
+        best_f2 = std::min(best_f2, ind.eval.objectives[1]);
+    }
+    EXPECT_LT(best_f1, 0.05);
+    EXPECT_LT(best_f2, 0.05);
+}
+
+/** Constrained problem: minimize (x, y) s.t. x + y >= 1. */
+class ConstrainedProblem : public Problem
+{
+  public:
+    ConstrainedProblem()
+        : vars_{{"x", Variable::Kind::Real, 0.0, 2.0},
+                {"y", Variable::Kind::Real, 0.0, 2.0}}
+    {
+    }
+    const std::vector<Variable> &variables() const override
+    {
+        return vars_;
+    }
+    std::size_t numObjectives() const override { return 2; }
+    Evaluation
+    evaluate(const Genome &g) const override
+    {
+        Evaluation e;
+        e.objectives = {g[0], g[1]};
+        const double slack = g[0] + g[1] - 1.0;
+        e.feasible = slack >= 0.0;
+        e.violation = e.feasible ? 0.0 : -slack;
+        return e;
+    }
+
+  private:
+    std::vector<Variable> vars_;
+};
+
+TEST(Nsga2, RespectsConstraints)
+{
+    ConstrainedProblem problem;
+    Nsga2::Options opts;
+    opts.populationSize = 40;
+    opts.generations = 30;
+    Nsga2 optimizer(problem, opts);
+    optimizer.run();
+    const auto front = optimizer.paretoFront();
+    ASSERT_FALSE(front.empty());
+    for (const auto &ind : front) {
+        EXPECT_GE(ind.genome[0] + ind.genome[1], 0.999);
+        // And the front hugs the constraint boundary.
+        EXPECT_LE(ind.genome[0] + ind.genome[1], 1.2);
+    }
+}
+
+TEST(Nsga2, HypervolumeImprovesOverGenerations)
+{
+    SchafferProblem problem;
+    Nsga2::Options opts;
+    opts.populationSize = 32;
+    opts.generations = 100; // stepped manually
+    Nsga2 optimizer(problem, opts);
+
+    auto hv = [&] {
+        std::vector<std::vector<double>> pts;
+        for (const auto &ind : optimizer.paretoFront())
+            pts.push_back(ind.eval.objectives);
+        return hypervolume2d(pts, 25.0, 25.0);
+    };
+    optimizer.stepGeneration();
+    const double early = hv();
+    for (int i = 0; i < 25; ++i)
+        optimizer.stepGeneration();
+    EXPECT_GE(hv(), early);
+}
+
+TEST(Nsga2, DeterministicForFixedSeed)
+{
+    SchafferProblem problem;
+    Nsga2::Options opts;
+    opts.populationSize = 16;
+    opts.generations = 5;
+    Nsga2 a(problem, opts), b(problem, opts);
+    a.run();
+    b.run();
+    ASSERT_EQ(a.population().size(), b.population().size());
+    for (std::size_t i = 0; i < a.population().size(); ++i) {
+        EXPECT_EQ(a.population()[i].genome, b.population()[i].genome);
+    }
+}
+
+TEST(Nsga2, GenomesStayWithinBounds)
+{
+    SchafferProblem problem;
+    Nsga2::Options opts;
+    opts.populationSize = 24;
+    opts.generations = 10;
+    Nsga2 optimizer(problem, opts);
+    optimizer.run();
+    for (const auto &ind : optimizer.population()) {
+        EXPECT_GE(ind.genome[0], -10.0);
+        EXPECT_LE(ind.genome[0], 10.0);
+    }
+    EXPECT_GT(optimizer.evaluations(), opts.populationSize);
+}
+
+// ---------------------------------------------------------------------
+// Failure Sentinels design space
+// ---------------------------------------------------------------------
+
+TEST(FsDesignSpace, DecodeForcesOddRingLength)
+{
+    FsDesignSpace space(circuit::Technology::node90());
+    Genome g = {20.0, 5e3, 8.0, 10e-6, 49.0, 8.0};
+    const auto cfg = space.decode(g);
+    EXPECT_EQ(cfg.roStages % 2, 1u);
+    EXPECT_GE(cfg.roStages, 3u);
+    EXPECT_LE(cfg.roStages, 73u);
+}
+
+TEST(FsDesignSpace, FixedRateOverridesGenome)
+{
+    FsDesignSpace space(circuit::Technology::node90(), 5e3);
+    Genome g = {21.0, 9e3, 8.0, 10e-6, 49.0, 8.0};
+    EXPECT_DOUBLE_EQ(space.decode(g).sampleRate, 5e3);
+}
+
+TEST(FsDesignSpace, EvaluationMatchesPerformanceModel)
+{
+    FsDesignSpace space(circuit::Technology::node90());
+    Genome g = {21.0, 1e3, 8.0, 10e-6, 49.0, 8.0};
+    const auto ev = space.evaluate(g);
+    const auto perf = space.model().evaluate(space.decode(g));
+    ASSERT_TRUE(perf.realizable);
+    EXPECT_TRUE(ev.feasible);
+    EXPECT_DOUBLE_EQ(ev.objectives[kObjMeanCurrent], perf.meanCurrent);
+    EXPECT_DOUBLE_EQ(ev.objectives[kObjGranularity], perf.granularity);
+    EXPECT_DOUBLE_EQ(ev.objectives[kObjNegSampleRate], -1e3);
+}
+
+TEST(FsDesignSpace, InfeasibleConfigsGetViolation)
+{
+    FsDesignSpace space(circuit::Technology::node90());
+    Genome g = {21.0, 1e3, 4.0, 10e-6, 49.0, 8.0}; // counter overflow
+    const auto ev = space.evaluate(g);
+    EXPECT_FALSE(ev.feasible);
+    EXPECT_GT(ev.violation, 0.0);
+}
+
+TEST(FsDesignSpace, ExplorationYieldsRealizableFrontWithinLimits)
+{
+    Nsga2::Options opts;
+    opts.populationSize = 32;
+    opts.generations = 10;
+    const auto front =
+        exploreDesignSpace(circuit::Technology::node90(), opts);
+    ASSERT_FALSE(front.empty());
+    const core::PerformanceLimits lim;
+    for (const auto &p : front) {
+        EXPECT_TRUE(p.perf.realizable);
+        EXPECT_LE(p.perf.meanCurrent, lim.meanCurrentMax);
+        EXPECT_LE(p.perf.granularity, lim.granularityMax);
+        EXPECT_LE(p.perf.nvmBytes, lim.nvmBytesMax);
+        EXPECT_LE(p.perf.transistors, lim.transistorsMax);
+        EXPECT_EQ(p.config.validate(), "");
+    }
+}
+
+TEST(FsDesignSpace, DividerGeneDecodesCandidateRatios)
+{
+    FsDesignSpace space(circuit::Technology::node90(), 0.0,
+                        /*explore_divider=*/true);
+    EXPECT_EQ(space.numVariables(), 7u);
+    const auto &candidates = FsDesignSpace::dividerCandidates();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        Genome g = {21.0, 1e3, 8.0, 10e-6, 49.0, 8.0, double(i)};
+        const auto cfg = space.decode(g);
+        EXPECT_EQ(cfg.dividerTap, candidates[i].first);
+        EXPECT_EQ(cfg.dividerTotal, candidates[i].second);
+    }
+}
+
+TEST(FsDesignSpace, UndividedConfigsAreRejectedOrDominated)
+{
+    // The no-divider candidate runs the RO at full supply where the
+    // transfer function is non-monotonic across 1.8-3.6 V: the
+    // rejection filter should refuse it.
+    FsDesignSpace space(circuit::Technology::node90(), 0.0, true);
+    const auto &candidates = FsDesignSpace::dividerCandidates();
+    std::size_t undivided = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].first == candidates[i].second)
+            undivided = i;
+    }
+    ASSERT_LT(undivided, candidates.size());
+    Genome g = {21.0, 1e3, 16.0, 10e-6, 49.0, 8.0, double(undivided)};
+    EXPECT_FALSE(space.evaluate(g).feasible);
+}
+
+} // namespace
+} // namespace dse
+} // namespace fs

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * End-to-end integration tests: real RV32 guest software running on
+ * the composed SoC with the generated checkpoint runtime, surviving
+ * power failures triggered by Failure Sentinels -- the paper's
+ * headline claim exercised across the entire stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harvest/intermittent_sim.h"
+#include "harvest/system_comparison.h"
+#include "riscv/assembler.h"
+#include "soc/soc.h"
+
+namespace fs {
+namespace {
+
+using namespace riscv;
+
+constexpr std::uint32_t kResultAddr = soc::kFramBase + 0x8000;
+
+/** Guest workload: sum of i*i for 1..n, result stored to FRAM. */
+std::vector<Word>
+sumOfSquaresApp(std::uint32_t n)
+{
+    Assembler as;
+    as.li(kA0, 0);
+    as.li(kA1, 0);
+    as.li(kA2, std::int32_t(n));
+    const auto loop = as.newLabel();
+    as.bind(loop);
+    as.emit(addi(kA0, kA0, 1));
+    as.emit(mul(kA3, kA0, kA0));
+    as.emit(add(kA1, kA1, kA3));
+    as.bltTo(kA0, kA2, loop);
+    as.li(kT0, std::int32_t(kResultAddr));
+    as.emit(sw(kA1, kT0, 0));
+    as.emit(jalr(kZero, kRa, 0));
+    return as.finalize();
+}
+
+/** Same workload, but progress lives in SRAM rather than registers. */
+std::vector<Word>
+sramCounterApp(std::uint32_t n)
+{
+    Assembler as;
+    as.li(kT0, std::int32_t(soc::kSramBase + 64));
+    as.emit(sw(kZero, kT0, 0)); // i
+    as.emit(sw(kZero, kT0, 4)); // acc
+    as.li(kA2, std::int32_t(n));
+    const auto loop = as.newLabel();
+    as.bind(loop);
+    as.emit(lw(kA0, kT0, 0));
+    as.emit(addi(kA0, kA0, 1));
+    as.emit(sw(kA0, kT0, 0));
+    as.emit(lw(kA1, kT0, 4));
+    as.emit(add(kA1, kA1, kA0));
+    as.emit(sw(kA1, kT0, 4));
+    as.bltTo(kA0, kA2, loop);
+    as.emit(lw(kA1, kT0, 4));
+    as.li(kT1, std::int32_t(kResultAddr));
+    as.emit(sw(kA1, kT1, 0));
+    as.emit(jalr(kZero, kRa, 0));
+    return as.finalize();
+}
+
+std::uint32_t
+expectedSumOfSquares(std::uint32_t n)
+{
+    std::uint32_t acc = 0;
+    for (std::uint32_t i = 1; i <= n; ++i)
+        acc += i * i;
+    return acc;
+}
+
+class IntermittentIntegration : public ::testing::Test
+{
+  protected:
+    IntermittentIntegration()
+        : monitor_(harvest::makeFsLowPower()),
+          cell_(std::make_shared<harvest::VoltageCell>())
+    {
+        soc::CheckpointLayout layout;
+        layout.sramSize = 1024; // fast checkpoints for tests
+        soc_ = std::make_unique<soc::Soc>(
+            *monitor_, [c = cell_](double) { return c->volts; }, layout);
+        // Checkpoint threshold: headroom for a 1 KiB checkpoint plus
+        // the monitor's resolution.
+        harvest::SystemLoad load;
+        const double i_total = load.activeCurrentWith(*monitor_);
+        v_ckpt_ = load.coreVmin() + i_total * 0.004 / 47e-6 +
+                  monitor_->resolution();
+        soc_->loadRuntime(monitor_->countThresholdFor(v_ckpt_));
+    }
+
+    std::unique_ptr<core::FailureSentinels> monitor_;
+    std::shared_ptr<harvest::VoltageCell> cell_;
+    std::unique_ptr<soc::Soc> soc_;
+    double v_ckpt_ = 0.0;
+};
+
+TEST_F(IntermittentIntegration, StablePowerRunsWithoutCheckpoints)
+{
+    cell_->volts = 3.3;
+    soc_->loadApp(sumOfSquaresApp(500));
+    soc_->powerOn();
+    soc_->run(5'000'000);
+    ASSERT_TRUE(soc_->appFinished());
+    EXPECT_EQ(soc_->fram().read(kResultAddr - soc::kFramBase, 4),
+              expectedSumOfSquares(500));
+    EXPECT_FALSE(soc_->checkpointCommitted());
+}
+
+TEST_F(IntermittentIntegration, ManualPowerCycleRoundTrip)
+{
+    // Drop the supply mid-run, let the checkpoint commit, kill power,
+    // restore, and verify the final result.
+    cell_->volts = 3.3;
+    soc_->loadApp(sumOfSquaresApp(200000));
+    soc_->powerOn();
+    soc_->run(100'000); // partial progress
+    ASSERT_FALSE(soc_->appFinished());
+
+    cell_->volts = v_ckpt_ - 0.02; // trigger the FS interrupt
+    soc_->run(200'000);
+    ASSERT_TRUE(soc_->checkpointCommitted());
+    ASSERT_TRUE(soc_->hart().waitingForInterrupt());
+
+    soc_->powerFail();
+    cell_->volts = 3.3;
+    soc_->powerOn();
+    soc_->run(20'000'000);
+    ASSERT_TRUE(soc_->appFinished());
+    EXPECT_EQ(soc_->fram().read(kResultAddr - soc::kFramBase, 4),
+              expectedSumOfSquares(200000));
+}
+
+TEST_F(IntermittentIntegration, RepeatedPowerCyclesPreserveProgress)
+{
+    cell_->volts = 3.3;
+    soc_->loadApp(sumOfSquaresApp(300000));
+    soc_->powerOn();
+
+    std::uint32_t last_i = 0;
+    for (int cycle = 0; cycle < 6 && !soc_->appFinished(); ++cycle) {
+        cell_->volts = 3.3;
+        soc_->run(150'000);
+        if (soc_->appFinished())
+            break;
+        cell_->volts = v_ckpt_ - 0.02;
+        soc_->run(200'000);
+        ASSERT_TRUE(soc_->checkpointCommitted()) << "cycle " << cycle;
+        // Monotone progress: the checkpointed loop counter (a0, slot
+        // 9 of the register save area) never goes backwards.
+        const std::uint32_t saved_i = soc_->fram().read(
+            soc_->layout().regSaveAddr() - soc::kFramBase +
+                (riscv::kA0 - 1) * 4,
+            4);
+        EXPECT_GE(saved_i, last_i) << "cycle " << cycle;
+        last_i = saved_i;
+        soc_->powerFail();
+        soc_->powerOn();
+    }
+    cell_->volts = 3.3;
+    soc_->run(30'000'000);
+    ASSERT_TRUE(soc_->appFinished());
+    EXPECT_EQ(soc_->fram().read(kResultAddr - soc::kFramBase, 4),
+              expectedSumOfSquares(300000));
+    EXPECT_GT(last_i, 0u);
+}
+
+TEST_F(IntermittentIntegration, SramStatePreservedAcrossPowerCycles)
+{
+    cell_->volts = 3.3;
+    soc_->loadApp(sramCounterApp(20000));
+    soc_->powerOn();
+    soc_->run(100'000);
+    ASSERT_FALSE(soc_->appFinished());
+
+    cell_->volts = v_ckpt_ - 0.02;
+    soc_->run(200'000);
+    ASSERT_TRUE(soc_->checkpointCommitted());
+    soc_->powerFail();
+    // SRAM is wiped: the counter is gone until restore.
+    EXPECT_EQ(soc_->sram().read(64, 4), 0u);
+
+    cell_->volts = 3.3;
+    soc_->powerOn();
+    soc_->run(10'000'000);
+    ASSERT_TRUE(soc_->appFinished());
+    // Gauss: sum 1..20000.
+    EXPECT_EQ(soc_->fram().read(kResultAddr - soc::kFramBase, 4),
+              20000u * 20001u / 2u);
+}
+
+TEST_F(IntermittentIntegration, HarvestDrivenRunCompletesCorrectly)
+{
+    // The full loop: synthetic harvested energy charges the
+    // capacitor, the SoC boots, Failure Sentinels checkpoints before
+    // each brown-out, and the workload's answer is exact.
+    soc_->loadApp(sumOfSquaresApp(100000));
+    harvest::ScenarioParams params;
+    params.simStep = 50e-6;
+    harvest::SocHarvestSim sim(
+        *soc_, cell_,
+        harvest::IrradianceTrace::constant(3.0, 3600.0),
+        harvest::SolarPanel(), harvest::SystemLoad(), params);
+    const auto result = sim.run(600.0);
+    ASSERT_TRUE(result.appFinished)
+        << "boots=" << result.boots
+        << " failures=" << result.powerFailures;
+    EXPECT_GE(result.boots, 1u);
+    EXPECT_EQ(soc_->fram().read(kResultAddr - soc::kFramBase, 4),
+              expectedSumOfSquares(100000));
+}
+
+TEST_F(IntermittentIntegration, TornCheckpointFallsBackSafely)
+{
+    // Failure injection: kill power in the middle of the checkpoint
+    // handler, after the commit flag was cleared but before it was
+    // re-set. The two-phase protocol must leave no valid checkpoint,
+    // so the system cold-starts -- losing progress but never
+    // producing a corrupt result.
+    cell_->volts = 3.3;
+    soc_->loadApp(sumOfSquaresApp(50000));
+    soc_->powerOn();
+    soc_->run(50'000);
+    ASSERT_FALSE(soc_->appFinished());
+
+    // Trigger the interrupt, then let only a sliver of the handler
+    // run: enough to invalidate the old checkpoint, not enough to
+    // commit the new one.
+    cell_->volts = v_ckpt_ - 0.02;
+    std::uint64_t spent = 0;
+    while (!soc_->hart().waitingForInterrupt() && spent < 5'000) {
+        soc_->step();
+        ++spent;
+        if (soc_->checkpointCommitted())
+            break;
+        if (soc_->hart().csr(riscv::kCsrMcause) != 0 && spent > 60)
+            break; // in the handler, mid-copy
+    }
+    ASSERT_FALSE(soc_->checkpointCommitted());
+    soc_->powerFail(); // torn
+
+    cell_->volts = 3.3;
+    soc_->powerOn();
+    soc_->run(5'000'000);
+    ASSERT_TRUE(soc_->appFinished());
+    EXPECT_EQ(soc_->fram().read(kResultAddr - soc::kFramBase, 4),
+              expectedSumOfSquares(50000));
+}
+
+TEST_F(IntermittentIntegration, RestoreReprogramsTheMonitor)
+{
+    // After a restore, the runtime must re-enable and re-arm Failure
+    // Sentinels (its configuration is volatile), so a SECOND power
+    // cycle is also caught. Two full cycles prove it.
+    cell_->volts = 3.3;
+    soc_->loadApp(sumOfSquaresApp(400000));
+    soc_->powerOn();
+
+    for (int cycle = 0; cycle < 2; ++cycle) {
+        cell_->volts = 3.3;
+        soc_->run(200'000);
+        ASSERT_FALSE(soc_->appFinished());
+        cell_->volts = v_ckpt_ - 0.02;
+        soc_->run(200'000);
+        ASSERT_TRUE(soc_->checkpointCommitted()) << "cycle " << cycle;
+        soc_->powerFail();
+        soc_->powerOn();
+    }
+    cell_->volts = 3.3;
+    soc_->run(30'000'000);
+    ASSERT_TRUE(soc_->appFinished());
+    EXPECT_EQ(soc_->fram().read(kResultAddr - soc::kFramBase, 4),
+              expectedSumOfSquares(400000));
+}
+
+TEST_F(IntermittentIntegration, PowerFailWithoutCheckpointColdStarts)
+{
+    // Power yanked with no warning at all (the scenario a voltage
+    // monitor exists to prevent): no checkpoint, so the app restarts
+    // from scratch and still finishes correctly.
+    cell_->volts = 3.3;
+    soc_->loadApp(sumOfSquaresApp(30000));
+    soc_->powerOn();
+    soc_->run(30'000);
+    ASSERT_FALSE(soc_->appFinished());
+    soc_->powerFail();
+    ASSERT_FALSE(soc_->checkpointCommitted());
+
+    soc_->powerOn();
+    soc_->run(5'000'000);
+    ASSERT_TRUE(soc_->appFinished());
+    EXPECT_EQ(soc_->fram().read(kResultAddr - soc::kFramBase, 4),
+              expectedSumOfSquares(30000));
+}
+
+// ---------------------------------------------------------------------
+// Standard guest workloads under intermittent power
+// ---------------------------------------------------------------------
+
+class WorkloadIntegration
+    : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    WorkloadIntegration()
+        : monitor_(harvest::makeFsLowPower()),
+          cell_(std::make_shared<harvest::VoltageCell>()),
+          prog_(soc::standardWorkloads().at(GetParam()))
+    {
+        soc::CheckpointLayout layout;
+        layout.sramSize = 1024;
+        soc_ = std::make_unique<soc::Soc>(
+            *monitor_, [c = cell_](double) { return c->volts; }, layout);
+        harvest::SystemLoad load;
+        v_ckpt_ = load.coreVmin() +
+                  load.activeCurrentWith(*monitor_) * 0.004 / 47e-6 +
+                  monitor_->resolution();
+        soc_->loadRuntime(monitor_->countThresholdFor(v_ckpt_));
+        soc_->loadGuest(prog_);
+    }
+
+    std::unique_ptr<core::FailureSentinels> monitor_;
+    std::shared_ptr<harvest::VoltageCell> cell_;
+    soc::GuestProgram prog_;
+    std::unique_ptr<soc::Soc> soc_;
+    double v_ckpt_ = 0.0;
+};
+
+TEST_P(WorkloadIntegration, CorrectUnderStablePower)
+{
+    cell_->volts = 3.3;
+    soc_->powerOn();
+    soc_->run(50'000'000);
+    ASSERT_TRUE(soc_->appFinished()) << prog_.name;
+    EXPECT_EQ(soc_->guestResult(prog_), prog_.expected) << prog_.name;
+}
+
+TEST_P(WorkloadIntegration, CorrectAcrossPowerCycles)
+{
+    cell_->volts = 3.3;
+    soc_->powerOn();
+    std::size_t cycles = 0;
+    while (!soc_->appFinished() && cycles < 50) {
+        cell_->volts = 3.3;
+        soc_->run(30'000);
+        if (soc_->appFinished())
+            break;
+        cell_->volts = v_ckpt_ - 0.02;
+        soc_->run(200'000);
+        ASSERT_TRUE(soc_->checkpointCommitted())
+            << prog_.name << " cycle " << cycles;
+        soc_->powerFail();
+        soc_->powerOn();
+        ++cycles;
+    }
+    cell_->volts = 3.3;
+    soc_->run(50'000'000);
+    ASSERT_TRUE(soc_->appFinished()) << prog_.name;
+    EXPECT_GT(cycles, 0u) << prog_.name << " never power-cycled";
+    EXPECT_EQ(soc_->guestResult(prog_), prog_.expected) << prog_.name;
+}
+
+std::string
+workloadName(const ::testing::TestParamInfo<std::size_t> &info)
+{
+    static const char *names[] = {"crc32", "fir", "sort", "matmul"};
+    return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(StandardWorkloads, WorkloadIntegration,
+                         ::testing::Values(std::size_t(0), std::size_t(1),
+                                           std::size_t(2), std::size_t(3)),
+                         workloadName);
+
+} // namespace
+} // namespace fs

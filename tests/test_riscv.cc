@@ -1,0 +1,683 @@
+/**
+ * @file
+ * Unit tests for the RISC-V substrate: encodings, the programmatic
+ * assembler, memory devices, and the RV32IM hart (arithmetic, memory,
+ * control flow, M extension edge cases, CSRs, traps, WFI, and the
+ * Failure Sentinels custom instructions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "riscv/assembler.h"
+#include "riscv/encoding.h"
+#include "riscv/hart.h"
+#include "riscv/memory.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace fs {
+namespace riscv {
+namespace {
+
+/** Run a program (origin 0) until ebreak or the cycle budget. */
+class HartFixture : public ::testing::Test
+{
+  protected:
+    HartFixture() : ram_(64 * 1024), hart_(ram_) {}
+
+    void
+    load(Assembler &as)
+    {
+        ram_.loadWords(0, as.finalize());
+        hart_.reset(0);
+    }
+
+    void
+    runProgram(std::uint64_t budget = 100000)
+    {
+        hart_.run(budget);
+        ASSERT_TRUE(hart_.halted()) << "program did not halt";
+    }
+
+    Ram ram_;
+    Hart hart_;
+};
+
+// ---------------------------------------------------------------------
+// Encoding and assembler
+// ---------------------------------------------------------------------
+
+TEST(Encoding, KnownOpcodesMatchSpec)
+{
+    // Golden encodings checked against the RISC-V spec examples.
+    EXPECT_EQ(addi(kA0, kZero, 1), 0x00100513u);
+    EXPECT_EQ(add(kA0, kA0, kA1), 0x00b50533u);
+    EXPECT_EQ(lui(kA0, 0x12345), 0x12345537u);
+    EXPECT_EQ(lw(kA1, kSp, 8), 0x00812583u);
+    EXPECT_EQ(sw(kA1, kSp, 8), 0x00b12423u);
+    EXPECT_EQ(jal(kRa, 8), 0x008000efu);
+    EXPECT_EQ(beq(kA0, kA1, -4), 0xfeb50ee3u);
+    EXPECT_EQ(mul(kA0, kA1, kA2), 0x02c58533u);
+    EXPECT_EQ(ecall(), 0x00000073u);
+    EXPECT_EQ(mret(), 0x30200073u);
+    EXPECT_EQ(wfi(), 0x10500073u);
+}
+
+TEST(Encoding, RejectsOutOfRangeOperands)
+{
+    EXPECT_DEATH(addi(32, kZero, 0), "register");
+    EXPECT_DEATH(addi(kA0, kZero, 5000), "imm12");
+    EXPECT_DEATH(beq(kA0, kA1, 3), "offset");
+}
+
+TEST(Encoding, RegisterNames)
+{
+    EXPECT_EQ(regName(0), "zero");
+    EXPECT_EQ(regName(kSp), "sp");
+    EXPECT_EQ(regName(kA0), "a0");
+    EXPECT_EQ(regName(40), "x40");
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardBranches)
+{
+    Assembler as;
+    const auto fwd = as.newLabel();
+    const auto back = as.newLabel();
+    as.bind(back);
+    as.emit(addi(kA0, kA0, 1));
+    as.beqTo(kA0, kA1, fwd);
+    as.jTo(back);
+    as.bind(fwd);
+    as.emit(ebreak());
+    const auto words = as.finalize();
+    ASSERT_EQ(words.size(), 4u);
+    EXPECT_EQ(words[1], beq(kA0, kA1, 8));   // forward +2 words
+    EXPECT_EQ(words[2], jal(kZero, -8));     // backward -2 words
+}
+
+TEST(Assembler, LiHandlesFullRange)
+{
+    for (std::int32_t value :
+         {0, 1, -1, 2047, -2048, 2048, 0x12345678, -0x12345678,
+          int(0x80000000), 0x7fffffff}) {
+        Ram ram(1024);
+        Assembler as;
+        as.li(kA0, value);
+        as.emit(ebreak());
+        ram.loadWords(0, as.finalize());
+        Hart hart(ram);
+        hart.reset(0);
+        hart.run(10);
+        EXPECT_EQ(hart.reg(kA0), std::uint32_t(value))
+            << "li " << value;
+    }
+}
+
+TEST(Assembler, UnboundLabelIsFatal)
+{
+    Assembler as;
+    const auto label = as.newLabel();
+    as.jTo(label);
+    EXPECT_THROW(as.finalize(), FatalError);
+}
+
+TEST(Assembler, HereTracksOrigin)
+{
+    Assembler as(0x1000);
+    EXPECT_EQ(as.here(), 0x1000u);
+    as.nop();
+    EXPECT_EQ(as.here(), 0x1004u);
+}
+
+// ---------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------
+
+TEST(Memory, ByteHalfWordAccess)
+{
+    Ram ram(64);
+    ram.write(0, 0xdeadbeef, 4);
+    EXPECT_EQ(ram.read(0, 4), 0xdeadbeefu);
+    EXPECT_EQ(ram.read(0, 1), 0xefu);
+    EXPECT_EQ(ram.read(2, 2), 0xdeadu);
+    ram.write(1, 0x42, 1);
+    EXPECT_EQ(ram.read(0, 4), 0xdead42efu);
+}
+
+TEST(Memory, OutOfBoundsIsFatal)
+{
+    Ram ram(16);
+    EXPECT_THROW(ram.read(16, 4), FatalError);
+    EXPECT_THROW(ram.write(14, 0, 4), FatalError);
+}
+
+TEST(Memory, PowerFailSemantics)
+{
+    Ram volatile_ram(16, false);
+    Ram nonvolatile_ram(16, true);
+    volatile_ram.write(0, 0x1234, 4);
+    nonvolatile_ram.write(0, 0x1234, 4);
+    volatile_ram.powerFail();
+    nonvolatile_ram.powerFail();
+    EXPECT_EQ(volatile_ram.read(0, 4), 0u);
+    EXPECT_EQ(nonvolatile_ram.read(0, 4), 0x1234u);
+}
+
+// ---------------------------------------------------------------------
+// Hart: arithmetic and control flow
+// ---------------------------------------------------------------------
+
+TEST_F(HartFixture, ArithmeticAndLogic)
+{
+    Assembler as;
+    as.li(kA0, 7);
+    as.li(kA1, 3);
+    as.emit(add(kA2, kA0, kA1));  // 10
+    as.emit(sub(kA3, kA0, kA1));  // 4
+    as.emit(xor_(kA4, kA0, kA1)); // 4
+    as.emit(or_(kA5, kA0, kA1));  // 7
+    as.emit(and_(kA6, kA0, kA1)); // 3
+    as.emit(slli(kT0, kA0, 2));   // 28
+    as.emit(srai(kT1, kA3, 1));   // 2
+    as.emit(slt(kT2, kA1, kA0));  // 1
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA2), 10u);
+    EXPECT_EQ(hart_.reg(kA3), 4u);
+    EXPECT_EQ(hart_.reg(kA4), 4u);
+    EXPECT_EQ(hart_.reg(kA5), 7u);
+    EXPECT_EQ(hart_.reg(kA6), 3u);
+    EXPECT_EQ(hart_.reg(kT0), 28u);
+    EXPECT_EQ(hart_.reg(kT1), 2u);
+    EXPECT_EQ(hart_.reg(kT2), 1u);
+}
+
+TEST_F(HartFixture, RegisterZeroIsImmutable)
+{
+    Assembler as;
+    as.emit(addi(kZero, kZero, 5));
+    as.emit(add(kA0, kZero, kZero));
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kZero), 0u);
+    EXPECT_EQ(hart_.reg(kA0), 0u);
+}
+
+TEST_F(HartFixture, LoadsAndStoresWithSignExtension)
+{
+    Assembler as;
+    as.li(kSp, 0x1000);
+    as.li(kA0, -2); // 0xfffffffe
+    as.emit(sw(kA0, kSp, 0));
+    as.emit(lb(kA1, kSp, 0));  // sign-extended 0xfe -> -2
+    as.emit(lbu(kA2, kSp, 0)); // zero-extended 0xfe
+    as.emit(lh(kA3, kSp, 0));  // sign-extended
+    as.emit(lhu(kA4, kSp, 0));
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA1), 0xfffffffeu);
+    EXPECT_EQ(hart_.reg(kA2), 0xfeu);
+    EXPECT_EQ(hart_.reg(kA3), 0xfffffffeu);
+    EXPECT_EQ(hart_.reg(kA4), 0xfffeu);
+}
+
+TEST_F(HartFixture, BranchesCoverSignedAndUnsigned)
+{
+    Assembler as;
+    as.li(kA0, -1);   // 0xffffffff
+    as.li(kA1, 1);
+    as.li(kA2, 0);    // result flags
+    const auto l1 = as.newLabel();
+    const auto l2 = as.newLabel();
+    const auto done = as.newLabel();
+    as.bltTo(kA0, kA1, l1); // signed: -1 < 1, taken
+    as.jTo(done);
+    as.bind(l1);
+    as.emit(ori(kA2, kA2, 1));
+    as.bltuTo(kA0, kA1, done); // unsigned: 0xffffffff > 1, not taken
+    as.emit(ori(kA2, kA2, 2));
+    as.bgeuTo(kA0, kA1, l2); // unsigned: taken
+    as.jTo(done);
+    as.bind(l2);
+    as.emit(ori(kA2, kA2, 4));
+    as.bind(done);
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA2), 7u);
+}
+
+TEST_F(HartFixture, JalLinksAndJalrReturns)
+{
+    Assembler as;
+    const auto func = as.newLabel();
+    as.li(kA0, 0);
+    as.jalTo(kRa, func);
+    as.emit(addi(kA0, kA0, 100)); // after return
+    as.emit(ebreak());
+    as.bind(func);
+    as.emit(addi(kA0, kA0, 1));
+    as.emit(jalr(kZero, kRa, 0));
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA0), 101u);
+}
+
+TEST_F(HartFixture, LoopComputesExpectedSum)
+{
+    // sum of 1..100 = 5050
+    Assembler as;
+    as.li(kA0, 0);
+    as.li(kA1, 0);
+    as.li(kA2, 100);
+    const auto loop = as.newLabel();
+    as.bind(loop);
+    as.emit(addi(kA0, kA0, 1));
+    as.emit(add(kA1, kA1, kA0));
+    as.bltTo(kA0, kA2, loop);
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA1), 5050u);
+}
+
+// ---------------------------------------------------------------------
+// Hart: M extension
+// ---------------------------------------------------------------------
+
+TEST_F(HartFixture, MultiplyVariants)
+{
+    Assembler as;
+    as.li(kA0, -3);
+    as.li(kA1, 100000);
+    as.emit(mul(kA2, kA0, kA1));    // low word of -300000
+    as.emit(mulh(kA3, kA0, kA1));   // high word, signed*signed
+    as.emit(mulhu(kA4, kA0, kA1));  // high word, unsigned
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA2), std::uint32_t(-300000));
+    EXPECT_EQ(hart_.reg(kA3), 0xffffffffu); // sign extension of -300000
+    // unsigned: 0xfffffffd * 100000 >> 32
+    EXPECT_EQ(hart_.reg(kA4),
+              std::uint32_t((0xfffffffdull * 100000ull) >> 32));
+}
+
+TEST_F(HartFixture, DivisionEdgeCasesPerSpec)
+{
+    Assembler as;
+    as.li(kA0, 7);
+    as.li(kA1, 0);
+    as.emit(div(kA2, kA0, kA1));  // /0 -> -1
+    as.emit(divu(kA3, kA0, kA1)); // /0 -> 0xffffffff
+    as.emit(rem(kA4, kA0, kA1));  // %0 -> dividend
+    as.li(kT0, std::int32_t(0x80000000));
+    as.li(kT1, -1);
+    as.emit(div(kA5, kT0, kT1)); // overflow -> 0x80000000
+    as.emit(rem(kA6, kT0, kT1)); // overflow -> 0
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA2), 0xffffffffu);
+    EXPECT_EQ(hart_.reg(kA3), 0xffffffffu);
+    EXPECT_EQ(hart_.reg(kA4), 7u);
+    EXPECT_EQ(hart_.reg(kA5), 0x80000000u);
+    EXPECT_EQ(hart_.reg(kA6), 0u);
+}
+
+TEST_F(HartFixture, SignedDivisionAndRemainder)
+{
+    Assembler as;
+    as.li(kA0, -7);
+    as.li(kA1, 2);
+    as.emit(div(kA2, kA0, kA1)); // -3 (toward zero)
+    as.emit(rem(kA3, kA0, kA1)); // -1
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA2), std::uint32_t(-3));
+    EXPECT_EQ(hart_.reg(kA3), std::uint32_t(-1));
+}
+
+// ---------------------------------------------------------------------
+// Hart: CSRs, traps, WFI
+// ---------------------------------------------------------------------
+
+TEST_F(HartFixture, CsrReadWriteSetClear)
+{
+    Assembler as;
+    as.li(kA0, 0xff);
+    as.emit(csrrw(kA1, kCsrMscratch, kA0)); // old = 0
+    as.li(kA2, 0x0f);
+    as.emit(csrrc(kA3, kCsrMscratch, kA2)); // old = 0xff, now 0xf0
+    as.emit(csrrs(kA4, kCsrMscratch, kZero)); // read 0xf0
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA1), 0u);
+    EXPECT_EQ(hart_.reg(kA3), 0xffu);
+    EXPECT_EQ(hart_.reg(kA4), 0xf0u);
+}
+
+TEST_F(HartFixture, ExternalInterruptVectorsAndMretReturns)
+{
+    Assembler as;
+    const auto handler = as.newLabel();
+    const auto spin = as.newLabel();
+    // main: set mtvec, enable MEIE + MIE, then spin incrementing a0.
+    as.li(kT0, 0x100);
+    as.emit(csrrw(kZero, kCsrMtvec, kT0));
+    as.li(kT0, std::int32_t(kMieMeie));
+    as.emit(csrrw(kZero, kCsrMie, kT0));
+    as.li(kT0, std::int32_t(kMstatusMie));
+    as.emit(csrrs(kZero, kCsrMstatus, kT0));
+    as.bind(spin);
+    as.emit(addi(kA0, kA0, 1));
+    as.jTo(spin);
+    while (as.here() < 0x100)
+        as.nop();
+    as.bind(handler);
+    as.emit(addi(kA1, kA1, 1)); // count interrupts
+    as.emit(ebreak());
+    load(as);
+
+    hart_.run(50);
+    EXPECT_EQ(hart_.reg(kA1), 0u);
+    hart_.setExternalInterrupt(true);
+    hart_.run(50);
+    EXPECT_TRUE(hart_.halted());
+    EXPECT_EQ(hart_.reg(kA1), 1u);
+    EXPECT_EQ(hart_.csr(kCsrMcause), kCauseMachineExternal);
+    // mepc points back into the spin loop.
+    EXPECT_GE(hart_.csr(kCsrMepc), 20u);
+    // MIE was cleared on trap entry.
+    EXPECT_EQ(hart_.csr(kCsrMstatus) & kMstatusMie, 0u);
+}
+
+TEST_F(HartFixture, InterruptMaskedWhenMieClear)
+{
+    Assembler as;
+    as.li(kT0, 0x100);
+    as.emit(csrrw(kZero, kCsrMtvec, kT0));
+    // MEIE set but mstatus.MIE clear: no trap.
+    as.li(kT0, std::int32_t(kMieMeie));
+    as.emit(csrrw(kZero, kCsrMie, kT0));
+    const auto spin = as.newLabel();
+    as.bind(spin);
+    as.emit(addi(kA0, kA0, 1));
+    as.jTo(spin);
+    load(as);
+    hart_.setExternalInterrupt(true);
+    hart_.run(100);
+    EXPECT_FALSE(hart_.halted());
+    EXPECT_GT(hart_.reg(kA0), 0u);
+}
+
+TEST_F(HartFixture, WfiSleepsUntilInterrupt)
+{
+    Assembler as;
+    as.li(kT0, 0x100);
+    as.emit(csrrw(kZero, kCsrMtvec, kT0));
+    as.li(kT0, std::int32_t(kMieMeie));
+    as.emit(csrrw(kZero, kCsrMie, kT0));
+    as.li(kT0, std::int32_t(kMstatusMie));
+    as.emit(csrrs(kZero, kCsrMstatus, kT0));
+    as.emit(wfi());
+    while (as.here() < 0x100)
+        as.nop();
+    as.emit(ebreak()); // handler
+    load(as);
+
+    hart_.run(200);
+    EXPECT_FALSE(hart_.halted());
+    EXPECT_TRUE(hart_.waitingForInterrupt());
+    hart_.setExternalInterrupt(true);
+    hart_.run(50);
+    EXPECT_TRUE(hart_.halted());
+}
+
+TEST_F(HartFixture, EcallInvokesHostHandler)
+{
+    Assembler as;
+    as.li(kA0, 42);
+    as.emit(ecall());
+    as.emit(addi(kA0, kA0, 1)); // not reached when handler halts
+    load(as);
+    std::uint32_t seen = 0;
+    hart_.onEcall([&](Hart &h) {
+        seen = h.reg(kA0);
+        return true;
+    });
+    hart_.run(100);
+    EXPECT_TRUE(hart_.halted());
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST_F(HartFixture, PowerFailClearsArchitecturalState)
+{
+    Assembler as;
+    as.li(kA0, 42);
+    as.emit(csrrw(kZero, kCsrMscratch, kA0));
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    hart_.powerFail();
+    EXPECT_EQ(hart_.reg(kA0), 0u);
+    EXPECT_EQ(hart_.csr(kCsrMscratch), 0u);
+    EXPECT_TRUE(hart_.halted());
+    hart_.reset(0);
+    EXPECT_FALSE(hart_.halted());
+}
+
+TEST_F(HartFixture, CycleAccountingDistinguishesClasses)
+{
+    Assembler as;
+    as.emit(addi(kA0, kA0, 1)); // 1 cycle
+    as.emit(ebreak());
+    load(as);
+    hart_.step();
+    EXPECT_EQ(hart_.cycles(), 1u);
+
+    Assembler as2;
+    as2.li(kSp, 0x100);
+    as2.emit(lw(kA0, kSp, 0)); // 2 cycles
+    as2.emit(ebreak());
+    ram_.loadWords(0, as2.finalize());
+    hart_.reset(0);
+    hart_.step(); // li
+    const auto before = hart_.cycles();
+    hart_.step(); // lw
+    EXPECT_EQ(hart_.cycles() - before, 2u);
+    EXPECT_GT(hart_.instructionsRetired(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Custom Failure Sentinels instructions
+// ---------------------------------------------------------------------
+
+class MockCoprocessor : public FsCoprocessor
+{
+  public:
+    std::uint32_t
+    fsRead() override
+    {
+        return 0xabcd;
+    }
+    void
+    fsConfigure(std::uint32_t threshold, std::uint32_t control) override
+    {
+        last_threshold = threshold;
+        last_control = control;
+    }
+    std::uint32_t last_threshold = 0;
+    std::uint32_t last_control = 0;
+};
+
+TEST_F(HartFixture, FsReadReturnsCoprocessorValue)
+{
+    MockCoprocessor cop;
+    hart_.attachCoprocessor(&cop);
+    Assembler as;
+    as.emit(fsRead(kA0));
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(hart_.reg(kA0), 0xabcdu);
+}
+
+TEST_F(HartFixture, FsCfgForwardsOperands)
+{
+    MockCoprocessor cop;
+    hart_.attachCoprocessor(&cop);
+    Assembler as;
+    as.li(kA0, 123);
+    as.li(kA1, 3);
+    as.emit(fsCfg(kA0, kA1));
+    as.emit(ebreak());
+    load(as);
+    runProgram();
+    EXPECT_EQ(cop.last_threshold, 123u);
+    EXPECT_EQ(cop.last_control, 3u);
+}
+
+TEST_F(HartFixture, CustomInstructionWithoutCoprocessorIsFatal)
+{
+    Assembler as;
+    as.emit(fsRead(kA0));
+    load(as);
+    EXPECT_THROW(hart_.step(), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Differential fuzzing: random ALU sequences vs. a host-side oracle
+// ---------------------------------------------------------------------
+
+/** Minimal host-side model of the RV32IM register-register subset. */
+class AluOracle
+{
+  public:
+    std::uint32_t regs[32] = {};
+
+    void
+    apply(Word funct3, Word funct7, Word rd, Word rs1, Word rs2)
+    {
+        const std::uint32_t a = regs[rs1];
+        const std::uint32_t b = regs[rs2];
+        std::uint32_t r = 0;
+        if (funct7 == 1) {
+            const std::int64_t sa = std::int32_t(a);
+            const std::int64_t sb = std::int32_t(b);
+            switch (funct3) {
+              case 0: r = a * b; break;
+              case 1: r = std::uint32_t((sa * sb) >> 32); break;
+              case 2:
+                r = std::uint32_t(
+                    (sa * std::int64_t(std::uint64_t(b))) >> 32);
+                break;
+              case 3:
+                r = std::uint32_t(
+                    (std::uint64_t(a) * std::uint64_t(b)) >> 32);
+                break;
+              case 4:
+                if (b == 0)
+                    r = 0xffffffffu;
+                else if (a == 0x80000000u && b == 0xffffffffu)
+                    r = 0x80000000u;
+                else
+                    r = std::uint32_t(std::int32_t(a) / std::int32_t(b));
+                break;
+              case 5: r = b == 0 ? 0xffffffffu : a / b; break;
+              case 6:
+                if (b == 0)
+                    r = a;
+                else if (a == 0x80000000u && b == 0xffffffffu)
+                    r = 0;
+                else
+                    r = std::uint32_t(std::int32_t(a) % std::int32_t(b));
+                break;
+              case 7: r = b == 0 ? a : a % b; break;
+            }
+        } else {
+            switch (funct3) {
+              case 0: r = funct7 & 0x20 ? a - b : a + b; break;
+              case 1: r = a << (b & 0x1f); break;
+              case 2:
+                r = std::int32_t(a) < std::int32_t(b) ? 1 : 0;
+                break;
+              case 3: r = a < b ? 1 : 0; break;
+              case 4: r = a ^ b; break;
+              case 5:
+                r = funct7 & 0x20
+                        ? std::uint32_t(std::int32_t(a) >> (b & 0x1f))
+                        : a >> (b & 0x1f);
+                break;
+              case 6: r = a | b; break;
+              case 7: r = a & b; break;
+            }
+        }
+        if (rd != 0)
+            regs[rd] = r;
+    }
+};
+
+class HartFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HartFuzz, RandomAluSequencesMatchOracle)
+{
+    Rng rng(GetParam());
+    Ram ram(64 * 1024);
+    Hart hart(ram);
+    AluOracle oracle;
+
+    Assembler as;
+    // Seed every register with a random value.
+    for (Word r = 1; r < 32; ++r) {
+        const auto v = std::int32_t(rng.uniformInt(INT32_MIN, INT32_MAX));
+        as.li(r, v);
+        oracle.regs[r] = std::uint32_t(v);
+    }
+    struct Op {
+        Word funct3, funct7, rd, rs1, rs2;
+    };
+    std::vector<Op> ops;
+    for (int i = 0; i < 400; ++i) {
+        Op op;
+        op.funct3 = Word(rng.uniformInt(0, 7));
+        // Mix base-ISA ALU, sub/sra, and M-extension encodings.
+        const int family = int(rng.uniformInt(0, 3));
+        if (family == 0)
+            op.funct7 = 1; // M extension
+        else if (family == 1 && (op.funct3 == 0 || op.funct3 == 5))
+            op.funct7 = 0x20; // sub / sra
+        else
+            op.funct7 = 0;
+        op.rd = Word(rng.uniformInt(0, 31));
+        op.rs1 = Word(rng.uniformInt(0, 31));
+        op.rs2 = Word(rng.uniformInt(0, 31));
+        ops.push_back(op);
+        as.emit(encodeR(kOpReg, op.rd, op.funct3, op.rs1, op.rs2,
+                        op.funct7));
+    }
+    as.emit(ebreak());
+    ram.loadWords(0, as.finalize());
+    hart.reset(0);
+    hart.run(1'000'000);
+    ASSERT_TRUE(hart.halted());
+
+    for (const Op &op : ops)
+        oracle.apply(op.funct3, op.funct7, op.rd, op.rs1, op.rs2);
+    for (Word r = 0; r < 32; ++r)
+        EXPECT_EQ(hart.reg(r), oracle.regs[r]) << "x" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HartFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace riscv
+} // namespace fs

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the Section II-C runtime policies: energy model,
+ * monitor-backed assessor, adaptive (Chinchilla-style) checkpointing,
+ * Dewdrop-style task admission, and PHASE-style mode selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/comparator_monitor.h"
+#include "analog/ideal_monitor.h"
+#include "harvest/system_comparison.h"
+#include "runtime/checkpoint_policy.h"
+#include "runtime/energy_model.h"
+#include "runtime/phase_controller.h"
+#include "runtime/task_admission.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace runtime {
+namespace {
+
+// ---------------------------------------------------------------------
+// Energy model and assessor
+// ---------------------------------------------------------------------
+
+TEST(EnergyModel, UsableEnergyFormula)
+{
+    EnergyModel model(47e-6, 1.8);
+    EXPECT_DOUBLE_EQ(model.usableEnergy(1.8), 0.0);
+    EXPECT_DOUBLE_EQ(model.usableEnergy(1.0), 0.0);
+    EXPECT_NEAR(model.usableEnergy(3.5),
+                0.5 * 47e-6 * (3.5 * 3.5 - 1.8 * 1.8), 1e-12);
+}
+
+TEST(EnergyModel, VoltageForInvertsEnergy)
+{
+    EnergyModel model(47e-6, 1.8);
+    for (double v : {1.9, 2.4, 3.0, 3.6}) {
+        EXPECT_NEAR(model.voltageFor(model.usableEnergy(v)), v, 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(model.voltageFor(0.0), 1.8);
+    EXPECT_DOUBLE_EQ(model.voltageFor(-1.0), 1.8);
+}
+
+TEST(EnergyModel, RejectsBadParameters)
+{
+    EXPECT_THROW(EnergyModel(0.0, 1.8), FatalError);
+    EXPECT_THROW(EnergyModel(47e-6, -1.0), FatalError);
+}
+
+TEST(EnergyAssessor, IdealMonitorReportsExactEnergy)
+{
+    analog::IdealMonitor ideal;
+    EnergyAssessor assessor(ideal, EnergyModel(47e-6, 1.8));
+    const auto status = assessor.assess(3.0);
+    EXPECT_DOUBLE_EQ(status.measuredVolts, 3.0);
+    EXPECT_NEAR(status.usableJoules,
+                0.5 * 47e-6 * (9.0 - 3.24), 1e-12);
+}
+
+TEST(EnergyAssessor, CanAffordRespectsMonitorError)
+{
+    analog::IdealMonitor ideal;
+    EnergyAssessor exact(ideal, EnergyModel(47e-6, 1.8));
+    auto fs_lp = harvest::makeFsLowPower();
+    EnergyAssessor coarse(*fs_lp, EnergyModel(47e-6, 1.8));
+
+    const double energy = exact.assess(2.5).usableJoules;
+    // The exact assessor affords all but a hair under the budget;
+    // the coarse one must hold back a resolution-sized margin.
+    EXPECT_TRUE(exact.canAfford(2.5, energy * 0.999));
+    EXPECT_FALSE(coarse.canAfford(2.5, energy * 0.999));
+    EXPECT_TRUE(coarse.canAfford(2.5, energy * 0.5));
+}
+
+// ---------------------------------------------------------------------
+// Adaptive checkpointing
+// ---------------------------------------------------------------------
+
+AdaptiveCheckpointPolicy::Config
+policyConfig()
+{
+    AdaptiveCheckpointPolicy::Config config;
+    config.checkpointEnergy = 2e-6;
+    config.candidatePeriod = 0.05;
+    config.worstCasePeriodEnergy = 15e-6;
+    config.guardBandEnergy = 10e-6;
+    return config;
+}
+
+TEST(AdaptiveCheckpointPolicy, MonitoredModeSkipsWhileEnergyIsHigh)
+{
+    analog::IdealMonitor ideal;
+    EnergyAssessor assessor(ideal, EnergyModel(47e-6, 1.8));
+    AdaptiveCheckpointPolicy policy(policyConfig(), &assessor);
+
+    EXPECT_FALSE(policy.onCandidate(3.5)); // plenty of energy
+    EXPECT_FALSE(policy.onCandidate(3.0));
+    EXPECT_TRUE(policy.onCandidate(1.9)); // nearly drained
+    EXPECT_EQ(policy.candidates(), 3u);
+    EXPECT_EQ(policy.taken(), 1u);
+    EXPECT_EQ(policy.skipped(), 2u);
+}
+
+TEST(AdaptiveCheckpointPolicy, BlindModeBurnsGuardBand)
+{
+    AdaptiveCheckpointPolicy policy(policyConfig(), nullptr);
+    EnergyModel model(47e-6, 1.8);
+    policy.notifyPowerOn(model.usableEnergy(3.5));
+
+    // With a 25 uJ pessimistic drain per 50 ms candidate against a
+    // ~210 uJ boot budget, the blind policy starts checkpointing
+    // within a handful of candidates even though the true voltage
+    // stays high.
+    std::size_t first_take = 0;
+    for (std::size_t i = 1; i <= 20; ++i) {
+        if (policy.onCandidate(3.5)) {
+            first_take = i;
+            break;
+        }
+    }
+    EXPECT_GT(first_take, 0u);
+    EXPECT_LE(first_take, 10u);
+}
+
+TEST(AdaptiveCheckpointPolicy, MonitoredSkipsMoreThanBlind)
+{
+    analog::IdealMonitor ideal;
+    EnergyAssessor assessor(ideal, EnergyModel(47e-6, 1.8));
+    AdaptiveCheckpointPolicy monitored(policyConfig(), &assessor);
+    AdaptiveCheckpointPolicy blind(policyConfig(), nullptr);
+    EnergyModel model(47e-6, 1.8);
+    blind.notifyPowerOn(model.usableEnergy(3.5));
+
+    // The buffer drains slowly from 3.5 V to 2.6 V across 20
+    // candidates: the monitored policy sees it never gets critical.
+    for (int i = 0; i < 20; ++i) {
+        const double v = 3.5 - 0.045 * i;
+        monitored.onCandidate(v);
+        blind.onCandidate(v);
+    }
+    EXPECT_LT(monitored.taken(), blind.taken());
+    EXPECT_EQ(monitored.taken(), 0u);
+}
+
+TEST(AdaptiveCheckpointPolicy, RejectsBadConfig)
+{
+    auto config = policyConfig();
+    config.checkpointEnergy = 0.0;
+    EXPECT_THROW(AdaptiveCheckpointPolicy(config, nullptr), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Task admission
+// ---------------------------------------------------------------------
+
+TEST(TaskAdmission, AdmitsAffordableTasksOnly)
+{
+    analog::IdealMonitor ideal;
+    EnergyAssessor assessor(ideal, EnergyModel(47e-6, 1.8));
+    TaskAdmission admission(assessor, 1.1);
+
+    const Task small{"sense", 0.05, 112e-6};   // ~14 uJ at 2.5 V
+    const Task huge{"transmit", 5.0, 400e-6};  // ~5 mJ: never fits
+
+    EXPECT_TRUE(admission.admit(small, 3.5));
+    EXPECT_FALSE(admission.admit(huge, 3.5));
+    EXPECT_FALSE(admission.admit(small, 1.85)); // nearly dead buffer
+    EXPECT_EQ(admission.admitted(), 1u);
+    EXPECT_EQ(admission.deferred(), 2u);
+}
+
+TEST(TaskAdmission, CoarserMonitorDefersEarlier)
+{
+    analog::IdealMonitor ideal;
+    auto fs_lp = harvest::makeFsLowPower();
+    EnergyAssessor exact(ideal, EnergyModel(47e-6, 1.8));
+    EnergyAssessor coarse(*fs_lp, EnergyModel(47e-6, 1.8));
+    TaskAdmission a_exact(exact, 1.0);
+    TaskAdmission a_coarse(coarse, 1.0);
+
+    // Descend the voltage range: the coarse monitor must stop
+    // admitting at or above the voltage where the exact one stops.
+    const Task task{"work", 0.3, 112e-6};
+    double exact_floor = 0.0, coarse_floor = 0.0;
+    for (double v = 3.5; v > 1.8; v -= 0.01) {
+        if (exact_floor == 0.0 && !a_exact.admit(task, v))
+            exact_floor = v;
+        if (coarse_floor == 0.0 && !a_coarse.admit(task, v))
+            coarse_floor = v;
+    }
+    EXPECT_GE(coarse_floor, exact_floor);
+}
+
+TEST(TaskAdmission, RejectsSubUnityMargin)
+{
+    analog::IdealMonitor ideal;
+    EnergyAssessor assessor(ideal, EnergyModel(47e-6, 1.8));
+    EXPECT_THROW(TaskAdmission(assessor, 0.9), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Phase controller
+// ---------------------------------------------------------------------
+
+class PhaseControllerTest : public ::testing::Test
+{
+  protected:
+    PhaseControllerTest()
+        : assessor_(ideal_, EnergyModel(47e-6, 1.8)),
+          controller_(PhaseController::Config{}, assessor_)
+    {
+    }
+
+    analog::IdealMonitor ideal_;
+    EnergyAssessor assessor_;
+    PhaseController controller_;
+};
+
+TEST_F(PhaseControllerTest, SelectsModesByVoltageBand)
+{
+    EXPECT_EQ(controller_.select(3.4), ExecutionMode::HighPerformance);
+    EXPECT_EQ(controller_.select(2.2), ExecutionMode::HighEfficiency);
+    EXPECT_EQ(controller_.select(1.9), ExecutionMode::Sleep);
+    EXPECT_EQ(controller_.modeSwitches(), 3u);
+}
+
+TEST_F(PhaseControllerTest, HysteresisPreventsThrash)
+{
+    controller_.select(3.4); // HP
+    // Dithering right at the HE/HP boundary must not flip modes.
+    const auto mode = controller_.currentMode();
+    for (double v : {2.45, 2.42, 2.44, 2.41, 2.43})
+        controller_.select(v);
+    EXPECT_EQ(controller_.currentMode(), mode);
+    EXPECT_EQ(controller_.modeSwitches(), 1u);
+}
+
+TEST_F(PhaseControllerTest, ModeParametersAreConsistent)
+{
+    EXPECT_GT(controller_.modeCurrent(ExecutionMode::HighPerformance),
+              controller_.modeCurrent(ExecutionMode::HighEfficiency));
+    EXPECT_GT(controller_.modeWorkRate(ExecutionMode::HighPerformance),
+              controller_.modeWorkRate(ExecutionMode::HighEfficiency));
+    EXPECT_EQ(controller_.modeWorkRate(ExecutionMode::Sleep), 0.0);
+}
+
+TEST(PhaseController, RejectsUnorderedThresholds)
+{
+    analog::IdealMonitor ideal;
+    EnergyAssessor assessor(ideal, EnergyModel(47e-6, 1.8));
+    PhaseController::Config config;
+    config.vLow = 3.0;
+    config.vMid = 2.0;
+    EXPECT_THROW(PhaseController(config, assessor), FatalError);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace fs

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/sim_object.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace fs {
+namespace sim {
+namespace {
+
+TEST(TickConversion, RoundTrips)
+{
+    EXPECT_EQ(toTicks(1.0), kTicksPerSecond);
+    EXPECT_EQ(toTicks(1e-6), 1'000'000u);
+    EXPECT_DOUBLE_EQ(toSeconds(kTicksPerSecond), 1.0);
+    EXPECT_NEAR(toSeconds(toTicks(0.125)), 0.125, 1e-12);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto id = q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // already cancelled
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunUntilStopsBeforeLaterEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    q.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int chain = 0;
+    std::function<void()> tick = [&] {
+        if (++chain < 5)
+            q.scheduleIn(10, tick);
+    };
+    q.schedule(0, tick);
+    q.run();
+    EXPECT_EQ(chain, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    EXPECT_TRUE(q.empty());
+    q.schedule(1, [] {});
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(SimObject, BindsNameAndQueue)
+{
+    EventQueue q;
+    class Dummy : public SimObject
+    {
+      public:
+        using SimObject::SimObject;
+    };
+    Dummy d(q, "dummy");
+    EXPECT_EQ(d.name(), "dummy");
+    EXPECT_EQ(&d.queue(), &q);
+    q.schedule(17, [] {});
+    q.run();
+    EXPECT_EQ(d.now(), 17u);
+}
+
+TEST(EventQueue, RandomizedStressAgainstReferenceModel)
+{
+    // Property: the queue fires exactly the non-cancelled events, in
+    // (time, insertion) order, against a naive reference model.
+    Rng rng(1234);
+    EventQueue q;
+    struct Ref {
+        Tick when;
+        std::uint64_t seq;
+        bool cancelled = false;
+    };
+    std::vector<Ref> reference;
+    std::vector<std::uint64_t> ids;
+    std::vector<std::uint64_t> fired;
+
+    for (int i = 0; i < 500; ++i) {
+        const auto when = Tick(rng.uniformInt(0, 10000));
+        const auto id = q.schedule(when, [&fired, i] {
+            fired.push_back(std::uint64_t(i));
+        });
+        ids.push_back(id);
+        reference.push_back({when, std::uint64_t(i)});
+    }
+    // Cancel a random third of them.
+    for (int i = 0; i < 500; ++i) {
+        if (rng.bernoulli(0.33)) {
+            if (q.cancel(ids[std::size_t(i)]))
+                reference[std::size_t(i)].cancelled = true;
+        }
+    }
+    q.run();
+
+    std::vector<std::uint64_t> expected;
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const Ref &a, const Ref &b) {
+                         return a.when < b.when;
+                     });
+    for (const Ref &r : reference) {
+        if (!r.cancelled)
+            expected.push_back(r.seq);
+    }
+    EXPECT_EQ(fired, expected);
+}
+
+} // namespace
+} // namespace sim
+} // namespace fs

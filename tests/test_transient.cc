@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the gate-level transient RO simulation: the event-driven
+ * ring must agree edge-for-edge with the closed-form Eq. 1 model,
+ * respond to supply droop within a window, expose jitter, and honor
+ * enable-window semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "circuit/transient_ro.h"
+#include "util/stats.h"
+
+namespace fs {
+namespace circuit {
+namespace {
+
+struct TransientCase {
+    const Technology *tech;
+    std::size_t stages;
+    double volts;
+};
+
+class TransientRoTest : public ::testing::TestWithParam<TransientCase>
+{
+};
+
+TEST_P(TransientRoTest, WindowCountMatchesAnalyticalModel)
+{
+    const auto [tech, stages, volts] = GetParam();
+    sim::EventQueue queue;
+    RingOscillator ro(*tech, stages);
+    TransientRo transient(queue, ro, [v = volts](double) { return v; });
+
+    const double t_en = 20e-6;
+    const auto count = transient.runWindow(t_en);
+    const double expected = ro.frequency(volts) * t_en;
+    // The event simulation quantizes edges; +/-2 edges of slack
+    // covers the window-boundary partial periods.
+    EXPECT_NEAR(double(count), expected, 2.0)
+        << tech->name() << " " << stages << " stages at " << volts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VoltagesAndLengths, TransientRoTest,
+    ::testing::Values(
+        TransientCase{&Technology::node130(), 21, 0.6},
+        TransientCase{&Technology::node130(), 21, 1.2},
+        TransientCase{&Technology::node90(), 7, 0.8},
+        TransientCase{&Technology::node90(), 21, 0.65},
+        TransientCase{&Technology::node90(), 67, 1.0},
+        TransientCase{&Technology::node65(), 11, 0.9}),
+    [](const auto &info) {
+        return info.param.tech->name().substr(0, 2) + "nm_" +
+               std::to_string(info.param.stages) + "s_" +
+               std::to_string(int(info.param.volts * 100)) + "cV";
+    });
+
+TEST(TransientRo, EdgePeriodMatchesFrequency)
+{
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 21);
+    TransientRo transient(queue, ro, [](double) { return 0.9; });
+    transient.runWindow(50e-6);
+
+    const auto &times = transient.edgeTimes();
+    ASSERT_GE(times.size(), 10u);
+    RunningStats periods;
+    for (std::size_t i = 1; i < times.size(); ++i)
+        periods.add(times[i] - times[i - 1]);
+    EXPECT_NEAR(periods.mean(), 1.0 / ro.frequency(0.9),
+                0.01 / ro.frequency(0.9));
+    // Noiseless ring: periods are identical to kernel resolution.
+    EXPECT_LT(periods.stddev(), 2e-12);
+}
+
+TEST(TransientRo, JitterSpreadsPeriodsButKeepsMean)
+{
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 21);
+    TransientRo transient(queue, ro, [](double) { return 0.9; },
+                          /*jitter_sigma=*/0.05, /*seed=*/7);
+    transient.runWindow(200e-6);
+
+    const auto &times = transient.edgeTimes();
+    ASSERT_GE(times.size(), 100u);
+    RunningStats periods;
+    for (std::size_t i = 1; i < times.size(); ++i)
+        periods.add(times[i] - times[i - 1]);
+    const double nominal = 1.0 / ro.frequency(0.9);
+    EXPECT_NEAR(periods.mean(), nominal, 0.02 * nominal);
+    // Per-gate sigma of 5% averages down by sqrt(2n) per period.
+    EXPECT_GT(periods.stddev(), 0.001 * nominal);
+    EXPECT_LT(periods.stddev(), 0.05 * nominal);
+}
+
+TEST(TransientRo, DisableSquashesInFlightTransitions)
+{
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 21);
+    TransientRo transient(queue, ro, [](double) { return 0.9; });
+    const auto count = transient.runWindow(10e-6);
+    EXPECT_GT(count, 0u);
+    // After disable, draining the queue must not add edges.
+    queue.run();
+    EXPECT_EQ(transient.edgeCount(), count);
+    EXPECT_FALSE(transient.enabled());
+}
+
+TEST(TransientRo, DroopingSupplySlowsTheRing)
+{
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 21);
+    // Rail collapses linearly from 0.9 V to 0.6 V across the window.
+    const double t_en = 40e-6;
+    TransientRo transient(queue, ro, [t_en](double t) {
+        return 0.9 - 0.3 * std::min(1.0, t / t_en);
+    });
+    const auto count = transient.runWindow(t_en);
+    const double fast = ro.frequency(0.9) * t_en;
+    const double slow = ro.frequency(0.6) * t_en;
+    EXPECT_LT(double(count), fast);
+    EXPECT_GT(double(count), slow);
+}
+
+TEST(TransientRo, DeadRailProducesNoEdges)
+{
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 21);
+    TransientRo transient(queue, ro, [](double) { return 0.05; });
+    EXPECT_EQ(transient.runWindow(20e-6), 0u);
+}
+
+TEST(TransientRo, BackToBackWindowsAreIndependent)
+{
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 21);
+    TransientRo transient(queue, ro, [](double) { return 0.9; });
+    const auto first = transient.runWindow(10e-6);
+    const auto second = transient.runWindow(10e-6);
+    EXPECT_NEAR(double(first), double(second), 1.0);
+}
+
+TEST(TransientRo, HistoryLimitBoundsMemory)
+{
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 3); // fast ring
+    TransientRo transient(queue, ro, [](double) { return 1.0; });
+    transient.setHistoryLimit(64);
+    transient.runWindow(100e-6);
+    EXPECT_LE(transient.edgeTimes().size(), 64u);
+    EXPECT_GT(transient.edgeCount(), 64u);
+}
+
+TEST(TransientRo, RejectsSillyJitter)
+{
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 21);
+    EXPECT_DEATH(TransientRo(queue, ro, [](double) { return 0.9; }, 0.9),
+                 "jitter");
+}
+
+class JitterSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(JitterSweep, PeriodSpreadGrowsWithGateNoise)
+{
+    const double sigma = GetParam();
+    sim::EventQueue queue;
+    RingOscillator ro(Technology::node90(), 21);
+    TransientRo transient(queue, ro, [](double) { return 0.9; }, sigma,
+                          99);
+    transient.runWindow(200e-6);
+    const auto &times = transient.edgeTimes();
+    ASSERT_GE(times.size(), 50u);
+    RunningStats periods;
+    for (std::size_t i = 1; i < times.size(); ++i)
+        periods.add(times[i] - times[i - 1]);
+    const double nominal = 1.0 / ro.frequency(0.9);
+    // Per-gate sigma averages down across 2n gate delays per period:
+    // expected period sigma ~ sigma / sqrt(2n).
+    const double expected = sigma * nominal / std::sqrt(2.0 * 21.0);
+    EXPECT_NEAR(periods.mean(), nominal, 0.03 * nominal);
+    EXPECT_NEAR(periods.stddev(), expected, 0.5 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, JitterSweep,
+                         ::testing::Values(0.01, 0.03, 0.08),
+                         [](const auto &info) {
+                             return "sigma" +
+                                    std::to_string(int(
+                                        info.param * 100));
+                         });
+
+} // namespace
+} // namespace circuit
+} // namespace fs

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the utility substrate: units, logging, RNG, stats,
+ * numeric helpers, CSV, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/numeric.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace fs {
+namespace {
+
+TEST(Units, LiteralsScaleCorrectly)
+{
+    EXPECT_DOUBLE_EQ(1.5_V, 1.5);
+    EXPECT_DOUBLE_EQ(250.0_mV, 0.25);
+    EXPECT_DOUBLE_EQ(10_us, 1e-5);
+    EXPECT_DOUBLE_EQ(8.192_ms, 8.192e-3);
+    EXPECT_DOUBLE_EQ(2_uA, 2e-6);
+    EXPECT_DOUBLE_EQ(47_uF, 47e-6);
+    EXPECT_DOUBLE_EQ(10_kHz, 1e4);
+    EXPECT_DOUBLE_EQ(1.5_MHz, 1.5e6);
+    EXPECT_DOUBLE_EQ(5.0_fF, 5e-15);
+    EXPECT_DOUBLE_EQ(330.0_ns, 3.3e-7);
+}
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad config: ", 42, " entries");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad config: 42 entries");
+    }
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("just a warning ", 1));
+    EXPECT_NO_THROW(inform("status ", 2.5));
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(1, 6);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 6);
+        saw_lo |= v == 1;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMeanAndSpread)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, IndexOfEmptyIsZero)
+{
+    Rng rng;
+    EXPECT_EQ(rng.index(0), 0u);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs = {1.0, 4.0, -2.0, 8.0, 3.5};
+    RunningStats stats;
+    for (double x : xs)
+        stats.add(x);
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= double(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= double(xs.size());
+    EXPECT_EQ(stats.count(), xs.size());
+    EXPECT_NEAR(stats.mean(), mean, 1e-12);
+    EXPECT_NEAR(stats.variance(), var, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), -2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 8.0);
+    EXPECT_NEAR(stats.range(), 10.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass)
+{
+    Rng rng(3);
+    RunningStats all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.gaussian();
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsZeroed)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndQuantiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(double(i) + 0.5);
+    EXPECT_EQ(h.total(), 10u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.countAt(b), 1u);
+    EXPECT_NEAR(h.quantile(0.5), 4.5, 1.1);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_EQ(h.countAt(0), 1u);
+    EXPECT_EQ(h.countAt(3), 1u);
+}
+
+TEST(Numeric, DerivativeOfPolynomial)
+{
+    const Fn f = [](double x) { return 3.0 * x * x + 2.0 * x - 7.0; };
+    EXPECT_NEAR(derivative(f, 2.0), 14.0, 1e-6);
+    EXPECT_NEAR(secondDerivative(f, 2.0), 6.0, 1e-4);
+}
+
+TEST(Numeric, PolyfitRecoversExactPolynomial)
+{
+    const std::vector<double> coeffs = {1.0, -2.0, 0.5};
+    std::vector<double> xs, ys;
+    for (double x = -3.0; x <= 3.0; x += 0.5) {
+        xs.push_back(x);
+        ys.push_back(polyval(coeffs, x));
+    }
+    const auto fit = polyfit(xs, ys, 2);
+    ASSERT_EQ(fit.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(fit[i], coeffs[i], 1e-9);
+}
+
+TEST(Numeric, PolyfitRejectsUnderdeterminedSystem)
+{
+    EXPECT_THROW(polyfit({1.0, 2.0}, {1.0, 2.0}, 5), FatalError);
+}
+
+TEST(Numeric, SolveLinearKnownSystem)
+{
+    // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+    const auto x = solveLinear({2, 1, 1, -1}, {5, 1});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Numeric, SolveLinearDetectsSingular)
+{
+    EXPECT_THROW(solveLinear({1, 1, 2, 2}, {1, 2}), FatalError);
+}
+
+TEST(Numeric, BisectFindsRoot)
+{
+    const Fn f = [](double x) { return x * x - 2.0; };
+    EXPECT_NEAR(bisect(f, 0.0, 2.0), std::sqrt(2.0), 1e-8);
+}
+
+TEST(Numeric, BisectRequiresSignChange)
+{
+    const Fn f = [](double x) { return x * x + 1.0; };
+    EXPECT_THROW(bisect(f, 0.0, 1.0), FatalError);
+}
+
+TEST(Numeric, LinspaceEndpointsAndSpacing)
+{
+    const auto v = linspace(1.0, 2.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 1.0);
+    EXPECT_DOUBLE_EQ(v.back(), 2.0);
+    EXPECT_NEAR(v[1] - v[0], 0.25, 1e-12);
+}
+
+TEST(Numeric, Interp1InterpolatesAndClamps)
+{
+    const std::vector<double> xs = {0.0, 1.0, 2.0};
+    const std::vector<double> ys = {0.0, 10.0, 40.0};
+    EXPECT_DOUBLE_EQ(interp1(xs, ys, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(interp1(xs, ys, 1.5), 25.0);
+    EXPECT_DOUBLE_EQ(interp1(xs, ys, -1.0), 0.0);
+    EXPECT_DOUBLE_EQ(interp1(xs, ys, 5.0), 40.0);
+}
+
+TEST(Numeric, MaxAbsOnInterval)
+{
+    const Fn f = [](double x) { return std::sin(x); };
+    EXPECT_NEAR(maxAbsOnInterval(f, 0.0, 3.14159, 1024), 1.0, 1e-4);
+}
+
+TEST(Csv, WriteAndParseRoundTrip)
+{
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.header({"a", "b"});
+    writer.row(1.5, 2);
+    writer.row(-3.25, 4);
+    EXPECT_EQ(writer.rowsWritten(), 3u);
+
+    const auto rows = parseNumericCsv(os.str());
+    ASSERT_EQ(rows.size(), 2u); // header skipped (non-numeric)
+    EXPECT_DOUBLE_EQ(rows[0][0], 1.5);
+    EXPECT_DOUBLE_EQ(rows[1][1], 4.0);
+}
+
+TEST(Csv, ParseSkipsBlankLines)
+{
+    const auto rows = parseNumericCsv("1,2\n\n3,4\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(rows[1][0], 3.0);
+}
+
+TEST(Table, PrintsAlignedCells)
+{
+    TablePrinter table("Title");
+    table.columns({"name", "value"});
+    table.row("alpha", 1);
+    table.row("beta", TablePrinter::num(2.5, 1));
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace fs
