@@ -78,7 +78,7 @@ main()
     //    checkpoint plus the monitor's resolution (Section V-D-b).
     harvest::SystemLoad load;
     const double i_total = load.activeCurrentWith(*monitor);
-    const double ckpt_seconds = 0.008; // conservative for 2 KiB SRAM
+    const double ckpt_seconds = 0.05; // CRC-guarded commit, 2 KiB SRAM
     const double v_ckpt = load.coreVmin() +
                           i_total * ckpt_seconds / 47e-6 +
                           monitor->resolution();

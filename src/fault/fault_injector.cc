@@ -1,0 +1,130 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace fault {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
+{
+    plan_.normalize();
+}
+
+bool
+FaultInjector::killDue(std::uint64_t total_cycles) const
+{
+    return next_kill_ < plan_.kills.size() &&
+           total_cycles >= plan_.kills[next_kill_].cycle;
+}
+
+PowerKill
+FaultInjector::takeKill()
+{
+    FS_ASSERT(next_kill_ < plan_.kills.size(), "no kill due");
+    const PowerKill kill = plan_.kills[next_kill_++];
+    ++log_.killsFired;
+    log_.lastKillCycle = kill.cycle;
+    return kill;
+}
+
+bool
+FaultInjector::filterWrite(std::uint32_t addr, std::uint32_t value,
+                           unsigned bytes, unsigned &bytesKept,
+                           std::uint32_t &flipMask)
+{
+    (void)addr;
+    (void)value;
+    const std::uint64_t index = writes_seen_++;
+    // Scheduled tears for indices the write stream skipped (sub-word
+    // writes, attach-time offsets) are dropped, not deferred: a tear
+    // models damage to one specific store.
+    while (next_tear_ < plan_.tears.size() &&
+           plan_.tears[next_tear_].writeIndex < index)
+        ++next_tear_;
+    if (next_tear_ >= plan_.tears.size() ||
+        plan_.tears[next_tear_].writeIndex != index)
+        return false;
+    const WriteTear &tear = plan_.tears[next_tear_++];
+    if (tear.bytesKept >= bytes)
+        return false; // nothing to tear off a write this small
+    bytesKept = tear.bytesKept;
+    flipMask = tear.flipMask;
+    ++log_.standaloneTears;
+    return true;
+}
+
+const MonitorFault *
+FaultInjector::findFault(std::uint64_t sample_index,
+                         MonitorFault::Kind kind) const
+{
+    for (const MonitorFault &f : plan_.monitorFaults) {
+        if (f.kind != kind)
+            continue;
+        const std::uint64_t span =
+            kind == MonitorFault::Kind::kMisreadOnce ? 1 : f.samples;
+        if (sample_index >= f.fromSample &&
+            sample_index < f.fromSample + span)
+            return &f;
+    }
+    return nullptr;
+}
+
+std::uint32_t
+FaultInjector::perturbCount(std::uint64_t sample_index,
+                            std::uint32_t raw_count)
+{
+    if (const MonitorFault *f =
+            findFault(sample_index, MonitorFault::Kind::kMisreadOnce)) {
+        ++log_.misreads;
+        return f->value;
+    }
+    if (const MonitorFault *f =
+            findFault(sample_index, MonitorFault::Kind::kStuckCount)) {
+        ++log_.countFaults;
+        return f->value;
+    }
+    if (const MonitorFault *f = findFault(
+            sample_index, MonitorFault::Kind::kSaturatedCount)) {
+        ++log_.countFaults;
+        return f->value;
+    }
+    return raw_count;
+}
+
+double
+FaultInjector::perturbPeriod(std::uint64_t sample_index, double period)
+{
+    if (const MonitorFault *f =
+            findFault(sample_index, MonitorFault::Kind::kPeriodJitter)) {
+        ++log_.jitteredSamples;
+        // Never let jitter stall or reverse the sampling clock.
+        return std::max(period * (1.0 + f->jitterFraction),
+                        period * 0.05);
+    }
+    return period;
+}
+
+bool
+FaultInjector::perturbAnalyticTrigger(std::uint64_t sample_index,
+                                      bool trigger)
+{
+    // A pegged counter hides the falling supply: triggers are masked.
+    if (trigger &&
+        (findFault(sample_index, MonitorFault::Kind::kStuckCount) ||
+         findFault(sample_index, MonitorFault::Kind::kSaturatedCount))) {
+        ++log_.analyticFlips;
+        return false;
+    }
+    // A one-shot low misread fires the checkpoint early.
+    if (!trigger &&
+        findFault(sample_index, MonitorFault::Kind::kMisreadOnce)) {
+        ++log_.analyticFlips;
+        return true;
+    }
+    return trigger;
+}
+
+} // namespace fault
+} // namespace fs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Runtime that executes a FaultPlan against the simulated SoC.
+ *
+ * The injector is deliberately ignorant of the SoC types: it speaks
+ * plain integers so the fault library sits below soc/ and harvest/ in
+ * the link order (they call into it through small hooks). One injector
+ * instance drives one run; every decision it makes is a pure function
+ * of the plan and the event indices it is fed, so a run replays
+ * exactly from the plan's seed.
+ *
+ * Hook map:
+ *  - soc::Soc::step()        -> killDue()/takeKill() (supply death)
+ *  - soc::Nvm::write()       -> filterWrite()        (standalone tears)
+ *  - soc::FsPeripheral       -> perturbCount()/perturbPeriod()
+ *  - harvest::IntermittentSim -> perturbAnalyticTrigger()
+ */
+
+#ifndef FS_FAULT_FAULT_INJECTOR_H_
+#define FS_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+
+namespace fs {
+namespace fault {
+
+/** What the injector actually did, for test/bench assertions. */
+struct FaultLog {
+    std::size_t killsFired = 0;
+    std::size_t killTears = 0;      ///< in-flight store torn at a kill
+    std::size_t standaloneTears = 0;
+    std::size_t countFaults = 0;    ///< stuck/saturated samples served
+    std::size_t misreads = 0;
+    std::size_t jitteredSamples = 0;
+    std::size_t analyticFlips = 0;  ///< analytic triggers overridden
+    std::uint64_t lastKillCycle = 0;
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    const FaultPlan &plan() const { return plan_; }
+    const FaultLog &log() const { return log_; }
+
+    // --- supply kills (polled by Soc::step after each instruction) ---
+
+    /** True when the next scheduled kill has come due. */
+    bool killDue(std::uint64_t total_cycles) const;
+
+    /** Consume and return the due kill. */
+    PowerKill takeKill();
+
+    /** All scheduled kills have fired. */
+    bool killsExhausted() const { return next_kill_ >= plan_.kills.size(); }
+
+    /** Bookkeeping: the SoC tore an in-flight store for a kill. */
+    void noteKillTear() { ++log_.killTears; }
+
+    // --- NVM write tears (installed as the Nvm write filter) ---
+
+    /**
+     * Decide the fate of one NVM data write. Returns true to tear it,
+     * filling bytesKept/flipMask. Counts every call, so tears index
+     * writes from the moment the injector was attached.
+     */
+    bool filterWrite(std::uint32_t addr, std::uint32_t value,
+                     unsigned bytes, unsigned &bytesKept,
+                     std::uint32_t &flipMask);
+
+    // --- monitor perturbation (FsPeripheral / analytic sim hooks) ---
+
+    /** Possibly replace the latched count of sample `sample_index`. */
+    std::uint32_t perturbCount(std::uint64_t sample_index,
+                               std::uint32_t raw_count);
+
+    /**
+     * Possibly jitter the sample period following `sample_index`.
+     * The result is clamped positive (a jittered oscillator still
+     * oscillates forward).
+     */
+    double perturbPeriod(std::uint64_t sample_index, double period);
+
+    /**
+     * Analytical-sim equivalent of the count faults: stuck/saturated
+     * counters mask real triggers, a one-shot misread forces a
+     * spurious one.
+     */
+    bool perturbAnalyticTrigger(std::uint64_t sample_index, bool trigger);
+
+  private:
+    const MonitorFault *findFault(std::uint64_t sample_index,
+                                  MonitorFault::Kind kind) const;
+
+    FaultPlan plan_;
+    std::size_t next_kill_ = 0;
+    std::size_t next_tear_ = 0;
+    std::uint64_t writes_seen_ = 0;
+    FaultLog log_;
+};
+
+} // namespace fault
+} // namespace fs
+
+#endif // FS_FAULT_FAULT_INJECTOR_H_

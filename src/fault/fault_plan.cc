@@ -1,0 +1,84 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace fs {
+namespace fault {
+
+FaultPlan
+FaultPlan::singleKill(std::uint64_t cycle, unsigned tearBytesKept,
+                      std::uint32_t tearFlipMask)
+{
+    FaultPlan plan;
+    PowerKill kill;
+    kill.cycle = cycle;
+    kill.tearBytesKept = tearBytesKept;
+    kill.tearFlipMask = tearFlipMask;
+    plan.kills.push_back(kill);
+    return plan;
+}
+
+FaultPlan
+FaultPlan::random(std::uint64_t seed, const FaultPlanParams &params)
+{
+    Rng rng(seed);
+    FaultPlan plan;
+    plan.seed = seed;
+
+    for (std::size_t i = 0; i < params.kills; ++i) {
+        PowerKill kill;
+        kill.cycle = std::uint64_t(
+            rng.uniformInt(0, std::int64_t(params.maxKillCycle)));
+        if (rng.bernoulli(params.tearProbability)) {
+            kill.tearBytesKept = unsigned(rng.uniformInt(0, 3));
+            kill.tearFlipMask = std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+        } else {
+            kill.tearBytesKept = 4; // whole word lands: no tear
+            kill.tearFlipMask = 0;
+        }
+        plan.kills.push_back(kill);
+    }
+
+    for (std::size_t i = 0; i < params.standaloneTears; ++i) {
+        WriteTear tear;
+        tear.writeIndex = std::uint64_t(
+            rng.uniformInt(0, std::int64_t(params.maxWriteIndex)));
+        tear.bytesKept = unsigned(rng.uniformInt(0, 3));
+        tear.flipMask = std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+        plan.tears.push_back(tear);
+    }
+
+    for (std::size_t i = 0; i < params.monitorFaults; ++i) {
+        MonitorFault f;
+        f.kind = MonitorFault::Kind(rng.uniformInt(0, 3));
+        f.fromSample = std::uint64_t(
+            rng.uniformInt(0, std::int64_t(params.maxSampleIndex)));
+        f.samples = std::uint64_t(rng.uniformInt(1, 16));
+        f.value = std::uint32_t(rng.uniformInt(0, params.maxCount));
+        f.jitterFraction = rng.uniform(-params.maxJitterFraction,
+                                       params.maxJitterFraction);
+        plan.monitorFaults.push_back(f);
+    }
+
+    plan.normalize();
+    return plan;
+}
+
+void
+FaultPlan::normalize()
+{
+    std::sort(kills.begin(), kills.end(),
+              [](const PowerKill &a, const PowerKill &b) {
+                  return a.cycle < b.cycle;
+              });
+    std::sort(tears.begin(), tears.end(),
+              [](const WriteTear &a, const WriteTear &b) {
+                  return a.writeIndex < b.writeIndex;
+              });
+}
+
+} // namespace fault
+} // namespace fs

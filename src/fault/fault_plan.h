@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic, seeded fault plans for adversarial testing of the
+ * intermittent-computing stack.
+ *
+ * The paper's claim is that Failure Sentinels makes software survive
+ * power death at *any* instant. A FaultPlan is a replayable script of
+ * exactly such instants: supply kills at arbitrary cycle offsets
+ * (including mid-checkpoint and mid-NVM-store), torn multi-byte FRAM
+ * writes with bit noise on the uncommitted remainder, and monitor
+ * misbehavior (period jitter, stuck or saturated edge counters,
+ * one-shot misreads). Plans are either constructed explicitly or drawn
+ * from an explicitly seeded fs::Rng, so every torture run is
+ * reproducible from its seed.
+ */
+
+#ifndef FS_FAULT_FAULT_PLAN_H_
+#define FS_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fs {
+namespace fault {
+
+/**
+ * One scheduled supply kill: power dies as soon as the SoC's cycle
+ * counter reaches `cycle`. If an NVM store was in flight during the
+ * killing instruction, only the first `tearBytesKept` bytes of it
+ * commit; the remainder keeps its previous contents XORed with
+ * `tearFlipMask` (per-byte lanes), modeling partially written and
+ * noise-corrupted FRAM cells.
+ */
+struct PowerKill {
+    std::uint64_t cycle = 0;
+    unsigned tearBytesKept = 0;
+    std::uint32_t tearFlipMask = 0;
+};
+
+/**
+ * Standalone tear of the Nth NVM data write (0-based, counted from
+ * injector attach), with no accompanying power loss: models a weak
+ * cell or an interrupted burst the controller papered over.
+ */
+struct WriteTear {
+    std::uint64_t writeIndex = 0;
+    unsigned bytesKept = 0;
+    std::uint32_t flipMask = 0;
+};
+
+/** Monitor misbehavior, keyed by the peripheral's latched-sample index. */
+struct MonitorFault {
+    enum class Kind {
+        kStuckCount,     ///< counter repeats `value` for `samples` samples
+        kSaturatedCount, ///< counter pegged at `value` (rail / overflow)
+        kMisreadOnce,    ///< single corrupted sample reads as `value`
+        kPeriodJitter,   ///< RO sample period off by `jitterFraction`
+    };
+
+    Kind kind = Kind::kMisreadOnce;
+    std::uint64_t fromSample = 0; ///< first latched sample affected
+    std::uint64_t samples = 1;    ///< how many consecutive samples
+    std::uint32_t value = 0;      ///< stuck/saturated/misread count
+    double jitterFraction = 0.0;  ///< signed fraction of the period
+};
+
+/** Knobs for FaultPlan::random(). */
+struct FaultPlanParams {
+    std::uint64_t maxKillCycle = 1'000'000;
+    std::size_t kills = 1;
+    double tearProbability = 1.0; ///< chance a kill tears its in-flight store
+    std::size_t standaloneTears = 0;
+    std::uint64_t maxWriteIndex = 4096;
+    std::size_t monitorFaults = 0;
+    std::uint64_t maxSampleIndex = 256;
+    std::uint32_t maxCount = 0xffffu;
+    double maxJitterFraction = 0.45;
+};
+
+/** A complete, replayable fault script. */
+struct FaultPlan {
+    std::uint64_t seed = 0; ///< seed this plan was drawn from (replay key)
+    std::vector<PowerKill> kills;
+    std::vector<WriteTear> tears;
+    std::vector<MonitorFault> monitorFaults;
+
+    /** A plan with exactly one kill (the torture sweep's workhorse). */
+    static FaultPlan singleKill(std::uint64_t cycle,
+                                unsigned tearBytesKept = 0,
+                                std::uint32_t tearFlipMask = 0);
+
+    /** Draw a randomized plan from an explicitly seeded generator. */
+    static FaultPlan random(std::uint64_t seed,
+                            const FaultPlanParams &params = {});
+
+    /** Sort kills by cycle and tears by write index (injector order). */
+    void normalize();
+};
+
+} // namespace fault
+} // namespace fs
+
+#endif // FS_FAULT_FAULT_PLAN_H_

@@ -1,0 +1,212 @@
+#include "fault/torture_rig.h"
+
+#include <algorithm>
+
+#include "core/failure_sentinels.h"
+#include "fault/fault_injector.h"
+#include "harvest/intermittent_sim.h"
+#include "harvest/loads.h"
+#include "harvest/system_comparison.h"
+#include "riscv/encoding.h"
+#include "soc/soc.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace fault {
+
+namespace {
+
+/**
+ * Cheap committed-sequence probe for the fault-free instrumentation
+ * pass: magic plus sequence words only. Without injected corruption a
+ * present magic implies a fully written slot, so the full CRC check
+ * is not needed on this (per-step hot) path.
+ */
+std::uint32_t
+quickSeq(soc::Soc &s)
+{
+    std::uint32_t best = 0;
+    const auto &layout = s.layout();
+    for (unsigned slot = 0; slot < soc::kCheckpointSlots; ++slot) {
+        const std::uint32_t magic = s.fram().read(
+            layout.slotMagicAddr(slot) - layout.framBase, 4);
+        if (magic == soc::kCheckpointMagic)
+            best = std::max(best,
+                            s.fram().read(layout.slotSeqAddr(slot) -
+                                              layout.framBase,
+                                          4));
+    }
+    return best;
+}
+
+} // namespace
+
+struct TortureRig::Bench {
+    std::shared_ptr<double> volts = std::make_shared<double>(0.0);
+    std::unique_ptr<soc::Soc> soc;
+};
+
+TortureRig::TortureRig(soc::GuestProgram prog, TortureConfig config)
+    : monitor_(harvest::makeFsLowPower()), prog_(std::move(prog)),
+      config_(config)
+{
+    // Same threshold recipe as the integration fixtures: enough
+    // headroom above the core minimum to finish a commit at full
+    // load, padded by the monitor's resolution.
+    harvest::SystemLoad load;
+    const double capacitance = harvest::ScenarioParams{}.capacitance;
+    v_ckpt_ = load.coreVmin() +
+              load.activeCurrentWith(*monitor_) *
+                  config_.headroomSeconds / capacitance +
+              monitor_->resolution();
+    threshold_ = monitor_->countThresholdFor(v_ckpt_);
+}
+
+TortureRig::~TortureRig() = default;
+
+std::unique_ptr<TortureRig::Bench>
+TortureRig::build() const
+{
+    auto bench = std::make_unique<Bench>();
+    soc::CheckpointLayout layout;
+    layout.sramSize = config_.sramSize;
+    bench->soc = std::make_unique<soc::Soc>(
+        *monitor_, [v = bench->volts](double) { return *v; }, layout);
+    bench->soc->loadRuntime(threshold_);
+    bench->soc->loadGuest(prog_);
+    return bench;
+}
+
+void
+TortureRig::instrument()
+{
+    if (instrumented_)
+        return;
+    instrumented_ = true;
+
+    auto bench = build();
+    soc::Soc &sys = *bench->soc;
+    std::uint32_t last_seq = 0;
+    sys.powerOn();
+    for (std::size_t cycle = 0; cycle < config_.maxPowerCycles; ++cycle) {
+        *bench->volts = config_.stableVolts;
+        sys.run(config_.stableCycles);
+        if (sys.appFinished())
+            break;
+        // Brown-out phase, stepped one instruction at a time so the
+        // trap entry and the commit store land on exact cycle counts.
+        // The full budget is always consumed (the handler parks in
+        // wfi after committing) so kill runs stay cycle-aligned.
+        *bench->volts = v_ckpt_ - 0.02;
+        bool saw_trap = false;
+        CommitWindow window;
+        std::uint64_t spent = 0;
+        while (spent < config_.lowCycles && !sys.hart().halted()) {
+            const std::uint64_t before = sys.totalCycles();
+            sys.step();
+            spent += sys.totalCycles() - before;
+            if (!saw_trap && sys.hart().csr(riscv::kCsrMcause) != 0) {
+                saw_trap = true;
+                window.begin = sys.totalCycles();
+            }
+            if (saw_trap && window.end == 0) {
+                const std::uint32_t seq = quickSeq(sys);
+                if (seq > last_seq) {
+                    // One past the commit store's cycle: a kill
+                    // anywhere in [begin, end) still perturbs this
+                    // commit (the last position tears the magic).
+                    window.end = sys.totalCycles() + 1;
+                    last_seq = seq;
+                    windows_.push_back(window);
+                }
+            }
+        }
+        if (sys.appFinished())
+            break;
+        FS_ASSERT(window.end != 0,
+                  "brown-out phase never committed a checkpoint");
+        sys.powerFail();
+        sys.powerOn();
+    }
+    FS_ASSERT(sys.appFinished(),
+              "fault-free torture schedule never finished the app");
+    FS_ASSERT(sys.guestResult(prog_) == prog_.expected,
+              "fault-free torture schedule got a wrong answer");
+    clean_cycles_ = sys.totalCycles();
+}
+
+std::uint64_t
+TortureRig::cleanRunCycles()
+{
+    instrument();
+    return clean_cycles_;
+}
+
+std::size_t
+TortureRig::checkpointCount()
+{
+    instrument();
+    return windows_.size();
+}
+
+CommitWindow
+TortureRig::commitWindow(std::size_t which)
+{
+    instrument();
+    FS_ASSERT(which < windows_.size(), "no such commit window");
+    return windows_[which];
+}
+
+TortureOutcome
+TortureRig::runKill(const PowerKill &kill)
+{
+    TortureOutcome out;
+    auto bench = build();
+    soc::Soc &sys = *bench->soc;
+
+    FaultPlan plan;
+    plan.kills.push_back(kill);
+    FaultInjector injector(plan);
+    sys.setFaultInjector(&injector);
+
+    sys.powerOn();
+    for (std::size_t cycle = 0; cycle < config_.maxPowerCycles; ++cycle) {
+        *bench->volts = config_.stableVolts;
+        sys.run(config_.stableCycles);
+        if (sys.appFinished() || sys.faultKilled())
+            break;
+        *bench->volts = v_ckpt_ - 0.02;
+        sys.run(config_.lowCycles);
+        if (sys.appFinished() || sys.faultKilled())
+            break;
+        sys.powerFail();
+        sys.powerOn();
+    }
+
+    out.killed = sys.faultKilled();
+    out.killTore = injector.log().killTears > 0;
+    for (unsigned slot = 0; slot < soc::kCheckpointSlots; ++slot) {
+        const auto info = soc::inspectCheckpointSlot(
+            sys.fram().data(), sys.layout(), slot);
+        if (info.valid()) {
+            ++out.validSlots;
+            out.newestSeq = std::max(out.newestSeq, info.seq);
+        } else if (info.magicOk) {
+            ++out.tornSlots;
+        }
+    }
+
+    if (out.killed) {
+        out.coldRestart = out.validSlots == 0;
+        *bench->volts = config_.stableVolts;
+        sys.powerOn();
+        sys.run(config_.recoveryCycles);
+    }
+    out.finished = sys.appFinished();
+    out.result = out.finished ? sys.guestResult(prog_) : 0;
+    out.resultCorrect = out.finished && out.result == prog_.expected;
+    return out;
+}
+
+} // namespace fault
+} // namespace fs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared power-failure torture harness.
+ *
+ * The rig runs one guest workload on a full soc::Soc under a fixed,
+ * deterministic power schedule (stable phase, brown-out phase, power
+ * cycle, repeat), so every run visits the same cycle-for-cycle
+ * trajectory. An instrumented fault-free pass maps out each
+ * checkpoint's commit window (trap entry to commit-magic store);
+ * runKill() then replays the schedule with a single injected supply
+ * kill at an arbitrary cycle, inspects the checkpoint slots the
+ * moment power dies, reboots on stable power, and checks the guest's
+ * final answer against its oracle. Tests and benches sweep kills
+ * across commit windows and random execution points with it.
+ */
+
+#ifndef FS_FAULT_TORTURE_RIG_H_
+#define FS_FAULT_TORTURE_RIG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "soc/guest_programs.h"
+
+namespace fs {
+namespace core {
+class FailureSentinels;
+} // namespace core
+namespace soc {
+class Soc;
+} // namespace soc
+
+namespace fault {
+
+/** Knobs for the deterministic power schedule. */
+struct TortureConfig {
+    std::uint32_t sramSize = 1024;    ///< bytes of volatile state
+    double stableVolts = 3.3;         ///< healthy supply
+    double headroomSeconds = 0.025;   ///< commit headroom in v_ckpt
+    std::uint64_t stableCycles = 60'000;  ///< per power cycle
+    std::uint64_t lowCycles = 200'000;    ///< brown-out phase budget
+    std::size_t maxPowerCycles = 64;
+    std::uint64_t recoveryCycles = 60'000'000; ///< post-kill budget
+};
+
+/**
+ * One checkpoint's commit window in total-cycle coordinates:
+ * [begin, end) spans trap entry up to (but not including) the cycle
+ * at which the commit magic is in FRAM.
+ */
+struct CommitWindow {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint64_t length() const { return end - begin; }
+};
+
+/** Everything observed about one injected kill. */
+struct TortureOutcome {
+    bool killed = false;        ///< the kill fired before app finish
+    bool killTore = false;      ///< it caught an NVM store in flight
+    /** Slot forensics at the instant power died: */
+    int validSlots = 0;         ///< magic and CRC both good
+    int tornSlots = 0;          ///< magic good, CRC bad (must be 0)
+    std::uint32_t newestSeq = 0; ///< newest valid sequence (0 = none)
+    bool coldRestart = false;   ///< reboot found no valid checkpoint
+    bool finished = false;
+    bool resultCorrect = false;
+    std::uint32_t result = 0;
+};
+
+class TortureRig
+{
+  public:
+    explicit TortureRig(soc::GuestProgram prog, TortureConfig config = {});
+    ~TortureRig();
+
+    /** Total cycles the fault-free schedule needs to finish the app. */
+    std::uint64_t cleanRunCycles();
+
+    /** Checkpoints committed during the fault-free schedule. */
+    std::size_t checkpointCount();
+
+    /** Commit window of the `which`-th checkpoint (0-based). */
+    CommitWindow commitWindow(std::size_t which);
+
+    /**
+     * Replay the schedule with one injected supply kill, then recover
+     * on stable power and validate the guest result.
+     */
+    TortureOutcome runKill(const PowerKill &kill);
+
+    /** The checkpoint threshold voltage the rig programs. */
+    double checkpointVolts() const { return v_ckpt_; }
+
+  private:
+    struct Bench; ///< one disposable SoC + its supply cell
+
+    std::unique_ptr<Bench> build() const;
+    void instrument();
+
+    std::unique_ptr<core::FailureSentinels> monitor_;
+    soc::GuestProgram prog_;
+    TortureConfig config_;
+    double v_ckpt_ = 0.0;
+    std::uint32_t threshold_ = 0;
+
+    bool instrumented_ = false;
+    std::uint64_t clean_cycles_ = 0;
+    std::vector<CommitWindow> windows_;
+};
+
+} // namespace fault
+} // namespace fs
+
+#endif // FS_FAULT_TORTURE_RIG_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
 #include "util/logging.h"
 
 namespace fs {
@@ -41,7 +42,8 @@ IntermittentSim::checkpointVoltage(const analog::VoltageMonitor &mon) const
 }
 
 RunStats
-IntermittentSim::run(const analog::VoltageMonitor &mon) const
+IntermittentSim::run(const analog::VoltageMonitor &mon,
+                     fault::FaultInjector *injector) const
 {
     enum class State { Off, Running, Checkpointing };
 
@@ -60,6 +62,7 @@ IntermittentSim::run(const analog::VoltageMonitor &mon) const
     State state = State::Off;
     double next_sample = 0.0;
     double ckpt_done = 0.0;
+    std::uint64_t sample_index = 0;
 
     for (double t = 0.0; t < duration; t += dt) {
         const double i_in = panel_.current(trace_.at(t), cap.voltage());
@@ -77,14 +80,20 @@ IntermittentSim::run(const analog::VoltageMonitor &mon) const
             i_out = stats.systemCurrent;
             stats.appSeconds += dt;
             bool trigger = false;
+            bool sampled = false;
             if (mon.samplePeriod() <= 0.0) {
                 trigger = mon.indicatesCheckpoint(cap.voltage(),
                                                   stats.checkpointVoltage);
+                sampled = true;
             } else if (t >= next_sample) {
                 trigger = mon.indicatesCheckpoint(cap.voltage(),
                                                   stats.checkpointVoltage);
                 next_sample += mon.samplePeriod();
+                sampled = true;
             }
+            if (sampled && injector)
+                trigger = injector->perturbAnalyticTrigger(
+                    sample_index++, trigger);
             if (trigger) {
                 state = State::Checkpointing;
                 ckpt_done = t + params_.checkpointSeconds;
@@ -133,6 +142,18 @@ SocHarvestSim::SocHarvestSim(soc::Soc &soc,
     cell_->volts = cap_.voltage();
 }
 
+void
+SocHarvestSim::accountFailure(Result &result) const
+{
+    // A power failure either rode on a checkpoint committed this
+    // power cycle (the sequence number advanced past the boot-time
+    // one) or it lost the cycle's progress.
+    if (soc_.newestCheckpointSeq() > seq_at_boot_)
+        ++result.checkpoints;
+    else
+        ++result.failedCheckpoints;
+}
+
 SocHarvestSim::Result
 SocHarvestSim::run(double max_seconds)
 {
@@ -151,13 +172,15 @@ SocHarvestSim::run(double max_seconds)
             if (cap_.voltage() >= params_.enableVoltage) {
                 powered = true;
                 soc_.powerOn();
+                seq_at_boot_ = soc_.newestCheckpointSeq();
                 ++result.boots;
             }
             continue;
         }
         // Execute a batch of instructions worth ~one integration step.
         double batch = 0.0;
-        while (batch < params_.simStep && !soc_.hart().halted())
+        while (batch < params_.simStep && !soc_.hart().halted() &&
+               !soc_.faultKilled())
             batch += soc_.step();
         if (batch <= 0.0)
             batch = params_.simStep; // halted hart: time still passes
@@ -165,10 +188,19 @@ SocHarvestSim::run(double max_seconds)
                   load_.activeCurrent() + monitor_current);
         time_ += batch;
         cell_->volts = cap_.voltage();
-        if (cap_.voltage() < load_.coreVmin() && !soc_.appFinished()) {
+        if (soc_.faultKilled()) {
+            // The injector already ran Soc::powerFail(); account the
+            // death like any other power failure.
+            powered = false;
+            ++result.powerFailures;
+            ++result.injectedKills;
+            accountFailure(result);
+        } else if (cap_.voltage() < load_.coreVmin() &&
+                   !soc_.appFinished()) {
             soc_.powerFail();
             powered = false;
             ++result.powerFailures;
+            accountFailure(result);
         }
     }
     result.appFinished = soc_.appFinished();

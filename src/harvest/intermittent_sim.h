@@ -25,6 +25,10 @@
 #include "soc/soc.h"
 
 namespace fs {
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 namespace harvest {
 
 /** Scenario constants (Section V-D-a/b defaults). */
@@ -71,8 +75,14 @@ class IntermittentSim
     double idealCheckpointVoltage(
         const analog::VoltageMonitor &mon) const;
 
-    /** Run the scenario for its full trace duration. */
-    RunStats run(const analog::VoltageMonitor &mon) const;
+    /**
+     * Run the scenario for its full trace duration. An optional fault
+     * injector perturbs the checkpoint trigger (stuck counters mask
+     * real triggers, one-shot misreads force spurious ones), keyed by
+     * the monitor's sample index.
+     */
+    RunStats run(const analog::VoltageMonitor &mon,
+                 fault::FaultInjector *injector = nullptr) const;
 
     const ScenarioParams &params() const { return params_; }
     const SystemLoad &load() const { return load_; }
@@ -102,6 +112,12 @@ class SocHarvestSim
         bool appFinished = false;
         std::size_t powerFailures = 0;
         std::size_t boots = 0;
+        /** Power failures preceded by a fresh committed checkpoint. */
+        std::size_t checkpoints = 0;
+        /** Power failures that advanced no checkpoint (died early). */
+        std::size_t failedCheckpoints = 0;
+        /** Power failures forced by an attached fault injector. */
+        std::size_t injectedKills = 0;
         double simulatedSeconds = 0.0;
         std::uint64_t cpuCycles = 0;
     };
@@ -122,6 +138,8 @@ class SocHarvestSim
     Result run(double max_seconds);
 
   private:
+    void accountFailure(Result &result) const;
+
     soc::Soc &soc_;
     std::shared_ptr<VoltageCell> cell_;
     IrradianceTrace trace_;
@@ -130,6 +148,7 @@ class SocHarvestSim
     ScenarioParams params_;
     StorageCapacitor cap_;
     double time_ = 0.0;
+    std::uint32_t seq_at_boot_ = 0;
 };
 
 } // namespace harvest

@@ -1,6 +1,7 @@
 #include "runtime/checkpoint_policy.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 
@@ -27,21 +28,34 @@ bool
 AdaptiveCheckpointPolicy::onCandidate(double v_true)
 {
     ++candidates_;
-    bool take;
+    // The pessimistic estimate decays every period in both modes, so
+    // a monitored candidate whose reading fails still has a sane
+    // blind baseline to fall back on.
+    blind_energy_estimate_ -=
+        config_.worstCasePeriodEnergy + config_.guardBandEnergy;
+    const double need =
+        config_.checkpointEnergy + config_.worstCasePeriodEnergy;
+    bool take = blind_energy_estimate_ < need;
     if (assessor_) {
         // Skip while the buffer can provably cover one more period
         // of execution plus the eventual checkpoint.
-        const double need =
-            config_.checkpointEnergy + config_.worstCasePeriodEnergy;
-        take = !assessor_->canAfford(v_true, need);
-    } else {
-        // Blind: decay a pessimistic estimate by the guard-banded
-        // worst case per period; checkpoint once it cannot guarantee
-        // another full period.
-        blind_energy_estimate_ -=
-            config_.worstCasePeriodEnergy + config_.guardBandEnergy;
-        take = blind_energy_estimate_ <
-               config_.checkpointEnergy + config_.worstCasePeriodEnergy;
+        const EnergyStatus status = assessor_->assess(v_true);
+        if (std::isfinite(status.measuredVolts) &&
+            std::isfinite(status.usableJoules)) {
+            // Clamp garbage: a negative reading means "no usable
+            // energy", never negative energy, and its error margin
+            // must not go negative either (that would fabricate
+            // headroom).
+            const double usable = std::max(status.usableJoules, 0.0);
+            const double volts = std::max(status.measuredVolts, 0.0);
+            const double margin = assessor_->model().capacitance() *
+                                  volts *
+                                  assessor_->monitor().resolution();
+            take = usable - margin < need;
+        } else {
+            // Failed read: keep the blind decision for this candidate.
+            ++failed_reads_;
+        }
     }
     if (take)
         ++taken_;

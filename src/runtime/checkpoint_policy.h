@@ -59,7 +59,11 @@ class AdaptiveCheckpointPolicy
      * whether to take the checkpoint.
      *
      * Monitored mode: checkpoint only if the measured energy cannot
-     * cover another full period plus the checkpoint itself.
+     * cover another full period plus the checkpoint itself. Garbage
+     * readings are contained: negative measured energy clamps to
+     * zero, and a non-finite reading (a failed or absent sample)
+     * falls back to the blind-mode decision for this one candidate
+     * instead of trusting it.
      * Blind mode: checkpoint unless the guard-banded worst case says
      * the buffer is still safe -- which collapses to "almost always
      * checkpoint" for realistic guard bands.
@@ -69,6 +73,9 @@ class AdaptiveCheckpointPolicy
     std::size_t candidates() const { return candidates_; }
     std::size_t taken() const { return taken_; }
     std::size_t skipped() const { return candidates_ - taken_; }
+
+    /** Monitored-mode candidates whose reading was unusable. */
+    std::size_t failedReads() const { return failed_reads_; }
 
     /**
      * Blind mode tracks a pessimistic energy estimate; reset it to
@@ -82,6 +89,7 @@ class AdaptiveCheckpointPolicy
     const EnergyAssessor *assessor_;
     std::size_t candidates_ = 0;
     std::size_t taken_ = 0;
+    std::size_t failed_reads_ = 0;
     double blind_energy_estimate_ = 0.0;
 };
 

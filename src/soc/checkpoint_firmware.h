@@ -7,13 +7,19 @@
  * interrupt handler that saves a checkpoint when Failure Sentinels
  * fires. This module assembles that runtime:
  *
- *  - reset stub: set up the trap vector and stack, then either
- *    restore the last committed checkpoint or cold-start the app;
- *  - interrupt handler: save every register and the whole SRAM to
- *    FRAM with a two-phase commit flag, then sleep awaiting power
- *    death;
+ *  - reset stub: set up the trap vector and stack, then restore the
+ *    newest valid checkpoint slot or cold-start the app;
+ *  - interrupt handler: save every register and the whole SRAM into
+ *    the older of two checkpoint slots, sequence-number it, guard it
+ *    with a CRC-32, and commit it by writing a magic word last;
  *  - restore path: copy SRAM back, re-enable and re-arm the monitor,
  *    reload registers, and mret into the interrupted instruction.
+ *
+ * Crash consistency comes from double buffering: the handler always
+ * overwrites the *older* slot, invalidating its magic first, so power
+ * death at any cycle of the commit leaves the newer slot untouched
+ * and verifiable. A boot that finds no slot with a matching magic and
+ * CRC falls back to a cold start instead of restoring garbage.
  *
  * Application code is loaded separately at `appBase` and is entirely
  * unaware of power failures.
@@ -22,6 +28,7 @@
 #ifndef FS_SOC_CHECKPOINT_FIRMWARE_H_
 #define FS_SOC_CHECKPOINT_FIRMWARE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +37,21 @@
 
 namespace fs {
 namespace soc {
+
+/** Commit magic: a slot without this exact word is not a checkpoint. */
+constexpr std::uint32_t kCheckpointMagic = 0xC0FFEE42u;
+
+/** Double-buffered checkpoint slots. */
+constexpr unsigned kCheckpointSlots = 2;
+
+/** Register block: x1..x31, interrupted pc, one pad word (bytes). */
+constexpr std::uint32_t kRegBlockBytes = 132;
+
+/** Slot header: {sequence, crc32, magic} (bytes). */
+constexpr std::uint32_t kSlotHeaderBytes = 12;
+
+/** In-FRAM CRC-32 lookup table: 256 words (bytes). */
+constexpr std::uint32_t kCrcTableBytes = 1024;
 
 /** Address-space layout shared by the runtime and the SoC. */
 struct CheckpointLayout {
@@ -42,18 +64,89 @@ struct CheckpointLayout {
 
     /** Fixed trap-handler address programmed into mtvec. */
     std::uint32_t handlerAddr() const { return framBase + 0x100; }
-    /** Commit flag: last word of FRAM. */
-    std::uint32_t commitFlagAddr() const
+
+    /** One slot: registers + SRAM image + header. */
+    std::uint32_t slotSize() const
     {
-        return framBase + framSize - 4;
+        return kRegBlockBytes + sramSize + kSlotHeaderBytes;
     }
-    /** Register save area: x1..x31 then pc (33 slots incl. padding). */
-    std::uint32_t regSaveAddr() const { return commitFlagAddr() - 132; }
-    /** SRAM image save area, directly below the register area. */
-    std::uint32_t sramSaveAddr() const { return regSaveAddr() - sramSize; }
+    /** Base of slot `slot` (0 or 1); slot 1 ends at the top of FRAM. */
+    std::uint32_t slotAddr(unsigned slot) const
+    {
+        return framBase + framSize -
+               (kCheckpointSlots - slot) * slotSize();
+    }
+    /** Register block of a slot (x1..x31, pc, pad). */
+    std::uint32_t slotRegsAddr(unsigned slot) const
+    {
+        return slotAddr(slot);
+    }
+    /** SRAM image of a slot. */
+    std::uint32_t slotSramAddr(unsigned slot) const
+    {
+        return slotAddr(slot) + kRegBlockBytes;
+    }
+    /** Sequence number; the CRC covers [slotAddr, slotCrcAddr). */
+    std::uint32_t slotSeqAddr(unsigned slot) const
+    {
+        return slotAddr(slot) + kRegBlockBytes + sramSize;
+    }
+    std::uint32_t slotCrcAddr(unsigned slot) const
+    {
+        return slotSeqAddr(slot) + 4;
+    }
+    /** Commit magic: the last word written, so it gates validity. */
+    std::uint32_t slotMagicAddr(unsigned slot) const
+    {
+        return slotSeqAddr(slot) + 8;
+    }
+
+    /** CRC-32 lookup table the runtime consults (staged at load). */
+    std::uint32_t crcTableAddr() const
+    {
+        return slotAddr(0) - kCrcTableBytes;
+    }
+    /** Staging block the handler spills registers to before it picks
+     *  a slot (so slot selection code can use every register). */
+    std::uint32_t regStageAddr() const
+    {
+        return crcTableAddr() - kRegBlockBytes;
+    }
+
     /** Initial stack pointer (top of SRAM). */
     std::uint32_t stackTop() const { return sramBase + sramSize; }
 };
+
+/**
+ * The runtime's integrity check: reflected CRC-32 (polynomial
+ * 0xEDB88320, init 0xFFFFFFFF, no final inversion -- the firmware
+ * skips the inversion to save cycles; what matters is agreement).
+ */
+std::uint32_t checkpointCrc32(const std::uint8_t *data, std::size_t len);
+
+/** The 256-entry lookup table, packed little-endian for FRAM staging. */
+std::vector<std::uint8_t> packedCrcTable();
+
+/** Host-side view of one slot's commit state. */
+struct CheckpointSlotInfo {
+    bool magicOk = false;
+    bool crcOk = false;
+    std::uint32_t seq = 0;
+
+    bool valid() const { return magicOk && crcOk; }
+};
+
+/**
+ * Inspect one checkpoint slot in a raw FRAM image (the Nvm's data(),
+ * addressed relative to framBase).
+ */
+CheckpointSlotInfo
+inspectCheckpointSlot(const std::vector<std::uint8_t> &fram,
+                      const CheckpointLayout &layout, unsigned slot);
+
+/** Index of the newest valid slot, or -1 when none is committed. */
+int newestValidCheckpointSlot(const std::vector<std::uint8_t> &fram,
+                              const CheckpointLayout &layout);
 
 /**
  * Assemble the checkpointing runtime.

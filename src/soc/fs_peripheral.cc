@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fault/fault_injector.h"
 #include "util/logging.h"
 
 namespace fs {
@@ -19,10 +20,12 @@ void
 FsPeripheral::advance(double dt_seconds)
 {
     FS_ASSERT(dt_seconds >= 0.0, "time cannot run backwards");
-    const double period = monitor_.samplePeriod();
     time_ += dt_seconds;
     while (enabled() && next_sample_ <= time_) {
         latch();
+        double period = monitor_.samplePeriod();
+        if (injector_)
+            period = injector_->perturbPeriod(samples_, period);
         next_sample_ += period;
     }
 }
@@ -32,6 +35,8 @@ FsPeripheral::latch()
 {
     const double v = source_(next_sample_);
     count_ = monitor_.rawSample(v);
+    if (injector_)
+        count_ = injector_->perturbCount(samples_, count_);
     fresh_count_ = true;
     ++samples_;
     updateIrq();

@@ -20,6 +20,10 @@
 #include "riscv/memory.h"
 
 namespace fs {
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 namespace soc {
 
 /** MMIO register offsets. */
@@ -51,6 +55,17 @@ class FsPeripheral : public riscv::MemoryDevice,
 
     /** Wire the interrupt line to the hart. */
     void attachHart(riscv::Hart *hart) { hart_ = hart; }
+
+    /**
+     * Attach a fault injector (nullptr detaches). Latched counts and
+     * sample periods are routed through it, keyed by the sample index,
+     * to model stuck/saturated counters, one-shot misreads, and RO
+     * period jitter.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
 
     /** The underlying enrolled monitor. */
     const core::FailureSentinels &monitor() const { return monitor_; }
@@ -85,6 +100,7 @@ class FsPeripheral : public riscv::MemoryDevice,
     const core::FailureSentinels &monitor_;
     VoltageSource source_;
     riscv::Hart *hart_ = nullptr;
+    fault::FaultInjector *injector_ = nullptr;
 
     double time_ = 0.0;
     double next_sample_ = 0.0;

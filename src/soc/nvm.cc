@@ -1,3 +1,59 @@
 #include "soc/nvm.h"
 
-// Nvm is header-only; this translation unit anchors the target.
+namespace fs {
+namespace soc {
+
+void
+Nvm::write(std::uint32_t addr, std::uint32_t value, unsigned bytes)
+{
+    // Record the pre-image so a power failure during this store can
+    // tear it retroactively (tearLastWrite).
+    last_.addr = addr;
+    last_.bytes = bytes;
+    last_.tearable = true;
+    for (unsigned i = 0; i < bytes && i < last_.preImage.size(); ++i)
+        last_.preImage[i] = std::uint8_t(read(addr + i, 1));
+
+    unsigned kept = bytes;
+    std::uint32_t flip = 0;
+    if (filter_ && filter_(addr, value, bytes, kept, flip) &&
+        kept < bytes) {
+        // Standalone tear: commit the prefix, leave the remainder as
+        // noise-corrupted old contents. One merged Ram::write keeps
+        // the device write count at one store per store.
+        std::uint32_t merged = 0;
+        for (unsigned i = 0; i < bytes; ++i) {
+            const std::uint8_t lane =
+                i < kept ? std::uint8_t(value >> (8 * i))
+                         : std::uint8_t(last_.preImage[i] ^
+                                        std::uint8_t(flip >> (8 * i)));
+            merged |= std::uint32_t(lane) << (8 * i);
+        }
+        riscv::Ram::write(addr, merged, bytes);
+        bytes_written_ += kept;
+        last_.tearable = false; // a store tears at most once
+        return;
+    }
+
+    riscv::Ram::write(addr, value, bytes);
+    bytes_written_ += bytes;
+}
+
+bool
+Nvm::tearLastWrite(unsigned bytesKept, std::uint32_t flipMask)
+{
+    if (!last_.tearable || bytesKept >= last_.bytes)
+        return false;
+    for (unsigned i = bytesKept; i < last_.bytes; ++i) {
+        const std::uint8_t lane = std::uint8_t(
+            last_.preImage[i] ^ std::uint8_t(flipMask >> (8 * i)));
+        riscv::Ram::write(last_.addr + i, lane, 1);
+    }
+    // Those bytes never actually committed.
+    bytes_written_ -= last_.bytes - bytesKept;
+    last_.tearable = false;
+    return true;
+}
+
+} // namespace soc
+} // namespace fs

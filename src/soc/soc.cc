@@ -1,5 +1,6 @@
 #include "soc/soc.h"
 
+#include "fault/fault_injector.h"
 #include "util/logging.h"
 
 namespace fs {
@@ -25,10 +26,35 @@ Soc::Soc(const core::FailureSentinels &monitor,
 }
 
 void
+Soc::setFaultInjector(fault::FaultInjector *injector)
+{
+    injector_ = injector;
+    fs_.setFaultInjector(injector);
+    if (injector) {
+        fram_.setWriteFilter(
+            [injector](std::uint32_t addr, std::uint32_t value,
+                       unsigned bytes, unsigned &kept,
+                       std::uint32_t &flip) {
+                return injector->filterWrite(addr, value, bytes, kept,
+                                             flip);
+            });
+    } else {
+        fram_.setWriteFilter(nullptr);
+    }
+}
+
+void
 Soc::loadRuntime(std::uint32_t threshold_count)
 {
     const auto image = buildCheckpointRuntime(layout_, threshold_count);
     fram_.loadWords(0, image);
+    // Stage the CRC-32 lookup table the runtime consults. Direct
+    // data() writes: staging is load-time provisioning, not a store
+    // the fault model should see or the write counters should charge.
+    const auto table = packedCrcTable();
+    const std::uint32_t base = layout_.crcTableAddr() - layout_.framBase;
+    for (std::size_t i = 0; i < table.size(); ++i)
+        fram_.data()[base + i] = table[i];
 }
 
 void
@@ -58,6 +84,7 @@ void
 Soc::powerOn()
 {
     hart_.reset(layout_.framBase);
+    fault_killed_ = false;
     ++power_cycles_;
 }
 
@@ -72,10 +99,21 @@ Soc::powerFail()
 double
 Soc::step()
 {
+    const std::uint64_t writes_before = fram_.writeCount();
     const std::uint64_t cycles = hart_.step();
     total_cycles_ += cycles;
     const double dt = double(cycles) / clock_hz_;
     fs_.advance(dt);
+    if (injector_ && injector_->killDue(total_cycles_)) {
+        const fault::PowerKill kill = injector_->takeKill();
+        // Tear only a store that was actually in flight during the
+        // killing instruction.
+        if (fram_.writeCount() != writes_before &&
+            fram_.tearLastWrite(kill.tearBytesKept, kill.tearFlipMask))
+            injector_->noteKillTear();
+        powerFail();
+        fault_killed_ = true;
+    }
     return dt;
 }
 
@@ -84,16 +122,28 @@ Soc::run(std::uint64_t max_cycles)
 {
     std::uint64_t spent = 0;
     while (!hart_.halted() && spent < max_cycles) {
-        const std::uint64_t before = hart_.cycles();
+        const std::uint64_t before = total_cycles_;
         step();
-        spent += hart_.cycles() - before;
+        spent += total_cycles_ - before;
+        if (fault_killed_)
+            break;
     }
 }
 
 bool
-Soc::checkpointCommitted()
+Soc::checkpointCommitted() const
 {
-    return fram_.read(layout_.commitFlagAddr() - layout_.framBase, 4) != 0;
+    return newestValidCheckpointSlot(fram_.data(), layout_) >= 0;
+}
+
+std::uint32_t
+Soc::newestCheckpointSeq() const
+{
+    const int slot = newestValidCheckpointSlot(fram_.data(), layout_);
+    if (slot < 0)
+        return 0;
+    return inspectCheckpointSlot(fram_.data(), layout_, unsigned(slot))
+        .seq;
 }
 
 double

@@ -19,6 +19,10 @@
 #include "soc/nvm.h"
 
 namespace fs {
+namespace fault {
+class FaultInjector;
+} // namespace fault
+
 namespace soc {
 
 class Soc
@@ -42,6 +46,21 @@ class Soc
     riscv::Ram &sram() { return sram_; }
     FsPeripheral &fsPeripheral() { return fs_; }
     Bus &bus() { return bus_; }
+
+    /**
+     * Attach a fault injector (nullptr detaches): wires the NVM tear
+     * filter and the monitor perturbation hooks, and arms the
+     * cycle-offset supply kills polled by step().
+     */
+    void setFaultInjector(fault::FaultInjector *injector);
+    fault::FaultInjector *faultInjector() const { return injector_; }
+
+    /**
+     * True when the last power failure was forced by the injector
+     * (as opposed to the harvesting environment); cleared at the
+     * next powerOn().
+     */
+    bool faultKilled() const { return fault_killed_; }
 
     /** Assemble and load the checkpoint runtime for this threshold. */
     void loadRuntime(std::uint32_t threshold_count);
@@ -73,8 +92,15 @@ class Soc
     /** True once the application executed its completion ecall. */
     bool appFinished() const { return app_finished_; }
 
-    /** True when FRAM holds a committed checkpoint. */
-    bool checkpointCommitted();
+    /**
+     * True when FRAM holds a committed checkpoint: some slot carries
+     * the exact commit magic and a matching CRC. Uninitialized or
+     * corrupted FRAM can never read as valid.
+     */
+    bool checkpointCommitted() const;
+
+    /** Sequence number of the newest valid checkpoint (0 = none). */
+    std::uint32_t newestCheckpointSeq() const;
 
     /** Simulated seconds elapsed (cycles / clock). */
     double elapsedSeconds() const;
@@ -92,6 +118,8 @@ class Soc
     Bus bus_;
     riscv::Hart hart_;
 
+    fault::FaultInjector *injector_ = nullptr;
+    bool fault_killed_ = false;
     bool app_finished_ = false;
     std::uint64_t total_cycles_ = 0;
     std::uint64_t power_cycles_ = 0;

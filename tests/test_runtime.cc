@@ -153,6 +153,81 @@ TEST(AdaptiveCheckpointPolicy, RejectsBadConfig)
     EXPECT_THROW(AdaptiveCheckpointPolicy(config, nullptr), FatalError);
 }
 
+TEST(AdaptiveCheckpointPolicy, BlindEstimateResetsAtPowerOn)
+{
+    // Drain the blind estimate until the policy checkpoints every
+    // candidate, then simulate a reboot: notifyPowerOn() must restore
+    // the full boot budget so the early skips come back.
+    AdaptiveCheckpointPolicy policy(policyConfig(), nullptr);
+    EnergyModel model(47e-6, 1.8);
+    const double boot = model.usableEnergy(3.5);
+
+    policy.notifyPowerOn(boot);
+    std::size_t skips_before = 0;
+    while (!policy.onCandidate(3.5))
+        ++skips_before;
+    ASSERT_GT(skips_before, 0u);
+    // Fully drained: the next candidate is taken too.
+    EXPECT_TRUE(policy.onCandidate(3.5));
+
+    policy.notifyPowerOn(boot);
+    std::size_t skips_after = 0;
+    while (!policy.onCandidate(3.5))
+        ++skips_after;
+    EXPECT_EQ(skips_after, skips_before);
+}
+
+/** A monitor whose readings come back as garbage. */
+class GarbageMonitor : public analog::VoltageMonitor
+{
+  public:
+    explicit GarbageMonitor(double reading) : reading_(reading) {}
+    std::string name() const override { return "garbage"; }
+    double resolution() const override { return 0.05; }
+    double samplePeriod() const override { return 1e-3; }
+    double meanCurrent() const override { return 0.0; }
+    double measure(double) const override { return reading_; }
+
+  private:
+    double reading_;
+};
+
+TEST(AdaptiveCheckpointPolicy, FailedMonitorReadFallsBackToBlind)
+{
+    // NaN readings must not poison the decision: the policy falls
+    // back to the blind estimate for those candidates. With a fresh
+    // boot budget the blind baseline says "skip"; once it drains, the
+    // same failing monitor yields "take".
+    GarbageMonitor broken(std::nan(""));
+    EnergyAssessor assessor(broken, EnergyModel(47e-6, 1.8));
+    AdaptiveCheckpointPolicy policy(policyConfig(), &assessor);
+    EnergyModel model(47e-6, 1.8);
+    policy.notifyPowerOn(model.usableEnergy(3.5));
+
+    EXPECT_FALSE(policy.onCandidate(3.0)); // blind budget still high
+    EXPECT_EQ(policy.failedReads(), 1u);
+    bool took = false;
+    for (int i = 0; i < 20 && !took; ++i)
+        took = policy.onCandidate(3.0);
+    EXPECT_TRUE(took); // blind fallback drains and checkpoints
+    EXPECT_EQ(policy.failedReads(), policy.candidates());
+}
+
+TEST(AdaptiveCheckpointPolicy, NegativeReadingClampsAndCheckpoints)
+{
+    // A finite-but-absurd negative reading clamps to zero usable
+    // energy: the policy checkpoints (conservative) instead of
+    // comparing against negative joules, and it is not counted as a
+    // failed read.
+    GarbageMonitor negative(-2.0);
+    EnergyAssessor assessor(negative, EnergyModel(47e-6, 1.8));
+    AdaptiveCheckpointPolicy policy(policyConfig(), &assessor);
+
+    EXPECT_TRUE(policy.onCandidate(3.5));
+    EXPECT_EQ(policy.failedReads(), 0u);
+    EXPECT_EQ(policy.taken(), 1u);
+}
+
 // ---------------------------------------------------------------------
 // Task admission
 // ---------------------------------------------------------------------

@@ -72,6 +72,30 @@ TEST(NvmDevice, TracksBytesWrittenAndSurvivesPowerFail)
     EXPECT_EQ(nvm.bytesWritten(), 0u);
 }
 
+TEST(NvmDevice, ByteAccountingSurvivesRepeatedPowerCycles)
+{
+    // bytesWritten() accumulates across power failures (FRAM is
+    // non-volatile and so is the model's wear accounting); only an
+    // explicit resetStats() clears it, and writing after a reset
+    // starts the count from zero again.
+    Nvm nvm(64);
+    nvm.write(0, 0x11223344, 4);
+    nvm.powerFail();
+    nvm.write(4, 0x55, 1);
+    nvm.powerFail();
+    nvm.write(6, 0x6677, 2);
+    EXPECT_EQ(nvm.bytesWritten(), 7u);
+    EXPECT_EQ(nvm.read(0, 4), 0x11223344u);
+    EXPECT_EQ(nvm.read(4, 1), 0x55u);
+    nvm.resetStats();
+    EXPECT_EQ(nvm.bytesWritten(), 0u);
+    nvm.powerFail();
+    nvm.write(8, 0x99, 1);
+    EXPECT_EQ(nvm.bytesWritten(), 1u);
+    // Contents written before the reset are still intact.
+    EXPECT_EQ(nvm.read(6, 2), 0x6677u);
+}
+
 // ---------------------------------------------------------------------
 // FS peripheral
 // ---------------------------------------------------------------------
@@ -176,13 +200,43 @@ TEST(CheckpointFirmware, LayoutAddressesAreConsistent)
 {
     CheckpointLayout layout;
     layout.sramSize = 4096;
-    EXPECT_EQ(layout.commitFlagAddr(),
-              layout.framBase + layout.framSize - 4);
-    EXPECT_EQ(layout.regSaveAddr(), layout.commitFlagAddr() - 132);
-    EXPECT_EQ(layout.sramSaveAddr(),
-              layout.regSaveAddr() - layout.sramSize);
-    EXPECT_GT(layout.sramSaveAddr(), layout.appBase);
+    // Slot 1 ends flush against the top of FRAM; slot 0 sits below it.
+    EXPECT_EQ(layout.slotAddr(1) + layout.slotSize(),
+              layout.framBase + layout.framSize);
+    EXPECT_EQ(layout.slotAddr(0) + layout.slotSize(), layout.slotAddr(1));
+    EXPECT_EQ(layout.slotSize(),
+              kRegBlockBytes + layout.sramSize + kSlotHeaderBytes);
+    // Within a slot: registers, SRAM image, then seq / crc / magic.
+    EXPECT_EQ(layout.slotRegsAddr(0), layout.slotAddr(0));
+    EXPECT_EQ(layout.slotSramAddr(0),
+              layout.slotAddr(0) + kRegBlockBytes);
+    EXPECT_EQ(layout.slotSeqAddr(0),
+              layout.slotSramAddr(0) + layout.sramSize);
+    EXPECT_EQ(layout.slotCrcAddr(0), layout.slotSeqAddr(0) + 4);
+    EXPECT_EQ(layout.slotMagicAddr(0), layout.slotSeqAddr(0) + 8);
+    // CRC table and register staging block live below the slots,
+    // above the application region.
+    EXPECT_EQ(layout.crcTableAddr() + kCrcTableBytes, layout.slotAddr(0));
+    EXPECT_EQ(layout.regStageAddr() + kRegBlockBytes,
+              layout.crcTableAddr());
+    EXPECT_GT(layout.regStageAddr(), layout.appBase);
     EXPECT_EQ(layout.stackTop(), layout.sramBase + layout.sramSize);
+}
+
+TEST(CheckpointFirmware, HostCrcMatchesKnownProperties)
+{
+    // The firmware's CRC (no final inversion) over "123456789" is the
+    // classic check value pre-inversion.
+    const char *vector = "123456789";
+    const std::uint32_t crc = checkpointCrc32(
+        reinterpret_cast<const std::uint8_t *>(vector), 9);
+    EXPECT_EQ(crc ^ 0xffffffffu, 0xcbf43926u);
+    // Sensitivity: any single-byte change moves the CRC.
+    std::uint8_t tweaked[9];
+    for (int i = 0; i < 9; ++i)
+        tweaked[i] = std::uint8_t(vector[i]);
+    tweaked[4] ^= 0x01;
+    EXPECT_NE(checkpointCrc32(tweaked, 9), crc);
 }
 
 TEST(CheckpointFirmware, RejectsOversizedSram)
