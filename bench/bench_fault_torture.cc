@@ -13,10 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "fault/torture_rig.h"
 #include "soc/guest_programs.h"
+#include "util/bench_report.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/table.h"
 
@@ -87,6 +90,14 @@ main(int argc, char **argv)
     table.columns({"commit window", "cycles", "kills", "cold starts",
                    "slot fallbacks", "torn restores", "correct"});
 
+    // All kill parameters are drawn sequentially from the campaign
+    // generator in the exact order the sequential campaign used, then
+    // the batch fans out across the shared pool (FS_THREADS) and the
+    // outcomes are tallied back in draw order -- so the table and JSON
+    // below are bit-identical at any thread count.
+    std::vector<PowerKill> kills;
+    std::vector<std::size_t> first_kill_of_window;
+
     // Phase 1: dense sweep across every commit window (the hardest
     // instants: power death racing the checkpoint commit itself).
     const std::size_t windows = rig.checkpointCount();
@@ -94,7 +105,7 @@ main(int argc, char **argv)
         const CommitWindow window = rig.commitWindow(w);
         const std::uint64_t stride =
             std::max<std::uint64_t>(1, window.length() / 100);
-        Tally tally;
+        first_kill_of_window.push_back(kills.size());
         for (std::uint64_t c = window.begin; c < window.end;
              c += stride) {
             PowerKill kill;
@@ -102,8 +113,37 @@ main(int argc, char **argv)
             kill.tearBytesKept = unsigned(rng.uniformInt(0, 3));
             kill.tearFlipMask =
                 std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
-            account(tally, rig.runKill(kill), std::uint32_t(w));
+            kills.push_back(kill);
         }
+    }
+    first_kill_of_window.push_back(kills.size());
+
+    // Phase 2: seeded random kills over the whole execution, torn
+    // bytes and flip masks drawn from the same generator.
+    const std::size_t random_begin = kills.size();
+    const std::uint64_t span = rig.cleanRunCycles();
+    for (int i = 0; i < 300; ++i) {
+        PowerKill kill;
+        kill.cycle =
+            std::uint64_t(rng.uniformInt(0, std::int64_t(span) - 1));
+        kill.tearBytesKept = unsigned(rng.uniformInt(0, 4));
+        kill.tearFlipMask =
+            std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+        kills.push_back(kill);
+    }
+
+    util::ThreadPool &pool = util::ThreadPool::shared();
+    util::Timer timer;
+    const std::vector<TortureOutcome> outcomes =
+        rig.runKills(kills, &pool);
+    const double elapsed = timer.seconds();
+
+    for (std::size_t w = 0; w < windows; ++w) {
+        const CommitWindow window = rig.commitWindow(w);
+        Tally tally;
+        for (std::size_t k = first_kill_of_window[w];
+             k < first_kill_of_window[w + 1]; ++k)
+            account(tally, outcomes[k], std::uint32_t(w));
         char label[32], cycles[48], score[32];
         std::snprintf(label, sizeof label, "#%zu", w);
         std::snprintf(cycles, sizeof cycles, "%llu-%llu",
@@ -125,22 +165,29 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
-    // Phase 2: seeded random kills over the whole execution, torn
-    // bytes and flip masks drawn from the same generator.
     Tally random_tally;
-    const std::uint64_t span = rig.cleanRunCycles();
-    for (int i = 0; i < 300; ++i) {
-        PowerKill kill;
-        kill.cycle =
-            std::uint64_t(rng.uniformInt(0, std::int64_t(span) - 1));
-        kill.tearBytesKept = unsigned(rng.uniformInt(0, 4));
-        kill.tearFlipMask =
-            std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+    for (std::size_t k = random_begin; k < outcomes.size(); ++k) {
         // Random kills land anywhere, so "fallback vs fresh" is
         // relative to however many commits preceded the kill; count
         // any warm restore as a fallback bucket entry.
-        account(random_tally, rig.runKill(kill), 0xffffffffu);
+        account(random_tally, outcomes[k], 0xffffffffu);
     }
+
+    // Measured 1-thread rate over a small prefix, for the speedup
+    // column of the perf ledger (skipped when already single-threaded).
+    double baseline_rate = 0.0;
+    if (pool.threadCount() > 1) {
+        util::ThreadPool one(1);
+        const std::size_t probe =
+            std::min<std::size_t>(kills.size(), 40);
+        util::Timer probe_timer;
+        rig.runKills({kills.begin(), kills.begin() + probe}, &one);
+        baseline_rate = double(probe) / probe_timer.seconds();
+    }
+    util::BenchReport report("bench_fault_torture");
+    report.add({"campaign", elapsed, double(kills.size()),
+                pool.threadCount(), baseline_rate});
+    report.write();
 
     const Tally &w = window_tally;
     const Tally &r = random_tally;

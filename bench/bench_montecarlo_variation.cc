@@ -5,13 +5,21 @@
  * Raw counts spread widely across the population; post-enrollment
  * measurement error does not -- calibration absorbs manufacturing
  * variation, which is the paper's case for the enrollment step.
+ *
+ * Chips are independent, so the per-chip enrollments fan out across
+ * the shared thread pool (FS_THREADS): every speed factor is drawn
+ * sequentially up front and results fold into the statistics in chip
+ * order, keeping the output bit-identical at any thread count.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/failure_sentinels.h"
+#include "util/bench_report.h"
 #include "util/numeric.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -45,27 +53,42 @@ main()
     reference.enrollDevice();
 
     constexpr int kChips = 100;
-    for (int chip = 0; chip < kChips; ++chip) {
-        const double speed = std::max(0.7, rng.gaussian(1.0, 0.08));
-        core::FailureSentinels fs(circuit::Technology::node90(), cfg,
-                                  "chip", speed);
-        fs.enrollDevice();
-        raw_counts.add(double(fs.rawSample(2.4)));
+    std::vector<double> speeds(kChips);
+    for (int chip = 0; chip < kChips; ++chip)
+        speeds[chip] = std::max(0.7, rng.gaussian(1.0, 0.08));
 
-        double worst_own = 0.0, worst_ref = 0.0;
-        for (double v : linspace(1.85, 2.05, 20)) {
-            worst_own = std::max(
-                worst_own, std::fabs(fs.readVoltage(v) - v));
-            // Foreign calibration: chip's counts through the
-            // reference chip's table.
-            worst_ref = std::max(
-                worst_ref,
-                std::fabs(reference.converter().toVoltage(
-                              fs.rawSample(v)) -
-                          v));
-        }
-        enrolled_error.add(worst_own);
-        unenrolled_error.add(worst_ref);
+    struct ChipResult {
+        double rawCount = 0.0;
+        double worstOwn = 0.0;
+        double worstRef = 0.0;
+    };
+    util::Timer timer;
+    util::ThreadPool &pool = util::ThreadPool::shared();
+    const std::vector<ChipResult> results =
+        pool.parallelMap(kChips, [&](std::size_t chip) {
+            core::FailureSentinels fs(circuit::Technology::node90(),
+                                      cfg, "chip", speeds[chip]);
+            fs.enrollDevice();
+            ChipResult r;
+            r.rawCount = double(fs.rawSample(2.4));
+            for (double v : linspace(1.85, 2.05, 20)) {
+                r.worstOwn = std::max(
+                    r.worstOwn, std::fabs(fs.readVoltage(v) - v));
+                // Foreign calibration: chip's counts through the
+                // reference chip's table.
+                r.worstRef = std::max(
+                    r.worstRef,
+                    std::fabs(reference.converter().toVoltage(
+                                  fs.rawSample(v)) -
+                              v));
+            }
+            return r;
+        });
+    const double elapsed = timer.seconds();
+    for (const ChipResult &r : results) {
+        raw_counts.add(r.rawCount);
+        enrolled_error.add(r.worstOwn);
+        unenrolled_error.add(r.worstRef);
     }
 
     TablePrinter table;
@@ -85,6 +108,11 @@ main()
               TablePrinter::num(unenrolled_error.min() * 1e3, 1),
               TablePrinter::num(unenrolled_error.max() * 1e3, 1));
     table.print(std::cout);
+
+    util::BenchReport report("bench_montecarlo_variation");
+    report.add({"chips", elapsed, double(kChips), pool.threadCount(),
+                0.0});
+    report.write();
 
     bench::paperNote("identical ROs on different chips produce "
                      "different frequencies under the same conditions; "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuit/ro_frequency_cache.h"
 #include "util/logging.h"
 
 namespace fs {
@@ -17,6 +18,36 @@ MonitorChain::MonitorChain(const Technology &tech, const ChainSpec &spec)
         divider_.emplace(tech, spec.dividerTap, spec.dividerTotal,
                          spec.dividerWidth);
     }
+    if (spec.useRoCache && RoFrequencyCache::enabled())
+        nominal_cache_ = &RoFrequencyCache::shared(
+            tech, spec.roStages, spec.cell, kNominalTempC);
+}
+
+const RoFrequencyCache *
+MonitorChain::cacheFor(double temp_c) const
+{
+    if (!nominal_cache_)
+        return nullptr;
+    if (temp_c == kNominalTempC)
+        return nominal_cache_;
+    return &RoFrequencyCache::shared(*tech_, spec_.roStages, spec_.cell,
+                                     temp_c);
+}
+
+double
+MonitorChain::roFrequencyAt(double v_ro, double temp_c) const
+{
+    if (const RoFrequencyCache *cache = cacheFor(temp_c))
+        return cache->frequency(v_ro, spec_.processSpeed);
+    return ro_.frequency(v_ro, temp_c);
+}
+
+double
+MonitorChain::roDynamicCurrentAt(double v_ro, double temp_c) const
+{
+    if (const RoFrequencyCache *cache = cacheFor(temp_c))
+        return cache->dynamicCurrent(v_ro, spec_.processSpeed);
+    return ro_.dynamicCurrent(v_ro, temp_c);
 }
 
 const VoltageDivider *
@@ -35,7 +66,7 @@ MonitorChain::roVoltage(double v_supply, double temp_c) const
     // droop is a small fraction of the output.
     double v_ro = divider_->unloadedOutput(v_supply);
     for (int i = 0; i < 12; ++i) {
-        const double i_ro = ro_.dynamicCurrent(v_ro, temp_c);
+        const double i_ro = roDynamicCurrentAt(v_ro, temp_c);
         const double next = divider_->loadedOutput(v_supply, i_ro);
         if (std::fabs(next - v_ro) < 1e-7) {
             v_ro = next;
@@ -50,7 +81,7 @@ double
 MonitorChain::frequency(double v_supply, double temp_c) const
 {
     const double v_ro = roVoltage(v_supply, temp_c);
-    const double f = ro_.frequency(v_ro, temp_c);
+    const double f = roFrequencyAt(v_ro, temp_c);
     if (f < RingOscillator::kMinOscillationHz)
         return 0.0;
     if (divider_ && !shifter_.canShift(f, v_ro, v_supply, temp_c))
@@ -69,10 +100,10 @@ MonitorChain::activeCurrents(double v_supply, double temp_c) const
 {
     ActiveCurrents c;
     const double v_ro = roVoltage(v_supply, temp_c);
-    const double f = ro_.frequency(v_ro, temp_c);
+    const double f = roFrequencyAt(v_ro, temp_c);
     // The RO's charge comes through the divider from the supply rail,
     // so the supply sees the full RO current.
-    c.roDynamic = ro_.dynamicCurrent(v_ro, temp_c);
+    c.roDynamic = roDynamicCurrentAt(v_ro, temp_c);
     c.dividerBias = divider_ ? divider_->biasCurrent(v_supply) : 0.0;
     c.shifter = divider_ ? shifter_.dynamicCurrent(f, v_supply, temp_c)
                          : 0.0;

@@ -22,6 +22,8 @@
 namespace fs {
 namespace circuit {
 
+class RoFrequencyCache;
+
 /** Currents of each block while the monitor is enabled (A). */
 struct ActiveCurrents {
     double roDynamic = 0.0;
@@ -47,6 +49,14 @@ struct ChainSpec {
     double dividerWidth = 4.0;
     double processSpeed = 1.0;
     InverterCell cell = InverterCell::Simple;
+    /**
+     * Route RO frequency/current through the shared RoFrequencyCache
+     * (interpolated, <=0.1% error) instead of the analytic model.
+     * FsConfig::chainSpec() enables this for the design flow; raw
+     * ChainSpec construction stays exactly analytic. The FS_NO_RO_CACHE
+     * environment variable force-disables it.
+     */
+    bool useRoCache = false;
 
     bool hasDivider() const { return dividerTotal > dividerTap; }
 };
@@ -99,12 +109,19 @@ class MonitorChain
     std::size_t transistorCount() const;
 
   private:
+    /** Cache for this spec at temp_c; null when running analytic. */
+    const RoFrequencyCache *cacheFor(double temp_c) const;
+    double roFrequencyAt(double v_ro, double temp_c) const;
+    double roDynamicCurrentAt(double v_ro, double temp_c) const;
+
     const Technology *tech_;
     ChainSpec spec_;
     RingOscillator ro_;
     std::optional<VoltageDivider> divider_;
     LevelShifter shifter_;
     EdgeCounter counter_;
+    /** Memoized table for the nominal temperature (may be null). */
+    const RoFrequencyCache *nominal_cache_ = nullptr;
 };
 
 } // namespace circuit

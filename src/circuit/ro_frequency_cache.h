@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Memoized ring-oscillator frequency table.
+ *
+ * Every design-point evaluation in the DSE, the calibration error
+ * bounds, and the torture/Monte Carlo campaigns re-derives RO frequency
+ * through Technology::gateDelay's transcendentals, often inside
+ * bisect/derivative loops. The frequency at a given (technology,
+ * stages, cell, temperature) is a fixed one-dimensional curve, and the
+ * per-chip process speed factor scales it *exactly* linearly (gateDelay
+ * divides by speed), so one table at speed = 1.0 serves every chip.
+ *
+ * The table stores log-frequency on a uniform 1 mV voltage grid with
+ * Fritsch-Carlson monotone (shape-preserving) cubic interpolation:
+ * strictly monotone in the operating region, and faithful to the
+ * non-monotonic mobility-degradation hump near 2.6 V without any
+ * monotonicity assumption. The non-oscillation cutoff
+ * (RingOscillator::kMinOscillationHz) is applied exactly: frequency()
+ * returns 0.0 below it, matching MonitorChain's clamp and
+ * oscillates()'s gating of dynamic current.
+ */
+
+#ifndef FS_CIRCUIT_RO_FREQUENCY_CACHE_H_
+#define FS_CIRCUIT_RO_FREQUENCY_CACHE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/ring_oscillator.h"
+#include "circuit/technology.h"
+
+namespace fs {
+namespace circuit {
+
+class RoFrequencyCache
+{
+  public:
+    RoFrequencyCache(const Technology &tech, std::size_t stages,
+                     InverterCell cell, double temp_c = kNominalTempC);
+
+    const Technology &tech() const { return ro_.tech(); }
+    std::size_t stages() const { return ro_.stages(); }
+    InverterCell cell() const { return ro_.cell(); }
+    double tempC() const { return temp_c_; }
+    double gridStep() const { return step_; }
+    std::size_t gridSize() const { return logf_.size(); }
+
+    /**
+     * Oscillation frequency (Hz) for a chip with the given process
+     * speed factor; exactly 0.0 below the oscillation cutoff.
+     */
+    double frequency(double v, double speed = 1.0) const;
+
+    /** df/dv of the interpolated curve (Hz/V); 0 where not oscillating. */
+    double sensitivity(double v, double speed = 1.0) const;
+
+    /**
+     * Dynamic supply current while oscillating (A), gated on the same
+     * cutoff as RingOscillator::dynamicCurrent: C_sw * v * n * f.
+     */
+    double dynamicCurrent(double v, double speed = 1.0) const;
+
+    /** Lowest supply at which the interpolated ring oscillates (V). */
+    double minOscillationVoltage(double speed = 1.0) const;
+
+    /**
+     * Process-wide registry: one table per (technology, stages, cell,
+     * temperature), built on first use. Thread-safe.
+     */
+    static const RoFrequencyCache &shared(const Technology &tech,
+                                          std::size_t stages,
+                                          InverterCell cell,
+                                          double temp_c = kNominalTempC);
+
+    /** False when the FS_NO_RO_CACHE kill switch is set. */
+    static bool enabled();
+
+  private:
+    /** Base-table (speed = 1.0) frequency via the cubic interpolant. */
+    double baseFrequency(double v) const;
+    /** d(log f)/dv of the interpolant at v (within the grid). */
+    double baseLogSlope(double v) const;
+
+    RingOscillator ro_;  ///< analytic model at speed = 1.0
+    double temp_c_;
+    double lo_ = 0.0;    ///< grid start (V)
+    double hi_ = 0.0;    ///< grid end (V)
+    double step_ = 0.0;  ///< uniform spacing (V)
+    std::vector<double> logf_;   ///< log base frequency at grid points
+    std::vector<double> dlogf_;  ///< PCHIP derivatives d(log f)/dv
+};
+
+} // namespace circuit
+} // namespace fs
+
+#endif // FS_CIRCUIT_RO_FREQUENCY_CACHE_H_

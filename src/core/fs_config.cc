@@ -14,6 +14,10 @@ FsConfig::chainSpec(double process_speed) const
     spec.dividerTap = dividerTap;
     spec.dividerTotal = dividerTotal;
     spec.processSpeed = process_speed;
+    // The design flow (performance model, sampling engine, DSE,
+    // campaigns) evaluates thousands of configs; the memoized RO table
+    // turns each transcendental-heavy frequency solve into a lookup.
+    spec.useRoCache = true;
     return spec;
 }
 

@@ -121,6 +121,22 @@ FsDesignSpace::evaluate(const Genome &genome) const
     return ev;
 }
 
+core::Performance
+FsDesignSpace::performanceFromEvaluation(const Evaluation &ev,
+                                         const core::FsConfig &cfg) const
+{
+    FS_ASSERT(ev.objectives.size() == kNumFsObjectives,
+              "evaluation from a different problem");
+    core::Performance perf;
+    perf.realizable = ev.feasible;
+    perf.meanCurrent = ev.objectives[kObjMeanCurrent];
+    perf.granularity = ev.objectives[kObjGranularity];
+    perf.sampleRate = cfg.sampleRate;
+    perf.nvmBytes = std::size_t(ev.objectives[kObjNvmBytes]);
+    perf.transistors = std::size_t(ev.objectives[kObjTransistors]);
+    return perf;
+}
+
 std::vector<FsParetoPoint>
 exploreDesignSpace(const circuit::Technology &tech, Nsga2::Options opts,
                    double fixed_rate, bool explore_divider)
@@ -132,11 +148,15 @@ exploreDesignSpace(const circuit::Technology &tech, Nsga2::Options opts,
     std::vector<FsParetoPoint> out;
     std::set<std::string> seen;
     for (const auto &ind : optimizer.paretoFront()) {
+        if (!ind.eval.feasible)
+            continue;
         FsParetoPoint point;
         point.config = space.decode(ind.genome);
-        point.perf = space.model().evaluate(point.config);
-        if (!point.perf.realizable)
-            continue;
+        // The optimizer already evaluated this genome; rebuild the
+        // metrics from its stored objectives instead of re-running
+        // the performance model on every front member.
+        point.perf =
+            space.performanceFromEvaluation(ind.eval, point.config);
         if (seen.insert(point.config.summary()).second)
             out.push_back(std::move(point));
     }

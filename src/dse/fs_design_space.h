@@ -57,6 +57,16 @@ class FsDesignSpace : public Problem
     /** Decode a genome into a concrete configuration. */
     core::FsConfig decode(const Genome &genome) const;
 
+    /**
+     * Reconstruct the headline Performance metrics from an Evaluation
+     * this problem produced, without re-running the model. Feasible
+     * evaluations only; the granularity decomposition fields are not
+     * part of the objective vector and stay zero.
+     */
+    core::Performance
+    performanceFromEvaluation(const Evaluation &ev,
+                              const core::FsConfig &cfg) const;
+
     const core::PerformanceModel &model() const { return model_; }
 
   private:

@@ -37,24 +37,40 @@ Nsga2::randomGenome()
     return g;
 }
 
-Individual
-Nsga2::makeIndividual(Genome g)
+util::ThreadPool &
+Nsga2::pool()
 {
-    problem_.repair(g);
-    Individual ind;
-    ind.eval = problem_.evaluate(g);
-    ind.genome = std::move(g);
-    ++evaluations_;
-    return ind;
+    if (opts_.threads == 0)
+        return util::ThreadPool::shared();
+    if (!owned_pool_)
+        owned_pool_ = std::make_unique<util::ThreadPool>(opts_.threads);
+    return *owned_pool_;
+}
+
+std::vector<Individual>
+Nsga2::evaluateBatch(std::vector<Genome> genomes)
+{
+    // All RNG was consumed generating the genomes; repair/evaluate are
+    // thread-safe const and each index writes only its own slot, so
+    // the batch is bit-identical at any thread count.
+    std::vector<Individual> out(genomes.size());
+    pool().parallelFor(genomes.size(), [&](std::size_t i) {
+        problem_.repair(genomes[i]);
+        out[i].eval = problem_.evaluate(genomes[i]);
+        out[i].genome = std::move(genomes[i]);
+    });
+    evaluations_ += genomes.size();
+    return out;
 }
 
 void
 Nsga2::initialize()
 {
-    pop_.clear();
-    pop_.reserve(opts_.populationSize);
+    std::vector<Genome> genomes;
+    genomes.reserve(opts_.populationSize);
     for (std::size_t i = 0; i < opts_.populationSize; ++i)
-        pop_.push_back(makeIndividual(randomGenome()));
+        genomes.push_back(randomGenome());
+    pop_ = evaluateBatch(std::move(genomes));
     auto fronts = nonDominatedSort(pop_);
     for (const auto &front : fronts)
         assignCrowding(pop_, front);
@@ -69,15 +85,21 @@ Nsga2::nonDominatedSort(std::vector<Individual> &pop)
     std::vector<std::size_t> dom_count(n, 0);
     std::vector<std::vector<std::size_t>> fronts(1);
 
+    // Each unordered pair is visited once, resolving both directions
+    // in a single pass (dominance is antisymmetric, so a hit in one
+    // direction skips the reverse test entirely).
     for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-            if (i == j)
-                continue;
-            if (dominates(pop[i].eval, pop[j].eval))
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (dominates(pop[i].eval, pop[j].eval)) {
                 dominated[i].push_back(j);
-            else if (dominates(pop[j].eval, pop[i].eval))
+                ++dom_count[j];
+            } else if (dominates(pop[j].eval, pop[i].eval)) {
+                dominated[j].push_back(i);
                 ++dom_count[i];
+            }
         }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
         if (dom_count[i] == 0) {
             pop[i].rank = 0;
             fronts[0].push_back(i);
@@ -238,17 +260,24 @@ Nsga2::stepGeneration()
 {
     if (!initialized_)
         initialize();
-    std::vector<Individual> merged = pop_;
-    merged.reserve(2 * opts_.populationSize);
-    while (merged.size() < 2 * opts_.populationSize) {
+    // Tournaments, crossover, and mutation consume the RNG and read
+    // only the current population, so the full offspring cohort is
+    // generated sequentially first, then evaluated as one batch.
+    std::vector<Genome> offspring;
+    offspring.reserve(opts_.populationSize);
+    while (offspring.size() < opts_.populationSize) {
         Genome c1, c2;
         sbxCrossover(tournament().genome, tournament().genome, c1, c2);
         mutate(c1);
         mutate(c2);
-        merged.push_back(makeIndividual(std::move(c1)));
-        if (merged.size() < 2 * opts_.populationSize)
-            merged.push_back(makeIndividual(std::move(c2)));
+        offspring.push_back(std::move(c1));
+        if (offspring.size() < opts_.populationSize)
+            offspring.push_back(std::move(c2));
     }
+    std::vector<Individual> merged = pop_;
+    merged.reserve(2 * opts_.populationSize);
+    for (Individual &child : evaluateBatch(std::move(offspring)))
+        merged.push_back(std::move(child));
     environmentalSelection(merged);
     ++generations_run_;
 }

@@ -12,9 +12,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dse/problem.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace fs {
@@ -40,6 +42,14 @@ class Nsga2
         /** Per-gene mutation probability; 0 = 1/num_variables. */
         double mutationProb = 0.0;
         std::uint64_t seed = 0x5eed;
+        /**
+         * Evaluation threads: 0 = process-wide shared pool (FS_THREADS
+         * aware), 1 = strictly sequential, N = dedicated pool. Results
+         * are bit-identical at any setting: all RNG draws happen
+         * sequentially before each batch fans out, and Problem::
+         * evaluate must be thread-safe const.
+         */
+        std::size_t threads = 0;
     };
 
     explicit Nsga2(const Problem &problem) : Nsga2(problem, Options{}) {}
@@ -76,12 +86,15 @@ class Nsga2
     void sbxCrossover(const Genome &a, const Genome &b, Genome &c1,
                       Genome &c2);
     void mutate(Genome &g);
-    Individual makeIndividual(Genome g);
+    /** Repair + evaluate a batch in parallel, order-preserving. */
+    std::vector<Individual> evaluateBatch(std::vector<Genome> genomes);
     void environmentalSelection(std::vector<Individual> &merged);
+    util::ThreadPool &pool();
 
     const Problem &problem_;
     Options opts_;
     Rng rng_;
+    std::unique_ptr<util::ThreadPool> owned_pool_;
     std::vector<Individual> pop_;
     bool initialized_ = false;
     std::size_t generations_run_ = 0;

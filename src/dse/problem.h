@@ -47,6 +47,13 @@ class Problem
 
     virtual const std::vector<Variable> &variables() const = 0;
     virtual std::size_t numObjectives() const = 0;
+
+    /**
+     * Evaluate one genome. Thread-safety contract: the optimizer
+     * batches evaluations across a thread pool, so implementations
+     * must be safely callable concurrently from multiple threads --
+     * logically const with no unsynchronized mutable state.
+     */
     virtual Evaluation evaluate(const Genome &genome) const = 0;
 
     std::size_t numVariables() const { return variables().size(); }

@@ -10,6 +10,7 @@
 #include "riscv/encoding.h"
 #include "soc/soc.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace fs {
 namespace fault {
@@ -158,7 +159,7 @@ TortureRig::commitWindow(std::size_t which)
 }
 
 TortureOutcome
-TortureRig::runKill(const PowerKill &kill)
+TortureRig::runKill(const PowerKill &kill) const
 {
     TortureOutcome out;
     auto bench = build();
@@ -206,6 +207,16 @@ TortureRig::runKill(const PowerKill &kill)
     out.result = out.finished ? sys.guestResult(prog_) : 0;
     out.resultCorrect = out.finished && out.result == prog_.expected;
     return out;
+}
+
+std::vector<TortureOutcome>
+TortureRig::runKills(const std::vector<PowerKill> &kills,
+                     util::ThreadPool *pool) const
+{
+    util::ThreadPool &p = pool ? *pool : util::ThreadPool::shared();
+    return p.parallelMap(kills.size(), [&](std::size_t i) {
+        return runKill(kills[i]);
+    });
 }
 
 } // namespace fault

@@ -31,6 +31,9 @@ class FailureSentinels;
 namespace soc {
 class Soc;
 } // namespace soc
+namespace util {
+class ThreadPool;
+} // namespace util
 
 namespace fault {
 
@@ -87,9 +90,20 @@ class TortureRig
 
     /**
      * Replay the schedule with one injected supply kill, then recover
-     * on stable power and validate the guest result.
+     * on stable power and validate the guest result. Each replay runs
+     * on a disposable SoC, so concurrent calls are safe.
      */
-    TortureOutcome runKill(const PowerKill &kill);
+    TortureOutcome runKill(const PowerKill &kill) const;
+
+    /**
+     * Run a batch of kills across a thread pool (null = shared pool),
+     * returning outcomes in input order. Every kill replays an
+     * independent SoC; outcomes are bit-identical to calling runKill()
+     * sequentially, at any thread count.
+     */
+    std::vector<TortureOutcome>
+    runKills(const std::vector<PowerKill> &kills,
+             util::ThreadPool *pool = nullptr) const;
 
     /** The checkpoint threshold voltage the rig programs. */
     double checkpointVolts() const { return v_ckpt_; }

@@ -1,0 +1,167 @@
+#include "util/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace fs {
+namespace util {
+
+namespace {
+
+void
+appendNumber(std::ostringstream &out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out << buf;
+}
+
+/**
+ * Pull "name": {...} pairs out of a flat one-level JSON object. Only
+ * needs to understand what BenchReport itself writes; anything
+ * unparseable is dropped and the ledger regenerates over time.
+ */
+std::map<std::string, std::string>
+parseLedger(const std::string &text)
+{
+    std::map<std::string, std::string> entries;
+    std::size_t pos = text.find('{');
+    if (pos == std::string::npos)
+        return entries;
+    ++pos;
+    while (pos < text.size()) {
+        const std::size_t key_begin = text.find('"', pos);
+        if (key_begin == std::string::npos)
+            break;
+        const std::size_t key_end = text.find('"', key_begin + 1);
+        if (key_end == std::string::npos)
+            break;
+        const std::string key =
+            text.substr(key_begin + 1, key_end - key_begin - 1);
+        const std::size_t obj_begin = text.find('{', key_end);
+        if (obj_begin == std::string::npos)
+            break;
+        int depth = 0;
+        std::size_t i = obj_begin;
+        for (; i < text.size(); ++i) {
+            if (text[i] == '{')
+                ++depth;
+            else if (text[i] == '}' && --depth == 0)
+                break;
+        }
+        if (i >= text.size())
+            break;
+        entries[key] = text.substr(obj_begin, i - obj_begin + 1);
+        pos = i + 1;
+    }
+    return entries;
+}
+
+} // namespace
+
+std::string
+BenchReport::json() const
+{
+    std::ostringstream out;
+    out << "{\"phases\":[";
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+        const Phase &p = phases_[i];
+        if (i)
+            out << ',';
+        out << "{\"name\":\"" << p.name << "\",\"seconds\":";
+        appendNumber(out, p.seconds);
+        out << ",\"items\":";
+        appendNumber(out, p.items);
+        const double rate =
+            p.seconds > 0.0 ? p.items / p.seconds : 0.0;
+        out << ",\"items_per_sec\":";
+        appendNumber(out, rate);
+        out << ",\"threads\":" << p.threads;
+        if (p.baselineRatePerSec > 0.0) {
+            out << ",\"speedup_vs_1t\":";
+            appendNumber(out, rate / p.baselineRatePerSec);
+        }
+        out << '}';
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+BenchReport::ledgerPath(const std::string &path)
+{
+    if (!path.empty())
+        return path;
+    if (const char *env = std::getenv("FS_BENCH_JSON"))
+        if (*env)
+            return env;
+    return "BENCH_perf.json";
+}
+
+void
+BenchReport::write(const std::string &path) const
+{
+    const std::string file = ledgerPath(path);
+    const int fd = ::open(file.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+        std::fprintf(stderr, "bench_report: cannot open %s\n",
+                     file.c_str());
+        return;
+    }
+    ::flock(fd, LOCK_EX);
+    std::string text;
+    {
+        char buf[4096];
+        ssize_t n;
+        while ((n = ::read(fd, buf, sizeof buf)) > 0)
+            text.append(buf, std::size_t(n));
+    }
+    std::map<std::string, std::string> entries = parseLedger(text);
+    entries[bench_] = json();
+    std::ostringstream out;
+    out << "{\n";
+    std::size_t i = 0;
+    for (const auto &[key, value] : entries) {
+        out << "  \"" << key << "\": " << value;
+        if (++i < entries.size())
+            out << ',';
+        out << '\n';
+    }
+    out << "}\n";
+    const std::string body = out.str();
+    ::lseek(fd, 0, SEEK_SET);
+    if (::ftruncate(fd, 0) == 0) {
+        std::size_t off = 0;
+        while (off < body.size()) {
+            const ssize_t n =
+                ::write(fd, body.data() + off, body.size() - off);
+            if (n <= 0)
+                break;
+            off += std::size_t(n);
+        }
+    }
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+
+    for (const Phase &p : phases_) {
+        const double rate = p.seconds > 0.0 ? p.items / p.seconds : 0.0;
+        std::printf("[perf] %s/%s: %.3f s, %.1f items/s, %zu thread%s",
+                    bench_.c_str(), p.name.c_str(), p.seconds, rate,
+                    p.threads, p.threads == 1 ? "" : "s");
+        if (p.baselineRatePerSec > 0.0)
+            std::printf(", %.2fx vs 1 thread",
+                        rate / p.baselineRatePerSec);
+        std::printf("  -> %s\n", file.c_str());
+    }
+}
+
+} // namespace util
+} // namespace fs

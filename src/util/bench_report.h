@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight wall-clock instrumentation for the bench suite.
+ *
+ * Each bench records one or more timed phases into a BenchReport and
+ * writes them to BENCH_perf.json in the working directory (override
+ * with FS_BENCH_JSON). The file is a single JSON object keyed by bench
+ * name, merged read-modify-write under an flock so concurrent benches
+ * (bench_all) do not clobber each other. This gives every PR from here
+ * on a machine-readable perf trajectory: wall time, items/sec, thread
+ * count, and measured speedup vs. a 1-thread baseline.
+ */
+
+#ifndef FS_UTIL_BENCH_REPORT_H_
+#define FS_UTIL_BENCH_REPORT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace util {
+
+/** Monotonic stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+class BenchReport
+{
+  public:
+    struct Phase {
+        std::string name;
+        double seconds = 0.0;
+        double items = 0.0;       ///< work units completed
+        std::size_t threads = 1;  ///< threads used for this phase
+        /** Measured 1-thread rate for the same work (0 = not measured). */
+        double baselineRatePerSec = 0.0;
+    };
+
+    explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+    /** Record one timed phase. */
+    void add(Phase phase) { phases_.push_back(std::move(phase)); }
+
+    /** This bench's entry as a single-line JSON object. */
+    std::string json() const;
+
+    /**
+     * Merge this entry into the perf ledger and print a one-line
+     * summary to stdout. @param path empty = FS_BENCH_JSON env or
+     * "BENCH_perf.json".
+     */
+    void write(const std::string &path = "") const;
+
+    /** Resolved ledger path (env override applied). */
+    static std::string ledgerPath(const std::string &path = "");
+
+  private:
+    std::string bench_;
+    std::vector<Phase> phases_;
+};
+
+} // namespace util
+} // namespace fs
+
+#endif // FS_UTIL_BENCH_REPORT_H_

@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "circuit/power_model.h"
+#include "circuit/ro_frequency_cache.h"
 #include "util/logging.h"
 #include "util/numeric.h"
 
@@ -502,6 +503,147 @@ TEST(MonitorChain, TransistorBudgetWithinTableIII)
     spec.counterBits = 16;
     MonitorChain chain(Technology::node90(), spec);
     EXPECT_LE(chain.transistorCount(), 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Memoized RO frequency table
+// ---------------------------------------------------------------------
+
+TEST(RoFrequencyCache, FrequencyWithinTenthPercentOfAnalytic)
+{
+    for (const Technology *tech : nodes()) {
+        for (std::size_t stages : {std::size_t(3), std::size_t(21),
+                                   std::size_t(73)}) {
+            const RingOscillator ro(*tech, stages);
+            const RoFrequencyCache cache(*tech, stages,
+                                         InverterCell::Simple);
+            const double vmin = ro.minOscillationVoltage();
+            for (double v :
+                 linspace(vmin + 0.02, tech->vddMax(), 400)) {
+                const double fa = ro.frequency(v);
+                if (fa < RingOscillator::kMinOscillationHz)
+                    continue;
+                const double fc = cache.frequency(v);
+                EXPECT_NEAR(fc, fa, 1e-3 * fa)
+                    << tech->name() << " n=" << stages << " at " << v
+                    << " V";
+            }
+        }
+    }
+}
+
+TEST(RoFrequencyCache, SensitivityWithinTenthPercentOfAnalytic)
+{
+    const RingOscillator ro(Technology::node90(), 21);
+    const RoFrequencyCache cache(Technology::node90(), 21,
+                                 InverterCell::Simple);
+    const double vmin = ro.minOscillationVoltage();
+    // Stay below the mobility-degradation knee, where df/dv crosses
+    // zero and relative comparison loses meaning.
+    for (double v : linspace(vmin + 0.05, 2.2, 200)) {
+        const double sa = ro.sensitivity(v);
+        const double sc = cache.sensitivity(v);
+        EXPECT_NEAR(sc, sa, 1e-3 * std::fabs(sa)) << "at " << v << " V";
+    }
+}
+
+TEST(RoFrequencyCache, ExactZeroBelowOscillationCutoff)
+{
+    for (const Technology *tech : nodes()) {
+        const RingOscillator ro(*tech, 21);
+        const RoFrequencyCache cache(*tech, 21, InverterCell::Simple);
+        const double vmin = ro.minOscillationVoltage();
+        // Exactly zero -- not merely small -- below the cutoff, so
+        // oscillates()-style gating stays bit-exact.
+        EXPECT_EQ(cache.frequency(vmin - 0.01), 0.0);
+        EXPECT_EQ(cache.frequency(0.02), 0.0);
+        EXPECT_EQ(cache.frequency(-1.0), 0.0);
+        EXPECT_EQ(cache.dynamicCurrent(vmin - 0.01), 0.0);
+        EXPECT_EQ(cache.sensitivity(vmin - 0.01), 0.0);
+        EXPECT_GT(cache.frequency(vmin + 0.01), 0.0);
+    }
+}
+
+TEST(RoFrequencyCache, MinOscillationVoltageMatchesAnalytic)
+{
+    for (const Technology *tech : nodes()) {
+        const RingOscillator ro(*tech, 21);
+        const RoFrequencyCache cache(*tech, 21, InverterCell::Simple);
+        EXPECT_NEAR(cache.minOscillationVoltage(),
+                    ro.minOscillationVoltage(), 1e-4)
+            << tech->name();
+        // A slower chip needs more voltage to clear the same cutoff.
+        EXPECT_GT(cache.minOscillationVoltage(0.7),
+                  cache.minOscillationVoltage(1.3));
+    }
+}
+
+TEST(RoFrequencyCache, HandlesNonMonotonicHighVoltageRegion)
+{
+    // Fig. 1: mobility degradation bends the f(V) curve over near
+    // 2.5 V. The shape-preserving interpolant must follow the hump
+    // rather than assume monotonicity.
+    const RingOscillator ro(Technology::node130(), 21);
+    const RoFrequencyCache cache(Technology::node130(), 21,
+                                 InverterCell::Simple);
+    const double hi = Technology::node130().vddMax();
+    double v_peak = 0.0, f_peak = 0.0;
+    for (double v : linspace(1.8, hi, 400)) {
+        const double f = ro.frequency(v);
+        if (f > f_peak) {
+            f_peak = f;
+            v_peak = v;
+        }
+    }
+    ASSERT_LT(v_peak, hi - 0.1) << "expected an interior maximum";
+    EXPECT_LT(cache.frequency(hi), cache.frequency(v_peak));
+    // The interpolant tracks the falling branch, too.
+    for (double v : linspace(v_peak, hi, 50)) {
+        const double fa = ro.frequency(v);
+        EXPECT_NEAR(cache.frequency(v), fa, 1e-3 * fa)
+            << "at " << v << " V";
+    }
+}
+
+TEST(RoFrequencyCache, SpeedFactorScalesExactly)
+{
+    const RoFrequencyCache cache(Technology::node90(), 21,
+                                 InverterCell::Simple);
+    for (double v : linspace(1.0, 3.0, 20)) {
+        const double f1 = cache.frequency(v, 1.0);
+        if (f1 <= 0.0)
+            continue;
+        EXPECT_DOUBLE_EQ(cache.frequency(v, 1.25), 1.25 * f1);
+    }
+}
+
+TEST(RoFrequencyCache, SharedRegistryReturnsSameInstance)
+{
+    const RoFrequencyCache &a = RoFrequencyCache::shared(
+        Technology::node90(), 21, InverterCell::Simple);
+    const RoFrequencyCache &b = RoFrequencyCache::shared(
+        Technology::node90(), 21, InverterCell::Simple);
+    EXPECT_EQ(&a, &b);
+    const RoFrequencyCache &c = RoFrequencyCache::shared(
+        Technology::node90(), 23, InverterCell::Simple);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(MonitorChain, CachedChainTracksAnalyticChain)
+{
+    ChainSpec analytic;
+    ChainSpec cached = analytic;
+    cached.useRoCache = true;
+    const MonitorChain plain(Technology::node90(), analytic);
+    const MonitorChain fast(Technology::node90(), cached);
+    for (double v : linspace(1.8, 3.6, 40)) {
+        const double fa = plain.frequency(v);
+        const double fc = fast.frequency(v);
+        EXPECT_NEAR(fc, fa, 1e-3 * fa) << "at " << v << " V";
+        const double ia = plain.meanCurrent(v, 10e-6, 1e3);
+        const double ic = fast.meanCurrent(v, 10e-6, 1e3);
+        EXPECT_NEAR(ic, ia, 1e-3 * ia) << "at " << v << " V";
+    }
 }
 
 } // namespace
