@@ -54,6 +54,7 @@ const char *const kBenches[] = {
     "bench_discussion_capacitor",
     "bench_discussion_environments",
     "bench_runtime_policies",
+    "bench_fs_lint",
 };
 
 struct BenchRun {

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Shape checks for the fs-lint static analyzer: every shipping
+ * firmware image must certify clean, the two seeded-bug demos must be
+ * flagged with the right finding, and the runtime's static commit
+ * bound must sit above the dynamically measured cost but inside the
+ * monitor's warning window. Also times the analyzer itself so
+ * BENCH_perf.json tracks lint throughput.
+ */
+
+#include <cstdio>
+
+#include "analysis/firmware_linter.h"
+#include "bench_common.h"
+#include "core/fs_config.h"
+#include "harvest/system_comparison.h"
+#include "riscv/assembler.h"
+#include "soc/conversion_firmware.h"
+#include "soc/soc.h"
+#include "util/bench_report.h"
+
+int
+main()
+{
+    using namespace fs;
+    bench::banner("fs-lint",
+                  "static WAR / checkpoint-reachability analysis over "
+                  "all firmware images");
+
+    util::Timer timer;
+    std::size_t images = 0;
+
+    // Shipping images: standard workloads + conversion routine.
+    bool shippingClean = true;
+    auto workloads = soc::standardWorkloads();
+    {
+        soc::GuestProgram conv;
+        conv.name = "conversion";
+        conv.code = soc::buildConversionProgram(
+            soc::kCalibrationTableAddr, soc::kGuestResultAddr);
+        workloads.push_back(conv);
+    }
+    for (const soc::GuestProgram &program : workloads) {
+        const analysis::LintReport report =
+            analysis::lintGuestProgram(program);
+        ++images;
+        std::printf("  %-12s %zu blocks, %zu findings, %s\n",
+                    program.name.c_str(), report.blocks,
+                    report.findings.size(),
+                    report.clean() ? "clean" : "ERRORS");
+        shippingClean = shippingClean && report.clean();
+    }
+
+    // The runtime, in the torture-rig configuration (1 KiB SRAM,
+    // 1 MHz), checked against the warning window the monitor's
+    // default configuration implies with 40 ms of commit headroom.
+    soc::CheckpointLayout layout;
+    layout.sramSize = 1024;
+    const double budget =
+        analysis::commitBudgetSeconds(core::FsConfig{}, 0.04);
+    const analysis::LintReport runtime =
+        analysis::lintCheckpointRuntime(layout, 100, budget);
+    ++images;
+    std::printf("  runtime: %llu cycles worst-case commit "
+                "(budget %llu), %zu findings\n",
+                static_cast<unsigned long long>(
+                    runtime.worstCaseCommitCycles),
+                static_cast<unsigned long long>(runtime.budgetCycles),
+                runtime.findings.size());
+
+    // Dynamic cross-check: force one real checkpoint by dropping the
+    // supply under a spinning app and count the cycles until the
+    // commit lands. The measurement includes the monitor's detection
+    // latency, which the static budget also accounts for.
+    auto monitor = harvest::makeFsLowPower();
+    double supply = 3.3;
+    soc::Soc soc(*monitor, [&supply](double) { return supply; },
+                 layout);
+    soc.loadRuntime(monitor->countThresholdFor(1.87));
+    {
+        riscv::Assembler as;
+        const auto spinLabel = as.newLabel();
+        as.bind(spinLabel);
+        as.jTo(spinLabel);
+        soc.loadApp(as.finalize());
+    }
+    soc.powerOn();
+    soc.run(20'000);
+    supply = 1.85; // below the checkpoint threshold
+    const std::uint64_t before = soc.totalCycles();
+    while (!soc.checkpointCommitted() &&
+           soc.totalCycles() - before < 200'000) {
+        for (int i = 0; i < 1000; ++i)
+            soc.step();
+    }
+    const std::uint64_t commitCycles = soc.totalCycles() - before;
+    std::printf("  runtime: %llu cycles measured for one commit "
+                "(incl. detection latency)\n",
+                static_cast<unsigned long long>(commitCycles));
+
+    // Seeded-bug demos.
+    const analysis::LintReport war =
+        analysis::lintGuestProgram(soc::makeNvmAccumulateProgram(16));
+    const analysis::LintReport spin =
+        analysis::lintGuestProgram(soc::makeIrqOffSpinProgram());
+    images += 2;
+
+    const double elapsed = timer.seconds();
+
+    bench::shapeCheck("all shipping firmware images lint clean",
+                      shippingClean);
+    bench::shapeCheck("runtime commit path fits the warning window",
+                      runtime.clean() &&
+                          runtime.worstCaseCommitCycles > 0 &&
+                          runtime.worstCaseCommitCycles <=
+                              runtime.budgetCycles);
+    bench::shapeCheck(
+        "static commit bound dominates the measured commit",
+        runtime.worstCaseCommitCycles >= commitCycles);
+    bool warFlagged = false;
+    for (const analysis::Finding &f : war.findings)
+        warFlagged = warFlagged ||
+                     (f.kind == analysis::FindingKind::kWarHazard &&
+                      f.severity == analysis::Severity::kError);
+    bench::shapeCheck("seeded WAR accumulator is flagged as an error",
+                      warFlagged);
+    bool spinFlagged = false;
+    for (const analysis::Finding &f : spin.findings)
+        spinFlagged =
+            spinFlagged ||
+            f.kind == analysis::FindingKind::kCheckpointFreeCycle;
+    bench::shapeCheck("irq-masked spin loop is flagged as "
+                      "checkpoint-free",
+                      spinFlagged);
+
+    util::BenchReport report("bench_fs_lint");
+    report.add({"lint", elapsed, double(images), 1, 0.0});
+    // Perf-ledger trajectory of the static certificate: the item
+    // count carries the worst-case commit-cycle bound so the ledger
+    // tracks it PR over PR.
+    report.add({"commit_bound_cycles", runtime.analysisSeconds,
+                double(runtime.worstCaseCommitCycles), 1, 0.0});
+    report.write();
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * fs-lint: static WAR-hazard and checkpoint-reachability analysis for
+ * assembled RV32IM firmware.
+ *
+ * Intermittent execution is only correct when every path between two
+ * checkpoints is (1) idempotent -- no write-after-read hazard on
+ * non-volatile memory, or replaying the segment after a restore
+ * diverges -- and (2) short enough to finish inside the warning
+ * window the Failure Sentinels monitor guarantees. The linter proves
+ * both properties conservatively over the recovered CFG:
+ *
+ *  - a value-set abstract interpretation resolves load/store
+ *    addresses (small constant sets, widened to base-tagged pointers
+ *    for loop-carried induction) and classifies them against the SoC
+ *    memory map;
+ *  - a region dataflow pass tracks NVM locations read since the last
+ *    checkpoint boundary (fs.mark) and flags any aliasing store
+ *    (ERROR kWarHazard);
+ *  - an interrupt-enable pass tracks mstatus.MIE / mie.MEIE and flags
+ *    cycles that run entirely with interrupts masked and contain no
+ *    fs.mark: no checkpoint can ever land inside them (WARNING
+ *    kCheckpointFreeCycle);
+ *  - a worst-case cost pass bounds loops by induction-variable
+ *    analysis and compares the longest commit path (trap entry to
+ *    fs.mark) against the monitor's warning budget (ERROR
+ *    kBudgetExceeded).
+ *
+ * Aliasing is deliberately under-approximated: two accesses conflict
+ * only when their abstract addresses share a provenance base or a
+ * concrete constant. Accesses whose address widens to Top are
+ * reported as kUnknownAccess (INFO) instead of being assumed to alias
+ * everything, which would drown real findings in noise.
+ */
+
+#ifndef FS_ANALYSIS_FIRMWARE_LINTER_H_
+#define FS_ANALYSIS_FIRMWARE_LINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "riscv/hart.h"
+#include "soc/checkpoint_firmware.h"
+#include "soc/guest_programs.h"
+#include "soc/memory_map.h"
+
+namespace fs {
+namespace core {
+struct FsConfig;
+}
+
+namespace analysis {
+
+enum class Severity { kInfo, kWarning, kError };
+std::string severityName(Severity severity);
+
+enum class FindingKind {
+    kWarHazard,           ///< NVM read-then-write between checkpoints
+    kCheckpointFreeCycle, ///< irq-masked loop with no fs.mark
+    kBudgetExceeded,      ///< commit path outruns the warning window
+    kUnboundedPath,       ///< loop bound not inferable on a cost path
+    kUnknownAccess,       ///< load/store address widened to Top
+    kIllegalInstruction,  ///< reachable word that does not decode
+};
+std::string findingKindName(FindingKind kind);
+
+/** One structured analyzer result. */
+struct Finding {
+    FindingKind kind = FindingKind::kUnknownAccess;
+    Severity severity = Severity::kInfo;
+    std::uint32_t addr = 0;        ///< primary instruction address
+    std::uint32_t relatedAddr = 0; ///< e.g. the read of a WAR pair
+    std::string message;
+};
+
+/** Which rule set applies to the image. */
+enum class LintProfile {
+    /** Application code: checkpoints arrive asynchronously via the FS
+     *  interrupt, so every NVM read-then-write is a replay hazard and
+     *  irq-masked loops are uncheckpointable. */
+    kApp,
+    /** The checkpoint runtime itself: NVM read-modify-write *is* the
+     *  checkpoint mechanism and the handler runs with interrupts
+     *  hardware-masked, so WAR and cycle checks are off; instead the
+     *  commit path is checked against the warning budget. */
+    kRuntime,
+};
+
+struct LintOptions {
+    LintProfile profile = LintProfile::kApp;
+    soc::MemoryMap map = soc::MemoryMap::standard();
+    /** Entry points; empty means "the image base". */
+    std::vector<std::uint32_t> entries;
+    /** Commit-path start (trap entry) for the budget check; 0 means
+     *  the first entry point. kRuntime only. */
+    std::uint32_t commitEntry = 0;
+    /** Core clock for cycles -> seconds. */
+    double clockHz = 1e6;
+    /** Warning budget in seconds; <= 0 disables the budget check. */
+    double budgetSeconds = 0.0;
+    riscv::Hart::CycleCosts costs;
+};
+
+/** Full analyzer output for one image. */
+struct LintReport {
+    std::string image;
+    std::vector<Finding> findings;
+    std::size_t blocks = 0;
+    std::size_t instructions = 0;
+    /** Worst-case cycles from commitEntry to fs.mark (kRuntime with a
+     *  reachable marker; 0 otherwise). */
+    std::uint64_t worstCaseCommitCycles = 0;
+    /** Cycle budget the commit path was checked against (0 = off). */
+    std::uint64_t budgetCycles = 0;
+    double analysisSeconds = 0.0;
+
+    std::size_t count(Severity severity) const;
+    /** No ERROR-severity findings. */
+    bool clean() const { return count(Severity::kError) == 0; }
+
+    std::string text() const;
+    std::string json() const;
+};
+
+class FirmwareLinter
+{
+  public:
+    explicit FirmwareLinter(LintOptions options = {});
+
+    /** Analyze one image loaded at @p base. */
+    LintReport lint(const std::string &name,
+                    const std::vector<riscv::Word> &code,
+                    std::uint32_t base) const;
+
+    const LintOptions &options() const { return options_; }
+
+  private:
+    LintOptions options_;
+};
+
+/** Lint a guest workload under the kApp profile (entry = appBase). */
+LintReport lintGuestProgram(const soc::GuestProgram &program,
+                            const soc::CheckpointLayout &layout = {});
+
+/**
+ * Lint the generated checkpoint runtime under the kRuntime profile
+ * (entries = reset vector + trap handler; budget check from the
+ * handler when @p budgetSeconds > 0).
+ */
+LintReport lintCheckpointRuntime(const soc::CheckpointLayout &layout,
+                                 std::uint32_t thresholdCount,
+                                 double budgetSeconds = 0.0,
+                                 double clockHz = 1e6);
+
+/**
+ * Warning budget implied by a monitor configuration: the commit
+ * headroom the system provisions below V_ckpt minus the monitor's
+ * worst-case detection latency (one sample period plus the RO enable
+ * time). Clamped at zero.
+ */
+double commitBudgetSeconds(const core::FsConfig &config,
+                           double headroomSeconds);
+
+} // namespace analysis
+} // namespace fs
+
+#endif // FS_ANALYSIS_FIRMWARE_LINTER_H_

@@ -118,27 +118,6 @@ enrollAt(const fs::circuit::MonitorChain &chain, double t_en,
     return data;
 }
 
-/** Linear reconstruction through the stored points at a raw count. */
-double
-pwlEstimate(const fs::calib::EnrollmentData &data, std::uint32_t count)
-{
-    const auto &pts = data.points;
-    if (count <= pts.front().count)
-        return pts.front().voltage;
-    if (count >= pts.back().count)
-        return pts.back().voltage;
-    for (std::size_t i = 1; i < pts.size(); ++i) {
-        if (count <= pts[i].count) {
-            const auto &a = pts[i - 1];
-            const auto &b = pts[i];
-            const double t = double(count - a.count) /
-                             double(b.count - a.count);
-            return a.voltage + t * (b.voltage - a.voltage);
-        }
-    }
-    return pts.back().voltage;
-}
-
 } // namespace
 
 namespace fs {

@@ -26,6 +26,31 @@ Assembler::bind(Label label)
     labels_[label] = std::int64_t(words_.size() * 4);
 }
 
+bool
+Assembler::isBound(Label label) const
+{
+    FS_ASSERT(label < labels_.size(), "unknown label");
+    return labels_[label] >= 0;
+}
+
+std::uint32_t
+Assembler::labelAddress(Label label) const
+{
+    FS_ASSERT(isBound(label), "label not bound");
+    return origin_ + std::uint32_t(labels_[label]);
+}
+
+std::vector<std::uint32_t>
+Assembler::boundLabelAddresses() const
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(labels_.size());
+    for (std::int64_t offset : labels_)
+        if (offset >= 0)
+            out.push_back(origin_ + std::uint32_t(offset));
+    return out;
+}
+
 void
 Assembler::emit(Word word)
 {

@@ -39,6 +39,18 @@ class Assembler
     /** Bind a label to the current position. */
     void bind(Label label);
 
+    // --- label metadata (consumed by the static analyzer) ---
+
+    /** Number of labels created so far. */
+    std::size_t labelCount() const { return labels_.size(); }
+    /** True once @p label has been bound to a position. */
+    bool isBound(Label label) const;
+    /** Absolute address a bound label resolves to (asserts bound). */
+    std::uint32_t labelAddress(Label label) const;
+    /** Addresses of every bound label, in creation order. Seeds the
+     *  analyzer's basic-block leaders alongside branch targets. */
+    std::vector<std::uint32_t> boundLabelAddresses() const;
+
     /** Emit a raw instruction word. */
     void emit(Word word);
 

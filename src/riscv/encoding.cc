@@ -186,5 +186,11 @@ fsCfg(Word rs1, Word rs2)
     return encodeR(kOpCustom0, 0, 1, rs1, rs2, 0);
 }
 
+Word
+fsMark()
+{
+    return encodeR(kOpCustom0, 0, 2, 0, 0, 0);
+}
+
 } // namespace riscv
 } // namespace fs

@@ -7,6 +7,9 @@
  * Custom instructions live in the custom-0 opcode space (0x0B):
  *   fs.read  rd        (funct3=0): rd <- latest energy count
  *   fs.cfg   rs1, rs2  (funct3=1): threshold <- rs1, control <- rs2
+ *   fs.mark            (funct3=2): checkpoint-boundary marker (hart
+ *                                  no-op; consumed by the static
+ *                                  analyzer in src/analysis)
  */
 
 #ifndef FS_RISCV_ENCODING_H_
@@ -124,6 +127,7 @@ Word csrrwi(Word rd, Word csr, Word zimm);
 // Failure Sentinels custom instructions (Section IV-B)
 Word fsRead(Word rd);
 Word fsCfg(Word rs1, Word rs2);
+Word fsMark();
 
 /** CSR addresses used by the machine-mode trap path. */
 enum Csr : Word {

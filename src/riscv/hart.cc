@@ -362,6 +362,13 @@ Hart::execute(Word inst)
       case kOpFence:
         break; // no-op in a single-hart system
       case kOpCustom0:
+        if (funct3 == 2) {
+            // fs.mark: checkpoint-boundary marker. Architecturally a
+            // no-op; it only exists so the static analyzer can locate
+            // commit points in the binary. Works without a coprocessor.
+            cost = costs_.alu;
+            break;
+        }
         if (!cop_)
             fatal("custom-0 instruction with no coprocessor attached");
         if (funct3 == 0) {

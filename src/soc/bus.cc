@@ -20,6 +20,16 @@ Bus::attach(std::string name, std::uint32_t base,
     mappings_.push_back({std::move(name), base, span, &device});
 }
 
+std::vector<Bus::Region>
+Bus::regions() const
+{
+    std::vector<Region> out;
+    out.reserve(mappings_.size());
+    for (const auto &m : mappings_)
+        out.push_back({m.name, m.base, m.span});
+    return out;
+}
+
 const Bus::Mapping &
 Bus::decode(std::uint32_t addr, unsigned bytes) const
 {

@@ -28,9 +28,19 @@ constexpr std::uint32_t kFsMmioSize = 0x40;
 class Bus : public riscv::MemoryDevice
 {
   public:
+    /** One attached device's address window (query view). */
+    struct Region {
+        std::string name;
+        std::uint32_t base = 0;
+        std::uint32_t span = 0;
+    };
+
     /** Map a device at [base, base + span); span defaults to size(). */
     void attach(std::string name, std::uint32_t base,
                 riscv::MemoryDevice &device, std::uint32_t span = 0);
+
+    /** Attached windows in attach order (for map introspection). */
+    std::vector<Region> regions() const;
 
     std::uint32_t read(std::uint32_t addr, unsigned bytes) override;
     void write(std::uint32_t addr, std::uint32_t value,

@@ -255,9 +255,11 @@ buildCheckpointRuntime(const CheckpointLayout &layout,
     as.emit(addi(kA1, kT1, 4));
     as.jalTo(kRa, crc_sub);
     as.emit(sw(kA0, kT1, 4));
-    // Commit: the magic is the last word written.
+    // Commit: the magic is the last word written. fs.mark brands the
+    // commit point for the static analyzer (hart no-op).
     as.li(kT2, std::int32_t(kCheckpointMagic));
     as.emit(sw(kT2, kT1, 8));
+    as.emit(fsMark());
     // Acknowledge the FS interrupt and sleep until power dies.
     as.li(kT2, std::int32_t(layout.fsMmioBase));
     as.emit(sw(kZero, kT2, kFsRegStatus));

@@ -320,6 +320,98 @@ makeMatmulProgram(std::size_t n, std::uint64_t seed)
     return prog;
 }
 
+GuestProgram
+makeNvmAccumulateProgram(std::size_t n, std::size_t passes,
+                         std::uint64_t seed)
+{
+    GuestProgram prog;
+    prog.name = "nvm-acc/" + std::to_string(n) + "x" +
+                std::to_string(passes);
+    prog.dataAddr = kGuestDataAddr;
+    prog.resultAddr = kGuestResultAddr;
+
+    Rng rng(seed);
+    std::vector<std::uint32_t> values(n);
+    for (auto &v : values)
+        v = std::uint32_t(rng.uniformInt(-100000, 100000));
+    for (std::uint32_t v : values)
+        pushWord(prog.data, v);
+
+    std::uint32_t sum = 0;
+    for (std::uint32_t v : values)
+        sum += v;
+    prog.expected = sum * std::uint32_t(passes);
+
+    // The accumulator is the FRAM result word itself: every iteration
+    // reads it back and stores it again. That read-modify-write on
+    // NVM is the canonical WAR idempotency violation -- replaying a
+    // segment after restore re-adds its inputs. The outer pass loop
+    // only stretches the run across power cycles so a torture kill
+    // can land after a committed checkpoint.
+    Assembler as;
+    const auto pass = as.newLabel();
+    const auto loop = as.newLabel();
+    const auto done = as.newLabel();
+    as.li(kS2, std::int32_t(passes));
+    as.li(kS3, 0);
+    as.li(kS1, std::int32_t(prog.resultAddr));
+    as.emit(sw(kZero, kS1, 0)); // acc = 0
+    as.bind(pass);
+    as.li(kT0, std::int32_t(prog.dataAddr));
+    as.li(kT1, std::int32_t(prog.dataAddr + n * 4));
+    as.bind(loop);
+    as.bgeuTo(kT0, kT1, done);
+    as.emit(lw(kT2, kS1, 0)); // WAR read
+    as.emit(lw(kT3, kT0, 0));
+    as.emit(add(kT2, kT2, kT3));
+    as.emit(sw(kT2, kS1, 0)); // WAR write
+    as.emit(addi(kT0, kT0, 4));
+    as.jTo(loop);
+    as.bind(done);
+    as.emit(addi(kS3, kS3, 1));
+    as.bltuTo(kS3, kS2, pass);
+    as.emit(jalr(kZero, kRa, 0));
+    prog.code = as.finalize();
+    return prog;
+}
+
+GuestProgram
+makeIrqOffSpinProgram(std::size_t iters)
+{
+    GuestProgram prog;
+    prog.name = "irq-off-spin/" + std::to_string(iters);
+    prog.dataAddr = kGuestDataAddr;
+    prog.resultAddr = kGuestResultAddr;
+
+    // Oracle: acc = acc * 31 + i, mod 2^32, i = 1..iters.
+    std::uint32_t acc = 0;
+    for (std::size_t i = 1; i <= iters; ++i)
+        acc = acc * 31u + std::uint32_t(i);
+    prog.expected = acc;
+
+    // Mask machine interrupts around the loop: the FS warning irq
+    // stays pending and no checkpoint can land inside the cycle.
+    Assembler as;
+    const auto loop = as.newLabel();
+    as.li(kT0, std::int32_t(kMstatusMie));
+    as.emit(csrrc(kZero, kCsrMstatus, kT0)); // irq off
+    as.li(kT1, std::int32_t(iters));
+    as.li(kT2, 0);  // i
+    as.li(kA2, 0);  // acc
+    as.li(kT3, 31);
+    as.bind(loop);
+    as.emit(addi(kT2, kT2, 1));
+    as.emit(mul(kA2, kA2, kT3));
+    as.emit(add(kA2, kA2, kT2));
+    as.bltuTo(kT2, kT1, loop);
+    as.emit(csrrs(kZero, kCsrMstatus, kT0)); // irq back on
+    as.li(kT0, std::int32_t(prog.resultAddr));
+    as.emit(sw(kA2, kT0, 0));
+    as.emit(jalr(kZero, kRa, 0));
+    prog.code = as.finalize();
+    return prog;
+}
+
 std::vector<GuestProgram>
 standardWorkloads()
 {

@@ -67,6 +67,31 @@ GuestProgram makeMatmulProgram(std::size_t n, std::uint64_t seed = 4);
 /** All four workloads at test-friendly sizes. */
 std::vector<GuestProgram> standardWorkloads();
 
+// --- deliberately-unsafe demos for the static analyzer ---
+// Not part of standardWorkloads(): each one seeds exactly the bug
+// class fs_lint exists to catch, with a host oracle for the
+// *uninterrupted* run so the dynamic cross-check can show divergence.
+
+/**
+ * WAR-hazard demo: accumulates `n` FRAM words into an accumulator
+ * that itself lives in FRAM (read-modify-write on NVM every
+ * iteration). Replaying any segment after a restore re-adds inputs,
+ * so the result diverges from `expected` under intermittent power.
+ * fs_lint must flag the load/store pair as an ERROR.
+ */
+GuestProgram makeNvmAccumulateProgram(std::size_t n,
+                                      std::size_t passes = 1,
+                                      std::uint64_t seed = 5);
+
+/**
+ * Checkpoint-free-cycle demo: masks machine interrupts (mstatus.MIE)
+ * around a long compute loop, so the FS warning irq can never take a
+ * checkpoint inside it. Safe under stable power; under intermittent
+ * power the whole loop re-executes from scratch forever. fs_lint must
+ * flag the cycle as a WARNING.
+ */
+GuestProgram makeIrqOffSpinProgram(std::size_t iters = 4096);
+
 } // namespace soc
 } // namespace fs
 

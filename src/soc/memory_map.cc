@@ -1,0 +1,55 @@
+#include "soc/memory_map.h"
+
+#include "soc/bus.h"
+
+namespace fs {
+namespace soc {
+
+std::string
+memKindName(MemKind kind)
+{
+    switch (kind) {
+      case MemKind::kUnmapped: return "unmapped";
+      case MemKind::kNvm: return "nvm";
+      case MemKind::kSram: return "sram";
+      case MemKind::kMmio: return "mmio";
+    }
+    return "unmapped";
+}
+
+MemoryMap
+MemoryMap::standard(std::uint32_t sramSize)
+{
+    if (sramSize == 0)
+        sramSize = kDefaultSramSize;
+    MemoryMap map;
+    map.add({"fram", kFramBase, kFramSize, MemKind::kNvm});
+    map.add({"sram", kSramBase, sramSize, MemKind::kSram});
+    map.add({"fs-monitor", kFsMmioBase, kFsMmioSize, MemKind::kMmio});
+    return map;
+}
+
+void
+MemoryMap::add(MemRegion region)
+{
+    regions_.push_back(std::move(region));
+}
+
+const MemRegion *
+MemoryMap::find(std::uint32_t addr) const
+{
+    for (const MemRegion &region : regions_)
+        if (region.contains(addr))
+            return &region;
+    return nullptr;
+}
+
+MemKind
+MemoryMap::classify(std::uint32_t addr) const
+{
+    const MemRegion *region = find(addr);
+    return region ? region->kind : MemKind::kUnmapped;
+}
+
+} // namespace soc
+} // namespace fs

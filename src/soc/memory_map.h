@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Queryable SoC memory map: classifies physical addresses by storage
+ * kind (volatile SRAM, non-volatile FRAM, MMIO) without touching a
+ * live Bus. The static analyzer keys its WAR-hazard pass off this:
+ * writes to NVM between checkpoints are the dangerous ones, SRAM is
+ * rebuilt from the checkpoint image on restore, and MMIO is
+ * side-effecting but not replayed state.
+ */
+
+#ifndef FS_SOC_MEMORY_MAP_H_
+#define FS_SOC_MEMORY_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace soc {
+
+/** Storage semantics of one address range. */
+enum class MemKind {
+    kUnmapped, ///< no device decodes the address
+    kNvm,      ///< FRAM: survives power loss, replay-visible
+    kSram,     ///< volatile: restored wholesale from the checkpoint
+    kMmio,     ///< device registers: side-effecting, never replayed
+};
+
+/** Printable name, e.g. "nvm" or "sram". */
+std::string memKindName(MemKind kind);
+
+/** One classified address range. */
+struct MemRegion {
+    std::string name;
+    std::uint32_t base = 0;
+    std::uint32_t span = 0;
+    MemKind kind = MemKind::kUnmapped;
+
+    bool contains(std::uint32_t addr) const
+    {
+        return addr - base < span;
+    }
+};
+
+/** Ordered collection of regions with point queries. */
+class MemoryMap
+{
+  public:
+    /** The default SoC map: FRAM at 0, SRAM at 0x2000_0000, the FS
+     *  monitor's MMIO window at 0x4000_0000. */
+    static MemoryMap standard(std::uint32_t sramSize = 0);
+
+    void add(MemRegion region);
+
+    /** Region covering @p addr, or nullptr when unmapped. */
+    const MemRegion *find(std::uint32_t addr) const;
+    /** Kind of the region covering @p addr (kUnmapped when none). */
+    MemKind classify(std::uint32_t addr) const;
+
+    const std::vector<MemRegion> &regions() const { return regions_; }
+
+  private:
+    std::vector<MemRegion> regions_;
+};
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_MEMORY_MAP_H_

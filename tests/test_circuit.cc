@@ -87,9 +87,9 @@ TEST_P(TechnologyTest, OverdriveMatchesLinearAboveThreshold)
 
 INSTANTIATE_TEST_SUITE_P(AllNodes, TechnologyTest,
                          ::testing::ValuesIn(nodes()),
-                         [](const auto &info) {
-                             return info.param->name().substr(
-                                 0, info.param->name().size() - 2);
+                         [](const auto &tpi) {
+                             return tpi.param->name().substr(
+                                 0, tpi.param->name().size() - 2);
                          });
 
 // ---------------------------------------------------------------------
@@ -169,9 +169,9 @@ INSTANTIATE_TEST_SUITE_P(
                       RoCase{&Technology::node90(), 67},
                       RoCase{&Technology::node65(), 11},
                       RoCase{&Technology::node65(), 73}),
-    [](const auto &info) {
-        return info.param.tech->name().substr(0, 2) + "nm_" +
-               std::to_string(info.param.stages) + "stages";
+    [](const auto &tpi) {
+        return tpi.param.tech->name().substr(0, 2) + "nm_" +
+               std::to_string(tpi.param.stages) + "stages";
     });
 
 TEST(RingOscillator, RejectsInvalidLengths)
@@ -473,9 +473,9 @@ TEST_P(MonitorChainNodeTest, ActiveCurrentsDominatedByRo)
 
 INSTANTIATE_TEST_SUITE_P(AllNodes, MonitorChainNodeTest,
                          ::testing::ValuesIn(nodes()),
-                         [](const auto &info) {
-                             return info.param->name().substr(
-                                 0, info.param->name().size() - 2);
+                         [](const auto &tpi) {
+                             return tpi.param->name().substr(
+                                 0, tpi.param->name().size() - 2);
                          });
 
 TEST(MonitorChain, MeanCurrentScalesWithDuty)

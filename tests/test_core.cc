@@ -259,9 +259,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(&circuit::Technology::node130(),
                       &circuit::Technology::node90(),
                       &circuit::Technology::node65()),
-    [](const auto &info) {
-        return info.param->name().substr(0,
-                                         info.param->name().size() - 2) +
+    [](const auto &tpi) {
+        return tpi.param->name().substr(0,
+                                         tpi.param->name().size() - 2) +
                "nm";
     });
 
@@ -388,8 +388,8 @@ INSTANTIATE_TEST_SUITE_P(
                       calib::Strategy::PiecewiseConstant,
                       calib::Strategy::PiecewiseLinear,
                       calib::Strategy::Polynomial),
-    [](const auto &info) {
-        std::string name = calib::strategyName(info.param);
+    [](const auto &tpi) {
+        std::string name = calib::strategyName(tpi.param);
         for (auto &ch : name) {
             if (ch == '-')
                 ch = '_';

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "riscv/assembler.h"
+#include "riscv/decoder.h"
 #include "riscv/encoding.h"
 #include "riscv/hart.h"
 #include "riscv/memory.h"
@@ -127,6 +128,173 @@ TEST(Assembler, HereTracksOrigin)
     EXPECT_EQ(as.here(), 0x1000u);
     as.nop();
     EXPECT_EQ(as.here(), 0x1004u);
+}
+
+TEST(Encoding, BranchOffsetLimits)
+{
+    // B-form reaches [-4096, 4094] in steps of 2.
+    EXPECT_EQ(decode(beq(kA0, kA1, -4096)).imm, -4096);
+    EXPECT_EQ(decode(beq(kA0, kA1, 4094)).imm, 4094);
+    EXPECT_DEATH(beq(kA0, kA1, 4096), "offset");
+    EXPECT_DEATH(beq(kA0, kA1, -4098), "offset");
+    EXPECT_DEATH(beq(kA0, kA1, 5), "offset");
+}
+
+TEST(Encoding, JalOffsetLimits)
+{
+    // J-form reaches [-2^20, 2^20 - 2] in steps of 2.
+    EXPECT_EQ(decode(jal(kRa, -(1 << 20))).imm, -(1 << 20));
+    EXPECT_EQ(decode(jal(kRa, (1 << 20) - 2)).imm, (1 << 20) - 2);
+    EXPECT_DEATH(jal(kRa, 1 << 20), "offset");
+    EXPECT_DEATH(jal(kRa, -(1 << 20) - 2), "offset");
+    EXPECT_DEATH(jal(kRa, 3), "offset");
+}
+
+TEST(Assembler, LabelRedefinitionIsFatal)
+{
+    Assembler as;
+    const auto label = as.newLabel();
+    as.bind(label);
+    as.nop();
+    EXPECT_DEATH(as.bind(label), "bound twice");
+}
+
+TEST(Assembler, LabelMetadataTracksBindings)
+{
+    Assembler as(0x2000);
+    const auto a = as.newLabel();
+    const auto b = as.newLabel();
+    EXPECT_EQ(as.labelCount(), 2u);
+    EXPECT_FALSE(as.isBound(a));
+    as.nop();
+    as.bind(a);
+    as.nop();
+    EXPECT_TRUE(as.isBound(a));
+    EXPECT_FALSE(as.isBound(b));
+    EXPECT_EQ(as.labelAddress(a), 0x2004u);
+    const auto bound = as.boundLabelAddresses();
+    ASSERT_EQ(bound.size(), 1u);
+    EXPECT_EQ(bound[0], 0x2004u);
+}
+
+// ---------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------
+
+TEST(Decoder, RoundTripsEveryRv32imOpcode)
+{
+    // Every encoder the firmware library uses, decoded back to its
+    // mnemonic and fields. Operands are deliberately asymmetric so a
+    // swapped field would show.
+    const struct {
+        Word word;
+        Mnemonic op;
+    } cases[] = {
+        {lui(kA0, 0x12345), Mnemonic::kLui},
+        {auipc(kA1, 0x00fff), Mnemonic::kAuipc},
+        {jal(kRa, -2048), Mnemonic::kJal},
+        {jalr(kZero, kRa, 0), Mnemonic::kJalr},
+        {beq(kT0, kT1, 16), Mnemonic::kBeq},
+        {bne(kT0, kT1, -16), Mnemonic::kBne},
+        {blt(kA2, kA3, 32), Mnemonic::kBlt},
+        {bge(kA2, kA3, -32), Mnemonic::kBge},
+        {bltu(kS2, kS3, 64), Mnemonic::kBltu},
+        {bgeu(kS2, kS3, -64), Mnemonic::kBgeu},
+        {lb(kA0, kSp, -1), Mnemonic::kLb},
+        {lh(kA0, kSp, -2), Mnemonic::kLh},
+        {lw(kA0, kSp, 4), Mnemonic::kLw},
+        {lbu(kA0, kSp, 1), Mnemonic::kLbu},
+        {lhu(kA0, kSp, 2), Mnemonic::kLhu},
+        {sb(kA1, kSp, -1), Mnemonic::kSb},
+        {sh(kA1, kSp, -2), Mnemonic::kSh},
+        {sw(kA1, kSp, 8), Mnemonic::kSw},
+        {addi(kA0, kA1, -7), Mnemonic::kAddi},
+        {slti(kA0, kA1, 7), Mnemonic::kSlti},
+        {sltiu(kA0, kA1, 7), Mnemonic::kSltiu},
+        {xori(kA0, kA1, -1), Mnemonic::kXori},
+        {ori(kA0, kA1, 0xff), Mnemonic::kOri},
+        {andi(kA0, kA1, 0xff), Mnemonic::kAndi},
+        {slli(kA0, kA1, 31), Mnemonic::kSlli},
+        {srli(kA0, kA1, 1), Mnemonic::kSrli},
+        {srai(kA0, kA1, 15), Mnemonic::kSrai},
+        {add(kA0, kA1, kA2), Mnemonic::kAdd},
+        {sub(kA0, kA1, kA2), Mnemonic::kSub},
+        {sll(kA0, kA1, kA2), Mnemonic::kSll},
+        {slt(kA0, kA1, kA2), Mnemonic::kSlt},
+        {sltu(kA0, kA1, kA2), Mnemonic::kSltu},
+        {xor_(kA0, kA1, kA2), Mnemonic::kXor},
+        {srl(kA0, kA1, kA2), Mnemonic::kSrl},
+        {sra(kA0, kA1, kA2), Mnemonic::kSra},
+        {or_(kA0, kA1, kA2), Mnemonic::kOr},
+        {and_(kA0, kA1, kA2), Mnemonic::kAnd},
+        {mul(kA0, kA1, kA2), Mnemonic::kMul},
+        {mulh(kA0, kA1, kA2), Mnemonic::kMulh},
+        {mulhsu(kA0, kA1, kA2), Mnemonic::kMulhsu},
+        {mulhu(kA0, kA1, kA2), Mnemonic::kMulhu},
+        {div(kA0, kA1, kA2), Mnemonic::kDiv},
+        {divu(kA0, kA1, kA2), Mnemonic::kDivu},
+        {rem(kA0, kA1, kA2), Mnemonic::kRem},
+        {remu(kA0, kA1, kA2), Mnemonic::kRemu},
+        {ecall(), Mnemonic::kEcall},
+        {ebreak(), Mnemonic::kEbreak},
+        {mret(), Mnemonic::kMret},
+        {wfi(), Mnemonic::kWfi},
+        {csrrw(kA0, kCsrMtvec, kA1), Mnemonic::kCsrrw},
+        {csrrs(kA0, kCsrMstatus, kA1), Mnemonic::kCsrrs},
+        {csrrc(kA0, kCsrMie, kA1), Mnemonic::kCsrrc},
+        {csrrwi(kZero, kCsrMscratch, 5), Mnemonic::kCsrrwi},
+        {fsRead(kA0), Mnemonic::kFsRead},
+        {fsCfg(kA0, kA1), Mnemonic::kFsCfg},
+        {fsMark(), Mnemonic::kFsMark},
+    };
+    for (const auto &c : cases) {
+        const Decoded d = decode(c.word);
+        EXPECT_EQ(d.op, c.op) << mnemonicName(c.op);
+        EXPECT_TRUE(d.valid()) << mnemonicName(c.op);
+        EXPECT_EQ(d.raw, c.word) << mnemonicName(c.op);
+        EXPECT_FALSE(disassemble(d).empty()) << mnemonicName(c.op);
+    }
+}
+
+TEST(Decoder, RecoversFieldsAndImmediates)
+{
+    const Decoded load = decode(lw(kA3, kSp, -12));
+    EXPECT_EQ(load.rd, Word(kA3));
+    EXPECT_EQ(load.rs1, Word(kSp));
+    EXPECT_EQ(load.imm, -12);
+    EXPECT_EQ(load.accessBytes(), 4u);
+    EXPECT_TRUE(load.isLoad());
+
+    const Decoded store = decode(sb(kT2, kGp, 33));
+    EXPECT_EQ(store.rs1, Word(kGp));
+    EXPECT_EQ(store.rs2, Word(kT2));
+    EXPECT_EQ(store.imm, 33);
+    EXPECT_EQ(store.accessBytes(), 1u);
+    EXPECT_TRUE(store.isStore());
+
+    const Decoded csr = decode(csrrs(kT0, kCsrMstatus, kZero));
+    EXPECT_EQ(csr.csr, Word(kCsrMstatus));
+    EXPECT_EQ(csr.cls, InstrClass::kCsr);
+
+    const Decoded up = decode(lui(kA0, 0x12345));
+    EXPECT_EQ(up.imm, std::int32_t(0x12345000));
+
+    // writesRd reflects the format, not the x0 sink.
+    EXPECT_TRUE(decode(jalr(kZero, kRa, 0)).writesRd());
+    EXPECT_FALSE(decode(sw(kA1, kSp, 0)).writesRd());
+    EXPECT_FALSE(decode(fsMark()).writesRd());
+    EXPECT_TRUE(decode(fsRead(kA0)).writesRd());
+}
+
+TEST(Decoder, IsTotalOnGarbageWords)
+{
+    // 0x57 is the (unimplemented) floating-point opcode space.
+    for (Word w : {Word(0), Word(0xffffffffu), Word(0x0000007fu),
+                   Word(0x00000057u)}) {
+        const Decoded d = decode(w);
+        EXPECT_FALSE(d.valid()) << std::hex << w;
+        EXPECT_EQ(d.cls, InstrClass::kIllegal) << std::hex << w;
+    }
 }
 
 // ---------------------------------------------------------------------

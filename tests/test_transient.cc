@@ -53,10 +53,10 @@ INSTANTIATE_TEST_SUITE_P(
         TransientCase{&Technology::node90(), 21, 0.65},
         TransientCase{&Technology::node90(), 67, 1.0},
         TransientCase{&Technology::node65(), 11, 0.9}),
-    [](const auto &info) {
-        return info.param.tech->name().substr(0, 2) + "nm_" +
-               std::to_string(info.param.stages) + "s_" +
-               std::to_string(int(info.param.volts * 100)) + "cV";
+    [](const auto &tpi) {
+        return tpi.param.tech->name().substr(0, 2) + "nm_" +
+               std::to_string(tpi.param.stages) + "s_" +
+               std::to_string(int(tpi.param.volts * 100)) + "cV";
     });
 
 TEST(TransientRo, EdgePeriodMatchesFrequency)
@@ -190,10 +190,10 @@ TEST_P(JitterSweep, PeriodSpreadGrowsWithGateNoise)
 
 INSTANTIATE_TEST_SUITE_P(Sigmas, JitterSweep,
                          ::testing::Values(0.01, 0.03, 0.08),
-                         [](const auto &info) {
+                         [](const auto &tpi) {
                              return "sigma" +
                                     std::to_string(int(
-                                        info.param * 100));
+                                        tpi.param * 100));
                          });
 
 } // namespace
