@@ -4,9 +4,19 @@
  * library's hot paths -- transfer-function evaluation, count
  * conversion for each strategy, performance-model evaluation, ISS
  * instruction throughput, and one NSGA-II generation.
+ *
+ * After the google-benchmark suite, main() runs the guest-workload
+ * MIPS harness: every bench workload executes once per rep on a bare
+ * FRAM+SRAM SoC, interpreter vs. trace cache, results checked against
+ * the host oracle and the measured rates recorded in BENCH_perf.json
+ * (phases *_mips_interp / *_mips_trace; the trace phases carry the
+ * interpreter rate as baselineRatePerSec, so speedup is machine
+ * readable).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "calib/error_bounds.h"
 #include "core/performance_model.h"
@@ -14,6 +24,8 @@
 #include "riscv/assembler.h"
 #include "riscv/hart.h"
 #include "soc/soc.h"
+#include "util/bench_report.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -71,7 +83,8 @@ BENCHMARK(BM_PerformanceEvaluate);
 void
 BM_IssThroughput(benchmark::State &state)
 {
-    // Tight arithmetic loop in guest code.
+    // Tight arithmetic loop in guest code, forced onto the pure
+    // interpreter path (the honest FS_NO_TRACE_CACHE baseline).
     riscv::Ram ram(4096);
     riscv::Assembler as(0);
     as.li(riscv::kA0, 0);
@@ -83,6 +96,7 @@ BM_IssThroughput(benchmark::State &state)
     as.bltTo(riscv::kA0, riscv::kA1, loop);
     ram.loadWords(0, as.finalize());
     riscv::Hart hart(ram);
+    hart.setTraceCacheEnabled(false);
     hart.reset(0);
     std::uint64_t instructions = 0;
     for (auto _ : state) {
@@ -97,6 +111,36 @@ BM_IssThroughput(benchmark::State &state)
 BENCHMARK(BM_IssThroughput);
 
 void
+BM_IssThroughputTraceCache(benchmark::State &state)
+{
+    // Same arithmetic kernel through the pre-decoded block path. The
+    // trailing jump makes the loop endless so chunked execution never
+    // falls off the end of the code.
+    riscv::Ram ram(4096);
+    riscv::Assembler as(0);
+    as.li(riscv::kA0, 0);
+    as.li(riscv::kA1, 1000000);
+    const auto loop = as.newLabel();
+    as.bind(loop);
+    as.emit(riscv::addi(riscv::kA0, riscv::kA0, 1));
+    as.emit(riscv::xor_(riscv::kA2, riscv::kA0, riscv::kA1));
+    as.bltTo(riscv::kA0, riscv::kA1, loop);
+    as.jTo(loop);
+    ram.loadWords(0, as.finalize());
+    riscv::Hart hart(ram);
+    hart.setTraceCacheEnabled(true);
+    hart.reset(0);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        const std::uint64_t before = hart.instructionsRetired();
+        hart.run(4096);
+        instructions += hart.instructionsRetired() - before;
+    }
+    state.SetItemsProcessed(std::int64_t(instructions));
+}
+BENCHMARK(BM_IssThroughputTraceCache);
+
+void
 BM_Nsga2Generation(benchmark::State &state)
 {
     dse::FsDesignSpace space(circuit::Technology::node90());
@@ -109,6 +153,131 @@ BM_Nsga2Generation(benchmark::State &state)
 }
 BENCHMARK(BM_Nsga2Generation)->Unit(benchmark::kMillisecond);
 
+// --- guest-workload MIPS harness ------------------------------------
+
+/** Bench-sized workloads (larger than the test-friendly defaults so
+ *  each run is long enough to time stably). */
+std::vector<soc::GuestProgram>
+benchWorkloads()
+{
+    return {soc::makeCrc32Program(8192), soc::makeFirProgram(24, 4096),
+            soc::makeSortProgram(512), soc::makeMatmulProgram(20)};
+}
+
+struct GuestRun {
+    double seconds = 0.0;
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * Execute one workload to completion on a bare FRAM+SRAM machine (no
+ * peripheral, no checkpoint runtime: pure ISS throughput) and check
+ * the result against the host oracle.
+ */
+GuestRun
+runGuestOnce(const soc::GuestProgram &prog, bool trace)
+{
+    soc::CheckpointLayout layout;
+    soc::Nvm fram(layout.framSize);
+    riscv::Ram sram(layout.sramSize);
+    soc::Bus bus;
+    bus.attach("fram", layout.framBase, fram);
+    bus.attach("sram", layout.sramBase, sram);
+    riscv::Hart hart(bus);
+    hart.setTraceCacheEnabled(trace);
+
+    // Cold-start stub, mirroring the runtime's calling convention:
+    // stack at the top of SRAM, enter the app via jalr, halt on return.
+    riscv::Assembler as(layout.framBase);
+    as.li(riscv::kSp, std::int32_t(layout.sramBase + layout.sramSize));
+    as.li(riscv::kT0, std::int32_t(layout.appBase));
+    as.emit(riscv::jalr(riscv::kRa, riscv::kT0, 0));
+    as.emit(riscv::ebreak());
+    fram.loadWords(0, as.finalize());
+    fram.loadWords(layout.appBase - layout.framBase, prog.code);
+    for (std::size_t i = 0; i < prog.data.size(); ++i)
+        fram.data()[prog.dataAddr - layout.framBase + i] = prog.data[i];
+
+    hart.reset(layout.framBase);
+    const util::Timer timer;
+    while (!hart.halted())
+        hart.run(1u << 20);
+    const double secs = timer.seconds();
+    if (fram.read(prog.resultAddr - layout.framBase, 4) !=
+        prog.expected)
+        fatal("guest workload ", prog.name,
+              " produced a wrong result (trace=", trace, ")");
+    return {secs, hart.instructionsRetired()};
+}
+
+/** Interleave interpreter and trace reps so host-load noise hits both
+ *  modes equally; first pair is warmup and is discarded. */
+void
+measureGuest(const soc::GuestProgram &prog, GuestRun &interp,
+             GuestRun &trace)
+{
+    runGuestOnce(prog, false);
+    runGuestOnce(prog, true);
+    int reps = 0;
+    while (reps < 4 || interp.seconds + trace.seconds < 0.5) {
+        const GuestRun off = runGuestOnce(prog, false);
+        interp.seconds += off.seconds;
+        interp.instructions += off.instructions;
+        const GuestRun on = runGuestOnce(prog, true);
+        trace.seconds += on.seconds;
+        trace.instructions += on.instructions;
+        ++reps;
+    }
+}
+
+void
+reportGuestMips()
+{
+    util::BenchReport report("bench_micro_runtime");
+    GuestRun interp_total, trace_total;
+    std::printf("\nguest-workload MIPS, interpreter vs. trace cache\n");
+    for (const auto &prog : benchWorkloads()) {
+        GuestRun off, on;
+        measureGuest(prog, off, on);
+        interp_total.seconds += off.seconds;
+        interp_total.instructions += off.instructions;
+        trace_total.seconds += on.seconds;
+        trace_total.instructions += on.instructions;
+        const double off_rate =
+            double(off.instructions) / off.seconds;
+        const double on_rate = double(on.instructions) / on.seconds;
+        std::printf("  %-8s %8.1f -> %8.1f MIPS (%.2fx)\n",
+                    prog.name.c_str(), off_rate / 1e6, on_rate / 1e6,
+                    on_rate / off_rate);
+        report.add({prog.name + "_mips_interp", off.seconds,
+                    double(off.instructions), 1, 0.0});
+        report.add({prog.name + "_mips_trace", on.seconds,
+                    double(on.instructions), 1, off_rate});
+    }
+    const double base_rate =
+        double(interp_total.instructions) / interp_total.seconds;
+    const double trace_rate =
+        double(trace_total.instructions) / trace_total.seconds;
+    report.add({"guest_mips_interp", interp_total.seconds,
+                double(interp_total.instructions), 1, 0.0});
+    report.add({"guest_mips_trace", trace_total.seconds,
+                double(trace_total.instructions), 1, base_rate});
+    report.write();
+    std::printf("  aggregate %.1f -> %.1f MIPS, speedup %.2fx\n",
+                base_rate / 1e6, trace_rate / 1e6,
+                trace_rate / base_rate);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    reportGuestMips();
+    return 0;
+}

@@ -20,6 +20,7 @@
 #define FS_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <limits>
 
 #include "fault/fault_plan.h"
 
@@ -56,6 +57,21 @@ class FaultInjector
 
     /** All scheduled kills have fired. */
     bool killsExhausted() const { return next_kill_ >= plan_.kills.size(); }
+
+    /**
+     * Absolute cycle of the next scheduled kill (UINT64_MAX when
+     * exhausted). The SoC's block executor uses it as an event
+     * horizon: fast-path chunks stop strictly before this cycle so
+     * the killing instruction itself runs on the per-instruction path
+     * with exact tear bookkeeping.
+     */
+    std::uint64_t
+    nextKillCycle() const
+    {
+        return killsExhausted()
+                   ? std::numeric_limits<std::uint64_t>::max()
+                   : plan_.kills[next_kill_].cycle;
+    }
 
     /** Bookkeeping: the SoC tore an in-flight store for a kill. */
     void noteKillTear() { ++log_.killTears; }

@@ -1,5 +1,7 @@
 #include "riscv/hart.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace fs {
@@ -14,44 +16,28 @@ signExtend(std::uint32_t value, unsigned bits)
     return std::int32_t((value ^ mask) - mask);
 }
 
-std::int32_t
-immI(Word inst)
+/** Little-endian load from a direct window's host memory. */
+std::uint32_t
+loadDirect(const std::uint8_t *p, unsigned bytes)
 {
-    return signExtend(inst >> 20, 12);
-}
-
-std::int32_t
-immS(Word inst)
-{
-    const std::uint32_t v = ((inst >> 25) << 5) | ((inst >> 7) & 0x1f);
-    return signExtend(v, 12);
-}
-
-std::int32_t
-immB(Word inst)
-{
-    const std::uint32_t v = (((inst >> 31) & 1) << 12) |
-                            (((inst >> 7) & 1) << 11) |
-                            (((inst >> 25) & 0x3f) << 5) |
-                            (((inst >> 8) & 0xf) << 1);
-    return signExtend(v, 13);
-}
-
-std::int32_t
-immJ(Word inst)
-{
-    const std::uint32_t v = (((inst >> 31) & 1) << 20) |
-                            (((inst >> 12) & 0xff) << 12) |
-                            (((inst >> 20) & 1) << 11) |
-                            (((inst >> 21) & 0x3ff) << 1);
-    return signExtend(v, 21);
+    std::uint32_t v = std::uint32_t(p[0]);
+    if (bytes > 1)
+        v |= std::uint32_t(p[1]) << 8;
+    if (bytes > 2) {
+        v |= std::uint32_t(p[2]) << 16;
+        v |= std::uint32_t(p[3]) << 24;
+    }
+    return v;
 }
 
 } // namespace
 
 FsCoprocessor::~FsCoprocessor() = default;
 
-Hart::Hart(MemoryDevice &bus) : bus_(bus) {}
+Hart::Hart(MemoryDevice &bus)
+    : bus_(bus), trace_on_(TraceCache::enabledByEnv())
+{
+}
 
 void
 Hart::setReg(Word index, std::uint32_t value)
@@ -64,24 +50,29 @@ Hart::setReg(Word index, std::uint32_t value)
 std::uint32_t &
 Hart::csrRef(Word addr)
 {
-    switch (addr) {
-      case kCsrMstatus:
-        return mstatus_;
-      case kCsrMie:
-        return mie_;
-      case kCsrMip:
-        return mip_;
-      case kCsrMtvec:
-        return mtvec_;
-      case kCsrMepc:
-        return mepc_;
-      case kCsrMcause:
-        return mcause_;
-      case kCsrMscratch:
-        return mscratch_;
-      default:
-        fatal("unimplemented CSR 0x", std::hex, addr);
+    // Dense index table over the machine-mode CSR block [0x300, 0x345)
+    // -- one bounds check and one byte load instead of a switch on the
+    // raw 12-bit address.
+    static constexpr auto kTable = [] {
+        std::array<std::int8_t, 0x45> t{};
+        for (auto &e : t)
+            e = -1;
+        t[kCsrMstatus - kCsrMstatus] = std::int8_t(kIdxMstatus);
+        t[kCsrMie - kCsrMstatus] = std::int8_t(kIdxMie);
+        t[kCsrMip - kCsrMstatus] = std::int8_t(kIdxMip);
+        t[kCsrMtvec - kCsrMstatus] = std::int8_t(kIdxMtvec);
+        t[kCsrMscratch - kCsrMstatus] = std::int8_t(kIdxMscratch);
+        t[kCsrMepc - kCsrMstatus] = std::int8_t(kIdxMepc);
+        t[kCsrMcause - kCsrMstatus] = std::int8_t(kIdxMcause);
+        return t;
+    }();
+    const Word rel = addr - kCsrMstatus; // wraps large for addr < base
+    if (rel < kTable.size()) {
+        const std::int8_t idx = kTable[rel];
+        if (idx >= 0)
+            return csrs_[std::size_t(idx)];
     }
+    fatal("unimplemented CSR 0x", std::hex, addr);
 }
 
 std::uint32_t
@@ -104,31 +95,100 @@ void
 Hart::setExternalInterrupt(bool asserted)
 {
     if (asserted)
-        mip_ |= kMipMeip;
+        csrs_[kIdxMip] |= kMipMeip;
     else
-        mip_ &= ~kMipMeip;
+        csrs_[kIdxMip] &= ~kMipMeip;
 }
 
 bool
 Hart::interruptPending() const
 {
-    return (mstatus_ & kMstatusMie) && (mie_ & mip_ & kMipMeip);
+    return (csrs_[kIdxMstatus] & kMstatusMie) &&
+           (csrs_[kIdxMie] & csrs_[kIdxMip] & kMipMeip);
 }
 
 void
 Hart::takeInterrupt()
 {
-    mepc_ = pc_;
-    mcause_ = kCauseMachineExternal;
+    csrs_[kIdxMepc] = pc_;
+    csrs_[kIdxMcause] = kCauseMachineExternal;
     // MPIE <- MIE; MIE <- 0.
-    if (mstatus_ & kMstatusMie)
-        mstatus_ |= kMstatusMpie;
+    if (csrs_[kIdxMstatus] & kMstatusMie)
+        csrs_[kIdxMstatus] |= kMstatusMpie;
     else
-        mstatus_ &= ~kMstatusMpie;
-    mstatus_ &= ~kMstatusMie;
-    pc_ = mtvec_ & ~3u;
+        csrs_[kIdxMstatus] &= ~kMstatusMpie;
+    csrs_[kIdxMstatus] &= ~kMstatusMie;
+    pc_ = csrs_[kIdxMtvec] & ~3u;
     wfi_ = false;
     cycles_ += costs_.trap;
+}
+
+void
+Hart::syncSlowAccess()
+{
+    slow_event_ = true;
+    if (slow_sync_)
+        slow_sync_();
+}
+
+const DirectWindow *
+Hart::findWindow(std::uint32_t addr, unsigned bytes)
+{
+    if (!windows_init_) {
+        windows_ = bus_.directWindows();
+        windows_init_ = true;
+    }
+    if (mru_window_ < windows_.size() &&
+        windows_[mru_window_].contains(addr, bytes))
+        return &windows_[mru_window_];
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+        if (windows_[i].contains(addr, bytes)) {
+            mru_window_ = i;
+            return &windows_[i];
+        }
+    }
+    return nullptr;
+}
+
+Word
+Hart::fetch()
+{
+    if (trace_on_) {
+        if (const DirectWindow *w = findWindow(pc_, 4))
+            return loadDirect(w->data + (pc_ - w->base), 4);
+    }
+    return bus_.read(pc_, 4);
+}
+
+std::uint32_t
+Hart::load(std::uint32_t addr, unsigned bytes)
+{
+    if (trace_on_) {
+        if (const DirectWindow *w = findWindow(addr, bytes))
+            return loadDirect(w->data + (addr - w->base), bytes);
+    }
+    syncSlowAccess();
+    return bus_.read(addr, bytes);
+}
+
+void
+Hart::store(std::uint32_t addr, std::uint32_t value, unsigned bytes)
+{
+    if (trace_on_) {
+        // Self-modifying store into cached code: drop the cache before
+        // anything can re-enter a stale block.
+        if (trace_.overlapsCode(addr, bytes))
+            trace_.flush();
+        if (const DirectWindow *w = findWindow(addr, bytes)) {
+            // Stores keep the virtual dispatch (NVM write filters,
+            // tear bookkeeping, write counters must all see them) but
+            // skip the bus's region decode.
+            w->device->write(addr - w->deviceBase, value, bytes);
+            return;
+        }
+    }
+    syncSlowAccess();
+    bus_.write(addr, value, bytes);
 }
 
 std::uint64_t
@@ -144,15 +204,15 @@ Hart::step()
         // Idle; wake only via interrupt (checked above). With
         // interrupts globally disabled, WFI still wakes on a pending
         // enabled interrupt per the spec.
-        if (mie_ & mip_ & kMipMeip) {
+        if (csrs_[kIdxMie] & csrs_[kIdxMip] & kMipMeip) {
             wfi_ = false;
         } else {
             ++cycles_;
             return 1;
         }
     }
-    const Word inst = bus_.read(pc_, 4);
-    const std::uint64_t spent = execute(inst);
+    const Word inst = fetch();
+    const std::uint64_t spent = executeDecoded(decode(inst));
     cycles_ += spent;
     ++instret_;
     return spent;
@@ -162,8 +222,217 @@ std::uint64_t
 Hart::run(std::uint64_t max_cycles)
 {
     std::uint64_t spent = 0;
-    while (!halted_ && spent < max_cycles)
+    while (!halted_ && spent < max_cycles) {
+        if (trace_on_) {
+            spent += runDecoded(max_cycles - spent);
+            if (halted_ || spent >= max_cycles)
+                break;
+        }
         spent += step();
+    }
+    return spent;
+}
+
+void
+Hart::setTraceCacheEnabled(bool on)
+{
+    if (trace_on_ != on)
+        trace_.flush();
+    trace_on_ = on;
+}
+
+std::uint64_t
+Hart::worstCost(const Decoded &d) const
+{
+    switch (d.cls) {
+      case InstrClass::kLoad:
+      case InstrClass::kStore:
+        return costs_.loadStore;
+      case InstrClass::kBranch:
+      case InstrClass::kJal:
+      case InstrClass::kJalr:
+        return std::max(costs_.branchTaken, costs_.alu);
+      case InstrClass::kMul:
+        return costs_.mul;
+      case InstrClass::kDiv:
+        return costs_.div;
+      case InstrClass::kCsr:
+        return costs_.csr;
+      case InstrClass::kSystem:
+        return std::max<std::uint64_t>(costs_.trap, 1); // wfi costs 1
+      case InstrClass::kCustom:
+        return std::max(costs_.csr, costs_.alu);
+      default:
+        return costs_.alu;
+    }
+}
+
+const TraceBlock *
+Hart::buildBlock()
+{
+    const DirectWindow *w = findWindow(pc_, 4);
+    if (!w)
+        return nullptr; // MMIO-resident code: interpreter only
+    TraceBlock block;
+    block.base = pc_;
+    const std::uint64_t window_end = std::uint64_t(w->base) + w->span;
+    std::uint32_t pc = pc_;
+    while (block.ops.size() < TraceCache::kMaxBlockOps &&
+           std::uint64_t(pc) + 4 <= window_end) {
+        const Word raw = loadDirect(w->data + (pc - w->base), 4);
+        const Decoded d = decode(raw);
+        if (d.op == Mnemonic::kIllegal)
+            break; // let the interpreter report it at its own pc
+        const std::uint64_t worst = worstCost(d);
+        block.ops.push_back({d, worst});
+        block.worstTotal += worst;
+        if (d.cls == InstrClass::kLoad)
+            block.hasLoad = true;
+        else if (d.cls == InstrClass::kStore)
+            block.hasStore = true;
+        else if (d.cls == InstrClass::kSystem ||
+                 d.cls == InstrClass::kCustom ||
+                 d.cls == InstrClass::kCsr)
+            block.needsStrictChecks = true;
+        pc += 4;
+        if (endsBasicBlock(d))
+            break;
+    }
+    if (block.ops.empty())
+        return nullptr;
+    return &trace_.insert(std::move(block));
+}
+
+// Flattened: inlines executeDecoded (and the cache probe) into the
+// dispatch loops, which is worth ~10% MIPS on branchy guest code.
+__attribute__((flatten)) std::uint64_t
+Hart::runDecoded(std::uint64_t budget)
+{
+    if (!trace_on_ || halted_ || wfi_ || interruptPending())
+        return 0;
+    std::uint64_t spent = 0;
+    slow_event_ = false;
+    for (;;) {
+        const TraceBlock *block = trace_.lookup(pc_);
+        if (!block)
+            block = buildBlock();
+        if (!block)
+            break; // pc outside direct-window memory
+        if (!block->needsStrictChecks &&
+            spent + block->worstTotal < budget) {
+            // Lean whole-block dispatch: the block fits strictly under
+            // the budget and nothing in it can halt or read the
+            // retired-instruction counter. cycles_ still commits per
+            // op so the slow-access hook syncs the peripheral to the
+            // exact instruction-start time on any MMIO access.
+            // Blocks run across not-taken conditional branches; a
+            // taken branch shows up as the pc leaving the straight
+            // line and exits the block (exact: nothing mid-block can
+            // assert an interrupt, see TraceBlock's flag docs).
+            const std::size_t n = block->ops.size();
+            const std::uint32_t base = block->base;
+            std::uint64_t cost = 0;
+            if (!block->hasStore && !block->hasLoad) {
+                // No memory ops: nothing can fire the slow-access
+                // hook, so the counters commit once at block end.
+                std::size_t done = n;
+                for (std::size_t i = 0; i < n; ++i) {
+                    cost += executeDecoded(block->ops[i].inst);
+                    if (pc_ != base + 4u * std::uint32_t(i + 1)) {
+                        done = i + 1;
+                        break;
+                    }
+                }
+                cycles_ += cost;
+                instret_ += done;
+                spent += cost;
+            } else if (!block->hasStore) {
+                // Loads but no stores: cycles_ is only observable at
+                // the instant a load executes (the slow-access hook
+                // syncs the peripheral to it on an MMIO access), so
+                // the running sum commits just before each load and
+                // once at block end.
+                std::size_t done = n;
+                std::uint64_t pending = 0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const Decoded &inst = block->ops[i].inst;
+                    if (inst.isLoad()) {
+                        cycles_ += pending;
+                        cost += pending;
+                        pending = 0;
+                    }
+                    pending += executeDecoded(inst);
+                    if (pc_ != base + 4u * std::uint32_t(i + 1)) {
+                        done = i + 1;
+                        break;
+                    }
+                }
+                cycles_ += pending;
+                cost += pending;
+                instret_ += done;
+                spent += cost;
+            } else {
+                // Stores additionally re-check the cache generation
+                // (a store into cached code flushes this very block)
+                // and bail on MMIO stores (horizon may have moved).
+                const std::uint64_t gen = trace_.generation();
+                std::size_t done = 0;
+                bool flushed = false;
+                while (done < n) {
+                    const std::uint64_t c =
+                        executeDecoded(block->ops[done].inst);
+                    cycles_ += c;
+                    cost += c;
+                    ++done;
+                    if (trace_.generation() != gen) {
+                        flushed = true;
+                        break;
+                    }
+                    if (slow_event_)
+                        break;
+                    if (pc_ != base + 4u * std::uint32_t(done))
+                        break;
+                }
+                instret_ += done;
+                spent += cost;
+                if (flushed)
+                    continue; // re-lookup at the (new) pc_
+            }
+            if (slow_event_ || interruptPending())
+                break;
+            continue;
+        }
+        const std::uint64_t gen = trace_.generation();
+        const std::size_t n = block->ops.size();
+        bool stop = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceOp &op = block->ops[i];
+            // Stop strictly before the budget can be reached: the
+            // instruction that would cross an event horizon always
+            // runs on the interpreter path, so kills, sample latches,
+            // and interrupts land on the exact interpreter cycle.
+            if (spent + op.worstCost >= budget) {
+                stop = true;
+                break;
+            }
+            const std::uint64_t cost = executeDecoded(op.inst);
+            cycles_ += cost;
+            ++instret_;
+            spent += cost;
+            if (trace_.generation() != gen)
+                break; // block flushed under us; re-lookup at pc_
+            if (slow_event_ || halted_ || wfi_) {
+                stop = true;
+                break;
+            }
+            if (pc_ != block->base + 4u * std::uint32_t(i + 1))
+                break; // taken branch left the straight line
+        }
+        if (stop || halted_ || wfi_ || slow_event_)
+            break;
+        if (interruptPending())
+            break;
+    }
     return spent;
 }
 
@@ -172,284 +441,314 @@ Hart::powerFail()
 {
     regs_.fill(0);
     pc_ = 0;
-    mstatus_ = mie_ = mip_ = mtvec_ = mepc_ = mcause_ = mscratch_ = 0;
+    csrs_.fill(0);
     wfi_ = false;
     halted_ = true;
+    // Cached blocks may have been decoded from volatile (SRAM) code
+    // that just decayed.
+    trace_.flush();
 }
 
 void
 Hart::reset(std::uint32_t pc)
 {
     regs_.fill(0);
-    mstatus_ = mie_ = mip_ = mtvec_ = mepc_ = mcause_ = mscratch_ = 0;
+    csrs_.fill(0);
     pc_ = pc;
     wfi_ = false;
     halted_ = false;
+    // Reset commonly follows reloading code memory (tests load a new
+    // image and reset): decoded blocks must not outlive the image.
+    trace_.flush();
 }
 
 std::uint64_t
-Hart::execute(Word inst)
+Hart::executeDecoded(const Decoded &d)
 {
-    const Word opcode = inst & 0x7f;
-    const Word rd = (inst >> 7) & 0x1f;
-    const Word funct3 = (inst >> 12) & 0x7;
-    const Word rs1 = (inst >> 15) & 0x1f;
-    const Word rs2 = (inst >> 20) & 0x1f;
-    const Word funct7 = inst >> 25;
-    const std::uint32_t a = regs_[rs1];
-    const std::uint32_t b = regs_[rs2];
+    const std::uint32_t a = regs_[d.rs1];
+    const std::uint32_t b = regs_[d.rs2];
+    const std::uint32_t imm = std::uint32_t(d.imm);
     std::uint32_t next_pc = pc_ + 4;
     std::uint64_t cost = costs_.alu;
 
-    switch (opcode) {
-      case kOpLui:
-        setReg(rd, inst & 0xfffff000u);
+    switch (d.op) {
+      case Mnemonic::kLui:
+        setReg(d.rd, imm);
         break;
-      case kOpAuipc:
-        setReg(rd, pc_ + (inst & 0xfffff000u));
+      case Mnemonic::kAuipc:
+        setReg(d.rd, pc_ + imm);
         break;
-      case kOpJal:
-        setReg(rd, pc_ + 4);
-        next_pc = pc_ + std::uint32_t(immJ(inst));
+      case Mnemonic::kJal:
+        setReg(d.rd, pc_ + 4);
+        next_pc = pc_ + imm;
         cost = costs_.branchTaken;
         break;
-      case kOpJalr:
-        setReg(rd, pc_ + 4);
-        next_pc = (a + std::uint32_t(immI(inst))) & ~1u;
+      case Mnemonic::kJalr:
+        setReg(d.rd, pc_ + 4);
+        next_pc = (a + imm) & ~1u;
         cost = costs_.branchTaken;
         break;
-      case kOpBranch: {
-        bool taken = false;
-        switch (funct3) {
-          case 0: taken = a == b; break;
-          case 1: taken = a != b; break;
-          case 4: taken = std::int32_t(a) < std::int32_t(b); break;
-          case 5: taken = std::int32_t(a) >= std::int32_t(b); break;
-          case 6: taken = a < b; break;
-          case 7: taken = a >= b; break;
-          default:
-            fatal("illegal branch funct3 ", funct3);
-        }
-        if (taken) {
-            next_pc = pc_ + std::uint32_t(immB(inst));
+      case Mnemonic::kBeq:
+        if (a == b) {
+            next_pc = pc_ + imm;
             cost = costs_.branchTaken;
         }
         break;
-      }
-      case kOpLoad: {
-        const std::uint32_t addr = a + std::uint32_t(immI(inst));
-        std::uint32_t v = 0;
-        switch (funct3) {
-          case 0: v = std::uint32_t(signExtend(bus_.read(addr, 1), 8)); break;
-          case 1: v = std::uint32_t(signExtend(bus_.read(addr, 2), 16)); break;
-          case 2: v = bus_.read(addr, 4); break;
-          case 4: v = bus_.read(addr, 1); break;
-          case 5: v = bus_.read(addr, 2); break;
-          default:
-            fatal("illegal load funct3 ", funct3);
+      case Mnemonic::kBne:
+        if (a != b) {
+            next_pc = pc_ + imm;
+            cost = costs_.branchTaken;
         }
-        setReg(rd, v);
+        break;
+      case Mnemonic::kBlt:
+        if (std::int32_t(a) < std::int32_t(b)) {
+            next_pc = pc_ + imm;
+            cost = costs_.branchTaken;
+        }
+        break;
+      case Mnemonic::kBge:
+        if (std::int32_t(a) >= std::int32_t(b)) {
+            next_pc = pc_ + imm;
+            cost = costs_.branchTaken;
+        }
+        break;
+      case Mnemonic::kBltu:
+        if (a < b) {
+            next_pc = pc_ + imm;
+            cost = costs_.branchTaken;
+        }
+        break;
+      case Mnemonic::kBgeu:
+        if (a >= b) {
+            next_pc = pc_ + imm;
+            cost = costs_.branchTaken;
+        }
+        break;
+      case Mnemonic::kLb:
+        setReg(d.rd, std::uint32_t(signExtend(load(a + imm, 1), 8)));
         cost = costs_.loadStore;
         break;
-      }
-      case kOpStore: {
-        const std::uint32_t addr = a + std::uint32_t(immS(inst));
-        switch (funct3) {
-          case 0: bus_.write(addr, b, 1); break;
-          case 1: bus_.write(addr, b, 2); break;
-          case 2: bus_.write(addr, b, 4); break;
-          default:
-            fatal("illegal store funct3 ", funct3);
-        }
+      case Mnemonic::kLh:
+        setReg(d.rd, std::uint32_t(signExtend(load(a + imm, 2), 16)));
         cost = costs_.loadStore;
         break;
-      }
-      case kOpImm: {
-        const std::int32_t imm = immI(inst);
-        const Word shamt = rs2;
-        switch (funct3) {
-          case 0: setReg(rd, a + std::uint32_t(imm)); break;
-          case 1: setReg(rd, a << shamt); break;
-          case 2: setReg(rd, std::int32_t(a) < imm ? 1 : 0); break;
-          case 3: setReg(rd, a < std::uint32_t(imm) ? 1 : 0); break;
-          case 4: setReg(rd, a ^ std::uint32_t(imm)); break;
-          case 5:
-            if (funct7 & 0x20)
-                setReg(rd, std::uint32_t(std::int32_t(a) >> shamt));
-            else
-                setReg(rd, a >> shamt);
-            break;
-          case 6: setReg(rd, a | std::uint32_t(imm)); break;
-          case 7: setReg(rd, a & std::uint32_t(imm)); break;
-        }
+      case Mnemonic::kLw:
+        setReg(d.rd, load(a + imm, 4));
+        cost = costs_.loadStore;
         break;
-      }
-      case kOpReg:
-        if (funct7 == 1) {
-            // M extension.
-            const std::int64_t sa = std::int32_t(a);
-            const std::int64_t sb = std::int32_t(b);
-            switch (funct3) {
-              case 0: setReg(rd, a * b); cost = costs_.mul; break;
-              case 1:
-                setReg(rd, std::uint32_t((sa * sb) >> 32));
-                cost = costs_.mul;
-                break;
-              case 2:
-                setReg(rd,
-                       std::uint32_t((sa * std::int64_t(std::uint64_t(b))) >>
-                                     32));
-                cost = costs_.mul;
-                break;
-              case 3:
-                setReg(rd, std::uint32_t((std::uint64_t(a) *
-                                          std::uint64_t(b)) >>
-                                         32));
-                cost = costs_.mul;
-                break;
-              case 4:
-                if (b == 0)
-                    setReg(rd, 0xffffffffu);
-                else if (a == 0x80000000u && b == 0xffffffffu)
-                    setReg(rd, 0x80000000u);
-                else
-                    setReg(rd, std::uint32_t(std::int32_t(a) /
-                                             std::int32_t(b)));
-                cost = costs_.div;
-                break;
-              case 5:
-                setReg(rd, b == 0 ? 0xffffffffu : a / b);
-                cost = costs_.div;
-                break;
-              case 6:
-                if (b == 0)
-                    setReg(rd, a);
-                else if (a == 0x80000000u && b == 0xffffffffu)
-                    setReg(rd, 0);
-                else
-                    setReg(rd, std::uint32_t(std::int32_t(a) %
-                                             std::int32_t(b)));
-                cost = costs_.div;
-                break;
-              case 7:
-                setReg(rd, b == 0 ? a : a % b);
-                cost = costs_.div;
-                break;
-            }
-        } else {
-            switch (funct3) {
-              case 0:
-                setReg(rd, funct7 & 0x20 ? a - b : a + b);
-                break;
-              case 1: setReg(rd, a << (b & 0x1f)); break;
-              case 2:
-                setReg(rd, std::int32_t(a) < std::int32_t(b) ? 1 : 0);
-                break;
-              case 3: setReg(rd, a < b ? 1 : 0); break;
-              case 4: setReg(rd, a ^ b); break;
-              case 5:
-                if (funct7 & 0x20)
-                    setReg(rd,
-                           std::uint32_t(std::int32_t(a) >> (b & 0x1f)));
-                else
-                    setReg(rd, a >> (b & 0x1f));
-                break;
-              case 6: setReg(rd, a | b); break;
-              case 7: setReg(rd, a & b); break;
-            }
-        }
+      case Mnemonic::kLbu:
+        setReg(d.rd, load(a + imm, 1));
+        cost = costs_.loadStore;
         break;
-      case kOpFence:
+      case Mnemonic::kLhu:
+        setReg(d.rd, load(a + imm, 2));
+        cost = costs_.loadStore;
+        break;
+      case Mnemonic::kSb:
+        store(a + imm, b, 1);
+        cost = costs_.loadStore;
+        break;
+      case Mnemonic::kSh:
+        store(a + imm, b, 2);
+        cost = costs_.loadStore;
+        break;
+      case Mnemonic::kSw:
+        store(a + imm, b, 4);
+        cost = costs_.loadStore;
+        break;
+      case Mnemonic::kAddi:
+        setReg(d.rd, a + imm);
+        break;
+      case Mnemonic::kSlti:
+        setReg(d.rd, std::int32_t(a) < d.imm ? 1 : 0);
+        break;
+      case Mnemonic::kSltiu:
+        setReg(d.rd, a < imm ? 1 : 0);
+        break;
+      case Mnemonic::kXori:
+        setReg(d.rd, a ^ imm);
+        break;
+      case Mnemonic::kOri:
+        setReg(d.rd, a | imm);
+        break;
+      case Mnemonic::kAndi:
+        setReg(d.rd, a & imm);
+        break;
+      case Mnemonic::kSlli:
+        setReg(d.rd, a << (imm & 0x1f));
+        break;
+      case Mnemonic::kSrli:
+        setReg(d.rd, a >> (imm & 0x1f));
+        break;
+      case Mnemonic::kSrai:
+        setReg(d.rd, std::uint32_t(std::int32_t(a) >> (imm & 0x1f)));
+        break;
+      case Mnemonic::kAdd:
+        setReg(d.rd, a + b);
+        break;
+      case Mnemonic::kSub:
+        setReg(d.rd, a - b);
+        break;
+      case Mnemonic::kSll:
+        setReg(d.rd, a << (b & 0x1f));
+        break;
+      case Mnemonic::kSlt:
+        setReg(d.rd, std::int32_t(a) < std::int32_t(b) ? 1 : 0);
+        break;
+      case Mnemonic::kSltu:
+        setReg(d.rd, a < b ? 1 : 0);
+        break;
+      case Mnemonic::kXor:
+        setReg(d.rd, a ^ b);
+        break;
+      case Mnemonic::kSrl:
+        setReg(d.rd, a >> (b & 0x1f));
+        break;
+      case Mnemonic::kSra:
+        setReg(d.rd, std::uint32_t(std::int32_t(a) >> (b & 0x1f)));
+        break;
+      case Mnemonic::kOr:
+        setReg(d.rd, a | b);
+        break;
+      case Mnemonic::kAnd:
+        setReg(d.rd, a & b);
+        break;
+      case Mnemonic::kMul:
+        setReg(d.rd, a * b);
+        cost = costs_.mul;
+        break;
+      case Mnemonic::kMulh:
+        setReg(d.rd,
+               std::uint32_t((std::int64_t(std::int32_t(a)) *
+                              std::int64_t(std::int32_t(b))) >>
+                             32));
+        cost = costs_.mul;
+        break;
+      case Mnemonic::kMulhsu:
+        setReg(d.rd,
+               std::uint32_t((std::int64_t(std::int32_t(a)) *
+                              std::int64_t(std::uint64_t(b))) >>
+                             32));
+        cost = costs_.mul;
+        break;
+      case Mnemonic::kMulhu:
+        setReg(d.rd,
+               std::uint32_t((std::uint64_t(a) * std::uint64_t(b)) >>
+                             32));
+        cost = costs_.mul;
+        break;
+      case Mnemonic::kDiv:
+        if (b == 0)
+            setReg(d.rd, 0xffffffffu);
+        else if (a == 0x80000000u && b == 0xffffffffu)
+            setReg(d.rd, 0x80000000u);
+        else
+            setReg(d.rd, std::uint32_t(std::int32_t(a) / std::int32_t(b)));
+        cost = costs_.div;
+        break;
+      case Mnemonic::kDivu:
+        setReg(d.rd, b == 0 ? 0xffffffffu : a / b);
+        cost = costs_.div;
+        break;
+      case Mnemonic::kRem:
+        if (b == 0)
+            setReg(d.rd, a);
+        else if (a == 0x80000000u && b == 0xffffffffu)
+            setReg(d.rd, 0);
+        else
+            setReg(d.rd, std::uint32_t(std::int32_t(a) % std::int32_t(b)));
+        cost = costs_.div;
+        break;
+      case Mnemonic::kRemu:
+        setReg(d.rd, b == 0 ? a : a % b);
+        cost = costs_.div;
+        break;
+      case Mnemonic::kFence:
         break; // no-op in a single-hart system
-      case kOpCustom0:
-        if (funct3 == 2) {
-            // fs.mark: checkpoint-boundary marker. Architecturally a
-            // no-op; it only exists so the static analyzer can locate
-            // commit points in the binary. Works without a coprocessor.
-            cost = costs_.alu;
-            break;
-        }
+      case Mnemonic::kFsMark:
+        // Checkpoint-boundary marker. Architecturally a no-op; it only
+        // exists so the static analyzer can locate commit points in
+        // the binary. Works without a coprocessor.
+        break;
+      case Mnemonic::kFsRead:
         if (!cop_)
             fatal("custom-0 instruction with no coprocessor attached");
-        if (funct3 == 0) {
-            setReg(rd, cop_->fsRead());
-        } else if (funct3 == 1) {
-            cop_->fsConfigure(a, b);
-        } else {
-            fatal("illegal custom-0 funct3 ", funct3);
-        }
+        syncSlowAccess();
+        setReg(d.rd, cop_->fsRead());
         cost = costs_.csr;
         break;
-      case kOpSystem:
-        return executeSystem(inst);
-      default:
-        fatal("illegal opcode 0x", std::hex, opcode, " at pc 0x", pc_);
+      case Mnemonic::kFsCfg:
+        if (!cop_)
+            fatal("custom-0 instruction with no coprocessor attached");
+        syncSlowAccess();
+        cop_->fsConfigure(a, b);
+        cost = costs_.csr;
+        break;
+      case Mnemonic::kEcall:
+        pc_ += 4;
+        if (ecall_ && ecall_(*this))
+            halted_ = true;
+        return costs_.trap;
+      case Mnemonic::kEbreak:
+        halted_ = true;
+        pc_ += 4;
+        return costs_.trap;
+      case Mnemonic::kMret:
+        pc_ = csrs_[kIdxMepc];
+        // MIE <- MPIE; MPIE <- 1.
+        if (csrs_[kIdxMstatus] & kMstatusMpie)
+            csrs_[kIdxMstatus] |= kMstatusMie;
+        else
+            csrs_[kIdxMstatus] &= ~kMstatusMie;
+        csrs_[kIdxMstatus] |= kMstatusMpie;
+        return costs_.trap;
+      case Mnemonic::kWfi:
+        wfi_ = true;
+        pc_ += 4;
+        return 1;
+      case Mnemonic::kCsrrw:
+      case Mnemonic::kCsrrs:
+      case Mnemonic::kCsrrc:
+      case Mnemonic::kCsrrwi:
+      case Mnemonic::kCsrrsi:
+      case Mnemonic::kCsrrci:
+        return executeCsr(d);
+      case Mnemonic::kIllegal:
+        fatal("illegal instruction 0x", std::hex, d.raw, " at pc 0x",
+              pc_);
     }
     pc_ = next_pc;
     return cost;
 }
 
 std::uint64_t
-Hart::executeSystem(Word inst)
+Hart::executeCsr(const Decoded &d)
 {
-    const Word rd = (inst >> 7) & 0x1f;
-    const Word funct3 = (inst >> 12) & 0x7;
-    const Word rs1 = (inst >> 15) & 0x1f;
-    const Word csr_addr = inst >> 20;
-
-    if (funct3 == 0) {
-        if (inst == ecall()) {
-            pc_ += 4;
-            if (ecall_ && ecall_(*this))
-                halted_ = true;
-            return costs_.trap;
-        }
-        if (inst == ebreak()) {
-            halted_ = true;
-            pc_ += 4;
-            return costs_.trap;
-        }
-        if (inst == mret()) {
-            pc_ = mepc_;
-            // MIE <- MPIE; MPIE <- 1.
-            if (mstatus_ & kMstatusMpie)
-                mstatus_ |= kMstatusMie;
-            else
-                mstatus_ &= ~kMstatusMie;
-            mstatus_ |= kMstatusMpie;
-            return costs_.trap;
-        }
-        if (inst == wfi()) {
-            wfi_ = true;
-            pc_ += 4;
-            return 1;
-        }
-        fatal("illegal system instruction 0x", std::hex, inst);
-    }
-
-    // Zicsr.
     const std::uint32_t old =
-        (csr_addr == kCsrMcycle || csr_addr == kCsrMinstret)
-            ? csr(csr_addr)
-            : csrRef(csr_addr);
+        (d.csr == kCsrMcycle || d.csr == kCsrMinstret) ? csr(d.csr)
+                                                       : csrRef(d.csr);
+    // Immediate forms carry the zimm in imm (the decoder zeroes rs1).
+    const bool imm_form = d.op == Mnemonic::kCsrrwi ||
+                          d.op == Mnemonic::kCsrrsi ||
+                          d.op == Mnemonic::kCsrrci;
     const std::uint32_t src =
-        (funct3 & 4) ? rs1 /* immediate form */ : regs_[rs1];
-    switch (funct3 & 3) {
-      case 1: // CSRRW
-        csrRef(csr_addr) = src;
+        imm_form ? std::uint32_t(d.imm) : regs_[d.rs1];
+    switch (d.op) {
+      case Mnemonic::kCsrrw:
+      case Mnemonic::kCsrrwi:
+        csrRef(d.csr) = src;
         break;
-      case 2: // CSRRS
+      case Mnemonic::kCsrrs:
+      case Mnemonic::kCsrrsi:
         if (src)
-            csrRef(csr_addr) = old | src;
+            csrRef(d.csr) = old | src;
         break;
-      case 3: // CSRRC
+      default: // kCsrrc / kCsrrci
         if (src)
-            csrRef(csr_addr) = old & ~src;
+            csrRef(d.csr) = old & ~src;
         break;
-      default:
-        fatal("illegal CSR funct3");
     }
-    setReg(rd, old);
+    setReg(d.rd, old);
     pc_ += 4;
     return costs_.csr;
 }

@@ -7,6 +7,14 @@
  * The core is cycle-counting (per-instruction cost model) rather than
  * cycle-accurate microarchitecture: what the reproduction needs is a
  * faithful software execution substrate with energy-relevant timing.
+ *
+ * Execution has two paths that are bit-identical by construction:
+ * both feed riscv::decode() output into the same executeDecoded()
+ * switch. The slow path (step) fetches and decodes one instruction at
+ * a time; the fast path (runDecoded) dispatches pre-decoded basic
+ * blocks from a TraceCache and serves loads/fetches from the bus's
+ * direct host-pointer windows. FS_NO_TRACE_CACHE disables the fast
+ * path entirely.
  */
 
 #ifndef FS_RISCV_HART_H_
@@ -15,9 +23,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "riscv/decoder.h"
 #include "riscv/encoding.h"
 #include "riscv/memory.h"
+#include "riscv/trace_cache.h"
 
 namespace fs {
 namespace riscv {
@@ -79,6 +90,17 @@ class Hart
     using EcallHandler = std::function<bool(Hart &)>;
     void onEcall(EcallHandler handler) { ecall_ = std::move(handler); }
 
+    /**
+     * Hook fired just before any access that leaves the direct-window
+     * fast path (MMIO loads/stores, coprocessor ops). The SoC uses it
+     * to sync the peripheral clock to cycles() so mid-block MMIO sees
+     * exactly the time the interpreter would have shown it.
+     */
+    void onSlowAccess(std::function<void()> hook)
+    {
+        slow_sync_ = std::move(hook);
+    }
+
     /** Assert/deassert the machine external interrupt line (MEIP). */
     void setExternalInterrupt(bool asserted);
 
@@ -91,6 +113,27 @@ class Hart
     /** Run until halted or the cycle budget is exhausted. */
     std::uint64_t run(std::uint64_t max_cycles);
 
+    /**
+     * Fast path: execute pre-decoded basic blocks until just under
+     * `budget` cycles are spent, an event boundary is reached (WFI,
+     * halt, pending interrupt), or an op touches slow-path state
+     * (MMIO, coprocessor) that may have moved an event horizon.
+     * Guarantees the return value < budget, so a caller that bounds
+     * budget by its next external event (kill cycle, sample latch)
+     * keeps that event on the exact interpreter cycle. Returns 0 when
+     * the trace cache is disabled or the pc is outside direct-window
+     * memory; the caller then falls back to step().
+     */
+    std::uint64_t runDecoded(std::uint64_t budget);
+
+    // --- trace cache control ---
+    bool traceCacheEnabled() const { return trace_on_; }
+    /** Toggle the trace cache at runtime (flushes on any change). */
+    void setTraceCacheEnabled(bool on);
+    /** Drop all cached blocks (call after rewriting code memory). */
+    void invalidateTraceCache() { trace_.flush(); }
+    const TraceCache &traceCache() const { return trace_; }
+
     /** Power failure: all volatile architectural state decays. */
     void powerFail();
 
@@ -98,33 +141,59 @@ class Hart
     void reset(std::uint32_t pc);
 
   private:
+    /** Dense CSR file indices (see csrIndexOf). */
+    enum CsrIndex : unsigned {
+        kIdxMstatus,
+        kIdxMie,
+        kIdxMip,
+        kIdxMtvec,
+        kIdxMscratch,
+        kIdxMepc,
+        kIdxMcause,
+        kNumCsrs,
+    };
+
     bool interruptPending() const;
     void takeInterrupt();
-    std::uint64_t execute(Word inst);
+    std::uint64_t executeDecoded(const Decoded &d);
+    std::uint64_t executeCsr(const Decoded &d);
     std::uint32_t &csrRef(Word addr);
-    std::uint64_t executeSystem(Word inst);
+    Word fetch();
+    std::uint32_t load(std::uint32_t addr, unsigned bytes);
+    void store(std::uint32_t addr, std::uint32_t value, unsigned bytes);
+    const DirectWindow *findWindow(std::uint32_t addr, unsigned bytes);
+    void syncSlowAccess();
+    const TraceBlock *buildBlock();
+    std::uint64_t worstCost(const Decoded &d) const;
 
     MemoryDevice &bus_;
     CycleCosts costs_;
     std::array<std::uint32_t, 32> regs_{};
     std::uint32_t pc_ = 0;
 
-    // Machine-mode CSRs.
-    std::uint32_t mstatus_ = 0;
-    std::uint32_t mie_ = 0;
-    std::uint32_t mip_ = 0;
-    std::uint32_t mtvec_ = 0;
-    std::uint32_t mepc_ = 0;
-    std::uint32_t mcause_ = 0;
-    std::uint32_t mscratch_ = 0;
+    /** Machine-mode CSR file, indexed by CsrIndex. */
+    std::array<std::uint32_t, kNumCsrs> csrs_{};
 
     std::uint64_t cycles_ = 0;
     std::uint64_t instret_ = 0;
     bool wfi_ = false;
     bool halted_ = false;
 
+    // --- fast-path state ---
+    TraceCache trace_;
+    bool trace_on_;
+    /** Direct host-pointer windows, fetched lazily from the bus (the
+     *  SoC attaches devices after constructing the hart). */
+    std::vector<DirectWindow> windows_;
+    bool windows_init_ = false;
+    std::size_t mru_window_ = 0;
+    /** Set by syncSlowAccess: the op touched MMIO/coprocessor state,
+     *  so runDecoded must return for an event-horizon recheck. */
+    bool slow_event_ = false;
+
     FsCoprocessor *cop_ = nullptr;
     EcallHandler ecall_;
+    std::function<void()> slow_sync_;
 };
 
 } // namespace riscv

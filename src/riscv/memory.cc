@@ -9,6 +9,12 @@ namespace riscv {
 
 MemoryDevice::~MemoryDevice() = default;
 
+std::vector<DirectWindow>
+MemoryDevice::directWindows()
+{
+    return {};
+}
+
 Ram::Ram(std::uint32_t bytes, bool non_volatile)
     : data_(bytes, 0), non_volatile_(non_volatile)
 {
@@ -38,6 +44,22 @@ Ram::write(std::uint32_t addr, std::uint32_t value, unsigned bytes)
     for (unsigned i = 0; i < bytes; ++i)
         data_[addr + i] = std::uint8_t(value >> (8 * i));
     ++writes_;
+}
+
+std::vector<DirectWindow>
+Ram::directWindows()
+{
+    // The backing vector is sized once at construction, so the
+    // pointer stays valid for the device's lifetime. Writes resolve
+    // to the device itself (Nvm inherits this and keeps its write
+    // filter in the loop).
+    DirectWindow w;
+    w.base = 0;
+    w.span = size();
+    w.data = data_.data();
+    w.device = this;
+    w.deviceBase = 0;
+    return {w};
 }
 
 void

@@ -15,6 +15,31 @@
 namespace fs {
 namespace riscv {
 
+class MemoryDevice;
+
+/**
+ * A contiguous address range whose reads can be served from a raw host
+ * pointer, bypassing virtual dispatch entirely. Only reads: writes must
+ * still go through the owning device so side effects (NVM write
+ * filters, tear bookkeeping, write counters) are never skipped -- the
+ * window just pre-resolves the dispatch target.
+ */
+struct DirectWindow {
+    std::uint32_t base = 0;   ///< first covered address
+    std::uint32_t span = 0;   ///< bytes covered
+    const std::uint8_t *data = nullptr; ///< host view for raw loads
+    MemoryDevice *device = nullptr;     ///< dispatch target for writes
+    std::uint32_t deviceBase = 0; ///< address of the device's offset 0
+
+    bool
+    contains(std::uint32_t addr, unsigned bytes) const
+    {
+        return addr >= base &&
+               std::uint64_t(addr) + bytes <=
+                   std::uint64_t(base) + span;
+    }
+};
+
 /** Byte-addressed memory target. Addresses are bus-relative. */
 class MemoryDevice
 {
@@ -25,6 +50,14 @@ class MemoryDevice
     virtual void write(std::uint32_t addr, std::uint32_t value,
                        unsigned bytes) = 0;
     virtual std::uint32_t size() const = 0;
+
+    /**
+     * Address ranges (device-relative) whose reads are side-effect
+     * free and may be served straight from host memory. Default: none
+     * (MMIO devices must stay on the virtual path). Pointers must stay
+     * valid for the device's lifetime.
+     */
+    virtual std::vector<DirectWindow> directWindows();
 };
 
 /** Plain RAM; optionally non-volatile. */
@@ -41,6 +74,7 @@ class Ram : public MemoryDevice
     void write(std::uint32_t addr, std::uint32_t value,
                unsigned bytes) override;
     std::uint32_t size() const override { return std::uint32_t(data_.size()); }
+    std::vector<DirectWindow> directWindows() override;
 
     bool nonVolatile() const { return non_volatile_; }
 

@@ -1,0 +1,45 @@
+#include "riscv/trace_cache.h"
+
+#include <cstdlib>
+
+namespace fs {
+namespace riscv {
+
+bool
+TraceCache::enabledByEnv()
+{
+    return std::getenv("FS_NO_TRACE_CACHE") == nullptr;
+}
+
+const TraceBlock &
+TraceCache::insert(TraceBlock block)
+{
+    const std::uint32_t lo = block.base;
+    const std::uint32_t hi = block.base + block.byteSpan();
+    if (blocks_.empty()) {
+        code_lo_ = lo;
+        code_hi_ = hi;
+    } else {
+        code_lo_ = std::min(code_lo_, lo);
+        code_hi_ = std::max(code_hi_, hi);
+    }
+    // unordered_map references stay valid across rehashes, so the
+    // returned block survives later inserts (only flush() drops it).
+    return blocks_.insert_or_assign(block.base, std::move(block))
+        .first->second;
+}
+
+void
+TraceCache::flush()
+{
+    if (!blocks_.empty())
+        ++flushes_;
+    slots_.fill({});
+    blocks_.clear();
+    code_lo_ = 0;
+    code_hi_ = 0;
+    ++generation_;
+}
+
+} // namespace riscv
+} // namespace fs

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Pre-decoded basic-block trace cache for the ISS hot path.
+ *
+ * The interpreter re-fetches and re-decodes every instruction on every
+ * execution; across millions of simulated cycles per bench and
+ * thousands of torture replays that dominates host time. The trace
+ * cache decodes each PC once (through riscv::decoder, the same single
+ * source of truth the slow path uses) into basic blocks keyed by
+ * physical PC, which the hart then dispatches through a tight loop.
+ *
+ * Correctness is delegated to the hart: blocks end at every
+ * instruction that can deliver an event (endsBasicBlock; conditional
+ * branches stay inside a block and exit it by pc divergence),
+ * execution is bounded by the SoC's event horizon,
+ * and the cache is flushed on stores into cached code, reset, power
+ * failure, and image (re)loads. The FS_NO_TRACE_CACHE environment
+ * variable (mirroring FS_NO_RO_CACHE) disables the cache entirely;
+ * results are bit-identical either way.
+ */
+
+#ifndef FS_RISCV_TRACE_CACHE_H_
+#define FS_RISCV_TRACE_CACHE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "riscv/decoder.h"
+
+namespace fs {
+namespace riscv {
+
+/** One pre-decoded instruction plus its worst-case cycle cost. */
+struct TraceOp {
+    Decoded inst;
+    /** Upper bound on the cycles the op can consume (e.g. a branch
+     *  costs branchTaken whether or not it ends up taken). The block
+     *  executor uses it to stop strictly before an event horizon. */
+    std::uint64_t worstCost = 1;
+};
+
+/** A decoded straight-line run of instructions starting at base. */
+struct TraceBlock {
+    std::uint32_t base = 0;
+    std::vector<TraceOp> ops;
+
+    /** Sum of all ops' worstCost: if the whole block fits under the
+     *  budget, no per-op budget check is needed. */
+    std::uint64_t worstTotal = 0;
+
+    /** True when the block contains a load: cycles_ must commit per
+     *  op so an MMIO load's time-sync hook sees exact time. Blocks
+     *  with no memory ops at all commit the counters once at block
+     *  end. */
+    bool hasLoad = false;
+
+    /** True when the block contains a store: the executor re-checks
+     *  the cache generation after each one (a store into cached code
+     *  flushes this very block) and returns on MMIO stores (they can
+     *  move an event horizon). */
+    bool hasStore = false;
+
+    /**
+     * True when some op demands the full per-op check set: system ops
+     * (can halt or enter WFI), custom ops (can move an event horizon
+     * through the coprocessor), and CSR ops (mcycle/minstret reads
+     * need the counters committed per instruction). Blocks without
+     * them run the lean paths -- loads may only set the slow-access
+     * flag, which is safe to inspect once at block end because MMIO
+     * *reads* never move an event horizon or raise an interrupt.
+     */
+    bool needsStrictChecks = false;
+
+    /** Bytes of guest code the block was decoded from. */
+    std::uint32_t
+    byteSpan() const
+    {
+        return std::uint32_t(ops.size()) * 4u;
+    }
+};
+
+class TraceCache
+{
+  public:
+    /** Cap on ops per block; also caps builder lookahead. */
+    static constexpr std::size_t kMaxBlockOps = 64;
+
+    /** True unless FS_NO_TRACE_CACHE is set in the environment.
+     *  Re-read on every call so tests can toggle between harts. */
+    static bool enabledByEnv();
+
+    /** Direct-mapped front-end slots ahead of the block map. */
+    static constexpr std::size_t kDirectSlots = 2048;
+
+    /** Cached block starting exactly at @p pc (nullptr on miss). */
+    const TraceBlock *
+    lookup(std::uint32_t pc)
+    {
+        // Direct-mapped probe first: loops re-enter the same handful
+        // of block heads, and a hash find per (short) block would
+        // otherwise dominate the dispatch loop.
+        Slot &slot = slots_[(pc >> 2) & (kDirectSlots - 1)];
+        if (slot.block && slot.pc == pc) {
+            ++hits_;
+            return slot.block;
+        }
+        const auto it = blocks_.find(pc);
+        if (it == blocks_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        // unordered_map values are address-stable across rehashes, so
+        // the slot's pointer stays valid until the next flush().
+        slot.pc = pc;
+        slot.block = &it->second;
+        return slot.block;
+    }
+
+    /** Insert a built block; returns the cached copy. */
+    const TraceBlock &insert(TraceBlock block);
+
+    /**
+     * True when [addr, addr+bytes) touches any cached code. The
+     * extent is a single conservative range over all blocks, so a hit
+     * flushes everything -- self-modifying code is vanishingly rare in
+     * the firmware this simulates.
+     */
+    bool
+    overlapsCode(std::uint32_t addr, unsigned bytes) const
+    {
+        return !blocks_.empty() && addr < code_hi_ &&
+               std::uint64_t(addr) + bytes > code_lo_;
+    }
+
+    /** Drop every block and bump the generation counter. */
+    void flush();
+
+    /**
+     * Incremented by every flush. The block executor re-checks it
+     * after each op so a mid-block flush (a store into cached code)
+     * can never leave it iterating a dangling block.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    // --- statistics (test/bench introspection) ---
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t flushes() const { return flushes_; }
+
+  private:
+    struct Slot {
+        std::uint32_t pc = 0;
+        const TraceBlock *block = nullptr;
+    };
+
+    std::array<Slot, kDirectSlots> slots_{};
+    std::unordered_map<std::uint32_t, TraceBlock> blocks_;
+    std::uint32_t code_lo_ = 0;
+    std::uint32_t code_hi_ = 0;
+    std::uint64_t generation_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace riscv
+} // namespace fs
+
+#endif // FS_RISCV_TRACE_CACHE_H_

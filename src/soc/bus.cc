@@ -1,5 +1,7 @@
 #include "soc/bus.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace fs {
@@ -11,31 +13,65 @@ Bus::attach(std::string name, std::uint32_t base,
 {
     if (span == 0)
         span = device.size();
-    for (const auto &m : mappings_) {
+    for (std::size_t i = 0; i < mappings_.size(); ++i) {
+        const Mapping &m = mappings_[i];
         const bool overlap =
             base < m.base + m.span && m.base < base + span;
         if (overlap)
-            fatal("bus mapping '", name, "' overlaps '", m.name, "'");
+            fatal("bus mapping '", name, "' overlaps '", names_[i], "'");
     }
-    mappings_.push_back({std::move(name), base, span, &device});
+    // Insert keeping mappings_ sorted by base; regions() still reports
+    // attach order through attach_order_.
+    const auto it = std::upper_bound(
+        mappings_.begin(), mappings_.end(), base,
+        [](std::uint32_t b, const Mapping &m) { return b < m.base; });
+    const std::size_t pos = std::size_t(it - mappings_.begin());
+    for (std::size_t &idx : attach_order_) {
+        if (idx >= pos)
+            ++idx;
+    }
+    mappings_.insert(it, {base, span, &device});
+    names_.insert(names_.begin() + std::ptrdiff_t(pos), std::move(name));
+    attach_order_.push_back(pos);
+    mru_ = 0;
 }
 
 std::vector<Bus::Region>
 Bus::regions() const
 {
     std::vector<Region> out;
-    out.reserve(mappings_.size());
-    for (const auto &m : mappings_)
-        out.push_back({m.name, m.base, m.span});
+    out.reserve(attach_order_.size());
+    for (const std::size_t idx : attach_order_)
+        out.push_back({names_[idx], mappings_[idx].base,
+                       mappings_[idx].span});
     return out;
 }
 
-const Bus::Mapping &
+std::size_t
 Bus::decode(std::uint32_t addr, unsigned bytes) const
 {
-    for (const auto &m : mappings_) {
-        if (addr >= m.base && addr + bytes <= m.base + m.span)
-            return m;
+    const std::uint64_t end = std::uint64_t(addr) + bytes;
+    if (mru_ < mappings_.size()) {
+        const Mapping &m = mappings_[mru_];
+        if (addr >= m.base && end <= std::uint64_t(m.base) + m.span)
+            return mru_;
+    }
+    // Binary search for the last mapping starting at or below addr.
+    std::size_t lo = 0;
+    std::size_t hi = mappings_.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (mappings_[mid].base <= addr)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo > 0) {
+        const Mapping &m = mappings_[lo - 1];
+        if (addr >= m.base && end <= std::uint64_t(m.base) + m.span) {
+            mru_ = lo - 1;
+            return mru_;
+        }
     }
     fatal("bus: access to unmapped address 0x", std::hex, addr);
 }
@@ -43,15 +79,34 @@ Bus::decode(std::uint32_t addr, unsigned bytes) const
 std::uint32_t
 Bus::read(std::uint32_t addr, unsigned bytes)
 {
-    const Mapping &m = decode(addr, bytes);
+    const Mapping &m = mappings_[decode(addr, bytes)];
     return m.device->read(addr - m.base, bytes);
 }
 
 void
 Bus::write(std::uint32_t addr, std::uint32_t value, unsigned bytes)
 {
-    const Mapping &m = decode(addr, bytes);
+    const Mapping &m = mappings_[decode(addr, bytes)];
     m.device->write(addr - m.base, value, bytes);
+}
+
+std::vector<riscv::DirectWindow>
+Bus::directWindows()
+{
+    std::vector<riscv::DirectWindow> out;
+    for (const Mapping &m : mappings_) {
+        for (riscv::DirectWindow w : m.device->directWindows()) {
+            // Clip to the attached span: a device may be mapped
+            // narrower than its full size.
+            if (w.base >= m.span || !w.data || !w.device)
+                continue;
+            w.span = std::min(w.span, m.span - w.base);
+            w.base += m.base;
+            w.deviceBase += m.base;
+            out.push_back(w);
+        }
+    }
+    return out;
 }
 
 } // namespace soc

@@ -48,17 +48,29 @@ class Bus : public riscv::MemoryDevice
     /** Buses span the whole address space. */
     std::uint32_t size() const override { return 0xffffffffu; }
 
+    /** Children's direct windows, rebased into bus addresses. */
+    std::vector<riscv::DirectWindow> directWindows() override;
+
   private:
+    /**
+     * Hot-path mapping record: kept string-free and sorted by base so
+     * decode() is a cached-index probe plus (on miss) a binary search
+     * instead of a linear scan over string-carrying structs. Names
+     * live in the parallel names_ vector, touched only on the fatal
+     * path and by regions().
+     */
     struct Mapping {
-        std::string name;
         std::uint32_t base;
         std::uint32_t span;
         riscv::MemoryDevice *device;
     };
 
-    const Mapping &decode(std::uint32_t addr, unsigned bytes) const;
+    std::size_t decode(std::uint32_t addr, unsigned bytes) const;
 
-    std::vector<Mapping> mappings_;
+    std::vector<Mapping> mappings_;       ///< sorted by base
+    std::vector<std::string> names_;      ///< parallel to mappings_
+    std::vector<std::size_t> attach_order_; ///< indices, attach order
+    mutable std::size_t mru_ = 0; ///< last decoded mapping index
 };
 
 } // namespace soc

@@ -21,6 +21,21 @@ FsPeripheral::advance(double dt_seconds)
 {
     FS_ASSERT(dt_seconds >= 0.0, "time cannot run backwards");
     time_ += dt_seconds;
+    pump();
+}
+
+void
+FsPeripheral::advanceTo(double t_seconds)
+{
+    if (t_seconds < time_)
+        return;
+    time_ = t_seconds;
+    pump();
+}
+
+void
+FsPeripheral::pump()
+{
     while (enabled() && next_sample_ <= time_) {
         latch();
         double period = monitor_.samplePeriod();

@@ -73,6 +73,17 @@ class FsPeripheral : public riscv::MemoryDevice,
     /** Advance wall-clock time; latches samples on period boundaries. */
     void advance(double dt_seconds);
 
+    /**
+     * Advance to an absolute time (no-op when @p t_seconds is in the
+     * past). The SoC derives t from the hart's integer cycle count, so
+     * coarse (block) and per-instruction advancement produce the same
+     * latch sequence bit for bit -- accumulating dt's would not.
+     */
+    void advanceTo(double t_seconds);
+
+    /** Absolute time of the next scheduled sample latch. */
+    double nextSampleTime() const { return next_sample_; }
+
     double timeNow() const { return time_; }
     std::uint32_t latchedCount() const { return count_; }
     bool irqPending() const { return irq_pending_; }
@@ -95,6 +106,7 @@ class FsPeripheral : public riscv::MemoryDevice,
 
   private:
     void latch();
+    void pump();
     void updateIrq();
 
     const core::FailureSentinels &monitor_;

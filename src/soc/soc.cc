@@ -1,5 +1,8 @@
 #include "soc/soc.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "fault/fault_injector.h"
 #include "util/logging.h"
 
@@ -22,6 +25,12 @@ Soc::Soc(const core::FailureSentinels &monitor,
     hart_.onEcall([this](riscv::Hart &) {
         app_finished_ = true;
         return true; // halt
+    });
+    // Mid-block MMIO/coprocessor accesses must see the peripheral at
+    // exactly the hart's current cycle. On the interpreter path the
+    // peripheral is already there, so this is an idempotent no-op.
+    hart_.onSlowAccess([this] {
+        fs_.advanceTo(double(hart_.cycles()) / clock_hz_);
     });
 }
 
@@ -48,6 +57,7 @@ Soc::loadRuntime(std::uint32_t threshold_count)
 {
     const auto image = buildCheckpointRuntime(layout_, threshold_count);
     fram_.loadWords(0, image);
+    hart_.invalidateTraceCache(); // image load bypasses Nvm::write
     // Stage the CRC-32 lookup table the runtime consults. Direct
     // data() writes: staging is load-time provisioning, not a store
     // the fault model should see or the write counters should charge.
@@ -61,6 +71,7 @@ void
 Soc::loadApp(const std::vector<riscv::Word> &words)
 {
     fram_.loadWords(layout_.appBase - layout_.framBase, words);
+    hart_.invalidateTraceCache(); // image load bypasses Nvm::write
 }
 
 void
@@ -103,7 +114,10 @@ Soc::step()
     const std::uint64_t cycles = hart_.step();
     total_cycles_ += cycles;
     const double dt = double(cycles) / clock_hz_;
-    fs_.advance(dt);
+    // Absolute-time advancement: the peripheral clock is a pure
+    // function of the integer cycle count, so block-sized and
+    // per-instruction advancement latch identically.
+    fs_.advanceTo(double(total_cycles_) / clock_hz_);
     if (injector_ && injector_->killDue(total_cycles_)) {
         const fault::PowerKill kill = injector_->takeKill();
         // Tear only a store that was actually in flight during the
@@ -117,11 +131,52 @@ Soc::step()
     return dt;
 }
 
+std::uint64_t
+Soc::eventHorizon() const
+{
+    std::uint64_t horizon = std::numeric_limits<std::uint64_t>::max();
+    if (injector_) {
+        const std::uint64_t nk = injector_->nextKillCycle();
+        if (nk <= total_cycles_)
+            return 1; // kill already due: per-instruction path only
+        horizon = std::min(horizon, nk - total_cycles_);
+    }
+    if (fs_.enabled()) {
+        const double ts = fs_.nextSampleTime();
+        const double now = double(total_cycles_) / clock_hz_;
+        if (ts <= now)
+            return 1;
+        const double est = (ts - now) * clock_hz_;
+        std::uint64_t c = est < 1e18 ? std::uint64_t(est) + 2
+                                     : std::uint64_t(1) << 60;
+        // Trim for FP rounding: every chunk strictly shorter than c
+        // must leave the clock strictly before the latch time.
+        while (c > 1 &&
+               double(total_cycles_ + (c - 1)) / clock_hz_ >= ts)
+            --c;
+        horizon = std::min(horizon, c);
+    }
+    return horizon;
+}
+
 void
 Soc::run(std::uint64_t max_cycles)
 {
     std::uint64_t spent = 0;
     while (!hart_.halted() && spent < max_cycles) {
+        if (hart_.traceCacheEnabled()) {
+            const std::uint64_t budget =
+                std::min(max_cycles - spent, eventHorizon());
+            if (budget > 1) {
+                const std::uint64_t chunk = hart_.runDecoded(budget);
+                if (chunk > 0) {
+                    total_cycles_ += chunk;
+                    spent += chunk;
+                    fs_.advanceTo(double(total_cycles_) / clock_hz_);
+                    continue;
+                }
+            }
+        }
         const std::uint64_t before = total_cycles_;
         step();
         spent += total_cycles_ - before;

@@ -86,7 +86,13 @@ class Soc
      */
     double step();
 
-    /** Run until the app signals completion or the budget expires. */
+    /**
+     * Run until the app signals completion or the budget expires.
+     * When the hart's trace cache is enabled, execution proceeds in
+     * pre-decoded chunks bounded by eventHorizon(), falling back to
+     * per-instruction step() for every horizon-crossing instruction;
+     * results are bit-identical to the pure step() loop.
+     */
     void run(std::uint64_t max_cycles);
 
     /** True once the application executed its completion ecall. */
@@ -109,6 +115,16 @@ class Soc
     std::uint64_t powerCycles() const { return power_cycles_; }
 
   private:
+    /**
+     * Cycles the fast path may run from now without crossing the next
+     * external event: the injector's next scheduled kill and the
+     * peripheral's next sample latch. Any chunk strictly shorter than
+     * the returned bound leaves both events in the future, so the
+     * crossing instruction always executes on the step() path with
+     * exact kill/tear/latch timing.
+     */
+    std::uint64_t eventHorizon() const;
+
     CheckpointLayout layout_;
     double clock_hz_;
 
