@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "dse/fs_design_space.h"
 #include "dse/pareto.h"
+#include "serve/client.h"
 #include "util/bench_report.h"
 #include "util/parallel.h"
 #include "util/table.h"
@@ -28,8 +29,10 @@ main()
     opts.populationSize = 72;
     opts.generations = 40;
     util::Timer timer;
-    auto front = dse::exploreDesignSpace(circuit::Technology::node90(),
-                                         opts);
+    // Offloads to an fs_served daemon when FS_SERVE_SOCKET is set
+    // (bit-identical front either way); runs in-process otherwise.
+    auto front = serve::exploreDesignSpaceServed(
+        circuit::Technology::node90(), opts);
     const double elapsed = timer.seconds();
     const std::size_t threads =
         util::ThreadPool::shared().threadCount();

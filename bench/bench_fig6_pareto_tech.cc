@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "dse/fs_design_space.h"
+#include "serve/client.h"
 #include "util/table.h"
 
 int
@@ -32,8 +33,8 @@ main()
         dse::Nsga2::Options opts;
         opts.populationSize = 64;
         opts.generations = 32;
-        auto front =
-            dse::exploreDesignSpace(*tech, opts, /*fixed_rate=*/5e3);
+        auto front = serve::exploreDesignSpaceServed(
+            *tech, opts, /*fixed_rate=*/5e3);
 
         TablePrinter table(tech->name() + " @ 5 kHz");
         table.columns({"configuration", "I mean (uA)",

@@ -10,6 +10,7 @@
 
 #include "core/fs_config.h"
 #include "util/bench_report.h"
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace fs {
@@ -1302,52 +1303,32 @@ LintReport::text() const
     return os.str();
 }
 
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c; break;
-        }
-    }
-    return out;
-}
-
-} // namespace
-
 std::string
 LintReport::json() const
 {
-    std::ostringstream os;
-    os << "{\"image\": \"" << jsonEscape(image) << "\""
-       << ", \"blocks\": " << blocks
-       << ", \"instructions\": " << instructions
-       << ", \"errors\": " << count(Severity::kError)
-       << ", \"warnings\": " << count(Severity::kWarning)
-       << ", \"notes\": " << count(Severity::kInfo)
-       << ", \"worst_case_commit_cycles\": " << worstCaseCommitCycles
-       << ", \"budget_cycles\": " << budgetCycles
-       << ", \"analysis_seconds\": " << analysisSeconds
-       << ", \"findings\": [";
-    for (std::size_t i = 0; i < findings.size(); ++i) {
-        const Finding &f = findings[i];
-        os << (i ? ", " : "") << "{\"kind\": \""
-           << findingKindName(f.kind) << "\", \"severity\": \""
-           << severityName(f.severity) << "\", \"addr\": \""
-           << hex(f.addr) << "\", \"related_addr\": \""
-           << hex(f.relatedAddr) << "\", \"message\": \""
-           << jsonEscape(f.message) << "\"}";
+    util::json::Writer w;
+    w.beginObject();
+    w.key("image").value(image);
+    w.key("blocks").value(blocks);
+    w.key("instructions").value(instructions);
+    w.key("errors").value(count(Severity::kError));
+    w.key("warnings").value(count(Severity::kWarning));
+    w.key("notes").value(count(Severity::kInfo));
+    w.key("worst_case_commit_cycles").value(worstCaseCommitCycles);
+    w.key("budget_cycles").value(budgetCycles);
+    w.key("analysis_seconds").value(analysisSeconds);
+    w.key("findings").beginArray();
+    for (const Finding &f : findings) {
+        w.beginObject();
+        w.key("kind").value(findingKindName(f.kind));
+        w.key("severity").value(severityName(f.severity));
+        w.key("addr").value(hex(f.addr));
+        w.key("related_addr").value(hex(f.relatedAddr));
+        w.key("message").value(f.message);
+        w.endObject();
     }
-    os << "]}";
-    return os.str();
+    w.endArray().endObject();
+    return w.str();
 }
 
 FirmwareLinter::FirmwareLinter(LintOptions options)

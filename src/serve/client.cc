@@ -1,0 +1,231 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fs {
+namespace serve {
+
+namespace {
+
+bool
+recvSome(int fd, std::vector<std::uint8_t> &buf)
+{
+    std::uint8_t chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        buf.insert(buf.end(), chunk, chunk + n);
+        return true;
+    }
+}
+
+bool
+sendAll(int fd, const std::uint8_t *data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+std::string
+Client::defaultEndpoint()
+{
+    const char *env = std::getenv("FS_SERVE_SOCKET");
+    return env ? env : "";
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connect(const std::string &endpoint, std::string &err)
+{
+    close();
+    if (endpoint.empty()) {
+        err = "empty endpoint";
+        return false;
+    }
+    if (endpoint.rfind("tcp:", 0) == 0) {
+        std::string host = "127.0.0.1";
+        std::string port = endpoint.substr(4);
+        const std::size_t colon = port.rfind(':');
+        if (colon != std::string::npos) {
+            host = port.substr(0, colon);
+            port = port.substr(colon + 1);
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(std::uint16_t(std::atoi(port.c_str())));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+            err = "bad tcp endpoint (numeric a.b.c.d only): " +
+                  endpoint;
+            return false;
+        }
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0 ||
+            ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            err = "connect " + endpoint + ": " + std::strerror(errno);
+            close();
+            return false;
+        }
+        return true;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.size() >= sizeof addr.sun_path) {
+        err = "socket path too long: " + endpoint;
+        return false;
+    }
+    std::strncpy(addr.sun_path, endpoint.c_str(),
+                 sizeof addr.sun_path - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        err = "connect " + endpoint + ": " + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::call(MsgKind kind, const std::vector<std::uint8_t> &payload,
+             Frame &reply, std::string &err)
+{
+    if (fd_ < 0) {
+        err = "not connected";
+        return false;
+    }
+    const std::vector<std::uint8_t> bytes = frameMessage(kind, payload);
+    if (!sendAll(fd_, bytes.data(), bytes.size())) {
+        err = std::string("send: ") + std::strerror(errno);
+        close();
+        return false;
+    }
+    std::vector<std::uint8_t> buf;
+    for (;;) {
+        std::size_t consumed = 0;
+        const FrameStatus status =
+            parseFrame(buf.data(), buf.size(), reply, consumed);
+        if (status == FrameStatus::kOk)
+            return true;
+        if (status != FrameStatus::kNeedMore) {
+            err = "corrupt reply frame";
+            close();
+            return false;
+        }
+        if (!recvSome(fd_, buf)) {
+            err = "connection closed mid-reply";
+            close();
+            return false;
+        }
+    }
+}
+
+bool
+Client::call(const Request &req, Response &resp, std::string &err)
+{
+    Frame reply;
+    if (!call(requestKind(req), encodeRequestPayload(req), reply, err))
+        return false;
+    return decodeResponsePayload(reply.kind, reply.payload.data(),
+                                 reply.payload.size(), resp, err);
+}
+
+bool
+tryServe(const Request &req, Response &resp)
+{
+    const std::string endpoint = Client::defaultEndpoint();
+    if (endpoint.empty())
+        return false;
+
+    // One process-wide connection, re-dialed on failure so a daemon
+    // restart between calls only costs one miss.
+    static std::mutex mu;
+    static Client client;
+    std::lock_guard<std::mutex> lock(mu);
+    std::string err;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (!client.connected() && !client.connect(endpoint, err))
+            return false;
+        if (client.call(req, resp, err))
+            return !std::holds_alternative<ErrorResult>(resp);
+        // transport failure: connection is closed; retry once
+    }
+    return false;
+}
+
+std::vector<dse::FsParetoPoint>
+exploreDesignSpaceServed(const circuit::Technology &tech,
+                         dse::Nsga2::Options opts, double fixed_rate,
+                         bool explore_divider)
+{
+    const dse::Nsga2::Options defaults;
+    const bool standard_knobs =
+        opts.crossoverProb == defaults.crossoverProb &&
+        opts.crossoverEta == defaults.crossoverEta &&
+        opts.mutationEta == defaults.mutationEta &&
+        opts.mutationProb == defaults.mutationProb;
+    if (standard_knobs) {
+        DseShardJob job;
+        job.tech = tech.name();
+        job.populationSize = std::uint32_t(opts.populationSize);
+        job.generations = std::uint32_t(opts.generations);
+        job.seed = opts.seed;
+        job.fixedRate = fixed_rate;
+        job.exploreDivider = explore_divider ? 1 : 0;
+        Response resp;
+        if (tryServe(job, resp)) {
+            if (const auto *shard =
+                    std::get_if<DseShardResult>(&resp)) {
+                std::vector<dse::FsParetoPoint> front;
+                front.reserve(shard->front.size());
+                for (const DsePointWire &p : shard->front)
+                    front.push_back(
+                        {fromWire(p.config), fromWire(p.perf)});
+                return front;
+            }
+        }
+    }
+    return dse::exploreDesignSpace(tech, opts, fixed_rate,
+                                   explore_divider);
+}
+
+} // namespace serve
+} // namespace fs

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The serve request engine: decode a typed job, execute it
+ * deterministically, hand back canonical response bytes.
+ *
+ * Execution rides the repo's deterministic primitives — NSGA-II's
+ * pre-drawn RNG batches, TortureRig::runKills' order-preserving
+ * fan-out, the ISS's bit-exact trace-cache/interpreter equivalence —
+ * so a response is byte-identical whether it is computed cold, read
+ * from the content-addressed cache, deduplicated inside a batch, or
+ * produced with 1 or 8 worker threads. That invariant is what makes
+ * caching sound: the cache never has to decide whether a stored
+ * response is "close enough", it is the exact bytes a fresh run would
+ * produce.
+ */
+
+#ifndef FS_SERVE_ENGINE_H_
+#define FS_SERVE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/result_cache.h"
+#include "serve/wire.h"
+
+namespace fs {
+namespace util {
+class ThreadPool;
+} // namespace util
+
+namespace serve {
+
+/** One served response: canonical payload bytes plus provenance. */
+struct ServedResponse {
+    MsgKind kind = MsgKind::kErrorReply;
+    std::vector<std::uint8_t> payload;
+    std::uint64_t key = 0;  ///< content address of the request
+    bool fromCache = false; ///< answered without re-simulation
+};
+
+class Engine
+{
+  public:
+    struct Options {
+        /**
+         * Worker threads for job-internal parallelism: 0 = the
+         * process-wide shared pool (FS_THREADS aware), otherwise a
+         * dedicated pool of exactly this many threads.
+         */
+        std::size_t threads = 0;
+        std::size_t cacheBytes = 64u << 20;
+        /**
+         * On-disk spill directory; "" = FS_SERVE_CACHE_DIR env, or no
+         * spilling when that is unset too.
+         */
+        std::string spillDir;
+    };
+
+    Engine();
+    explicit Engine(Options opts);
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Execute one decoded request directly; never touches the cache. */
+    Response execute(const Request &req) const;
+
+    /** Serve one decoded request through the cache. */
+    ServedResponse serve(const Request &req);
+
+    /**
+     * Serve canonical request payload bytes (the transport path):
+     * decode, consult the cache, execute on a miss. Undecodable
+     * payloads produce an ErrorResult and are never cached.
+     */
+    ServedResponse serve(MsgKind kind,
+                         const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Serve a batch in order. Duplicate requests inside the batch are
+     * executed once and answered with identical bytes.
+     */
+    std::vector<ServedResponse>
+    serveBatch(const std::vector<Request> &batch);
+
+    ResultCache &cache() { return cache_; }
+    const ResultCache &cache() const { return cache_; }
+    util::ThreadPool &pool() const;
+    std::size_t threadCount() const;
+
+  private:
+    Response executeRoSweep(const RoSweepJob &job) const;
+    Response executeDesignPoint(const DesignPointJob &job) const;
+    Response executeDseShard(const DseShardJob &job) const;
+    Response executeTorture(const TortureJob &job) const;
+    Response executeGuestRun(const GuestRunJob &job) const;
+
+    Options opts_;
+    std::unique_ptr<util::ThreadPool> owned_pool_;
+    ResultCache cache_;
+};
+
+} // namespace serve
+} // namespace fs
+
+#endif // FS_SERVE_ENGINE_H_

@@ -1,0 +1,159 @@
+#include "serve/result_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace fs {
+namespace serve {
+
+ResultCache::ResultCache(std::size_t max_bytes, std::string spill_dir)
+    : max_bytes_(max_bytes), spill_dir_(std::move(spill_dir))
+{
+}
+
+bool
+ResultCache::enabled()
+{
+    const char *env = std::getenv("FS_NO_SERVE_CACHE");
+    return env == nullptr || *env == '\0' || *env == '0';
+}
+
+std::string
+ResultCache::spillPath(std::uint64_t key) const
+{
+    char name[40];
+    std::snprintf(name, sizeof name, "fs-%016llx.fsr",
+                  (unsigned long long)key);
+    return spill_dir_ + "/" + name;
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, MsgKind &kind,
+                    std::vector<std::uint8_t> &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        kind = it->second.kind;
+        payload = it->second.payload;
+        ++stats_.hits;
+        return true;
+    }
+    if (!spill_dir_.empty() && readSpill(key, kind, payload)) {
+        // Promote the disk hit so repeats stay in memory.
+        insertLocked(key, kind, payload);
+        ++stats_.diskHits;
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+ResultCache::insert(std::uint64_t key, MsgKind kind,
+                    const std::vector<std::uint8_t> &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(key, kind, payload);
+    ++stats_.insertions;
+    if (!spill_dir_.empty())
+        writeSpill(key, kind, payload);
+}
+
+void
+ResultCache::insertLocked(std::uint64_t key, MsgKind kind,
+                          const std::vector<std::uint8_t> &payload)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        bytes_used_ -= it->second.payload.size();
+        lru_.erase(it->second.lru);
+        entries_.erase(it);
+    }
+    lru_.push_front(key);
+    Entry entry{kind, payload, lru_.begin()};
+    bytes_used_ += payload.size();
+    entries_.emplace(key, std::move(entry));
+    while (bytes_used_ > max_bytes_ && lru_.size() > 1) {
+        const std::uint64_t victim = lru_.back();
+        auto vit = entries_.find(victim);
+        bytes_used_ -= vit->second.payload.size();
+        entries_.erase(vit);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+bool
+ResultCache::readSpill(std::uint64_t key, MsgKind &kind,
+                       std::vector<std::uint8_t> &payload)
+{
+    std::FILE *f = std::fopen(spillPath(key).c_str(), "rb");
+    if (!f)
+        return false;
+    std::vector<std::uint8_t> bytes;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    Frame frame;
+    std::size_t consumed = 0;
+    if (parseFrame(bytes.data(), bytes.size(), frame, consumed) !=
+            FrameStatus::kOk ||
+        consumed != bytes.size())
+        return false; // stale/corrupt spill file: treat as a miss
+    kind = frame.kind;
+    payload = std::move(frame.payload);
+    return true;
+}
+
+void
+ResultCache::writeSpill(std::uint64_t key, MsgKind kind,
+                        const std::vector<std::uint8_t> &payload)
+{
+    if (!spill_dir_ready_) {
+        ::mkdir(spill_dir_.c_str(), 0755); // EEXIST is fine
+        spill_dir_ready_ = true;
+    }
+    const std::string path = spillPath(key);
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return;
+    const std::vector<std::uint8_t> bytes = frameMessage(kind, payload);
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fclose(f);
+    // Atomic publish: readers only ever see whole spill files.
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+ResultCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t
+ResultCache::bytesUsed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_used_;
+}
+
+} // namespace serve
+} // namespace fs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Content-addressed result cache for the serve engine.
+ *
+ * Responses are stored under the FNV-1a hash of the canonical request
+ * bytes (serve::requestKey), so any client that re-issues a logically
+ * identical request — across benches, processes, or daemon restarts —
+ * gets the stored bytes back without re-simulation. Because the
+ * engine's execution is bit-deterministic, a cache hit returns
+ * exactly the bytes a cold run would have produced; test_serve locks
+ * that equivalence in.
+ *
+ * Two tiers: a bounded in-memory LRU (byte-sized, not entry-counted),
+ * and an optional on-disk spill directory written through on insert.
+ * Spill files are self-describing single-frame wire messages
+ * (fs-<16-hex-digit-key>.fsr), so a future daemon can warm-start from
+ * the directory and stale files are detected by magic/version the
+ * same way socket traffic is. The FS_NO_SERVE_CACHE environment kill
+ * switch makes the engine bypass lookups and inserts entirely.
+ */
+
+#ifndef FS_SERVE_RESULT_CACHE_H_
+#define FS_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace fs {
+namespace serve {
+
+class ResultCache
+{
+  public:
+    struct Stats {
+        std::uint64_t hits = 0;     ///< in-memory hits
+        std::uint64_t diskHits = 0; ///< spill-directory hits
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /**
+     * @param max_bytes in-memory budget (payload bytes)
+     * @param spill_dir on-disk spill directory; "" disables spilling.
+     *        Created on first insert if missing.
+     */
+    explicit ResultCache(std::size_t max_bytes = 64u << 20,
+                         std::string spill_dir = "");
+
+    /** False when the FS_NO_SERVE_CACHE kill switch is set. */
+    static bool enabled();
+
+    /**
+     * Look up a response by content address. Checks memory first,
+     * then the spill directory (promoting a disk hit back into
+     * memory). @return true with `kind`/`payload` filled on a hit.
+     */
+    bool lookup(std::uint64_t key, MsgKind &kind,
+                std::vector<std::uint8_t> &payload);
+
+    /** Store a response; writes through to the spill dir if set. */
+    void insert(std::uint64_t key, MsgKind kind,
+                const std::vector<std::uint8_t> &payload);
+
+    Stats stats() const;
+    std::size_t entryCount() const;
+    std::size_t bytesUsed() const;
+    const std::string &spillDir() const { return spill_dir_; }
+
+    /** Spill file path for a key (for tests and tooling). */
+    std::string spillPath(std::uint64_t key) const;
+
+  private:
+    struct Entry {
+        MsgKind kind;
+        std::vector<std::uint8_t> payload;
+        std::list<std::uint64_t>::iterator lru;
+    };
+
+    void insertLocked(std::uint64_t key, MsgKind kind,
+                      const std::vector<std::uint8_t> &payload);
+    bool readSpill(std::uint64_t key, MsgKind &kind,
+                   std::vector<std::uint8_t> &payload);
+    void writeSpill(std::uint64_t key, MsgKind kind,
+                    const std::vector<std::uint8_t> &payload);
+
+    mutable std::mutex mutex_;
+    std::size_t max_bytes_;
+    std::string spill_dir_;
+    bool spill_dir_ready_ = false;
+    std::size_t bytes_used_ = 0;
+    std::list<std::uint64_t> lru_; ///< front = most recent
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    Stats stats_;
+};
+
+} // namespace serve
+} // namespace fs
+
+#endif // FS_SERVE_RESULT_CACHE_H_

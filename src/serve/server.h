@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The fs_served daemon core: a socket front-end over serve::Engine.
+ *
+ * One accept thread multiplexes the Unix-domain listener (and an
+ * optional TCP listener) with poll(); each accepted connection gets a
+ * reader thread that reassembles length-prefixed frames and enqueues
+ * decodable requests onto one bounded FIFO. A single executor thread
+ * pops requests in batches, deduplicates identical requests inside a
+ * batch, answers through the engine's content-addressed cache, and
+ * writes replies back under each connection's write lock. Because the
+ * queue is FIFO and the executor is single-threaded (job-internal
+ * parallelism lives in the engine's pool), replies on any one
+ * connection arrive in request order, so clients may pipeline.
+ *
+ * Overload and liveness policy, in order of application:
+ *  - a frame arriving while the bounded queue is full is answered
+ *    immediately with kOverloaded (backpressure, never silent drop);
+ *  - a request dequeued after its deadline (arrival + deadlineMs) is
+ *    answered with kDeadlineExceeded instead of being executed;
+ *  - stop() drains: listeners close, readers stop, every request
+ *    already queued is still answered, then connections shut down.
+ */
+
+#ifndef FS_SERVE_SERVER_H_
+#define FS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace fs {
+namespace serve {
+
+class Server
+{
+  public:
+    struct Options {
+        std::string socketPath;      ///< Unix-domain listener ("" = off)
+        int tcpPort = -1;            ///< TCP listener (-1 = off, 0 = ephemeral)
+        Engine::Options engine;
+        std::size_t queueLimit = 256; ///< bounded-queue depth
+        std::size_t batchMax = 16;    ///< max requests per executor batch
+        /** Per-request deadline from arrival, ms; 0 disables. */
+        std::uint32_t deadlineMs = 0;
+        bool verbose = false;         ///< per-request stderr log lines
+    };
+
+    struct Stats {
+        std::uint64_t accepted = 0;  ///< connections
+        std::uint64_t requests = 0;  ///< frames enqueued
+        std::uint64_t served = 0;    ///< non-error replies
+        std::uint64_t errors = 0;    ///< error replies (incl. below)
+        std::uint64_t overloaded = 0;
+        std::uint64_t expired = 0;   ///< deadline-exceeded replies
+        std::uint64_t versionMismatches = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t maxBatch = 0;
+        std::uint64_t batchDuplicates = 0; ///< in-batch dedupe hits
+    };
+
+    explicit Server(Options opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind listeners and start the accept/executor threads.
+     * @return false with `err` set on bind/listen failure.
+     */
+    bool start(std::string &err);
+
+    /**
+     * Graceful drain: stop accepting, stop reading, answer everything
+     * already queued, close connections, join all threads. Idempotent
+     * and safe to call from any (non-signal) context.
+     */
+    void stop();
+
+    bool running() const { return running_.load(); }
+    /** Actual TCP port after start() (for tcpPort = 0). */
+    int boundTcpPort() const { return bound_tcp_port_; }
+    Stats stats() const;
+    Engine &engine() { return engine_; }
+
+  private:
+    struct Conn {
+        int fd = -1;
+        std::string peer;
+        std::thread reader;
+        std::mutex write_mu;
+        std::atomic<bool> dead{false};
+    };
+
+    struct Job {
+        std::shared_ptr<Conn> conn;
+        MsgKind kind = MsgKind::kErrorReply;
+        std::vector<std::uint8_t> payload;
+        std::uint64_t key = 0;
+        std::chrono::steady_clock::time_point deadline;
+        bool hasDeadline = false;
+    };
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Conn> conn);
+    void executorLoop();
+    void processBatch(std::vector<Job> &batch);
+    bool enqueue(Job job);
+    void sendReply(Conn &conn, MsgKind kind,
+                   const std::vector<std::uint8_t> &payload);
+    void sendError(Conn &conn, ErrorCode code, const std::string &msg);
+    void logLine(const std::string &line) const;
+
+    Options opts_;
+    Engine engine_;
+
+    int unix_fd_ = -1;
+    int tcp_fd_ = -1;
+    int bound_tcp_port_ = -1;
+    int wake_pipe_[2] = {-1, -1}; ///< wakes poll() out of accept wait
+
+    std::thread accept_thread_;
+    std::thread executor_thread_;
+
+    std::mutex conns_mu_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+
+    std::mutex queue_mu_;
+    std::condition_variable queue_cv_;
+    std::deque<Job> queue_;
+    bool executor_stop_ = false; ///< drain-and-exit once queue empties
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
+
+    mutable std::mutex stats_mu_;
+    Stats stats_;
+};
+
+} // namespace serve
+} // namespace fs
+
+#endif // FS_SERVE_SERVER_H_

@@ -1,0 +1,679 @@
+#include "serve/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace fs {
+namespace serve {
+
+namespace {
+
+/** Little-endian canonical byte writer. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        out_.push_back(std::uint8_t(v & 0xff));
+        out_.push_back(std::uint8_t(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(std::uint8_t(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(std::uint8_t(v >> (8 * i)));
+    }
+
+    /** IEEE-754 bits, so the value round-trips exactly. */
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(std::uint32_t(s.size()));
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/** Bounds-checked little-endian reader; sticky failure flag. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t len)
+        : data_(data), len_(len)
+    {
+    }
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return pos_ == len_; }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!need(2))
+            return 0;
+        std::uint16_t v = std::uint16_t(data_[pos_] |
+                                        (data_[pos_ + 1] << 8));
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(data_[pos_ + std::size_t(i)]) <<
+                 (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(data_[pos_ + std::size_t(i)]) <<
+                 (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (!ok_ || len_ - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// --- per-struct codecs (field order is the wire contract) ------------
+
+void
+put(ByteWriter &w, const WorkloadSpec &v)
+{
+    w.u8(std::uint8_t(v.kind));
+    w.u32(v.a);
+    w.u32(v.b);
+    w.u64(v.seed);
+}
+
+WorkloadSpec
+getWorkload(ByteReader &r)
+{
+    WorkloadSpec v;
+    v.kind = WorkloadSpec::Kind(r.u8());
+    v.a = r.u32();
+    v.b = r.u32();
+    v.seed = r.u64();
+    return v;
+}
+
+void
+put(ByteWriter &w, const ConfigWire &v)
+{
+    w.u64(v.roStages);
+    w.f64(v.sampleRate);
+    w.u64(v.counterBits);
+    w.f64(v.enableTime);
+    w.u64(v.nvmEntries);
+    w.u64(v.entryBits);
+    w.u64(v.dividerTap);
+    w.u64(v.dividerTotal);
+    w.u8(v.strategy);
+}
+
+ConfigWire
+getConfig(ByteReader &r)
+{
+    ConfigWire v;
+    v.roStages = r.u64();
+    v.sampleRate = r.f64();
+    v.counterBits = r.u64();
+    v.enableTime = r.f64();
+    v.nvmEntries = r.u64();
+    v.entryBits = r.u64();
+    v.dividerTap = r.u64();
+    v.dividerTotal = r.u64();
+    v.strategy = r.u8();
+    return v;
+}
+
+void
+put(ByteWriter &w, const PerformanceWire &v)
+{
+    w.u8(v.realizable);
+    w.str(v.rejectReason);
+    w.f64(v.meanCurrent);
+    w.f64(v.sampleRate);
+    w.f64(v.granularity);
+    w.u64(v.nvmBytes);
+    w.u64(v.transistors);
+    w.f64(v.quantizationError);
+    w.f64(v.thermalError);
+    w.f64(v.interpolationError);
+}
+
+PerformanceWire
+getPerformance(ByteReader &r)
+{
+    PerformanceWire v;
+    v.realizable = r.u8();
+    v.rejectReason = r.str();
+    v.meanCurrent = r.f64();
+    v.sampleRate = r.f64();
+    v.granularity = r.f64();
+    v.nvmBytes = r.u64();
+    v.transistors = r.u64();
+    v.quantizationError = r.f64();
+    v.thermalError = r.f64();
+    v.interpolationError = r.f64();
+    return v;
+}
+
+} // namespace
+
+MsgKind
+requestKind(const Request &req)
+{
+    switch (req.index()) {
+      case 0: return MsgKind::kRoSweep;
+      case 1: return MsgKind::kDesignPoint;
+      case 2: return MsgKind::kDseShard;
+      case 3: return MsgKind::kTorture;
+      default: return MsgKind::kGuestRun;
+    }
+}
+
+MsgKind
+responseKind(const Response &resp)
+{
+    switch (resp.index()) {
+      case 0: return MsgKind::kRoSweepReply;
+      case 1: return MsgKind::kDesignPointReply;
+      case 2: return MsgKind::kDseShardReply;
+      case 3: return MsgKind::kTortureReply;
+      case 4: return MsgKind::kGuestRunReply;
+      default: return MsgKind::kErrorReply;
+    }
+}
+
+MsgKind
+replyKindFor(MsgKind request_kind)
+{
+    switch (request_kind) {
+      case MsgKind::kRoSweep: return MsgKind::kRoSweepReply;
+      case MsgKind::kDesignPoint: return MsgKind::kDesignPointReply;
+      case MsgKind::kDseShard: return MsgKind::kDseShardReply;
+      case MsgKind::kTorture: return MsgKind::kTortureReply;
+      case MsgKind::kGuestRun: return MsgKind::kGuestRunReply;
+      default: return MsgKind::kErrorReply;
+    }
+}
+
+std::vector<std::uint8_t>
+encodeRequestPayload(const Request &req)
+{
+    std::vector<std::uint8_t> bytes;
+    ByteWriter w(bytes);
+    if (const auto *ro = std::get_if<RoSweepJob>(&req)) {
+        w.str(ro->tech);
+        w.u32(ro->stages);
+        w.u8(ro->cell);
+        w.f64(ro->speed);
+        w.f64(ro->tempC);
+        w.f64(ro->vStart);
+        w.f64(ro->vEnd);
+        w.f64(ro->vStep);
+    } else if (const auto *dp = std::get_if<DesignPointJob>(&req)) {
+        w.str(dp->tech);
+        put(w, dp->config);
+    } else if (const auto *dse = std::get_if<DseShardJob>(&req)) {
+        w.str(dse->tech);
+        w.u32(dse->populationSize);
+        w.u32(dse->generations);
+        w.u64(dse->seed);
+        w.f64(dse->fixedRate);
+        w.u8(dse->exploreDivider);
+    } else if (const auto *t = std::get_if<TortureJob>(&req)) {
+        put(w, t->workload);
+        w.u32(t->sramSize);
+        w.u64(t->stableCycles);
+        w.u64(t->lowCycles);
+        w.u64(t->seed);
+        w.u32(t->killsPerWindow);
+        w.u32(t->randomKills);
+    } else if (const auto *g = std::get_if<GuestRunJob>(&req)) {
+        put(w, g->workload);
+        w.u8(g->traceCache);
+    }
+    return bytes;
+}
+
+bool
+decodeRequestPayload(MsgKind kind, const std::uint8_t *data,
+                     std::size_t len, Request &out, std::string &err)
+{
+    ByteReader r(data, len);
+    switch (kind) {
+      case MsgKind::kRoSweep: {
+          RoSweepJob job;
+          job.tech = r.str();
+          job.stages = r.u32();
+          job.cell = r.u8();
+          job.speed = r.f64();
+          job.tempC = r.f64();
+          job.vStart = r.f64();
+          job.vEnd = r.f64();
+          job.vStep = r.f64();
+          out = job;
+          break;
+      }
+      case MsgKind::kDesignPoint: {
+          DesignPointJob job;
+          job.tech = r.str();
+          job.config = getConfig(r);
+          out = job;
+          break;
+      }
+      case MsgKind::kDseShard: {
+          DseShardJob job;
+          job.tech = r.str();
+          job.populationSize = r.u32();
+          job.generations = r.u32();
+          job.seed = r.u64();
+          job.fixedRate = r.f64();
+          job.exploreDivider = r.u8();
+          out = job;
+          break;
+      }
+      case MsgKind::kTorture: {
+          TortureJob job;
+          job.workload = getWorkload(r);
+          job.sramSize = r.u32();
+          job.stableCycles = r.u64();
+          job.lowCycles = r.u64();
+          job.seed = r.u64();
+          job.killsPerWindow = r.u32();
+          job.randomKills = r.u32();
+          out = job;
+          break;
+      }
+      case MsgKind::kGuestRun: {
+          GuestRunJob job;
+          job.workload = getWorkload(r);
+          job.traceCache = r.u8();
+          out = job;
+          break;
+      }
+      default:
+        err = "unknown request kind " +
+              std::to_string(unsigned(kind));
+        return false;
+    }
+    if (!r.ok()) {
+        err = "truncated request payload";
+        return false;
+    }
+    if (!r.atEnd()) {
+        err = "trailing bytes after request payload";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeResponsePayload(const Response &resp)
+{
+    std::vector<std::uint8_t> bytes;
+    ByteWriter w(bytes);
+    if (const auto *ro = std::get_if<RoSweepResult>(&resp)) {
+        w.u32(std::uint32_t(ro->frequenciesHz.size()));
+        for (double f : ro->frequenciesHz)
+            w.f64(f);
+    } else if (const auto *dp = std::get_if<DesignPointResult>(&resp)) {
+        put(w, dp->perf);
+    } else if (const auto *dse = std::get_if<DseShardResult>(&resp)) {
+        w.u32(std::uint32_t(dse->front.size()));
+        for (const DsePointWire &p : dse->front) {
+            put(w, p.config);
+            put(w, p.perf);
+        }
+    } else if (const auto *t = std::get_if<TortureResult>(&resp)) {
+        w.u64(t->cleanCycles);
+        w.u32(t->checkpoints);
+        w.f64(t->checkpointVolts);
+        w.u32(t->points);
+        w.u32(t->killed);
+        w.u32(t->killTears);
+        w.u32(t->coldRestarts);
+        w.u32(t->tornRestores);
+        w.u32(t->correct);
+        w.u32(t->incorrect);
+        w.u32(std::uint32_t(t->outcomeFlags.size()));
+        for (std::uint8_t f : t->outcomeFlags)
+            w.u8(f);
+        w.u32(std::uint32_t(t->results.size()));
+        for (std::uint32_t v : t->results)
+            w.u32(v);
+    } else if (const auto *g = std::get_if<GuestRunResult>(&resp)) {
+        w.str(g->name);
+        w.u32(g->result);
+        w.u32(g->expected);
+        w.u8(g->correct);
+        w.u64(g->instructions);
+    } else if (const auto *e = std::get_if<ErrorResult>(&resp)) {
+        w.u16(std::uint16_t(e->code));
+        w.str(e->message);
+    }
+    return bytes;
+}
+
+bool
+decodeResponsePayload(MsgKind kind, const std::uint8_t *data,
+                      std::size_t len, Response &out, std::string &err)
+{
+    ByteReader r(data, len);
+    switch (kind) {
+      case MsgKind::kRoSweepReply: {
+          RoSweepResult res;
+          const std::uint32_t n = r.u32();
+          for (std::uint32_t i = 0; r.ok() && i < n; ++i)
+              res.frequenciesHz.push_back(r.f64());
+          out = res;
+          break;
+      }
+      case MsgKind::kDesignPointReply: {
+          DesignPointResult res;
+          res.perf = getPerformance(r);
+          out = res;
+          break;
+      }
+      case MsgKind::kDseShardReply: {
+          DseShardResult res;
+          const std::uint32_t n = r.u32();
+          for (std::uint32_t i = 0; r.ok() && i < n; ++i) {
+              DsePointWire p;
+              p.config = getConfig(r);
+              p.perf = getPerformance(r);
+              res.front.push_back(std::move(p));
+          }
+          out = res;
+          break;
+      }
+      case MsgKind::kTortureReply: {
+          TortureResult res;
+          res.cleanCycles = r.u64();
+          res.checkpoints = r.u32();
+          res.checkpointVolts = r.f64();
+          res.points = r.u32();
+          res.killed = r.u32();
+          res.killTears = r.u32();
+          res.coldRestarts = r.u32();
+          res.tornRestores = r.u32();
+          res.correct = r.u32();
+          res.incorrect = r.u32();
+          const std::uint32_t nf = r.u32();
+          for (std::uint32_t i = 0; r.ok() && i < nf; ++i)
+              res.outcomeFlags.push_back(r.u8());
+          const std::uint32_t nr = r.u32();
+          for (std::uint32_t i = 0; r.ok() && i < nr; ++i)
+              res.results.push_back(r.u32());
+          out = res;
+          break;
+      }
+      case MsgKind::kGuestRunReply: {
+          GuestRunResult res;
+          res.name = r.str();
+          res.result = r.u32();
+          res.expected = r.u32();
+          res.correct = r.u8();
+          res.instructions = r.u64();
+          out = res;
+          break;
+      }
+      case MsgKind::kErrorReply: {
+          ErrorResult res;
+          res.code = ErrorCode(r.u16());
+          res.message = r.str();
+          out = res;
+          break;
+      }
+      default:
+        err = "unknown response kind " +
+              std::to_string(unsigned(kind));
+        return false;
+    }
+    if (!r.ok()) {
+        err = "truncated response payload";
+        return false;
+    }
+    if (!r.atEnd()) {
+        err = "trailing bytes after response payload";
+        return false;
+    }
+    return true;
+}
+
+void
+appendFrame(std::vector<std::uint8_t> &out, MsgKind kind,
+            const std::uint8_t *payload, std::size_t len)
+{
+    ByteWriter w(out);
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u16(std::uint16_t(kind));
+    w.u32(std::uint32_t(len));
+    out.insert(out.end(), payload, payload + len);
+}
+
+std::vector<std::uint8_t>
+frameMessage(MsgKind kind, const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kFrameHeaderSize + payload.size());
+    appendFrame(out, kind, payload.data(), payload.size());
+    return out;
+}
+
+FrameStatus
+parseFrame(const std::uint8_t *data, std::size_t len, Frame &out,
+           std::size_t &consumed)
+{
+    consumed = 0;
+    if (len < kFrameHeaderSize)
+        return FrameStatus::kNeedMore;
+    ByteReader r(data, len);
+    const std::uint32_t magic = r.u32();
+    if (magic != kWireMagic)
+        return FrameStatus::kBadMagic;
+    const std::uint16_t version = r.u16();
+    const std::uint16_t kind = r.u16();
+    const std::uint32_t payload_len = r.u32();
+    if (payload_len > kMaxFramePayload)
+        return FrameStatus::kOversized;
+    if (len - kFrameHeaderSize < payload_len)
+        return FrameStatus::kNeedMore;
+    out.version = version;
+    out.kind = MsgKind(kind);
+    out.payload.assign(data + kFrameHeaderSize,
+                       data + kFrameHeaderSize + payload_len);
+    consumed = kFrameHeaderSize + payload_len;
+    if (version != kWireVersion)
+        return FrameStatus::kVersionMismatch;
+    return FrameStatus::kOk;
+}
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+requestKey(MsgKind kind, const std::vector<std::uint8_t> &payload)
+{
+    const std::uint8_t head[4] = {
+        std::uint8_t(kWireVersion & 0xff),
+        std::uint8_t(kWireVersion >> 8),
+        std::uint8_t(std::uint16_t(kind) & 0xff),
+        std::uint8_t(std::uint16_t(kind) >> 8),
+    };
+    const std::uint64_t h = fnv1a64(head, sizeof head);
+    return fnv1a64(payload.data(), payload.size(), h);
+}
+
+ConfigWire
+toWire(const core::FsConfig &cfg)
+{
+    ConfigWire w;
+    w.roStages = cfg.roStages;
+    w.sampleRate = cfg.sampleRate;
+    w.counterBits = cfg.counterBits;
+    w.enableTime = cfg.enableTime;
+    w.nvmEntries = cfg.nvmEntries;
+    w.entryBits = cfg.entryBits;
+    w.dividerTap = cfg.dividerTap;
+    w.dividerTotal = cfg.dividerTotal;
+    w.strategy = std::uint8_t(cfg.strategy);
+    return w;
+}
+
+core::FsConfig
+fromWire(const ConfigWire &w)
+{
+    core::FsConfig cfg;
+    cfg.roStages = std::size_t(w.roStages);
+    cfg.sampleRate = w.sampleRate;
+    cfg.counterBits = std::size_t(w.counterBits);
+    cfg.enableTime = w.enableTime;
+    cfg.nvmEntries = std::size_t(w.nvmEntries);
+    cfg.entryBits = std::size_t(w.entryBits);
+    cfg.dividerTap = std::size_t(w.dividerTap);
+    cfg.dividerTotal = std::size_t(w.dividerTotal);
+    cfg.strategy = calib::Strategy(w.strategy);
+    return cfg;
+}
+
+PerformanceWire
+toWire(const core::Performance &perf)
+{
+    PerformanceWire w;
+    w.realizable = perf.realizable ? 1 : 0;
+    w.rejectReason = perf.rejectReason;
+    w.meanCurrent = perf.meanCurrent;
+    w.sampleRate = perf.sampleRate;
+    w.granularity = perf.granularity;
+    w.nvmBytes = perf.nvmBytes;
+    w.transistors = perf.transistors;
+    w.quantizationError = perf.quantizationError;
+    w.thermalError = perf.thermalError;
+    w.interpolationError = perf.interpolationError;
+    return w;
+}
+
+core::Performance
+fromWire(const PerformanceWire &w)
+{
+    core::Performance perf;
+    perf.realizable = w.realizable != 0;
+    perf.rejectReason = w.rejectReason;
+    perf.meanCurrent = w.meanCurrent;
+    perf.sampleRate = w.sampleRate;
+    perf.granularity = w.granularity;
+    perf.nvmBytes = std::size_t(w.nvmBytes);
+    perf.transistors = std::size_t(w.transistors);
+    perf.quantizationError = w.quantizationError;
+    perf.thermalError = w.thermalError;
+    perf.interpolationError = w.interpolationError;
+    return perf;
+}
+
+std::string
+workloadName(const WorkloadSpec &spec)
+{
+    switch (spec.kind) {
+      case WorkloadSpec::Kind::kCrc32:
+        return "crc32-" + std::to_string(spec.a);
+      case WorkloadSpec::Kind::kFir:
+        return "fir-" + std::to_string(spec.a) + "x" +
+               std::to_string(spec.b);
+      case WorkloadSpec::Kind::kSort:
+        return "sort-" + std::to_string(spec.a);
+      case WorkloadSpec::Kind::kMatmul:
+        return "matmul-" + std::to_string(spec.a);
+    }
+    return "unknown";
+}
+
+} // namespace serve
+} // namespace fs

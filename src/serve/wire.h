@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Canonical, versioned wire format for the fs::serve subsystem.
+ *
+ * Every simulation job the service understands is a typed request
+ * struct with a single canonical byte encoding: little-endian
+ * fixed-width integers, IEEE-754 doubles transported bit-exactly as
+ * 64-bit words, and length-prefixed UTF-8 strings. "Canonical" is
+ * load-bearing: the FNV-1a hash of the encoded request bytes is the
+ * content address under which responses are cached, so two logically
+ * equal requests must always encode to the same bytes. Responses use
+ * the same primitives, which makes byte-level equality a meaningful
+ * determinism check (test_serve locks cold/cached/batched responses
+ * together at 1 and 8 worker threads).
+ *
+ * On a transport, every message travels in a fixed 12-byte frame
+ * header (magic, version, message kind, payload length). Frames with
+ * a wrong magic or an oversized payload are rejected outright;
+ * version-mismatched frames are consumed and answered with a typed
+ * error response so old clients fail loudly instead of hanging.
+ */
+
+#ifndef FS_SERVE_WIRE_H_
+#define FS_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/fs_config.h"
+#include "core/performance_model.h"
+
+namespace fs {
+namespace serve {
+
+// --- protocol constants ----------------------------------------------
+
+/** "FSRV" */
+constexpr std::uint32_t kWireMagic = 0x46535256u;
+constexpr std::uint16_t kWireVersion = 1;
+/** Frame header: magic u32 + version u16 + kind u16 + length u32. */
+constexpr std::size_t kFrameHeaderSize = 12;
+/** Upper bound on a frame payload; larger frames are rejected. */
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/** Message kinds. Requests are < 0x8000, responses have the top bit. */
+enum class MsgKind : std::uint16_t {
+    kRoSweep = 1,
+    kDesignPoint = 2,
+    kDseShard = 3,
+    kTorture = 4,
+    kGuestRun = 5,
+
+    kRoSweepReply = 0x8001,
+    kDesignPointReply = 0x8002,
+    kDseShardReply = 0x8003,
+    kTortureReply = 0x8004,
+    kGuestRunReply = 0x8005,
+    kErrorReply = 0x80ff,
+};
+
+/** Error codes carried by ErrorResult. */
+enum class ErrorCode : std::uint16_t {
+    kBadRequest = 1,       ///< undecodable or unknown-kind payload
+    kVersionMismatch = 2,  ///< frame version != kWireVersion
+    kDeadlineExceeded = 3, ///< queued past the per-request deadline
+    kOverloaded = 4,       ///< bounded queue refused the request
+    kShuttingDown = 5,     ///< server draining; retry elsewhere
+    kInternal = 6,         ///< execution failed
+};
+
+// --- typed jobs ------------------------------------------------------
+
+/** Guest workload selector shared by the torture and guest-run jobs. */
+struct WorkloadSpec {
+    enum class Kind : std::uint8_t {
+        kCrc32 = 0,  ///< a = byte count
+        kFir = 1,    ///< a = taps, b = samples
+        kSort = 2,   ///< a = element count
+        kMatmul = 3, ///< a = matrix dimension
+    };
+    Kind kind = Kind::kCrc32;
+    std::uint32_t a = 256;
+    std::uint32_t b = 0;
+    std::uint64_t seed = 1;
+};
+
+/** RO frequency sweep: f(v) on a uniform grid for one ring. */
+struct RoSweepJob {
+    std::string tech = "90nm";
+    std::uint32_t stages = 21;
+    std::uint8_t cell = 0; ///< circuit::InverterCell
+    double speed = 1.0;    ///< process-variation speed factor
+    double tempC = 25.0;
+    double vStart = 0.2;
+    double vEnd = 3.6;
+    double vStep = 0.1;
+};
+
+struct RoSweepResult {
+    std::vector<double> frequenciesHz; ///< one per grid point
+};
+
+/** FsConfig on the wire (exact field transport, no re-derivation). */
+struct ConfigWire {
+    std::uint64_t roStages = 21;
+    double sampleRate = 1e3;
+    std::uint64_t counterBits = 8;
+    double enableTime = 10e-6;
+    std::uint64_t nvmEntries = 49;
+    std::uint64_t entryBits = 8;
+    std::uint64_t dividerTap = 1;
+    std::uint64_t dividerTotal = 3;
+    std::uint8_t strategy = 2; ///< calib::Strategy
+};
+
+/** core::Performance on the wire. */
+struct PerformanceWire {
+    std::uint8_t realizable = 0;
+    std::string rejectReason;
+    double meanCurrent = 0.0;
+    double sampleRate = 0.0;
+    double granularity = 0.0;
+    std::uint64_t nvmBytes = 0;
+    std::uint64_t transistors = 0;
+    double quantizationError = 0.0;
+    double thermalError = 0.0;
+    double interpolationError = 0.0;
+};
+
+/** Evaluate one design point through the performance model. */
+struct DesignPointJob {
+    std::string tech = "90nm";
+    ConfigWire config;
+};
+
+struct DesignPointResult {
+    PerformanceWire perf;
+};
+
+/** One NSGA-II design-space exploration shard. */
+struct DseShardJob {
+    std::string tech = "90nm";
+    std::uint32_t populationSize = 24;
+    std::uint32_t generations = 4;
+    std::uint64_t seed = 0x5eed;
+    double fixedRate = 0.0;      ///< >0 pins F_s (Fig. 6 slices)
+    std::uint8_t exploreDivider = 0;
+};
+
+struct DsePointWire {
+    ConfigWire config;
+    PerformanceWire perf;
+};
+
+struct DseShardResult {
+    std::vector<DsePointWire> front;
+};
+
+/** A seeded power-failure torture campaign. */
+struct TortureJob {
+    WorkloadSpec workload;
+    std::uint32_t sramSize = 1024;
+    std::uint64_t stableCycles = 60'000;
+    std::uint64_t lowCycles = 30'000;
+    std::uint64_t seed = 0xF5C0FFEE;
+    /** Evenly spaced kills injected into each commit window. */
+    std::uint32_t killsPerWindow = 0;
+    /** Additional kills at seeded random execution points. */
+    std::uint32_t randomKills = 16;
+};
+
+/** Per-kill outcome flags packed into TortureResult::outcomeFlags. */
+enum TortureOutcomeFlag : std::uint8_t {
+    kOutcomeKilled = 1 << 0,
+    kOutcomeKillTore = 1 << 1,
+    kOutcomeColdRestart = 1 << 2,
+    kOutcomeFinished = 1 << 3,
+    kOutcomeCorrect = 1 << 4,
+};
+
+struct TortureResult {
+    std::uint64_t cleanCycles = 0;
+    std::uint32_t checkpoints = 0;
+    double checkpointVolts = 0.0;
+    std::uint32_t points = 0;
+    std::uint32_t killed = 0;
+    std::uint32_t killTears = 0;
+    std::uint32_t coldRestarts = 0;
+    std::uint32_t tornRestores = 0;
+    std::uint32_t correct = 0;
+    std::uint32_t incorrect = 0;
+    /** Parallel per-kill records, in kill order. */
+    std::vector<std::uint8_t> outcomeFlags;
+    std::vector<std::uint32_t> results;
+};
+
+/** Run one guest workload to completion on a bare FRAM+SRAM machine. */
+struct GuestRunJob {
+    WorkloadSpec workload;
+    std::uint8_t traceCache = 1;
+};
+
+struct GuestRunResult {
+    std::string name;
+    std::uint32_t result = 0;
+    std::uint32_t expected = 0;
+    std::uint8_t correct = 0;
+    std::uint64_t instructions = 0;
+};
+
+struct ErrorResult {
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message;
+};
+
+using Request = std::variant<RoSweepJob, DesignPointJob, DseShardJob,
+                             TortureJob, GuestRunJob>;
+using Response =
+    std::variant<RoSweepResult, DesignPointResult, DseShardResult,
+                 TortureResult, GuestRunResult, ErrorResult>;
+
+/** Wire kind of a request/response variant. */
+MsgKind requestKind(const Request &req);
+MsgKind responseKind(const Response &resp);
+
+/** Reply kind matching a request kind (kErrorReply for unknown). */
+MsgKind replyKindFor(MsgKind request_kind);
+
+// --- canonical payload encoding --------------------------------------
+
+/** Canonical request payload bytes (excludes the frame header). */
+std::vector<std::uint8_t> encodeRequestPayload(const Request &req);
+
+/**
+ * Decode a request payload of the given kind. @return false (with
+ * `err` set) on unknown kind, truncation, or trailing bytes.
+ */
+bool decodeRequestPayload(MsgKind kind,
+                          const std::uint8_t *data, std::size_t len,
+                          Request &out, std::string &err);
+
+std::vector<std::uint8_t> encodeResponsePayload(const Response &resp);
+
+bool decodeResponsePayload(MsgKind kind,
+                           const std::uint8_t *data, std::size_t len,
+                           Response &out, std::string &err);
+
+// --- framing ---------------------------------------------------------
+
+struct Frame {
+    std::uint16_t version = kWireVersion;
+    MsgKind kind = MsgKind::kErrorReply;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Append one framed message to `out`. */
+void appendFrame(std::vector<std::uint8_t> &out, MsgKind kind,
+                 const std::uint8_t *payload, std::size_t len);
+std::vector<std::uint8_t> frameMessage(MsgKind kind,
+                                       const std::vector<std::uint8_t> &payload);
+
+enum class FrameStatus {
+    kOk,              ///< one frame parsed; `consumed` advanced
+    kNeedMore,        ///< buffer holds a prefix of a valid frame
+    kBadMagic,        ///< stream corrupt; connection unusable
+    kOversized,       ///< declared payload exceeds kMaxFramePayload
+    kVersionMismatch, ///< frame consumed; answer with a typed error
+};
+
+/**
+ * Parse one frame from `data[0..len)`. On kOk and kVersionMismatch
+ * the whole frame is consumed (header + payload, so a mismatched
+ * client can be answered and the stream stays in sync); on any other
+ * status `consumed` is 0.
+ */
+FrameStatus parseFrame(const std::uint8_t *data, std::size_t len,
+                       Frame &out, std::size_t &consumed);
+
+// --- content addressing ----------------------------------------------
+
+/** FNV-1a 64-bit hash. */
+std::uint64_t fnv1a64(const void *data, std::size_t len,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/**
+ * Content address of a request: hash over (version, kind, canonical
+ * payload bytes). This is the result-cache key.
+ */
+std::uint64_t requestKey(MsgKind kind,
+                         const std::vector<std::uint8_t> &payload);
+
+// --- core-type conversions -------------------------------------------
+
+ConfigWire toWire(const core::FsConfig &cfg);
+core::FsConfig fromWire(const ConfigWire &w);
+PerformanceWire toWire(const core::Performance &perf);
+core::Performance fromWire(const PerformanceWire &w);
+
+/** Human-readable workload name, e.g. "crc32-256". */
+std::string workloadName(const WorkloadSpec &spec);
+
+} // namespace serve
+} // namespace fs
+
+#endif // FS_SERVE_WIRE_H_

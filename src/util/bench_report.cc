@@ -11,23 +11,20 @@
 #include <sys/file.h>
 #include <unistd.h>
 
+#include "util/json.h"
+
 namespace fs {
 namespace util {
 
 namespace {
 
-void
-appendNumber(std::ostringstream &out, double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    out << buf;
-}
-
 /**
  * Pull "name": {...} pairs out of a flat one-level JSON object. Only
  * needs to understand what BenchReport itself writes; anything
- * unparseable is dropped and the ledger regenerates over time.
+ * unparseable (truncated objects, trailing garbage from a crashed
+ * writer) is dropped and the ledger regenerates over time. Keys are
+ * kept in their escaped on-disk form so a rewrite round-trips them
+ * verbatim.
  */
 std::map<std::string, std::string>
 parseLedger(const std::string &text)
@@ -41,8 +38,11 @@ parseLedger(const std::string &text)
         const std::size_t key_begin = text.find('"', pos);
         if (key_begin == std::string::npos)
             break;
-        const std::size_t key_end = text.find('"', key_begin + 1);
-        if (key_end == std::string::npos)
+        std::size_t key_end = key_begin + 1;
+        while (key_end < text.size() &&
+               (text[key_end] != '"' || text[key_end - 1] == '\\'))
+            ++key_end;
+        if (key_end >= text.size())
             break;
         const std::string key =
             text.substr(key_begin + 1, key_end - key_begin - 1);
@@ -70,29 +70,23 @@ parseLedger(const std::string &text)
 std::string
 BenchReport::json() const
 {
-    std::ostringstream out;
-    out << "{\"phases\":[";
-    for (std::size_t i = 0; i < phases_.size(); ++i) {
-        const Phase &p = phases_[i];
-        if (i)
-            out << ',';
-        out << "{\"name\":\"" << p.name << "\",\"seconds\":";
-        appendNumber(out, p.seconds);
-        out << ",\"items\":";
-        appendNumber(out, p.items);
+    json::Writer w(6);
+    w.beginObject().key("phases").beginArray();
+    for (const Phase &p : phases_) {
         const double rate =
             p.seconds > 0.0 ? p.items / p.seconds : 0.0;
-        out << ",\"items_per_sec\":";
-        appendNumber(out, rate);
-        out << ",\"threads\":" << p.threads;
-        if (p.baselineRatePerSec > 0.0) {
-            out << ",\"speedup_vs_1t\":";
-            appendNumber(out, rate / p.baselineRatePerSec);
-        }
-        out << '}';
+        w.beginObject();
+        w.key("name").value(p.name);
+        w.key("seconds").value(p.seconds);
+        w.key("items").value(p.items);
+        w.key("items_per_sec").value(rate);
+        w.key("threads").value(p.threads);
+        if (p.baselineRatePerSec > 0.0)
+            w.key("speedup_vs_1t").value(rate / p.baselineRatePerSec);
+        w.endObject();
     }
-    out << "]}";
-    return out.str();
+    w.endArray().endObject();
+    return w.str();
 }
 
 std::string
@@ -106,15 +100,15 @@ BenchReport::ledgerPath(const std::string &path)
     return "BENCH_perf.json";
 }
 
-void
-BenchReport::write(const std::string &path) const
+bool
+BenchReport::writeMerged(const std::string &path) const
 {
     const std::string file = ledgerPath(path);
     const int fd = ::open(file.c_str(), O_RDWR | O_CREAT, 0644);
     if (fd < 0) {
         std::fprintf(stderr, "bench_report: cannot open %s\n",
                      file.c_str());
-        return;
+        return false;
     }
     ::flock(fd, LOCK_EX);
     std::string text;
@@ -125,7 +119,7 @@ BenchReport::write(const std::string &path) const
             text.append(buf, std::size_t(n));
     }
     std::map<std::string, std::string> entries = parseLedger(text);
-    entries[bench_] = json();
+    entries[json::escape(bench_)] = json();
     std::ostringstream out;
     out << "{\n";
     std::size_t i = 0;
@@ -137,6 +131,7 @@ BenchReport::write(const std::string &path) const
     }
     out << "}\n";
     const std::string body = out.str();
+    bool ok = false;
     ::lseek(fd, 0, SEEK_SET);
     if (::ftruncate(fd, 0) == 0) {
         std::size_t off = 0;
@@ -147,10 +142,18 @@ BenchReport::write(const std::string &path) const
                 break;
             off += std::size_t(n);
         }
+        ok = off == body.size();
     }
     ::flock(fd, LOCK_UN);
     ::close(fd);
+    return ok;
+}
 
+void
+BenchReport::write(const std::string &path) const
+{
+    const std::string file = ledgerPath(path);
+    writeMerged(path);
     for (const Phase &p : phases_) {
         const double rate = p.seconds > 0.0 ? p.items / p.seconds : 0.0;
         std::printf("[perf] %s/%s: %.3f s, %.1f items/s, %zu thread%s",

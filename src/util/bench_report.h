@@ -70,6 +70,16 @@ class BenchReport
      */
     void write(const std::string &path = "") const;
 
+    /**
+     * The merge itself, without the stdout summary: read-modify-write
+     * the ledger under an exclusive flock, replacing this bench's
+     * entry and preserving every other parseable entry. A corrupted
+     * or truncated existing file is recovered from (salvageable
+     * entries survive, garbage is dropped), never fatal.
+     * @return true when the updated ledger was fully written.
+     */
+    bool writeMerged(const std::string &path = "") const;
+
     /** Resolved ledger path (env override applied). */
     static std::string ledgerPath(const std::string &path = "");
 

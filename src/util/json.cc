@@ -1,0 +1,150 @@
+#include "util/json.h"
+
+#include <cstdio>
+
+namespace fs {
+namespace util {
+namespace json {
+
+void
+appendEscaped(std::string &out, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              unsigned(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+            break;
+        }
+    }
+}
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    appendEscaped(out, s);
+    return out;
+}
+
+void
+Writer::beforeValue()
+{
+    if (!has_value_.empty()) {
+        if (has_value_.back())
+            out_ += ',';
+        has_value_.back() = true;
+    }
+}
+
+Writer &
+Writer::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    has_value_.push_back(false);
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    out_ += '}';
+    if (!has_value_.empty())
+        has_value_.pop_back();
+    return *this;
+}
+
+Writer &
+Writer::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    has_value_.push_back(false);
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    out_ += ']';
+    if (!has_value_.empty())
+        has_value_.pop_back();
+    return *this;
+}
+
+Writer &
+Writer::key(std::string_view k)
+{
+    if (!has_value_.empty()) {
+        if (has_value_.back())
+            out_ += ',';
+        // The matching value() call must not emit a second comma.
+        has_value_.back() = false;
+    }
+    out_ += '"';
+    appendEscaped(out_, k);
+    out_ += "\":";
+    return *this;
+}
+
+Writer &
+Writer::value(std::string_view v)
+{
+    beforeValue();
+    out_ += '"';
+    appendEscaped(out_, v);
+    out_ += '"';
+    return *this;
+}
+
+Writer &
+Writer::value(double v)
+{
+    beforeValue();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", double_digits_, v);
+    out_ += buf;
+    return *this;
+}
+
+void
+Writer::appendInteger(const std::string &digits)
+{
+    beforeValue();
+    out_ += digits;
+}
+
+Writer &
+Writer::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+Writer &
+Writer::raw(std::string_view v)
+{
+    beforeValue();
+    out_ += v;
+    return *this;
+}
+
+} // namespace json
+} // namespace util
+} // namespace fs

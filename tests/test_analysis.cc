@@ -249,9 +249,9 @@ TEST(Linter, TextAndJsonRenderFindings)
     EXPECT_NE(text.find("[error] war-hazard"), std::string::npos);
     EXPECT_NE(text.find("rmw"), std::string::npos);
     const std::string json = report.json();
-    EXPECT_NE(json.find("\"image\": \"rmw\""), std::string::npos);
-    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
-    EXPECT_NE(json.find("\"kind\": \"war-hazard\""),
+    EXPECT_NE(json.find("\"image\":\"rmw\""), std::string::npos);
+    EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"war-hazard\""),
               std::string::npos);
 }
 

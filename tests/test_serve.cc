@@ -1,0 +1,666 @@
+/**
+ * @file
+ * Tests for the fs::serve subsystem: canonical wire format (encode /
+ * decode round-trips under fuzzed inputs, framing edge cases, version
+ * mismatch answered with a typed error), the content-addressed result
+ * cache (LRU eviction, disk spill, kill switch), and the determinism
+ * contract that makes caching sound -- cold, cached, and batched
+ * responses are byte-identical at 1 and 8 worker threads, in-process
+ * and across a live Unix-domain socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/random.h"
+
+namespace fs {
+namespace serve {
+namespace {
+
+// --- fuzzed round-trips ----------------------------------------------
+
+std::string
+randomString(Rng &rng, std::size_t max_len)
+{
+    const std::size_t len = std::size_t(
+        rng.uniformInt(0, std::int64_t(max_len)));
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i)
+        s.push_back(char(rng.uniformInt(1, 255)));
+    return s;
+}
+
+ConfigWire
+randomConfig(Rng &rng)
+{
+    ConfigWire c;
+    c.roStages = std::uint64_t(rng.uniformInt(3, 501));
+    c.sampleRate = rng.uniform(1.0, 1e6);
+    c.counterBits = std::uint64_t(rng.uniformInt(1, 24));
+    c.enableTime = rng.uniform(0.0, 1e-3);
+    c.nvmEntries = std::uint64_t(rng.uniformInt(1, 4096));
+    c.entryBits = std::uint64_t(rng.uniformInt(1, 32));
+    c.dividerTap = std::uint64_t(rng.uniformInt(1, 7));
+    c.dividerTotal = std::uint64_t(rng.uniformInt(1, 9));
+    c.strategy = std::uint8_t(rng.uniformInt(0, 3));
+    return c;
+}
+
+PerformanceWire
+randomPerf(Rng &rng)
+{
+    PerformanceWire p;
+    p.realizable = std::uint8_t(rng.uniformInt(0, 1));
+    p.rejectReason = randomString(rng, 24);
+    p.meanCurrent = rng.uniform(-1.0, 1.0);
+    p.sampleRate = rng.uniform(0.0, 1e7);
+    p.granularity = rng.uniform(0.0, 1.0);
+    p.nvmBytes = std::uint64_t(rng.uniformInt(0, 1 << 20));
+    p.transistors = std::uint64_t(rng.uniformInt(0, 1 << 24));
+    p.quantizationError = rng.uniform(0.0, 0.5);
+    p.thermalError = rng.uniform(0.0, 0.5);
+    p.interpolationError = rng.uniform(0.0, 0.5);
+    return p;
+}
+
+WorkloadSpec
+randomWorkload(Rng &rng)
+{
+    WorkloadSpec w;
+    w.kind = WorkloadSpec::Kind(rng.uniformInt(0, 3));
+    w.a = std::uint32_t(rng.uniformInt(1, 1 << 16));
+    w.b = std::uint32_t(rng.uniformInt(0, 1 << 16));
+    w.seed = std::uint64_t(rng.uniformInt(0, 1 << 30));
+    return w;
+}
+
+std::vector<Request>
+randomRequests(Rng &rng)
+{
+    RoSweepJob ro;
+    ro.tech = randomString(rng, 16);
+    ro.stages = std::uint32_t(rng.uniformInt(3, 501));
+    ro.cell = std::uint8_t(rng.uniformInt(0, 1));
+    ro.speed = rng.uniform(0.5, 1.5);
+    ro.tempC = rng.uniform(-40.0, 125.0);
+    ro.vStart = rng.uniform(0.1, 1.0);
+    ro.vEnd = ro.vStart + rng.uniform(0.0, 3.0);
+    ro.vStep = rng.uniform(0.01, 0.5);
+
+    DesignPointJob dp;
+    dp.tech = randomString(rng, 16);
+    dp.config = randomConfig(rng);
+
+    DseShardJob dse;
+    dse.tech = randomString(rng, 16);
+    dse.populationSize = std::uint32_t(rng.uniformInt(4, 512));
+    dse.generations = std::uint32_t(rng.uniformInt(0, 200));
+    dse.seed = std::uint64_t(rng.uniformInt(0, 1 << 30));
+    dse.fixedRate = rng.uniform(0.0, 1e5);
+    dse.exploreDivider = std::uint8_t(rng.uniformInt(0, 1));
+
+    TortureJob torture;
+    torture.workload = randomWorkload(rng);
+    torture.sramSize = std::uint32_t(rng.uniformInt(256, 1 << 16));
+    torture.stableCycles = std::uint64_t(rng.uniformInt(1, 1 << 20));
+    torture.lowCycles = std::uint64_t(rng.uniformInt(1, 1 << 20));
+    torture.seed = std::uint64_t(rng.uniformInt(0, 1 << 30));
+    torture.killsPerWindow = std::uint32_t(rng.uniformInt(0, 64));
+    torture.randomKills = std::uint32_t(rng.uniformInt(0, 64));
+
+    GuestRunJob guest;
+    guest.workload = randomWorkload(rng);
+    guest.traceCache = std::uint8_t(rng.uniformInt(0, 1));
+
+    return {ro, dp, dse, torture, guest};
+}
+
+std::vector<Response>
+randomResponses(Rng &rng)
+{
+    RoSweepResult ro;
+    const std::size_t points =
+        std::size_t(rng.uniformInt(0, 64));
+    for (std::size_t i = 0; i < points; ++i)
+        ro.frequenciesHz.push_back(rng.uniform(0.0, 1e8));
+
+    DesignPointResult dp{randomPerf(rng)};
+
+    DseShardResult dse;
+    const std::size_t front = std::size_t(rng.uniformInt(0, 16));
+    for (std::size_t i = 0; i < front; ++i)
+        dse.front.push_back({randomConfig(rng), randomPerf(rng)});
+
+    TortureResult torture;
+    torture.cleanCycles = std::uint64_t(rng.uniformInt(0, 1 << 30));
+    torture.checkpoints = std::uint32_t(rng.uniformInt(0, 64));
+    torture.checkpointVolts = rng.uniform(1.0, 3.0);
+    const std::size_t kills = std::size_t(rng.uniformInt(0, 32));
+    torture.points = std::uint32_t(kills);
+    for (std::size_t i = 0; i < kills; ++i) {
+        torture.outcomeFlags.push_back(
+            std::uint8_t(rng.uniformInt(0, 31)));
+        torture.results.push_back(
+            std::uint32_t(rng.uniformInt(0, 0xffffffffLL)));
+    }
+
+    GuestRunResult guest;
+    guest.name = randomString(rng, 24);
+    guest.result = std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+    guest.expected = std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+    guest.correct = std::uint8_t(rng.uniformInt(0, 1));
+    guest.instructions = std::uint64_t(rng.uniformInt(0, 1 << 30));
+
+    ErrorResult error;
+    error.code = ErrorCode(rng.uniformInt(1, 6));
+    error.message = randomString(rng, 64);
+
+    return {ro, dp, dse, torture, guest, error};
+}
+
+TEST(Wire, RequestRoundTripFuzz)
+{
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        Rng rng(seed);
+        for (const Request &req : randomRequests(rng)) {
+            const MsgKind kind = requestKind(req);
+            const std::vector<std::uint8_t> bytes =
+                encodeRequestPayload(req);
+            Request decoded;
+            std::string err;
+            ASSERT_TRUE(decodeRequestPayload(
+                kind, bytes.data(), bytes.size(), decoded, err))
+                << "seed " << seed << ": " << err;
+            // Canonical encoding: decode then re-encode reproduces
+            // the exact bytes (this is what content addressing needs).
+            EXPECT_EQ(encodeRequestPayload(decoded), bytes)
+                << "seed " << seed << " kind "
+                << unsigned(kind);
+            EXPECT_EQ(requestKey(kind, bytes),
+                      requestKey(kind, encodeRequestPayload(decoded)));
+        }
+    }
+}
+
+TEST(Wire, ResponseRoundTripFuzz)
+{
+    for (std::uint64_t seed = 100; seed < 116; ++seed) {
+        Rng rng(seed);
+        for (const Response &resp : randomResponses(rng)) {
+            const MsgKind kind = responseKind(resp);
+            const std::vector<std::uint8_t> bytes =
+                encodeResponsePayload(resp);
+            Response decoded;
+            std::string err;
+            ASSERT_TRUE(decodeResponsePayload(
+                kind, bytes.data(), bytes.size(), decoded, err))
+                << "seed " << seed << ": " << err;
+            EXPECT_EQ(encodeResponsePayload(decoded), bytes)
+                << "seed " << seed << " kind "
+                << unsigned(kind);
+        }
+    }
+}
+
+TEST(Wire, TruncatedPayloadsAreRejectedAtEveryLength)
+{
+    Rng rng(7);
+    for (const Request &req : randomRequests(rng)) {
+        const MsgKind kind = requestKind(req);
+        const std::vector<std::uint8_t> bytes =
+            encodeRequestPayload(req);
+        for (std::size_t len = 0; len < bytes.size(); ++len) {
+            Request decoded;
+            std::string err;
+            EXPECT_FALSE(decodeRequestPayload(kind, bytes.data(),
+                                              len, decoded, err))
+                << "prefix " << len << "/" << bytes.size();
+        }
+    }
+}
+
+TEST(Wire, TrailingBytesAreRejected)
+{
+    const Request req = RoSweepJob{};
+    std::vector<std::uint8_t> bytes = encodeRequestPayload(req);
+    bytes.push_back(0);
+    Request decoded;
+    std::string err;
+    EXPECT_FALSE(decodeRequestPayload(requestKind(req), bytes.data(),
+                                      bytes.size(), decoded, err));
+    EXPECT_NE(err.find("trailing"), std::string::npos);
+}
+
+TEST(Wire, FrameParsingHandlesPartialBadAndOversized)
+{
+    const std::vector<std::uint8_t> payload =
+        encodeRequestPayload(Request(GuestRunJob{}));
+    const std::vector<std::uint8_t> framed =
+        frameMessage(MsgKind::kGuestRun, payload);
+
+    Frame frame;
+    std::size_t consumed = 0;
+    // Every strict prefix is kNeedMore, never kOk and never an error.
+    for (std::size_t len = 0; len < framed.size(); ++len) {
+        EXPECT_EQ(parseFrame(framed.data(), len, frame, consumed),
+                  FrameStatus::kNeedMore)
+            << "prefix " << len;
+        EXPECT_EQ(consumed, 0u);
+    }
+    ASSERT_EQ(parseFrame(framed.data(), framed.size(), frame,
+                         consumed),
+              FrameStatus::kOk);
+    EXPECT_EQ(consumed, framed.size());
+    EXPECT_EQ(frame.kind, MsgKind::kGuestRun);
+    EXPECT_EQ(frame.payload, payload);
+
+    std::vector<std::uint8_t> bad_magic = framed;
+    bad_magic[0] ^= 0xff;
+    EXPECT_EQ(parseFrame(bad_magic.data(), bad_magic.size(), frame,
+                         consumed),
+              FrameStatus::kBadMagic);
+
+    std::vector<std::uint8_t> oversized = framed;
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    std::memcpy(oversized.data() + 8, &huge, 4);
+    EXPECT_EQ(parseFrame(oversized.data(), oversized.size(), frame,
+                         consumed),
+              FrameStatus::kOversized);
+}
+
+TEST(Wire, VersionMismatchConsumesTheFrame)
+{
+    const std::vector<std::uint8_t> payload =
+        encodeRequestPayload(Request(RoSweepJob{}));
+    std::vector<std::uint8_t> framed =
+        frameMessage(MsgKind::kRoSweep, payload);
+    const std::uint16_t wrong = kWireVersion + 1;
+    std::memcpy(framed.data() + 4, &wrong, 2);
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parseFrame(framed.data(), framed.size(), frame,
+                         consumed),
+              FrameStatus::kVersionMismatch);
+    // Consuming the whole frame keeps the stream in sync so the
+    // server can answer with a typed error instead of hanging.
+    EXPECT_EQ(consumed, framed.size());
+    EXPECT_EQ(frame.version, wrong);
+}
+
+TEST(Wire, RequestKeyDistinguishesKindAndContent)
+{
+    GuestRunJob a;
+    GuestRunJob b = a;
+    b.workload.seed += 1;
+    const auto pa = encodeRequestPayload(Request(a));
+    const auto pb = encodeRequestPayload(Request(b));
+    EXPECT_NE(requestKey(MsgKind::kGuestRun, pa),
+              requestKey(MsgKind::kGuestRun, pb));
+    // Same payload bytes under a different kind must address
+    // differently too.
+    EXPECT_NE(requestKey(MsgKind::kGuestRun, pa),
+              requestKey(MsgKind::kTorture, pa));
+}
+
+// --- result cache ----------------------------------------------------
+
+std::vector<std::uint8_t>
+payloadOfSize(std::size_t n, std::uint8_t fill)
+{
+    return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedByBytes)
+{
+    ResultCache cache(250);
+    cache.insert(1, MsgKind::kErrorReply, payloadOfSize(100, 1));
+    cache.insert(2, MsgKind::kErrorReply, payloadOfSize(100, 2));
+    MsgKind kind;
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(cache.lookup(1, kind, payload)); // 1 is now MRU
+    cache.insert(3, MsgKind::kErrorReply, payloadOfSize(100, 3));
+    EXPECT_TRUE(cache.lookup(1, kind, payload));
+    EXPECT_FALSE(cache.lookup(2, kind, payload)); // LRU victim
+    ASSERT_TRUE(cache.lookup(3, kind, payload));
+    EXPECT_EQ(payload, payloadOfSize(100, 3));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.bytesUsed(), 250u);
+}
+
+TEST(ResultCache, SpillDirectorySurvivesRestartAndRejectsCorruption)
+{
+    const std::string dir = testing::TempDir() + "fs_spill_test";
+    const std::vector<std::uint8_t> payload = payloadOfSize(64, 0xab);
+    {
+        ResultCache cache(1 << 20, dir);
+        cache.insert(42, MsgKind::kGuestRunReply, payload);
+    }
+    ResultCache fresh(1 << 20, dir);
+    MsgKind kind;
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(fresh.lookup(42, kind, got));
+    EXPECT_EQ(kind, MsgKind::kGuestRunReply);
+    EXPECT_EQ(got, payload);
+    EXPECT_EQ(fresh.stats().diskHits, 1u);
+    // Promoted into memory: the second lookup is a memory hit.
+    ASSERT_TRUE(fresh.lookup(42, kind, got));
+    EXPECT_EQ(fresh.stats().hits, 1u);
+
+    // A corrupt spill file is a miss, not a crash or a wrong answer.
+    ResultCache other(1 << 20, dir);
+    {
+        std::ofstream out(other.spillPath(43), std::ios::binary);
+        out << "garbage that is not a frame";
+    }
+    EXPECT_FALSE(other.lookup(43, kind, got));
+    std::remove(other.spillPath(42).c_str());
+    std::remove(other.spillPath(43).c_str());
+}
+
+// --- engine determinism ----------------------------------------------
+
+/** Small-but-real jobs, one of each type. */
+std::vector<Request>
+sampleJobs()
+{
+    RoSweepJob ro;
+    ro.vStart = 0.4;
+    ro.vEnd = 1.2;
+    ro.vStep = 0.1;
+
+    DesignPointJob dp;
+
+    DseShardJob dse;
+    dse.populationSize = 24;
+    dse.generations = 2;
+
+    TortureJob torture;
+    torture.workload.kind = WorkloadSpec::Kind::kCrc32;
+    torture.workload.a = 1024;
+    torture.randomKills = 4;
+
+    GuestRunJob guest;
+    guest.workload.kind = WorkloadSpec::Kind::kSort;
+    guest.workload.a = 64;
+
+    return {ro, dp, dse, torture, guest};
+}
+
+Engine::Options
+engineOptions(std::size_t threads)
+{
+    Engine::Options opts;
+    opts.threads = threads;
+    return opts;
+}
+
+TEST(Engine, ColdCachedAndBatchedBytesAreIdenticalAcrossThreads)
+{
+    Engine one(engineOptions(1));
+    Engine eight(engineOptions(8));
+    const std::vector<Request> jobs = sampleJobs();
+
+    std::vector<std::vector<std::uint8_t>> cold;
+    for (const Request &req : jobs) {
+        const ServedResponse a = one.serve(req);
+        EXPECT_FALSE(a.fromCache);
+        EXPECT_NE(a.kind, MsgKind::kErrorReply);
+        const ServedResponse b = one.serve(req);
+        EXPECT_TRUE(b.fromCache);
+        EXPECT_EQ(a.payload, b.payload);
+        EXPECT_EQ(a.kind, b.kind);
+        cold.push_back(a.payload);
+    }
+    // 8 worker threads, fresh cache: byte-identical to 1 thread.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const ServedResponse r = eight.serve(jobs[i]);
+        EXPECT_FALSE(r.fromCache);
+        EXPECT_EQ(r.payload, cold[i]) << "job " << i;
+    }
+    // Batched with duplicates, fresh engine: same bytes again, and
+    // the duplicate is answered from the in-batch dedupe.
+    Engine batcher(engineOptions(8));
+    std::vector<Request> batch = jobs;
+    batch.push_back(jobs[2]); // duplicate DSE shard
+    const std::vector<ServedResponse> served =
+        batcher.serveBatch(batch);
+    ASSERT_EQ(served.size(), jobs.size() + 1);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(served[i].payload, cold[i]) << "job " << i;
+    EXPECT_TRUE(served.back().fromCache);
+    EXPECT_EQ(served.back().payload, cold[2]);
+}
+
+TEST(Engine, KillSwitchBypassesTheCache)
+{
+    ::setenv("FS_NO_SERVE_CACHE", "1", 1);
+    Engine engine(engineOptions(1));
+    const Request req = sampleJobs()[0];
+    const ServedResponse a = engine.serve(req);
+    const ServedResponse b = engine.serve(req);
+    ::unsetenv("FS_NO_SERVE_CACHE");
+    EXPECT_FALSE(a.fromCache);
+    EXPECT_FALSE(b.fromCache);
+    EXPECT_EQ(a.payload, b.payload); // determinism, not the cache
+    EXPECT_EQ(engine.cache().entryCount(), 0u);
+    // With the switch lifted the same engine caches again.
+    const ServedResponse c = engine.serve(req);
+    EXPECT_FALSE(c.fromCache);
+    const ServedResponse d = engine.serve(req);
+    EXPECT_TRUE(d.fromCache);
+    EXPECT_EQ(c.payload, a.payload);
+    EXPECT_EQ(d.payload, a.payload);
+}
+
+TEST(Engine, UndecodableAndInvalidRequestsAreTypedErrors)
+{
+    Engine engine(engineOptions(1));
+    // Garbage payload bytes: kBadRequest, and never cached.
+    const std::vector<std::uint8_t> junk = {1, 2, 3};
+    const ServedResponse r = engine.serve(MsgKind::kRoSweep, junk);
+    EXPECT_EQ(r.kind, MsgKind::kErrorReply);
+    EXPECT_EQ(engine.cache().entryCount(), 0u);
+
+    // Unknown technology: a typed error from execution.
+    RoSweepJob job;
+    job.tech = "13nm";
+    const Response resp = engine.execute(job);
+    const auto *err = std::get_if<ErrorResult>(&resp);
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->code, ErrorCode::kBadRequest);
+}
+
+// --- live socket -----------------------------------------------------
+
+std::string
+testSocketPath(const char *tag)
+{
+    return "/tmp/fs_serve_test_" + std::to_string(::getpid()) + "_" +
+           tag + ".sock";
+}
+
+TEST(Server, ServesEveryJobTypeByteIdenticalToDirectExecution)
+{
+    Server::Options opts;
+    opts.socketPath = testSocketPath("jobs");
+    opts.engine.threads = 2;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    Engine direct(engineOptions(2));
+    Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, err)) << err;
+    for (const Request &req : sampleJobs()) {
+        Frame reply;
+        ASSERT_TRUE(client.call(requestKind(req),
+                                encodeRequestPayload(req), reply,
+                                err))
+            << err;
+        const Response expect = direct.execute(req);
+        EXPECT_EQ(reply.kind, responseKind(expect));
+        EXPECT_EQ(reply.payload, encodeResponsePayload(expect));
+    }
+    // Same requests again: served from the daemon's cache, same bytes.
+    for (const Request &req : sampleJobs()) {
+        Response resp;
+        ASSERT_TRUE(client.call(req, resp, err)) << err;
+        EXPECT_EQ(encodeResponsePayload(resp),
+                  encodeResponsePayload(direct.execute(req)));
+    }
+    client.close();
+    server.stop();
+    const Server::Stats stats = server.stats();
+    EXPECT_EQ(stats.requests, 2 * sampleJobs().size());
+    EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Server, AnswersVersionMismatchWithTypedError)
+{
+    Server::Options opts;
+    opts.socketPath = testSocketPath("version");
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    // Hand-crafted frame from a "future" client version.
+    std::vector<std::uint8_t> framed = frameMessage(
+        MsgKind::kRoSweep, encodeRequestPayload(Request(RoSweepJob{})));
+    const std::uint16_t wrong = kWireVersion + 7;
+    std::memcpy(framed.data() + 4, &wrong, 2);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    ASSERT_EQ(::send(fd, framed.data(), framed.size(), 0),
+              ssize_t(framed.size()));
+
+    std::vector<std::uint8_t> buf;
+    Frame reply;
+    std::size_t consumed = 0;
+    for (;;) {
+        std::uint8_t chunk[512];
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        ASSERT_GT(n, 0) << "server closed without replying";
+        buf.insert(buf.end(), chunk, chunk + n);
+        if (parseFrame(buf.data(), buf.size(), reply, consumed) ==
+            FrameStatus::kOk)
+            break;
+    }
+    ::close(fd);
+    server.stop();
+
+    ASSERT_EQ(reply.kind, MsgKind::kErrorReply);
+    Response resp;
+    std::string decode_err;
+    ASSERT_TRUE(decodeResponsePayload(reply.kind,
+                                      reply.payload.data(),
+                                      reply.payload.size(), resp,
+                                      decode_err));
+    const auto *error = std::get_if<ErrorResult>(&resp);
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->code, ErrorCode::kVersionMismatch);
+    EXPECT_EQ(server.stats().versionMismatches, 1u);
+}
+
+TEST(Server, DrainsQueuedRequestsOnStop)
+{
+    Server::Options opts;
+    opts.socketPath = testSocketPath("drain");
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, err)) << err;
+    // Pipeline several requests, then stop the server from another
+    // thread while replies are still in flight: every request that
+    // reached the queue must still be answered before the socket
+    // closes.
+    GuestRunJob job;
+    job.workload.a = 512;
+    const std::vector<std::uint8_t> payload =
+        encodeRequestPayload(Request(job));
+    Frame first;
+    ASSERT_TRUE(
+        client.call(MsgKind::kGuestRun, payload, first, err))
+        << err;
+    std::thread stopper([&server] { server.stop(); });
+    stopper.join();
+    EXPECT_EQ(first.kind, MsgKind::kGuestRunReply);
+    EXPECT_FALSE(server.running());
+}
+
+TEST(Client, ExploreDesignSpaceServedFallsBackLocally)
+{
+    // No FS_SERVE_SOCKET: the wrapper must be a transparent local
+    // call with an identical front.
+    ::unsetenv("FS_SERVE_SOCKET");
+    dse::Nsga2::Options opts;
+    opts.populationSize = 24;
+    opts.generations = 2;
+    const auto local = dse::exploreDesignSpace(
+        circuit::Technology::node90(), opts);
+    const auto served = exploreDesignSpaceServed(
+        circuit::Technology::node90(), opts);
+    ASSERT_EQ(served.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        EXPECT_EQ(served[i].config.summary(),
+                  local[i].config.summary());
+        EXPECT_DOUBLE_EQ(served[i].perf.meanCurrent,
+                         local[i].perf.meanCurrent);
+    }
+}
+
+TEST(Client, ServedDseMatchesLocalThroughLiveDaemon)
+{
+    Server::Options opts;
+    opts.socketPath = testSocketPath("dse");
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+    ::setenv("FS_SERVE_SOCKET", opts.socketPath.c_str(), 1);
+
+    dse::Nsga2::Options nsga;
+    nsga.populationSize = 24;
+    nsga.generations = 2;
+    const auto served = exploreDesignSpaceServed(
+        circuit::Technology::node90(), nsga);
+    ::unsetenv("FS_SERVE_SOCKET");
+    server.stop();
+
+    const auto local = dse::exploreDesignSpace(
+        circuit::Technology::node90(), nsga);
+    ASSERT_EQ(served.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i)
+        EXPECT_EQ(served[i].config.summary(),
+                  local[i].config.summary());
+    // The round trip actually used the daemon.
+    EXPECT_GE(server.stats().requests, 1u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace fs

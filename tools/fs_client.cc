@@ -1,0 +1,327 @@
+/**
+ * @file
+ * fs_client: command-line client for the fs_served daemon.
+ *
+ * Builds one typed job from the command line, runs it either against
+ * a daemon (--endpoint, or FS_SERVE_SOCKET) or fully in-process
+ * (--local), and prints a deterministic key=value rendering of the
+ * response. Because the engine is byte-deterministic, the rendering
+ * of a served response diffs clean against the same job run with
+ * --local -- the CI smoke job relies on exactly that.
+ *
+ *   fs_client --endpoint /tmp/fs.sock ro-sweep --tech 90nm
+ *   fs_client --local dse --pop 24 --gens 4
+ *   fs_client guest --workload matmul --a 12
+ *
+ * Exit codes: 0 = response printed, 1 = error response or transport
+ * failure, 2 = usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/engine.h"
+
+namespace {
+
+using namespace fs::serve;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fs_client [--endpoint EP] [--local] [--threads N] JOB"
+        " [job options]\n"
+        "  EP defaults to $FS_SERVE_SOCKET; --local runs in-process\n"
+        "jobs:\n"
+        "  ro-sweep     [--tech T --stages N --cell simple|starved\n"
+        "                --speed F --temp C --vstart V --vend V"
+        " --vstep V]\n"
+        "  design-point [--tech T --ro-stages N --sample-rate F\n"
+        "                --counter-bits N --enable-us F"
+        " --nvm-entries N\n"
+        "                --entry-bits N --divider-tap N"
+        " --divider-total N\n"
+        "                --strategy 0..3]\n"
+        "  dse          [--tech T --pop N --gens N --seed N\n"
+        "                --fixed-rate F --explore-divider]\n"
+        "  torture      [--workload crc32|fir|sort|matmul --a N --b N\n"
+        "                --wseed N --sram N --stable N --low N"
+        " --seed N\n"
+        "                --kills-per-window N --random-kills N]\n"
+        "  guest        [--workload ... --a N --b N --wseed N"
+        " --no-trace]\n");
+    return 2;
+}
+
+bool
+parseWorkload(const std::string &name, WorkloadSpec &spec)
+{
+    if (name == "crc32")
+        spec.kind = WorkloadSpec::Kind::kCrc32;
+    else if (name == "fir")
+        spec.kind = WorkloadSpec::Kind::kFir;
+    else if (name == "sort")
+        spec.kind = WorkloadSpec::Kind::kSort;
+    else if (name == "matmul")
+        spec.kind = WorkloadSpec::Kind::kMatmul;
+    else
+        return false;
+    return true;
+}
+
+void
+printDouble(const char *key, double v)
+{
+    std::printf("%s=%.17g\n", key, v);
+}
+
+void
+printConfig(const char *prefix, const ConfigWire &c)
+{
+    std::printf("%sro_stages=%llu\n", prefix,
+                (unsigned long long)c.roStages);
+    std::printf("%ssample_rate=%.17g\n", prefix, c.sampleRate);
+    std::printf("%scounter_bits=%llu\n", prefix,
+                (unsigned long long)c.counterBits);
+    std::printf("%senable_time=%.17g\n", prefix, c.enableTime);
+    std::printf("%snvm_entries=%llu\n", prefix,
+                (unsigned long long)c.nvmEntries);
+    std::printf("%sentry_bits=%llu\n", prefix,
+                (unsigned long long)c.entryBits);
+    std::printf("%sdivider_tap=%llu\n", prefix,
+                (unsigned long long)c.dividerTap);
+    std::printf("%sdivider_total=%llu\n", prefix,
+                (unsigned long long)c.dividerTotal);
+    std::printf("%sstrategy=%u\n", prefix, unsigned(c.strategy));
+}
+
+void
+printPerf(const char *prefix, const PerformanceWire &p)
+{
+    std::printf("%srealizable=%u\n", prefix, unsigned(p.realizable));
+    std::printf("%sreject_reason=%s\n", prefix,
+                p.rejectReason.c_str());
+    std::printf("%smean_current=%.17g\n", prefix, p.meanCurrent);
+    std::printf("%ssample_rate=%.17g\n", prefix, p.sampleRate);
+    std::printf("%sgranularity=%.17g\n", prefix, p.granularity);
+    std::printf("%snvm_bytes=%llu\n", prefix,
+                (unsigned long long)p.nvmBytes);
+    std::printf("%stransistors=%llu\n", prefix,
+                (unsigned long long)p.transistors);
+    std::printf("%squantization_error=%.17g\n", prefix,
+                p.quantizationError);
+    std::printf("%sthermal_error=%.17g\n", prefix, p.thermalError);
+    std::printf("%sinterpolation_error=%.17g\n", prefix,
+                p.interpolationError);
+}
+
+/** Deterministic rendering; identical for served and --local runs. */
+int
+printResponse(const Response &resp)
+{
+    if (const auto *e = std::get_if<ErrorResult>(&resp)) {
+        std::printf("error code=%u message=%s\n", unsigned(e->code),
+                    e->message.c_str());
+        return 1;
+    }
+    if (const auto *ro = std::get_if<RoSweepResult>(&resp)) {
+        std::printf("ro-sweep points=%zu\n",
+                    ro->frequenciesHz.size());
+        for (std::size_t i = 0; i < ro->frequenciesHz.size(); ++i)
+            std::printf("f[%zu]=%.17g\n", i, ro->frequenciesHz[i]);
+        return 0;
+    }
+    if (const auto *dp = std::get_if<DesignPointResult>(&resp)) {
+        std::printf("design-point\n");
+        printPerf("perf.", dp->perf);
+        return 0;
+    }
+    if (const auto *dse = std::get_if<DseShardResult>(&resp)) {
+        std::printf("dse front=%zu\n", dse->front.size());
+        for (std::size_t i = 0; i < dse->front.size(); ++i) {
+            char prefix[48];
+            std::snprintf(prefix, sizeof prefix, "p%zu.config.", i);
+            printConfig(prefix, dse->front[i].config);
+            std::snprintf(prefix, sizeof prefix, "p%zu.perf.", i);
+            printPerf(prefix, dse->front[i].perf);
+        }
+        return 0;
+    }
+    if (const auto *t = std::get_if<TortureResult>(&resp)) {
+        std::printf("torture points=%u\n", t->points);
+        std::printf("clean_cycles=%llu\n",
+                    (unsigned long long)t->cleanCycles);
+        std::printf("checkpoints=%u\n", t->checkpoints);
+        printDouble("checkpoint_volts", t->checkpointVolts);
+        std::printf("killed=%u\n", t->killed);
+        std::printf("kill_tears=%u\n", t->killTears);
+        std::printf("cold_restarts=%u\n", t->coldRestarts);
+        std::printf("torn_restores=%u\n", t->tornRestores);
+        std::printf("correct=%u\n", t->correct);
+        std::printf("incorrect=%u\n", t->incorrect);
+        for (std::size_t i = 0; i < t->outcomeFlags.size(); ++i)
+            std::printf("kill[%zu]=flags:%02x result:%08x\n", i,
+                        unsigned(t->outcomeFlags[i]),
+                        unsigned(t->results[i]));
+        return 0;
+    }
+    const auto &g = std::get<GuestRunResult>(resp);
+    std::printf("guest name=%s\n", g.name.c_str());
+    std::printf("result=%08x\n", unsigned(g.result));
+    std::printf("expected=%08x\n", unsigned(g.expected));
+    std::printf("correct=%u\n", unsigned(g.correct));
+    std::printf("instructions=%llu\n",
+                (unsigned long long)g.instructions);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string endpoint = Client::defaultEndpoint();
+    bool local = false;
+    std::size_t threads = 0;
+    int i = 1;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--endpoint" && i + 1 < argc)
+            endpoint = argv[++i];
+        else if (arg == "--local")
+            local = true;
+        else if (arg == "--threads" && i + 1 < argc)
+            threads = std::size_t(std::atol(argv[++i]));
+        else
+            break;
+    }
+    if (i >= argc)
+        return usage();
+    const std::string job_name = argv[i++];
+
+    // Generic key=value option scan shared by all job builders.
+    auto opt = [&](const char *name, std::string &out) {
+        for (int j = i; j + 1 < argc; ++j)
+            if (std::strcmp(argv[j], name) == 0) {
+                out = argv[j + 1];
+                return true;
+            }
+        return false;
+    };
+    auto optU = [&](const char *name, auto &out) {
+        std::string v;
+        if (opt(name, v))
+            out = static_cast<std::remove_reference_t<decltype(out)>>(
+                std::strtoull(v.c_str(), nullptr, 0));
+    };
+    auto optD = [&](const char *name, double &out) {
+        std::string v;
+        if (opt(name, v))
+            out = std::strtod(v.c_str(), nullptr);
+    };
+    auto hasFlag = [&](const char *name) {
+        for (int j = i; j < argc; ++j)
+            if (std::strcmp(argv[j], name) == 0)
+                return true;
+        return false;
+    };
+    auto optWorkload = [&](WorkloadSpec &spec) {
+        std::string v;
+        if (opt("--workload", v) && !parseWorkload(v, spec))
+            return false;
+        optU("--a", spec.a);
+        optU("--b", spec.b);
+        optU("--wseed", spec.seed);
+        return true;
+    };
+
+    Request req;
+    if (job_name == "ro-sweep") {
+        RoSweepJob job;
+        opt("--tech", job.tech);
+        optU("--stages", job.stages);
+        std::string cell;
+        if (opt("--cell", cell))
+            job.cell = cell == "starved" ? 1 : 0;
+        optD("--speed", job.speed);
+        optD("--temp", job.tempC);
+        optD("--vstart", job.vStart);
+        optD("--vend", job.vEnd);
+        optD("--vstep", job.vStep);
+        req = job;
+    } else if (job_name == "design-point") {
+        DesignPointJob job;
+        opt("--tech", job.tech);
+        optU("--ro-stages", job.config.roStages);
+        optD("--sample-rate", job.config.sampleRate);
+        optU("--counter-bits", job.config.counterBits);
+        double enable_us = 0.0;
+        std::string v;
+        if (opt("--enable-us", v)) {
+            enable_us = std::strtod(v.c_str(), nullptr);
+            job.config.enableTime = enable_us * 1e-6;
+        }
+        optU("--nvm-entries", job.config.nvmEntries);
+        optU("--entry-bits", job.config.entryBits);
+        optU("--divider-tap", job.config.dividerTap);
+        optU("--divider-total", job.config.dividerTotal);
+        optU("--strategy", job.config.strategy);
+        req = job;
+    } else if (job_name == "dse") {
+        DseShardJob job;
+        opt("--tech", job.tech);
+        optU("--pop", job.populationSize);
+        optU("--gens", job.generations);
+        optU("--seed", job.seed);
+        optD("--fixed-rate", job.fixedRate);
+        if (hasFlag("--explore-divider"))
+            job.exploreDivider = 1;
+        req = job;
+    } else if (job_name == "torture") {
+        TortureJob job;
+        if (!optWorkload(job.workload))
+            return usage();
+        optU("--sram", job.sramSize);
+        optU("--stable", job.stableCycles);
+        optU("--low", job.lowCycles);
+        optU("--seed", job.seed);
+        optU("--kills-per-window", job.killsPerWindow);
+        optU("--random-kills", job.randomKills);
+        req = job;
+    } else if (job_name == "guest") {
+        GuestRunJob job;
+        if (!optWorkload(job.workload))
+            return usage();
+        if (hasFlag("--no-trace"))
+            job.traceCache = 0;
+        req = job;
+    } else {
+        return usage();
+    }
+
+    Response resp;
+    if (local) {
+        Engine engine(Engine::Options{threads, 64u << 20, ""});
+        resp = engine.execute(req);
+        return printResponse(resp);
+    }
+    if (endpoint.empty()) {
+        std::fprintf(stderr, "fs_client: no endpoint (use --endpoint,"
+                             " FS_SERVE_SOCKET, or --local)\n");
+        return 2;
+    }
+    Client client;
+    std::string err;
+    if (!client.connect(endpoint, err) ||
+        !client.call(req, resp, err)) {
+        std::fprintf(stderr, "fs_client: %s\n", err.c_str());
+        return 1;
+    }
+    return printResponse(resp);
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * fs_served: the simulation-as-a-service daemon.
+ *
+ * Binds the serve::Server to a Unix-domain socket (and optionally a
+ * loopback TCP port), prints one "listening ..." line once ready, and
+ * runs until SIGTERM/SIGINT. Shutdown is a graceful drain: requests
+ * already queued are answered before connections close, and the final
+ * serving statistics (including result-cache hit counts) go to
+ * stderr.
+ *
+ *   fs_served --socket /tmp/fs.sock
+ *   fs_served --socket /tmp/fs.sock --tcp 0 --threads 8 --verbose
+ *
+ * Signal handling uses the self-pipe pattern: the handler only writes
+ * one byte; all real teardown happens on the main thread.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "serve/server.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    const char byte = 's';
+    (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fs_served --socket PATH [options]\n"
+        "  --socket PATH     Unix-domain socket to listen on\n"
+        "  --tcp PORT        also listen on loopback TCP (0 = ephemeral)\n"
+        "  --threads N       engine worker threads (0 = shared pool)\n"
+        "  --queue N         bounded request-queue depth (default 256)\n"
+        "  --batch N         max requests per executor batch (default 16)\n"
+        "  --deadline-ms N   per-request queue deadline (0 = none)\n"
+        "  --cache-bytes N   in-memory result-cache budget\n"
+        "  --cache-dir PATH  on-disk result-cache spill directory\n"
+        "  --verbose         log one line per request to stderr\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::serve::Server::Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            opts.socketPath = argv[++i];
+        } else if (arg == "--tcp" && has_value) {
+            opts.tcpPort = std::atoi(argv[++i]);
+        } else if (arg == "--threads" && has_value) {
+            opts.engine.threads = std::size_t(std::atol(argv[++i]));
+        } else if (arg == "--queue" && has_value) {
+            opts.queueLimit = std::size_t(std::atol(argv[++i]));
+        } else if (arg == "--batch" && has_value) {
+            opts.batchMax = std::size_t(std::atol(argv[++i]));
+        } else if (arg == "--deadline-ms" && has_value) {
+            opts.deadlineMs = std::uint32_t(std::atol(argv[++i]));
+        } else if (arg == "--cache-bytes" && has_value) {
+            opts.engine.cacheBytes = std::size_t(std::atol(argv[++i]));
+        } else if (arg == "--cache-dir" && has_value) {
+            opts.engine.spillDir = argv[++i];
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else {
+            return usage();
+        }
+    }
+    if (opts.socketPath.empty() && opts.tcpPort < 0)
+        return usage();
+
+    if (::pipe(g_signal_pipe) != 0) {
+        std::perror("pipe");
+        return 1;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    fs::serve::Server server(opts);
+    std::string err;
+    if (!server.start(err)) {
+        std::fprintf(stderr, "fs_served: %s\n", err.c_str());
+        return 1;
+    }
+    if (!opts.socketPath.empty())
+        std::printf("listening unix %s\n", opts.socketPath.c_str());
+    if (opts.tcpPort >= 0)
+        std::printf("listening tcp 127.0.0.1:%d\n",
+                    server.boundTcpPort());
+    std::fflush(stdout);
+
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::fprintf(stderr, "fs_served: draining\n");
+    server.stop();
+
+    const fs::serve::Server::Stats s = server.stats();
+    const fs::serve::ResultCache::Stats c =
+        server.engine().cache().stats();
+    std::fprintf(stderr,
+                 "fs_served: conns=%llu requests=%llu served=%llu "
+                 "errors=%llu overloaded=%llu expired=%llu "
+                 "version_mismatches=%llu batches=%llu max_batch=%llu "
+                 "batch_duplicates=%llu cache_hits=%llu "
+                 "cache_disk_hits=%llu cache_misses=%llu\n",
+                 (unsigned long long)s.accepted,
+                 (unsigned long long)s.requests,
+                 (unsigned long long)s.served,
+                 (unsigned long long)s.errors,
+                 (unsigned long long)s.overloaded,
+                 (unsigned long long)s.expired,
+                 (unsigned long long)s.versionMismatches,
+                 (unsigned long long)s.batches,
+                 (unsigned long long)s.maxBatch,
+                 (unsigned long long)s.batchDuplicates,
+                 (unsigned long long)c.hits,
+                 (unsigned long long)c.diskHits,
+                 (unsigned long long)c.misses);
+    return 0;
+}
