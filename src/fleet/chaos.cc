@@ -1,0 +1,119 @@
+#include "fleet/chaos.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fs {
+namespace fleet {
+
+ChaosPlan
+ChaosPlan::random(std::uint64_t seed, std::size_t workers,
+                  const ChaosParams &params)
+{
+    ChaosPlan plan;
+    plan.seed = seed;
+    plan.scripts.resize(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        // One generator per worker so adding a worker never perturbs
+        // the scripts of the others.
+        Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (w + 1)));
+        bool killed = false;
+        for (std::uint64_t serial = 0;
+             serial < params.horizonReplies; ++serial) {
+            serve::ChaosAction act;
+            if (!killed && rng.uniform() < params.killProbability) {
+                act.killWorker = true;
+                killed = true;
+            } else if (rng.uniform() < params.resetProbability) {
+                act.resetConn = true;
+            } else if (rng.uniform() < params.truncateProbability) {
+                act.truncateBytes = std::int32_t(rng.uniformInt(
+                    0, std::int64_t(params.maxTruncateBytes)));
+            } else if (rng.uniform() < params.stallProbability) {
+                act.stallMs = std::uint32_t(rng.uniformInt(
+                    1, std::int64_t(params.maxStallMs)));
+            } else {
+                continue;
+            }
+            plan.scripts[w].emplace(serial, act);
+        }
+    }
+    return plan;
+}
+
+serve::Server::ChaosHook
+ChaosPlan::hookFor(std::size_t index) const
+{
+    if (index >= scripts.size() || scripts[index].empty())
+        return {};
+    // The hook outlives the plan object freely: it owns copies.
+    auto script = std::make_shared<
+        const std::map<std::uint64_t, serve::ChaosAction>>(
+        scripts[index]);
+    auto tally = counters;
+    return [script, tally](std::uint64_t serial) {
+        auto it = script->find(serial);
+        if (it == script->end())
+            return serve::ChaosAction{};
+        const serve::ChaosAction &act = it->second;
+        if (act.killWorker)
+            tally->kills.fetch_add(1);
+        else if (act.resetConn)
+            tally->resets.fetch_add(1);
+        else if (act.truncateBytes >= 0)
+            tally->truncations.fetch_add(1);
+        else if (act.stallMs > 0)
+            tally->stalls.fetch_add(1);
+        return act;
+    };
+}
+
+std::uint64_t
+ChaosPlan::faultsApplied() const
+{
+    return counters->kills.load() + counters->resets.load() +
+           counters->stalls.load() + counters->truncations.load();
+}
+
+bool
+tearSpillFile(const std::string &path, std::uint64_t seed)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::vector<unsigned char> bytes;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    if (bytes.size() < 2)
+        return false;
+
+    Rng rng(seed);
+    if (seed % 2 == 0) {
+        const std::size_t keep = std::size_t(
+            rng.uniformInt(1, std::int64_t(bytes.size()) - 1));
+        bytes.resize(keep);
+    } else {
+        const std::size_t byte = std::size_t(
+            rng.uniformInt(0, std::int64_t(bytes.size()) - 1));
+        bytes[byte] ^=
+            std::uint8_t(1u << rng.uniformInt(0, 7));
+    }
+
+    // Damage in place (not via rename): the scenario is a crash that
+    // left this very file torn, not a clean republish.
+    f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace fleet
+} // namespace fs

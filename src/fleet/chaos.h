@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic, seeded chaos plans for fleet fault injection.
+ *
+ * Mirrors fault::FaultPlan one layer up the stack: where a FaultPlan
+ * scripts supply kills and torn NVM writes inside one simulated SoC,
+ * a ChaosPlan scripts *service-level* failures across a fleet of
+ * fs_served workers -- whole-worker death (socket-level SIGKILL),
+ * connection resets, truncated replies, and artificial stalls, keyed
+ * by each worker's reply serial number. Plans are drawn from an
+ * explicitly seeded fs::Rng, so every chaos run is replayable from
+ * its seed and byte-identity assertions stay meaningful under fault.
+ *
+ * hookFor() adapts one worker's script into the serve::Server chaos
+ * hook; applied-fault counters are shared atomics so tests can assert
+ * the chaos actually fired. tearSpillFile() extends the same seeded
+ * discipline to at-rest state: it deterministically truncates or
+ * bit-flips a ResultCache spill file, modeling a crash mid-write or
+ * storage bit rot.
+ */
+
+#ifndef FS_FLEET_CHAOS_H_
+#define FS_FLEET_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace fs {
+namespace fleet {
+
+/** Knobs for ChaosPlan::random(). Probabilities are per reply. */
+struct ChaosParams {
+    std::uint64_t horizonReplies = 64; ///< serials eligible for faults
+    double killProbability = 0.0;   ///< at most one kill fires per worker
+    double resetProbability = 0.05; ///< drop the connection, no reply
+    double stallProbability = 0.05; ///< delay the reply
+    double truncateProbability = 0.05; ///< partial reply, then reset
+    std::uint32_t maxStallMs = 20;
+    std::uint32_t maxTruncateBytes = 11; ///< < frame header: never a valid reply
+};
+
+/** A complete, replayable fleet fault script. */
+struct ChaosPlan {
+    /** Faults actually applied (shared across hook copies). */
+    struct Counters {
+        std::atomic<std::uint64_t> kills{0};
+        std::atomic<std::uint64_t> resets{0};
+        std::atomic<std::uint64_t> stalls{0};
+        std::atomic<std::uint64_t> truncations{0};
+    };
+
+    std::uint64_t seed = 0; ///< seed this plan was drawn from
+    /** Per-worker script: reply serial -> action. */
+    std::vector<std::map<std::uint64_t, serve::ChaosAction>> scripts;
+    std::shared_ptr<Counters> counters =
+        std::make_shared<Counters>();
+
+    /** Draw a randomized plan for `workers` workers from `seed`. */
+    static ChaosPlan random(std::uint64_t seed, std::size_t workers,
+                            const ChaosParams &params = {});
+
+    /**
+     * The serve::Server chaos hook for worker `index`; a no-fault
+     * hook when the index has no script. Thread-safe: the script is
+     * immutable after construction and counters are atomic.
+     */
+    serve::Server::ChaosHook hookFor(std::size_t index) const;
+
+    std::uint64_t faultsApplied() const;
+};
+
+/**
+ * Deterministically damage a spill file: even seeds truncate it to a
+ * strict prefix (crash mid-write), odd seeds flip one payload bit
+ * (storage rot). @return false when the file is missing or too small
+ * to damage.
+ */
+bool tearSpillFile(const std::string &path, std::uint64_t seed);
+
+} // namespace fleet
+} // namespace fs
+
+#endif // FS_FLEET_CHAOS_H_

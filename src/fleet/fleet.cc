@@ -1,0 +1,100 @@
+#include "fleet/fleet.h"
+
+#include <cstdio>
+
+namespace fs {
+namespace fleet {
+
+Fleet::Fleet(Options opts) : opts_(std::move(opts))
+{
+    servers_.resize(opts_.workers);
+}
+
+Fleet::~Fleet()
+{
+    stop();
+}
+
+std::string
+Fleet::endpoint(std::size_t i) const
+{
+    char name[48];
+    std::snprintf(name, sizeof name, "/fs-fleet-w%zu.sock", i);
+    return opts_.socketDir + name;
+}
+
+std::vector<std::string>
+Fleet::endpoints() const
+{
+    std::vector<std::string> out;
+    out.reserve(opts_.workers);
+    for (std::size_t i = 0; i < opts_.workers; ++i)
+        out.push_back(endpoint(i));
+    return out;
+}
+
+std::unique_ptr<serve::Server>
+Fleet::makeServer(std::size_t i) const
+{
+    serve::Server::Options so;
+    so.socketPath = endpoint(i);
+    so.engine = opts_.engine;
+    if (!so.engine.spillDir.empty())
+        so.engine.spillDir += "/w" + std::to_string(i);
+    so.queueLimit = opts_.queueLimit;
+    so.batchMax = opts_.batchMax;
+    so.deadlineMs = opts_.deadlineMs;
+    if (opts_.chaosEnabled)
+        so.chaos = opts_.chaos.hookFor(i);
+    return std::make_unique<serve::Server>(std::move(so));
+}
+
+bool
+Fleet::start(std::string &err)
+{
+    if (opts_.socketDir.empty()) {
+        err = "fleet: socketDir is required";
+        return false;
+    }
+    for (std::size_t i = 0; i < opts_.workers; ++i) {
+        if (!servers_[i])
+            servers_[i] = makeServer(i);
+        if (!servers_[i]->start(err)) {
+            err = "fleet worker " + std::to_string(i) + ": " + err;
+            stop();
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Fleet::stop()
+{
+    for (auto &s : servers_)
+        if (s)
+            s->stop();
+}
+
+void
+Fleet::abortWorker(std::size_t i)
+{
+    if (i < servers_.size() && servers_[i])
+        servers_[i]->abort();
+}
+
+bool
+Fleet::restartWorker(std::size_t i, std::string &err)
+{
+    if (i >= servers_.size()) {
+        err = "fleet: no such worker";
+        return false;
+    }
+    if (servers_[i])
+        servers_[i]->stop(); // reaps an aborted worker's threads too
+    servers_[i] = makeServer(i);
+    return servers_[i]->start(err);
+}
+
+} // namespace fleet
+} // namespace fs

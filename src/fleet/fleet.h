@@ -1,0 +1,83 @@
+/**
+ * @file
+ * In-process fleet harness: N serve::Server workers on Unix sockets.
+ *
+ * Tests and benches need a real multi-worker fleet -- separate
+ * sockets, separate caches, separate executors -- without fork(),
+ * which ThreadSanitizer (and determinism) forbid once threads exist.
+ * Fleet runs each worker as an in-process Server on its own socket
+ * under `socketDir`, wires in per-worker chaos hooks from a seeded
+ * ChaosPlan, and exposes the two lifecycle events the router must
+ * survive: abortWorker() (socket-level SIGKILL: connections reset,
+ * queued work dropped) and restartWorker() (a fresh Server rebinds
+ * the same endpoint, empty cache unless the spill directory
+ * persists). Worker i's endpoint is stable across restarts, so the
+ * hash ring's placement is too.
+ *
+ * The real multi-process deployment (fs_served workers + fs_router)
+ * is exercised by the CI chaos smoke job; this harness keeps the
+ * same failure surface reachable from a single TSan-clean test
+ * binary.
+ */
+
+#ifndef FS_FLEET_FLEET_H_
+#define FS_FLEET_FLEET_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/chaos.h"
+#include "serve/server.h"
+
+namespace fs {
+namespace fleet {
+
+class Fleet
+{
+  public:
+    struct Options {
+        std::size_t workers = 3;
+        std::string socketDir; ///< required: directory for sockets
+        serve::Engine::Options engine; ///< per-worker; spillDir gets
+                                       ///< a per-worker suffix
+        std::size_t queueLimit = 256;
+        std::size_t batchMax = 16;
+        std::uint32_t deadlineMs = 0;
+        bool chaosEnabled = false;
+        ChaosPlan chaos; ///< used when chaosEnabled
+    };
+
+    explicit Fleet(Options opts);
+    ~Fleet();
+
+    Fleet(const Fleet &) = delete;
+    Fleet &operator=(const Fleet &) = delete;
+
+    /** Start every worker. @return false with `err` on any failure. */
+    bool start(std::string &err);
+    void stop();
+
+    std::size_t size() const { return opts_.workers; }
+    /** Worker i's socket path (stable across restarts). */
+    std::string endpoint(std::size_t i) const;
+    std::vector<std::string> endpoints() const;
+    serve::Server &server(std::size_t i) { return *servers_[i]; }
+
+    /** Chaos "SIGKILL" worker i (endpoint stays reserved). */
+    void abortWorker(std::size_t i);
+    /** Replace worker i with a fresh Server on the same endpoint. */
+    bool restartWorker(std::size_t i, std::string &err);
+
+  private:
+    std::unique_ptr<serve::Server> makeServer(std::size_t i) const;
+
+    Options opts_;
+    std::vector<std::unique_ptr<serve::Server>> servers_;
+};
+
+} // namespace fleet
+} // namespace fs
+
+#endif // FS_FLEET_FLEET_H_

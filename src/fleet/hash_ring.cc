@@ -1,0 +1,110 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "serve/wire.h"
+
+namespace fs {
+namespace fleet {
+
+namespace {
+
+std::uint64_t
+ringPoint(const std::string &worker, std::size_t vnode)
+{
+    char label[32];
+    std::snprintf(label, sizeof label, "#%zu", vnode);
+    const std::uint64_t h =
+        serve::fnv1a64(worker.data(), worker.size());
+    return serve::fnv1a64(label, std::strlen(label), h);
+}
+
+} // namespace
+
+HashRing::HashRing(std::size_t vnodes)
+    : vnodes_(vnodes == 0 ? 1 : vnodes)
+{
+}
+
+void
+HashRing::add(const std::string &worker)
+{
+    if (!workers_.insert(worker).second)
+        return;
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+        // On the (astronomically rare) point collision the
+        // lexicographically first worker wins deterministically.
+        auto it = ring_.find(ringPoint(worker, v));
+        if (it == ring_.end())
+            ring_.emplace(ringPoint(worker, v), worker);
+        else if (worker < it->second)
+            it->second = worker;
+    }
+}
+
+void
+HashRing::remove(const std::string &worker)
+{
+    if (workers_.erase(worker) == 0)
+        return;
+    for (auto it = ring_.begin(); it != ring_.end();) {
+        if (it->second == worker)
+            it = ring_.erase(it);
+        else
+            ++it;
+    }
+    // Re-add surviving workers' points that a collision had ceded to
+    // the removed worker.
+    for (const std::string &w : workers_)
+        for (std::size_t v = 0; v < vnodes_; ++v)
+            ring_.emplace(ringPoint(w, v), w);
+}
+
+bool
+HashRing::contains(const std::string &worker) const
+{
+    return workers_.count(worker) != 0;
+}
+
+std::vector<std::string>
+HashRing::workers() const
+{
+    return {workers_.begin(), workers_.end()};
+}
+
+std::vector<std::string>
+HashRing::owners(std::uint64_t key, std::size_t count) const
+{
+    std::vector<std::string> out;
+    if (ring_.empty() || count == 0)
+        return out;
+    count = std::min(count, workers_.size());
+    auto it = ring_.lower_bound(key);
+    for (std::size_t steps = 0;
+         out.size() < count && steps < ring_.size(); ++steps) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        bool seen = false;
+        for (const std::string &w : out)
+            if (w == it->second) {
+                seen = true;
+                break;
+            }
+        if (!seen)
+            out.push_back(it->second);
+        ++it;
+    }
+    return out;
+}
+
+std::string
+HashRing::primary(std::uint64_t key) const
+{
+    const std::vector<std::string> o = owners(key, 1);
+    return o.empty() ? std::string() : o[0];
+}
+
+} // namespace fleet
+} // namespace fs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Consistent-hash ring mapping request keys to fleet workers.
+ *
+ * Each worker contributes `vnodes` points to a 64-bit ring (FNV-1a
+ * over "id#vnode"); a request key is owned by the first point at or
+ * clockwise after it. Virtual nodes smooth the load split, and the
+ * classic consistent-hashing property holds: adding or removing one
+ * worker remaps only the keys that worker owned, so a worker death
+ * never reshuffles the whole fleet's cache affinity.
+ *
+ * owners() returns the primary plus distinct successors in ring
+ * order -- the router's retry/hedge/replication target list. All
+ * operations are deterministic functions of the member set, so every
+ * router instance (and every test) agrees on placement.
+ */
+
+#ifndef FS_FLEET_HASH_RING_H_
+#define FS_FLEET_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace fleet {
+
+class HashRing
+{
+  public:
+    explicit HashRing(std::size_t vnodes = 64);
+
+    void add(const std::string &worker);
+    void remove(const std::string &worker);
+    bool contains(const std::string &worker) const;
+    std::size_t size() const { return workers_.size(); }
+    std::vector<std::string> workers() const;
+
+    /**
+     * Up to `count` distinct workers responsible for `key`: the
+     * primary first, then successors clockwise. Empty when the ring
+     * is empty.
+     */
+    std::vector<std::string> owners(std::uint64_t key,
+                                    std::size_t count) const;
+
+    /** owners(key, 1)[0], or "" when the ring is empty. */
+    std::string primary(std::uint64_t key) const;
+
+  private:
+    std::size_t vnodes_;
+    std::map<std::uint64_t, std::string> ring_; ///< point -> worker
+    std::set<std::string> workers_;
+};
+
+} // namespace fleet
+} // namespace fs
+
+#endif // FS_FLEET_HASH_RING_H_

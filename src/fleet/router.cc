@@ -1,0 +1,458 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "serve/net_io.h"
+
+namespace fs {
+namespace fleet {
+
+using serve::Client;
+using serve::ErrorCode;
+using serve::ErrorResult;
+using serve::Frame;
+using serve::FrameStatus;
+using serve::IoStatus;
+using serve::MsgKind;
+
+namespace {
+
+/** A typed error reply frame (the router's own voice on the wire). */
+Frame
+typedError(ErrorCode code, const std::string &msg)
+{
+    Frame f;
+    f.kind = MsgKind::kErrorReply;
+    ErrorResult e;
+    e.code = code;
+    e.message = msg;
+    f.payload = serve::encodeResponsePayload(serve::Response{e});
+    return f;
+}
+
+bool
+retryableError(const Frame &reply)
+{
+    if (reply.kind != MsgKind::kErrorReply)
+        return false;
+    serve::Response resp;
+    std::string err;
+    if (!serve::decodeResponsePayload(reply.kind, reply.payload.data(),
+                                      reply.payload.size(), resp, err))
+        return false;
+    const auto *e = std::get_if<ErrorResult>(&resp);
+    return e != nullptr && (e->code == ErrorCode::kOverloaded ||
+                            e->code == ErrorCode::kShuttingDown ||
+                            e->code == ErrorCode::kDeadlineExceeded);
+}
+
+/** One in-flight attempt: a connection assembling a reply frame. */
+struct Attempt {
+    Client client;
+    std::vector<std::uint8_t> buf;
+    bool open = false;
+
+    bool dial(const std::string &endpoint,
+              const std::vector<std::uint8_t> &frame_bytes,
+              std::string &err)
+    {
+        if (!client.connect(endpoint, err))
+            return false;
+        if (serve::writeFull(client.fd(), frame_bytes.data(),
+                             frame_bytes.size()) != IoStatus::kOk) {
+            err = "send to " + endpoint + " failed";
+            client.close();
+            return false;
+        }
+        open = true;
+        return true;
+    }
+
+    /**
+     * Poll for up to `slice_ms`; @return true once a full frame is
+     * assembled. Closes the connection (open = false) on disconnect
+     * or stream corruption.
+     */
+    bool pump(int slice_ms, Frame &out)
+    {
+        if (!open)
+            return false;
+        const IoStatus got =
+            serve::readSomeTimeout(client.fd(), buf, slice_ms);
+        if (got == IoStatus::kPeerClosed || got == IoStatus::kError) {
+            client.close();
+            open = false;
+            return false;
+        }
+        std::size_t consumed = 0;
+        const FrameStatus status =
+            serve::parseFrame(buf.data(), buf.size(), out, consumed);
+        if (status == FrameStatus::kOk)
+            return true;
+        if (status != FrameStatus::kNeedMore) {
+            client.close();
+            open = false;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+Router::Router(Options opts)
+    : opts_(std::move(opts)), ring_(opts_.vnodes),
+      jitter_rng_(opts_.seed)
+{
+    for (const std::string &e : opts_.endpoints) {
+        ring_.add(e);
+        workers_.emplace(e, WorkerState{});
+    }
+    if (opts_.replicas == 0)
+        opts_.replicas = 1;
+}
+
+Router::~Router()
+{
+    stop();
+}
+
+void
+Router::start()
+{
+    if (opts_.pingIntervalMs == 0 || health_thread_.joinable())
+        return;
+    stopping_.store(false);
+    health_thread_ = std::thread([this] { healthLoop(); });
+}
+
+void
+Router::stop()
+{
+    stopping_.store(true);
+    health_cv_.notify_all();
+    slot_cv_.notify_all();
+    if (health_thread_.joinable())
+        health_thread_.join();
+}
+
+std::vector<std::string>
+Router::targetsFor(std::uint64_t key) const
+{
+    // Owners first (cache affinity), then the remaining alive workers
+    // (a request must not fail while any worker lives), preserving
+    // ring order throughout.
+    std::vector<std::string> all =
+        ring_.owners(key, opts_.endpoints.size());
+    std::vector<std::string> alive;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string &w : all) {
+        auto it = workers_.find(w);
+        if (it != workers_.end() && it->second.alive)
+            alive.push_back(w);
+    }
+    if (alive.empty())
+        return all; // dead fleet: dial anyway, fail honestly
+    return alive;
+}
+
+void
+Router::markFailure(const std::string &endpoint)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workers_.find(endpoint);
+    if (it == workers_.end())
+        return;
+    if (++it->second.fails >= opts_.failsToEvict &&
+        it->second.alive) {
+        it->second.alive = false;
+        ++stats_.evictions;
+    }
+}
+
+void
+Router::markSuccess(const std::string &endpoint)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workers_.find(endpoint);
+    if (it == workers_.end())
+        return;
+    it->second.fails = 0;
+    if (!it->second.alive) {
+        it->second.alive = true;
+        ++stats_.readmissions;
+    }
+}
+
+std::uint32_t
+Router::backoffMs(std::uint32_t attempt)
+{
+    double ms = double(opts_.retry.backoffBaseMs) *
+                double(std::uint64_t(1) << std::min(attempt, 20u));
+    ms = std::min(ms, double(opts_.retry.backoffMaxMs));
+    double factor;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        factor = 1.0 + opts_.retry.jitter *
+                           jitter_rng_.uniform(-1.0, 1.0);
+    }
+    return std::uint32_t(std::max(0.0, ms * factor));
+}
+
+bool
+Router::exchange(const std::string &primary, const std::string &hedge,
+                 const std::vector<std::uint8_t> &frame_bytes,
+                 Frame &out, std::string &served_by, std::string &err)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::milliseconds(opts_.attemptTimeoutMs);
+
+    Attempt first;
+    if (!first.dial(primary, frame_bytes, err)) {
+        markFailure(primary);
+        return false;
+    }
+
+    Attempt second;
+    bool hedged = false;
+    const bool can_hedge = opts_.hedgeAfterMs > 0 && !hedge.empty();
+    const auto hedge_at =
+        start + std::chrono::milliseconds(
+                    can_hedge ? opts_.hedgeAfterMs
+                              : opts_.attemptTimeoutMs);
+
+    while (std::chrono::steady_clock::now() < deadline) {
+        // Before the hedge fires, park on the primary until then; once
+        // both are in flight, alternate in short slices.
+        const int slice =
+            hedged || !first.open
+                ? 2
+                : int(std::chrono::duration_cast<
+                          std::chrono::milliseconds>(
+                          hedge_at - std::chrono::steady_clock::now())
+                          .count()) +
+                      1;
+        if (first.open && first.pump(std::max(slice, 1), out)) {
+            markSuccess(primary);
+            served_by = primary;
+            return true;
+        }
+        if (hedged && second.pump(2, out)) {
+            markSuccess(hedge);
+            served_by = hedge;
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.hedgeWins;
+            return true;
+        }
+        if (!hedged && can_hedge &&
+            std::chrono::steady_clock::now() >= hedge_at) {
+            std::string hedge_err;
+            if (second.dial(hedge, frame_bytes, hedge_err)) {
+                hedged = true;
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.hedges;
+            }
+        }
+        if (!first.open && !(hedged && second.open)) {
+            err = "peer reset by " + primary;
+            markFailure(primary);
+            if (hedged)
+                markFailure(hedge);
+            return false;
+        }
+    }
+    err = "attempt timed out against " + primary;
+    markFailure(primary);
+    return false;
+}
+
+void
+Router::callRaw(MsgKind kind, const std::vector<std::uint8_t> &payload,
+                Frame &reply)
+{
+    const std::uint64_t key = serve::requestKey(kind, payload);
+    const int priority = serve::requestPriority(kind);
+
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++stats_.requests;
+        if (in_flight_ >= opts_.maxInFlight) {
+            if (priority <= 1) {
+                // Shed, with a typed answer -- never a silent drop.
+                ++stats_.overloaded;
+                ++stats_.typedErrors;
+                reply = typedError(ErrorCode::kOverloaded,
+                                   "router at in-flight limit");
+                return;
+            }
+            slot_cv_.wait(lock, [this] {
+                return in_flight_ < opts_.maxInFlight ||
+                       stopping_.load();
+            });
+        }
+        ++in_flight_;
+    }
+
+    const std::vector<std::uint8_t> frame_bytes =
+        serve::frameMessage(kind, payload);
+    std::string last_err = "no workers configured";
+    std::string served_by;
+    bool have_reply = false;
+    Frame candidate;
+
+    for (std::uint32_t attempt = 0;
+         attempt < opts_.retry.maxAttempts; ++attempt) {
+        const std::vector<std::string> targets = targetsFor(key);
+        if (targets.empty())
+            break;
+        const std::string &primary = targets[attempt % targets.size()];
+        const std::string hedge =
+            targets.size() > 1
+                ? targets[(attempt + 1) % targets.size()]
+                : std::string();
+
+        if (attempt > 0) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.retries;
+        }
+        std::string err;
+        if (exchange(primary, hedge, frame_bytes, candidate,
+                     served_by, err)) {
+            have_reply = true;
+            if (!retryableError(candidate))
+                break;
+            // Overloaded/draining worker: back off and try the next
+            // owner; keep the typed error in case everyone says no.
+            last_err = "worker busy";
+        } else {
+            last_err = err;
+        }
+        if (attempt + 1 < opts_.retry.maxAttempts)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoffMs(attempt)));
+    }
+
+    if (have_reply) {
+        reply = candidate;
+        if (reply.kind != MsgKind::kErrorReply) {
+            if (opts_.replicate)
+                replicateTo(key, served_by, reply);
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.answered;
+        } else {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.typedErrors;
+        }
+    } else {
+        reply = typedError(ErrorCode::kInternal,
+                           "retries exhausted: " + last_err);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.typedErrors;
+        ++stats_.exhausted;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --in_flight_;
+    }
+    slot_cv_.notify_one();
+}
+
+void
+Router::replicateTo(std::uint64_t key, const std::string &served_by,
+                    const Frame &reply)
+{
+    const std::vector<std::string> owners =
+        ring_.owners(key, opts_.replicas);
+    for (const std::string &w : owners) {
+        if (w == served_by)
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = workers_.find(w);
+            if (it == workers_.end() || !it->second.alive)
+                continue;
+        }
+        serve::CacheInsertJob push;
+        push.key = key;
+        push.kind = std::uint16_t(reply.kind);
+        push.payload = reply.payload;
+        Client c;
+        std::string err;
+        bool stored = false;
+        if (c.connect(w, err) && c.cacheInsert(push, stored, err)) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.replicationPushes;
+        }
+        return; // best effort, one successor
+    }
+}
+
+bool
+Router::call(const serve::Request &req, serve::Response &resp,
+             std::string &err)
+{
+    Frame reply;
+    callRaw(serve::requestKind(req), serve::encodeRequestPayload(req),
+            reply);
+    return serve::decodeResponsePayload(reply.kind,
+                                        reply.payload.data(),
+                                        reply.payload.size(), resp,
+                                        err);
+}
+
+std::vector<std::string>
+Router::aliveWorkers() const
+{
+    std::vector<std::string> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &kv : workers_)
+        if (kv.second.alive)
+            out.push_back(kv.first);
+    return out;
+}
+
+std::size_t
+Router::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_;
+}
+
+Router::Stats
+Router::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+Router::healthLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(health_mu_);
+            health_cv_.wait_for(
+                lock,
+                std::chrono::milliseconds(opts_.pingIntervalMs),
+                [this] { return stopping_.load(); });
+            if (stopping_.load())
+                return;
+        }
+        for (const std::string &endpoint : opts_.endpoints) {
+            Client c;
+            std::string err;
+            serve::PingResult pong;
+            if (c.connect(endpoint, err) && c.ping(pong, err) &&
+                pong.draining == 0)
+                markSuccess(endpoint);
+            else
+                markFailure(endpoint);
+        }
+    }
+}
+
+} // namespace fleet
+} // namespace fs

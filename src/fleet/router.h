@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The fleet router: one logical serve endpoint over N workers.
+ *
+ * A request's canonical key (serve::requestKey) places it on a
+ * consistent-hash ring of worker endpoints; the router dials the
+ * primary owner and falls through the successor list on failure.
+ * Failure handling composes four mechanisms:
+ *
+ *  - retries: transport failures and retryable typed errors
+ *    (kOverloaded, kShuttingDown, kDeadlineExceeded) back off
+ *    exponentially with seeded jitter and move to the next owner, so
+ *    a dead or draining worker sheds load to its ring successor;
+ *  - hedging: when an attempt exceeds hedgeAfterMs without a reply,
+ *    the same request is sent to the next owner and the first
+ *    complete frame wins -- tail latency is bounded by the second-
+ *    slowest replica, not the slowest;
+ *  - health: an optional background loop pings every worker each
+ *    pingIntervalMs; failsToEvict consecutive failures evict a
+ *    worker from routing (placement on the ring is untouched), one
+ *    successful ping re-admits it. Call-path transport failures
+ *    count toward eviction too, so a crash is noticed at the next
+ *    request, not the next ping;
+ *  - replication: a successful reply is pushed (kCacheInsert) to the
+ *    key's next alive owner, so the hot working set survives the
+ *    death of any single worker.
+ *
+ * Backpressure is explicit: at maxInFlight, low-priority requests
+ * (serve::requestPriority == 1: DSE shards, torture campaigns) are
+ * answered immediately with a typed kOverloaded error while
+ * interactive requests wait for a slot. Every accepted request gets
+ * an answer -- real bytes or a typed error, never a silent drop; and
+ * because workers are byte-deterministic, whichever replica answers,
+ * the bytes are identical.
+ */
+
+#ifndef FS_FLEET_ROUTER_H_
+#define FS_FLEET_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/hash_ring.h"
+#include "serve/client.h"
+#include "util/random.h"
+
+namespace fs {
+namespace fleet {
+
+class Router
+{
+  public:
+    struct Options {
+        std::vector<std::string> endpoints; ///< worker endpoints
+        std::size_t vnodes = 64;
+        std::size_t replicas = 2; ///< owners per key (primary + next)
+        serve::RetryPolicy retry;
+        std::uint32_t hedgeAfterMs = 0;      ///< 0 = hedging off
+        std::uint32_t attemptTimeoutMs = 10000; ///< per-attempt cap
+        std::uint32_t pingIntervalMs = 0;    ///< 0 = no health thread
+        std::uint32_t failsToEvict = 2;
+        bool replicate = true;
+        std::size_t maxInFlight = 64;
+        std::uint64_t seed = 0xf1ee70001ull; ///< jitter seed
+    };
+
+    struct Stats {
+        std::uint64_t requests = 0;
+        std::uint64_t answered = 0;     ///< non-error replies returned
+        std::uint64_t typedErrors = 0;  ///< error replies returned
+        std::uint64_t retries = 0;      ///< extra attempts made
+        std::uint64_t hedges = 0;       ///< hedge requests launched
+        std::uint64_t hedgeWins = 0;    ///< hedge answered first
+        std::uint64_t replicationPushes = 0;
+        std::uint64_t overloaded = 0;   ///< shed at the router
+        std::uint64_t evictions = 0;
+        std::uint64_t readmissions = 0;
+        std::uint64_t exhausted = 0;    ///< every attempt failed
+    };
+
+    explicit Router(Options opts);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** Start the health loop (no-op when pingIntervalMs == 0). */
+    void start();
+    void stop();
+
+    /**
+     * Route one request. Always produces a reply: real payload bytes
+     * or a typed error (kOverloaded when shed, kInternal when every
+     * attempt failed). @return false only for a malformed reply that
+     * cannot be decoded (counts as a typed error in stats).
+     */
+    bool call(const serve::Request &req, serve::Response &resp,
+              std::string &err);
+
+    /**
+     * Byte-level route: frame in, reply frame out. The transport path
+     * used by fs_router, and the primitive call() wraps.
+     */
+    void callRaw(serve::MsgKind kind,
+                 const std::vector<std::uint8_t> &payload,
+                 serve::Frame &reply);
+
+    std::vector<std::string> aliveWorkers() const;
+    std::size_t inFlight() const;
+    Stats stats() const;
+
+  private:
+    struct WorkerState {
+        bool alive = true;
+        std::uint32_t fails = 0;
+    };
+
+    /** Alive owners for `key`, falling back to every alive worker,
+     *  then to every worker (a dead fleet still gets dialed so the
+     *  caller sees an honest transport error). */
+    std::vector<std::string> targetsFor(std::uint64_t key) const;
+    bool exchange(const std::string &primary, const std::string &hedge,
+                  const std::vector<std::uint8_t> &frame_bytes,
+                  serve::Frame &out, std::string &served_by,
+                  std::string &err);
+    void markFailure(const std::string &endpoint);
+    void markSuccess(const std::string &endpoint);
+    void replicateTo(std::uint64_t key, const std::string &served_by,
+                     const serve::Frame &reply);
+    std::uint32_t backoffMs(std::uint32_t attempt);
+    void healthLoop();
+
+    Options opts_;
+    HashRing ring_;
+
+    mutable std::mutex mu_;
+    std::condition_variable slot_cv_;
+    std::map<std::string, WorkerState> workers_;
+    std::size_t in_flight_ = 0;
+    Stats stats_;
+    Rng jitter_rng_;
+
+    std::thread health_thread_;
+    std::mutex health_mu_;
+    std::condition_variable health_cv_;
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace fleet
+} // namespace fs
+
+#endif // FS_FLEET_ROUTER_H_

@@ -1,9 +1,11 @@
 #include "serve/client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -11,44 +13,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "serve/net_io.h"
+#include "util/random.h"
+
+#include <algorithm>
+
 namespace fs {
 namespace serve {
-
-namespace {
-
-bool
-recvSome(int fd, std::vector<std::uint8_t> &buf)
-{
-    std::uint8_t chunk[4096];
-    for (;;) {
-        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0)
-            return false;
-        buf.insert(buf.end(), chunk, chunk + n);
-        return true;
-    }
-}
-
-bool
-sendAll(int fd, const std::uint8_t *data, std::size_t len)
-{
-    std::size_t off = 0;
-    while (off < len) {
-        const ssize_t n =
-            ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += std::size_t(n);
-    }
-    return true;
-}
-
-} // namespace
 
 Client::~Client()
 {
@@ -75,6 +46,7 @@ bool
 Client::connect(const std::string &endpoint, std::string &err)
 {
     close();
+    endpoint_ = endpoint;
     if (endpoint.empty()) {
         err = "empty endpoint";
         return false;
@@ -133,8 +105,12 @@ Client::call(MsgKind kind, const std::vector<std::uint8_t> &payload,
         return false;
     }
     const std::vector<std::uint8_t> bytes = frameMessage(kind, payload);
-    if (!sendAll(fd_, bytes.data(), bytes.size())) {
-        err = std::string("send: ") + std::strerror(errno);
+    const IoStatus sent = writeFull(fd_, bytes.data(), bytes.size());
+    if (sent != IoStatus::kOk) {
+        err = sent == IoStatus::kPeerClosed
+                  ? "peer disconnected mid-request"
+                  : std::string("send: ") +
+                        std::strerror(ioErrno());
         close();
         return false;
     }
@@ -150,8 +126,13 @@ Client::call(MsgKind kind, const std::vector<std::uint8_t> &payload,
             close();
             return false;
         }
-        if (!recvSome(fd_, buf)) {
-            err = "connection closed mid-reply";
+        const IoStatus got = readSome(fd_, buf);
+        if (got != IoStatus::kOk) {
+            err = got == IoStatus::kPeerClosed
+                      ? (buf.empty() ? "peer disconnected"
+                                     : "peer disconnected mid-reply")
+                      : std::string("recv: ") +
+                            std::strerror(ioErrno());
             close();
             return false;
         }
@@ -166,6 +147,76 @@ Client::call(const Request &req, Response &resp, std::string &err)
         return false;
     return decodeResponsePayload(reply.kind, reply.payload.data(),
                                  reply.payload.size(), resp, err);
+}
+
+bool
+Client::callRetry(const Request &req, Response &resp,
+                  const RetryPolicy &policy, std::string &err)
+{
+    Rng rng(policy.jitterSeed);
+    const std::string target = endpoint_;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        if (connected() || connect(target, err)) {
+            if (call(req, resp, err)) {
+                const auto *e = std::get_if<ErrorResult>(&resp);
+                if (!e || e->code != ErrorCode::kShuttingDown)
+                    return true;
+                err = "server draining";
+                close(); // that daemon is going away: re-dial
+            }
+            // else: transport failure, connection already closed
+        }
+        if (attempt + 1 >= policy.maxAttempts)
+            return false;
+        double ms = double(policy.backoffBaseMs) *
+                    double(std::uint64_t(1) << attempt);
+        ms = std::min(ms, double(policy.backoffMaxMs));
+        ms *= 1.0 + policy.jitter * rng.uniform(-1.0, 1.0);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+    }
+}
+
+bool
+Client::ping(PingResult &out, std::string &err)
+{
+    Frame reply;
+    PingJob job;
+    job.nonce = 0x50494e47u ^ std::uint64_t(::getpid());
+    if (!call(MsgKind::kPing, encodePing(job), reply, err))
+        return false;
+    if (reply.kind != MsgKind::kPingReply) {
+        err = "unexpected ping reply kind";
+        return false;
+    }
+    if (!decodePingResult(reply.payload.data(), reply.payload.size(),
+                          out, err))
+        return false;
+    if (out.nonce != job.nonce) {
+        err = "ping nonce mismatch";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::cacheInsert(const CacheInsertJob &job, bool &stored,
+                    std::string &err)
+{
+    Frame reply;
+    if (!call(MsgKind::kCacheInsert, encodeCacheInsert(job), reply,
+              err))
+        return false;
+    if (reply.kind != MsgKind::kCacheInsertReply) {
+        err = "unexpected cache-insert reply kind";
+        return false;
+    }
+    CacheInsertResult res;
+    if (!decodeCacheInsertResult(reply.payload.data(),
+                                 reply.payload.size(), res, err))
+        return false;
+    stored = res.stored != 0;
+    return true;
 }
 
 bool

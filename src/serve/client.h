@@ -31,6 +31,21 @@
 namespace fs {
 namespace serve {
 
+/**
+ * Reconnect-and-retry policy for callRetry(): exponential backoff
+ * with deterministic jitter. Attempt k sleeps
+ * backoffBaseMs * 2^k, capped at backoffMaxMs, scaled by a factor
+ * drawn uniformly from [1 - jitter, 1 + jitter] from a seeded
+ * generator -- reproducible in tests, decorrelated in fleets.
+ */
+struct RetryPolicy {
+    std::uint32_t maxAttempts = 6;
+    std::uint32_t backoffBaseMs = 5;
+    std::uint32_t backoffMaxMs = 320;
+    double jitter = 0.25;
+    std::uint64_t jitterSeed = 0x5eedbacc;
+};
+
 class Client
 {
   public:
@@ -48,6 +63,12 @@ class Client
     bool connected() const { return fd_ >= 0; }
     void close();
 
+    /** Raw socket (for callers multiplexing with poll), -1 if closed. */
+    int fd() const { return fd_; }
+
+    /** Endpoint of the last connect() (reconnect target). */
+    const std::string &endpoint() const { return endpoint_; }
+
     /**
      * One framed request/reply exchange at the byte level. @return
      * false with `err` set on transport failure (the connection is
@@ -63,8 +84,27 @@ class Client
      */
     bool call(const Request &req, Response &resp, std::string &err);
 
+    /**
+     * call() that survives daemon restarts: on transport failure or a
+     * kShuttingDown error it backs off per `policy`, re-dials the
+     * last connect() endpoint, and tries again. Because the engine is
+     * byte-deterministic, a retried request returns exactly the bytes
+     * the first attempt would have -- retrying is always safe.
+     * @return false with `err` set once every attempt is exhausted.
+     */
+    bool callRetry(const Request &req, Response &resp,
+                   const RetryPolicy &policy, std::string &err);
+
+    /** Typed health probe (control plane, never queued). */
+    bool ping(PingResult &out, std::string &err);
+
+    /** Push one cache entry to the peer (hash-ring replication). */
+    bool cacheInsert(const CacheInsertJob &job, bool &stored,
+                     std::string &err);
+
   private:
     int fd_ = -1;
+    std::string endpoint_;
 };
 
 /**

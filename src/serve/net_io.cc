@@ -1,0 +1,120 @@
+#include "serve/net_io.h"
+
+#include <cerrno>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fs {
+namespace serve {
+
+namespace {
+
+thread_local int g_io_errno = 0;
+
+bool
+isDisconnect(int err)
+{
+    return err == EPIPE || err == ECONNRESET || err == ENOTCONN ||
+           err == ESHUTDOWN;
+}
+
+} // namespace
+
+int
+ioErrno()
+{
+    return g_io_errno;
+}
+
+IoStatus
+writeFull(int fd, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (isDisconnect(errno))
+                return IoStatus::kPeerClosed;
+            g_io_errno = errno;
+            return IoStatus::kError;
+        }
+        off += std::size_t(n);
+    }
+    return IoStatus::kOk;
+}
+
+IoStatus
+readFull(int fd, void *data, std::size_t len)
+{
+    auto *p = static_cast<std::uint8_t *>(data);
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::recv(fd, p + off, len - off, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (isDisconnect(errno))
+                return IoStatus::kPeerClosed;
+            g_io_errno = errno;
+            return IoStatus::kError;
+        }
+        if (n == 0)
+            return IoStatus::kPeerClosed;
+        off += std::size_t(n);
+    }
+    return IoStatus::kOk;
+}
+
+IoStatus
+readSome(int fd, std::vector<std::uint8_t> &buf)
+{
+    std::uint8_t chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (isDisconnect(errno))
+                return IoStatus::kPeerClosed;
+            g_io_errno = errno;
+            return IoStatus::kError;
+        }
+        if (n == 0)
+            return IoStatus::kPeerClosed;
+        buf.insert(buf.end(), chunk, chunk + n);
+        return IoStatus::kOk;
+    }
+}
+
+IoStatus
+readSomeTimeout(int fd, std::vector<std::uint8_t> &buf, int timeout_ms)
+{
+    if (timeout_ms >= 0) {
+        pollfd pfd{fd, POLLIN, 0};
+        for (;;) {
+            const int r = ::poll(&pfd, 1, timeout_ms);
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                g_io_errno = errno;
+                return IoStatus::kError;
+            }
+            if (r == 0)
+                return IoStatus::kTimeout;
+            break;
+        }
+        if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+            (pfd.revents & POLLIN) == 0)
+            return IoStatus::kPeerClosed;
+    }
+    return readSome(fd, buf);
+}
+
+} // namespace serve
+} // namespace fs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Typed, retrying socket I/O primitives shared by every fs::serve and
+ * fs::fleet transport loop.
+ *
+ * Raw read()/write() on sockets fail in three distinct ways that the
+ * service layers must not conflate: transient interruption (EINTR,
+ * short writes), orderly or abrupt peer disconnect (EOF, EPIPE,
+ * ECONNRESET -- routine during fleet chaos and daemon restarts, and
+ * must never kill the process), and genuine I/O errors. These helpers
+ * ride out the first class internally and report the other two as a
+ * typed IoStatus, so callers can treat a vanished peer as an event
+ * (retry elsewhere, mark the worker dead) instead of a failure string
+ * or, worse, a SIGPIPE-induced process death. All writes use
+ * MSG_NOSIGNAL; processes that own pipes should still ignore SIGPIPE,
+ * but correctness here does not depend on it.
+ */
+
+#ifndef FS_SERVE_NET_IO_H_
+#define FS_SERVE_NET_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fs {
+namespace serve {
+
+enum class IoStatus {
+    kOk,         ///< the full requested transfer completed
+    kPeerClosed, ///< EOF / EPIPE / ECONNRESET: the peer went away
+    kTimeout,    ///< deadline expired before the transfer finished
+    kError,      ///< any other errno (see ioErrno())
+};
+
+/** errno captured by the last helper that returned kError. */
+int ioErrno();
+
+/**
+ * write() the whole buffer, riding out EINTR and short writes.
+ * A peer that disappears mid-write (EPIPE/ECONNRESET) is reported as
+ * kPeerClosed, never as a signal.
+ */
+IoStatus writeFull(int fd, const void *data, std::size_t len);
+
+/**
+ * read() exactly `len` bytes, riding out EINTR and short reads.
+ * @return kPeerClosed on EOF before `len` bytes arrived.
+ */
+IoStatus readFull(int fd, void *data, std::size_t len);
+
+/**
+ * One recv() of up to a chunk, appended to `buf`; rides out EINTR.
+ * The building block for frame-reassembly loops that cannot know the
+ * full message length up front.
+ */
+IoStatus readSome(int fd, std::vector<std::uint8_t> &buf);
+
+/**
+ * readSome() with a deadline: poll()s for readability first.
+ * @param timeout_ms <0 blocks indefinitely (plain readSome).
+ */
+IoStatus readSomeTimeout(int fd, std::vector<std::uint8_t> &buf,
+                         int timeout_ms);
+
+} // namespace serve
+} // namespace fs
+
+#endif // FS_SERVE_NET_IO_H_

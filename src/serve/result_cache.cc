@@ -88,11 +88,25 @@ ResultCache::insertLocked(std::uint64_t key, MsgKind kind,
     }
 }
 
+namespace {
+
+/** Append the spill-file integrity trailer: FNV-1a over the frame. */
+void
+appendDigest(std::vector<std::uint8_t> &bytes)
+{
+    const std::uint64_t digest = fnv1a64(bytes.data(), bytes.size());
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(std::uint8_t(digest >> (8 * i)));
+}
+
+} // namespace
+
 bool
 ResultCache::readSpill(std::uint64_t key, MsgKind &kind,
                        std::vector<std::uint8_t> &payload)
 {
-    std::FILE *f = std::fopen(spillPath(key).c_str(), "rb");
+    const std::string path = spillPath(key);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return false;
     std::vector<std::uint8_t> bytes;
@@ -101,14 +115,37 @@ ResultCache::readSpill(std::uint64_t key, MsgKind &kind,
     while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
         bytes.insert(bytes.end(), buf, buf + n);
     std::fclose(f);
-    Frame frame;
-    std::size_t consumed = 0;
-    if (parseFrame(bytes.data(), bytes.size(), frame, consumed) !=
-            FrameStatus::kOk ||
-        consumed != bytes.size())
-        return false; // stale/corrupt spill file: treat as a miss
-    kind = frame.kind;
-    payload = std::move(frame.payload);
+
+    // Validate every layer: digest trailer (bit rot), frame header
+    // (stale magic/version), declared length (crash-mid-write
+    // truncation), and exact consumption (torn concatenation). Any
+    // failure discards the file so the entry is recomputed -- a
+    // damaged cache loses capacity, never correctness.
+    bool valid = bytes.size() > 8;
+    std::uint64_t stored = 0;
+    if (valid) {
+        const std::size_t body = bytes.size() - 8;
+        for (int i = 0; i < 8; ++i)
+            stored |= std::uint64_t(bytes[body + std::size_t(i)])
+                      << (8 * i);
+        valid = fnv1a64(bytes.data(), body) == stored;
+        if (valid) {
+            Frame frame;
+            std::size_t consumed = 0;
+            valid = parseFrame(bytes.data(), body, frame, consumed) ==
+                        FrameStatus::kOk &&
+                    consumed == body;
+            if (valid) {
+                kind = frame.kind;
+                payload = std::move(frame.payload);
+            }
+        }
+    }
+    if (!valid) {
+        std::remove(path.c_str());
+        ++stats_.spillDiscarded;
+        return false;
+    }
     return true;
 }
 
@@ -125,7 +162,8 @@ ResultCache::writeSpill(std::uint64_t key, MsgKind kind,
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return;
-    const std::vector<std::uint8_t> bytes = frameMessage(kind, payload);
+    std::vector<std::uint8_t> bytes = frameMessage(kind, payload);
+    appendDigest(bytes);
     const bool ok =
         std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
     std::fclose(f);

@@ -13,10 +13,16 @@
  * Two tiers: a bounded in-memory LRU (byte-sized, not entry-counted),
  * and an optional on-disk spill directory written through on insert.
  * Spill files are self-describing single-frame wire messages
- * (fs-<16-hex-digit-key>.fsr), so a future daemon can warm-start from
- * the directory and stale files are detected by magic/version the
- * same way socket traffic is. The FS_NO_SERVE_CACHE environment kill
- * switch makes the engine bypass lookups and inserts entirely.
+ * (fs-<16-hex-digit-key>.fsr) followed by an 8-byte FNV-1a digest of
+ * the frame bytes, so a daemon can warm-start from the directory and
+ * damage is detected the same way for every failure mode: stale
+ * files by magic/version, crash-mid-write truncation by the frame
+ * length, and silent bit rot by the digest. A spill file that fails
+ * any of those checks is *discarded on load* -- deleted and counted
+ * in Stats::spillDiscarded -- so the entry is recomputed instead of
+ * ever serving garbage, and the bad file cannot keep failing reads.
+ * The FS_NO_SERVE_CACHE environment kill switch makes the engine
+ * bypass lookups and inserts entirely.
  */
 
 #ifndef FS_SERVE_RESULT_CACHE_H_
@@ -44,6 +50,8 @@ class ResultCache
         std::uint64_t misses = 0;
         std::uint64_t insertions = 0;
         std::uint64_t evictions = 0;
+        /** Truncated/corrupt spill files deleted on load. */
+        std::uint64_t spillDiscarded = 0;
     };
 
     /**

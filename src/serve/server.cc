@@ -14,30 +14,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "serve/net_io.h"
+
 namespace fs {
 namespace serve {
-
-namespace {
-
-/** send() the whole buffer, riding out EINTR and short writes. */
-bool
-sendAll(int fd, const std::uint8_t *data, std::size_t len)
-{
-    std::size_t off = 0;
-    while (off < len) {
-        const ssize_t n =
-            ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += std::size_t(n);
-    }
-    return true;
-}
-
-} // namespace
 
 Server::Server(Options opts)
     : opts_(std::move(opts)), engine_(opts_.engine)
@@ -129,6 +109,7 @@ Server::start(std::string &err)
 
     running_.store(true);
     draining_.store(false);
+    killed_.store(false);
     {
         std::lock_guard<std::mutex> lock(queue_mu_);
         executor_stop_ = false;
@@ -199,6 +180,48 @@ Server::stop()
         ::unlink(opts_.socketPath.c_str());
 }
 
+void
+Server::abort()
+{
+    if (!running_.load() || killed_.exchange(true))
+        return;
+    // Stop accepting: the accept loop exits (and closes listeners) on
+    // the wake byte because draining_ is set.
+    draining_.store(true);
+    if (wake_pipe_[1] >= 0) {
+        const char byte = 'x';
+        (void)!::write(wake_pipe_[1], &byte, 1);
+    }
+    // Reset every live connection: clients observe a peer death, the
+    // reader threads see EOF and wind down. fds stay open (owned by
+    // the Conn) until stop() reaps them.
+    {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (const auto &conn : conns_) {
+            conn->dead.store(true);
+            ::shutdown(conn->fd, SHUT_RDWR);
+        }
+    }
+    // Drop queued work without answering -- this is the one code path
+    // that is *allowed* to lose accepted requests, because it models
+    // a process SIGKILL; the fleet layer turns the resulting resets
+    // into retries. Threads are joined by stop(), never here: abort()
+    // may run on the executor thread itself via a chaos hook.
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queue_.clear();
+        executor_stop_ = true;
+    }
+    queue_cv_.notify_all();
+}
+
+std::size_t
+Server::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    return queue_.size();
+}
+
 Server::Stats
 Server::stats() const
 {
@@ -263,10 +286,16 @@ Server::acceptLoop()
                         // The executor may still hold this Conn for a
                         // queued job; retire the fd under the write
                         // lock so no reply ever hits a recycled fd.
-                        std::lock_guard<std::mutex> wl(
-                            (*it)->write_mu);
-                        ::close((*it)->fd);
-                        (*it)->fd = -1;
+                        // The lock must be released before erase():
+                        // dropping what may be the last reference
+                        // while holding the Conn's own mutex would
+                        // unlock freed memory.
+                        {
+                            std::lock_guard<std::mutex> wl(
+                                (*it)->write_mu);
+                            ::close((*it)->fd);
+                            (*it)->fd = -1;
+                        }
                         it = conns_.erase(it);
                     } else {
                         ++it;
@@ -330,6 +359,14 @@ Server::readerLoop(std::shared_ptr<Conn> conn)
                               " != " + std::to_string(kWireVersion));
                 continue;
             }
+            // Control plane answers from the reader, even while
+            // draining: a ping during drain reports draining=1 so
+            // routers rotate away before the socket dies.
+            if (frame.kind == MsgKind::kPing ||
+                frame.kind == MsgKind::kCacheInsert) {
+                answerControl(conn, frame);
+                continue;
+            }
             if (draining_.load()) {
                 sendError(*conn, ErrorCode::kShuttingDown,
                           "server draining");
@@ -346,7 +383,17 @@ Server::readerLoop(std::shared_ptr<Conn> conn)
                     std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(opts_.deadlineMs);
             }
-            if (!enqueue(std::move(job))) {
+            std::vector<Job> shed;
+            const bool admitted = enqueue(std::move(job), shed);
+            for (const Job &victim : shed) {
+                {
+                    std::lock_guard<std::mutex> lock(stats_mu_);
+                    ++stats_.shed;
+                }
+                sendError(*victim.conn, ErrorCode::kOverloaded,
+                          "shed by higher-priority arrival");
+            }
+            if (!admitted) {
                 {
                     std::lock_guard<std::mutex> lock(stats_mu_);
                     ++stats_.overloaded;
@@ -364,13 +411,80 @@ Server::readerLoop(std::shared_ptr<Conn> conn)
     conn->dead.store(true);
 }
 
+void
+Server::answerControl(const std::shared_ptr<Conn> &conn,
+                      const Frame &frame)
+{
+    std::string err;
+    if (frame.kind == MsgKind::kPing) {
+        PingJob ping;
+        if (!decodePing(frame.payload.data(), frame.payload.size(),
+                        ping, err)) {
+            sendError(*conn, ErrorCode::kBadRequest, err);
+            return;
+        }
+        PingResult res;
+        res.nonce = ping.nonce;
+        res.queueDepth = std::uint32_t(queueDepth());
+        res.cacheEntries = engine_.cache().entryCount();
+        res.draining = draining_.load() ? 1 : 0;
+        {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.pings;
+        }
+        sendReply(*conn, MsgKind::kPingReply, encodePingResult(res));
+        return;
+    }
+    CacheInsertJob ins;
+    if (!decodeCacheInsert(frame.payload.data(), frame.payload.size(),
+                           ins, err)) {
+        sendError(*conn, ErrorCode::kBadRequest, err);
+        return;
+    }
+    // Replication pushes are validated before they touch the cache:
+    // the kind must be a non-error reply and the payload must decode
+    // as that kind, so a torn or hostile push can cost capacity but
+    // never store undecodable bytes under a live key.
+    CacheInsertResult res;
+    const MsgKind kind = MsgKind(ins.kind);
+    Response decoded;
+    if (kind != MsgKind::kErrorReply &&
+        (ins.kind & 0x8000u) != 0 &&
+        decodeResponsePayload(kind, ins.payload.data(),
+                              ins.payload.size(), decoded, err)) {
+        engine_.cache().insert(ins.key, kind, ins.payload);
+        res.stored = 1;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.cacheInserts;
+    }
+    sendReply(*conn, MsgKind::kCacheInsertReply,
+              encodeCacheInsertResult(res));
+}
+
 bool
-Server::enqueue(Job job)
+Server::enqueue(Job job, std::vector<Job> &shed)
 {
     {
         std::lock_guard<std::mutex> lock(queue_mu_);
-        if (queue_.size() >= opts_.queueLimit)
-            return false;
+        if (queue_.size() >= opts_.queueLimit) {
+            // Shed the newest job of the lowest priority class that
+            // the arrival strictly outranks (newest: its issuer has
+            // waited the least, so the eviction wastes the least).
+            const int arrival_prio = requestPriority(job.kind);
+            auto victim = queue_.end();
+            int victim_prio = arrival_prio;
+            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                const int prio = requestPriority(it->kind);
+                if (prio < arrival_prio && prio <= victim_prio) {
+                    victim = it;
+                    victim_prio = prio;
+                }
+            }
+            if (victim == queue_.end())
+                return false;
+            shed.push_back(std::move(*victim));
+            queue_.erase(victim);
+        }
         queue_.push_back(std::move(job));
     }
     {
@@ -419,6 +533,8 @@ Server::processBatch(std::vector<Job> &batch)
     // executed once; later copies reuse the exact reply bytes.
     std::unordered_map<std::uint64_t, ServedResponse> answered;
     for (Job &job : batch) {
+        if (killed_.load())
+            return; // chaos kill: queued work dies with the worker
         if (job.conn->dead.load())
             continue;
         if (job.hasDeadline && now > job.deadline) {
@@ -456,6 +572,39 @@ Server::processBatch(std::vector<Job> &batch)
                           resp.fromCache ? " (cached)" : "");
             logLine(line);
         }
+        if (opts_.chaos) {
+            const ChaosAction act =
+                opts_.chaos(reply_serial_.fetch_add(1));
+            if (act.killWorker) {
+                abort();
+                return;
+            }
+            if (act.stallMs > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(act.stallMs));
+            if (act.resetConn) {
+                job.conn->dead.store(true);
+                std::lock_guard<std::mutex> lock(job.conn->write_mu);
+                if (job.conn->fd >= 0)
+                    ::shutdown(job.conn->fd, SHUT_RDWR);
+                continue;
+            }
+            if (act.truncateBytes >= 0) {
+                // Send a prefix of the framed reply, then reset: the
+                // client sees a torn response followed by peer death.
+                const std::vector<std::uint8_t> bytes =
+                    frameMessage(resp.kind, resp.payload);
+                const std::size_t keep = std::min(
+                    bytes.size(), std::size_t(act.truncateBytes));
+                std::lock_guard<std::mutex> lock(job.conn->write_mu);
+                if (job.conn->fd >= 0) {
+                    (void)writeFull(job.conn->fd, bytes.data(), keep);
+                    job.conn->dead.store(true);
+                    ::shutdown(job.conn->fd, SHUT_RDWR);
+                }
+                continue;
+            }
+        }
         sendReply(*job.conn, resp.kind, resp.payload);
     }
 }
@@ -468,7 +617,9 @@ Server::sendReply(Conn &conn, MsgKind kind,
     std::lock_guard<std::mutex> lock(conn.write_mu);
     if (conn.fd < 0)
         return;
-    if (!sendAll(conn.fd, bytes.data(), bytes.size()))
+    // A peer that vanished mid-write is an event, not an error: mark
+    // the connection dead and let the reader reap it.
+    if (writeFull(conn.fd, bytes.data(), bytes.size()) != IoStatus::kOk)
         conn.dead.store(true);
 }
 

@@ -14,12 +14,28 @@
  * connection arrive in request order, so clients may pipeline.
  *
  * Overload and liveness policy, in order of application:
- *  - a frame arriving while the bounded queue is full is answered
- *    immediately with kOverloaded (backpressure, never silent drop);
+ *  - control-plane frames (kPing, kCacheInsert) are answered by the
+ *    reader thread immediately and never queue behind simulation
+ *    work, so health probes stay meaningful under load;
+ *  - a frame arriving while the bounded queue is full triggers
+ *    priority shedding: if a queued job has strictly lower
+ *    requestPriority() than the arrival, that job is answered with
+ *    kOverloaded and the arrival is admitted; otherwise the arrival
+ *    itself is answered with kOverloaded. Backpressure is always a
+ *    typed reply, never a silent drop;
  *  - a request dequeued after its deadline (arrival + deadlineMs) is
  *    answered with kDeadlineExceeded instead of being executed;
  *  - stop() drains: listeners close, readers stop, every request
- *    already queued is still answered, then connections shut down.
+ *    already queued is still answered, then connections shut down;
+ *  - abort() is the opposite of drain: a socket-level SIGKILL for
+ *    chaos testing. Listeners and connections shut down instantly
+ *    and queued work is dropped *visibly* -- clients see a reset,
+ *    which the fleet layer treats as a typed peer-death event.
+ *
+ * Chaos hooks (Options::chaos) let a deterministic fault script
+ * perturb the reply path -- stalls, truncated responses, connection
+ * resets, whole-worker death -- without any nondeterministic
+ * instrumentation in the hot path.
  */
 
 #ifndef FS_SERVE_SERVER_H_
@@ -30,6 +46,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,9 +58,25 @@
 namespace fs {
 namespace serve {
 
+/**
+ * One chaos decision for one executor reply, produced by a seeded
+ * script. Defaults are "no fault". Applied in order: kill, stall,
+ * reset, truncate.
+ */
+struct ChaosAction {
+    bool killWorker = false;   ///< abort() before replying
+    std::uint32_t stallMs = 0; ///< sleep before replying
+    bool resetConn = false;    ///< close the connection, no reply
+    /** >= 0: send only this many reply bytes, then reset. */
+    std::int32_t truncateBytes = -1;
+};
+
 class Server
 {
   public:
+    /** Chaos script: reply serial number -> action. Must be thread-safe. */
+    using ChaosHook = std::function<ChaosAction(std::uint64_t)>;
+
     struct Options {
         std::string socketPath;      ///< Unix-domain listener ("" = off)
         int tcpPort = -1;            ///< TCP listener (-1 = off, 0 = ephemeral)
@@ -53,6 +86,7 @@ class Server
         /** Per-request deadline from arrival, ms; 0 disables. */
         std::uint32_t deadlineMs = 0;
         bool verbose = false;         ///< per-request stderr log lines
+        ChaosHook chaos;              ///< fault-injection hook (tests)
     };
 
     struct Stats {
@@ -60,12 +94,15 @@ class Server
         std::uint64_t requests = 0;  ///< frames enqueued
         std::uint64_t served = 0;    ///< non-error replies
         std::uint64_t errors = 0;    ///< error replies (incl. below)
-        std::uint64_t overloaded = 0;
+        std::uint64_t overloaded = 0; ///< arrivals refused when full
+        std::uint64_t shed = 0;      ///< queued low-priority jobs evicted
         std::uint64_t expired = 0;   ///< deadline-exceeded replies
         std::uint64_t versionMismatches = 0;
         std::uint64_t batches = 0;
         std::uint64_t maxBatch = 0;
         std::uint64_t batchDuplicates = 0; ///< in-batch dedupe hits
+        std::uint64_t pings = 0;          ///< health probes answered
+        std::uint64_t cacheInserts = 0;   ///< replication pushes accepted
     };
 
     explicit Server(Options opts);
@@ -86,6 +123,22 @@ class Server
      * and safe to call from any (non-signal) context.
      */
     void stop();
+
+    /**
+     * Abrupt death (chaos "SIGKILL"): shut down listeners and every
+     * connection immediately and drop queued work without answering.
+     * Clients observe a connection reset, exactly as if the process
+     * had been killed. Threads are NOT joined here -- abort() is
+     * callable from the executor itself (via a chaos hook); call
+     * stop() afterwards to reap them. Idempotent.
+     */
+    void abort();
+
+    /** True once abort() has fired. */
+    bool aborted() const { return killed_.load(); }
+
+    /** Requests waiting for the executor (the ping liveness signal). */
+    std::size_t queueDepth() const;
 
     bool running() const { return running_.load(); }
     /** Actual TCP port after start() (for tcpPort = 0). */
@@ -115,7 +168,14 @@ class Server
     void readerLoop(std::shared_ptr<Conn> conn);
     void executorLoop();
     void processBatch(std::vector<Job> &batch);
-    bool enqueue(Job job);
+    /**
+     * Admit `job`, shedding a strictly-lower-priority queued job into
+     * `shed` when full. @return false when the arrival itself must be
+     * refused (caller answers it with kOverloaded).
+     */
+    bool enqueue(Job job, std::vector<Job> &shed);
+    void answerControl(const std::shared_ptr<Conn> &conn,
+                       const Frame &frame);
     void sendReply(Conn &conn, MsgKind kind,
                    const std::vector<std::uint8_t> &payload);
     void sendError(Conn &conn, ErrorCode code, const std::string &msg);
@@ -135,13 +195,15 @@ class Server
     std::mutex conns_mu_;
     std::vector<std::shared_ptr<Conn>> conns_;
 
-    std::mutex queue_mu_;
+    mutable std::mutex queue_mu_;
     std::condition_variable queue_cv_;
     std::deque<Job> queue_;
     bool executor_stop_ = false; ///< drain-and-exit once queue empties
 
     std::atomic<bool> running_{false};
     std::atomic<bool> draining_{false};
+    std::atomic<bool> killed_{false};
+    std::atomic<std::uint64_t> reply_serial_{0}; ///< chaos-hook index
 
     mutable std::mutex stats_mu_;
     Stats stats_;

@@ -270,8 +270,122 @@ replyKindFor(MsgKind request_kind)
       case MsgKind::kDseShard: return MsgKind::kDseShardReply;
       case MsgKind::kTorture: return MsgKind::kTortureReply;
       case MsgKind::kGuestRun: return MsgKind::kGuestRunReply;
+      case MsgKind::kPing: return MsgKind::kPingReply;
+      case MsgKind::kCacheInsert: return MsgKind::kCacheInsertReply;
       default: return MsgKind::kErrorReply;
     }
+}
+
+int
+requestPriority(MsgKind kind)
+{
+    switch (kind) {
+      case MsgKind::kDseShard:
+      case MsgKind::kTorture:
+        return 1; // heavy batch work: shed first under overload
+      default:
+        return 2;
+    }
+}
+
+std::vector<std::uint8_t>
+encodePing(const PingJob &job)
+{
+    std::vector<std::uint8_t> bytes;
+    ByteWriter w(bytes);
+    w.u64(job.nonce);
+    return bytes;
+}
+
+bool
+decodePing(const std::uint8_t *data, std::size_t len, PingJob &out,
+           std::string &err)
+{
+    ByteReader r(data, len);
+    out.nonce = r.u64();
+    if (!r.ok() || !r.atEnd()) {
+        err = "bad ping payload";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodePingResult(const PingResult &res)
+{
+    std::vector<std::uint8_t> bytes;
+    ByteWriter w(bytes);
+    w.u64(res.nonce);
+    w.u32(res.queueDepth);
+    w.u64(res.cacheEntries);
+    w.u8(res.draining);
+    return bytes;
+}
+
+bool
+decodePingResult(const std::uint8_t *data, std::size_t len,
+                 PingResult &out, std::string &err)
+{
+    ByteReader r(data, len);
+    out.nonce = r.u64();
+    out.queueDepth = r.u32();
+    out.cacheEntries = r.u64();
+    out.draining = r.u8();
+    if (!r.ok() || !r.atEnd()) {
+        err = "bad ping reply payload";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeCacheInsert(const CacheInsertJob &job)
+{
+    std::vector<std::uint8_t> bytes;
+    ByteWriter w(bytes);
+    w.u64(job.key);
+    w.u16(job.kind);
+    w.u32(std::uint32_t(job.payload.size()));
+    bytes.insert(bytes.end(), job.payload.begin(), job.payload.end());
+    return bytes;
+}
+
+bool
+decodeCacheInsert(const std::uint8_t *data, std::size_t len,
+                  CacheInsertJob &out, std::string &err)
+{
+    ByteReader r(data, len);
+    out.key = r.u64();
+    out.kind = r.u16();
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || len - (8 + 2 + 4) != n) {
+        err = "bad cache-insert payload";
+        return false;
+    }
+    out.payload.assign(data + 14, data + 14 + n);
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeCacheInsertResult(const CacheInsertResult &res)
+{
+    std::vector<std::uint8_t> bytes;
+    ByteWriter w(bytes);
+    w.u8(res.stored);
+    return bytes;
+}
+
+bool
+decodeCacheInsertResult(const std::uint8_t *data, std::size_t len,
+                        CacheInsertResult &out, std::string &err)
+{
+    ByteReader r(data, len);
+    out.stored = r.u8();
+    if (!r.ok() || !r.atEnd()) {
+        err = "bad cache-insert reply payload";
+        return false;
+    }
+    return true;
 }
 
 std::vector<std::uint8_t>

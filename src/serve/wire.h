@@ -45,19 +45,29 @@ constexpr std::size_t kFrameHeaderSize = 12;
 /** Upper bound on a frame payload; larger frames are rejected. */
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 
-/** Message kinds. Requests are < 0x8000, responses have the top bit. */
+/**
+ * Message kinds. Requests are < 0x8000, responses have the top bit.
+ * kPing and kCacheInsert are control-plane messages: they are
+ * answered by the daemon's reader thread directly (never queued
+ * behind simulation work), which is what makes pings a usable
+ * liveness signal under load.
+ */
 enum class MsgKind : std::uint16_t {
     kRoSweep = 1,
     kDesignPoint = 2,
     kDseShard = 3,
     kTorture = 4,
     kGuestRun = 5,
+    kPing = 6,
+    kCacheInsert = 7,
 
     kRoSweepReply = 0x8001,
     kDesignPointReply = 0x8002,
     kDseShardReply = 0x8003,
     kTortureReply = 0x8004,
     kGuestRunReply = 0x8005,
+    kPingReply = 0x8006,
+    kCacheInsertReply = 0x8007,
     kErrorReply = 0x80ff,
 };
 
@@ -216,6 +226,42 @@ struct ErrorResult {
     std::string message;
 };
 
+// --- control plane (fleet health + replication) -----------------------
+
+/**
+ * Typed health probe. The reply carries enough for a router to make
+ * eviction and load decisions: queue depth as a backpressure signal
+ * and the draining flag so a worker in SIGTERM drain is taken out of
+ * rotation before its socket actually closes.
+ */
+struct PingJob {
+    std::uint64_t nonce = 0; ///< echoed back; pairs probe and reply
+};
+
+struct PingResult {
+    std::uint64_t nonce = 0;
+    std::uint32_t queueDepth = 0;   ///< requests waiting for the executor
+    std::uint64_t cacheEntries = 0; ///< in-memory ResultCache entries
+    std::uint8_t draining = 0;      ///< 1 = drain in progress; evict me
+};
+
+/**
+ * Push one ResultCache entry to a peer worker (hash-ring
+ * replication). `kind` must be a non-error reply kind and `payload`
+ * its canonical bytes; the receiver validates both before storing, so
+ * a corrupted or malicious insert can refuse capacity but never
+ * poison the cache with undecodable bytes.
+ */
+struct CacheInsertJob {
+    std::uint64_t key = 0; ///< content address (serve::requestKey)
+    std::uint16_t kind = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+struct CacheInsertResult {
+    std::uint8_t stored = 0; ///< 0 = rejected (invalid kind/payload)
+};
+
 using Request = std::variant<RoSweepJob, DesignPointJob, DseShardJob,
                              TortureJob, GuestRunJob>;
 using Response =
@@ -228,6 +274,32 @@ MsgKind responseKind(const Response &resp);
 
 /** Reply kind matching a request kind (kErrorReply for unknown). */
 MsgKind replyKindFor(MsgKind request_kind);
+
+/**
+ * Shedding priority of a request kind under overload: higher values
+ * are kept longer. Heavy batch jobs (DSE shards, torture campaigns)
+ * are priority 1 -- shed first, the caller can re-shard or retry
+ * later; cheap interactive jobs (RO sweeps, design points, guest
+ * runs) are priority 2. Control-plane messages never queue, so they
+ * have no shedding priority.
+ */
+int requestPriority(MsgKind kind);
+
+// --- control-plane codecs --------------------------------------------
+
+std::vector<std::uint8_t> encodePing(const PingJob &job);
+bool decodePing(const std::uint8_t *data, std::size_t len,
+                PingJob &out, std::string &err);
+std::vector<std::uint8_t> encodePingResult(const PingResult &res);
+bool decodePingResult(const std::uint8_t *data, std::size_t len,
+                      PingResult &out, std::string &err);
+std::vector<std::uint8_t> encodeCacheInsert(const CacheInsertJob &job);
+bool decodeCacheInsert(const std::uint8_t *data, std::size_t len,
+                       CacheInsertJob &out, std::string &err);
+std::vector<std::uint8_t>
+encodeCacheInsertResult(const CacheInsertResult &res);
+bool decodeCacheInsertResult(const std::uint8_t *data, std::size_t len,
+                             CacheInsertResult &out, std::string &err);
 
 // --- canonical payload encoding --------------------------------------
 

@@ -1,0 +1,668 @@
+/**
+ * @file
+ * Tests for the fs::fleet layer: consistent-hash placement, the
+ * seeded chaos harness, and the router's fault-tolerance contract --
+ * byte-identical responses across 1/2/4/8 workers with chaos enabled
+ * and disabled at 1 and 8 client threads, no silent loss when a
+ * worker is killed mid-campaign, cache replication surviving primary
+ * death, health-check eviction and re-admission, and typed
+ * backpressure at both the router and the worker queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fleet/chaos.h"
+#include "fleet/fleet.h"
+#include "fleet/hash_ring.h"
+#include "fleet/router.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/net_io.h"
+
+namespace fs {
+namespace fleet {
+namespace {
+
+using serve::Engine;
+using serve::ErrorCode;
+using serve::ErrorResult;
+using serve::Frame;
+using serve::MsgKind;
+using serve::Request;
+using serve::Response;
+
+// --- hash ring --------------------------------------------------------
+
+TEST(HashRing, PlacementIsDeterministicAndBalanced)
+{
+    HashRing a(64);
+    HashRing b(64);
+    std::vector<std::string> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back("/tmp/w" + std::to_string(i) + ".sock");
+    for (const std::string &id : ids) {
+        a.add(id);
+        b.add(id);
+    }
+    std::map<std::string, int> load;
+    for (std::uint64_t key = 0; key < 4096; ++key) {
+        const std::uint64_t h = serve::fnv1a64(&key, sizeof key);
+        ASSERT_EQ(a.primary(h), b.primary(h));
+        ++load[a.primary(h)];
+    }
+    // Virtual nodes keep the split sane: every worker owns something,
+    // nobody owns more than ~3x its fair share.
+    for (const std::string &id : ids) {
+        EXPECT_GT(load[id], 0) << id;
+        EXPECT_LT(load[id], 3 * 4096 / 8) << id;
+    }
+}
+
+TEST(HashRing, OwnersAreDistinctAndLedByThePrimary)
+{
+    HashRing ring(32);
+    for (int i = 0; i < 4; ++i)
+        ring.add("w" + std::to_string(i));
+    for (std::uint64_t key = 1; key < 200; key += 13) {
+        const auto owners = ring.owners(key, 3);
+        ASSERT_EQ(owners.size(), 3u);
+        EXPECT_EQ(owners[0], ring.primary(key));
+        std::set<std::string> uniq(owners.begin(), owners.end());
+        EXPECT_EQ(uniq.size(), owners.size());
+    }
+    EXPECT_EQ(ring.owners(42, 9).size(), 4u); // capped at the fleet
+}
+
+TEST(HashRing, RemovalOnlyRemapsTheRemovedWorkersKeys)
+{
+    HashRing ring(64);
+    for (int i = 0; i < 5; ++i)
+        ring.add("w" + std::to_string(i));
+    std::map<std::uint64_t, std::string> before;
+    for (std::uint64_t key = 0; key < 2048; ++key)
+        before[key] = ring.primary(key * 0x9e3779b97f4a7c15ull);
+    ring.remove("w2");
+    for (const auto &kv : before) {
+        const std::string now =
+            ring.primary(kv.first * 0x9e3779b97f4a7c15ull);
+        if (kv.second != "w2")
+            EXPECT_EQ(now, kv.second) << "key " << kv.first
+                << " moved despite its owner surviving";
+        else
+            EXPECT_NE(now, "w2");
+    }
+}
+
+// --- chaos plans ------------------------------------------------------
+
+TEST(Chaos, PlansAreReplayableFromTheirSeed)
+{
+    ChaosParams params;
+    params.killProbability = 0.02;
+    params.horizonReplies = 128;
+    const ChaosPlan a = ChaosPlan::random(99, 4, params);
+    const ChaosPlan b = ChaosPlan::random(99, 4, params);
+    const ChaosPlan c = ChaosPlan::random(100, 4, params);
+    ASSERT_EQ(a.scripts.size(), 4u);
+    std::size_t events = 0;
+    for (std::size_t w = 0; w < 4; ++w) {
+        ASSERT_EQ(a.scripts[w].size(), b.scripts[w].size());
+        for (const auto &kv : a.scripts[w]) {
+            const auto it = b.scripts[w].find(kv.first);
+            ASSERT_NE(it, b.scripts[w].end());
+            EXPECT_EQ(kv.second.killWorker, it->second.killWorker);
+            EXPECT_EQ(kv.second.resetConn, it->second.resetConn);
+            EXPECT_EQ(kv.second.stallMs, it->second.stallMs);
+            EXPECT_EQ(kv.second.truncateBytes,
+                      it->second.truncateBytes);
+            ++events;
+        }
+    }
+    EXPECT_GT(events, 0u) << "a chaos plan with no events tests nothing";
+    // A different seed gives a different script somewhere.
+    bool differs = false;
+    for (std::size_t w = 0; w < 4 && !differs; ++w)
+        differs = a.scripts[w].size() != c.scripts[w].size() ||
+                  !std::equal(a.scripts[w].begin(), a.scripts[w].end(),
+                              c.scripts[w].begin(),
+                              [](const auto &x, const auto &y) {
+                                  return x.first == y.first;
+                              });
+    EXPECT_TRUE(differs);
+}
+
+TEST(Chaos, AtMostOneKillPerWorker)
+{
+    ChaosParams params;
+    params.killProbability = 0.9;
+    params.horizonReplies = 64;
+    const ChaosPlan plan = ChaosPlan::random(3, 6, params);
+    for (const auto &script : plan.scripts) {
+        int kills = 0;
+        for (const auto &kv : script)
+            kills += kv.second.killWorker ? 1 : 0;
+        EXPECT_LE(kills, 1);
+    }
+}
+
+// --- fleet + router ---------------------------------------------------
+
+std::string
+fleetDir(const char *tag)
+{
+    const std::string dir = "/tmp/fs_fleet_" +
+                            std::to_string(::getpid()) + "_" + tag;
+    ::mkdir(dir.c_str(), 0755);
+    return dir;
+}
+
+/** Small-but-real jobs, one of each type (mirrors test_serve). */
+std::vector<Request>
+sampleJobs()
+{
+    serve::RoSweepJob ro;
+    ro.vStart = 0.4;
+    ro.vEnd = 1.2;
+    ro.vStep = 0.1;
+
+    serve::DesignPointJob dp;
+
+    serve::DseShardJob dse;
+    dse.populationSize = 24;
+    dse.generations = 2;
+
+    serve::TortureJob torture;
+    torture.workload.kind = serve::WorkloadSpec::Kind::kCrc32;
+    torture.workload.a = 1024;
+    torture.randomKills = 4;
+
+    serve::GuestRunJob guest;
+    guest.workload.kind = serve::WorkloadSpec::Kind::kSort;
+    guest.workload.a = 64;
+
+    return {ro, dp, dse, torture, guest};
+}
+
+/** A wider request list: sample jobs plus parameter-varied guests. */
+std::vector<Request>
+campaignJobs(std::size_t extra)
+{
+    std::vector<Request> jobs = sampleJobs();
+    for (std::size_t i = 0; i < extra; ++i) {
+        serve::GuestRunJob guest;
+        guest.workload.kind = serve::WorkloadSpec::Kind::kCrc32;
+        guest.workload.a = std::uint32_t(64 + 16 * i);
+        guest.workload.seed = i;
+        jobs.push_back(guest);
+    }
+    return jobs;
+}
+
+/** Reference bytes straight from a local engine (never cached). */
+std::vector<std::vector<std::uint8_t>>
+referenceBytes(const std::vector<Request> &jobs)
+{
+    Engine direct;
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(jobs.size());
+    for (const Request &req : jobs)
+        out.push_back(
+            serve::encodeResponsePayload(direct.execute(req)));
+    return out;
+}
+
+Router::Options
+routerOptions(const Fleet &fleet)
+{
+    Router::Options opts;
+    opts.endpoints = fleet.endpoints();
+    opts.retry.maxAttempts = 8;
+    opts.retry.backoffBaseMs = 2;
+    opts.retry.backoffMaxMs = 40;
+    return opts;
+}
+
+/**
+ * The tentpole assertion: every completed request's bytes equal the
+ * single-node reference, for `workers` workers, with and without
+ * chaos, at `threads` client threads. Chaos here excludes worker
+ * kills (covered separately): with every worker alive, completion
+ * must be total, so *all* responses are checked, not just survivors.
+ */
+void
+byteIdentityAcrossFleet(std::size_t workers, std::size_t threads,
+                        bool chaos_enabled, const char *tag)
+{
+    const std::vector<Request> jobs = campaignJobs(8);
+    static const std::vector<std::vector<std::uint8_t>> reference =
+        referenceBytes(campaignJobs(8));
+
+    Fleet::Options fopts;
+    fopts.workers = workers;
+    fopts.socketDir = fleetDir(tag);
+    fopts.chaosEnabled = chaos_enabled;
+    if (chaos_enabled) {
+        ChaosParams params;
+        params.killProbability = 0.0; // kills tested separately
+        params.resetProbability = 0.15;
+        params.truncateProbability = 0.1;
+        params.stallProbability = 0.1;
+        params.maxStallMs = 5;
+        params.horizonReplies = 256;
+        fopts.chaos = ChaosPlan::random(0xc405 + workers, workers,
+                                        params);
+    }
+    Fleet fleet(fopts);
+    std::string err;
+    ASSERT_TRUE(fleet.start(err)) << err;
+
+    Router router(routerOptions(fleet));
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> mismatches{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < threads; ++t)
+        clients.emplace_back([&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1);
+                // Each job is issued twice so cached and cold paths
+                // both cross the fleet.
+                if (i >= 2 * jobs.size())
+                    return;
+                const Request &req = jobs[i % jobs.size()];
+                Frame reply;
+                router.callRaw(serve::requestKind(req),
+                               serve::encodeRequestPayload(req),
+                               reply);
+                if (reply.kind == MsgKind::kErrorReply) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                if (reply.payload != reference[i % jobs.size()])
+                    mismatches.fetch_add(1);
+            }
+        });
+    for (auto &t : clients)
+        t.join();
+
+    EXPECT_EQ(mismatches.load(), 0)
+        << workers << " workers, chaos=" << chaos_enabled;
+    // No worker dies in this scenario, so nothing may fail either.
+    EXPECT_EQ(failures.load(), 0)
+        << workers << " workers, chaos=" << chaos_enabled;
+    if (chaos_enabled) {
+        EXPECT_GT(fopts.chaos.faultsApplied(), 0u)
+            << "chaos plan never fired: the run proved nothing";
+    }
+    router.stop();
+    fleet.stop();
+}
+
+TEST(FleetByteIdentity, OneWorkerSingleThread)
+{
+    byteIdentityAcrossFleet(1, 1, false, "bi_1w");
+}
+
+TEST(FleetByteIdentity, TwoWorkersChaos)
+{
+    byteIdentityAcrossFleet(2, 8, true, "bi_2wc");
+}
+
+TEST(FleetByteIdentity, FourWorkersChaos)
+{
+    byteIdentityAcrossFleet(4, 8, true, "bi_4wc");
+}
+
+TEST(FleetByteIdentity, EightWorkersSingleThreadChaos)
+{
+    byteIdentityAcrossFleet(8, 1, true, "bi_8wc1");
+}
+
+TEST(FleetByteIdentity, EightWorkersEightThreads)
+{
+    byteIdentityAcrossFleet(8, 8, false, "bi_8w");
+}
+
+TEST(Fleet, KillingAWorkerMidCampaignLosesNoAcceptedRequest)
+{
+    const std::vector<Request> jobs = campaignJobs(12);
+    const auto reference = referenceBytes(jobs);
+
+    Fleet::Options fopts;
+    fopts.workers = 3;
+    fopts.socketDir = fleetDir("kill");
+    Fleet fleet(fopts);
+    std::string err;
+    ASSERT_TRUE(fleet.start(err)) << err;
+
+    Router::Options ropts = routerOptions(fleet);
+    ropts.failsToEvict = 1; // notice the corpse at the first reset
+    Router router(ropts);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> mismatches{0};
+    std::atomic<int> typed_errors{0};
+    std::atomic<int> completed{0};
+    const std::size_t total = 3 * jobs.size();
+
+    std::thread killer([&] {
+        // SIGKILL worker 1 once the campaign is genuinely mid-flight.
+        while (next.load() < total / 4)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        fleet.abortWorker(1);
+    });
+
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < 4; ++t)
+        clients.emplace_back([&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= total)
+                    return;
+                const Request &req = jobs[i % jobs.size()];
+                Frame reply;
+                router.callRaw(serve::requestKind(req),
+                               serve::encodeRequestPayload(req),
+                               reply);
+                if (reply.kind == MsgKind::kErrorReply)
+                    typed_errors.fetch_add(1);
+                else if (reply.payload != reference[i % jobs.size()])
+                    mismatches.fetch_add(1);
+                completed.fetch_add(1);
+            }
+        });
+    for (auto &t : clients)
+        t.join();
+    killer.join();
+
+    // The contract: every accepted request is answered -- with the
+    // exact single-node bytes or a typed error, never dropped, and a
+    // completed answer is never wrong.
+    EXPECT_EQ(completed.load(), int(total));
+    EXPECT_EQ(mismatches.load(), 0);
+    // Two healthy workers remain, and the router retries across them,
+    // so the kill costs retries, not answers.
+    EXPECT_EQ(typed_errors.load(), 0)
+        << "retries should have absorbed the worker death";
+    EXPECT_TRUE(fleet.server(1).aborted());
+    router.stop();
+    fleet.stop();
+}
+
+TEST(Fleet, ReplicationServesHotKeysAfterPrimaryDeath)
+{
+    Fleet::Options fopts;
+    fopts.workers = 2;
+    fopts.socketDir = fleetDir("repl");
+    Fleet fleet(fopts);
+    std::string err;
+    ASSERT_TRUE(fleet.start(err)) << err;
+
+    Router::Options ropts = routerOptions(fleet);
+    ropts.failsToEvict = 1;
+    ropts.replicate = true;
+    Router router(ropts);
+
+    const Request req = sampleJobs()[4]; // guest run
+    Frame first;
+    router.callRaw(serve::requestKind(req),
+                   serve::encodeRequestPayload(req), first);
+    ASSERT_NE(first.kind, MsgKind::kErrorReply);
+    ASSERT_GE(router.stats().replicationPushes, 1u)
+        << "the hot entry never reached the successor";
+
+    // Exactly one worker accepted a replication push; kill the OTHER
+    // one (the primary that served the request) and re-ask.
+    const std::size_t replica =
+        fleet.server(0).stats().cacheInserts > 0 ? 0 : 1;
+    ASSERT_GE(fleet.server(replica).stats().cacheInserts, 1u);
+    fleet.abortWorker(1 - replica);
+
+    Frame second;
+    router.callRaw(serve::requestKind(req),
+                   serve::encodeRequestPayload(req), second);
+    EXPECT_EQ(second.kind, first.kind);
+    EXPECT_EQ(second.payload, first.payload);
+    // The surviving replica answered from its pushed cache entry.
+    EXPECT_GE(fleet.server(replica).engine().cache().stats().hits, 1u);
+    router.stop();
+    fleet.stop();
+}
+
+TEST(Fleet, HealthLoopEvictsDeadWorkersAndReadmitsRestartedOnes)
+{
+    Fleet::Options fopts;
+    fopts.workers = 2;
+    fopts.socketDir = fleetDir("health");
+    Fleet fleet(fopts);
+    std::string err;
+    ASSERT_TRUE(fleet.start(err)) << err;
+
+    Router::Options ropts = routerOptions(fleet);
+    ropts.pingIntervalMs = 10;
+    ropts.failsToEvict = 1;
+    Router router(ropts);
+    router.start();
+
+    auto aliveCount = [&router] {
+        return router.aliveWorkers().size();
+    };
+    auto waitFor = [&](std::size_t want) {
+        for (int i = 0; i < 500 && aliveCount() != want; ++i)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        return aliveCount() == want;
+    };
+
+    ASSERT_TRUE(waitFor(2));
+    fleet.abortWorker(0);
+    EXPECT_TRUE(waitFor(1)) << "dead worker was never evicted";
+    ASSERT_TRUE(fleet.restartWorker(0, err)) << err;
+    EXPECT_TRUE(waitFor(2)) << "restarted worker was never re-admitted";
+    EXPECT_GE(router.stats().evictions, 1u);
+    EXPECT_GE(router.stats().readmissions, 1u);
+    router.stop();
+    fleet.stop();
+}
+
+TEST(Router, ShedsLowPriorityWorkWithTypedOverloadAtTheLimit)
+{
+    Fleet::Options fopts;
+    fopts.workers = 1;
+    fopts.socketDir = fleetDir("shed");
+    Fleet fleet(fopts);
+    std::string err;
+    ASSERT_TRUE(fleet.start(err)) << err;
+
+    Router::Options ropts = routerOptions(fleet);
+    ropts.maxInFlight = 1;
+    Router router(ropts);
+
+    // Saturate the single slot with a slow torture campaign, then
+    // submit a DSE shard (priority 1): it must be shed immediately
+    // with a typed kOverloaded, not queued and not dropped.
+    serve::TortureJob slow;
+    slow.workload.kind = serve::WorkloadSpec::Kind::kCrc32;
+    slow.workload.a = 4096;
+    slow.randomKills = 24;
+    std::thread heavy([&] {
+        Frame reply;
+        router.callRaw(serve::requestKind(Request(slow)),
+                       serve::encodeRequestPayload(Request(slow)),
+                       reply);
+        EXPECT_NE(reply.kind, MsgKind::kErrorReply);
+    });
+    while (router.inFlight() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    serve::DseShardJob shard;
+    shard.populationSize = 24;
+    shard.generations = 2;
+    Frame reply;
+    router.callRaw(serve::requestKind(Request(shard)),
+                   serve::encodeRequestPayload(Request(shard)), reply);
+    heavy.join();
+
+    ASSERT_EQ(reply.kind, MsgKind::kErrorReply);
+    Response resp;
+    ASSERT_TRUE(serve::decodeResponsePayload(
+        reply.kind, reply.payload.data(), reply.payload.size(), resp,
+        err));
+    const auto *e = std::get_if<ErrorResult>(&resp);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->code, ErrorCode::kOverloaded);
+    EXPECT_GE(router.stats().overloaded, 1u);
+    router.stop();
+    fleet.stop();
+}
+
+TEST(Server, QueueFullShedsLowPriorityJobsForInteractiveArrivals)
+{
+    // Worker-side backpressure: a full queue sheds a queued
+    // low-priority job (typed kOverloaded) to admit an interactive
+    // arrival; every frame still gets exactly one reply.
+    serve::Server::Options opts;
+    opts.socketPath = fleetDir("queue") + "/worker.sock";
+    opts.queueLimit = 1;
+    opts.batchMax = 1;
+    std::atomic<bool> stall{true};
+    opts.chaos = [&stall](std::uint64_t) {
+        serve::ChaosAction act;
+        if (stall.load())
+            act.stallMs = 120; // keep the executor busy on job 1
+        return act;
+    };
+    serve::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, err)) << err;
+
+    serve::TortureJob torture;
+    torture.workload.kind = serve::WorkloadSpec::Kind::kCrc32;
+    torture.workload.a = 256;
+    torture.randomKills = 1;
+    serve::GuestRunJob guest;
+    guest.workload.a = 64;
+
+    // Pipeline: torture (executes, stalled) + torture (queued) +
+    // guest (arrives at a full queue, higher priority).
+    const auto send = [&client](const Request &req) {
+        const auto bytes = serve::frameMessage(
+            serve::requestKind(req),
+            serve::encodeRequestPayload(req));
+        ASSERT_EQ(serve::writeFull(client.fd(), bytes.data(),
+                                   bytes.size()),
+                  serve::IoStatus::kOk);
+    };
+    send(torture);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    serve::TortureJob torture2 = torture;
+    torture2.workload.seed = 99;
+    send(torture2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    send(guest);
+
+    std::map<MsgKind, int> kinds;
+    std::vector<std::uint8_t> buf;
+    int overloads = 0;
+    for (int got = 0; got < 3;) {
+        Frame reply;
+        std::size_t consumed = 0;
+        if (serve::parseFrame(buf.data(), buf.size(), reply,
+                              consumed) == serve::FrameStatus::kOk) {
+            buf.erase(buf.begin(),
+                      buf.begin() + std::ptrdiff_t(consumed));
+            ++kinds[reply.kind];
+            ++got;
+            if (reply.kind == MsgKind::kErrorReply) {
+                Response resp;
+                ASSERT_TRUE(serve::decodeResponsePayload(
+                    reply.kind, reply.payload.data(),
+                    reply.payload.size(), resp, err));
+                const auto *e = std::get_if<ErrorResult>(&resp);
+                ASSERT_NE(e, nullptr);
+                EXPECT_EQ(e->code, ErrorCode::kOverloaded);
+                ++overloads;
+            }
+            stall.store(false); // let the rest of the queue drain fast
+            continue;
+        }
+        ASSERT_EQ(serve::readSome(client.fd(), buf),
+                  serve::IoStatus::kOk);
+    }
+    client.close();
+    server.stop();
+
+    // All three frames answered: the guest ran, the second torture
+    // was shed with a typed error, nothing vanished.
+    EXPECT_EQ(kinds[MsgKind::kGuestRunReply], 1);
+    EXPECT_EQ(kinds[MsgKind::kTortureReply], 1);
+    EXPECT_EQ(overloads, 1);
+    EXPECT_GE(server.stats().shed, 1u);
+}
+
+TEST(Server, AbortResetsConnectionsInsteadOfAnswering)
+{
+    serve::Server::Options opts;
+    opts.socketPath = fleetDir("abort") + "/worker.sock";
+    serve::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, err)) << err;
+    Response resp;
+    ASSERT_TRUE(client.call(sampleJobs()[4], resp, err)) << err;
+
+    server.abort();
+    EXPECT_TRUE(server.aborted());
+    // The live connection is reset: the next call fails at transport
+    // level (exactly what a SIGKILL'd process would produce).
+    EXPECT_FALSE(client.call(sampleJobs()[4], resp, err));
+    // stop() after abort() reaps threads without hanging.
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(Chaos, TearSpillFileDamagesDeterministically)
+{
+    const std::string dir = fleetDir("tear");
+    serve::ResultCache cache(1 << 20, dir);
+    const std::vector<std::uint8_t> payload(128, 0x77);
+    cache.insert(5, MsgKind::kGuestRunReply, payload);
+    const std::string path = cache.spillPath(5);
+
+    // Even seed: truncation. The damaged file must be discarded.
+    ASSERT_TRUE(tearSpillFile(path, 42));
+    serve::ResultCache fresh(1 << 20, dir);
+    MsgKind kind;
+    std::vector<std::uint8_t> got;
+    EXPECT_FALSE(fresh.lookup(5, kind, got));
+    EXPECT_EQ(fresh.stats().spillDiscarded, 1u);
+
+    // Odd seed: a single bit flip, also discarded.
+    cache.insert(5, MsgKind::kGuestRunReply, payload);
+    ASSERT_TRUE(tearSpillFile(path, 43));
+    serve::ResultCache fresh2(1 << 20, dir);
+    EXPECT_FALSE(fresh2.lookup(5, kind, got));
+    EXPECT_EQ(fresh2.stats().spillDiscarded, 1u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace fleet
+} // namespace fs

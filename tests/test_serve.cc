@@ -11,10 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -373,6 +376,73 @@ TEST(ResultCache, SpillDirectorySurvivesRestartAndRejectsCorruption)
     std::remove(other.spillPath(43).c_str());
 }
 
+TEST(ResultCache, DiscardsBitFlippedAndTruncatedSpillFiles)
+{
+    const std::string dir = testing::TempDir() + "fs_spill_damage";
+    const std::vector<std::uint8_t> payload = payloadOfSize(96, 0x5a);
+    MsgKind kind;
+    std::vector<std::uint8_t> got;
+
+    // Bit rot: flip one payload bit on disk. The digest trailer must
+    // catch it -- a miss and a deleted file, never the damaged bytes.
+    {
+        ResultCache cache(1 << 20, dir);
+        cache.insert(7, MsgKind::kGuestRunReply, payload);
+    }
+    {
+        ResultCache victim(1 << 20, dir);
+        const std::string path = victim.spillPath(7);
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(20); // inside the payload, past the frame header
+        char byte;
+        f.get(byte);
+        f.seekp(20);
+        f.put(char(byte ^ 0x10));
+        f.close();
+        EXPECT_FALSE(victim.lookup(7, kind, got));
+        EXPECT_EQ(victim.stats().spillDiscarded, 1u);
+        std::ifstream gone(path, std::ios::binary);
+        EXPECT_FALSE(gone.is_open()) << "corrupt file must be deleted";
+        // The miss is recoverable: a fresh insert republishes.
+        victim.insert(7, MsgKind::kGuestRunReply, payload);
+    }
+
+    // Crash mid-write: truncate at every possible length. Each prefix
+    // is a miss (detected via digest or frame length), never a crash.
+    {
+        ResultCache cache(1 << 20, dir);
+        const std::string path = cache.spillPath(7);
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in.is_open());
+        std::vector<char> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        in.close();
+        for (std::size_t keep = 0; keep < bytes.size(); keep += 7) {
+            {
+                std::ofstream out(path, std::ios::binary);
+                out.write(bytes.data(), std::streamsize(keep));
+            }
+            ResultCache fresh(1 << 20, dir);
+            EXPECT_FALSE(fresh.lookup(7, kind, got))
+                << "prefix " << keep << "/" << bytes.size();
+            EXPECT_EQ(fresh.stats().spillDiscarded, 1u);
+        }
+        // And the undamaged file still loads.
+        {
+            std::ofstream out(path, std::ios::binary);
+            out.write(bytes.data(), std::streamsize(bytes.size()));
+        }
+        ResultCache fresh(1 << 20, dir);
+        ASSERT_TRUE(fresh.lookup(7, kind, got));
+        EXPECT_EQ(kind, MsgKind::kGuestRunReply);
+        EXPECT_EQ(got, payload);
+        std::remove(path.c_str());
+    }
+}
+
 // --- engine determinism ----------------------------------------------
 
 /** Small-but-real jobs, one of each type. */
@@ -611,6 +681,53 @@ TEST(Server, DrainsQueuedRequestsOnStop)
     stopper.join();
     EXPECT_EQ(first.kind, MsgKind::kGuestRunReply);
     EXPECT_FALSE(server.running());
+}
+
+TEST(Client, CallRetryReconnectsAfterDaemonRestart)
+{
+    const std::string path = testSocketPath("restart");
+    std::string err;
+
+    Server::Options opts;
+    opts.socketPath = path;
+    auto first = std::make_unique<Server>(opts);
+    ASSERT_TRUE(first->start(err)) << err;
+
+    const Request req = sampleJobs()[4]; // guest run: cheap
+    Client client;
+    ASSERT_TRUE(client.connect(path, err)) << err;
+    Response before;
+    ASSERT_TRUE(client.call(req, before, err)) << err;
+
+    // Kill the daemon mid-session. The live connection is now dead;
+    // a plain call() must fail with a typed transport error ...
+    first->stop();
+    first.reset();
+    Response resp;
+    EXPECT_FALSE(client.call(req, resp, err));
+    EXPECT_FALSE(client.connected());
+
+    // ... and callRetry() must ride out the outage: back off, re-dial
+    // the same endpoint, and return byte-identical results once a
+    // relaunched daemon binds the socket again.
+    std::thread relauncher([&path] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        Server::Options ropts;
+        ropts.socketPath = path;
+        Server second(ropts);
+        std::string serr;
+        ASSERT_TRUE(second.start(serr)) << serr;
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        second.stop();
+    });
+    RetryPolicy policy;
+    policy.maxAttempts = 10;
+    policy.backoffBaseMs = 10;
+    policy.backoffMaxMs = 80;
+    ASSERT_TRUE(client.callRetry(req, resp, policy, err)) << err;
+    relauncher.join();
+    EXPECT_EQ(encodeResponsePayload(resp),
+              encodeResponsePayload(before));
 }
 
 TEST(Client, ExploreDesignSpaceServedFallsBackLocally)
