@@ -7,12 +7,19 @@
  * matter when power dies; this campaign measures exactly that, and
  * emits a machine-readable JSON summary whose seed replays the run.
  *
+ * The same kill list runs twice: once on the trace tier (FS_NO_DBT
+ * pinned for the replays -- the historical "campaign" phase) and once
+ * with the DBT tier up ("campaign_dbt"). The two summaries must
+ * byte-match; the phase pair records the translation tier's
+ * kills/sec next to the baseline.
+ *
  *   $ ./bench_fault_torture [seed]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -58,6 +65,49 @@ account(Tally &tally, const TortureOutcome &out,
     }
     tally.correct += out.resultCorrect ? 1 : 0;
     tally.incorrect += out.resultCorrect ? 0 : 1;
+}
+
+/** Campaign-level tallies (table-free), shared by both tier runs. */
+void
+tallyCampaign(const std::vector<TortureOutcome> &outcomes,
+              const std::vector<std::size_t> &first_kill_of_window,
+              std::size_t windows, std::size_t random_begin,
+              Tally &window_tally, Tally &random_tally)
+{
+    for (std::size_t w = 0; w < windows; ++w)
+        for (std::size_t k = first_kill_of_window[w];
+             k < first_kill_of_window[w + 1]; ++k)
+            account(window_tally, outcomes[k], std::uint32_t(w));
+    // Random kills land anywhere, so "fallback vs fresh" is relative
+    // to however many commits preceded the kill; count any warm
+    // restore as a fallback bucket entry.
+    for (std::size_t k = random_begin; k < outcomes.size(); ++k)
+        account(random_tally, outcomes[k], 0xffffffffu);
+}
+
+/** Machine-readable summary; the seed replays the campaign exactly.
+ *  Built as a string so the two tier runs can be byte-compared. */
+std::string
+summaryJson(std::uint64_t seed, const Tally &w, const Tally &r)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "{\"seed\":%llu,\"workload\":\"crc32-4k\","
+                  "\"points\":%zu,\"window_points\":%zu,"
+                  "\"random_points\":%zu,\"killed\":%zu,"
+                  "\"kill_tears\":%zu,\"cold_restarts\":%zu,"
+                  "\"slot_fallbacks\":%zu,\"fresh_resumes\":%zu,"
+                  "\"torn_restores\":%zu,\"correct\":%zu,"
+                  "\"incorrect\":%zu}",
+                  (unsigned long long)seed, w.points + r.points,
+                  w.points, r.points, w.killed + r.killed,
+                  w.killTears + r.killTears,
+                  w.coldRestarts + r.coldRestarts,
+                  w.fallbacks + r.fallbacks,
+                  w.freshResumes + r.freshResumes,
+                  w.tornRestores + r.tornRestores,
+                  w.correct + r.correct, w.incorrect + r.incorrect);
+    return buf;
 }
 
 } // namespace
@@ -133,6 +183,13 @@ main(int argc, char **argv)
     }
 
     util::ThreadPool &pool = util::ThreadPool::shared();
+
+    // Campaign 1: trace tier only. The kill switch must stay set for
+    // the replays (every replay builds a fresh hart that reads the
+    // environment at construction); respect an externally forced-off
+    // DBT so CI's FS_NO_DBT leg measures what it says.
+    const bool dbt_forced_off = std::getenv("FS_NO_DBT") != nullptr;
+    setenv("FS_NO_DBT", "1", 1);
     util::Timer timer;
     const std::vector<TortureOutcome> outcomes =
         rig.runKills(kills, &pool);
@@ -153,25 +210,12 @@ main(int argc, char **argv)
                       tally.points);
         table.row(label, cycles, tally.points, tally.coldRestarts,
                   tally.fallbacks, tally.tornRestores, score);
-        window_tally.points += tally.points;
-        window_tally.killed += tally.killed;
-        window_tally.killTears += tally.killTears;
-        window_tally.coldRestarts += tally.coldRestarts;
-        window_tally.fallbacks += tally.fallbacks;
-        window_tally.freshResumes += tally.freshResumes;
-        window_tally.tornRestores += tally.tornRestores;
-        window_tally.correct += tally.correct;
-        window_tally.incorrect += tally.incorrect;
     }
     table.print(std::cout);
 
     Tally random_tally;
-    for (std::size_t k = random_begin; k < outcomes.size(); ++k) {
-        // Random kills land anywhere, so "fallback vs fresh" is
-        // relative to however many commits preceded the kill; count
-        // any warm restore as a fallback bucket entry.
-        account(random_tally, outcomes[k], 0xffffffffu);
-    }
+    tallyCampaign(outcomes, first_kill_of_window, windows,
+                  random_begin, window_tally, random_tally);
 
     // Measured 1-thread rate over a small prefix, for the speedup
     // column of the perf ledger (skipped when already single-threaded).
@@ -187,7 +231,26 @@ main(int argc, char **argv)
     util::BenchReport report("bench_fault_torture");
     report.add({"campaign", elapsed, double(kills.size()),
                 pool.threadCount(), baseline_rate});
+
+    // Campaign 2: the identical kill list with the DBT tier up. The
+    // translation tier must not change a single outcome bit; its
+    // kills/sec lands in the ledger next to the baseline, with the
+    // trace campaign's rate in the baseline column so the tier
+    // speedup is machine readable.
+    if (!dbt_forced_off)
+        unsetenv("FS_NO_DBT");
+    TortureRig rig_dbt(soc::makeCrc32Program(4096, 11), config);
+    util::Timer timer_dbt;
+    const std::vector<TortureOutcome> outcomes_dbt =
+        rig_dbt.runKills(kills, &pool);
+    const double elapsed_dbt = timer_dbt.seconds();
+    report.add({"campaign_dbt", elapsed_dbt, double(kills.size()),
+                pool.threadCount(), double(kills.size()) / elapsed});
     report.write();
+
+    Tally dbt_window, dbt_random;
+    tallyCampaign(outcomes_dbt, first_kill_of_window, windows,
+                  random_begin, dbt_window, dbt_random);
 
     const Tally &w = window_tally;
     const Tally &r = random_tally;
@@ -195,23 +258,17 @@ main(int argc, char **argv)
                 "store, %zu cold starts, %zu warm restores\n",
                 r.points, r.killed, r.killTears, r.coldRestarts,
                 r.fallbacks);
+    // [perf]-prefixed: wall-clock rates are the one output allowed to
+    // vary across runs/thread counts in the determinism diffs.
+    std::printf("[perf] campaign kills/sec: trace %.1f, dbt %.1f (%.2fx)\n",
+                double(kills.size()) / elapsed,
+                double(kills.size()) / elapsed_dbt,
+                elapsed / elapsed_dbt);
 
-    // Machine-readable summary; the seed replays the campaign exactly.
-    std::printf("\njson: {\"seed\":%llu,\"workload\":\"crc32-4k\","
-                "\"points\":%zu,\"window_points\":%zu,"
-                "\"random_points\":%zu,\"killed\":%zu,"
-                "\"kill_tears\":%zu,\"cold_restarts\":%zu,"
-                "\"slot_fallbacks\":%zu,\"fresh_resumes\":%zu,"
-                "\"torn_restores\":%zu,\"correct\":%zu,"
-                "\"incorrect\":%zu}\n",
-                (unsigned long long)seed, w.points + r.points, w.points,
-                r.points, w.killed + r.killed,
-                w.killTears + r.killTears,
-                w.coldRestarts + r.coldRestarts,
-                w.fallbacks + r.fallbacks,
-                w.freshResumes + r.freshResumes,
-                w.tornRestores + r.tornRestores, w.correct + r.correct,
-                w.incorrect + r.incorrect);
+    const std::string json = summaryJson(seed, w, r);
+    const std::string json_dbt =
+        summaryJson(seed, dbt_window, dbt_random);
+    std::printf("\njson: %s\n", json.c_str());
 
     bench::paperNote("just-in-time checkpointing is only ubiquitous if "
                      "power death at any instant -- including "
@@ -224,8 +281,11 @@ main(int argc, char **argv)
     bench::shapeCheck("mid-commit kills fell back to the previous "
                       "valid slot",
                       w.fallbacks > 0);
+    bench::shapeCheck("DBT campaign summary byte-matches the trace "
+                      "tier's",
+                      json == json_dbt);
     return (w.incorrect + r.incorrect == 0 &&
-            w.tornRestores + r.tornRestores == 0)
+            w.tornRestores + r.tornRestores == 0 && json == json_dbt)
                ? 0
                : 1;
 }

@@ -7,16 +7,21 @@
  *
  * After the google-benchmark suite, main() runs the guest-workload
  * MIPS harness: every bench workload executes once per rep on a bare
- * FRAM+SRAM SoC, interpreter vs. trace cache, results checked against
- * the host oracle and the measured rates recorded in BENCH_perf.json
- * (phases *_mips_interp / *_mips_trace; the trace phases carry the
- * interpreter rate as baselineRatePerSec, so speedup is machine
- * readable).
+ * FRAM+SRAM SoC across all three execution tiers (interpreter, trace
+ * cache, DBT), results checked against the host oracle and the
+ * measured rates recorded in BENCH_perf.json (phases *_mips_interp /
+ * *_mips_trace / *_mips_dbt; each faster tier's phase carries the
+ * next-slower tier's rate as baselineRatePerSec, so speedup is
+ * machine readable). The aggregate asserts the DBT tier's >= 1.5x
+ * floor over the trace tier (skipped under sanitizers or
+ * FS_BENCH_NO_FLOOR), and a `dbt-stats:` JSON line surfaces the
+ * tier's translation/chaining counters for CI artifacts.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "calib/error_bounds.h"
 #include "core/performance_model.h"
@@ -129,6 +134,7 @@ BM_IssThroughputTraceCache(benchmark::State &state)
     ram.loadWords(0, as.finalize());
     riscv::Hart hart(ram);
     hart.setTraceCacheEnabled(true);
+    hart.setDbtEnabled(false); // trace tier only; DBT measured below
     hart.reset(0);
     std::uint64_t instructions = 0;
     for (auto _ : state) {
@@ -139,6 +145,36 @@ BM_IssThroughputTraceCache(benchmark::State &state)
     state.SetItemsProcessed(std::int64_t(instructions));
 }
 BENCHMARK(BM_IssThroughputTraceCache);
+
+void
+BM_IssThroughputDbt(benchmark::State &state)
+{
+    // The same endless kernel through the DBT tier: after warmup the
+    // loop runs as chained threaded code.
+    riscv::Ram ram(4096);
+    riscv::Assembler as(0);
+    as.li(riscv::kA0, 0);
+    as.li(riscv::kA1, 1000000);
+    const auto loop = as.newLabel();
+    as.bind(loop);
+    as.emit(riscv::addi(riscv::kA0, riscv::kA0, 1));
+    as.emit(riscv::xor_(riscv::kA2, riscv::kA0, riscv::kA1));
+    as.bltTo(riscv::kA0, riscv::kA1, loop);
+    as.jTo(loop);
+    ram.loadWords(0, as.finalize());
+    riscv::Hart hart(ram);
+    hart.setTraceCacheEnabled(true);
+    hart.setDbtEnabled(true);
+    hart.reset(0);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        const std::uint64_t before = hart.instructionsRetired();
+        hart.run(4096);
+        instructions += hart.instructionsRetired() - before;
+    }
+    state.SetItemsProcessed(std::int64_t(instructions));
+}
+BENCHMARK(BM_IssThroughputDbt);
 
 void
 BM_Nsga2Generation(benchmark::State &state)
@@ -164,9 +200,13 @@ benchWorkloads()
             soc::makeSortProgram(512), soc::makeMatmulProgram(20)};
 }
 
+/** Which execution tiers a bench hart may use. */
+enum class Tier { kInterp, kTrace, kDbt };
+
 struct GuestRun {
     double seconds = 0.0;
     std::uint64_t instructions = 0;
+    riscv::DbtStats dbt;
 };
 
 /**
@@ -175,7 +215,7 @@ struct GuestRun {
  * the result against the host oracle.
  */
 GuestRun
-runGuestOnce(const soc::GuestProgram &prog, bool trace)
+runGuestOnce(const soc::GuestProgram &prog, Tier tier)
 {
     soc::CheckpointLayout layout;
     soc::Nvm fram(layout.framSize);
@@ -184,7 +224,8 @@ runGuestOnce(const soc::GuestProgram &prog, bool trace)
     bus.attach("fram", layout.framBase, fram);
     bus.attach("sram", layout.sramBase, sram);
     riscv::Hart hart(bus);
-    hart.setTraceCacheEnabled(trace);
+    hart.setTraceCacheEnabled(tier != Tier::kInterp);
+    hart.setDbtEnabled(tier == Tier::kDbt);
 
     // Cold-start stub, mirroring the runtime's calling convention:
     // stack at the top of SRAM, enter the app via jalr, halt on return.
@@ -206,66 +247,142 @@ runGuestOnce(const soc::GuestProgram &prog, bool trace)
     if (fram.read(prog.resultAddr - layout.framBase, 4) !=
         prog.expected)
         fatal("guest workload ", prog.name,
-              " produced a wrong result (trace=", trace, ")");
-    return {secs, hart.instructionsRetired()};
+              " produced a wrong result (tier=", int(tier), ")");
+    GuestRun run;
+    run.seconds = secs;
+    run.instructions = hart.instructionsRetired();
+    run.dbt = hart.dbtCache().stats();
+    return run;
 }
 
-/** Interleave interpreter and trace reps so host-load noise hits both
- *  modes equally; first pair is warmup and is discarded. */
+void
+accumulate(GuestRun &total, const GuestRun &rep)
+{
+    total.seconds += rep.seconds;
+    total.instructions += rep.instructions;
+    total.dbt.translations += rep.dbt.translations;
+    total.dbt.hits += rep.dbt.hits;
+    total.dbt.misses += rep.dbt.misses;
+    total.dbt.chainLinks += rep.dbt.chainLinks;
+    total.dbt.chainTransfers += rep.dbt.chainTransfers;
+    total.dbt.dispatchExits += rep.dbt.dispatchExits;
+    total.dbt.evictions += rep.dbt.evictions;
+    total.dbt.unlinks += rep.dbt.unlinks;
+    total.dbt.flushes += rep.dbt.flushes;
+}
+
+/** Interleave the three tiers' reps so host-load noise hits every
+ *  mode equally; the first round is warmup and is discarded. */
 void
 measureGuest(const soc::GuestProgram &prog, GuestRun &interp,
-             GuestRun &trace)
+             GuestRun &trace, GuestRun &dbt)
 {
-    runGuestOnce(prog, false);
-    runGuestOnce(prog, true);
+    runGuestOnce(prog, Tier::kInterp);
+    runGuestOnce(prog, Tier::kTrace);
+    runGuestOnce(prog, Tier::kDbt);
     int reps = 0;
-    while (reps < 4 || interp.seconds + trace.seconds < 0.5) {
-        const GuestRun off = runGuestOnce(prog, false);
-        interp.seconds += off.seconds;
-        interp.instructions += off.instructions;
-        const GuestRun on = runGuestOnce(prog, true);
-        trace.seconds += on.seconds;
-        trace.instructions += on.instructions;
+    while (reps < 4 ||
+           interp.seconds + trace.seconds + dbt.seconds < 0.5) {
+        accumulate(interp, runGuestOnce(prog, Tier::kInterp));
+        accumulate(trace, runGuestOnce(prog, Tier::kTrace));
+        accumulate(dbt, runGuestOnce(prog, Tier::kDbt));
         ++reps;
     }
+}
+
+/** The DBT-over-trace floor is a real regression gate on optimized
+ *  builds; sanitized builds time instrumentation, not the simulator,
+ *  and FS_BENCH_NO_FLOOR lets exploratory runs opt out. */
+bool
+floorDisabled()
+{
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    return true;
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    return true;
+#endif
+#endif
+    return std::getenv("FS_BENCH_NO_FLOOR") != nullptr;
 }
 
 void
 reportGuestMips()
 {
     util::BenchReport report("bench_micro_runtime");
-    GuestRun interp_total, trace_total;
-    std::printf("\nguest-workload MIPS, interpreter vs. trace cache\n");
+    GuestRun interp_total, trace_total, dbt_total;
+    std::printf(
+        "\nguest-workload MIPS, interp vs. trace cache vs. DBT\n");
     for (const auto &prog : benchWorkloads()) {
-        GuestRun off, on;
-        measureGuest(prog, off, on);
-        interp_total.seconds += off.seconds;
-        interp_total.instructions += off.instructions;
-        trace_total.seconds += on.seconds;
-        trace_total.instructions += on.instructions;
+        GuestRun off, on, tc;
+        measureGuest(prog, off, on, tc);
+        accumulate(interp_total, off);
+        accumulate(trace_total, on);
+        accumulate(dbt_total, tc);
         const double off_rate =
             double(off.instructions) / off.seconds;
         const double on_rate = double(on.instructions) / on.seconds;
-        std::printf("  %-8s %8.1f -> %8.1f MIPS (%.2fx)\n",
+        const double tc_rate = double(tc.instructions) / tc.seconds;
+        std::printf("  %-8s %8.1f -> %8.1f -> %8.1f MIPS "
+                    "(trace %.2fx, dbt %.2fx over trace)\n",
                     prog.name.c_str(), off_rate / 1e6, on_rate / 1e6,
-                    on_rate / off_rate);
+                    tc_rate / 1e6, on_rate / off_rate,
+                    tc_rate / on_rate);
         report.add({prog.name + "_mips_interp", off.seconds,
                     double(off.instructions), 1, 0.0});
         report.add({prog.name + "_mips_trace", on.seconds,
                     double(on.instructions), 1, off_rate});
+        report.add({prog.name + "_mips_dbt", tc.seconds,
+                    double(tc.instructions), 1, on_rate});
     }
     const double base_rate =
         double(interp_total.instructions) / interp_total.seconds;
     const double trace_rate =
         double(trace_total.instructions) / trace_total.seconds;
+    const double dbt_rate =
+        double(dbt_total.instructions) / dbt_total.seconds;
     report.add({"guest_mips_interp", interp_total.seconds,
                 double(interp_total.instructions), 1, 0.0});
     report.add({"guest_mips_trace", trace_total.seconds,
                 double(trace_total.instructions), 1, base_rate});
+    report.add({"guest_mips_dbt", dbt_total.seconds,
+                double(dbt_total.instructions), 1, trace_rate});
     report.write();
-    std::printf("  aggregate %.1f -> %.1f MIPS, speedup %.2fx\n",
-                base_rate / 1e6, trace_rate / 1e6,
-                trace_rate / base_rate);
+    std::printf("  aggregate %.1f -> %.1f -> %.1f MIPS "
+                "(trace %.2fx over interp, dbt %.2fx over trace, "
+                "%.2fx over interp)\n",
+                base_rate / 1e6, trace_rate / 1e6, dbt_rate / 1e6,
+                trace_rate / base_rate, dbt_rate / trace_rate,
+                dbt_rate / base_rate);
+
+    // Tier bookkeeping for the CI artifact: one machine-readable line.
+    const riscv::DbtStats &s = dbt_total.dbt;
+    std::printf("dbt-stats: {\"translations\": %llu, \"hits\": %llu, "
+                "\"misses\": %llu, \"chainLinks\": %llu, "
+                "\"chainTransfers\": %llu, \"dispatchExits\": %llu, "
+                "\"evictions\": %llu, \"unlinks\": %llu, "
+                "\"flushes\": %llu}\n",
+                (unsigned long long)s.translations,
+                (unsigned long long)s.hits,
+                (unsigned long long)s.misses,
+                (unsigned long long)s.chainLinks,
+                (unsigned long long)s.chainTransfers,
+                (unsigned long long)s.dispatchExits,
+                (unsigned long long)s.evictions,
+                (unsigned long long)s.unlinks,
+                (unsigned long long)s.flushes);
+
+    if (dbt_rate < 1.5 * trace_rate) {
+        if (floorDisabled())
+            std::printf("dbt floor check skipped (sanitizer or "
+                        "FS_BENCH_NO_FLOOR)\n");
+        else
+            fatal("DBT tier below its 1.5x-over-trace floor: ",
+                  dbt_rate / 1e6, " MIPS vs. trace ",
+                  trace_rate / 1e6, " MIPS (",
+                  dbt_rate / trace_rate, "x)");
+    }
 }
 
 } // namespace

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Dynamic-binary-translation tier above the trace cache.
+ *
+ * The trace cache (PR 4) decodes each basic block once but still pays
+ * a full `switch` dispatch, operand re-extraction, and a pc-divergence
+ * compare per micro-op, plus a cache lookup per block per loop
+ * iteration. This tier lowers hot trace-cache blocks one step further
+ * into contiguous *threaded code*: every guest instruction becomes a
+ * DbtOp carrying a direct handler pointer (computed-goto dispatch
+ * under GCC/Clang, a switch fallback elsewhere -- see
+ * FS_DBT_COMPUTED_GOTO) and pre-folded operands. Immediates, auipc
+ * results, branch/jal targets, and link values are resolved to
+ * absolute constants at translation time (blocks are keyed by physical
+ * pc and die on any code change, so that folding is sound), which
+ * eliminates pc tracking inside a block entirely. Blocks chain
+ * directly to their successors -- fall-through, jal, and taken-branch
+ * edges patch a per-op `chain` pointer on first use -- so hot loops
+ * execute without returning to the outer dispatch loop.
+ *
+ * Correctness contract (identical to the trace cache's): execution is
+ * bounded by the SoC event horizon (a block or chained successor is
+ * only entered when its worst-case cost still fits strictly under the
+ * remaining budget), the cache is flushed by the same triggers
+ * (stores into translated code, reset, powerFail, image loads), and
+ * system/CSR/custom ops are never translated: a superblock covers
+ * only the prefix up to the first strict op and exits to it, so those
+ * ops stay on the trace tier where per-instruction counter commits
+ * keep `mcycle`/`minstret` exact. Results are bit-identical to the
+ * interpreter at any thread count; FS_NO_DBT disables the tier
+ * (mirroring FS_NO_TRACE_CACHE).
+ *
+ * Invariants the executor relies on (established by translation):
+ *  - pure ALU/const ops with rd == x0 are lowered to kNop (handlers
+ *    may write regs[rd] unguarded); loads/jal/jalr keep an rd check
+ *    because the access itself must still happen;
+ *  - every block ends in a control transfer (kJal/kJalr) or an
+ *    explicit kFallthrough pseudo-op, so dispatch never runs off the
+ *    end of the op array;
+ *  - worstTotal is the same worst-case sum the trace tier uses, so
+ *    the entry/chain budget guards compose with Soc::eventHorizon
+ *    exactly as the trace tier's lean path does.
+ */
+
+#ifndef FS_RISCV_DBT_H_
+#define FS_RISCV_DBT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace fs {
+namespace riscv {
+
+struct DbtBlock;
+
+/** Threaded-code opcodes (the switch fallback dispatches on these;
+ *  the computed-goto dispatcher uses DbtOp::handler directly). */
+enum class DbtOpcode : std::uint16_t {
+    kNop,    ///< fence, and any pure ALU op with rd == x0
+    kConst,  ///< rd <- imm (lui, auipc and li pre-folded)
+    kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+    kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+    kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+    kLb, kLh, kLw, kLbu, kLhu,
+    kSb, kSh, kSw,
+    kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+    kJal,         ///< terminal: link + chain to static target
+    kJalr,        ///< terminal: link + dispatch exit (dynamic target)
+    kFallthrough, ///< terminal pseudo-op: chain to the next block
+    kCount,
+};
+
+/**
+ * One threaded-code op. Operands are pre-folded at translation time:
+ * `imm` holds the sign-extended immediate for ALU/memory ops but the
+ * *absolute* target pc for branches/jal/kFallthrough and the folded
+ * constant for kConst; `aux` holds the link value (pc+4) for jal/jalr
+ * and the post-op exit pc for stores (the only mid-block ops that can
+ * force a dispatch exit).
+ */
+struct DbtOp {
+    const void *handler = nullptr; ///< computed-goto label address
+    DbtBlock *chain = nullptr;     ///< direct successor (lazily linked)
+    std::int32_t imm = 0;
+    std::uint32_t aux = 0;
+    std::uint32_t cost = 0;  ///< cycle cost (not-taken cost for branches)
+    std::uint32_t cost2 = 0; ///< taken cost for branches
+    DbtOpcode opcode = DbtOpcode::kNop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+};
+
+/** A translated superblock: contiguous threaded code plus the chain
+ *  bookkeeping needed to unlink it on eviction. */
+struct DbtBlock {
+    std::uint32_t base = 0;
+    /** Same worst-case cycle sum the trace tier computes: the entry
+     *  and chain guards compare it against the remaining budget. */
+    std::uint64_t worstTotal = 0;
+    std::vector<DbtOp> ops;
+    /** Chain slots in *other* blocks (or this one: self-loops are
+     *  legal) that point at this block; nulled when it is evicted. */
+    std::vector<DbtOp *> incoming;
+    /** Recency stamp for LRU-ish eviction: bumped on lookup and on
+     *  being chained into (chained blocks bypass lookup). */
+    std::uint64_t lastUse = 0;
+
+    std::size_t
+    bytes() const
+    {
+        return sizeof(DbtBlock) + ops.capacity() * sizeof(DbtOp) +
+               incoming.capacity() * sizeof(DbtOp *);
+    }
+};
+
+/** Per-cache tier statistics (test/bench introspection). */
+struct DbtStats {
+    std::uint64_t translations = 0;  ///< blocks lowered to threaded code
+    std::uint64_t hits = 0;          ///< dispatch-loop lookup hits
+    std::uint64_t misses = 0;        ///< dispatch-loop lookup misses
+    std::uint64_t chainLinks = 0;    ///< chain slots patched
+    std::uint64_t chainTransfers = 0;///< block->block jumps taken inline
+    std::uint64_t dispatchExits = 0; ///< returns to the outer loop
+    std::uint64_t evictions = 0;     ///< blocks dropped for the budget
+    std::uint64_t unlinks = 0;       ///< chain slots nulled by eviction
+    std::uint64_t flushes = 0;       ///< full invalidations
+};
+
+/**
+ * Translation cache: owns the threaded-code blocks, enforces a byte
+ * budget with LRU-ish eviction (evicting a block unlinks every chain
+ * into and out of it), and tracks the same conservative code extent
+ * and generation counter the trace cache uses for self-modifying-code
+ * flushes.
+ */
+class DbtCache
+{
+  public:
+    /** Direct-mapped front-end slots ahead of the block map. */
+    static constexpr std::size_t kDirectSlots = 2048;
+
+    /** Default translation-cache byte budget (FS_DBT_CACHE_BYTES). */
+    static constexpr std::size_t kDefaultBudgetBytes = 8u << 20;
+
+    /** Trace-block executions before promotion to threaded code
+     *  (FS_DBT_HOT_THRESHOLD). */
+    static constexpr std::uint32_t kDefaultHotThreshold = 4;
+
+    DbtCache();
+
+    /** True unless FS_NO_DBT is set in the environment. Re-read on
+     *  every call so tests can toggle between harts. */
+    static bool enabledByEnv();
+
+    /** Translated block starting exactly at @p pc (nullptr on miss). */
+    DbtBlock *
+    lookup(std::uint32_t pc)
+    {
+        Slot &slot = slots_[(pc >> 2) & (kDirectSlots - 1)];
+        if (slot.block != nullptr && slot.pc == pc) {
+            ++stats_.hits;
+            slot.block->lastUse = ++tick_;
+            return slot.block;
+        }
+        const auto it = blocks_.find(pc);
+        if (it == blocks_.end()) {
+            ++stats_.misses;
+            return nullptr;
+        }
+        ++stats_.hits;
+        slot.pc = pc;
+        slot.block = it->second.get();
+        slot.block->lastUse = ++tick_;
+        return slot.block;
+    }
+
+    /**
+     * Take ownership of a freshly translated block and return the
+     * stable cached copy. May evict cold blocks (never the one just
+     * inserted) to stay under the byte budget.
+     */
+    DbtBlock *insert(DbtBlock block);
+
+    /** Patch @p from's chain slot to @p to and record the back-ref so
+     *  eviction can unlink it. */
+    void
+    link(DbtOp *from, DbtBlock *to)
+    {
+        from->chain = to;
+        // Keep bytes_ in sync with bytes(): removeBlock subtracts the
+        // victim's *current* footprint, so growth of the incoming list
+        // must be charged here or the counter drifts low.
+        const std::size_t before = to->incoming.capacity();
+        to->incoming.push_back(from);
+        bytes_ +=
+            (to->incoming.capacity() - before) * sizeof(DbtOp *);
+        to->lastUse = ++tick_;
+        ++stats_.chainLinks;
+    }
+
+    /** True when [addr, addr+bytes) touches any translated code (one
+     *  conservative extent over all blocks, like the trace cache). */
+    bool
+    overlapsCode(std::uint32_t addr, unsigned bytes) const
+    {
+        return !blocks_.empty() && addr < code_hi_ &&
+               std::uint64_t(addr) + bytes > code_lo_;
+    }
+
+    /** Drop every block and bump the generation counter. */
+    void flush();
+
+    /** Incremented by every flush; the executor re-checks it after
+     *  stores so a mid-block flush can never dangle. */
+    std::uint64_t generation() const { return generation_; }
+
+    std::size_t blockCount() const { return blocks_.size(); }
+    std::size_t cacheBytes() const { return bytes_; }
+
+    std::size_t budgetBytes() const { return budget_; }
+    /** Override the byte budget (tests force tiny caches to exercise
+     *  eviction); takes effect at the next insert. */
+    void setBudgetBytes(std::size_t bytes) { budget_ = bytes; }
+
+    std::uint32_t hotThreshold() const { return hot_threshold_; }
+    void setHotThreshold(std::uint32_t t) { hot_threshold_ = t; }
+
+    const DbtStats &stats() const { return stats_; }
+    DbtStats &stats() { return stats_; }
+
+  private:
+    struct Slot {
+        std::uint32_t pc = 0;
+        DbtBlock *block = nullptr;
+    };
+
+    /** Evict the least-recently-used block other than @p keep. */
+    void evictOne(const DbtBlock *keep);
+
+    /** Drop one block: unlink every chain into and out of it, purge
+     *  its front-end slots, and release its bytes. */
+    void removeBlock(DbtBlock *victim);
+
+    std::array<Slot, kDirectSlots> slots_{};
+    std::unordered_map<std::uint32_t, std::unique_ptr<DbtBlock>>
+        blocks_;
+    std::size_t bytes_ = 0;
+    std::size_t budget_ = kDefaultBudgetBytes;
+    std::uint32_t hot_threshold_ = kDefaultHotThreshold;
+    std::uint32_t code_lo_ = 0;
+    std::uint32_t code_hi_ = 0;
+    std::uint64_t generation_ = 0;
+    std::uint64_t tick_ = 0;
+    DbtStats stats_;
+};
+
+} // namespace riscv
+} // namespace fs
+
+#endif // FS_RISCV_DBT_H_

@@ -35,7 +35,8 @@ loadDirect(const std::uint8_t *p, unsigned bytes)
 FsCoprocessor::~FsCoprocessor() = default;
 
 Hart::Hart(MemoryDevice &bus)
-    : bus_(bus), trace_on_(TraceCache::enabledByEnv())
+    : bus_(bus), trace_on_(TraceCache::enabledByEnv()),
+      dbt_on_(DbtCache::enabledByEnv())
 {
 }
 
@@ -176,9 +177,12 @@ Hart::store(std::uint32_t addr, std::uint32_t value, unsigned bytes)
 {
     if (trace_on_) {
         // Self-modifying store into cached code: drop the cache before
-        // anything can re-enter a stale block.
+        // anything can re-enter a stale block. The DBT tier keeps its
+        // own (tighter) extent and generation.
         if (trace_.overlapsCode(addr, bytes))
             trace_.flush();
+        if (dbt_.overlapsCode(addr, bytes))
+            dbt_.flush();
         if (const DirectWindow *w = findWindow(addr, bytes)) {
             // Stores keep the virtual dispatch (NVM write filters,
             // tear bookkeeping, write counters must all see them) but
@@ -236,9 +240,19 @@ Hart::run(std::uint64_t max_cycles)
 void
 Hart::setTraceCacheEnabled(bool on)
 {
-    if (trace_on_ != on)
+    if (trace_on_ != on) {
         trace_.flush();
+        dbt_.flush();
+    }
     trace_on_ = on;
+}
+
+void
+Hart::setDbtEnabled(bool on)
+{
+    if (dbt_on_ != on)
+        dbt_.flush();
+    dbt_on_ = on;
 }
 
 std::uint64_t
@@ -313,11 +327,53 @@ Hart::runDecoded(std::uint64_t budget)
     std::uint64_t spent = 0;
     slow_event_ = false;
     for (;;) {
+        // Tier 3: translated threaded code. Entered only when the
+        // whole superblock's worst case fits strictly under the
+        // budget, exactly like the lean trace path below; chaining
+        // inside runDbt repeats the same guard per successor.
+        bool dbt_missed = false;
+        if (dbt_on_) {
+            DbtBlock *tb = dbt_.lookup(pc_);
+            if (tb != nullptr) {
+                if (spent + tb->worstTotal < budget) {
+                    spent += runDbt(tb, budget - spent);
+                    if (halted_ || wfi_ || slow_event_ ||
+                        interruptPending())
+                        break;
+                    continue;
+                }
+                // Budget too tight for the whole superblock: use the
+                // trace paths (per-op budget checks) this dispatch.
+            } else {
+                dbt_missed = true;
+            }
+        }
         const TraceBlock *block = trace_.lookup(pc_);
         if (!block)
             block = buildBlock();
         if (!block)
             break; // pc outside direct-window memory
+        // Tier promotion: a trace block that has been dispatched
+        // hotThreshold times is lowered to threaded code. Translation
+        // stops at the first strict-check op (system/CSR/custom stay
+        // on this tier, where per-instruction counter commits keep
+        // mcycle exact) and refuses blocks that *start* with one --
+        // the refusal is cached on the block so it is not retried.
+        // The `>=` lets a previously hot block re-translate
+        // immediately after an eviction.
+        if (dbt_missed && !block->dbtReject &&
+            ++block->heat >= dbt_.hotThreshold()) {
+            DbtBlock *tb = translateBlock(*block);
+            if (tb == nullptr)
+                block->dbtReject = true;
+            if (tb != nullptr && spent + tb->worstTotal < budget) {
+                spent += runDbt(tb, budget - spent);
+                if (halted_ || wfi_ || slow_event_ ||
+                    interruptPending())
+                    break;
+                continue;
+            }
+        }
         if (!block->needsStrictChecks &&
             spent + block->worstTotal < budget) {
             // Lean whole-block dispatch: the block fits strictly under
@@ -436,6 +492,628 @@ Hart::runDecoded(std::uint64_t budget)
     return spent;
 }
 
+// --- DBT tier: translation + threaded-code execution -----------------
+
+// Dispatch strategy: computed goto (direct threading) under GCC/Clang,
+// a switch over DbtOpcode elsewhere. CMake probes for the extension
+// and defines FS_DBT_COMPUTED_GOTO to 0/1 (FS_FORCE_SWITCH_DISPATCH
+// pins the fallback for CI); standalone builds fall back to the
+// compiler check below. Both dispatchers share the same handler
+// bodies via FS_DBT_OP/FS_DBT_NEXT, so they are bit-identical by
+// construction.
+#ifndef FS_DBT_COMPUTED_GOTO
+#if defined(__GNUC__) || defined(__clang__)
+#define FS_DBT_COMPUTED_GOTO 1
+#else
+#define FS_DBT_COMPUTED_GOTO 0
+#endif
+#endif
+
+DbtBlock *
+Hart::translateBlock(const TraceBlock &src)
+{
+#if FS_DBT_COMPUTED_GOTO
+    if (dbt_labels_ == nullptr)
+        runDbt(nullptr, 0); // publish the label table
+#endif
+    DbtBlock blk;
+    blk.base = src.base;
+    blk.ops.reserve(src.ops.size() + 1);
+    std::uint32_t pc = src.base;
+    bool terminal = false;
+    for (const TraceOp &top : src.ops) {
+        const Decoded &d = top.inst;
+        bool translatable = true;
+        DbtOp op;
+        op.rd = std::uint8_t(d.rd);
+        op.rs1 = std::uint8_t(d.rs1);
+        op.rs2 = std::uint8_t(d.rs2);
+        op.imm = d.imm;
+        op.cost = std::uint32_t(costs_.alu);
+        // Pure ALU writes to x0 are architectural no-ops: lower them
+        // to kNop (cost preserved) so every other ALU handler may
+        // write regs[rd] unguarded.
+        const bool sink = d.rd == 0;
+        const auto alu = [&op, sink](DbtOpcode code) {
+            op.opcode = sink ? DbtOpcode::kNop : code;
+        };
+        switch (d.op) {
+          case Mnemonic::kLui:
+            alu(DbtOpcode::kConst);
+            break;
+          case Mnemonic::kAuipc:
+            // Blocks are keyed by physical pc and die on any code
+            // change, so the auipc result is a translation-time
+            // constant.
+            alu(DbtOpcode::kConst);
+            op.imm = std::int32_t(pc + std::uint32_t(d.imm));
+            break;
+          case Mnemonic::kAddi:
+            alu(d.rs1 == 0 ? DbtOpcode::kConst : DbtOpcode::kAddi);
+            break;
+          case Mnemonic::kSlti:  alu(DbtOpcode::kSlti); break;
+          case Mnemonic::kSltiu: alu(DbtOpcode::kSltiu); break;
+          case Mnemonic::kXori:  alu(DbtOpcode::kXori); break;
+          case Mnemonic::kOri:   alu(DbtOpcode::kOri); break;
+          case Mnemonic::kAndi:  alu(DbtOpcode::kAndi); break;
+          case Mnemonic::kSlli:  alu(DbtOpcode::kSlli); break;
+          case Mnemonic::kSrli:  alu(DbtOpcode::kSrli); break;
+          case Mnemonic::kSrai:  alu(DbtOpcode::kSrai); break;
+          case Mnemonic::kAdd:   alu(DbtOpcode::kAdd); break;
+          case Mnemonic::kSub:   alu(DbtOpcode::kSub); break;
+          case Mnemonic::kSll:   alu(DbtOpcode::kSll); break;
+          case Mnemonic::kSlt:   alu(DbtOpcode::kSlt); break;
+          case Mnemonic::kSltu:  alu(DbtOpcode::kSltu); break;
+          case Mnemonic::kXor:   alu(DbtOpcode::kXor); break;
+          case Mnemonic::kSrl:   alu(DbtOpcode::kSrl); break;
+          case Mnemonic::kSra:   alu(DbtOpcode::kSra); break;
+          case Mnemonic::kOr:    alu(DbtOpcode::kOr); break;
+          case Mnemonic::kAnd:   alu(DbtOpcode::kAnd); break;
+          case Mnemonic::kFence:
+            op.opcode = DbtOpcode::kNop;
+            break;
+          case Mnemonic::kMul:
+            alu(DbtOpcode::kMul);
+            op.cost = std::uint32_t(costs_.mul);
+            break;
+          case Mnemonic::kMulh:
+            alu(DbtOpcode::kMulh);
+            op.cost = std::uint32_t(costs_.mul);
+            break;
+          case Mnemonic::kMulhsu:
+            alu(DbtOpcode::kMulhsu);
+            op.cost = std::uint32_t(costs_.mul);
+            break;
+          case Mnemonic::kMulhu:
+            alu(DbtOpcode::kMulhu);
+            op.cost = std::uint32_t(costs_.mul);
+            break;
+          case Mnemonic::kDiv:
+            alu(DbtOpcode::kDiv);
+            op.cost = std::uint32_t(costs_.div);
+            break;
+          case Mnemonic::kDivu:
+            alu(DbtOpcode::kDivu);
+            op.cost = std::uint32_t(costs_.div);
+            break;
+          case Mnemonic::kRem:
+            alu(DbtOpcode::kRem);
+            op.cost = std::uint32_t(costs_.div);
+            break;
+          case Mnemonic::kRemu:
+            alu(DbtOpcode::kRemu);
+            op.cost = std::uint32_t(costs_.div);
+            break;
+          // Loads keep rd == x0 (the access itself must happen: MMIO
+          // reads can have side effects); the handler guards the
+          // register write.
+          case Mnemonic::kLb:  op.opcode = DbtOpcode::kLb;  goto load;
+          case Mnemonic::kLh:  op.opcode = DbtOpcode::kLh;  goto load;
+          case Mnemonic::kLw:  op.opcode = DbtOpcode::kLw;  goto load;
+          case Mnemonic::kLbu: op.opcode = DbtOpcode::kLbu; goto load;
+          case Mnemonic::kLhu: op.opcode = DbtOpcode::kLhu; goto load;
+          load:
+            op.cost = std::uint32_t(costs_.loadStore);
+            break;
+          case Mnemonic::kSb: op.opcode = DbtOpcode::kSb; goto store;
+          case Mnemonic::kSh: op.opcode = DbtOpcode::kSh; goto store;
+          case Mnemonic::kSw: op.opcode = DbtOpcode::kSw; goto store;
+          store:
+            op.cost = std::uint32_t(costs_.loadStore);
+            op.aux = pc + 4; // exit pc if the store forces a bail-out
+            break;
+          case Mnemonic::kBeq:  op.opcode = DbtOpcode::kBeq;  goto branch;
+          case Mnemonic::kBne:  op.opcode = DbtOpcode::kBne;  goto branch;
+          case Mnemonic::kBlt:  op.opcode = DbtOpcode::kBlt;  goto branch;
+          case Mnemonic::kBge:  op.opcode = DbtOpcode::kBge;  goto branch;
+          case Mnemonic::kBltu: op.opcode = DbtOpcode::kBltu; goto branch;
+          case Mnemonic::kBgeu: op.opcode = DbtOpcode::kBgeu; goto branch;
+          branch:
+            op.imm = std::int32_t(pc + std::uint32_t(d.imm)); // abs target
+            op.cost2 = std::uint32_t(costs_.branchTaken);
+            break;
+          case Mnemonic::kJal:
+            op.opcode = DbtOpcode::kJal;
+            op.imm = std::int32_t(pc + std::uint32_t(d.imm)); // abs target
+            op.aux = pc + 4; // link value
+            op.cost = std::uint32_t(costs_.branchTaken);
+            terminal = true;
+            break;
+          case Mnemonic::kJalr:
+            op.opcode = DbtOpcode::kJalr;
+            op.aux = pc + 4; // link value
+            op.cost = std::uint32_t(costs_.branchTaken);
+            terminal = true;
+            break;
+          default:
+            // System/CSR/custom/illegal: cut the superblock here. The
+            // translated prefix exits to this pc and the trace tier's
+            // strict path runs the op with per-instruction counter
+            // commits, so mcycle/minstret probes stay exact.
+            translatable = false;
+            break;
+        }
+        if (!translatable)
+            break;
+        blk.ops.push_back(op);
+        blk.worstTotal += top.worstCost;
+        pc += 4;
+        if (terminal)
+            break;
+    }
+    if (blk.ops.empty())
+        return nullptr; // first op already strict: nothing to run here
+    if (!terminal) {
+        // The block ended on the op cap, a straight-line boundary, or
+        // a strict-op cutoff: chain to the next pc (no guest cost, no
+        // retirement).
+        DbtOp op;
+        op.opcode = DbtOpcode::kFallthrough;
+        op.imm = std::int32_t(pc);
+        blk.ops.push_back(op);
+    }
+#if FS_DBT_COMPUTED_GOTO
+    for (DbtOp &op : blk.ops)
+        op.handler = dbt_labels_[std::size_t(op.opcode)];
+#endif
+    return dbt_.insert(std::move(blk));
+}
+
+// Shared handler bodies for both dispatchers: FS_DBT_OP opens a
+// handler (goto label vs. switch case), FS_DBT_NEXT retires the op
+// and dispatches its successor, FS_DBT_ENTER dispatches the current
+// op without retiring (block entry, chain transfer, post-store
+// continue).
+#if FS_DBT_COMPUTED_GOTO
+#define FS_DBT_OP(name) h_##name:
+#define FS_DBT_ENTER() goto *op->handler
+#else
+#define FS_DBT_OP(name) case DbtOpcode::name:
+#define FS_DBT_ENTER() goto dispatch
+#endif
+#define FS_DBT_NEXT()                                                  \
+    do {                                                               \
+        ++retired;                                                     \
+        ++op;                                                          \
+        FS_DBT_ENTER();                                                \
+    } while (0)
+
+__attribute__((flatten)) std::uint64_t
+Hart::runDbt(DbtBlock *block, std::uint64_t budget)
+{
+#if FS_DBT_COMPUTED_GOTO
+    // Order must match DbtOpcode exactly.
+    static const void *const kLabels[std::size_t(DbtOpcode::kCount)] =
+        {&&h_kNop,  &&h_kConst, &&h_kAddi,  &&h_kSlti,   &&h_kSltiu,
+         &&h_kXori, &&h_kOri,   &&h_kAndi,  &&h_kSlli,   &&h_kSrli,
+         &&h_kSrai, &&h_kAdd,   &&h_kSub,   &&h_kSll,    &&h_kSlt,
+         &&h_kSltu, &&h_kXor,   &&h_kSrl,   &&h_kSra,    &&h_kOr,
+         &&h_kAnd,  &&h_kMul,   &&h_kMulh,  &&h_kMulhsu, &&h_kMulhu,
+         &&h_kDiv,  &&h_kDivu,  &&h_kRem,   &&h_kRemu,   &&h_kLb,
+         &&h_kLh,   &&h_kLw,    &&h_kLbu,   &&h_kLhu,    &&h_kSb,
+         &&h_kSh,   &&h_kSw,    &&h_kBeq,   &&h_kBne,    &&h_kBlt,
+         &&h_kBge,  &&h_kBltu,  &&h_kBgeu,  &&h_kJal,    &&h_kJalr,
+         &&h_kFallthrough};
+    if (block == nullptr) {
+        dbt_labels_ = kLabels;
+        return 0;
+    }
+#else
+    if (block == nullptr)
+        return 0;
+#endif
+    const std::uint64_t cycles0 = cycles_;
+    std::uint64_t pending = 0; // cycles not yet committed to cycles_
+    std::uint64_t retired = 0; // instret not yet committed
+    std::uint64_t chained = 0;
+    std::uint32_t *const r = regs_.data();
+    DbtOp *op = block->ops.data();
+    FS_DBT_ENTER();
+
+#if !FS_DBT_COMPUTED_GOTO
+dispatch:
+    switch (op->opcode) {
+#endif
+
+    FS_DBT_OP(kNop)
+    {
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kConst)
+    {
+        r[op->rd] = std::uint32_t(op->imm);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kAddi)
+    {
+        r[op->rd] = r[op->rs1] + std::uint32_t(op->imm);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSlti)
+    {
+        r[op->rd] = std::int32_t(r[op->rs1]) < op->imm ? 1u : 0u;
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSltiu)
+    {
+        r[op->rd] = r[op->rs1] < std::uint32_t(op->imm) ? 1u : 0u;
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kXori)
+    {
+        r[op->rd] = r[op->rs1] ^ std::uint32_t(op->imm);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kOri)
+    {
+        r[op->rd] = r[op->rs1] | std::uint32_t(op->imm);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kAndi)
+    {
+        r[op->rd] = r[op->rs1] & std::uint32_t(op->imm);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSlli)
+    {
+        r[op->rd] = r[op->rs1] << (std::uint32_t(op->imm) & 0x1f);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSrli)
+    {
+        r[op->rd] = r[op->rs1] >> (std::uint32_t(op->imm) & 0x1f);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSrai)
+    {
+        r[op->rd] = std::uint32_t(std::int32_t(r[op->rs1]) >>
+                                  (std::uint32_t(op->imm) & 0x1f));
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kAdd)
+    {
+        r[op->rd] = r[op->rs1] + r[op->rs2];
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSub)
+    {
+        r[op->rd] = r[op->rs1] - r[op->rs2];
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSll)
+    {
+        r[op->rd] = r[op->rs1] << (r[op->rs2] & 0x1f);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSlt)
+    {
+        r[op->rd] =
+            std::int32_t(r[op->rs1]) < std::int32_t(r[op->rs2]) ? 1u
+                                                                : 0u;
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSltu)
+    {
+        r[op->rd] = r[op->rs1] < r[op->rs2] ? 1u : 0u;
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kXor)
+    {
+        r[op->rd] = r[op->rs1] ^ r[op->rs2];
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSrl)
+    {
+        r[op->rd] = r[op->rs1] >> (r[op->rs2] & 0x1f);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kSra)
+    {
+        r[op->rd] = std::uint32_t(std::int32_t(r[op->rs1]) >>
+                                  (r[op->rs2] & 0x1f));
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kOr)
+    {
+        r[op->rd] = r[op->rs1] | r[op->rs2];
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kAnd)
+    {
+        r[op->rd] = r[op->rs1] & r[op->rs2];
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kMul)
+    {
+        r[op->rd] = r[op->rs1] * r[op->rs2];
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kMulh)
+    {
+        r[op->rd] =
+            std::uint32_t((std::int64_t(std::int32_t(r[op->rs1])) *
+                           std::int64_t(std::int32_t(r[op->rs2]))) >>
+                          32);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kMulhsu)
+    {
+        r[op->rd] =
+            std::uint32_t((std::int64_t(std::int32_t(r[op->rs1])) *
+                           std::int64_t(std::uint64_t(r[op->rs2]))) >>
+                          32);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kMulhu)
+    {
+        r[op->rd] = std::uint32_t((std::uint64_t(r[op->rs1]) *
+                                   std::uint64_t(r[op->rs2])) >>
+                                  32);
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kDiv)
+    {
+        const std::uint32_t a = r[op->rs1];
+        const std::uint32_t b = r[op->rs2];
+        if (b == 0)
+            r[op->rd] = 0xffffffffu;
+        else if (a == 0x80000000u && b == 0xffffffffu)
+            r[op->rd] = 0x80000000u;
+        else
+            r[op->rd] =
+                std::uint32_t(std::int32_t(a) / std::int32_t(b));
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kDivu)
+    {
+        const std::uint32_t b = r[op->rs2];
+        r[op->rd] = b == 0 ? 0xffffffffu : r[op->rs1] / b;
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kRem)
+    {
+        const std::uint32_t a = r[op->rs1];
+        const std::uint32_t b = r[op->rs2];
+        if (b == 0)
+            r[op->rd] = a;
+        else if (a == 0x80000000u && b == 0xffffffffu)
+            r[op->rd] = 0;
+        else
+            r[op->rd] =
+                std::uint32_t(std::int32_t(a) % std::int32_t(b));
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+    FS_DBT_OP(kRemu)
+    {
+        const std::uint32_t b = r[op->rs2];
+        r[op->rd] = b == 0 ? r[op->rs1] : r[op->rs1] % b;
+        pending += op->cost;
+        FS_DBT_NEXT();
+    }
+
+    // Loads serve the direct-window fast path inline; the slow (MMIO)
+    // path commits the pending cycles first so the peripheral's
+    // time-sync hook sees exactly the interpreter's cycle count, then
+    // flags the dispatch exit via slow_event_ (checked at the next
+    // chain point -- MMIO *reads* never move an event horizon or
+    // raise an interrupt, so finishing the block is exact; see
+    // TraceBlock's flag docs).
+#define FS_DBT_LOAD(width, transform)                                  \
+    do {                                                               \
+        const std::uint32_t addr =                                     \
+            r[op->rs1] + std::uint32_t(op->imm);                       \
+        std::uint32_t v;                                               \
+        if (const DirectWindow *w = findWindow(addr, width)) {         \
+            v = loadDirect(w->data + (addr - w->base), width);         \
+        } else {                                                       \
+            cycles_ += pending;                                        \
+            pending = 0;                                               \
+            syncSlowAccess();                                          \
+            v = bus_.read(addr, width);                                \
+        }                                                              \
+        if (op->rd)                                                    \
+            r[op->rd] = transform;                                     \
+        pending += op->cost;                                           \
+        FS_DBT_NEXT();                                                 \
+    } while (0)
+
+    FS_DBT_OP(kLb) { FS_DBT_LOAD(1, std::uint32_t(signExtend(v, 8))); }
+    FS_DBT_OP(kLh) { FS_DBT_LOAD(2, std::uint32_t(signExtend(v, 16))); }
+    FS_DBT_OP(kLw) { FS_DBT_LOAD(4, v); }
+    FS_DBT_OP(kLbu) { FS_DBT_LOAD(1, v); }
+    FS_DBT_OP(kLhu) { FS_DBT_LOAD(2, v); }
+
+    // Stores mirror Hart::store (flush checks first, virtual device
+    // write so NVM filters/tear bookkeeping always run), then re-check
+    // the DBT generation: a store into translated code freed this very
+    // op array, so the exit pc is stashed in locals beforehand. MMIO
+    // stores (slow_event_) can move an event horizon and exit too.
+#define FS_DBT_STORE(width)                                            \
+    do {                                                               \
+        const std::uint32_t addr =                                     \
+            r[op->rs1] + std::uint32_t(op->imm);                       \
+        const std::uint32_t value = r[op->rs2];                        \
+        const std::uint32_t next = op->aux;                            \
+        const std::uint32_t cost = op->cost;                           \
+        const std::uint64_t gen = dbt_.generation();                   \
+        if (trace_.overlapsCode(addr, width))                          \
+            trace_.flush();                                            \
+        if (dbt_.overlapsCode(addr, width))                            \
+            dbt_.flush();                                              \
+        if (const DirectWindow *w = findWindow(addr, width)) {         \
+            w->device->write(addr - w->deviceBase, value, width);      \
+        } else {                                                       \
+            cycles_ += pending;                                        \
+            pending = 0;                                               \
+            syncSlowAccess();                                          \
+            bus_.write(addr, value, width);                            \
+        }                                                              \
+        pending += cost;                                               \
+        ++retired;                                                     \
+        if (dbt_.generation() != gen || slow_event_) {                 \
+            pc_ = next;                                                \
+            goto done;                                                 \
+        }                                                              \
+        ++op;                                                          \
+        FS_DBT_ENTER();                                                \
+    } while (0)
+
+    FS_DBT_OP(kSb) { FS_DBT_STORE(1); }
+    FS_DBT_OP(kSh) { FS_DBT_STORE(2); }
+    FS_DBT_OP(kSw) { FS_DBT_STORE(4); }
+
+#define FS_DBT_BRANCH(cond)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            goto branch_taken;                                         \
+        pending += op->cost;                                           \
+        FS_DBT_NEXT();                                                 \
+    } while (0)
+
+    FS_DBT_OP(kBeq) { FS_DBT_BRANCH(r[op->rs1] == r[op->rs2]); }
+    FS_DBT_OP(kBne) { FS_DBT_BRANCH(r[op->rs1] != r[op->rs2]); }
+    FS_DBT_OP(kBlt)
+    {
+        FS_DBT_BRANCH(std::int32_t(r[op->rs1]) <
+                      std::int32_t(r[op->rs2]));
+    }
+    FS_DBT_OP(kBge)
+    {
+        FS_DBT_BRANCH(std::int32_t(r[op->rs1]) >=
+                      std::int32_t(r[op->rs2]));
+    }
+    FS_DBT_OP(kBltu) { FS_DBT_BRANCH(r[op->rs1] < r[op->rs2]); }
+    FS_DBT_OP(kBgeu) { FS_DBT_BRANCH(r[op->rs1] >= r[op->rs2]); }
+
+    FS_DBT_OP(kJal)
+    {
+        if (op->rd)
+            r[op->rd] = op->aux;
+        pending += op->cost;
+        ++retired;
+        goto chain_follow;
+    }
+    FS_DBT_OP(kJalr)
+    {
+        // Dynamic target: exit to the outer dispatch loop (which
+        // re-enters translated code immediately on a hit). rs1 is
+        // read before the link write, as the interpreter does.
+        const std::uint32_t target =
+            (r[op->rs1] + std::uint32_t(op->imm)) & ~1u;
+        if (op->rd)
+            r[op->rd] = op->aux;
+        pending += op->cost;
+        ++retired;
+        pc_ = target;
+        goto done;
+    }
+    FS_DBT_OP(kFallthrough)
+    {
+        // Pseudo-op: no guest cost, no retirement.
+        goto chain_follow;
+    }
+
+#if !FS_DBT_COMPUTED_GOTO
+    }
+    fatal("corrupt DBT opcode at pc 0x", std::hex, pc_);
+#endif
+
+branch_taken:
+    pending += op->cost2;
+    ++retired;
+    // fall through to the chain follow (target in op->imm)
+
+chain_follow: {
+    // Direct block->block transfer. The guard set matches the lean
+    // trace path's block boundary exactly: bail to the outer loop on
+    // a slow event or pending interrupt, and never enter a successor
+    // whose worst case could cross the event horizon. Links are
+    // patched lazily on first use and unlinked on eviction/flush.
+    const std::uint32_t target = std::uint32_t(op->imm);
+    DbtBlock *next = op->chain;
+    if (next == nullptr) {
+        next = dbt_.lookup(target);
+        if (next == nullptr) {
+            pc_ = target;
+            goto done;
+        }
+        dbt_.link(op, next);
+    }
+    if (slow_event_ || interruptPending() ||
+        (cycles_ - cycles0) + pending + next->worstTotal >= budget) {
+        pc_ = target;
+        goto done;
+    }
+    ++chained;
+    op = next->ops.data();
+    FS_DBT_ENTER();
+}
+
+done: {
+    cycles_ += pending;
+    instret_ += retired;
+    DbtStats &st = dbt_.stats();
+    st.chainTransfers += chained;
+    ++st.dispatchExits;
+    return cycles_ - cycles0;
+}
+}
+
+#undef FS_DBT_OP
+#undef FS_DBT_ENTER
+#undef FS_DBT_NEXT
+#undef FS_DBT_LOAD
+#undef FS_DBT_STORE
+#undef FS_DBT_BRANCH
+
 void
 Hart::powerFail()
 {
@@ -447,6 +1125,7 @@ Hart::powerFail()
     // Cached blocks may have been decoded from volatile (SRAM) code
     // that just decayed.
     trace_.flush();
+    dbt_.flush();
 }
 
 void
@@ -460,6 +1139,7 @@ Hart::reset(std::uint32_t pc)
     // Reset commonly follows reloading code memory (tests load a new
     // image and reset): decoded blocks must not outlive the image.
     trace_.flush();
+    dbt_.flush();
 }
 
 std::uint64_t

@@ -8,13 +8,16 @@
  * cycle-accurate microarchitecture: what the reproduction needs is a
  * faithful software execution substrate with energy-relevant timing.
  *
- * Execution has two paths that are bit-identical by construction:
- * both feed riscv::decode() output into the same executeDecoded()
- * switch. The slow path (step) fetches and decodes one instruction at
- * a time; the fast path (runDecoded) dispatches pre-decoded basic
- * blocks from a TraceCache and serves loads/fetches from the bus's
- * direct host-pointer windows. FS_NO_TRACE_CACHE disables the fast
- * path entirely.
+ * Execution has three tiers that are bit-identical by construction.
+ * The slow path (step) fetches and decodes one instruction at a time
+ * through riscv::decode() into executeDecoded(). The fast path
+ * (runDecoded) dispatches pre-decoded basic blocks from a TraceCache
+ * -- fed through the same decoder -- and serves loads/fetches from
+ * the bus's direct host-pointer windows. Hot trace blocks are then
+ * promoted to a third tier, threaded code in a DbtCache, which chains
+ * block-to-block without returning to the dispatch loop (see dbt.h).
+ * FS_NO_TRACE_CACHE disables both fast tiers; FS_NO_DBT disables just
+ * the translation tier.
  */
 
 #ifndef FS_RISCV_HART_H_
@@ -25,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "riscv/dbt.h"
 #include "riscv/decoder.h"
 #include "riscv/encoding.h"
 #include "riscv/memory.h"
@@ -130,9 +134,25 @@ class Hart
     bool traceCacheEnabled() const { return trace_on_; }
     /** Toggle the trace cache at runtime (flushes on any change). */
     void setTraceCacheEnabled(bool on);
-    /** Drop all cached blocks (call after rewriting code memory). */
-    void invalidateTraceCache() { trace_.flush(); }
+    /** Drop all cached/translated blocks in every tier (call after
+     *  rewriting code memory). */
+    void
+    invalidateTraceCache()
+    {
+        trace_.flush();
+        dbt_.flush();
+    }
     const TraceCache &traceCache() const { return trace_; }
+
+    // --- DBT tier control ---
+    /** True when hot trace blocks are promoted to threaded code. The
+     *  tier only engages while the trace cache is enabled (it is fed
+     *  by trace-cache blocks). */
+    bool dbtEnabled() const { return dbt_on_; }
+    /** Toggle the DBT tier at runtime (flushes its cache on change). */
+    void setDbtEnabled(bool on);
+    const DbtCache &dbtCache() const { return dbt_; }
+    DbtCache &dbtCache() { return dbt_; }
 
     /** Power failure: all volatile architectural state decays. */
     void powerFail();
@@ -166,6 +186,24 @@ class Hart
     const TraceBlock *buildBlock();
     std::uint64_t worstCost(const Decoded &d) const;
 
+    /** Lower a hot trace block into threaded code and insert it into
+     *  the DBT cache. Translation covers the prefix up to (not
+     *  including) the first strict op -- system/CSR/custom ops stay
+     *  on the trace tier -- and returns nullptr when that prefix is
+     *  empty. */
+    DbtBlock *translateBlock(const TraceBlock &src);
+
+    /**
+     * Execute translated blocks starting at @p block, chaining
+     * block-to-block while every successor's worst-case cost still
+     * fits strictly under the remaining budget; returns the cycles
+     * spent (< budget). The caller guarantees block->worstTotal <
+     * budget, no pending interrupt, and slow_event_ == false on
+     * entry. A nullptr @p block performs dispatcher initialization
+     * only (publishes the computed-goto label table) and returns 0.
+     */
+    std::uint64_t runDbt(DbtBlock *block, std::uint64_t budget);
+
     MemoryDevice &bus_;
     CycleCosts costs_;
     std::array<std::uint32_t, 32> regs_{};
@@ -182,6 +220,11 @@ class Hart
     // --- fast-path state ---
     TraceCache trace_;
     bool trace_on_;
+    DbtCache dbt_;
+    bool dbt_on_;
+    /** Computed-goto handler table, published by the first runDbt
+     *  call (label addresses only exist inside the executor). */
+    const void *const *dbt_labels_ = nullptr;
     /** Direct host-pointer windows, fetched lazily from the bus (the
      *  SoC attaches devices after constructing the hart). */
     std::vector<DirectWindow> windows_;

@@ -74,6 +74,19 @@ struct TraceBlock {
      */
     bool needsStrictChecks = false;
 
+    /**
+     * Times the block was dispatched from the hart's fast-path loop;
+     * the DBT tier promotes a block to threaded code once this
+     * crosses its hot threshold. Mutable because lookup() hands out
+     * const blocks and heat is pure bookkeeping, not semantics.
+     */
+    mutable std::uint32_t heat = 0;
+
+    /** Set when translation refused this block (its first op already
+     *  needs strict checks); refusal is content-deterministic, so
+     *  promotion never retries it. Bookkeeping like heat. */
+    mutable bool dbtReject = false;
+
     /** Bytes of guest code the block was decoded from. */
     std::uint32_t
     byteSpan() const

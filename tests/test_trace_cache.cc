@@ -1,13 +1,17 @@
 /**
  * @file
- * Trace-cache equivalence tests: the pre-decoded block path must be
- * bit-identical to the pure interpreter -- same architectural state,
- * same cycle counts, same torture-campaign outcomes at any thread
- * count. Covers the FS_NO_TRACE_CACHE kill switch, the cache's own
- * bookkeeping, full-SoC guest workloads (steady power and a forced
+ * Execution-tier equivalence tests: the pre-decoded block path and the
+ * DBT threaded-code tier above it must be bit-identical to the pure
+ * interpreter -- same architectural state, same cycle counts, same
+ * torture-campaign outcomes at any thread count. Covers the
+ * FS_NO_TRACE_CACHE kill switch, the cache's own bookkeeping, full-SoC
+ * guest workloads (steady power and a forced
  * checkpoint/power-failure/resume), a seeded decoder<->executor
- * differential fuzzer over random legal RV32IM programs, and
- * self-modifying code (store into cached code must flush).
+ * differential fuzzer over random legal RV32IM programs run three ways
+ * (interp/trace/DBT, including choppy event-horizon budgets), and
+ * self-modifying code (store into cached or translated code must
+ * flush). DBT-cache-specific mechanics (chaining, eviction, unlink)
+ * live in test_dbt.cc.
  */
 
 #include <gtest/gtest.h>
@@ -32,6 +36,30 @@
 
 namespace fs {
 namespace {
+
+/** Which execution tiers a hart under test may use. */
+enum class Mode { kInterp, kTrace, kDbt };
+
+/** Pin a hart to exactly one top tier (kDbt translates immediately so
+ *  short tests exercise threaded code, not just the trace tier). */
+void
+configureHart(riscv::Hart &hart, Mode mode)
+{
+    hart.setTraceCacheEnabled(mode != Mode::kInterp);
+    hart.setDbtEnabled(mode == Mode::kDbt);
+    if (mode == Mode::kDbt)
+        hart.dbtCache().setHotThreshold(1);
+}
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+    case Mode::kInterp: return "interp";
+    case Mode::kTrace: return "trace";
+    default: return "dbt";
+    }
+}
 
 // ---------------------------------------------------------------------
 // TraceCache bookkeeping
@@ -142,7 +170,7 @@ expectSameSnapshot(const SocSnapshot &a, const SocSnapshot &b,
  * intermittent-computation cycle under the trace cache.
  */
 SocSnapshot
-runSocScenario(const soc::GuestProgram &prog, bool trace,
+runSocScenario(const soc::GuestProgram &prog, Mode mode,
                bool force_checkpoint)
 {
     const auto monitor = harvest::makeFsLowPower();
@@ -151,7 +179,7 @@ runSocScenario(const soc::GuestProgram &prog, bool trace,
     layout.sramSize = 1024;
     soc::Soc soc(*monitor, [supply](double) { return *supply; },
                  layout);
-    soc.hart().setTraceCacheEnabled(trace);
+    configureHart(soc.hart(), mode);
     soc.loadRuntime(monitor->countThresholdFor(1.87));
     soc.loadGuest(prog);
     soc.powerOn();
@@ -191,10 +219,14 @@ TEST(TraceCacheSoc, GuestWorkloadsBitIdenticalSteadyPower)
 {
     for (const auto &prog : soc::standardWorkloads()) {
         const SocSnapshot interp =
-            runSocScenario(prog, /*trace=*/false, false);
+            runSocScenario(prog, Mode::kInterp, false);
         const SocSnapshot traced =
-            runSocScenario(prog, /*trace=*/true, false);
+            runSocScenario(prog, Mode::kTrace, false);
         expectSameSnapshot(interp, traced, prog.name);
+        const SocSnapshot translated =
+            runSocScenario(prog, Mode::kDbt, false);
+        expectSameSnapshot(interp, translated,
+                           prog.name + std::string("+dbt"));
     }
 }
 
@@ -202,11 +234,14 @@ TEST(TraceCacheSoc, CheckpointPowerFailResumeBitIdentical)
 {
     const soc::GuestProgram prog = soc::makeCrc32Program(4096, 11);
     const SocSnapshot interp =
-        runSocScenario(prog, /*trace=*/false, true);
-    const SocSnapshot traced =
-        runSocScenario(prog, /*trace=*/true, true);
+        runSocScenario(prog, Mode::kInterp, true);
+    const SocSnapshot traced = runSocScenario(prog, Mode::kTrace, true);
     EXPECT_GE(interp.newestSeq, 1u);
     expectSameSnapshot(interp, traced, prog.name + "+checkpoint");
+    const SocSnapshot translated =
+        runSocScenario(prog, Mode::kDbt, true);
+    expectSameSnapshot(interp, translated,
+                       prog.name + "+checkpoint+dbt");
 }
 
 // ---------------------------------------------------------------------
@@ -279,23 +314,35 @@ TEST(TraceCacheTorture, CampaignBitIdenticalAcrossCacheAndThreads)
     const auto off8 = rig_off.runKills(kills, &pool8);
     unsetenv("FS_NO_TRACE_CACHE");
 
-    fault::TortureRig rig_on(prog, config);
-    const auto on1 = rig_on.runKills(kills, &pool1);
-    const auto on8 = rig_on.runKills(kills, &pool8);
+    // Trace tier only: the DBT kill switch stays set for the replays.
+    setenv("FS_NO_DBT", "1", 1);
+    fault::TortureRig rig_trace(prog, config);
+    const auto trace1 = rig_trace.runKills(kills, &pool1);
+    const auto trace8 = rig_trace.runKills(kills, &pool8);
+    unsetenv("FS_NO_DBT");
+
+    // All tiers up: hot blocks run as threaded code mid-campaign.
+    fault::TortureRig rig_dbt(prog, config);
+    const auto dbt1 = rig_dbt.runKills(kills, &pool1);
+    const auto dbt8 = rig_dbt.runKills(kills, &pool8);
 
     // The instrumented clean runs must agree before any kill does.
-    EXPECT_EQ(rig_off.cleanRunCycles(), rig_on.cleanRunCycles());
-    ASSERT_EQ(rig_off.checkpointCount(), rig_on.checkpointCount());
-    for (std::size_t i = 0; i < rig_on.checkpointCount(); ++i) {
-        EXPECT_EQ(rig_off.commitWindow(i).begin,
-                  rig_on.commitWindow(i).begin);
-        EXPECT_EQ(rig_off.commitWindow(i).end,
-                  rig_on.commitWindow(i).end);
+    for (fault::TortureRig *rig : {&rig_trace, &rig_dbt}) {
+        EXPECT_EQ(rig_off.cleanRunCycles(), rig->cleanRunCycles());
+        ASSERT_EQ(rig_off.checkpointCount(), rig->checkpointCount());
+        for (std::size_t i = 0; i < rig->checkpointCount(); ++i) {
+            EXPECT_EQ(rig_off.commitWindow(i).begin,
+                      rig->commitWindow(i).begin);
+            EXPECT_EQ(rig_off.commitWindow(i).end,
+                      rig->commitWindow(i).end);
+        }
     }
 
     expectSameOutcomes(off1, off8, "interp 1 vs 8 threads");
-    expectSameOutcomes(on1, on8, "trace 1 vs 8 threads");
-    expectSameOutcomes(off1, on1, "interp vs trace");
+    expectSameOutcomes(trace1, trace8, "trace 1 vs 8 threads");
+    expectSameOutcomes(dbt1, dbt8, "dbt 1 vs 8 threads");
+    expectSameOutcomes(off1, trace1, "interp vs trace");
+    expectSameOutcomes(off1, dbt1, "interp vs dbt");
 }
 
 // ---------------------------------------------------------------------
@@ -475,13 +522,15 @@ struct FuzzResult {
     std::uint64_t instret = 0;
     std::uint32_t mscratch = 0;
     std::vector<std::uint8_t> mem;
+    /** Tier bookkeeping (not part of the identity comparison). */
+    std::uint64_t translations = 0;
 };
 
 /** Execute a fuzz image to ebreak, in chunks of @p chunk cycles (odd
- *  small chunks stress the block executor's budget bailouts). */
+ *  small chunks stress the block executors' budget bailouts). */
 FuzzResult
 runFuzzProgram(const std::vector<riscv::Word> &code,
-               const std::vector<std::uint8_t> &data, bool trace,
+               const std::vector<std::uint8_t> &data, Mode mode,
                std::uint64_t chunk)
 {
     riscv::Ram ram(kRamSize);
@@ -489,7 +538,7 @@ runFuzzProgram(const std::vector<riscv::Word> &code,
     std::copy(data.begin(), data.end(),
               ram.data().begin() + kDataBase);
     riscv::Hart hart(ram);
-    hart.setTraceCacheEnabled(trace);
+    configureHart(hart, mode);
     hart.reset(0);
     while (!hart.halted() && hart.cycles() < 2'000'000)
         hart.run(chunk);
@@ -502,6 +551,7 @@ runFuzzProgram(const std::vector<riscv::Word> &code,
     res.instret = hart.instructionsRetired();
     res.mscratch = hart.csr(riscv::kCsrMscratch);
     res.mem = ram.data();
+    res.translations = hart.dbtCache().stats().translations;
     return res;
 }
 
@@ -520,8 +570,9 @@ expectSameFuzzResult(const FuzzResult &a, const FuzzResult &b,
     EXPECT_EQ(a.mem, b.mem) << label << " memory image";
 }
 
-TEST(TraceCacheFuzz, RandomProgramsBitIdentical)
+TEST(TraceCacheFuzz, RandomProgramsBitIdenticalThreeWay)
 {
+    std::uint64_t total_translations = 0;
     for (std::uint64_t seed = 1; seed <= 16; ++seed) {
         Rng rng(seed * 0x9E3779B97F4A7C15ull);
         const auto code = randomProgram(rng, 300);
@@ -530,15 +581,26 @@ TEST(TraceCacheFuzz, RandomProgramsBitIdentical)
             byte = std::uint8_t(rng.uniformInt(0, 255));
         const std::string label = "seed " + std::to_string(seed);
         const FuzzResult interp =
-            runFuzzProgram(code, data, false, 1u << 20);
-        const FuzzResult traced =
-            runFuzzProgram(code, data, true, 1u << 20);
-        expectSameFuzzResult(interp, traced, label);
-        // Choppy budgets force mid-block horizon stops and re-entry.
-        const FuzzResult choppy =
-            runFuzzProgram(code, data, true, 13);
-        expectSameFuzzResult(interp, choppy, label + " chunk=13");
+            runFuzzProgram(code, data, Mode::kInterp, 1u << 20);
+        for (const Mode mode : {Mode::kTrace, Mode::kDbt}) {
+            const FuzzResult fast =
+                runFuzzProgram(code, data, mode, 1u << 20);
+            expectSameFuzzResult(interp, fast,
+                                 label + " " + modeName(mode));
+            // Choppy budgets force mid-block horizon stops, re-entry,
+            // and (for DBT) entry/chain budget-guard bailouts.
+            const FuzzResult choppy =
+                runFuzzProgram(code, data, mode, 13);
+            expectSameFuzzResult(interp, choppy,
+                                 label + " " + modeName(mode) +
+                                     " chunk=13");
+            if (mode == Mode::kDbt)
+                total_translations += fast.translations;
+        }
     }
+    // The DBT runs must actually have exercised threaded code (the
+    // CSR probes make some blocks strict, but never all of them).
+    EXPECT_GT(total_translations, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -570,27 +632,36 @@ TEST(TraceCacheFuzz, SelfModifyingStoreFlushesAndStaysExact)
     as.emit(ebreak());
     const auto code = as.finalize();
 
-    FuzzResult results[2];
-    for (int trace = 0; trace < 2; ++trace) {
+    FuzzResult results[3];
+    const Mode modes[3] = {Mode::kInterp, Mode::kTrace, Mode::kDbt};
+    for (int m = 0; m < 3; ++m) {
         riscv::Ram ram(4096);
         ram.loadWords(0, code);
         riscv::Hart hart(ram);
-        hart.setTraceCacheEnabled(trace != 0);
+        configureHart(hart, modes[m]);
         hart.reset(0);
         while (!hart.halted() && hart.cycles() < 100'000)
             hart.run(64);
         ASSERT_TRUE(hart.halted());
-        EXPECT_EQ(hart.reg(kA0), 101u) << "trace=" << trace;
-        if (trace) {
+        EXPECT_EQ(hart.reg(kA0), 101u) << modeName(modes[m]);
+        if (modes[m] != Mode::kInterp)
             EXPECT_GE(hart.traceCache().flushes(), 1u);
+        if (modes[m] == Mode::kDbt) {
+            // The patch store must have invalidated translated code.
+            EXPECT_GE(hart.dbtCache().stats().translations, 1u);
+            EXPECT_GE(hart.dbtCache().stats().flushes, 1u);
         }
-        results[trace].pc = hart.pc();
-        results[trace].cycles = hart.cycles();
-        results[trace].instret = hart.instructionsRetired();
+        results[m].pc = hart.pc();
+        results[m].cycles = hart.cycles();
+        results[m].instret = hart.instructionsRetired();
     }
-    EXPECT_EQ(results[0].pc, results[1].pc);
-    EXPECT_EQ(results[0].cycles, results[1].cycles);
-    EXPECT_EQ(results[0].instret, results[1].instret);
+    for (int m = 1; m < 3; ++m) {
+        EXPECT_EQ(results[0].pc, results[m].pc) << modeName(modes[m]);
+        EXPECT_EQ(results[0].cycles, results[m].cycles)
+            << modeName(modes[m]);
+        EXPECT_EQ(results[0].instret, results[m].instret)
+            << modeName(modes[m]);
+    }
 }
 
 } // namespace
