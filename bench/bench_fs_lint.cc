@@ -8,11 +8,14 @@
  * BENCH_perf.json tracks lint throughput.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "analysis/firmware_linter.h"
 #include "bench_common.h"
 #include "core/fs_config.h"
+#include "fault/torture_rig.h"
 #include "harvest/system_comparison.h"
 #include "riscv/assembler.h"
 #include "soc/conversion_firmware.h"
@@ -107,6 +110,83 @@ main()
 
     const double elapsed = timer.seconds();
 
+    // Static-vs-dynamic certification across every demo image: the
+    // torture rig measures each workload's real commit windows, and
+    // the static bound must dominate the longest one anywhere.
+    bool staticDominates = true;
+    std::uint64_t worstDynamicCommit = 0;
+    {
+        fault::TortureConfig config;
+        config.stableCycles = 60'000;
+        config.lowCycles = 30'000;
+        for (const soc::GuestProgram &program :
+             soc::standardWorkloads()) {
+            fault::TortureRig rig(program, config);
+            for (std::size_t i = 0; i < rig.checkpointCount(); ++i) {
+                const std::uint64_t len = rig.commitWindow(i).length();
+                worstDynamicCommit =
+                    std::max(worstDynamicCommit, len);
+                staticDominates =
+                    staticDominates &&
+                    runtime.worstCaseCommitCycles >= len;
+            }
+        }
+    }
+    std::printf("  torture: %llu cycles longest dynamic commit window "
+                "across all workloads\n",
+                static_cast<unsigned long long>(worstDynamicCommit));
+
+    // Fault-space pruning: the same kill campaign replayed in full and
+    // through the static injection-point map. Verdicts must be
+    // bit-identical; the pruned pass buys its speed from the replays
+    // the map proves redundant.
+    const soc::GuestProgram prunable = soc::makeCrc32Program(2048, 11);
+    const analysis::LintReport prunableLint =
+        analysis::lintGuestProgram(prunable);
+    fault::TortureRig rig(prunable);
+    const std::uint64_t cleanCycles = rig.cleanRunCycles();
+    std::vector<fault::PowerKill> kills;
+    const std::uint64_t stride = cleanCycles / 64;
+    for (std::uint64_t c = stride; c < cleanCycles; c += stride)
+        kills.push_back(fault::PowerKill{
+            c, unsigned(kills.size() % 4),
+            (kills.size() % 3 == 0) ? 0xA5A5A5A5u : 0u});
+
+    util::Timer fullTimer;
+    const std::vector<fault::TortureOutcome> fullOutcomes =
+        rig.runKills(kills);
+    const double fullSeconds = fullTimer.seconds();
+
+    fault::PruneStats prune;
+    util::Timer prunedTimer;
+    const std::vector<fault::TortureOutcome> prunedOutcomes =
+        rig.runKillsPruned(kills, prunableLint.pruningMap, nullptr,
+                           &prune);
+    const double prunedSeconds = prunedTimer.seconds();
+
+    bool sameVerdicts = fullOutcomes.size() == prunedOutcomes.size();
+    for (std::size_t i = 0; sameVerdicts && i < fullOutcomes.size();
+         ++i) {
+        const fault::TortureOutcome &a = fullOutcomes[i];
+        const fault::TortureOutcome &b = prunedOutcomes[i];
+        sameVerdicts = a.killed == b.killed &&
+                       a.killTore == b.killTore &&
+                       a.validSlots == b.validSlots &&
+                       a.tornSlots == b.tornSlots &&
+                       a.newestSeq == b.newestSeq &&
+                       a.coldRestart == b.coldRestart &&
+                       a.finished == b.finished &&
+                       a.resultCorrect == b.resultCorrect &&
+                       a.result == b.result;
+    }
+    std::printf("  pruning: %zu kills, %zu replayed / %zu skipped "
+                "(%zu vulnerable, %zu never fire), %.2fx\n",
+                prune.totalKills, prune.executedKills,
+                prune.skippedKills, prune.vulnerableKills,
+                prune.neverFires,
+                prunedSeconds > 0.0 ? fullSeconds / prunedSeconds
+                                    : 0.0);
+
     bench::shapeCheck("all shipping firmware images lint clean",
                       shippingClean);
     bench::shapeCheck("runtime commit path fits the warning window",
@@ -132,9 +212,23 @@ main()
     bench::shapeCheck("irq-masked spin loop is flagged as "
                       "checkpoint-free",
                       spinFlagged);
+    bench::shapeCheck("static commit bound dominates every dynamic "
+                      "commit window on every demo image",
+                      staticDominates && worstDynamicCommit > 0);
+    bench::shapeCheck("pruned campaign verdicts identical to the "
+                      "full campaign",
+                      sameVerdicts && !fullOutcomes.empty());
+    bench::shapeCheck("pruning skipped statically-equivalent kills",
+                      prune.skippedKills > 0);
 
     util::BenchReport report("bench_fs_lint");
     report.add({"lint", elapsed, double(images), 1, 0.0});
+    report.add({"torture_full", fullSeconds, double(kills.size()), 1,
+                0.0});
+    report.add({"torture_pruned", prunedSeconds, double(kills.size()),
+                1, 0.0});
+    report.add({"pruned_kills_skipped", prunedSeconds,
+                double(prune.skippedKills), 1, 0.0});
     // Perf-ledger trajectory of the static certificate: the item
     // count carries the worst-case commit-cycle bound so the ledger
     // tracks it PR over PR.

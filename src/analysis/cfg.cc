@@ -295,28 +295,22 @@ Cfg::computeSccs()
             }
         }
     }
+
+    // Member lists, ascending per SCC: interprocedural path costing
+    // walks SCC members once per reachable SCC, so these must not be
+    // O(blocks) scans.
+    scc_members_.assign(scc_count_, {});
+    for (std::size_t b = 0; b < n; ++b)
+        scc_members_[scc_of_[b]].push_back(b);
 }
 
 bool
 Cfg::inCycle(std::size_t block) const
 {
-    const std::size_t scc = scc_of_[block];
-    std::size_t members = 0;
-    for (std::size_t b = 0; b < blocks_.size(); ++b)
-        if (scc_of_[b] == scc && ++members > 1)
-            return true;
+    if (scc_members_[scc_of_[block]].size() > 1)
+        return true;
     const auto &succs = blocks_[block].succs;
     return std::find(succs.begin(), succs.end(), block) != succs.end();
-}
-
-std::vector<std::size_t>
-Cfg::sccMembers(std::size_t scc) const
-{
-    std::vector<std::size_t> out;
-    for (std::size_t b = 0; b < blocks_.size(); ++b)
-        if (scc_of_[b] == scc)
-            out.push_back(b);
-    return out;
 }
 
 } // namespace analysis

@@ -82,8 +82,11 @@ class Cfg
     /** True when the block's SCC has more than one node or a
      *  self-loop: the block sits on a cycle. */
     bool inCycle(std::size_t block) const;
-    /** Blocks of one SCC, ascending. */
-    std::vector<std::size_t> sccMembers(std::size_t scc) const;
+    /** Blocks of one SCC, ascending (cached; O(1) per call). */
+    const std::vector<std::size_t> &sccMembers(std::size_t scc) const
+    {
+        return scc_members_[scc];
+    }
 
   private:
     void computeSccs();
@@ -93,6 +96,7 @@ class Cfg
     std::vector<BasicBlock> blocks_;
     std::vector<std::size_t> entry_blocks_;
     std::vector<std::size_t> scc_of_;
+    std::vector<std::vector<std::size_t>> scc_members_;
     std::size_t scc_count_ = 0;
 };
 

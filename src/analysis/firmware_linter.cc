@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/fs_config.h"
+#include "runtime/energy_model.h"
 #include "util/bench_report.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -251,6 +252,16 @@ isCallerSaved(Word r)
     return r == riscv::kRa || (r >= riscv::kT0 && r <= riscv::kT2) ||
            (r >= riscv::kA0 && r <= riscv::kA7) ||
            (r >= riscv::kT3 && r <= riscv::kT6);
+}
+
+std::uint32_t
+callerSavedMask()
+{
+    std::uint32_t mask = 0;
+    for (Word r = 1; r < 32; ++r)
+        if (isCallerSaved(r))
+            mask |= 1u << r;
+    return mask;
 }
 
 /** Update one interrupt-enable tri-state for a CSR write. */
@@ -558,38 +569,81 @@ instrCost(const Decoded &d, const riscv::Hart::CycleCosts &costs)
 
 namespace {
 
+/** Interprocedural facts about one direct-call target (internal
+ *  superset of the exported CalleeSummary). */
+struct FuncInfo {
+    std::size_t entry = kNoBlock;
+    std::vector<std::size_t> blocks;  ///< reachable via succs edges
+    std::vector<std::size_t> callees; ///< direct-callee entry blocks
+    bool callsIndirect = false;
+    bool recursive = false; ///< on a call-graph cycle
+    std::uint32_t clobberMask = 0;
+    bool mayWriteNvm = false; ///< own or transitive NVM store
+    std::size_t nvmStores = 0;
+    std::uint32_t ownFrameBytes = 0;
+    std::optional<std::uint64_t> cycles; ///< entry-to-return bound
+    double energy = 0.0;                 ///< paired with cycles
+    std::optional<std::uint32_t> stackBytes;
+    /** Unbounded-loop addresses inside this callee, surfaced when a
+     *  commit path crosses the call. */
+    std::vector<std::uint32_t> unboundedAddrs;
+};
+
 class Analysis
 {
   public:
     Analysis(const LintOptions &options, const Cfg &cfg)
-        : opt_(options), cfg_(cfg)
+        : opt_(options), cfg_(cfg),
+          energyOn_(options.capacitanceFarads > 0.0)
     {
     }
 
     void run(LintReport &report);
 
   private:
+    /** Joint worst-case bound along one path query: energy rides the
+     *  same propagation as cycles but is maximized independently. */
+    struct PathBound {
+        std::optional<std::uint64_t> cycles;
+        double energy = 0.0;
+    };
+
+    void discoverFunctions();
+    void computeSummaries();
     void fixpoint();
     void warPass(LintReport &report);
     void cyclePass(LintReport &report);
     void budgetPass(LintReport &report);
     void accessPass(LintReport &report);
+    void pruningPass(LintReport &report);
+    void exportSummaries(LintReport &report);
 
     MachineState entryState() const;
-    std::uint64_t blockCost(std::size_t b);
-    std::optional<std::uint64_t> sccBound(std::size_t scc);
-    std::optional<std::uint64_t> calleeCost(std::size_t entry);
-    std::optional<std::uint64_t>
-    pathCost(std::size_t entry, bool toMark, bool stopAtMark);
+    std::uint64_t blockCost(std::size_t b) const;
+    double instrEnergy(std::size_t idx) const;
+    double blockEnergy(std::size_t b) const;
+    std::optional<std::uint64_t> sccBound(std::size_t scc,
+                                          std::uint32_t *headerAddr);
+    std::optional<std::uint64_t> cachedSccBound(std::size_t scc,
+                                                bool stopAtMark);
+    bool marksCutCycles(std::size_t scc);
+    PathBound pathCost(std::size_t entry, bool toMark,
+                       bool stopAtMark);
 
     const LintOptions &opt_;
     const Cfg &cfg_;
+    bool energyOn_ = false;
     std::vector<MachineState> blockIn_;
     std::vector<MachineState> blockOut_;
     std::vector<AbsVal> instrAddr_; ///< joined address per instruction
-    std::map<std::size_t, std::optional<std::uint64_t>> calleeMemo_;
-    std::set<std::size_t> calleeInProgress_;
+    std::map<std::size_t, FuncInfo> funcs_; ///< by entry block
+    std::map<std::size_t, std::optional<std::uint64_t>> sccBoundMemo_;
+    std::map<std::size_t, bool> marksCutMemo_;
+    std::set<std::size_t> loopBoundRecorded_; ///< sccs in loopBounds_
+    std::vector<LoopBound> loopBounds_;
+    std::set<std::uint32_t> markFallbackAddrs_;
     std::vector<std::uint32_t> unboundedSccAddrs_;
+    std::set<std::size_t> warInstrs_; ///< instr indices in WAR pairs
 };
 
 MachineState
@@ -609,6 +663,241 @@ Analysis::entryState() const
         s.meie = Tri::kUnknown;
     }
     return s;
+}
+
+void
+Analysis::discoverFunctions()
+{
+    const auto &blocks = cfg_.blocks();
+
+    // Function entries are the direct-call targets. Bodies are the
+    // blocks reachable from the entry over succs edges (call edges
+    // are not succs edges, so bodies stay within the callee).
+    for (const BasicBlock &block : blocks)
+        if (block.callTarget != kNoBlock)
+            funcs_[block.callTarget];
+
+    for (auto &[entry, f] : funcs_) {
+        f.entry = entry;
+        std::vector<bool> seen(blocks.size(), false);
+        std::vector<std::size_t> work{entry};
+        seen[entry] = true;
+        while (!work.empty()) {
+            const std::size_t b = work.back();
+            work.pop_back();
+            f.blocks.push_back(b);
+            const BasicBlock &block = blocks[b];
+            if (block.callsIndirect)
+                f.callsIndirect = true;
+            if (block.callTarget != kNoBlock)
+                f.callees.push_back(block.callTarget);
+            const Instr &last =
+                cfg_.instrs()[block.firstInstr + block.numInstrs - 1];
+            // A block ending in an indirect jump (jalr x0 via a
+            // non-ra register) hides its continuation from the CFG:
+            // fall back to the fully conservative summary.
+            if (last.d.cls == InstrClass::kJalr &&
+                last.d.rd == riscv::kZero && !last.d.isReturn())
+                f.callsIndirect = true;
+            for (std::size_t s : block.succs)
+                if (!seen[s]) {
+                    seen[s] = true;
+                    work.push_back(s);
+                }
+        }
+        std::sort(f.blocks.begin(), f.blocks.end());
+        std::sort(f.callees.begin(), f.callees.end());
+        f.callees.erase(
+            std::unique(f.callees.begin(), f.callees.end()),
+            f.callees.end());
+
+        // Syntactic per-function facts: registers written and the
+        // prologue stack frame (largest addi sp, sp, -N).
+        for (std::size_t b : f.blocks) {
+            const BasicBlock &block = blocks[b];
+            for (std::size_t i = 0; i < block.numInstrs; ++i) {
+                const Decoded &d =
+                    cfg_.instrs()[block.firstInstr + i].d;
+                if (d.writesRd() && d.rd != 0)
+                    f.clobberMask |= 1u << d.rd;
+                if (d.op == Mnemonic::kAddi && d.rd == riscv::kSp &&
+                    d.rs1 == riscv::kSp && d.imm < 0)
+                    f.ownFrameBytes = std::max(
+                        f.ownFrameBytes, std::uint32_t(-d.imm));
+            }
+        }
+    }
+
+    // Clobber masks close over the call graph: a monotone bit-set
+    // worklist fixpoint (no recursion; cycles just converge).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &[entry, f] : funcs_) {
+            std::uint32_t mask = f.clobberMask;
+            if (f.callsIndirect)
+                mask |= callerSavedMask();
+            for (std::size_t callee : f.callees)
+                mask |= funcs_[callee].clobberMask;
+            if (mask != f.clobberMask) {
+                f.clobberMask = mask;
+                changed = true;
+            }
+        }
+    }
+
+    // Call-graph SCCs mark recursion (iterative Tarjan over the
+    // function entries; any multi-function cycle or self-call makes
+    // every member's cycle/stack summary unbounded).
+    std::vector<std::size_t> entries;
+    entries.reserve(funcs_.size());
+    std::map<std::size_t, std::size_t> denseOf;
+    for (const auto &[entry, f] : funcs_) {
+        denseOf[entry] = entries.size();
+        entries.push_back(entry);
+    }
+    const std::size_t n = entries.size();
+    std::vector<std::size_t> index(n, kNoBlock), low(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<std::size_t> stack;
+    std::size_t counter = 0;
+    struct Frame {
+        std::size_t v;
+        std::size_t child = 0;
+    };
+    for (std::size_t root = 0; root < n; ++root) {
+        if (index[root] != kNoBlock)
+            continue;
+        std::vector<Frame> frames{{root, 0}};
+        index[root] = low[root] = counter++;
+        stack.push_back(root);
+        onStack[root] = true;
+        while (!frames.empty()) {
+            Frame &fr = frames.back();
+            const std::size_t v = fr.v;
+            const auto &callees = funcs_[entries[v]].callees;
+            if (fr.child < callees.size()) {
+                const std::size_t w = denseOf[callees[fr.child++]];
+                if (index[w] == kNoBlock) {
+                    index[w] = low[w] = counter++;
+                    stack.push_back(w);
+                    onStack[w] = true;
+                    frames.push_back({w, 0});
+                } else if (onStack[w]) {
+                    low[v] = std::min(low[v], index[w]);
+                }
+                continue;
+            }
+            if (low[v] == index[v]) {
+                std::vector<std::size_t> members;
+                while (true) {
+                    const std::size_t w = stack.back();
+                    stack.pop_back();
+                    onStack[w] = false;
+                    members.push_back(w);
+                    if (w == v)
+                        break;
+                }
+                const bool selfCall = [&] {
+                    const auto &cs = funcs_[entries[v]].callees;
+                    return std::find(cs.begin(), cs.end(),
+                                     entries[v]) != cs.end();
+                }();
+                if (members.size() > 1 || selfCall)
+                    for (std::size_t m : members)
+                        funcs_[entries[m]].recursive = true;
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                const std::size_t parent = frames.back().v;
+                low[parent] = std::min(low[parent], low[v]);
+            }
+        }
+    }
+}
+
+void
+Analysis::computeSummaries()
+{
+    // Bottom-up over the call graph, iteratively: resolve every
+    // function whose direct callees are resolved, until the acyclic
+    // part drains. Recursive functions resolve immediately (to
+    // "unbounded"), so the loop always terminates.
+    const auto &blocks = cfg_.blocks();
+    std::set<std::size_t> done;
+    for (auto &[entry, f] : funcs_) {
+        f.nvmStores = 0;
+        for (std::size_t b : f.blocks) {
+            const BasicBlock &block = blocks[b];
+            for (std::size_t i = 0; i < block.numInstrs; ++i) {
+                const std::size_t idx = block.firstInstr + i;
+                const Decoded &d = cfg_.instrs()[idx].d;
+                if (d.isStore() &&
+                    (!addressKnown(instrAddr_[idx]) ||
+                     touchesKind(opt_.map, instrAddr_[idx],
+                                 soc::MemKind::kNvm)))
+                    ++f.nvmStores;
+            }
+        }
+        if (f.recursive) {
+            f.cycles = std::nullopt;
+            f.stackBytes = std::nullopt;
+            done.insert(entry);
+        }
+    }
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto &[entry, f] : funcs_) {
+            if (done.count(entry))
+                continue;
+            bool ready = true;
+            for (std::size_t callee : f.callees)
+                if (!done.count(callee)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready)
+                continue;
+            unboundedSccAddrs_.clear();
+            const PathBound pb =
+                pathCost(entry, /*toMark=*/false,
+                         /*stopAtMark=*/false);
+            f.cycles = pb.cycles;
+            f.energy = pb.energy;
+            f.unboundedAddrs = unboundedSccAddrs_;
+            std::optional<std::uint32_t> stack = f.ownFrameBytes;
+            for (std::size_t callee : f.callees) {
+                const FuncInfo &c = funcs_[callee];
+                if (!c.stackBytes) {
+                    stack = std::nullopt;
+                    break;
+                }
+                stack = std::max(*stack,
+                                 f.ownFrameBytes + *c.stackBytes);
+            }
+            f.stackBytes = f.callsIndirect ? std::nullopt : stack;
+            done.insert(entry);
+            progressed = true;
+        }
+    }
+    unboundedSccAddrs_.clear();
+
+    // Transitive NVM-write closure (monotone boolean fixpoint).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &[entry, f] : funcs_) {
+            bool writes =
+                f.nvmStores > 0 || f.callsIndirect || f.mayWriteNvm;
+            for (std::size_t callee : f.callees)
+                writes = writes || funcs_[callee].mayWriteNvm;
+            if (writes != f.mayWriteNvm) {
+                f.mayWriteNvm = writes;
+                changed = true;
+            }
+        }
+    }
 }
 
 void
@@ -657,15 +946,23 @@ Analysis::fixpoint()
         }
         if (blockOut_[b].joinFrom(s) || block.numInstrs == 0) {
             // Interprocedural: the callee entry sees the caller's
-            // state; the fallthrough sees caller-saved registers
-            // clobbered (conservative callee summary).
+            // state; the fallthrough sees the callee's clobber-summary
+            // registers (capped at the caller-saved set) forced to
+            // Top. Indirect calls fall back to the full caller-saved
+            // set.
             MachineState succState = blockOut_[b];
             if (block.callTarget != kNoBlock || block.callsIndirect) {
                 if (block.callTarget != kNoBlock &&
                     blockIn_[block.callTarget].joinFrom(blockOut_[b]))
                     enqueue(block.callTarget);
+                std::uint32_t clobbers = callerSavedMask();
+                if (!block.callsIndirect) {
+                    const auto f = funcs_.find(block.callTarget);
+                    if (f != funcs_.end())
+                        clobbers &= f->second.clobberMask;
+                }
                 for (Word r = 1; r < 32; ++r)
-                    if (isCallerSaved(r))
+                    if (clobbers & (1u << r))
                         succState.regs[r] = AbsVal::top();
             }
             for (std::size_t succ : block.succs) {
@@ -800,6 +1097,8 @@ Analysis::warPass(LintReport &report)
     for (const auto &[readIdx, writeIdx] : hazards) {
         const Instr &read = instrs[readIdx];
         const Instr &write = instrs[writeIdx];
+        warInstrs_.insert(readIdx);
+        warInstrs_.insert(writeIdx);
         Finding f;
         f.kind = FindingKind::kWarHazard;
         f.severity = Severity::kError;
@@ -865,7 +1164,7 @@ Analysis::cyclePass(LintReport &report)
 }
 
 std::uint64_t
-Analysis::blockCost(std::size_t b)
+Analysis::blockCost(std::size_t b) const
 {
     const BasicBlock &block = cfg_.blocks()[b];
     std::uint64_t cost = 0;
@@ -875,6 +1174,38 @@ Analysis::blockCost(std::size_t b)
     return cost;
 }
 
+double
+Analysis::instrEnergy(std::size_t idx) const
+{
+    if (!energyOn_)
+        return 0.0;
+    const Decoded &d = cfg_.instrs()[idx].d;
+    // Worst-case draw: the instruction's cycle count at the active
+    // current, charged at V_ckpt (the budget's starting voltage, an
+    // upper bound on the declining rail).
+    double e = double(instrCost(d, opt_.costs)) / opt_.clockHz *
+               opt_.activeCurrentAmps * opt_.checkpointVolts;
+    if (d.isStore()) {
+        const AbsVal &addr = instrAddr_[idx];
+        if (!addressKnown(addr) ||
+            touchesKind(opt_.map, addr, soc::MemKind::kNvm))
+            e += double(d.accessBytes()) * opt_.nvmWriteJoulesPerByte;
+    }
+    return e;
+}
+
+double
+Analysis::blockEnergy(std::size_t b) const
+{
+    if (!energyOn_)
+        return 0.0;
+    const BasicBlock &block = cfg_.blocks()[b];
+    double e = 0.0;
+    for (std::size_t i = 0; i < block.numInstrs; ++i)
+        e += instrEnergy(block.firstInstr + i);
+    return e;
+}
+
 /**
  * Upper-bound the trip count of a non-trivial SCC via induction
  * variables: an exit branch executed every iteration comparing a
@@ -882,10 +1213,10 @@ Analysis::blockCost(std::size_t b)
  * known constants at loop entry.
  */
 std::optional<std::uint64_t>
-Analysis::sccBound(std::size_t scc)
+Analysis::sccBound(std::size_t scc, std::uint32_t *headerAddr)
 {
     const auto &blocks = cfg_.blocks();
-    const std::vector<std::size_t> members = cfg_.sccMembers(scc);
+    const std::vector<std::size_t> &members = cfg_.sccMembers(scc);
     std::set<std::size_t> inScc(members.begin(), members.end());
 
     // The loop header: the unique member with predecessors outside.
@@ -899,6 +1230,8 @@ Analysis::sccBound(std::size_t scc)
             }
     if (header == kNoBlock)
         return std::nullopt;
+    if (headerAddr != nullptr)
+        *headerAddr = blocks[header].begin;
     // The loop-entry state: join of out-states on entering edges.
     MachineState preheader;
     for (std::size_t p : blocks[header].preds)
@@ -1069,90 +1402,189 @@ Analysis::sccBound(std::size_t scc)
 }
 
 std::optional<std::uint64_t>
-Analysis::calleeCost(std::size_t entry)
+Analysis::cachedSccBound(std::size_t scc, bool stopAtMark)
 {
-    const auto memo = calleeMemo_.find(entry);
-    if (memo != calleeMemo_.end())
-        return memo->second;
-    if (calleeInProgress_.count(entry)) {
-        calleeMemo_[entry] = std::nullopt; // recursion: unbounded
-        return std::nullopt;
+    const auto memo = sccBoundMemo_.find(scc);
+    std::optional<std::uint64_t> bound;
+    std::uint32_t headerAddr = 0;
+    if (memo != sccBoundMemo_.end()) {
+        bound = memo->second;
+    } else {
+        bound = sccBound(scc, &headerAddr);
+        sccBoundMemo_[scc] = bound;
+        if (bound && loopBoundRecorded_.insert(scc).second)
+            loopBounds_.push_back({headerAddr, *bound, false});
     }
-    calleeInProgress_.insert(entry);
-    const std::optional<std::uint64_t> cost =
-        pathCost(entry, /*toMark=*/false, /*stopAtMark=*/false);
-    calleeInProgress_.erase(entry);
-    calleeMemo_[entry] = cost;
-    return cost;
+    if (bound)
+        return bound;
+    // fs.mark fallback, valid only on checkpoint-delimited path
+    // queries: when every cycle of the SCC crosses a mark block, the
+    // walk to the first boundary traverses at most one body pass.
+    if (stopAtMark && marksCutCycles(scc)) {
+        const std::vector<std::size_t> &members = cfg_.sccMembers(scc);
+        std::uint32_t lo = 0xffffffffu;
+        for (std::size_t m : members)
+            lo = std::min(lo, cfg_.blocks()[m].begin);
+        if (loopBoundRecorded_.insert(scc).second)
+            loopBounds_.push_back({lo, 1, true});
+        markFallbackAddrs_.insert(lo);
+        return 1;
+    }
+    return std::nullopt;
+}
+
+bool
+Analysis::marksCutCycles(std::size_t scc)
+{
+    const auto memo = marksCutMemo_.find(scc);
+    if (memo != marksCutMemo_.end())
+        return memo->second;
+    // Kahn's algorithm over the SCC's internal edges with mark-block
+    // out-edges removed: the cut breaks every cycle iff the remaining
+    // subgraph is acyclic (all members drain).
+    const auto &blocks = cfg_.blocks();
+    const std::vector<std::size_t> &members = cfg_.sccMembers(scc);
+    std::map<std::size_t, std::size_t> indeg;
+    bool anyMark = false;
+    for (std::size_t m : members) {
+        indeg.emplace(m, 0);
+        if (blocks[m].endsInMark)
+            anyMark = true;
+    }
+    bool result = false;
+    if (anyMark) {
+        for (std::size_t m : members) {
+            if (blocks[m].endsInMark)
+                continue;
+            for (std::size_t s : blocks[m].succs) {
+                const auto it = indeg.find(s);
+                if (it != indeg.end())
+                    ++it->second;
+            }
+        }
+        std::vector<std::size_t> ready;
+        for (const auto &[m, deg] : indeg)
+            if (deg == 0)
+                ready.push_back(m);
+        std::size_t drained = 0;
+        while (!ready.empty()) {
+            const std::size_t m = ready.back();
+            ready.pop_back();
+            ++drained;
+            if (blocks[m].endsInMark)
+                continue;
+            for (std::size_t s : blocks[m].succs) {
+                const auto it = indeg.find(s);
+                if (it != indeg.end() && --it->second == 0)
+                    ready.push_back(s);
+            }
+        }
+        result = drained == members.size();
+    }
+    marksCutMemo_[scc] = result;
+    return result;
 }
 
 /**
- * Worst-case cycles from @p entry to a sink (fs.mark blocks when
- * @p toMark, return blocks otherwise) over the SCC condensation.
- * std::nullopt when no sink is reachable or an unbounded loop sits on
- * every path.
+ * Worst-case cycles (and energy, when the model is on) from @p entry
+ * to a sink (fs.mark blocks when @p toMark, return blocks otherwise)
+ * over the SCC condensation. Callee costs come from the bottom-up
+ * summaries, never from re-analysis. Cycles nullopt when no sink is
+ * reachable or an unbounded loop sits on every path; the energy bound
+ * is maximized independently along the same propagation.
  */
-std::optional<std::uint64_t>
+Analysis::PathBound
 Analysis::pathCost(std::size_t entry, bool toMark, bool stopAtMark)
 {
     const auto &blocks = cfg_.blocks();
     const std::size_t nScc = cfg_.sccCount();
-    std::vector<std::optional<std::uint64_t>> dist(nScc);
+    std::vector<bool> reached(nScc, false);
+    std::vector<std::uint64_t> dist(nScc, 0);
+    std::vector<double> distE(nScc, 0.0);
     const std::size_t entryScc = cfg_.sccOf()[entry];
-    dist[entryScc] = 0;
+    reached[entryScc] = true;
 
+    struct Cost {
+        std::uint64_t cycles = 0;
+        double energy = 0.0;
+    };
     // Per-SCC total cost: bounded loops contribute bound * body.
     const auto sccTotal =
-        [&](std::size_t scc) -> std::optional<std::uint64_t> {
-        const std::vector<std::size_t> members = cfg_.sccMembers(scc);
-        std::uint64_t body = 0;
+        [&](std::size_t scc) -> std::optional<Cost> {
+        const std::vector<std::size_t> &members = cfg_.sccMembers(scc);
+        Cost body;
         for (std::size_t m : members) {
             std::uint64_t c = blockCost(m);
+            double e = blockEnergy(m);
             if (blocks[m].callTarget != kNoBlock) {
-                const auto callee = calleeCost(blocks[m].callTarget);
-                if (!callee)
+                const FuncInfo &callee =
+                    funcs_.at(blocks[m].callTarget);
+                if (!callee.cycles) {
+                    unboundedSccAddrs_.insert(
+                        unboundedSccAddrs_.end(),
+                        callee.unboundedAddrs.begin(),
+                        callee.unboundedAddrs.end());
                     return std::nullopt;
-                c += *callee;
+                }
+                c += *callee.cycles;
+                e += callee.energy;
             }
-            body += c;
+            body.cycles += c;
+            body.energy += e;
         }
-        const bool cyclic = members.size() > 1 || cfg_.inCycle(members[0]);
+        const bool cyclic =
+            members.size() > 1 || cfg_.inCycle(members[0]);
         if (!cyclic)
             return body;
-        const auto bound = sccBound(scc);
+        const auto bound = cachedSccBound(scc, stopAtMark);
         if (!bound)
             return std::nullopt;
-        return body * *bound;
+        return Cost{body.cycles * *bound,
+                    body.energy * double(*bound)};
     };
 
-    std::optional<std::uint64_t> best;
+    PathBound best;
+    bool haveBest = false;
     // SCC ids are reverse-topological; descending order is a
     // topological sweep.
     for (std::size_t scc = nScc; scc-- > 0;) {
-        if (!dist[scc])
+        if (!reached[scc])
             continue;
         const auto total = sccTotal(scc);
         if (!total) {
             // Unbounded loop on this path: report once, stop here.
-            const std::vector<std::size_t> members =
+            const std::vector<std::size_t> &members =
                 cfg_.sccMembers(scc);
             unboundedSccAddrs_.push_back(blocks[members[0]].begin);
             continue;
         }
-        const std::uint64_t exitCost = *dist[scc] + *total;
+        const std::uint64_t exitCost = dist[scc] + total->cycles;
+        const double exitEnergy = distE[scc] + total->energy;
         for (std::size_t m : cfg_.sccMembers(scc)) {
             const bool isSink = toMark ? blocks[m].endsInMark
                                        : blocks[m].isReturn;
-            if (isSink && (!best || exitCost > *best))
-                best = exitCost;
+            if (isSink) {
+                if (!haveBest || exitCost > *best.cycles)
+                    best.cycles = exitCost;
+                if (!haveBest || exitEnergy > best.energy)
+                    best.energy = exitEnergy;
+                haveBest = true;
+            }
             if (stopAtMark && blocks[m].endsInMark)
                 continue; // the commit path ends at the marker
             for (std::size_t s : blocks[m].succs) {
                 const std::size_t succScc = cfg_.sccOf()[s];
                 if (succScc == scc)
                     continue;
-                if (!dist[succScc] || exitCost > *dist[succScc])
+                if (!reached[succScc]) {
+                    reached[succScc] = true;
                     dist[succScc] = exitCost;
+                    distE[succScc] = exitEnergy;
+                } else {
+                    dist[succScc] = std::max(dist[succScc], exitCost);
+                    distE[succScc] =
+                        std::max(distE[succScc], exitEnergy);
+                }
             }
         }
     }
@@ -1169,10 +1601,25 @@ Analysis::budgetPass(LintReport &report)
     if (entry == kNoBlock)
         return;
 
+    if (energyOn_) {
+        const runtime::EnergyModel model(opt_.capacitanceFarads,
+                                         opt_.coreVminVolts);
+        report.energyBudgetJoules =
+            model.usableEnergy(opt_.checkpointVolts);
+    }
+    // Trap entry: the hart's interrupt cost in cycles and joules,
+    // charged to the commit region only.
+    const double trapEnergy =
+        energyOn_ ? double(opt_.costs.trap) / opt_.clockHz *
+                        opt_.activeCurrentAmps * opt_.checkpointVolts
+                  : 0.0;
+
     unboundedSccAddrs_.clear();
-    const auto worst =
+    const PathBound worst =
         pathCost(entry, /*toMark=*/true, /*stopAtMark=*/true);
-    for (std::uint32_t addr : unboundedSccAddrs_) {
+    std::set<std::uint32_t> unbounded(unboundedSccAddrs_.begin(),
+                                      unboundedSccAddrs_.end());
+    for (std::uint32_t addr : unbounded) {
         Finding f;
         f.kind = FindingKind::kUnboundedPath;
         f.severity = Severity::kWarning;
@@ -1182,7 +1629,7 @@ Analysis::budgetPass(LintReport &report)
                     "worst-case cost excludes it";
         report.findings.push_back(std::move(f));
     }
-    if (!worst) {
+    if (!worst.cycles) {
         Finding f;
         f.kind = FindingKind::kUnboundedPath;
         f.severity = Severity::kWarning;
@@ -1195,38 +1642,179 @@ Analysis::budgetPass(LintReport &report)
         return;
     }
     // Plus the hart's trap-entry cost for taking the interrupt.
-    report.worstCaseCommitCycles = *worst + opt_.costs.trap;
+    report.worstCaseCommitCycles = *worst.cycles + opt_.costs.trap;
+    report.staticEnergyBound =
+        energyOn_ ? worst.energy + trapEnergy : 0.0;
 
-    if (opt_.budgetSeconds <= 0.0)
-        return;
-    report.budgetCycles =
-        std::uint64_t(opt_.budgetSeconds * opt_.clockHz);
-    if (report.worstCaseCommitCycles > report.budgetCycles) {
+    if (opt_.budgetSeconds > 0.0) {
+        report.budgetCycles =
+            std::uint64_t(opt_.budgetSeconds * opt_.clockHz);
+        if (report.worstCaseCommitCycles > report.budgetCycles) {
+            Finding f;
+            f.kind = FindingKind::kBudgetExceeded;
+            f.severity = Severity::kError;
+            f.addr = commitEntry;
+            f.message =
+                "worst-case commit path is " +
+                std::to_string(report.worstCaseCommitCycles) +
+                " cycles but the monitor's warning window allows "
+                "only " +
+                std::to_string(report.budgetCycles) +
+                ": a checkpoint may not finish before power dies";
+            report.findings.push_back(std::move(f));
+        }
+    }
+    if (energyOn_ &&
+        report.staticEnergyBound > report.energyBudgetJoules) {
         Finding f;
-        f.kind = FindingKind::kBudgetExceeded;
+        f.kind = FindingKind::kEnergyExceeded;
         f.severity = Severity::kError;
         f.addr = commitEntry;
         f.message =
-            "worst-case commit path is " +
-            std::to_string(report.worstCaseCommitCycles) +
-            " cycles but the monitor's warning window allows only " +
-            std::to_string(report.budgetCycles) +
-            ": a checkpoint may not finish before power dies";
+            "worst-case commit path draws " +
+            std::to_string(report.staticEnergyBound) +
+            " J but only " +
+            std::to_string(report.energyBudgetJoules) +
+            " J are stored below V_ckpt: the checkpoint cannot be "
+            "energy-certified";
+        report.findings.push_back(std::move(f));
+    }
+
+    // Checkpoint regions: the commit entry plus every block resuming
+    // after a boundary, each certified against both budgets.
+    std::vector<std::size_t> regionEntries{entry};
+    for (const BasicBlock &block : cfg_.blocks())
+        if (block.endsInMark)
+            for (std::size_t s : block.succs)
+                regionEntries.push_back(s);
+    std::sort(regionEntries.begin(), regionEntries.end());
+    regionEntries.erase(
+        std::unique(regionEntries.begin(), regionEntries.end()),
+        regionEntries.end());
+    for (std::size_t re : regionEntries) {
+        unboundedSccAddrs_.clear();
+        const PathBound pb =
+            pathCost(re, /*toMark=*/true, /*stopAtMark=*/true);
+        CheckpointRegion region;
+        region.entryAddr = cfg_.blocks()[re].begin;
+        region.bounded = pb.cycles.has_value();
+        if (region.bounded) {
+            const bool isCommit = re == entry;
+            region.worstCaseCycles =
+                *pb.cycles + (isCommit ? opt_.costs.trap : 0);
+            region.staticEnergyBound =
+                energyOn_ ? pb.energy + (isCommit ? trapEnergy : 0.0)
+                          : 0.0;
+            region.certified =
+                (report.budgetCycles == 0 ||
+                 region.worstCaseCycles <= report.budgetCycles) &&
+                (!energyOn_ || region.staticEnergyBound <=
+                                   report.energyBudgetJoules);
+        }
+        report.regions.push_back(region);
+    }
+    std::sort(report.regions.begin(), report.regions.end(),
+              [](const CheckpointRegion &a, const CheckpointRegion &b) {
+                  return a.entryAddr < b.entryAddr;
+              });
+
+    for (std::uint32_t addr : markFallbackAddrs_) {
+        Finding f;
+        f.kind = FindingKind::kMarkBoundedLoop;
+        f.severity = Severity::kInfo;
+        f.addr = addr;
+        f.message = "loop at " + hex(addr) +
+                    " is bounded only by its checkpoint markers: "
+                    "commit paths cross at most one body pass";
         report.findings.push_back(std::move(f));
     }
 }
 
 void
+Analysis::pruningPass(LintReport &report)
+{
+    // Classify every reachable instruction for the fault-space
+    // pruning map. Anything that may mutate NVM is vulnerable; NVM
+    // reads with no WAR hazard are recovery-equivalent; the volatile
+    // rest is shadowed by the checkpoint slots.
+    fault::InjectionPointMap &map = report.pruningMap;
+    map.image = report.image;
+    const auto &blocks = cfg_.blocks();
+    std::vector<fault::PointClass> cls(
+        cfg_.instrs().size(), fault::PointClass::kCheckpointShadowed);
+    for (std::size_t idx = 0; idx < cfg_.instrs().size(); ++idx) {
+        const Decoded &d = cfg_.instrs()[idx].d;
+        const AbsVal &addr = instrAddr_[idx];
+        const bool nvmOrUnknown =
+            !addressKnown(addr) ||
+            touchesKind(opt_.map, addr, soc::MemKind::kNvm);
+        if (d.isStore() && nvmOrUnknown)
+            cls[idx] = fault::PointClass::kVulnerable;
+        else if (d.isLoad() && nvmOrUnknown)
+            cls[idx] = fault::PointClass::kRecoveryEquivalent;
+    }
+    for (std::size_t idx : warInstrs_)
+        cls[idx] = fault::PointClass::kVulnerable;
+    for (const BasicBlock &block : blocks) {
+        if (block.callTarget == kNoBlock && !block.callsIndirect)
+            continue;
+        bool calleeWritesNvm = block.callsIndirect;
+        if (block.callTarget != kNoBlock)
+            calleeWritesNvm = calleeWritesNvm ||
+                              funcs_.at(block.callTarget).mayWriteNvm;
+        if (calleeWritesNvm)
+            cls[block.firstInstr + block.numInstrs - 1] =
+                fault::PointClass::kVulnerable;
+    }
+    map.points.reserve(cls.size());
+    for (std::size_t idx = 0; idx < cls.size(); ++idx)
+        map.points.push_back(
+            {cfg_.instrs()[idx].addr, cls[idx], 0});
+    map.sortAndRank();
+}
+
+void
+Analysis::exportSummaries(LintReport &report)
+{
+    std::sort(loopBounds_.begin(), loopBounds_.end(),
+              [](const LoopBound &a, const LoopBound &b) {
+                  return a.headerAddr < b.headerAddr;
+              });
+    report.loopBounds = loopBounds_;
+    for (const auto &[entry, f] : funcs_) {
+        CalleeSummary s;
+        s.entryAddr = cfg_.blocks()[entry].begin;
+        s.recursive = f.recursive;
+        s.bounded = f.cycles.has_value();
+        s.worstCaseCycles = f.cycles.value_or(0);
+        s.worstCaseEnergyJoules = s.bounded ? f.energy : 0.0;
+        s.clobberMask = f.clobberMask;
+        s.nvmStores = f.nvmStores;
+        s.stackBounded = f.stackBytes.has_value();
+        s.maxStackBytes = f.stackBytes.value_or(0);
+        report.callees.push_back(s);
+    }
+    std::sort(report.callees.begin(), report.callees.end(),
+              [](const CalleeSummary &a, const CalleeSummary &b) {
+                  return a.entryAddr < b.entryAddr;
+              });
+}
+
+void
 Analysis::run(LintReport &report)
 {
+    discoverFunctions();
     fixpoint();
+    computeSummaries();
     accessPass(report);
     if (opt_.profile == LintProfile::kApp) {
         warPass(report);
         cyclePass(report);
+        pruningPass(report);
     } else {
         budgetPass(report);
     }
+    exportSummaries(report);
     // Deterministic order: severity (errors first), then address.
     std::stable_sort(report.findings.begin(), report.findings.end(),
                      [](const Finding &a, const Finding &b) {
@@ -1261,7 +1849,9 @@ findingKindName(FindingKind kind)
       case FindingKind::kCheckpointFreeCycle:
         return "checkpoint-free-cycle";
       case FindingKind::kBudgetExceeded: return "budget-exceeded";
+      case FindingKind::kEnergyExceeded: return "energy-exceeded";
       case FindingKind::kUnboundedPath: return "unbounded-path";
+      case FindingKind::kMarkBoundedLoop: return "mark-bounded-loop";
       case FindingKind::kUnknownAccess: return "unknown-access";
       case FindingKind::kIllegalInstruction:
         return "illegal-instruction";
@@ -1297,6 +1887,31 @@ LintReport::text() const
             os << " (budget " << budgetCycles << ")";
         os << "\n";
     }
+    if (energyBudgetJoules > 0.0) {
+        os << "  commit energy: " << staticEnergyBound
+           << " J worst case (budget " << energyBudgetJoules
+           << " J)\n";
+    }
+    for (const CheckpointRegion &r : regions) {
+        os << "  region @" << hex(r.entryAddr) << ": ";
+        if (!r.bounded)
+            os << "unbounded";
+        else
+            os << r.worstCaseCycles << " cycles, "
+               << (r.certified ? "certified" : "rejected");
+        os << "\n";
+    }
+    if (!pruningMap.empty()) {
+        os << "  fault space: "
+           << pruningMap.countOf(fault::PointClass::kVulnerable)
+           << " vulnerable, "
+           << pruningMap.countOf(
+                  fault::PointClass::kRecoveryEquivalent)
+           << " recovery-equivalent, "
+           << pruningMap.countOf(
+                  fault::PointClass::kCheckpointShadowed)
+           << " checkpoint-shadowed points\n";
+    }
     os << "  summary: " << count(Severity::kError) << " errors, "
        << count(Severity::kWarning) << " warnings, "
        << count(Severity::kInfo) << " notes\n";
@@ -1317,6 +1932,8 @@ LintReport::json() const
     w.key("worst_case_commit_cycles").value(worstCaseCommitCycles);
     w.key("budget_cycles").value(budgetCycles);
     w.key("analysis_seconds").value(analysisSeconds);
+    w.key("static_energy_bound").value(staticEnergyBound);
+    w.key("energy_budget_joules").value(energyBudgetJoules);
     w.key("findings").beginArray();
     for (const Finding &f : findings) {
         w.beginObject();
@@ -1327,7 +1944,111 @@ LintReport::json() const
         w.key("message").value(f.message);
         w.endObject();
     }
-    w.endArray().endObject();
+    w.endArray();
+    w.key("loop_bounds").beginArray();
+    for (const LoopBound &b : loopBounds) {
+        w.beginObject();
+        w.key("header").value(hex(b.headerAddr));
+        w.key("trips").value(b.trips);
+        w.key("mark_delimited").value(b.markDelimited);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("callees").beginArray();
+    for (const CalleeSummary &c : callees) {
+        w.beginObject();
+        w.key("entry").value(hex(c.entryAddr));
+        w.key("recursive").value(c.recursive);
+        w.key("bounded").value(c.bounded);
+        w.key("worst_case_cycles").value(c.worstCaseCycles);
+        w.key("worst_case_energy_joules")
+            .value(c.worstCaseEnergyJoules);
+        w.key("clobber_mask").value(c.clobberMask);
+        w.key("nvm_stores").value(c.nvmStores);
+        w.key("stack_bounded").value(c.stackBounded);
+        w.key("max_stack_bytes").value(c.maxStackBytes);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("regions").beginArray();
+    for (const CheckpointRegion &r : regions) {
+        w.beginObject();
+        w.key("entry").value(hex(r.entryAddr));
+        w.key("bounded").value(r.bounded);
+        w.key("certified").value(r.certified);
+        w.key("worst_case_cycles").value(r.worstCaseCycles);
+        w.key("static_energy_bound").value(r.staticEnergyBound);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("points_vulnerable")
+        .value(pruningMap.countOf(fault::PointClass::kVulnerable));
+    w.key("points_recovery_equivalent")
+        .value(pruningMap.countOf(
+            fault::PointClass::kRecoveryEquivalent));
+    w.key("points_checkpoint_shadowed")
+        .value(pruningMap.countOf(
+            fault::PointClass::kCheckpointShadowed));
+    w.endObject();
+    return w.str();
+}
+
+std::string
+sarifReport(const std::vector<LintReport> &reports)
+{
+    const auto sarifLevel = [](Severity s) {
+        switch (s) {
+          case Severity::kError: return "error";
+          case Severity::kWarning: return "warning";
+          case Severity::kInfo: return "note";
+        }
+        return "note";
+    };
+    util::json::Writer w;
+    w.beginObject();
+    w.key("version").value("2.1.0");
+    w.key("$schema")
+        .value("https://json.schemastore.org/sarif-2.1.0.json");
+    w.key("runs").beginArray().beginObject();
+    w.key("tool").beginObject().key("driver").beginObject();
+    w.key("name").value("fs-lint");
+    w.key("informationUri")
+        .value("https://github.com/failure-sentinels");
+    w.key("rules").beginArray();
+    for (int k = 0; k <= int(FindingKind::kIllegalInstruction); ++k) {
+        w.beginObject();
+        w.key("id").value(findingKindName(FindingKind(k)));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject().endObject(); // driver, tool
+    w.key("results").beginArray();
+    for (const LintReport &report : reports) {
+        for (const Finding &f : report.findings) {
+            w.beginObject();
+            w.key("ruleId").value(findingKindName(f.kind));
+            w.key("level").value(sarifLevel(f.severity));
+            w.key("message").beginObject();
+            w.key("text").value(report.image + ": " + f.message);
+            w.endObject();
+            w.key("locations").beginArray().beginObject();
+            w.key("physicalLocation").beginObject();
+            w.key("artifactLocation").beginObject();
+            w.key("uri").value(report.image);
+            w.endObject();
+            // SARIF regions are line-based; instruction addresses
+            // map to 1-based "lines" so annotations stay stable.
+            w.key("region").beginObject();
+            w.key("startLine").value(f.addr / 4 + 1);
+            w.endObject();
+            w.endObject(); // physicalLocation
+            w.endObject().endArray(); // location, locations
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.endObject().endArray(); // run, runs
+    w.endObject();
     return w.str();
 }
 

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "analysis/cfg.h"
+#include "fault/injection_map.h"
 #include "riscv/hart.h"
 #include "soc/checkpoint_firmware.h"
 #include "soc/guest_programs.h"
@@ -60,7 +61,9 @@ enum class FindingKind {
     kWarHazard,           ///< NVM read-then-write between checkpoints
     kCheckpointFreeCycle, ///< irq-masked loop with no fs.mark
     kBudgetExceeded,      ///< commit path outruns the warning window
+    kEnergyExceeded,      ///< commit path outruns the stored energy
     kUnboundedPath,       ///< loop bound not inferable on a cost path
+    kMarkBoundedLoop,     ///< loop bounded only by its fs.mark cut
     kUnknownAccess,       ///< load/store address widened to Top
     kIllegalInstruction,  ///< reachable word that does not decode
 };
@@ -101,6 +104,54 @@ struct LintOptions {
     /** Warning budget in seconds; <= 0 disables the budget check. */
     double budgetSeconds = 0.0;
     riscv::Hart::CycleCosts costs;
+
+    // --- worst-case energy model (kRuntime; off when capacitance is
+    // --- zero). The usable budget below V_ckpt is
+    // --- runtime::EnergyModel(C, vMin).usableEnergy(vCkpt); each
+    // --- instruction draws cycles/clockHz * activeCurrent * vCkpt
+    // --- plus a per-byte surcharge for NVM stores.
+    double capacitanceFarads = 0.0;  ///< storage cap (0 = disabled)
+    double checkpointVolts = 0.0;    ///< V_ckpt the budget starts at
+    double coreVminVolts = 0.0;      ///< brown-out floor
+    double activeCurrentAmps = 0.0;  ///< worst-case active draw
+    double nvmWriteJoulesPerByte = 0.0; ///< FRAM write surcharge
+};
+
+/** One loop whose trip count the value-set lattice bounded. */
+struct LoopBound {
+    std::uint32_t headerAddr = 0; ///< loop-header block address
+    std::uint64_t trips = 0;      ///< worst-case iterations
+    /** Bounded only because every cycle crosses fs.mark: commit paths
+     *  traverse at most one body pass before the boundary. */
+    bool markDelimited = false;
+};
+
+/** Interprocedural summary of one direct-call target. */
+struct CalleeSummary {
+    std::uint32_t entryAddr = 0;
+    bool recursive = false; ///< on a call-graph cycle: unbounded
+    /** Worst-case entry-to-return cycles (nullopt-as-0 when
+     *  unbounded). */
+    bool bounded = false;
+    std::uint64_t worstCaseCycles = 0;
+    double worstCaseEnergyJoules = 0.0;
+    /** Bit r set: the callee (or anything it calls) may write x<r>. */
+    std::uint32_t clobberMask = 0;
+    std::size_t nvmStores = 0; ///< NVM/unresolved store instructions
+    /** Worst-case stack bytes (own frame + deepest callee), when the
+     *  prologue pattern was recognized and no recursion. */
+    bool stackBounded = false;
+    std::uint32_t maxStackBytes = 0;
+};
+
+/** One checkpoint-delimited region certified against the budgets. */
+struct CheckpointRegion {
+    std::uint32_t entryAddr = 0;
+    bool bounded = false;   ///< a checkpoint boundary is reachable
+    bool certified = false; ///< bounded and inside cycle+energy budget
+    std::uint64_t worstCaseCycles = 0;
+    /** Worst-case energy to the boundary (0 when the model is off). */
+    double staticEnergyBound = 0.0;
 };
 
 /** Full analyzer output for one image. */
@@ -116,6 +167,20 @@ struct LintReport {
     std::uint64_t budgetCycles = 0;
     double analysisSeconds = 0.0;
 
+    // --- fs-lint v2: interprocedural + energy + pruning outputs ---
+    /** Loops the inference bounded, ascending by header address. */
+    std::vector<LoopBound> loopBounds;
+    /** Direct-call targets, ascending by entry address. */
+    std::vector<CalleeSummary> callees;
+    /** Checkpoint regions (kRuntime), ascending by entry address. */
+    std::vector<CheckpointRegion> regions;
+    /** Worst-case commit-region energy in joules (0 = model off). */
+    double staticEnergyBound = 0.0;
+    /** Usable energy below V_ckpt in joules (0 = model off). */
+    double energyBudgetJoules = 0.0;
+    /** Ranked injection-point map (kApp profile; empty otherwise). */
+    fault::InjectionPointMap pruningMap;
+
     std::size_t count(Severity severity) const;
     /** No ERROR-severity findings. */
     bool clean() const { return count(Severity::kError) == 0; }
@@ -123,6 +188,10 @@ struct LintReport {
     std::string text() const;
     std::string json() const;
 };
+
+/** SARIF 2.1.0 log over a batch of reports (one run, one result per
+ *  finding; artifact URIs are the image names). */
+std::string sarifReport(const std::vector<LintReport> &reports);
 
 class FirmwareLinter
 {

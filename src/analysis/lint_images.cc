@@ -1,0 +1,144 @@
+#include "analysis/lint_images.h"
+
+#include "core/failure_sentinels.h"
+#include "core/fs_config.h"
+#include "harvest/intermittent_sim.h"
+#include "harvest/loads.h"
+#include "harvest/system_comparison.h"
+#include "soc/conversion_firmware.h"
+
+namespace fs {
+namespace analysis {
+
+namespace {
+
+/**
+ * FRAM write surcharge for the static energy bound: ~100 pJ/byte, the
+ * order of magnitude of embedded FRAM write energy over and above the
+ * core's active draw. The bound is dominated by active current; the
+ * surcharge keeps checkpoint-image size visible in the certificate.
+ */
+constexpr double kNvmWriteJoulesPerByte = 100e-12;
+
+LintOptions
+appOptions(const soc::CheckpointLayout &layout)
+{
+    LintOptions opts;
+    opts.profile = LintProfile::kApp;
+    opts.map = soc::MemoryMap::standard(layout.sramSize);
+    opts.entries = {layout.appBase};
+    return opts;
+}
+
+LintOptions
+runtimeOptions(const soc::CheckpointLayout &layout)
+{
+    LintOptions opts;
+    opts.profile = LintProfile::kRuntime;
+    opts.map = soc::MemoryMap::standard(layout.sramSize);
+    opts.entries = {layout.framBase, layout.handlerAddr()};
+    opts.commitEntry = layout.handlerAddr();
+    opts.budgetSeconds =
+        commitBudgetSeconds(core::FsConfig{}, kLintHeadroomSeconds);
+
+    // Worst-case energy model, provisioned exactly like the torture
+    // rig's checkpoint threshold: the warning fires at
+    // v_ckpt = Vmin + I * headroom / C + monitor resolution, so the
+    // usable energy below v_ckpt is what the commit path may spend.
+    const auto monitor = harvest::makeFsLowPower();
+    const harvest::SystemLoad load;
+    const double capacitance = harvest::ScenarioParams{}.capacitance;
+    const double current = load.activeCurrentWith(*monitor);
+    opts.capacitanceFarads = capacitance;
+    opts.coreVminVolts = load.coreVmin();
+    opts.checkpointVolts = load.coreVmin() +
+                           current * kLintHeadroomSeconds / capacitance +
+                           monitor->resolution();
+    opts.activeCurrentAmps = current;
+    opts.nvmWriteJoulesPerByte = kNvmWriteJoulesPerByte;
+    return opts;
+}
+
+} // namespace
+
+std::vector<LintImage>
+lintImages()
+{
+    std::vector<LintImage> images;
+    const soc::CheckpointLayout app_layout;
+    for (const soc::GuestProgram &program : soc::standardWorkloads()) {
+        LintImage image;
+        image.name = program.name;
+        image.shipping = true;
+        image.code = program.code;
+        image.base = app_layout.appBase;
+        image.options = appOptions(app_layout);
+        images.push_back(std::move(image));
+    }
+
+    LintImage conversion;
+    conversion.name = "conversion";
+    conversion.shipping = true;
+    conversion.code = soc::buildConversionProgram(
+        soc::kCalibrationTableAddr, soc::kGuestResultAddr);
+    conversion.base = app_layout.appBase;
+    conversion.options = appOptions(app_layout);
+    images.push_back(std::move(conversion));
+
+    LintImage runtime;
+    runtime.name = "checkpoint-runtime";
+    runtime.shipping = true;
+    soc::CheckpointLayout runtime_layout;
+    runtime_layout.sramSize = kLintSramSize;
+    runtime.code = soc::buildCheckpointRuntime(runtime_layout, 100);
+    runtime.base = runtime_layout.framBase;
+    runtime.options = runtimeOptions(runtime_layout);
+    images.push_back(std::move(runtime));
+
+    const soc::GuestProgram war = soc::makeNvmAccumulateProgram(16);
+    LintImage demo_war;
+    demo_war.name = "demo-war";
+    demo_war.shipping = false;
+    demo_war.code = war.code;
+    demo_war.base = app_layout.appBase;
+    demo_war.options = appOptions(app_layout);
+    images.push_back(std::move(demo_war));
+
+    const soc::GuestProgram spin = soc::makeIrqOffSpinProgram();
+    LintImage demo_spin;
+    demo_spin.name = "demo-irq-spin";
+    demo_spin.shipping = false;
+    demo_spin.code = spin.code;
+    demo_spin.base = app_layout.appBase;
+    demo_spin.options = appOptions(app_layout);
+    images.push_back(std::move(demo_spin));
+    return images;
+}
+
+const LintImage *
+findLintImage(const std::vector<LintImage> &images,
+              const std::string &name)
+{
+    for (const LintImage &image : images)
+        if (image.name == name)
+            return &image;
+    return nullptr;
+}
+
+LintReport
+lintImage(const LintImage &image)
+{
+    return FirmwareLinter(image.options)
+        .lint(image.name, image.code, image.base);
+}
+
+LintReport
+lintImageDeterministic(const LintImage &image)
+{
+    LintReport report = lintImage(image);
+    report.analysisSeconds = 0.0;
+    return report;
+}
+
+} // namespace analysis
+} // namespace fs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared registry of the firmware images fs-lint ships.
+ *
+ * The CLI, the serve engine (kLintImage), and the CI gate all resolve
+ * lint targets from this one table so "lint image X" means the same
+ * bytes, the same entry points, and the same budgets everywhere. Each
+ * image is fully materialized (code, load base, options) instead of a
+ * closure, so the serve wire can carry the exact image content and
+ * the content-addressed result cache keys on it.
+ */
+
+#ifndef FS_ANALYSIS_LINT_IMAGES_H_
+#define FS_ANALYSIS_LINT_IMAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/firmware_linter.h"
+
+namespace fs {
+namespace analysis {
+
+/**
+ * The runtime is linted in the torture-rig configuration (1 KiB of
+ * volatile SRAM on a 1 MHz core), the same image the dynamic
+ * cross-check exercises. The rig provisions 25 ms of commit headroom
+ * for a measured ~15 ms commit; the static certificate needs 40 ms
+ * because the analyzer joins both checkpoint slots' pointers and so
+ * over-bounds the CRC sweep by about 2x (a documented conservatism,
+ * not slack in the firmware).
+ */
+constexpr std::uint32_t kLintSramSize = 1024;
+constexpr double kLintHeadroomSeconds = 0.04;
+
+/** One registered lint target, fully resolved. */
+struct LintImage {
+    std::string name;
+    bool shipping = false; ///< default lint set / CI gate member
+    std::vector<riscv::Word> code;
+    std::uint32_t base = 0;
+    LintOptions options;
+};
+
+/**
+ * All registered images: the standard guest workloads, the conversion
+ * routine, the generated checkpoint runtime (with the worst-case
+ * energy model provisioned like the torture rig), and the two seeded
+ * demo images (shipping = false).
+ */
+std::vector<LintImage> lintImages();
+
+/** Image named @p name, or nullptr. */
+const LintImage *findLintImage(const std::vector<LintImage> &images,
+                               const std::string &name);
+
+/** Run the analyzer over one registered image. */
+LintReport lintImage(const LintImage &image);
+
+/**
+ * Same, with the wall-clock timing zeroed: the serve path must be
+ * bit-deterministic so identical images replay from the result cache
+ * and local/served/fleet-routed responses compare byte-for-byte.
+ */
+LintReport lintImageDeterministic(const LintImage &image);
+
+} // namespace analysis
+} // namespace fs
+
+#endif // FS_ANALYSIS_LINT_IMAGES_H_

@@ -1,0 +1,109 @@
+#include "fault/injection_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace fs {
+namespace fault {
+
+std::string
+pointClassName(PointClass cls)
+{
+    switch (cls) {
+      case PointClass::kCheckpointShadowed:
+        return "checkpoint-shadowed";
+      case PointClass::kRecoveryEquivalent:
+        return "recovery-equivalent";
+      case PointClass::kVulnerable:
+        return "vulnerable";
+    }
+    return "vulnerable";
+}
+
+void
+InjectionPointMap::sortAndRank()
+{
+    std::sort(points.begin(), points.end(),
+              [](const InjectionPoint &a, const InjectionPoint &b) {
+                  return a.addr < b.addr;
+              });
+    points.erase(std::unique(points.begin(), points.end(),
+                             [](const InjectionPoint &a,
+                                const InjectionPoint &b) {
+                                 return a.addr == b.addr;
+                             }),
+                 points.end());
+    // Rank: class-major (vulnerable first), address-minor. Indices
+    // into a class-sorted view, written back through the address
+    // order.
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return int(points[a].cls) > int(points[b].cls);
+                     });
+    for (std::size_t r = 0; r < order.size(); ++r)
+        points[order[r]].rank = std::uint32_t(r);
+}
+
+const InjectionPoint *
+InjectionPointMap::find(std::uint32_t addr) const
+{
+    std::size_t lo = 0, hi = points.size();
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (points[mid].addr < addr)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < points.size() && points[lo].addr == addr)
+        return &points[lo];
+    return nullptr;
+}
+
+std::size_t
+InjectionPointMap::countOf(PointClass cls) const
+{
+    std::size_t n = 0;
+    for (const InjectionPoint &p : points)
+        if (p.cls == cls)
+            ++n;
+    return n;
+}
+
+std::string
+InjectionPointMap::json() const
+{
+    const auto hex = [](std::uint32_t v) {
+        std::ostringstream os;
+        os << "0x" << std::hex << v;
+        return os.str();
+    };
+    util::json::Writer w;
+    w.beginObject();
+    w.key("image").value(image);
+    w.key("points_total").value(points.size());
+    w.key("points_vulnerable")
+        .value(countOf(PointClass::kVulnerable));
+    w.key("points_recovery_equivalent")
+        .value(countOf(PointClass::kRecoveryEquivalent));
+    w.key("points_checkpoint_shadowed")
+        .value(countOf(PointClass::kCheckpointShadowed));
+    w.key("points").beginArray();
+    for (const InjectionPoint &p : points) {
+        w.beginObject();
+        w.key("addr").value(hex(p.addr));
+        w.key("class").value(pointClassName(p.cls));
+        w.key("rank").value(p.rank);
+        w.endObject();
+    }
+    w.endArray().endObject();
+    return w.str();
+}
+
+} // namespace fault
+} // namespace fs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Static fault-space pruning map: per-instruction injection-point
+ * classes produced by fs-lint v2 and consumed by fault::TortureRig.
+ *
+ * The static analyzer proves most instructions cannot change a power
+ * kill's outcome: anything that only touches volatile state is
+ * checkpoint-shadowed (the checkpoint slots fully determine recovery),
+ * and NVM reads are recovery-equivalent when no WAR hazard exists (the
+ * replay reads the same bytes). Only instructions that mutate
+ * non-volatile state -- NVM stores, unresolved stores, calls into
+ * NVM-writing callees -- are vulnerable: a kill landing there can tear
+ * a store or change the FRAM image at death. The torture rig groups
+ * kills at non-vulnerable points by their dynamic FRAM-write count and
+ * replays one representative per group, which is sound because the
+ * FRAM image at death (the only state recovery sees) is byte-identical
+ * across the group. This file lives in fs_fault (not fs_analysis) so
+ * the rig can consume maps without a dependency cycle.
+ */
+
+#ifndef FS_FAULT_INJECTION_MAP_H_
+#define FS_FAULT_INJECTION_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace fault {
+
+/** Static class of one injection point (one instruction address). */
+enum class PointClass : std::uint8_t {
+    /** Volatile-only effect: recovery state is fully determined by the
+     *  last committed checkpoint, independent of this instruction. */
+    kCheckpointShadowed = 0,
+    /** Reads NVM with no WAR hazard: the post-recovery replay observes
+     *  the same bytes, so a kill here cannot fork the outcome. */
+    kRecoveryEquivalent = 1,
+    /** May mutate NVM (store, unresolved store, or a call into an
+     *  NVM-writing callee): a kill here can change the FRAM image at
+     *  death and must always be injected. */
+    kVulnerable = 2,
+};
+
+std::string pointClassName(PointClass cls);
+
+/** One classified instruction. */
+struct InjectionPoint {
+    std::uint32_t addr = 0;
+    PointClass cls = PointClass::kVulnerable;
+    /** Campaign priority: 0 is the most interesting point. Vulnerable
+     *  points rank before recovery-equivalent before shadowed; ties
+     *  break by ascending address. */
+    std::uint32_t rank = 0;
+};
+
+/** Ranked, address-sorted injection-point map for one image. */
+class InjectionPointMap
+{
+  public:
+    std::string image;
+    std::vector<InjectionPoint> points;
+
+    /** Sort by address and assign ranks (class-major, address-minor).
+     *  Call once after filling @ref points. */
+    void sortAndRank();
+
+    /** Point covering @p addr, or nullptr when the address is outside
+     *  the mapped image (callers must treat unmapped as vulnerable). */
+    const InjectionPoint *find(std::uint32_t addr) const;
+
+    /** True when a kill at @p addr is statically outcome-equivalent to
+     *  other kills with the same dynamic FRAM-write count. */
+    bool prunable(std::uint32_t addr) const
+    {
+        const InjectionPoint *p = find(addr);
+        return p != nullptr && p->cls != PointClass::kVulnerable;
+    }
+
+    std::size_t countOf(PointClass cls) const;
+    bool empty() const { return points.empty(); }
+
+    /** Stable JSON rendering (the CI pruning-map artifact). */
+    std::string json() const;
+};
+
+} // namespace fault
+} // namespace fs
+
+#endif // FS_FAULT_INJECTION_MAP_H_

@@ -1,6 +1,8 @@
 #include "fault/torture_rig.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "core/failure_sentinels.h"
 #include "fault/fault_injector.h"
@@ -217,6 +219,126 @@ TortureRig::runKills(const std::vector<PowerKill> &kills,
     return p.parallelMap(kills.size(), [&](std::size_t i) {
         return runKill(kills[i]);
     });
+}
+
+void
+TortureRig::probeSchedule()
+{
+    if (probed_)
+        return;
+    probed_ = true;
+
+    // Replay runKill()'s exact schedule with no injector, one step at
+    // a time (run() is documented bit-identical to the step loop), so
+    // probe_steps_[i] is precisely the i-th instruction every kill
+    // run executes before its kill fires.
+    auto bench = build();
+    soc::Soc &sys = *bench->soc;
+    const auto phase = [&](std::uint64_t budget) {
+        std::uint64_t spent = 0;
+        while (!sys.hart().halted() && spent < budget) {
+            ProbeStep rec;
+            rec.pcBefore = sys.hart().pc();
+            const std::uint64_t before = sys.totalCycles();
+            const std::uint64_t writes = sys.fram().writeCount();
+            sys.step();
+            spent += sys.totalCycles() - before;
+            rec.cycleAfter = sys.totalCycles();
+            rec.wrote = sys.fram().writeCount() != writes;
+            rec.bytesWritten = sys.fram().bytesWritten();
+            rec.finished = sys.appFinished();
+            probe_steps_.push_back(rec);
+        }
+    };
+    sys.powerOn();
+    for (std::size_t cycle = 0; cycle < config_.maxPowerCycles; ++cycle) {
+        *bench->volts = config_.stableVolts;
+        phase(config_.stableCycles);
+        if (sys.appFinished())
+            break;
+        *bench->volts = v_ckpt_ - 0.02;
+        phase(config_.lowCycles);
+        if (sys.appFinished())
+            break;
+        sys.powerFail();
+        sys.powerOn();
+    }
+    FS_ASSERT(sys.appFinished(),
+              "probe schedule never finished the app");
+}
+
+std::vector<TortureOutcome>
+TortureRig::runKillsPruned(const std::vector<PowerKill> &kills,
+                           const InjectionPointMap &map,
+                           util::ThreadPool *pool, PruneStats *stats)
+{
+    probeSchedule();
+
+    PruneStats st;
+    st.totalKills = kills.size();
+
+    // Slot i of `exec` is the kills[] index replayed for group i;
+    // outcome_slot maps every input kill to its group's slot.
+    std::vector<std::size_t> exec;
+    std::vector<std::size_t> outcome_slot(kills.size(), 0);
+    std::map<std::pair<std::uint64_t, bool>, std::size_t> groups;
+    bool have_clean = false;
+    std::size_t clean_slot = 0;
+
+    for (std::size_t i = 0; i < kills.size(); ++i) {
+        // The kill fires at the end of the first step whose cycle
+        // counter reaches kill.cycle (Soc::step polls killDue after
+        // executing).
+        const auto it = std::lower_bound(
+            probe_steps_.begin(), probe_steps_.end(), kills[i].cycle,
+            [](const ProbeStep &s, std::uint64_t c) {
+                return s.cycleAfter < c;
+            });
+        if (it == probe_steps_.end()) {
+            // Never fires: every such kill replays the fault-free
+            // schedule; one representative covers them all.
+            ++st.neverFires;
+            if (!have_clean) {
+                have_clean = true;
+                clean_slot = exec.size();
+                exec.push_back(i);
+            } else {
+                ++st.skippedKills;
+            }
+            outcome_slot[i] = clean_slot;
+            continue;
+        }
+        if (it->wrote || !map.prunable(it->pcBefore)) {
+            // The killing instruction may mutate FRAM (statically
+            // vulnerable, unmapped, or dynamically observed writing):
+            // always replay it.
+            ++st.vulnerableKills;
+            outcome_slot[i] = exec.size();
+            exec.push_back(i);
+            continue;
+        }
+        const auto key = std::make_pair(it->bytesWritten, it->finished);
+        const auto ins = groups.emplace(key, exec.size());
+        if (ins.second)
+            exec.push_back(i);
+        else
+            ++st.skippedKills;
+        outcome_slot[i] = ins.first->second;
+    }
+    st.executedKills = exec.size();
+
+    std::vector<PowerKill> replayed;
+    replayed.reserve(exec.size());
+    for (const std::size_t idx : exec)
+        replayed.push_back(kills[idx]);
+    const std::vector<TortureOutcome> outs = runKills(replayed, pool);
+
+    std::vector<TortureOutcome> result(kills.size());
+    for (std::size_t i = 0; i < kills.size(); ++i)
+        result[i] = outs[outcome_slot[i]];
+    if (stats)
+        *stats = st;
+    return result;
 }
 
 } // namespace fault

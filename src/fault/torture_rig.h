@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "fault/injection_map.h"
 #include "soc/guest_programs.h"
 
 namespace fs {
@@ -57,6 +58,15 @@ struct CommitWindow {
     std::uint64_t begin = 0;
     std::uint64_t end = 0;
     std::uint64_t length() const { return end - begin; }
+};
+
+/** Accounting for one statically pruned kill campaign. */
+struct PruneStats {
+    std::size_t totalKills = 0;
+    std::size_t executedKills = 0;   ///< kills actually replayed
+    std::size_t skippedKills = 0;    ///< copied from a representative
+    std::size_t vulnerableKills = 0; ///< replay forced by the map
+    std::size_t neverFires = 0;      ///< kill cycle beyond app finish
 };
 
 /** Everything observed about one injected kill. */
@@ -105,14 +115,48 @@ class TortureRig
     runKills(const std::vector<PowerKill> &kills,
              util::ThreadPool *pool = nullptr) const;
 
+    /**
+     * runKills() with static fault-space pruning: kills landing on
+     * instructions the injection-point map proves non-vulnerable are
+     * grouped by the FRAM state at death and only one representative
+     * per group is replayed; the rest copy its outcome.
+     *
+     * Soundness: a pruned kill never tears (the killing instruction
+     * wrote no NVM -- checked dynamically against a one-time
+     * fault-free probe replay, not just statically), power loss wipes
+     * all volatile state, and recovery runs on stable power, so the
+     * outcome is a pure function of the FRAM image at death. Two
+     * pruned kills with the same cumulative FRAM byte-write count die
+     * with byte-identical FRAM (they share the fault-free prefix), so
+     * their outcomes are equal. Kills whose cycle the schedule never
+     * reaches collapse into one fault-free replay. Outcomes are
+     * returned in input order and are bit-identical to runKills() at
+     * any thread count.
+     */
+    std::vector<TortureOutcome>
+    runKillsPruned(const std::vector<PowerKill> &kills,
+                   const InjectionPointMap &map,
+                   util::ThreadPool *pool = nullptr,
+                   PruneStats *stats = nullptr);
+
     /** The checkpoint threshold voltage the rig programs. */
     double checkpointVolts() const { return v_ckpt_; }
 
   private:
     struct Bench; ///< one disposable SoC + its supply cell
 
+    /** One instruction of the fault-free schedule, as a kill target. */
+    struct ProbeStep {
+        std::uint64_t cycleAfter = 0;   ///< totalCycles after the step
+        std::uint32_t pcBefore = 0;     ///< instruction that executed
+        bool wrote = false;             ///< FRAM write during the step
+        bool finished = false;          ///< app done after the step
+        std::uint64_t bytesWritten = 0; ///< cumulative FRAM bytes
+    };
+
     std::unique_ptr<Bench> build() const;
     void instrument();
+    void probeSchedule();
 
     std::unique_ptr<core::FailureSentinels> monitor_;
     soc::GuestProgram prog_;
@@ -123,6 +167,9 @@ class TortureRig
     bool instrumented_ = false;
     std::uint64_t clean_cycles_ = 0;
     std::vector<CommitWindow> windows_;
+
+    bool probed_ = false;
+    std::vector<ProbeStep> probe_steps_;
 };
 
 } // namespace fault

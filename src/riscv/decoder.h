@@ -68,6 +68,18 @@ struct Decoded {
     bool valid() const { return op != Mnemonic::kIllegal; }
     bool isLoad() const { return cls == InstrClass::kLoad; }
     bool isStore() const { return cls == InstrClass::kStore; }
+    /** True for jal/jalr with a live link register: a call. */
+    bool isCall() const
+    {
+        return (cls == InstrClass::kJal || cls == InstrClass::kJalr) &&
+               rd != 0;
+    }
+    /** True for the canonical return, jalr x0, 0(ra). */
+    bool isReturn() const
+    {
+        return op == Mnemonic::kJalr && rd == 0 && rs1 == kRa &&
+               imm == 0;
+    }
     /** Access width in bytes for loads/stores (0 otherwise). */
     unsigned accessBytes() const;
     /** True when rd is actually written (x0 sinks are still "writes"

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "analysis/lint_images.h"
 #include "circuit/ring_oscillator.h"
 #include "circuit/technology.h"
 #include "core/performance_model.h"
@@ -316,6 +317,44 @@ Engine::executeGuestRun(const GuestRunJob &job) const
 }
 
 Response
+Engine::executeLintImage(const LintImageJob &job) const
+{
+    if (job.name.empty() || job.name.size() > 256)
+        return badRequest("image name length out of range [1, 256]");
+    if (job.code.empty() || job.code.size() > (1u << 20))
+        return badRequest("image size out of range [1, 1Mi] words");
+
+    // The registry is deterministic, so one materialization serves
+    // every request (and every worker thread).
+    static const std::vector<analysis::LintImage> images =
+        analysis::lintImages();
+    const analysis::LintImage *image =
+        analysis::findLintImage(images, job.name);
+    if (!image)
+        return badRequest("unknown lint image \"" + job.name + "\"");
+    if (image->code != job.code)
+        return badRequest("image \"" + job.name +
+                          "\" does not match this server's registry");
+
+    const analysis::LintReport report =
+        analysis::lintImageDeterministic(*image);
+    LintImageResult res;
+    res.image = report.image;
+    res.errors = std::uint32_t(report.count(analysis::Severity::kError));
+    res.warnings =
+        std::uint32_t(report.count(analysis::Severity::kWarning));
+    res.notes = std::uint32_t(report.count(analysis::Severity::kInfo));
+    res.worstCaseCommitCycles = report.worstCaseCommitCycles;
+    res.budgetCycles = report.budgetCycles;
+    res.staticEnergyBound = report.staticEnergyBound;
+    res.energyBudgetJoules = report.energyBudgetJoules;
+    res.reportJson = report.json();
+    if (job.emitPruning != 0 && !report.pruningMap.empty())
+        res.pruningJson = report.pruningMap.json();
+    return res;
+}
+
+Response
 Engine::execute(const Request &req) const
 {
     if (const auto *ro = std::get_if<RoSweepJob>(&req))
@@ -326,7 +365,9 @@ Engine::execute(const Request &req) const
         return executeDseShard(*dse);
     if (const auto *t = std::get_if<TortureJob>(&req))
         return executeTorture(*t);
-    return executeGuestRun(std::get<GuestRunJob>(req));
+    if (const auto *g = std::get_if<GuestRunJob>(&req))
+        return executeGuestRun(*g);
+    return executeLintImage(std::get<LintImageJob>(req));
 }
 
 ServedResponse

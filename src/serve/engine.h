@@ -98,6 +98,7 @@ class Engine
     Response executeDseShard(const DseShardJob &job) const;
     Response executeTorture(const TortureJob &job) const;
     Response executeGuestRun(const GuestRunJob &job) const;
+    Response executeLintImage(const LintImageJob &job) const;
 
     Options opts_;
     std::unique_ptr<util::ThreadPool> owned_pool_;

@@ -244,7 +244,8 @@ requestKind(const Request &req)
       case 1: return MsgKind::kDesignPoint;
       case 2: return MsgKind::kDseShard;
       case 3: return MsgKind::kTorture;
-      default: return MsgKind::kGuestRun;
+      case 4: return MsgKind::kGuestRun;
+      default: return MsgKind::kLintImage;
     }
 }
 
@@ -257,6 +258,7 @@ responseKind(const Response &resp)
       case 2: return MsgKind::kDseShardReply;
       case 3: return MsgKind::kTortureReply;
       case 4: return MsgKind::kGuestRunReply;
+      case 5: return MsgKind::kLintImageReply;
       default: return MsgKind::kErrorReply;
     }
 }
@@ -270,6 +272,7 @@ replyKindFor(MsgKind request_kind)
       case MsgKind::kDseShard: return MsgKind::kDseShardReply;
       case MsgKind::kTorture: return MsgKind::kTortureReply;
       case MsgKind::kGuestRun: return MsgKind::kGuestRunReply;
+      case MsgKind::kLintImage: return MsgKind::kLintImageReply;
       case MsgKind::kPing: return MsgKind::kPingReply;
       case MsgKind::kCacheInsert: return MsgKind::kCacheInsertReply;
       default: return MsgKind::kErrorReply;
@@ -423,6 +426,12 @@ encodeRequestPayload(const Request &req)
     } else if (const auto *g = std::get_if<GuestRunJob>(&req)) {
         put(w, g->workload);
         w.u8(g->traceCache);
+    } else if (const auto *l = std::get_if<LintImageJob>(&req)) {
+        w.str(l->name);
+        w.u32(std::uint32_t(l->code.size()));
+        for (std::uint32_t word : l->code)
+            w.u32(word);
+        w.u8(l->emitPruning);
     }
     return bytes;
 }
@@ -483,6 +492,16 @@ decodeRequestPayload(MsgKind kind, const std::uint8_t *data,
           out = job;
           break;
       }
+      case MsgKind::kLintImage: {
+          LintImageJob job;
+          job.name = r.str();
+          const std::uint32_t n = r.u32();
+          for (std::uint32_t i = 0; r.ok() && i < n; ++i)
+              job.code.push_back(r.u32());
+          job.emitPruning = r.u8();
+          out = std::move(job);
+          break;
+      }
       default:
         err = "unknown request kind " +
               std::to_string(unsigned(kind));
@@ -539,6 +558,17 @@ encodeResponsePayload(const Response &resp)
         w.u32(g->expected);
         w.u8(g->correct);
         w.u64(g->instructions);
+    } else if (const auto *l = std::get_if<LintImageResult>(&resp)) {
+        w.str(l->image);
+        w.u32(l->errors);
+        w.u32(l->warnings);
+        w.u32(l->notes);
+        w.u64(l->worstCaseCommitCycles);
+        w.u64(l->budgetCycles);
+        w.f64(l->staticEnergyBound);
+        w.f64(l->energyBudgetJoules);
+        w.str(l->reportJson);
+        w.str(l->pruningJson);
     } else if (const auto *e = std::get_if<ErrorResult>(&resp)) {
         w.u16(std::uint16_t(e->code));
         w.str(e->message);
@@ -607,6 +637,21 @@ decodeResponsePayload(MsgKind kind, const std::uint8_t *data,
           res.correct = r.u8();
           res.instructions = r.u64();
           out = res;
+          break;
+      }
+      case MsgKind::kLintImageReply: {
+          LintImageResult res;
+          res.image = r.str();
+          res.errors = r.u32();
+          res.warnings = r.u32();
+          res.notes = r.u32();
+          res.worstCaseCommitCycles = r.u64();
+          res.budgetCycles = r.u64();
+          res.staticEnergyBound = r.f64();
+          res.energyBudgetJoules = r.f64();
+          res.reportJson = r.str();
+          res.pruningJson = r.str();
+          out = std::move(res);
           break;
       }
       case MsgKind::kErrorReply: {

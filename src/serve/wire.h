@@ -60,6 +60,7 @@ enum class MsgKind : std::uint16_t {
     kGuestRun = 5,
     kPing = 6,
     kCacheInsert = 7,
+    kLintImage = 8,
 
     kRoSweepReply = 0x8001,
     kDesignPointReply = 0x8002,
@@ -68,6 +69,7 @@ enum class MsgKind : std::uint16_t {
     kGuestRunReply = 0x8005,
     kPingReply = 0x8006,
     kCacheInsertReply = 0x8007,
+    kLintImageReply = 0x8008,
     kErrorReply = 0x80ff,
 };
 
@@ -221,6 +223,38 @@ struct GuestRunResult {
     std::uint64_t instructions = 0;
 };
 
+/**
+ * Lint one registered firmware image (fs-lint v2) bit-
+ * deterministically. The request carries both the registry name and
+ * the full image words: the name selects the lint options (profile,
+ * entry points, budgets) from the shared analysis::lintImages()
+ * registry, while the code words make the request content-addressed —
+ * two builds whose generated runtimes differ can never share a cache
+ * entry. The server rejects a request whose code does not match its
+ * own registry's bytes, so a cache hit always means "same analyzer
+ * inputs".
+ */
+struct LintImageJob {
+    std::string name;
+    std::vector<std::uint32_t> code;
+    std::uint8_t emitPruning = 1; ///< include the injection-point map
+};
+
+struct LintImageResult {
+    std::string image;
+    std::uint32_t errors = 0;
+    std::uint32_t warnings = 0;
+    std::uint32_t notes = 0;
+    std::uint64_t worstCaseCommitCycles = 0;
+    std::uint64_t budgetCycles = 0;
+    double staticEnergyBound = 0.0;
+    double energyBudgetJoules = 0.0;
+    /** LintReport::json() with the wall-clock timing zeroed. */
+    std::string reportJson;
+    /** InjectionPointMap::json(); empty when not requested/applicable. */
+    std::string pruningJson;
+};
+
 struct ErrorResult {
     ErrorCode code = ErrorCode::kInternal;
     std::string message;
@@ -263,10 +297,11 @@ struct CacheInsertResult {
 };
 
 using Request = std::variant<RoSweepJob, DesignPointJob, DseShardJob,
-                             TortureJob, GuestRunJob>;
+                             TortureJob, GuestRunJob, LintImageJob>;
 using Response =
     std::variant<RoSweepResult, DesignPointResult, DseShardResult,
-                 TortureResult, GuestRunResult, ErrorResult>;
+                 TortureResult, GuestRunResult, LintImageResult,
+                 ErrorResult>;
 
 /** Wire kind of a request/response variant. */
 MsgKind requestKind(const Request &req);

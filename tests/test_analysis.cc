@@ -88,6 +88,93 @@ TEST(Cfg, LoopsFormSccsAndMarkEndsBlocks)
     EXPECT_FALSE(cfg.inCycle(cfg.blockAt(0)));
 }
 
+TEST(Cfg, IndirectJumpThroughTableHasNoStaticSuccessor)
+{
+    // A jump through a table: the target is loaded from memory, so
+    // `jalr x0, t0, 0` has no statically known successor. The block
+    // must end there (no invented edges) and the linter must stay
+    // conservative instead of crashing.
+    Assembler as(0x1000);
+    as.li(kT0, std::int32_t(soc::kFramBase + 0x200));
+    as.emit(lw(kT0, kT0, 0));
+    as.emit(jalr(kZero, kT0, 0)); // indirect jump, not a return
+    as.emit(addi(kA0, kA0, 1));   // only reachable via the table
+    as.emit(jalr(kZero, kRa, 0));
+
+    const std::vector<Word> code = as.finalize();
+    const Cfg cfg = Cfg::build(code, 0x1000, {0x1000});
+    const std::size_t jump = cfg.blockAt(0x1000);
+    ASSERT_NE(jump, kNoBlock);
+    EXPECT_FALSE(cfg.blocks()[jump].isReturn);
+    EXPECT_TRUE(cfg.blocks()[jump].succs.empty());
+    EXPECT_EQ(cfg.blocks()[jump].callTarget, kNoBlock);
+
+    const FirmwareLinter linter;
+    const LintReport report = linter.lint("jalr-table", code, 0x1000);
+    EXPECT_TRUE(report.clean()) << report.text();
+}
+
+TEST(Cfg, CallToImageEndIsHandled)
+{
+    // A `jal` whose target is one past the last instruction: the
+    // callee body is empty, which discovery and the interprocedural
+    // summaries must survive without inventing blocks.
+    Assembler as(0x1000);
+    const auto end = as.newLabel();
+    as.jalTo(kRa, end);
+    as.emit(jalr(kZero, kRa, 0));
+    as.bind(end);
+
+    const std::vector<Word> code = as.finalize();
+    const FirmwareLinter linter;
+    const LintReport report = linter.lint("call-to-end", code, 0x1000);
+    EXPECT_EQ(report.instructions, code.size());
+    EXPECT_TRUE(report.clean()) << report.text();
+}
+
+TEST(Cfg, DeepChainsNeedNoNativeRecursion)
+{
+    // Regression for the iterative CFG discovery / Tarjan SCC / bottom-
+    // up summary resolution: a 2000-block branch ladder inside the
+    // entry function plus a 2000-deep call chain. Either structure
+    // would overflow the native stack under a recursive formulation.
+    constexpr std::size_t kDepth = 2000;
+    Assembler as(0x1000);
+    for (std::size_t i = 0; i < kDepth; ++i) {
+        const auto next = as.newLabel();
+        as.beqTo(kT0, kZero, next); // target == fallthrough: one block
+        as.bind(next);              // per rung, chained kDepth deep
+    }
+    std::vector<Assembler::Label> fns;
+    for (std::size_t i = 0; i < kDepth; ++i)
+        fns.push_back(as.newLabel());
+    as.jalTo(kRa, fns[0]);
+    as.emit(jalr(kZero, kRa, 0));
+    for (std::size_t i = 0; i < kDepth; ++i) {
+        as.bind(fns[i]);
+        if (i + 1 < kDepth)
+            as.jalTo(kRa, fns[i + 1]);
+        as.emit(jalr(kZero, kRa, 0));
+    }
+
+    const std::vector<Word> code = as.finalize();
+    const Cfg cfg = Cfg::build(code, 0x1000, {0x1000});
+    EXPECT_GE(cfg.blocks().size(), 2 * kDepth);
+
+    const FirmwareLinter linter;
+    const LintReport report = linter.lint("deep-chain", code, 0x1000);
+    EXPECT_TRUE(report.clean()) << report.text();
+    // Every function in the chain got a bounded summary, and the
+    // summary at the head of the chain accounts for the whole depth.
+    ASSERT_EQ(report.callees.size(), kDepth);
+    EXPECT_EQ(report.callees.front().entryAddr, as.labelAddress(fns[0]));
+    EXPECT_FALSE(report.callees.front().recursive);
+    ASSERT_TRUE(report.callees.front().bounded);
+    EXPECT_GE(report.callees.front().worstCaseCycles, kDepth);
+    // ra is clobbered somewhere down the chain.
+    EXPECT_NE(report.callees.front().clobberMask & (1u << 1), 0u);
+}
+
 // ---------------------------------------------------------------------
 // WAR pass on hand-built firmware
 // ---------------------------------------------------------------------
@@ -193,6 +280,63 @@ TEST(Linter, IrqMaskedSpinLoopIsFlagged)
     EXPECT_TRUE(
         hasFinding(report, FindingKind::kCheckpointFreeCycle));
     EXPECT_EQ(report.count(Severity::kWarning), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural summaries and loop bounds
+// ---------------------------------------------------------------------
+
+TEST(Linter, CountedLoopBoundIsInferredExactly)
+{
+    // t0 counts 0 -> 10 by 1 inside a called function: span/|step|
+    // iterations plus the two trips of slack that absorb the <= / >=
+    // predicate ambiguity.
+    Assembler as(0x1000);
+    const auto fn = as.newLabel();
+    const auto head = as.newLabel();
+    as.jalTo(kRa, fn);
+    as.emit(jalr(kZero, kRa, 0));
+    as.bind(fn);
+    as.li(kT0, 0);
+    as.li(kT1, 10);
+    as.bind(head);
+    as.emit(addi(kT0, kT0, 1));
+    as.bltTo(kT0, kT1, head);
+    as.emit(jalr(kZero, kRa, 0));
+
+    const FirmwareLinter linter;
+    const LintReport report =
+        linter.lint("counted-loop", as.finalize(), 0x1000);
+    EXPECT_TRUE(report.clean()) << report.text();
+    ASSERT_EQ(report.loopBounds.size(), 1u);
+    EXPECT_EQ(report.loopBounds[0].headerAddr,
+              as.labelAddress(head));
+    EXPECT_EQ(report.loopBounds[0].trips, 12u); // 10/1 + 2 slack
+    EXPECT_FALSE(report.loopBounds[0].markDelimited);
+    // The callee summary prices the bounded loop, not infinity.
+    ASSERT_EQ(report.callees.size(), 1u);
+    ASSERT_TRUE(report.callees[0].bounded);
+    EXPECT_GE(report.callees[0].worstCaseCycles, 12u);
+}
+
+TEST(Linter, SelfRecursiveFunctionSummaryIsUnbounded)
+{
+    Assembler as(0x1000);
+    const auto f = as.newLabel();
+    as.jalTo(kRa, f);
+    as.emit(jalr(kZero, kRa, 0));
+    as.bind(f);
+    as.jalTo(kRa, f); // self call: a call-graph cycle of one
+    as.emit(jalr(kZero, kRa, 0));
+
+    const FirmwareLinter linter;
+    const LintReport report =
+        linter.lint("self-rec", as.finalize(), 0x1000);
+    ASSERT_EQ(report.callees.size(), 1u);
+    EXPECT_EQ(report.callees[0].entryAddr, as.labelAddress(f));
+    EXPECT_TRUE(report.callees[0].recursive);
+    EXPECT_FALSE(report.callees[0].bounded);
+    EXPECT_FALSE(report.callees[0].stackBounded);
 }
 
 // ---------------------------------------------------------------------
@@ -351,6 +495,57 @@ TEST(Agreement, SeededWarBugIsFlaggedStaticallyAndDivergesDynamically)
     }
     EXPECT_TRUE(diverged)
         << "no kill produced the divergence the linter predicted";
+}
+
+TEST(Agreement, PrunedTortureCampaignMatchesTheFullCampaign)
+{
+    // The fault-space pruning contract: running the kill campaign
+    // through the static injection-point map -- replaying one
+    // representative per statically-equivalent group -- must produce
+    // outcomes bit-identical to replaying every kill, while actually
+    // skipping work.
+    const soc::GuestProgram prog = soc::makeCrc32Program(2048, 11);
+    const LintReport report = lintGuestProgram(prog);
+    ASSERT_TRUE(report.clean());
+    ASSERT_FALSE(report.pruningMap.empty());
+    EXPECT_GT(report.pruningMap.countOf(
+                  fault::PointClass::kCheckpointShadowed),
+              0u);
+
+    fault::TortureRig rig(prog);
+    const std::uint64_t clean = rig.cleanRunCycles();
+    std::vector<fault::PowerKill> kills;
+    const std::uint64_t stride = clean / 40;
+    for (std::uint64_t c = stride; c < clean; c += stride)
+        kills.push_back(fault::PowerKill{
+            c, unsigned(kills.size() % 4),
+            (kills.size() % 3 == 0) ? 0xA5A5A5A5u : 0u});
+    ASSERT_GE(kills.size(), 30u);
+
+    util::ThreadPool pool(4);
+    const auto full = rig.runKills(kills, &pool);
+    fault::PruneStats stats;
+    const auto pruned =
+        rig.runKillsPruned(kills, report.pruningMap, &pool, &stats);
+
+    ASSERT_EQ(pruned.size(), full.size());
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        const fault::TortureOutcome &a = full[i];
+        const fault::TortureOutcome &b = pruned[i];
+        EXPECT_EQ(a.killed, b.killed) << "kill " << i;
+        EXPECT_EQ(a.killTore, b.killTore) << "kill " << i;
+        EXPECT_EQ(a.validSlots, b.validSlots) << "kill " << i;
+        EXPECT_EQ(a.tornSlots, b.tornSlots) << "kill " << i;
+        EXPECT_EQ(a.newestSeq, b.newestSeq) << "kill " << i;
+        EXPECT_EQ(a.coldRestart, b.coldRestart) << "kill " << i;
+        EXPECT_EQ(a.finished, b.finished) << "kill " << i;
+        EXPECT_EQ(a.resultCorrect, b.resultCorrect) << "kill " << i;
+        EXPECT_EQ(a.result, b.result) << "kill " << i;
+    }
+    EXPECT_EQ(stats.totalKills, kills.size());
+    EXPECT_EQ(stats.executedKills + stats.skippedKills, kills.size());
+    EXPECT_GT(stats.skippedKills, 0u)
+        << "pruning skipped nothing; the map bought no work";
 }
 
 } // namespace

@@ -23,6 +23,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "analysis/lint_images.h"
 #include "fleet/chaos.h"
 #include "fleet/fleet.h"
 #include "fleet/hash_ring.h"
@@ -192,7 +193,13 @@ sampleJobs()
     guest.workload.kind = serve::WorkloadSpec::Kind::kSort;
     guest.workload.a = 64;
 
-    return {ro, dp, dse, torture, guest};
+    serve::LintImageJob lint;
+    lint.name = "demo-war";
+    for (const analysis::LintImage &image : analysis::lintImages())
+        if (image.name == lint.name)
+            lint.code = image.code;
+
+    return {ro, dp, dse, torture, guest, lint};
 }
 
 /** A wider request list: sample jobs plus parameter-varied guests. */

@@ -26,6 +26,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "analysis/lint_images.h"
 #include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/server.h"
@@ -131,7 +132,16 @@ randomRequests(Rng &rng)
     guest.workload = randomWorkload(rng);
     guest.traceCache = std::uint8_t(rng.uniformInt(0, 1));
 
-    return {ro, dp, dse, torture, guest};
+    LintImageJob lint;
+    lint.name = randomString(rng, 16);
+    const std::size_t words =
+        std::size_t(rng.uniformInt(1, 48));
+    for (std::size_t i = 0; i < words; ++i)
+        lint.code.push_back(
+            std::uint32_t(rng.uniformInt(0, 0xffffffffLL)));
+    lint.emitPruning = std::uint8_t(rng.uniformInt(0, 1));
+
+    return {ro, dp, dse, torture, guest, lint};
 }
 
 std::vector<Response>
@@ -170,11 +180,24 @@ randomResponses(Rng &rng)
     guest.correct = std::uint8_t(rng.uniformInt(0, 1));
     guest.instructions = std::uint64_t(rng.uniformInt(0, 1 << 30));
 
+    LintImageResult lint;
+    lint.image = randomString(rng, 24);
+    lint.errors = std::uint32_t(rng.uniformInt(0, 64));
+    lint.warnings = std::uint32_t(rng.uniformInt(0, 64));
+    lint.notes = std::uint32_t(rng.uniformInt(0, 64));
+    lint.worstCaseCommitCycles =
+        std::uint64_t(rng.uniformInt(0, 1 << 30));
+    lint.budgetCycles = std::uint64_t(rng.uniformInt(0, 1 << 30));
+    lint.staticEnergyBound = rng.uniform(0.0, 1e-3);
+    lint.energyBudgetJoules = rng.uniform(0.0, 1e-3);
+    lint.reportJson = randomString(rng, 64);
+    lint.pruningJson = randomString(rng, 64);
+
     ErrorResult error;
     error.code = ErrorCode(rng.uniformInt(1, 6));
     error.message = randomString(rng, 64);
 
-    return {ro, dp, dse, torture, guest, error};
+    return {ro, dp, dse, torture, guest, lint, error};
 }
 
 TEST(Wire, RequestRoundTripFuzz)
@@ -469,7 +492,13 @@ sampleJobs()
     guest.workload.kind = WorkloadSpec::Kind::kSort;
     guest.workload.a = 64;
 
-    return {ro, dp, dse, torture, guest};
+    LintImageJob lint;
+    lint.name = "demo-war";
+    for (const analysis::LintImage &image : analysis::lintImages())
+        if (image.name == lint.name)
+            lint.code = image.code;
+
+    return {ro, dp, dse, torture, guest, lint};
 }
 
 Engine::Options
@@ -554,6 +583,58 @@ TEST(Engine, UndecodableAndInvalidRequestsAreTypedErrors)
     const auto *err = std::get_if<ErrorResult>(&resp);
     ASSERT_NE(err, nullptr);
     EXPECT_EQ(err->code, ErrorCode::kBadRequest);
+}
+
+TEST(Engine, LintImageJobIsServedDeterministicallyAndValidated)
+{
+    Engine engine(engineOptions(2));
+    LintImageJob job;
+    job.name = "checkpoint-runtime";
+    for (const analysis::LintImage &image : analysis::lintImages())
+        if (image.name == job.name)
+            job.code = image.code;
+    ASSERT_FALSE(job.code.empty());
+
+    const ServedResponse cold = engine.serve(Request(job));
+    EXPECT_FALSE(cold.fromCache);
+    ASSERT_EQ(cold.kind, MsgKind::kLintImageReply);
+    const ServedResponse cached = engine.serve(Request(job));
+    EXPECT_TRUE(cached.fromCache);
+    EXPECT_EQ(cached.payload, cold.payload);
+
+    Response resp;
+    std::string err;
+    ASSERT_TRUE(decodeResponsePayload(MsgKind::kLintImageReply,
+                                      cold.payload.data(),
+                                      cold.payload.size(), resp, err))
+        << err;
+    const auto *result = std::get_if<LintImageResult>(&resp);
+    ASSERT_NE(result, nullptr);
+    // The served certificate matches what the local linter proves:
+    // a clean runtime whose commit path fits both budgets.
+    EXPECT_EQ(result->image, "checkpoint-runtime");
+    EXPECT_EQ(result->errors, 0u);
+    EXPECT_GT(result->worstCaseCommitCycles, 5'000u);
+    EXPECT_LE(result->worstCaseCommitCycles, result->budgetCycles);
+    EXPECT_GT(result->staticEnergyBound, 0.0);
+    EXPECT_LE(result->staticEnergyBound, result->energyBudgetJoules);
+    // The served path is the deterministic one: wall-clock timing is
+    // zeroed so identical images produce identical bytes.
+    EXPECT_NE(result->reportJson.find("\"analysis_seconds\":0"),
+              std::string::npos);
+
+    // Tampered code under a registry name is refused, not linted.
+    LintImageJob tampered = job;
+    tampered.code[0] ^= 1u;
+    const Response bad = engine.execute(Request(tampered));
+    const auto *error = std::get_if<ErrorResult>(&bad);
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->code, ErrorCode::kBadRequest);
+
+    LintImageJob unknown = job;
+    unknown.name = "no-such-image";
+    const Response miss = engine.execute(Request(unknown));
+    ASSERT_NE(std::get_if<ErrorResult>(&miss), nullptr);
 }
 
 // --- live socket -----------------------------------------------------

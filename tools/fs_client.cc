@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint_images.h"
 #include "serve/client.h"
 #include "serve/engine.h"
 
@@ -55,7 +56,9 @@ usage()
         " --seed N\n"
         "                --kills-per-window N --random-kills N]\n"
         "  guest        [--workload ... --a N --b N --wseed N"
-        " --no-trace]\n");
+        " --no-trace]\n"
+        "  lint         [--image NAME --no-pruning]"
+        " (names: fs_lint --list)\n");
     return 2;
 }
 
@@ -169,6 +172,21 @@ printResponse(const Response &resp)
             std::printf("kill[%zu]=flags:%02x result:%08x\n", i,
                         unsigned(t->outcomeFlags[i]),
                         unsigned(t->results[i]));
+        return 0;
+    }
+    if (const auto *l = std::get_if<LintImageResult>(&resp)) {
+        std::printf("lint image=%s\n", l->image.c_str());
+        std::printf("errors=%u\n", l->errors);
+        std::printf("warnings=%u\n", l->warnings);
+        std::printf("notes=%u\n", l->notes);
+        std::printf("commit_cycles=%llu\n",
+                    (unsigned long long)l->worstCaseCommitCycles);
+        std::printf("budget_cycles=%llu\n",
+                    (unsigned long long)l->budgetCycles);
+        printDouble("static_energy_bound", l->staticEnergyBound);
+        printDouble("energy_budget", l->energyBudgetJoules);
+        std::printf("report=%s\n", l->reportJson.c_str());
+        std::printf("pruning=%s\n", l->pruningJson.c_str());
         return 0;
     }
     const auto &g = std::get<GuestRunResult>(resp);
@@ -301,6 +319,26 @@ main(int argc, char **argv)
         if (hasFlag("--no-trace"))
             job.traceCache = 0;
         req = job;
+    } else if (job_name == "lint") {
+        LintImageJob job;
+        job.name = "checkpoint-runtime";
+        opt("--image", job.name);
+        if (hasFlag("--no-pruning"))
+            job.emitPruning = 0;
+        // The request carries the image words so the server's result
+        // cache is addressed by content, not just by name.
+        const std::vector<fs::analysis::LintImage> images =
+            fs::analysis::lintImages();
+        const fs::analysis::LintImage *image =
+            fs::analysis::findLintImage(images, job.name);
+        if (!image) {
+            std::fprintf(stderr,
+                         "fs_client: unknown lint image '%s'\n",
+                         job.name.c_str());
+            return 2;
+        }
+        job.code = image->code;
+        req = std::move(job);
     } else {
         return usage();
     }

@@ -5,99 +5,45 @@
  * Lints every firmware image the repo ships -- the standard guest
  * workloads, the count-to-voltage conversion routine, and the
  * generated checkpoint runtime -- against the WAR-hazard,
- * checkpoint-reachability, and commit-budget rules. Two deliberately
- * broken demo images (a seeded WAR accumulator and an irq-masked spin
- * loop) are available by name or via --all to show what findings look
- * like; they are not part of the default shipping set.
+ * checkpoint-reachability, commit-budget, and worst-case-energy
+ * rules. Two deliberately broken demo images (a seeded WAR
+ * accumulator and an irq-masked spin loop) are available by name or
+ * via --all to show what findings look like; they are not part of the
+ * default shipping set. The image registry is shared with the serve
+ * engine (analysis::lintImages()), so `fs_lint checkpoint-runtime`
+ * and a served kLintImage job analyze identical bytes.
  *
- *   fs_lint                 lint the shipping images, text report
- *   fs_lint --json          same, one JSON object per line
- *   fs_lint --all           include the seeded demo images
- *   fs_lint --list          print image names and exit
- *   fs_lint demo-war        lint specific images by name
+ *   fs_lint                      lint the shipping images, text report
+ *   fs_lint --format json        same, one JSON object per line
+ *   fs_lint --format sarif       one SARIF 2.1.0 log for the batch
+ *   fs_lint --pruning            also print injection-point maps
+ *   fs_lint --all                include the seeded demo images
+ *   fs_lint --list               print image names and exit
+ *   fs_lint demo-war             lint specific images by name
  *
  * Exit codes: 0 = no ERROR findings, 1 = at least one ERROR,
  * 2 = usage error / unknown image.
  */
 
-#include <cstring>
-#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "analysis/firmware_linter.h"
-#include "core/fs_config.h"
-#include "soc/conversion_firmware.h"
+#include "analysis/lint_images.h"
 
 namespace {
 
+using fs::analysis::LintImage;
 using fs::analysis::LintReport;
 
-/**
- * The runtime is linted in the torture-rig configuration (1 KiB of
- * volatile SRAM on a 1 MHz core), the same image the dynamic
- * cross-check exercises. The rig provisions 25 ms of commit headroom
- * for a measured ~15 ms commit; the static certificate needs 40 ms
- * because the analyzer joins both checkpoint slots' pointers and so
- * over-bounds the CRC sweep by about 2x (a documented conservatism,
- * not slack in the firmware).
- */
-constexpr std::uint32_t kLintSramSize = 1024;
-constexpr double kDefaultHeadroomSeconds = 0.04;
-
-struct Entry {
-    std::string name;
-    bool shipping; ///< part of the default lint set / CI gate
-    std::function<LintReport()> run;
-};
-
-std::vector<Entry>
-registry()
-{
-    using namespace fs;
-    std::vector<Entry> entries;
-    for (const soc::GuestProgram &program : soc::standardWorkloads())
-        entries.push_back({program.name, true, [program] {
-                               return analysis::lintGuestProgram(
-                                   program);
-                           }});
-    entries.push_back({"conversion", true, [] {
-                           const soc::CheckpointLayout layout;
-                           soc::GuestProgram program;
-                           program.name = "conversion";
-                           program.code = soc::buildConversionProgram(
-                               soc::kCalibrationTableAddr,
-                               soc::kGuestResultAddr);
-                           return analysis::lintGuestProgram(program,
-                                                             layout);
-                       }});
-    entries.push_back({"checkpoint-runtime", true, [] {
-                           soc::CheckpointLayout layout;
-                           layout.sramSize = kLintSramSize;
-                           const double budget =
-                               analysis::commitBudgetSeconds(
-                                   core::FsConfig{},
-                                   kDefaultHeadroomSeconds);
-                           return analysis::lintCheckpointRuntime(
-                               layout, 100, budget);
-                       }});
-    entries.push_back({"demo-war", false, [] {
-                           return analysis::lintGuestProgram(
-                               soc::makeNvmAccumulateProgram(16));
-                       }});
-    entries.push_back({"demo-irq-spin", false, [] {
-                           return analysis::lintGuestProgram(
-                               soc::makeIrqOffSpinProgram());
-                       }});
-    return entries;
-}
+enum class Format { kText, kJson, kSarif };
 
 int
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [--json] [--all] [--list] [image...]\n";
+              << " [--format text|json|sarif] [--json] [--pruning]"
+                 " [--all] [--list] [image...]\n";
     return 2;
 }
 
@@ -106,14 +52,27 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    bool json = false;
+    Format format = Format::kText;
+    bool pruning = false;
     bool all = false;
     bool list = false;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json")
-            json = true;
+            format = Format::kJson;
+        else if (arg == "--format" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            if (value == "text")
+                format = Format::kText;
+            else if (value == "json")
+                format = Format::kJson;
+            else if (value == "sarif")
+                format = Format::kSarif;
+            else
+                return usage(argv[0]);
+        } else if (arg == "--pruning")
+            pruning = true;
         else if (arg == "--all")
             all = true;
         else if (arg == "--list")
@@ -124,25 +83,23 @@ main(int argc, char **argv)
             names.push_back(arg);
     }
 
-    const std::vector<Entry> entries = registry();
+    const std::vector<LintImage> images = fs::analysis::lintImages();
     if (list) {
-        for (const Entry &entry : entries)
-            std::cout << entry.name
-                      << (entry.shipping ? "" : " (demo)") << "\n";
+        for (const LintImage &image : images)
+            std::cout << image.name
+                      << (image.shipping ? "" : " (demo)") << "\n";
         return 0;
     }
 
-    std::vector<const Entry *> selected;
+    std::vector<const LintImage *> selected;
     if (names.empty()) {
-        for (const Entry &entry : entries)
-            if (all || entry.shipping)
-                selected.push_back(&entry);
+        for (const LintImage &image : images)
+            if (all || image.shipping)
+                selected.push_back(&image);
     } else {
         for (const std::string &name : names) {
-            const Entry *found = nullptr;
-            for (const Entry &entry : entries)
-                if (entry.name == name)
-                    found = &entry;
+            const LintImage *found =
+                fs::analysis::findLintImage(images, name);
             if (!found) {
                 std::cerr << "fs_lint: unknown image '" << name
                           << "' (try --list)\n";
@@ -153,16 +110,34 @@ main(int argc, char **argv)
     }
 
     std::size_t errors = 0;
-    for (const Entry *entry : selected) {
-        const LintReport report = entry->run();
-        errors += report.count(fs::analysis::Severity::kError);
-        if (json)
-            std::cout << report.json() << "\n";
-        else
-            std::cout << report.text();
+    std::vector<LintReport> reports;
+    reports.reserve(selected.size());
+    for (const LintImage *image : selected) {
+        reports.push_back(fs::analysis::lintImage(*image));
+        errors +=
+            reports.back().count(fs::analysis::Severity::kError);
     }
-    if (!json)
+
+    switch (format) {
+      case Format::kSarif:
+        std::cout << fs::analysis::sarifReport(reports) << "\n";
+        break;
+      case Format::kJson:
+        for (const LintReport &report : reports) {
+            std::cout << report.json() << "\n";
+            if (pruning && !report.pruningMap.empty())
+                std::cout << report.pruningMap.json() << "\n";
+        }
+        break;
+      case Format::kText:
+        for (const LintReport &report : reports) {
+            std::cout << report.text();
+            if (pruning && !report.pruningMap.empty())
+                std::cout << report.pruningMap.json() << "\n";
+        }
         std::cout << (errors == 0 ? "fs-lint: clean\n"
                                   : "fs-lint: FAIL\n");
+        break;
+    }
     return errors == 0 ? 0 : 1;
 }
