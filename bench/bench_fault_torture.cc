@@ -7,11 +7,15 @@
  * matter when power dies; this campaign measures exactly that, and
  * emits a machine-readable JSON summary whose seed replays the run.
  *
- * The same kill list runs twice: once on the trace tier (FS_NO_DBT
- * pinned for the replays -- the historical "campaign" phase) and once
- * with the DBT tier up ("campaign_dbt"). The two summaries must
- * byte-match; the phase pair records the translation tier's
- * kills/sec next to the baseline.
+ * The same kill list runs four times: on the trace tier and the DBT
+ * tier with replay-from-boot (FS_NO_SNAPSHOT pinned -- the historical
+ * "campaign" and "campaign_dbt" phases), then with snapshot forking
+ * ("campaign_snapshot") and with forking plus convergence memoization
+ * ("campaign_snapshot_converge", the default runKills() path). All
+ * four summaries must byte-match; the perf ledger records each
+ * phase's kills/sec against the from-boot DBT baseline plus the
+ * snapshot memory high-water mark, and the converge phase asserts a
+ * >= 10x rate floor over that baseline.
  *
  *   $ ./bench_fault_torture [seed]
  */
@@ -169,10 +173,12 @@ main(int argc, char **argv)
     first_kill_of_window.push_back(kills.size());
 
     // Phase 2: seeded random kills over the whole execution, torn
-    // bytes and flip masks drawn from the same generator.
+    // bytes and flip masks drawn from the same generator. Large
+    // enough that the snapshot campaigns below amortize their golden
+    // instrumentation pass, as a real exhaustive campaign would.
     const std::size_t random_begin = kills.size();
     const std::uint64_t span = rig.cleanRunCycles();
-    for (int i = 0; i < 300; ++i) {
+    for (int i = 0; i < 2000; ++i) {
         PowerKill kill;
         kill.cycle =
             std::uint64_t(rng.uniformInt(0, std::int64_t(span) - 1));
@@ -183,6 +189,14 @@ main(int argc, char **argv)
     }
 
     util::ThreadPool &pool = util::ThreadPool::shared();
+
+    // Campaigns 1 and 2 are the replay-from-boot baselines: pin
+    // FS_NO_SNAPSHOT so the snapshot phases below have an honest
+    // reference, respecting an externally forced value (CI's
+    // determinism legs set it themselves).
+    const bool snapshot_forced_off =
+        std::getenv("FS_NO_SNAPSHOT") != nullptr;
+    setenv("FS_NO_SNAPSHOT", "1", 1);
 
     // Campaign 1: trace tier only. The kill switch must stay set for
     // the replays (every replay builds a fresh hart that reads the
@@ -246,11 +260,49 @@ main(int argc, char **argv)
     const double elapsed_dbt = timer_dbt.seconds();
     report.add({"campaign_dbt", elapsed_dbt, double(kills.size()),
                 pool.threadCount(), double(kills.size()) / elapsed});
-    report.write();
 
     Tally dbt_window, dbt_random;
     tallyCampaign(outcomes_dbt, first_kill_of_window, windows,
                   random_begin, dbt_window, dbt_random);
+
+    // Campaign 3: fork each replay from the nearest golden snapshot,
+    // convergence memoization off, so the ledger separates the two
+    // mechanisms. Campaign 4 is the default runKills() path (snapshot
+    // fork + convergence early-exit). Both must reproduce the
+    // from-boot summaries byte for byte; the baseline column holds
+    // the from-boot DBT rate so the speedup is machine readable.
+    if (!snapshot_forced_off)
+        unsetenv("FS_NO_SNAPSHOT");
+    TortureRig rig_snap(soc::makeCrc32Program(4096, 11), config);
+    rig_snap.setConvergenceEnabled(false);
+    util::Timer timer_snap;
+    const std::vector<TortureOutcome> outcomes_snap =
+        rig_snap.runKills(kills, &pool);
+    const double elapsed_snap = timer_snap.seconds();
+    report.add({"campaign_snapshot", elapsed_snap,
+                double(kills.size()), pool.threadCount(),
+                double(kills.size()) / elapsed_dbt});
+
+    TortureRig rig_conv(soc::makeCrc32Program(4096, 11), config);
+    util::Timer timer_conv;
+    const std::vector<TortureOutcome> outcomes_conv =
+        rig_conv.runKills(kills, &pool);
+    const double elapsed_conv = timer_conv.seconds();
+    report.add({"campaign_snapshot_converge", elapsed_conv,
+                double(kills.size()), pool.threadCount(),
+                double(kills.size()) / elapsed_dbt});
+    const std::size_t snap_mem =
+        std::max(rig_snap.snapshotMemoryBytes(),
+                 rig_conv.snapshotMemoryBytes());
+    report.add({"snapshot_mem_bytes", 0.0, double(snap_mem),
+                pool.threadCount(), 0.0});
+    report.write();
+
+    Tally snap_window, snap_random, conv_window, conv_random;
+    tallyCampaign(outcomes_snap, first_kill_of_window, windows,
+                  random_begin, snap_window, snap_random);
+    tallyCampaign(outcomes_conv, first_kill_of_window, windows,
+                  random_begin, conv_window, conv_random);
 
     const Tally &w = window_tally;
     const Tally &r = random_tally;
@@ -264,10 +316,21 @@ main(int argc, char **argv)
                 double(kills.size()) / elapsed,
                 double(kills.size()) / elapsed_dbt,
                 elapsed / elapsed_dbt);
+    std::printf("[perf] snapshot kills/sec: fork %.1f (%.2fx), "
+                "fork+converge %.1f (%.2fx), %.2f MiB snapshots\n",
+                double(kills.size()) / elapsed_snap,
+                elapsed_dbt / elapsed_snap,
+                double(kills.size()) / elapsed_conv,
+                elapsed_dbt / elapsed_conv,
+                double(snap_mem) / (1024.0 * 1024.0));
 
     const std::string json = summaryJson(seed, w, r);
     const std::string json_dbt =
         summaryJson(seed, dbt_window, dbt_random);
+    const std::string json_snap =
+        summaryJson(seed, snap_window, snap_random);
+    const std::string json_conv =
+        summaryJson(seed, conv_window, conv_random);
     std::printf("\njson: %s\n", json.c_str());
 
     bench::paperNote("just-in-time checkpointing is only ubiquitous if "
@@ -284,8 +347,23 @@ main(int argc, char **argv)
     bench::shapeCheck("DBT campaign summary byte-matches the trace "
                       "tier's",
                       json == json_dbt);
+    bench::shapeCheck("snapshot-fork campaigns byte-match the "
+                      "replay-from-boot summary",
+                      json_snap == json && json_conv == json);
+    // The headline claim: forking from golden snapshots with
+    // convergence early-exit must beat replaying every kill from
+    // boot by at least 10x. Skipped when the caller pinned
+    // FS_NO_SNAPSHOT (the campaigns then measure from-boot twice).
+    bool floor_ok = true;
+    if (!snapshot_forced_off && rig_conv.snapshotsActive()) {
+        floor_ok = elapsed_dbt / elapsed_conv >= 10.0;
+        bench::shapeCheck("fork+converge is >= 10x the from-boot DBT "
+                          "rate",
+                          floor_ok);
+    }
     return (w.incorrect + r.incorrect == 0 &&
-            w.tornRestores + r.tornRestores == 0 && json == json_dbt)
+            w.tornRestores + r.tornRestores == 0 && json == json_dbt &&
+            json_snap == json && json_conv == json && floor_ok)
                ? 0
                : 1;
 }

@@ -1,6 +1,7 @@
 #include "fault/torture_rig.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "harvest/system_comparison.h"
 #include "riscv/encoding.h"
 #include "soc/soc.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -40,6 +42,22 @@ quickSeq(soc::Soc &s)
                                           4));
     }
     return best;
+}
+
+bool
+snapshotsDisabledByEnv()
+{
+    const char *v = std::getenv("FS_NO_SNAPSHOT");
+    return v != nullptr && *v != '\0';
+}
+
+std::uint64_t
+snapshotStrideFor(const TortureConfig &config)
+{
+    const char *v = std::getenv("FS_SNAPSHOT_STRIDE");
+    if (v != nullptr && *v != '\0')
+        return std::strtoull(v, nullptr, 0);
+    return config.snapshotStride;
 }
 
 } // namespace
@@ -78,6 +96,27 @@ TortureRig::build() const
     bench->soc->loadRuntime(threshold_);
     bench->soc->loadGuest(prog_);
     return bench;
+}
+
+std::unique_ptr<TortureRig::Bench>
+TortureRig::acquireBench()
+{
+    {
+        std::lock_guard<std::mutex> lock(bench_mu_);
+        if (!bench_pool_.empty()) {
+            auto bench = std::move(bench_pool_.back());
+            bench_pool_.pop_back();
+            return bench;
+        }
+    }
+    return build();
+}
+
+void
+TortureRig::releaseBench(std::unique_ptr<Bench> bench)
+{
+    std::lock_guard<std::mutex> lock(bench_mu_);
+    bench_pool_.push_back(std::move(bench));
 }
 
 void
@@ -160,6 +199,12 @@ TortureRig::commitWindow(std::size_t which)
     return windows_[which];
 }
 
+bool
+TortureRig::snapshotsActive() const
+{
+    return !snapshotsDisabledByEnv() && snapshotStrideFor(config_) > 0;
+}
+
 TortureOutcome
 TortureRig::runKill(const PowerKill &kill) const
 {
@@ -213,8 +258,10 @@ TortureRig::runKill(const PowerKill &kill) const
 
 std::vector<TortureOutcome>
 TortureRig::runKills(const std::vector<PowerKill> &kills,
-                     util::ThreadPool *pool) const
+                     util::ThreadPool *pool)
 {
+    if (snapshotsActive())
+        return runKillsForked(kills, pool);
     util::ThreadPool &p = pool ? *pool : util::ThreadPool::shared();
     return p.parallelMap(kills.size(), [&](std::size_t i) {
         return runKill(kills[i]);
@@ -222,19 +269,54 @@ TortureRig::runKills(const std::vector<PowerKill> &kills,
 }
 
 void
-TortureRig::probeSchedule()
+TortureRig::goldenPass(bool record_probe, bool capture)
 {
-    if (probed_)
-        return;
-    probed_ = true;
-
     // Replay runKill()'s exact schedule with no injector, one step at
     // a time (run() is documented bit-identical to the step loop), so
     // probe_steps_[i] is precisely the i-th instruction every kill
-    // run executes before its kill fires.
+    // run executes before its kill fires, and every snapshot lands on
+    // an instruction boundary the kill runs also cross.
     auto bench = build();
     soc::Soc &sys = *bench->soc;
-    const auto phase = [&](std::uint64_t budget) {
+
+    // Capture targets in total-cycle coordinates: boot, every commit
+    // window boundary, and a fixed stride across the whole run.
+    std::vector<std::uint64_t> targets;
+    std::size_t next_target = 0;
+    if (capture) {
+        targets.push_back(0);
+        for (const CommitWindow &w : windows_) {
+            targets.push_back(w.begin);
+            targets.push_back(w.end);
+        }
+        const std::uint64_t stride = snapshotStrideFor(config_);
+        for (std::uint64_t c = stride; c < clean_cycles_; c += stride)
+            targets.push_back(c);
+        std::sort(targets.begin(), targets.end());
+        targets.erase(std::unique(targets.begin(), targets.end()),
+                      targets.end());
+        snapshots_.reserve(targets.size());
+    }
+
+    const auto maybe_capture = [&](std::size_t power_cycle, int phase_id,
+                                   std::uint64_t spent) {
+        if (!capture || next_target >= targets.size() ||
+            sys.totalCycles() < targets[next_target])
+            return;
+        while (next_target < targets.size() &&
+               targets[next_target] <= sys.totalCycles())
+            ++next_target;
+        GoldenSnapshot g;
+        g.state = sys.saveSnapshot(
+            snapshots_.empty() ? nullptr : &snapshots_.back().state);
+        g.powerCycle = power_cycle;
+        g.phase = phase_id;
+        g.spentInPhase = spent;
+        snapshots_.push_back(std::move(g));
+    };
+
+    const auto phase = [&](std::size_t power_cycle, int phase_id,
+                           std::uint64_t budget) {
         std::uint64_t spent = 0;
         while (!sys.hart().halted() && spent < budget) {
             ProbeStep rec;
@@ -243,21 +325,25 @@ TortureRig::probeSchedule()
             const std::uint64_t writes = sys.fram().writeCount();
             sys.step();
             spent += sys.totalCycles() - before;
-            rec.cycleAfter = sys.totalCycles();
-            rec.wrote = sys.fram().writeCount() != writes;
-            rec.bytesWritten = sys.fram().bytesWritten();
-            rec.finished = sys.appFinished();
-            probe_steps_.push_back(rec);
+            if (record_probe) {
+                rec.cycleAfter = sys.totalCycles();
+                rec.wrote = sys.fram().writeCount() != writes;
+                rec.bytesWritten = sys.fram().bytesWritten();
+                rec.finished = sys.appFinished();
+                probe_steps_.push_back(rec);
+            }
+            maybe_capture(power_cycle, phase_id, spent);
         }
     };
     sys.powerOn();
+    maybe_capture(0, 0, 0); // boot snapshot at cycle 0
     for (std::size_t cycle = 0; cycle < config_.maxPowerCycles; ++cycle) {
         *bench->volts = config_.stableVolts;
-        phase(config_.stableCycles);
+        phase(cycle, 0, config_.stableCycles);
         if (sys.appFinished())
             break;
         *bench->volts = v_ckpt_ - 0.02;
-        phase(config_.lowCycles);
+        phase(cycle, 1, config_.lowCycles);
         if (sys.appFinished())
             break;
         sys.powerFail();
@@ -265,6 +351,212 @@ TortureRig::probeSchedule()
     }
     FS_ASSERT(sys.appFinished(),
               "probe schedule never finished the app");
+}
+
+void
+TortureRig::probeSchedule()
+{
+    const bool want_probe = !probed_;
+    const bool want_capture = snapshotsActive() && snapshots_.empty();
+    if (!want_probe && !want_capture)
+        return;
+    instrument(); // commit windows feed the capture targets
+    goldenPass(want_probe, want_capture);
+    probed_ = true;
+}
+
+const TortureRig::GoldenSnapshot &
+TortureRig::snapshotBefore(std::uint64_t kill_cycle) const
+{
+    // Strictly before: a snapshot taken at exactly kill_cycle already
+    // executed the instruction the kill fires at the end of (kills
+    // are polled after each step), so forking there would miss it.
+    const auto it = std::lower_bound(
+        snapshots_.begin(), snapshots_.end(), kill_cycle,
+        [](const GoldenSnapshot &g, std::uint64_t c) {
+            return g.state.totalCycles < c;
+        });
+    if (it == snapshots_.begin())
+        return snapshots_.front(); // boot snapshot (cycle 0)
+    return *(it - 1);
+}
+
+std::vector<TortureOutcome>
+TortureRig::runKillsForked(const std::vector<PowerKill> &kills,
+                           util::ThreadPool *pool)
+{
+    probeSchedule(); // golden snapshots + probe steps, one pass
+    util::ThreadPool &p = pool ? *pool : util::ThreadPool::shared();
+    return p.parallelMap(kills.size(), [&](std::size_t i) {
+        return runKillForked(kills[i]);
+    });
+}
+
+TortureOutcome
+TortureRig::runKillForked(const PowerKill &kill)
+{
+    auto bench = acquireBench();
+    soc::Soc &sys = *bench->soc;
+
+    FaultPlan plan;
+    plan.kills.push_back(kill);
+    FaultInjector injector(plan);
+
+    const GoldenSnapshot &snap = snapshotBefore(kill.cycle);
+    sys.restoreSnapshot(snap.state);
+    // Attaching the injector after the restore is exact: a kill-only
+    // plan's write filter never tears (it only advances a cursor no
+    // kill consults) and the kill poll compares absolute cycles, so
+    // the pre-kill trajectory is untouched either way -- the same
+    // invariant the fault-free probe replay rests on.
+    sys.setFaultInjector(&injector);
+
+    for (std::size_t cycle = snap.powerCycle;
+         cycle < config_.maxPowerCycles; ++cycle) {
+        const bool resuming = cycle == snap.powerCycle;
+        if (!resuming || snap.phase == 0) {
+            const std::uint64_t spent =
+                resuming && snap.phase == 0 ? snap.spentInPhase : 0;
+            *bench->volts = config_.stableVolts;
+            sys.run(config_.stableCycles -
+                    std::min(config_.stableCycles, spent));
+            if (sys.appFinished() || sys.faultKilled())
+                break;
+        }
+        const std::uint64_t spent =
+            resuming && snap.phase == 1 ? snap.spentInPhase : 0;
+        *bench->volts = v_ckpt_ - 0.02;
+        sys.run(config_.lowCycles - std::min(config_.lowCycles, spent));
+        if (sys.appFinished() || sys.faultKilled())
+            break;
+        sys.powerFail();
+        sys.powerOn();
+    }
+
+    TortureOutcome out = finishOutcome(*bench, injector, &snap.state);
+    sys.setFaultInjector(nullptr);
+    releaseBench(std::move(bench));
+    return out;
+}
+
+TortureOutcome
+TortureRig::finishOutcome(Bench &bench, FaultInjector &injector,
+                          const soc::Snapshot *memo_base)
+{
+    soc::Soc &sys = *bench.soc;
+    TortureOutcome out;
+    out.killed = sys.faultKilled();
+    out.killTore = injector.log().killTears > 0;
+    for (unsigned slot = 0; slot < soc::kCheckpointSlots; ++slot) {
+        const auto info = soc::inspectCheckpointSlot(
+            sys.fram().data(), sys.layout(), slot);
+        if (info.valid()) {
+            ++out.validSlots;
+            out.newestSeq = std::max(out.newestSeq, info.seq);
+        } else if (info.magicOk) {
+            ++out.tornSlots;
+        }
+    }
+
+    if (!out.killed) {
+        out.finished = sys.appFinished();
+        out.result = out.finished ? sys.guestResult(prog_) : 0;
+        out.resultCorrect = out.finished && out.result == prog_.expected;
+        return out;
+    }
+
+    out.coldRestart = out.validSlots == 0;
+    if (converge_on_) {
+        // Convergence early-exit: power loss wiped all volatile
+        // state and recovery runs on stable power, so the recovery
+        // verdict is a pure function of the FRAM image at death
+        // (runKillsPruned()'s documented invariant). Serve repeats
+        // from the memo; the byte-exact image comparison makes a
+        // hash collision degrade to a miss, never a wrong verdict.
+        const std::uint64_t key = util::hashImage64(sys.fram().data());
+        {
+            std::lock_guard<std::mutex> lock(memo_mu_);
+            const auto it = memo_.find(key);
+            if (it != memo_.end() &&
+                it->second.image.equals(sys.fram().data())) {
+                ++memo_hits_;
+                out.finished = it->second.finished;
+                out.result = it->second.result;
+                out.resultCorrect =
+                    out.finished && out.result == prog_.expected;
+                return out;
+            }
+        }
+        RecoveryMemo memo;
+        memo.image.capture(sys.fram().data(),
+                           memo_base ? &memo_base->fram : nullptr);
+        *bench.volts = config_.stableVolts;
+        sys.powerOn();
+        sys.run(config_.recoveryCycles);
+        memo.finished = sys.appFinished();
+        memo.result = memo.finished ? sys.guestResult(prog_) : 0;
+        out.finished = memo.finished;
+        out.result = memo.result;
+        out.resultCorrect = out.finished && out.result == prog_.expected;
+        {
+            // emplace keeps the first entry on a race: both racers
+            // computed the same deterministic verdict anyway.
+            std::lock_guard<std::mutex> lock(memo_mu_);
+            memo_.emplace(key, std::move(memo));
+        }
+        return out;
+    }
+
+    *bench.volts = config_.stableVolts;
+    sys.powerOn();
+    sys.run(config_.recoveryCycles);
+    out.finished = sys.appFinished();
+    out.result = out.finished ? sys.guestResult(prog_) : 0;
+    out.resultCorrect = out.finished && out.result == prog_.expected;
+    return out;
+}
+
+std::vector<std::uint32_t>
+TortureRig::killSitePcs(const std::vector<PowerKill> &kills)
+{
+    probeSchedule();
+    std::vector<std::uint32_t> pcs(kills.size(), kNoKillSite);
+    for (std::size_t i = 0; i < kills.size(); ++i) {
+        const auto it = std::lower_bound(
+            probe_steps_.begin(), probe_steps_.end(), kills[i].cycle,
+            [](const ProbeStep &s, std::uint64_t c) {
+                return s.cycleAfter < c;
+            });
+        if (it != probe_steps_.end())
+            pcs[i] = it->pcBefore;
+    }
+    return pcs;
+}
+
+ConvergeStats
+TortureRig::convergeStats() const
+{
+    ConvergeStats st;
+    st.goldenSnapshots = snapshots_.size();
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    st.memoEntries = memo_.size();
+    st.memoHits = memo_hits_;
+    return st;
+}
+
+std::size_t
+TortureRig::snapshotMemoryBytes() const
+{
+    std::vector<const soc::PagedImage *> images;
+    images.reserve(snapshots_.size() * 2 + 16);
+    for (const GoldenSnapshot &g : snapshots_) {
+        images.push_back(&g.state.fram);
+        images.push_back(&g.state.sram);
+    }
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    for (const auto &entry : memo_)
+        images.push_back(&entry.second.image);
+    return soc::distinctPageBytes(images);
 }
 
 std::vector<TortureOutcome>

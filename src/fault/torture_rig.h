@@ -12,6 +12,20 @@
  * moment power dies, reboots on stable power, and checks the guest's
  * final answer against its oracle. Tests and benches sweep kills
  * across commit windows and random execution points with it.
+ *
+ * Campaigns (runKills) use snapshot forking by default: one golden
+ * pass captures copy-on-write soc::Snapshot images at every commit
+ * window boundary plus a fixed cycle stride, each kill resumes from
+ * the nearest snapshot strictly before its cycle instead of from
+ * boot, and post-kill recoveries are memoized by the FRAM image at
+ * death (power loss wipes all volatile state and recovery runs on
+ * stable power, so the recovery outcome is a pure function of that
+ * image -- the same invariant runKillsPruned() already rests on; a
+ * byte-exact image comparison guards every memo hit, so hash
+ * collisions cannot leak a wrong verdict). Verdicts are bit-identical
+ * to replay-from-boot at any thread count; FS_NO_SNAPSHOT=1 forces
+ * the legacy from-boot replay and FS_SNAPSHOT_STRIDE overrides the
+ * capture stride (0 also disables forking).
  */
 
 #ifndef FS_FAULT_TORTURE_RIG_H_
@@ -19,11 +33,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault_plan.h"
 #include "fault/injection_map.h"
 #include "soc/guest_programs.h"
+#include "soc/snapshot.h"
 
 namespace fs {
 namespace core {
@@ -38,6 +55,8 @@ class ThreadPool;
 
 namespace fault {
 
+class FaultInjector;
+
 /** Knobs for the deterministic power schedule. */
 struct TortureConfig {
     std::uint32_t sramSize = 1024;    ///< bytes of volatile state
@@ -47,6 +66,9 @@ struct TortureConfig {
     std::uint64_t lowCycles = 200'000;    ///< brown-out phase budget
     std::size_t maxPowerCycles = 64;
     std::uint64_t recoveryCycles = 60'000'000; ///< post-kill budget
+    /** Golden-snapshot capture stride in cycles (0 = no snapshot
+     *  forking); FS_SNAPSHOT_STRIDE overrides it at runtime. */
+    std::uint64_t snapshotStride = 4096;
 };
 
 /**
@@ -69,6 +91,16 @@ struct PruneStats {
     std::size_t neverFires = 0;      ///< kill cycle beyond app finish
 };
 
+/** Accounting for the snapshot-fork / convergence machinery. */
+struct ConvergeStats {
+    std::size_t goldenSnapshots = 0; ///< snapshots along the golden run
+    std::size_t memoEntries = 0;     ///< distinct death images recovered
+    /** Recoveries served from the memo. Deterministic verdicts, but
+     *  the count itself can undershoot under concurrency (two threads
+     *  racing the same cold image both execute the recovery). */
+    std::size_t memoHits = 0;
+};
+
 /** Everything observed about one injected kill. */
 struct TortureOutcome {
     bool killed = false;        ///< the kill fired before app finish
@@ -86,6 +118,9 @@ struct TortureOutcome {
 class TortureRig
 {
   public:
+    /** killSitePcs() value for kills the schedule never reaches. */
+    static constexpr std::uint32_t kNoKillSite = 0xFFFFFFFFu;
+
     explicit TortureRig(soc::GuestProgram prog, TortureConfig config = {});
     ~TortureRig();
 
@@ -99,21 +134,26 @@ class TortureRig
     CommitWindow commitWindow(std::size_t which);
 
     /**
-     * Replay the schedule with one injected supply kill, then recover
-     * on stable power and validate the guest result. Each replay runs
-     * on a disposable SoC, so concurrent calls are safe.
+     * Replay the schedule from boot with one injected supply kill,
+     * then recover on stable power and validate the guest result.
+     * This is the reference path snapshot forking must match bit for
+     * bit; each replay runs on a disposable SoC, so concurrent calls
+     * are safe.
      */
     TortureOutcome runKill(const PowerKill &kill) const;
 
     /**
      * Run a batch of kills across a thread pool (null = shared pool),
-     * returning outcomes in input order. Every kill replays an
-     * independent SoC; outcomes are bit-identical to calling runKill()
-     * sequentially, at any thread count.
+     * returning outcomes in input order. By default each kill forks
+     * from the nearest golden snapshot and recoveries hit the
+     * convergence memo; with FS_NO_SNAPSHOT=1 (or stride 0) every
+     * kill replays from boot. Either way the outcomes are
+     * bit-identical to calling runKill() sequentially, at any thread
+     * count.
      */
     std::vector<TortureOutcome>
     runKills(const std::vector<PowerKill> &kills,
-             util::ThreadPool *pool = nullptr) const;
+             util::ThreadPool *pool = nullptr);
 
     /**
      * runKills() with static fault-space pruning: kills landing on
@@ -139,6 +179,31 @@ class TortureRig
                    util::ThreadPool *pool = nullptr,
                    PruneStats *stats = nullptr);
 
+    /**
+     * Instruction (pc) each kill lands on in the fault-free schedule
+     * (kNoKillSite when the schedule finishes first): the address the
+     * coverage map aggregates verdicts under.
+     */
+    std::vector<std::uint32_t>
+    killSitePcs(const std::vector<PowerKill> &kills);
+
+    /** Toggle recovery memoization (on by default). Off still forks
+     *  from snapshots; every recovery then executes in full. */
+    void setConvergenceEnabled(bool on) { converge_on_ = on; }
+
+    /** True when runKills() will fork from snapshots (env + stride). */
+    bool snapshotsActive() const;
+
+    /** Snapshot-fork accounting (see ConvergeStats). */
+    ConvergeStats convergeStats() const;
+
+    /**
+     * Bytes pinned by golden snapshots plus memoized death images,
+     * counting pages shared copy-on-write once: the campaign's
+     * snapshot memory high-water mark (both sets only grow).
+     */
+    std::size_t snapshotMemoryBytes() const;
+
     /** The checkpoint threshold voltage the rig programs. */
     double checkpointVolts() const { return v_ckpt_; }
 
@@ -154,9 +219,39 @@ class TortureRig
         std::uint64_t bytesWritten = 0; ///< cumulative FRAM bytes
     };
 
+    /**
+     * A golden-run snapshot plus its schedule coordinates: the power
+     * cycle's loop index, which phase was running (0 = stable, 1 =
+     * brown-out), and the cycles that phase had already consumed --
+     * enough to resume the phase loop with the remaining budget.
+     */
+    struct GoldenSnapshot {
+        soc::Snapshot state;
+        std::size_t powerCycle = 0;
+        int phase = 0;
+        std::uint64_t spentInPhase = 0;
+    };
+
+    /** Memoized recovery verdict for one FRAM image at death. */
+    struct RecoveryMemo {
+        soc::PagedImage image; ///< byte-compared on every hit
+        bool finished = false;
+        std::uint32_t result = 0;
+    };
+
     std::unique_ptr<Bench> build() const;
+    std::unique_ptr<Bench> acquireBench();
+    void releaseBench(std::unique_ptr<Bench> bench);
     void instrument();
     void probeSchedule();
+    void goldenPass(bool record_probe, bool capture);
+    const GoldenSnapshot &snapshotBefore(std::uint64_t kill_cycle) const;
+    std::vector<TortureOutcome>
+    runKillsForked(const std::vector<PowerKill> &kills,
+                   util::ThreadPool *pool);
+    TortureOutcome runKillForked(const PowerKill &kill);
+    TortureOutcome finishOutcome(Bench &bench, FaultInjector &injector,
+                                 const soc::Snapshot *memo_base);
 
     std::unique_ptr<core::FailureSentinels> monitor_;
     soc::GuestProgram prog_;
@@ -170,6 +265,18 @@ class TortureRig
 
     bool probed_ = false;
     std::vector<ProbeStep> probe_steps_;
+
+    std::vector<GoldenSnapshot> snapshots_; ///< sorted by totalCycles
+
+    bool converge_on_ = true;
+    mutable std::mutex memo_mu_;
+    std::unordered_map<std::uint64_t, RecoveryMemo> memo_;
+    std::size_t memo_hits_ = 0;
+
+    /** Recycled SoCs: restoreSnapshot overwrites every byte of state,
+     *  so a reused bench is indistinguishable from a fresh build(). */
+    std::mutex bench_mu_;
+    std::vector<std::unique_ptr<Bench>> bench_pool_;
 };
 
 } // namespace fault

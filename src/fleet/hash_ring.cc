@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "serve/wire.h"
+#include "util/hash.h"
 
 namespace fs {
 namespace fleet {
@@ -17,8 +17,8 @@ ringPoint(const std::string &worker, std::size_t vnode)
     char label[32];
     std::snprintf(label, sizeof label, "#%zu", vnode);
     const std::uint64_t h =
-        serve::fnv1a64(worker.data(), worker.size());
-    return serve::fnv1a64(label, std::strlen(label), h);
+        util::fnv1a64(worker.data(), worker.size());
+    return util::fnv1a64(label, std::strlen(label), h);
 }
 
 } // namespace

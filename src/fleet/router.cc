@@ -50,20 +50,38 @@ retryableError(const Frame &reply)
 
 /** One in-flight attempt: a connection assembling a reply frame. */
 struct Attempt {
-    Client client;
+    std::unique_ptr<Client> client;
     std::vector<std::uint8_t> buf;
     bool open = false;
+    bool reused = false; ///< riding a pooled connection
 
+    /**
+     * Send the frame over `pooled` when given (falling back to a
+     * fresh dial when the pooled socket rejects the write -- it may
+     * have gone stale while idle), else dial `endpoint`.
+     */
     bool dial(const std::string &endpoint,
               const std::vector<std::uint8_t> &frame_bytes,
-              std::string &err)
+              std::unique_ptr<Client> pooled, std::string &err)
     {
-        if (!client.connect(endpoint, err))
+        if (pooled) {
+            if (serve::writeFull(pooled->fd(), frame_bytes.data(),
+                                 frame_bytes.size()) == IoStatus::kOk) {
+                client = std::move(pooled);
+                open = true;
+                reused = true;
+                return true;
+            }
+            pooled->close();
+        }
+        client = std::make_unique<Client>();
+        reused = false;
+        if (!client->connect(endpoint, err))
             return false;
-        if (serve::writeFull(client.fd(), frame_bytes.data(),
+        if (serve::writeFull(client->fd(), frame_bytes.data(),
                              frame_bytes.size()) != IoStatus::kOk) {
             err = "send to " + endpoint + " failed";
-            client.close();
+            client->close();
             return false;
         }
         open = true;
@@ -72,31 +90,41 @@ struct Attempt {
 
     /**
      * Poll for up to `slice_ms`; @return true once a full frame is
-     * assembled. Closes the connection (open = false) on disconnect
-     * or stream corruption.
+     * assembled (the frame's bytes are drained from the buffer, so a
+     * clean exchange leaves the connection releasable). Closes the
+     * connection (open = false) on disconnect or stream corruption.
      */
     bool pump(int slice_ms, Frame &out)
     {
         if (!open)
             return false;
         const IoStatus got =
-            serve::readSomeTimeout(client.fd(), buf, slice_ms);
+            serve::readSomeTimeout(client->fd(), buf, slice_ms);
         if (got == IoStatus::kPeerClosed || got == IoStatus::kError) {
-            client.close();
+            client->close();
             open = false;
             return false;
         }
         std::size_t consumed = 0;
         const FrameStatus status =
             serve::parseFrame(buf.data(), buf.size(), out, consumed);
-        if (status == FrameStatus::kOk)
+        if (status == FrameStatus::kOk) {
+            buf.erase(buf.begin(),
+                      buf.begin() +
+                          std::vector<std::uint8_t>::difference_type(
+                              consumed));
             return true;
+        }
         if (status != FrameStatus::kNeedMore) {
-            client.close();
+            client->close();
             open = false;
         }
         return false;
     }
+
+    /** True when the exchange completed with no leftover bytes: the
+     *  connection can go back to the pool for the next request. */
+    bool releasable() const { return open && buf.empty(); }
 };
 
 } // namespace
@@ -160,15 +188,60 @@ Router::targetsFor(std::uint64_t key) const
 void
 Router::markFailure(const std::string &endpoint)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = workers_.find(endpoint);
-    if (it == workers_.end())
-        return;
-    if (++it->second.fails >= opts_.failsToEvict &&
-        it->second.alive) {
-        it->second.alive = false;
-        ++stats_.evictions;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = workers_.find(endpoint);
+        if (it == workers_.end())
+            return;
+        if (++it->second.fails >= opts_.failsToEvict &&
+            it->second.alive) {
+            it->second.alive = false;
+            ++stats_.evictions;
+        }
     }
+    // Idle connections to a failing worker are suspect; drop them so
+    // the next attempt re-dials instead of inheriting a dead socket.
+    dropConns(endpoint);
+}
+
+std::unique_ptr<Client>
+Router::acquireConn(const std::string &endpoint)
+{
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    auto it = conn_pool_.find(endpoint);
+    if (it == conn_pool_.end() || it->second.empty())
+        return nullptr;
+    std::unique_ptr<Client> conn = std::move(it->second.back());
+    it->second.pop_back();
+    return conn;
+}
+
+void
+Router::releaseConn(std::unique_ptr<Client> conn)
+{
+    if (!conn || !conn->connected())
+        return;
+    constexpr std::size_t kMaxIdlePerEndpoint = 8;
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    std::vector<std::unique_ptr<Client>> &idle =
+        conn_pool_[conn->endpoint()];
+    if (idle.size() < kMaxIdlePerEndpoint)
+        idle.push_back(std::move(conn));
+    // else: drop on the floor; the Client destructor closes the fd.
+}
+
+void
+Router::dropConns(const std::string &endpoint)
+{
+    std::vector<std::unique_ptr<Client>> doomed;
+    {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        auto it = conn_pool_.find(endpoint);
+        if (it == conn_pool_.end())
+            return;
+        doomed.swap(it->second);
+    }
+    // Destructors close outside the lock.
 }
 
 void
@@ -210,13 +283,21 @@ Router::exchange(const std::string &primary, const std::string &hedge,
         start + std::chrono::milliseconds(opts_.attemptTimeoutMs);
 
     Attempt first;
-    if (!first.dial(primary, frame_bytes, err)) {
+    if (!first.dial(primary, frame_bytes, acquireConn(primary), err)) {
         markFailure(primary);
         return false;
+    }
+    if (first.reused) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.pooledReuses;
     }
 
     Attempt second;
     bool hedged = false;
+    // A pooled connection can die before delivering a byte (the
+    // worker restarted while it sat idle); one fresh redial keeps
+    // that from being charged to a healthy worker.
+    bool refreshed = false;
     const bool can_hedge = opts_.hedgeAfterMs > 0 && !hedge.empty();
     const auto hedge_at =
         start + std::chrono::milliseconds(
@@ -237,11 +318,31 @@ Router::exchange(const std::string &primary, const std::string &hedge,
         if (first.open && first.pump(std::max(slice, 1), out)) {
             markSuccess(primary);
             served_by = primary;
+            if (first.releasable())
+                releaseConn(std::move(first.client));
             return true;
+        }
+        if (!first.open && first.reused && !refreshed &&
+            first.buf.empty()) {
+            refreshed = true;
+            first = Attempt();
+            std::string redial_err;
+            if (!first.dial(primary, frame_bytes, nullptr,
+                            redial_err) &&
+                !(hedged && second.open)) {
+                err = "send to " + primary + " failed";
+                markFailure(primary);
+                if (hedged)
+                    markFailure(hedge);
+                return false;
+            }
+            continue;
         }
         if (hedged && second.pump(2, out)) {
             markSuccess(hedge);
             served_by = hedge;
+            if (second.releasable())
+                releaseConn(std::move(second.client));
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.hedgeWins;
             return true;
@@ -249,10 +350,13 @@ Router::exchange(const std::string &primary, const std::string &hedge,
         if (!hedged && can_hedge &&
             std::chrono::steady_clock::now() >= hedge_at) {
             std::string hedge_err;
-            if (second.dial(hedge, frame_bytes, hedge_err)) {
+            if (second.dial(hedge, frame_bytes, acquireConn(hedge),
+                            hedge_err)) {
                 hedged = true;
                 std::lock_guard<std::mutex> lock(mu_);
                 ++stats_.hedges;
+                if (second.reused)
+                    ++stats_.pooledReuses;
             }
         }
         if (!first.open && !(hedged && second.open)) {
@@ -379,10 +483,20 @@ Router::replicateTo(std::uint64_t key, const std::string &served_by,
         push.key = key;
         push.kind = std::uint16_t(reply.kind);
         push.payload = reply.payload;
-        Client c;
         std::string err;
         bool stored = false;
-        if (c.connect(w, err) && c.cacheInsert(push, stored, err)) {
+        bool pushed = false;
+        std::unique_ptr<Client> c = acquireConn(w);
+        if (c && c->cacheInsert(push, stored, err)) {
+            pushed = true;
+        } else {
+            // No pooled connection, or it went stale: dial fresh.
+            c = std::make_unique<Client>();
+            pushed = c->connect(w, err) &&
+                     c->cacheInsert(push, stored, err);
+        }
+        if (pushed) {
+            releaseConn(std::move(c));
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.replicationPushes;
         }
@@ -442,14 +556,19 @@ Router::healthLoop()
                 return;
         }
         for (const std::string &endpoint : opts_.endpoints) {
-            Client c;
+            // Always a fresh dial -- a pooled socket going stale must
+            // not fail a liveness probe. The successful probe's
+            // connection seeds the pool for the request path.
+            auto c = std::make_unique<Client>();
             std::string err;
             serve::PingResult pong;
-            if (c.connect(endpoint, err) && c.ping(pong, err) &&
-                pong.draining == 0)
+            if (c->connect(endpoint, err) && c->ping(pong, err) &&
+                pong.draining == 0) {
                 markSuccess(endpoint);
-            else
+                releaseConn(std::move(c));
+            } else {
                 markFailure(endpoint);
+            }
         }
     }
 }

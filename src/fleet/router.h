@@ -3,9 +3,10 @@
  * The fleet router: one logical serve endpoint over N workers.
  *
  * A request's canonical key (serve::requestKey) places it on a
- * consistent-hash ring of worker endpoints; the router dials the
- * primary owner and falls through the successor list on failure.
- * Failure handling composes four mechanisms:
+ * consistent-hash ring of worker endpoints; the router sends to the
+ * primary owner over a pooled persistent connection (dialing only
+ * when the pool is empty) and falls through the successor list on
+ * failure. Failure handling composes four mechanisms:
  *
  *  - retries: transport failures and retryable typed errors
  *    (kOverloaded, kShuttingDown, kDeadlineExceeded) back off
@@ -41,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -82,6 +84,7 @@ class Router
         std::uint64_t evictions = 0;
         std::uint64_t readmissions = 0;
         std::uint64_t exhausted = 0;    ///< every attempt failed
+        std::uint64_t pooledReuses = 0; ///< attempts over a pooled conn
     };
 
     explicit Router(Options opts);
@@ -136,6 +139,15 @@ class Router
     std::uint32_t backoffMs(std::uint32_t attempt);
     void healthLoop();
 
+    /** Borrow an idle pooled connection to `endpoint` (null = none;
+     *  the caller dials fresh). */
+    std::unique_ptr<serve::Client> acquireConn(const std::string &endpoint);
+    /** Return a connection with no bytes in flight to the pool (the
+     *  endpoint is the connection's own connect() target). */
+    void releaseConn(std::unique_ptr<serve::Client> conn);
+    /** Close every idle pooled connection to a failed endpoint. */
+    void dropConns(const std::string &endpoint);
+
     Options opts_;
     HashRing ring_;
 
@@ -145,6 +157,13 @@ class Router
     std::size_t in_flight_ = 0;
     Stats stats_;
     Rng jitter_rng_;
+
+    /** One idle-connection freelist per endpoint: the request path
+     *  reuses a healthy worker's connection instead of dialing per
+     *  attempt (the health loop primes it with its ping sockets). */
+    std::mutex pool_mu_;
+    std::map<std::string,
+             std::vector<std::unique_ptr<serve::Client>>> conn_pool_;
 
     std::thread health_thread_;
     std::mutex health_mu_;

@@ -1142,6 +1142,32 @@ Hart::reset(std::uint32_t pc)
     dbt_.flush();
 }
 
+Hart::ArchState
+Hart::saveArch() const
+{
+    ArchState s;
+    s.regs = regs_;
+    s.pc = pc_;
+    s.csrs = csrs_;
+    s.cycles = cycles_;
+    s.instret = instret_;
+    s.wfi = wfi_;
+    s.halted = halted_;
+    return s;
+}
+
+void
+Hart::restoreArch(const ArchState &s)
+{
+    regs_ = s.regs;
+    pc_ = s.pc;
+    csrs_ = s.csrs;
+    cycles_ = s.cycles;
+    instret_ = s.instret;
+    wfi_ = s.wfi;
+    halted_ = s.halted;
+}
+
 std::uint64_t
 Hart::executeDecoded(const Decoded &d)
 {

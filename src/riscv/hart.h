@@ -68,6 +68,35 @@ class Hart
         std::uint64_t trap = 4;
     };
 
+    /** Dense CSR file indices (see csrIndexOf). */
+    enum CsrIndex : unsigned {
+        kIdxMstatus,
+        kIdxMie,
+        kIdxMip,
+        kIdxMtvec,
+        kIdxMscratch,
+        kIdxMepc,
+        kIdxMcause,
+        kNumCsrs,
+    };
+
+    /**
+     * The complete architectural state: everything execution depends
+     * on besides memory contents. Cached/translated blocks (trace
+     * cache, DBT) are deliberately excluded -- they are derived state;
+     * a caller that restores memory alongside an ArchState must flush
+     * them via invalidateTraceCache().
+     */
+    struct ArchState {
+        std::array<std::uint32_t, 32> regs{};
+        std::uint32_t pc = 0;
+        std::array<std::uint32_t, kNumCsrs> csrs{};
+        std::uint64_t cycles = 0;
+        std::uint64_t instret = 0;
+        bool wfi = false;
+        bool halted = false;
+    };
+
     /**
      * @param bus full 32-bit address space the hart loads/stores
      *            through (typically a soc::Bus)
@@ -160,19 +189,17 @@ class Hart
     /** Cold-boot reset to the given pc; regs and CSRs cleared. */
     void reset(std::uint32_t pc);
 
-  private:
-    /** Dense CSR file indices (see csrIndexOf). */
-    enum CsrIndex : unsigned {
-        kIdxMstatus,
-        kIdxMie,
-        kIdxMip,
-        kIdxMtvec,
-        kIdxMscratch,
-        kIdxMepc,
-        kIdxMcause,
-        kNumCsrs,
-    };
+    /** Capture the architectural state (see ArchState). */
+    ArchState saveArch() const;
 
+    /**
+     * Restore a captured architectural state. Does not touch the
+     * trace/DBT caches: callers that also restore memory must follow
+     * up with invalidateTraceCache().
+     */
+    void restoreArch(const ArchState &state);
+
+  private:
     bool interruptPending() const;
     void takeInterrupt();
     std::uint64_t executeDecoded(const Decoded &d);

@@ -91,6 +91,10 @@ class Ram : public MemoryDevice
 
     std::uint64_t writeCount() const { return writes_; }
 
+    /** Snapshot support: wind the write counter back to a captured
+     *  value (contents are restored separately via data()). */
+    void restoreWriteCount(std::uint64_t writes) { writes_ = writes; }
+
   private:
     std::vector<std::uint8_t> data_;
     bool non_volatile_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <unordered_map>
 
+#include "analysis/firmware_linter.h"
 #include "analysis/lint_images.h"
 #include "circuit/ring_oscillator.h"
 #include "circuit/technology.h"
@@ -199,6 +201,8 @@ Engine::executeTorture(const TortureJob &job) const
         return badRequest("sram size out of range [256, 1 MiB]");
     if (std::uint64_t(job.killsPerWindow) + job.randomKills > 100'000)
         return badRequest("kill budget too large (> 1e5)");
+    if (job.exhaustivePoints > 100'000'000)
+        return badRequest("exhaustive campaign too large (> 1e8)");
 
     fault::TortureConfig config;
     config.sramSize = job.sramSize;
@@ -206,41 +210,77 @@ Engine::executeTorture(const TortureJob &job) const
     config.lowCycles = job.lowCycles;
     fault::TortureRig rig(prog, config);
 
-    // All RNG draws happen sequentially here, before the fan-out, in
-    // a fixed order -- the same discipline bench_fault_torture uses,
-    // so the outcome vector is bit-identical at any thread count.
-    Rng rng(job.seed);
-    std::vector<fault::PowerKill> kills;
     const std::size_t windows = rig.checkpointCount();
-    if (job.killsPerWindow > 0) {
-        for (std::size_t w = 0; w < windows; ++w) {
-            const fault::CommitWindow window = rig.commitWindow(w);
-            const std::uint64_t stride = std::max<std::uint64_t>(
-                1, window.length() / job.killsPerWindow);
-            for (std::uint64_t c = window.begin; c < window.end;
-                 c += stride) {
-                fault::PowerKill kill;
-                kill.cycle = c;
-                kill.tearBytesKept = unsigned(rng.uniformInt(0, 3));
-                kill.tearFlipMask =
-                    std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
-                kills.push_back(kill);
+    const std::uint64_t span = rig.cleanRunCycles();
+    std::vector<fault::PowerKill> kills;
+    if (job.exhaustivePoints > 0) {
+        // Exhaustive point-range shard: point i's kill cycle is a
+        // fixed fraction of the clean run, and its tear parameters
+        // come from an Rng derived purely from (seed, i), so any
+        // sharding of [0, exhaustivePoints) grades the exact same
+        // kills as the unsharded campaign.
+        if (job.pointOffset >= job.exhaustivePoints)
+            return badRequest("point offset beyond the campaign");
+        const std::uint64_t count =
+            job.pointCount != 0
+                ? job.pointCount
+                : job.exhaustivePoints - job.pointOffset;
+        if (job.pointOffset + count > job.exhaustivePoints)
+            return badRequest("point range beyond the campaign");
+        if (count > 100'000)
+            return badRequest("shard too large (> 1e5 points); split "
+                              "the range");
+        kills.reserve(std::size_t(count));
+        for (std::uint64_t i = job.pointOffset;
+             i < job.pointOffset + count; ++i) {
+            Rng rng = util::rngForIndex(job.seed, i);
+            fault::PowerKill kill;
+            kill.cycle = i * span / job.exhaustivePoints;
+            kill.tearBytesKept = unsigned(rng.uniformInt(0, 4));
+            kill.tearFlipMask =
+                std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+            kills.push_back(kill);
+        }
+    } else {
+        // All RNG draws happen sequentially here, before the fan-out,
+        // in a fixed order -- the same discipline bench_fault_torture
+        // uses, so the outcome vector is bit-identical at any thread
+        // count.
+        Rng rng(job.seed);
+        if (job.killsPerWindow > 0) {
+            for (std::size_t w = 0; w < windows; ++w) {
+                const fault::CommitWindow window = rig.commitWindow(w);
+                const std::uint64_t stride = std::max<std::uint64_t>(
+                    1, window.length() / job.killsPerWindow);
+                for (std::uint64_t c = window.begin; c < window.end;
+                     c += stride) {
+                    fault::PowerKill kill;
+                    kill.cycle = c;
+                    kill.tearBytesKept = unsigned(rng.uniformInt(0, 3));
+                    kill.tearFlipMask =
+                        std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+                    kills.push_back(kill);
+                }
             }
         }
-    }
-    const std::uint64_t span = rig.cleanRunCycles();
-    for (std::uint32_t i = 0; i < job.randomKills; ++i) {
-        fault::PowerKill kill;
-        kill.cycle =
-            std::uint64_t(rng.uniformInt(0, std::int64_t(span) - 1));
-        kill.tearBytesKept = unsigned(rng.uniformInt(0, 4));
-        kill.tearFlipMask =
-            std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
-        kills.push_back(kill);
+        for (std::uint32_t i = 0; i < job.randomKills; ++i) {
+            fault::PowerKill kill;
+            kill.cycle =
+                std::uint64_t(rng.uniformInt(0, std::int64_t(span) - 1));
+            kill.tearBytesKept = unsigned(rng.uniformInt(0, 4));
+            kill.tearFlipMask =
+                std::uint32_t(rng.uniformInt(0, 0xffffffffLL));
+            kills.push_back(kill);
+        }
     }
 
+    // Static pruning composes with the rig's snapshot forking (the
+    // map only collapses statically-equivalent kills; the surviving
+    // replays still fork from golden snapshots), and runKillsPruned is
+    // bit-identical to runKills, so both modes share one path.
+    const analysis::LintReport lint = analysis::lintGuestProgram(prog);
     const std::vector<fault::TortureOutcome> outcomes =
-        rig.runKills(kills, &pool());
+        rig.runKillsPruned(kills, lint.pruningMap, &pool());
 
     TortureResult res;
     res.cleanCycles = span;
@@ -269,6 +309,42 @@ Engine::executeTorture(const TortureJob &job) const
         res.tornRestores += std::uint32_t(out.tornSlots);
         res.correct += out.resultCorrect ? 1 : 0;
         res.incorrect += out.resultCorrect ? 0 : 1;
+    }
+
+    if (job.coverageMap != 0) {
+        // Attribute every verdict to the instruction the kill lands
+        // on, annotated with the static pruning map's class/rank so
+        // the dynamic coverage lines up with fs-lint's ranking.
+        const std::vector<std::uint32_t> sites = rig.killSitePcs(kills);
+        std::map<std::uint32_t, TortureCoverageWire> by_addr;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const std::uint32_t addr =
+                sites[i] == fault::TortureRig::kNoKillSite
+                    ? kNoCoverageSite
+                    : sites[i];
+            TortureCoverageWire &c = by_addr[addr];
+            if (c.points == 0) {
+                c.addr = addr;
+                const fault::InjectionPoint *p =
+                    addr == kNoCoverageSite ? nullptr
+                                            : lint.pruningMap.find(addr);
+                // Unmapped addresses must be treated as vulnerable
+                // (the map's own contract); rank 0 marks them unranked.
+                c.cls = std::uint8_t(p ? p->cls
+                                       : fault::PointClass::kVulnerable);
+                c.rank = p ? p->rank : 0;
+            }
+            const fault::TortureOutcome &out = outcomes[i];
+            c.points += 1;
+            c.killed += out.killed ? 1 : 0;
+            c.correct += out.resultCorrect ? 1 : 0;
+            c.incorrect += out.resultCorrect ? 0 : 1;
+            c.coldRestarts += out.killed && out.coldRestart ? 1 : 0;
+            c.killTears += out.killTore ? 1 : 0;
+        }
+        res.coverage.reserve(by_addr.size());
+        for (const auto &entry : by_addr)
+            res.coverage.push_back(entry.second);
     }
     return res;
 }

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <map>
 
 namespace fs {
 namespace serve {
@@ -423,6 +424,10 @@ encodeRequestPayload(const Request &req)
         w.u64(t->seed);
         w.u32(t->killsPerWindow);
         w.u32(t->randomKills);
+        w.u64(t->exhaustivePoints);
+        w.u64(t->pointOffset);
+        w.u64(t->pointCount);
+        w.u8(t->coverageMap);
     } else if (const auto *g = std::get_if<GuestRunJob>(&req)) {
         put(w, g->workload);
         w.u8(g->traceCache);
@@ -482,6 +487,10 @@ decodeRequestPayload(MsgKind kind, const std::uint8_t *data,
           job.seed = r.u64();
           job.killsPerWindow = r.u32();
           job.randomKills = r.u32();
+          job.exhaustivePoints = r.u64();
+          job.pointOffset = r.u64();
+          job.pointCount = r.u64();
+          job.coverageMap = r.u8();
           out = job;
           break;
       }
@@ -552,6 +561,18 @@ encodeResponsePayload(const Response &resp)
         w.u32(std::uint32_t(t->results.size()));
         for (std::uint32_t v : t->results)
             w.u32(v);
+        w.u32(std::uint32_t(t->coverage.size()));
+        for (const TortureCoverageWire &c : t->coverage) {
+            w.u32(c.addr);
+            w.u8(c.cls);
+            w.u32(c.rank);
+            w.u32(c.points);
+            w.u32(c.killed);
+            w.u32(c.correct);
+            w.u32(c.incorrect);
+            w.u32(c.coldRestarts);
+            w.u32(c.killTears);
+        }
     } else if (const auto *g = std::get_if<GuestRunResult>(&resp)) {
         w.str(g->name);
         w.u32(g->result);
@@ -626,6 +647,20 @@ decodeResponsePayload(MsgKind kind, const std::uint8_t *data,
           const std::uint32_t nr = r.u32();
           for (std::uint32_t i = 0; r.ok() && i < nr; ++i)
               res.results.push_back(r.u32());
+          const std::uint32_t nc = r.u32();
+          for (std::uint32_t i = 0; r.ok() && i < nc; ++i) {
+              TortureCoverageWire c;
+              c.addr = r.u32();
+              c.cls = r.u8();
+              c.rank = r.u32();
+              c.points = r.u32();
+              c.killed = r.u32();
+              c.correct = r.u32();
+              c.incorrect = r.u32();
+              c.coldRestarts = r.u32();
+              c.killTears = r.u32();
+              res.coverage.push_back(c);
+          }
           out = res;
           break;
       }
@@ -677,6 +712,73 @@ decodeResponsePayload(MsgKind kind, const std::uint8_t *data,
     return true;
 }
 
+bool
+mergeTortureResult(TortureResult &into, const TortureResult &shard,
+                   std::string &err)
+{
+    // The golden-run facts must agree bit for bit, or the shards were
+    // graded against different schedules and summing them is garbage.
+    if (into.cleanCycles != shard.cleanCycles ||
+        into.checkpoints != shard.checkpoints ||
+        std::memcmp(&into.checkpointVolts, &shard.checkpointVolts,
+                    sizeof(double)) != 0) {
+        err = "torture shards disagree on the golden run "
+              "(cleanCycles/checkpoints/checkpointVolts)";
+        return false;
+    }
+    if (into.outcomeFlags.size() != into.points ||
+        shard.outcomeFlags.size() != shard.points ||
+        into.results.size() != into.points ||
+        shard.results.size() != shard.points) {
+        err = "torture shard per-kill records do not match its point "
+              "count";
+        return false;
+    }
+    // Coverage merges per instruction: counters sum, the static
+    // class/rank annotations must match (they come from the same
+    // lint pass on the same image). Built before `into` is touched so
+    // a mismatch leaves the accumulator intact.
+    std::map<std::uint32_t, TortureCoverageWire> by_addr;
+    for (const TortureCoverageWire &c : into.coverage)
+        by_addr[c.addr] = c;
+    for (const TortureCoverageWire &c : shard.coverage) {
+        auto it = by_addr.find(c.addr);
+        if (it == by_addr.end()) {
+            by_addr[c.addr] = c;
+            continue;
+        }
+        TortureCoverageWire &m = it->second;
+        if (m.cls != c.cls || m.rank != c.rank) {
+            err = "torture shards disagree on the static class/rank "
+                  "of coverage site " + std::to_string(c.addr);
+            return false;
+        }
+        m.points += c.points;
+        m.killed += c.killed;
+        m.correct += c.correct;
+        m.incorrect += c.incorrect;
+        m.coldRestarts += c.coldRestarts;
+        m.killTears += c.killTears;
+    }
+    into.points += shard.points;
+    into.killed += shard.killed;
+    into.killTears += shard.killTears;
+    into.coldRestarts += shard.coldRestarts;
+    into.tornRestores += shard.tornRestores;
+    into.correct += shard.correct;
+    into.incorrect += shard.incorrect;
+    into.outcomeFlags.insert(into.outcomeFlags.end(),
+                             shard.outcomeFlags.begin(),
+                             shard.outcomeFlags.end());
+    into.results.insert(into.results.end(), shard.results.begin(),
+                        shard.results.end());
+    into.coverage.clear();
+    into.coverage.reserve(by_addr.size());
+    for (const auto &entry : by_addr)
+        into.coverage.push_back(entry.second);
+    return true;
+}
+
 void
 appendFrame(std::vector<std::uint8_t> &out, MsgKind kind,
             const std::uint8_t *payload, std::size_t len)
@@ -724,18 +826,6 @@ parseFrame(const std::uint8_t *data, std::size_t len, Frame &out,
     if (version != kWireVersion)
         return FrameStatus::kVersionMismatch;
     return FrameStatus::kOk;
-}
-
-std::uint64_t
-fnv1a64(const void *data, std::size_t len, std::uint64_t seed)
-{
-    const auto *p = static_cast<const std::uint8_t *>(data);
-    std::uint64_t h = seed;
-    for (std::size_t i = 0; i < len; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
 }
 
 std::uint64_t

@@ -31,6 +31,7 @@
 
 #include "core/fs_config.h"
 #include "core/performance_model.h"
+#include "util/hash.h"
 
 namespace fs {
 namespace serve {
@@ -39,7 +40,8 @@ namespace serve {
 
 /** "FSRV" */
 constexpr std::uint32_t kWireMagic = 0x46535256u;
-constexpr std::uint16_t kWireVersion = 1;
+/** v2: TortureJob exhaustive point-range shards + coverage maps. */
+constexpr std::uint16_t kWireVersion = 2;
 /** Frame header: magic u32 + version u16 + kind u16 + length u32. */
 constexpr std::size_t kFrameHeaderSize = 12;
 /** Upper bound on a frame payload; larger frames are rejected. */
@@ -171,7 +173,20 @@ struct DseShardResult {
     std::vector<DsePointWire> front;
 };
 
-/** A seeded power-failure torture campaign. */
+/**
+ * A seeded power-failure torture campaign.
+ *
+ * Two kill-generation modes. Sampled (exhaustivePoints == 0): the
+ * legacy killsPerWindow/randomKills draws from one sequential RNG.
+ * Exhaustive (exhaustivePoints > 0): the fault space is the clean
+ * run's cycle span divided into exhaustivePoints evenly spaced kill
+ * cycles; point i's tear parameters derive from rngForIndex(seed, i),
+ * a pure function of (seed, i), so any [pointOffset, pointOffset +
+ * pointCount) shard of the same campaign is byte-identical to the
+ * matching slice of the full run -- that is what lets fs_router fan
+ * one 10^6-point campaign across fleet workers and the client merge
+ * the shards back together.
+ */
 struct TortureJob {
     WorkloadSpec workload;
     std::uint32_t sramSize = 1024;
@@ -182,6 +197,15 @@ struct TortureJob {
     std::uint32_t killsPerWindow = 0;
     /** Additional kills at seeded random execution points. */
     std::uint32_t randomKills = 16;
+    /** Exhaustive campaign: total evenly spaced kill points over the
+     *  clean run (0 = sampled mode). */
+    std::uint64_t exhaustivePoints = 0;
+    /** First point index this request grades (shard start). */
+    std::uint64_t pointOffset = 0;
+    /** Points this request grades (0 = through the end). */
+    std::uint64_t pointCount = 0;
+    /** Nonzero: emit the per-instruction coverage map. */
+    std::uint8_t coverageMap = 0;
 };
 
 /** Per-kill outcome flags packed into TortureResult::outcomeFlags. */
@@ -192,6 +216,28 @@ enum TortureOutcomeFlag : std::uint8_t {
     kOutcomeFinished = 1 << 3,
     kOutcomeCorrect = 1 << 4,
 };
+
+/**
+ * Verdicts aggregated per firmware instruction: every graded kill is
+ * attributed to the pc it lands on in the fault-free schedule
+ * (kNoCoverageSite for kills past app finish), annotated with the
+ * static injection-point map's class/rank for that pc so the dynamic
+ * coverage merges with fs-lint's vulnerable-instruction ranking.
+ */
+struct TortureCoverageWire {
+    std::uint32_t addr = 0;
+    std::uint8_t cls = 0;   ///< fault::PointClass (2 = vulnerable)
+    std::uint32_t rank = 0; ///< static vulnerability rank (0 = unmapped)
+    std::uint32_t points = 0;
+    std::uint32_t killed = 0;
+    std::uint32_t correct = 0;
+    std::uint32_t incorrect = 0;
+    std::uint32_t coldRestarts = 0;
+    std::uint32_t killTears = 0;
+};
+
+/** TortureCoverageWire::addr for kills the schedule never reaches. */
+constexpr std::uint32_t kNoCoverageSite = 0xFFFFFFFFu;
 
 struct TortureResult {
     std::uint64_t cleanCycles = 0;
@@ -207,7 +253,19 @@ struct TortureResult {
     /** Parallel per-kill records, in kill order. */
     std::vector<std::uint8_t> outcomeFlags;
     std::vector<std::uint32_t> results;
+    /** Per-instruction verdict map, sorted by addr (when requested). */
+    std::vector<TortureCoverageWire> coverage;
 };
+
+/**
+ * Fold one shard of an exhaustive campaign into an accumulator.
+ * Shards must be merged in point order (into's kills precede shard's)
+ * and must agree on the golden-run invariants; the merge of all
+ * shards is then byte-identical to the unsharded campaign. Returns
+ * false (into untouched) with a reason in err on a mismatch.
+ */
+bool mergeTortureResult(TortureResult &into, const TortureResult &shard,
+                        std::string &err);
 
 /** Run one guest workload to completion on a bare FRAM+SRAM machine. */
 struct GuestRunJob {
@@ -388,9 +446,13 @@ FrameStatus parseFrame(const std::uint8_t *data, std::size_t len,
 
 // --- content addressing ----------------------------------------------
 
-/** FNV-1a 64-bit hash. */
-std::uint64_t fnv1a64(const void *data, std::size_t len,
-                      std::uint64_t seed = 0xcbf29ce484222325ull);
+/** FNV-1a 64-bit hash (the shared util implementation). */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t len,
+        std::uint64_t seed = util::kFnvOffsetBasis)
+{
+    return util::fnv1a64(data, len, seed);
+}
 
 /**
  * Content address of a request: hash over (version, kind, canonical

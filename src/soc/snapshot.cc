@@ -1,0 +1,98 @@
+#include "soc/snapshot.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace soc {
+
+void
+PagedImage::capture(const std::vector<std::uint8_t> &mem,
+                    const PagedImage *prev)
+{
+    size_ = mem.size();
+    const std::size_t n = (size_ + kPageBytes - 1) / kPageBytes;
+    pages_.clear();
+    pages_.reserve(n);
+    const bool share = prev && prev->size_ == size_;
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t off = p * kPageBytes;
+        const std::size_t len = std::min(kPageBytes, size_ - off);
+        if (share) {
+            const auto &old = prev->pages_[p];
+            if (old->size() == len &&
+                std::memcmp(old->data(), mem.data() + off, len) == 0) {
+                pages_.push_back(old);
+                continue;
+            }
+        }
+        pages_.push_back(std::make_shared<const Page>(
+            mem.begin() + std::ptrdiff_t(off),
+            mem.begin() + std::ptrdiff_t(off + len)));
+    }
+}
+
+void
+PagedImage::restore(std::vector<std::uint8_t> &mem) const
+{
+    FS_ASSERT(mem.size() == size_, "snapshot image size mismatch");
+    for (std::size_t p = 0; p < pages_.size(); ++p)
+        std::memcpy(mem.data() + p * kPageBytes, pages_[p]->data(),
+                    pages_[p]->size());
+}
+
+bool
+PagedImage::equals(const std::vector<std::uint8_t> &mem) const
+{
+    if (mem.size() != size_)
+        return false;
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+        if (std::memcmp(mem.data() + p * kPageBytes,
+                        pages_[p]->data(), pages_[p]->size()) != 0)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+PagedImage::hash() const
+{
+    std::uint64_t h = util::kFnvOffsetBasis;
+    for (const auto &page : pages_)
+        h = util::fnv1a64(page->data(), page->size(), h);
+    return h;
+}
+
+std::size_t
+PagedImage::pagesOwnedVs(const PagedImage &prev) const
+{
+    std::size_t owned = 0;
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+        if (p >= prev.pages_.size() ||
+            pages_[p].get() != prev.pages_[p].get())
+            ++owned;
+    }
+    return owned;
+}
+
+std::size_t
+distinctPageBytes(const std::vector<const PagedImage *> &images)
+{
+    std::unordered_set<const PagedImage::Page *> seen;
+    std::size_t bytes = 0;
+    for (const PagedImage *img : images) {
+        if (!img)
+            continue;
+        for (const auto &page : img->pages()) {
+            if (seen.insert(page.get()).second)
+                bytes += page->size();
+        }
+    }
+    return bytes;
+}
+
+} // namespace soc
+} // namespace fs

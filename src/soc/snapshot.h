@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Full-SoC snapshot/restore for snapshot-fork fault grading.
+ *
+ * A Snapshot freezes everything that determines forward execution of
+ * the SoC at an instruction boundary: the hart's architectural state
+ * (registers, pc, CSR file, mcycle/minstret), both memories, the
+ * Failure Sentinels peripheral's latch state, the NVM write counters,
+ * and the SoC-level cycle/power-cycle counters. Restoring it into any
+ * Soc built from the same images resumes execution bit-identically to
+ * the run the snapshot was taken from.
+ *
+ * Memory images are stored as copy-on-write pages (PagedImage): each
+ * capture compares its pages against the previous snapshot in the
+ * golden sequence and shares the unchanged ones, so the 10^3-10^4
+ * snapshots a torture campaign keeps alive cost roughly one full
+ * image plus the per-snapshot deltas (a commit window rewrites ~5
+ * pages of a 512-page FRAM).
+ */
+
+#ifndef FS_SOC_SNAPSHOT_H_
+#define FS_SOC_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "riscv/hart.h"
+#include "soc/fs_peripheral.h"
+
+namespace fs {
+namespace soc {
+
+/**
+ * A byte image stored as fixed-size pages behind shared pointers.
+ * capture() against a previous image shares every page whose bytes
+ * are unchanged; only differing pages allocate. Sharing is detected
+ * by comparison at capture time (not dirty bits), so direct data()
+ * mutations -- image staging, tears -- can never be missed.
+ */
+class PagedImage
+{
+  public:
+    static constexpr std::size_t kPageBytes = 256;
+
+    /** Snapshot @p mem, sharing unchanged pages with @p prev. */
+    void capture(const std::vector<std::uint8_t> &mem,
+                 const PagedImage *prev);
+
+    /** Write the image back into @p mem (sizes must match). */
+    void restore(std::vector<std::uint8_t> &mem) const;
+
+    /** Byte-exact comparison against a live memory. */
+    bool equals(const std::vector<std::uint8_t> &mem) const;
+
+    /** FNV-1a over the full image contents. */
+    std::uint64_t hash() const;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Number of pages NOT shared with @p prev (test observability). */
+    std::size_t pagesOwnedVs(const PagedImage &prev) const;
+
+    using Page = std::vector<std::uint8_t>;
+    const std::vector<std::shared_ptr<const Page>> &pages() const
+    {
+        return pages_;
+    }
+
+  private:
+    std::size_t size_ = 0;
+    std::vector<std::shared_ptr<const Page>> pages_;
+};
+
+/** Everything needed to resume the SoC at an instruction boundary. */
+struct Snapshot {
+    riscv::Hart::ArchState hart;
+    PagedImage fram;
+    PagedImage sram;
+    FsPeripheral::State peripheral;
+    std::uint64_t framWrites = 0;       ///< Nvm write-op counter
+    std::uint64_t framBytesWritten = 0; ///< Nvm byte counter
+    std::uint64_t sramWrites = 0;
+    std::uint64_t totalCycles = 0;
+    std::uint64_t powerCycles = 0;
+    bool appFinished = false;
+    bool faultKilled = false;
+};
+
+/**
+ * Bytes held by the distinct pages reachable from @p images (shared
+ * pages counted once): the campaign's snapshot memory high-water.
+ */
+std::size_t distinctPageBytes(
+    const std::vector<const PagedImage *> &images);
+
+} // namespace soc
+} // namespace fs
+
+#endif // FS_SOC_SNAPSHOT_H_

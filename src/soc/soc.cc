@@ -207,5 +207,41 @@ Soc::elapsedSeconds() const
     return double(total_cycles_) / clock_hz_;
 }
 
+Snapshot
+Soc::saveSnapshot(const Snapshot *prev) const
+{
+    Snapshot s;
+    s.hart = hart_.saveArch();
+    s.fram.capture(fram_.data(), prev ? &prev->fram : nullptr);
+    s.sram.capture(sram_.data(), prev ? &prev->sram : nullptr);
+    s.peripheral = fs_.saveState();
+    s.framWrites = fram_.writeCount();
+    s.framBytesWritten = fram_.bytesWritten();
+    s.sramWrites = sram_.writeCount();
+    s.totalCycles = total_cycles_;
+    s.powerCycles = power_cycles_;
+    s.appFinished = app_finished_;
+    s.faultKilled = fault_killed_;
+    return s;
+}
+
+void
+Soc::restoreSnapshot(const Snapshot &snap)
+{
+    hart_.restoreArch(snap.hart);
+    snap.fram.restore(fram_.data());
+    snap.sram.restore(sram_.data());
+    fs_.restoreState(snap.peripheral);
+    fram_.restoreWriteState(snap.framWrites, snap.framBytesWritten);
+    sram_.restoreWriteCount(snap.sramWrites);
+    total_cycles_ = snap.totalCycles;
+    power_cycles_ = snap.powerCycles;
+    app_finished_ = snap.appFinished;
+    fault_killed_ = snap.faultKilled;
+    // Trace/DBT blocks were decoded from the pre-restore memory
+    // image; they must not survive the contents changing under them.
+    hart_.invalidateTraceCache();
+}
+
 } // namespace soc
 } // namespace fs

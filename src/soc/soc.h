@@ -17,6 +17,7 @@
 #include "soc/guest_programs.h"
 #include "soc/fs_peripheral.h"
 #include "soc/nvm.h"
+#include "soc/snapshot.h"
 
 namespace fs {
 namespace fault {
@@ -113,6 +114,24 @@ class Soc
 
     std::uint64_t totalCycles() const { return total_cycles_; }
     std::uint64_t powerCycles() const { return power_cycles_; }
+
+    /**
+     * Capture the full SoC state at an instruction boundary. Pass the
+     * previous snapshot of a golden sequence to share unchanged
+     * memory pages copy-on-write style.
+     */
+    Snapshot saveSnapshot(const Snapshot *prev = nullptr) const;
+
+    /**
+     * Restore a captured state into this SoC (same layout required).
+     * Every byte of architectural, memory, peripheral, and counter
+     * state is overwritten, so restoring into a recycled SoC is
+     * indistinguishable from restoring into a fresh one. Flushes the
+     * hart's trace/DBT caches: memory contents changed under any
+     * cached blocks. Fault-injector attachment is wiring, not state --
+     * attach the injector for the forked run separately.
+     */
+    void restoreSnapshot(const Snapshot &snap);
 
   private:
     /**

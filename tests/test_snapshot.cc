@@ -1,0 +1,600 @@
+/**
+ * @file
+ * Snapshot-fork fault grading tests: PagedImage copy-on-write
+ * semantics, full-SoC snapshot save/restore bit-identity across the
+ * interpreter/trace-cache/DBT tiers, snapshot interaction with power
+ * failures, forked torture campaigns against the replay-from-boot
+ * reference (with and without convergence memoization, at 1 and 8
+ * threads), the v2 wire format's exhaustive point-range shards and
+ * coverage maps, and shard-merge byte-identity through the engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/firmware_linter.h"
+#include "fault/fault_plan.h"
+#include "fault/torture_rig.h"
+#include "harvest/intermittent_sim.h"
+#include "harvest/system_comparison.h"
+#include "serve/engine.h"
+#include "serve/wire.h"
+#include "soc/guest_programs.h"
+#include "soc/snapshot.h"
+#include "soc/soc.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+
+namespace fs {
+namespace {
+
+/** Scoped environment override (nullptr value = unset). */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+// ---------------------------------------------------------------------
+// PagedImage
+// ---------------------------------------------------------------------
+
+TEST(PagedImage, RoundTripSharingAndDistinctBytes)
+{
+    std::vector<std::uint8_t> mem(4096);
+    for (std::size_t i = 0; i < mem.size(); ++i)
+        mem[i] = std::uint8_t(i * 7 + 3);
+
+    soc::PagedImage a;
+    a.capture(mem, nullptr);
+    EXPECT_EQ(a.size(), mem.size());
+    EXPECT_TRUE(a.equals(mem));
+    std::vector<std::uint8_t> out(mem.size());
+    a.restore(out);
+    EXPECT_EQ(out, mem);
+
+    // Dirty one byte: the successor owns exactly that one page and
+    // shares the rest with its predecessor.
+    mem[300] ^= 0xff;
+    soc::PagedImage b;
+    b.capture(mem, &a);
+    EXPECT_EQ(b.pagesOwnedVs(a), 1u);
+    EXPECT_FALSE(a.equals(mem));
+    EXPECT_TRUE(b.equals(mem));
+    EXPECT_NE(a.hash(), b.hash());
+
+    // Shared pages are counted once in the memory high-water.
+    EXPECT_EQ(soc::distinctPageBytes({&a, &b}),
+              mem.size() + soc::PagedImage::kPageBytes);
+
+    // An unchanged re-capture shares everything.
+    soc::PagedImage c;
+    c.capture(mem, &b);
+    EXPECT_EQ(c.pagesOwnedVs(b), 0u);
+    EXPECT_EQ(c.hash(), b.hash());
+}
+
+// ---------------------------------------------------------------------
+// Full-SoC snapshot save/restore across execution tiers
+// ---------------------------------------------------------------------
+
+struct SocBench {
+    std::unique_ptr<core::FailureSentinels> monitor;
+    std::shared_ptr<harvest::VoltageCell> cell;
+    std::unique_ptr<soc::Soc> soc;
+};
+
+SocBench
+makeBench()
+{
+    SocBench b;
+    b.monitor = harvest::makeFsLowPower();
+    b.cell = std::make_shared<harvest::VoltageCell>();
+    b.cell->volts = 3.3;
+    soc::CheckpointLayout layout;
+    layout.sramSize = 1024;
+    b.soc = std::make_unique<soc::Soc>(
+        *b.monitor, [cell = b.cell](double) { return cell->volts; },
+        layout);
+    harvest::SystemLoad load;
+    const double v_ckpt = load.coreVmin() +
+                          load.activeCurrentWith(*b.monitor) * 0.025 /
+                              47e-6 +
+                          b.monitor->resolution();
+    b.soc->loadRuntime(b.monitor->countThresholdFor(v_ckpt));
+    return b;
+}
+
+/** Everything a run leaves behind, folded into one hash. */
+std::uint64_t
+fingerprint(soc::Soc &sys)
+{
+    std::uint64_t h = util::fnv1a64(sys.fram().data().data(),
+                                    sys.fram().data().size());
+    h = util::fnv1a64(sys.sram().data().data(),
+                      sys.sram().data().size(), h);
+    const std::uint64_t cyc = sys.totalCycles();
+    h = util::fnv1a64(&cyc, sizeof cyc, h);
+    const std::uint32_t pc = sys.hart().pc();
+    h = util::fnv1a64(&pc, sizeof pc, h);
+    return h;
+}
+
+struct Tier {
+    const char *name;
+    const char *noTrace; ///< FS_NO_TRACE_CACHE value (null = unset)
+    const char *noDbt;   ///< FS_NO_DBT value (null = unset)
+};
+
+constexpr Tier kTiers[] = {
+    {"dbt", nullptr, nullptr},
+    {"trace", nullptr, "1"},
+    {"interp", "1", nullptr},
+};
+
+TEST(SocSnapshot, RestoreResumesBitIdenticallyOnEveryTier)
+{
+    const soc::GuestProgram prog = soc::makeCrc32Program(1024, 7);
+    for (const Tier &tier : kTiers) {
+        SCOPED_TRACE(tier.name);
+        EnvGuard trace("FS_NO_TRACE_CACHE", tier.noTrace);
+        EnvGuard dbt("FS_NO_DBT", tier.noDbt);
+
+        SocBench original = makeBench();
+        original.soc->loadGuest(prog);
+        original.soc->powerOn();
+        while (original.soc->totalCycles() < 20'000 &&
+               !original.soc->appFinished())
+            original.soc->step();
+        ASSERT_FALSE(original.soc->appFinished());
+
+        const soc::Snapshot snap = original.soc->saveSnapshot();
+        EXPECT_EQ(snap.totalCycles, original.soc->totalCycles());
+
+        original.soc->run(60'000'000);
+        ASSERT_TRUE(original.soc->appFinished());
+        EXPECT_EQ(original.soc->guestResult(prog), prog.expected);
+        const std::uint64_t want = fingerprint(*original.soc);
+
+        // Restore into the same (now finished, thoroughly mutated)
+        // SoC: the resumed run must be indistinguishable.
+        original.soc->restoreSnapshot(snap);
+        EXPECT_EQ(original.soc->totalCycles(), snap.totalCycles);
+        EXPECT_FALSE(original.soc->appFinished());
+        original.soc->run(60'000'000);
+        EXPECT_EQ(fingerprint(*original.soc), want);
+
+        // Restore into a fresh SoC that never saw the guest program:
+        // the snapshot carries the full FRAM image.
+        SocBench fresh = makeBench();
+        fresh.soc->restoreSnapshot(snap);
+        fresh.soc->run(60'000'000);
+        EXPECT_EQ(fingerprint(*fresh.soc), want);
+    }
+}
+
+TEST(SocSnapshot, RestoredSocSurvivesPowerFailLikeTheOriginal)
+{
+    const soc::GuestProgram prog = soc::makeCrc32Program(1024, 7);
+    SocBench a = makeBench();
+    a.soc->loadGuest(prog);
+    a.soc->powerOn();
+    while (a.soc->totalCycles() < 15'000 && !a.soc->appFinished())
+        a.soc->step();
+    const soc::Snapshot snap = a.soc->saveSnapshot();
+
+    // Original: power-fail right here, reboot, recover to the end.
+    a.soc->powerFail();
+    a.soc->powerOn();
+    a.soc->run(60'000'000);
+    ASSERT_TRUE(a.soc->appFinished());
+    const std::uint64_t want = fingerprint(*a.soc);
+
+    // Forked copy: restore, then the identical power-fail sequence.
+    SocBench b = makeBench();
+    b.soc->restoreSnapshot(snap);
+    b.soc->powerFail();
+    b.soc->powerOn();
+    b.soc->run(60'000'000);
+    EXPECT_EQ(fingerprint(*b.soc), want);
+    EXPECT_EQ(b.soc->guestResult(prog), a.soc->guestResult(prog));
+}
+
+// ---------------------------------------------------------------------
+// Forked torture campaigns vs. the replay-from-boot reference
+// ---------------------------------------------------------------------
+
+void
+expectSameOutcome(const fault::TortureOutcome &a,
+                  const fault::TortureOutcome &b, std::size_t i)
+{
+    EXPECT_EQ(a.killed, b.killed) << "kill " << i;
+    EXPECT_EQ(a.killTore, b.killTore) << "kill " << i;
+    EXPECT_EQ(a.validSlots, b.validSlots) << "kill " << i;
+    EXPECT_EQ(a.tornSlots, b.tornSlots) << "kill " << i;
+    EXPECT_EQ(a.newestSeq, b.newestSeq) << "kill " << i;
+    EXPECT_EQ(a.coldRestart, b.coldRestart) << "kill " << i;
+    EXPECT_EQ(a.finished, b.finished) << "kill " << i;
+    EXPECT_EQ(a.resultCorrect, b.resultCorrect) << "kill " << i;
+    EXPECT_EQ(a.result, b.result) << "kill " << i;
+}
+
+class SnapshotFork : public ::testing::Test
+{
+  protected:
+    static fault::TortureRig &rig()
+    {
+        static fault::TortureRig *rig = [] {
+            fault::TortureConfig config;
+            config.stableCycles = 60'000;
+            config.lowCycles = 30'000;
+            return new fault::TortureRig(soc::makeCrc32Program(2048, 11),
+                                         config);
+        }();
+        return *rig;
+    }
+
+    static std::vector<fault::PowerKill> kills()
+    {
+        std::vector<fault::PowerKill> out;
+        const std::uint64_t clean = rig().cleanRunCycles();
+        const std::uint64_t stride = clean / 36;
+        for (std::uint64_t c = stride; c < clean + 2 * stride;
+             c += stride)
+            out.push_back(fault::PowerKill{
+                c, unsigned(out.size() % 4),
+                (out.size() % 3 == 0) ? 0xA5A5A5A5u : 0u});
+        // Commit-window kills exercise the tear path specifically.
+        if (rig().checkpointCount() > 0) {
+            const fault::CommitWindow w = rig().commitWindow(0);
+            for (std::uint64_t c = w.begin; c < w.end;
+                 c += std::max<std::uint64_t>(1, w.length() / 6))
+                out.push_back(fault::PowerKill{c, 2, 0x5A5A5A5Au});
+        }
+        return out;
+    }
+
+    static const std::vector<fault::TortureOutcome> &reference()
+    {
+        static const std::vector<fault::TortureOutcome> *ref = [] {
+            auto *out = new std::vector<fault::TortureOutcome>();
+            // runKill() is the replay-from-boot reference path,
+            // untouched by snapshot forking.
+            for (const fault::PowerKill &kill : kills())
+                out->push_back(rig().runKill(kill));
+            return out;
+        }();
+        return *ref;
+    }
+};
+
+TEST_F(SnapshotFork, ForkedVerdictsMatchFromBootAtOneAndEightThreads)
+{
+    ASSERT_TRUE(rig().snapshotsActive())
+        << "FS_NO_SNAPSHOT leaked into the test environment";
+    const std::vector<fault::PowerKill> batch = kills();
+    const std::vector<fault::TortureOutcome> &ref = reference();
+
+    util::ThreadPool one(1);
+    const auto forked1 = rig().runKills(batch, &one);
+    ASSERT_EQ(forked1.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        expectSameOutcome(ref[i], forked1[i], i);
+
+    util::ThreadPool eight(8);
+    const auto forked8 = rig().runKills(batch, &eight);
+    ASSERT_EQ(forked8.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        expectSameOutcome(ref[i], forked8[i], i);
+
+    const fault::ConvergeStats stats = rig().convergeStats();
+    EXPECT_GT(stats.goldenSnapshots, 1u);
+    EXPECT_GT(stats.memoEntries, 0u);
+    EXPECT_GT(stats.memoHits, 0u)
+        << "the second campaign should replay recoveries from the memo";
+    EXPECT_GT(rig().snapshotMemoryBytes(), 0u);
+}
+
+TEST_F(SnapshotFork, ConvergenceOffStillMatchesTheReference)
+{
+    const std::vector<fault::PowerKill> batch = kills();
+    const std::vector<fault::TortureOutcome> &ref = reference();
+
+    rig().setConvergenceEnabled(false);
+    util::ThreadPool pool(4);
+    const auto forked = rig().runKills(batch, &pool);
+    rig().setConvergenceEnabled(true);
+
+    ASSERT_EQ(forked.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        expectSameOutcome(ref[i], forked[i], i);
+}
+
+TEST_F(SnapshotFork, NoSnapshotEnvForcesTheLegacyPathWithSameVerdicts)
+{
+    EnvGuard guard("FS_NO_SNAPSHOT", "1");
+    EXPECT_FALSE(rig().snapshotsActive());
+    const std::vector<fault::PowerKill> batch = kills();
+    const std::vector<fault::TortureOutcome> &ref = reference();
+
+    util::ThreadPool pool(4);
+    const auto legacy = rig().runKills(batch, &pool);
+    ASSERT_EQ(legacy.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        expectSameOutcome(ref[i], legacy[i], i);
+}
+
+TEST_F(SnapshotFork, StrideZeroDisablesForking)
+{
+    EnvGuard guard("FS_SNAPSHOT_STRIDE", "0");
+    EXPECT_FALSE(rig().snapshotsActive());
+}
+
+// ---------------------------------------------------------------------
+// Wire v2: exhaustive point-range shards and coverage maps
+// ---------------------------------------------------------------------
+
+TEST(WireV2, TortureJobExhaustiveFieldsRoundTrip)
+{
+    serve::TortureJob job;
+    job.workload.kind = serve::WorkloadSpec::Kind::kCrc32;
+    job.workload.a = 1024;
+    job.seed = 0xfeedface;
+    job.exhaustivePoints = 1'000'000;
+    job.pointOffset = 123'456;
+    job.pointCount = 10'000;
+    job.coverageMap = 1;
+
+    const std::vector<std::uint8_t> bytes =
+        serve::encodeRequestPayload(serve::Request{job});
+    serve::Request decoded;
+    std::string err;
+    ASSERT_TRUE(serve::decodeRequestPayload(
+        serve::MsgKind::kTorture, bytes.data(), bytes.size(), decoded,
+        err))
+        << err;
+    const auto *t = std::get_if<serve::TortureJob>(&decoded);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->exhaustivePoints, job.exhaustivePoints);
+    EXPECT_EQ(t->pointOffset, job.pointOffset);
+    EXPECT_EQ(t->pointCount, job.pointCount);
+    EXPECT_EQ(t->coverageMap, job.coverageMap);
+}
+
+TEST(WireV2, TortureResultCoverageRoundTrip)
+{
+    serve::TortureResult res;
+    res.cleanCycles = 777;
+    res.points = 2;
+    res.outcomeFlags = {0x1f, 0x00};
+    res.results = {0xdeadbeef, 0};
+    serve::TortureCoverageWire c;
+    c.addr = 0x8000'0010;
+    c.cls = 2;
+    c.rank = 5;
+    c.points = 2;
+    c.killed = 1;
+    c.correct = 1;
+    c.incorrect = 1;
+    c.coldRestarts = 1;
+    c.killTears = 1;
+    res.coverage.push_back(c);
+
+    const std::vector<std::uint8_t> bytes =
+        serve::encodeResponsePayload(serve::Response{res});
+    serve::Response decoded;
+    std::string err;
+    ASSERT_TRUE(serve::decodeResponsePayload(
+        serve::MsgKind::kTortureReply, bytes.data(), bytes.size(),
+        decoded, err))
+        << err;
+    const auto *t = std::get_if<serve::TortureResult>(&decoded);
+    ASSERT_NE(t, nullptr);
+    ASSERT_EQ(t->coverage.size(), 1u);
+    EXPECT_EQ(t->coverage[0].addr, c.addr);
+    EXPECT_EQ(t->coverage[0].cls, c.cls);
+    EXPECT_EQ(t->coverage[0].rank, c.rank);
+    EXPECT_EQ(t->coverage[0].points, c.points);
+    EXPECT_EQ(t->coverage[0].killed, c.killed);
+    EXPECT_EQ(t->coverage[0].killTears, c.killTears);
+}
+
+TEST(WireV2, MergeRejectsGoldenRunMismatchUntouched)
+{
+    serve::TortureResult a, b;
+    a.cleanCycles = 100;
+    a.points = 1;
+    a.outcomeFlags = {1};
+    a.results = {2};
+    b = a;
+    b.cleanCycles = 101;
+    const serve::TortureResult before = a;
+    std::string err;
+    EXPECT_FALSE(serve::mergeTortureResult(a, b, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(a.points, before.points);
+    EXPECT_EQ(a.outcomeFlags, before.outcomeFlags);
+}
+
+TEST(WireV2, MergeRejectsClassRankMismatchUntouched)
+{
+    serve::TortureResult a, b;
+    a.points = 1;
+    a.outcomeFlags = {1};
+    a.results = {2};
+    serve::TortureCoverageWire c;
+    c.addr = 0x100;
+    c.cls = 2;
+    c.rank = 1;
+    c.points = 1;
+    a.coverage.push_back(c);
+    b = a;
+    b.coverage[0].cls = 0;
+    std::string err;
+    EXPECT_FALSE(serve::mergeTortureResult(a, b, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(a.points, 1u);
+    EXPECT_EQ(a.coverage[0].cls, 2u);
+}
+
+TEST(WireV2, MergeSumsCountersAndKeepsCoverageSorted)
+{
+    serve::TortureResult a;
+    a.points = 2;
+    a.killed = 1;
+    a.outcomeFlags = {1, 0};
+    a.results = {10, 20};
+    serve::TortureCoverageWire c1;
+    c1.addr = 0x200;
+    c1.cls = 2;
+    c1.points = 2;
+    c1.killed = 1;
+    a.coverage.push_back(c1);
+
+    serve::TortureResult b;
+    b.points = 1;
+    b.killed = 1;
+    b.outcomeFlags = {3};
+    b.results = {30};
+    serve::TortureCoverageWire c2;
+    c2.addr = 0x100;
+    c2.cls = 0;
+    c2.points = 1;
+    c2.killed = 1;
+    b.coverage.push_back(c2);
+    serve::TortureCoverageWire c3 = c1;
+    c3.points = 1;
+    c3.killed = 1;
+    b.coverage.push_back(c3);
+
+    std::string err;
+    ASSERT_TRUE(serve::mergeTortureResult(a, b, err)) << err;
+    EXPECT_EQ(a.points, 3u);
+    EXPECT_EQ(a.killed, 2u);
+    EXPECT_EQ(a.outcomeFlags,
+              (std::vector<std::uint8_t>{1, 0, 3}));
+    EXPECT_EQ(a.results, (std::vector<std::uint32_t>{10, 20, 30}));
+    ASSERT_EQ(a.coverage.size(), 2u);
+    EXPECT_EQ(a.coverage[0].addr, 0x100u);
+    EXPECT_EQ(a.coverage[1].addr, 0x200u);
+    EXPECT_EQ(a.coverage[1].points, 3u);
+    EXPECT_EQ(a.coverage[1].killed, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Engine: sharded exhaustive campaigns merge to the unsharded bytes
+// ---------------------------------------------------------------------
+
+serve::TortureJob
+campaignJob()
+{
+    serve::TortureJob job;
+    job.workload.kind = serve::WorkloadSpec::Kind::kCrc32;
+    job.workload.a = 1024;
+    job.workload.seed = 7;
+    job.seed = 0x5eed;
+    job.exhaustivePoints = 160;
+    job.coverageMap = 1;
+    return job;
+}
+
+TEST(EngineExhaustive, ShardedCampaignMergesToTheUnshardedBytes)
+{
+    serve::Engine engine(serve::Engine::Options{2, 16u << 20, ""});
+
+    const serve::Response full =
+        engine.execute(serve::Request{campaignJob()});
+    const auto *whole = std::get_if<serve::TortureResult>(&full);
+    ASSERT_NE(whole, nullptr);
+    ASSERT_EQ(whole->points, 160u);
+    ASSERT_FALSE(whole->coverage.empty());
+
+    serve::TortureResult merged;
+    for (int s = 0; s < 4; ++s) {
+        serve::TortureJob shard = campaignJob();
+        shard.pointOffset = std::uint64_t(s) * 40;
+        shard.pointCount = 40;
+        const serve::Response resp =
+            engine.execute(serve::Request{shard});
+        const auto *part = std::get_if<serve::TortureResult>(&resp);
+        ASSERT_NE(part, nullptr) << "shard " << s;
+        if (s == 0) {
+            merged = *part;
+            continue;
+        }
+        std::string err;
+        ASSERT_TRUE(serve::mergeTortureResult(merged, *part, err))
+            << err;
+    }
+    EXPECT_EQ(serve::encodeResponsePayload(serve::Response{merged}),
+              serve::encodeResponsePayload(full));
+}
+
+TEST(EngineExhaustive, NoSnapshotEnvProducesTheSameBytes)
+{
+    const serve::Response forked = [] {
+        serve::Engine engine(serve::Engine::Options{2, 16u << 20, ""});
+        return engine.execute(serve::Request{campaignJob()});
+    }();
+    const serve::Response legacy = [] {
+        EnvGuard guard("FS_NO_SNAPSHOT", "1");
+        serve::Engine engine(serve::Engine::Options{2, 16u << 20, ""});
+        return engine.execute(serve::Request{campaignJob()});
+    }();
+    EXPECT_EQ(serve::encodeResponsePayload(legacy),
+              serve::encodeResponsePayload(forked));
+}
+
+TEST(EngineExhaustive, RejectsMalformedShardRanges)
+{
+    serve::Engine engine(serve::Engine::Options{1, 16u << 20, ""});
+
+    serve::TortureJob job = campaignJob();
+    job.pointOffset = 160; // at the end: nothing to grade
+    const serve::Response r1 = engine.execute(serve::Request{job});
+    EXPECT_NE(std::get_if<serve::ErrorResult>(&r1), nullptr);
+
+    job = campaignJob();
+    job.pointOffset = 100;
+    job.pointCount = 100; // runs past the campaign
+    const serve::Response r2 = engine.execute(serve::Request{job});
+    EXPECT_NE(std::get_if<serve::ErrorResult>(&r2), nullptr);
+
+    job = campaignJob();
+    job.exhaustivePoints = 200'000'000; // over the 1e8 cap
+    const serve::Response r3 = engine.execute(serve::Request{job});
+    EXPECT_NE(std::get_if<serve::ErrorResult>(&r3), nullptr);
+
+    job = campaignJob();
+    job.exhaustivePoints = 1'000'000; // whole-campaign shard > 1e5
+    const serve::Response r4 = engine.execute(serve::Request{job});
+    EXPECT_NE(std::get_if<serve::ErrorResult>(&r4), nullptr);
+}
+
+} // namespace
+} // namespace fs

@@ -17,15 +17,18 @@
  * failure, 2 = usage error.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/lint_images.h"
 #include "serve/client.h"
 #include "serve/engine.h"
+#include "util/hash.h"
 
 namespace {
 
@@ -54,7 +57,12 @@ usage()
         "  torture      [--workload crc32|fir|sort|matmul --a N --b N\n"
         "                --wseed N --sram N --stable N --low N"
         " --seed N\n"
-        "                --kills-per-window N --random-kills N]\n"
+        "                --kills-per-window N --random-kills N\n"
+        "                --exhaustive N --offset N --count N"
+        " --coverage]\n"
+        "  campaign     [torture options --exhaustive N --shards K\n"
+        "                --digest --coverage-json FILE]"
+        " (sharded fan-out)\n"
         "  guest        [--workload ... --a N --b N --wseed N"
         " --no-trace]\n"
         "  lint         [--image NAME --no-pruning]"
@@ -124,6 +132,39 @@ printPerf(const char *prefix, const PerformanceWire &p)
                 p.interpolationError);
 }
 
+/** Render per-kill records as one FNV digest instead of one line
+ *  each (10^6-point campaigns would otherwise print 10^6 lines). */
+bool g_digest = false;
+/** When non-empty, also write the coverage map as JSON to this file. */
+std::string g_coverage_json;
+
+void
+writeCoverageJson(const TortureResult &t)
+{
+    std::FILE *f = std::fopen(g_coverage_json.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "fs_client: cannot write %s\n",
+                     g_coverage_json.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"points\": %u,\n  \"coverage\": [\n",
+                 t.points);
+    for (std::size_t i = 0; i < t.coverage.size(); ++i) {
+        const TortureCoverageWire &c = t.coverage[i];
+        std::fprintf(f,
+                     "    {\"addr\": %u, \"class\": %u, \"rank\": %u, "
+                     "\"points\": %u, \"killed\": %u, \"correct\": %u, "
+                     "\"incorrect\": %u, \"cold_restarts\": %u, "
+                     "\"kill_tears\": %u}%s\n",
+                     c.addr, unsigned(c.cls), c.rank, c.points,
+                     c.killed, c.correct, c.incorrect, c.coldRestarts,
+                     c.killTears,
+                     i + 1 < t.coverage.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
 /** Deterministic rendering; identical for served and --local runs. */
 int
 printResponse(const Response &resp)
@@ -168,10 +209,28 @@ printResponse(const Response &resp)
         std::printf("torn_restores=%u\n", t->tornRestores);
         std::printf("correct=%u\n", t->correct);
         std::printf("incorrect=%u\n", t->incorrect);
-        for (std::size_t i = 0; i < t->outcomeFlags.size(); ++i)
-            std::printf("kill[%zu]=flags:%02x result:%08x\n", i,
-                        unsigned(t->outcomeFlags[i]),
-                        unsigned(t->results[i]));
+        if (g_digest) {
+            std::uint64_t h = fs::util::fnv1a64(
+                t->outcomeFlags.data(), t->outcomeFlags.size());
+            h = fs::util::fnv1a64(
+                t->results.data(),
+                t->results.size() * sizeof(std::uint32_t), h);
+            std::printf("digest=%016llx\n", (unsigned long long)h);
+        } else {
+            for (std::size_t i = 0; i < t->outcomeFlags.size(); ++i)
+                std::printf("kill[%zu]=flags:%02x result:%08x\n", i,
+                            unsigned(t->outcomeFlags[i]),
+                            unsigned(t->results[i]));
+        }
+        for (const TortureCoverageWire &c : t->coverage)
+            std::printf("cov[%08x]=class:%u rank:%u points:%u"
+                        " killed:%u correct:%u incorrect:%u cold:%u"
+                        " tears:%u\n",
+                        c.addr, unsigned(c.cls), c.rank, c.points,
+                        c.killed, c.correct, c.incorrect,
+                        c.coldRestarts, c.killTears);
+        if (!g_coverage_json.empty())
+            writeCoverageJson(*t);
         return 0;
     }
     if (const auto *l = std::get_if<LintImageResult>(&resp)) {
@@ -197,6 +256,108 @@ printResponse(const Response &resp)
     std::printf("instructions=%llu\n",
                 (unsigned long long)g.instructions);
     return 0;
+}
+
+/**
+ * Exhaustive campaign fan-out: split [0, exhaustivePoints) into point
+ * ranges, grade every shard (in-process or against the endpoint,
+ * where fs_router spreads the shards across the fleet), and merge the
+ * results in point order. Because shard tear parameters are a pure
+ * function of (seed, point index), the merged rendering is
+ * byte-identical to running the whole campaign as one job.
+ */
+int
+runCampaign(const TortureJob &base, std::uint64_t shards,
+            const std::string &endpoint, bool local,
+            std::size_t threads)
+{
+    const std::uint64_t points = base.exhaustivePoints;
+    const std::uint64_t min_shards = (points + 99'999) / 100'000;
+    if (shards < min_shards)
+        shards = min_shards;
+    if (shards > points)
+        shards = points;
+
+    std::vector<TortureJob> jobs;
+    jobs.reserve(std::size_t(shards));
+    std::uint64_t offset = 0;
+    for (std::uint64_t s = 0; s < shards; ++s) {
+        const std::uint64_t count =
+            points / shards + (s < points % shards ? 1 : 0);
+        TortureJob shard = base;
+        shard.pointOffset = offset;
+        shard.pointCount = count;
+        jobs.push_back(shard);
+        offset += count;
+    }
+
+    std::vector<Response> responses(jobs.size());
+    if (local) {
+        Engine engine(Engine::Options{threads, 64u << 20, ""});
+        for (std::size_t s = 0; s < jobs.size(); ++s)
+            responses[s] = engine.execute(Request{jobs[s]});
+    } else {
+        if (endpoint.empty()) {
+            std::fprintf(stderr,
+                         "fs_client: no endpoint (use --endpoint,"
+                         " FS_SERVE_SOCKET, or --local)\n");
+            return 2;
+        }
+        // One connection per worker thread; shards drain from a
+        // shared cursor so slow shards do not serialize fast ones.
+        const std::size_t workers =
+            std::min<std::size_t>(jobs.size(), 16);
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back([&] {
+                Client client;
+                std::string err;
+                bool connected = client.connect(endpoint, err);
+                for (std::size_t s =
+                         next.fetch_add(1, std::memory_order_relaxed);
+                     s < jobs.size();
+                     s = next.fetch_add(1, std::memory_order_relaxed)) {
+                    if (!connected ||
+                        !client.call(Request{jobs[s]}, responses[s],
+                                     err))
+                        responses[s] = ErrorResult{
+                            ErrorCode::kInternal,
+                            "shard transport failure: " + err};
+                }
+            });
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    TortureResult merged;
+    for (std::size_t s = 0; s < responses.size(); ++s) {
+        if (const auto *e = std::get_if<ErrorResult>(&responses[s])) {
+            std::fprintf(stderr,
+                         "fs_client: shard %zu failed: %s\n", s,
+                         e->message.c_str());
+            return 1;
+        }
+        const auto *t = std::get_if<TortureResult>(&responses[s]);
+        if (!t) {
+            std::fprintf(stderr,
+                         "fs_client: shard %zu returned an unexpected "
+                         "response kind\n", s);
+            return 1;
+        }
+        if (s == 0) {
+            merged = *t;
+            continue;
+        }
+        std::string err;
+        if (!mergeTortureResult(merged, *t, err)) {
+            std::fprintf(stderr, "fs_client: shard %zu merge: %s\n", s,
+                         err.c_str());
+            return 1;
+        }
+    }
+    return printResponse(Response{merged});
 }
 
 } // namespace
@@ -301,7 +462,7 @@ main(int argc, char **argv)
         if (hasFlag("--explore-divider"))
             job.exploreDivider = 1;
         req = job;
-    } else if (job_name == "torture") {
+    } else if (job_name == "torture" || job_name == "campaign") {
         TortureJob job;
         if (!optWorkload(job.workload))
             return usage();
@@ -311,6 +472,25 @@ main(int argc, char **argv)
         optU("--seed", job.seed);
         optU("--kills-per-window", job.killsPerWindow);
         optU("--random-kills", job.randomKills);
+        optU("--exhaustive", job.exhaustivePoints);
+        optU("--offset", job.pointOffset);
+        optU("--count", job.pointCount);
+        if (hasFlag("--coverage"))
+            job.coverageMap = 1;
+        g_digest = hasFlag("--digest");
+        opt("--coverage-json", g_coverage_json);
+        if (!g_coverage_json.empty())
+            job.coverageMap = 1;
+        if (job_name == "campaign") {
+            if (job.exhaustivePoints == 0) {
+                std::fprintf(stderr, "fs_client: campaign needs "
+                                     "--exhaustive N\n");
+                return 2;
+            }
+            std::uint64_t shards = 0;
+            optU("--shards", shards);
+            return runCampaign(job, shards, endpoint, local, threads);
+        }
         req = job;
     } else if (job_name == "guest") {
         GuestRunJob job;

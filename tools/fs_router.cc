@@ -260,7 +260,7 @@ main(int argc, char **argv)
                  "answered=%llu typed_errors=%llu retries=%llu "
                  "hedges=%llu hedge_wins=%llu replicated=%llu "
                  "overloaded=%llu evictions=%llu readmissions=%llu "
-                 "exhausted=%llu\n",
+                 "exhausted=%llu pooled_reuses=%llu\n",
                  (unsigned long long)daemon.conns.load(),
                  (unsigned long long)daemon.frames.load(),
                  (unsigned long long)s.requests,
@@ -273,6 +273,7 @@ main(int argc, char **argv)
                  (unsigned long long)s.overloaded,
                  (unsigned long long)s.evictions,
                  (unsigned long long)s.readmissions,
-                 (unsigned long long)s.exhausted);
+                 (unsigned long long)s.exhausted,
+                 (unsigned long long)s.pooledReuses);
     return 0;
 }
