@@ -12,6 +12,7 @@
 #include "harvest/system_comparison.h"
 #include "riscv/encoding.h"
 #include "soc/soc.h"
+#include "util/env.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -47,17 +48,16 @@ quickSeq(soc::Soc &s)
 bool
 snapshotsDisabledByEnv()
 {
-    const char *v = std::getenv("FS_NO_SNAPSHOT");
-    return v != nullptr && *v != '\0';
+    return util::envFlag("FS_NO_SNAPSHOT");
 }
 
 std::uint64_t
 snapshotStrideFor(const TortureConfig &config)
 {
-    const char *v = std::getenv("FS_SNAPSHOT_STRIDE");
-    if (v != nullptr && *v != '\0')
-        return std::strtoull(v, nullptr, 0);
-    return config.snapshotStride;
+    // 0 is a valid stride (snapshot every checkpoint), so garbage must
+    // fall back to the config default, not parse to 0 silently.
+    return util::envU64("FS_SNAPSHOT_STRIDE", config.snapshotStride, 0,
+                        1u << 30);
 }
 
 } // namespace

@@ -1,0 +1,213 @@
+#include "harvest/trace_csv.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fs {
+namespace harvest {
+
+namespace {
+
+/** Wrap t into [0, duration) and return the index of the last sample
+ *  at or before it. */
+std::size_t
+sampleIndexFor(const std::vector<double> &times, double t)
+{
+    const double duration = times.back();
+    if (duration > 0.0) {
+        t = std::fmod(t, duration);
+        if (t < 0.0)
+            t += duration;
+    } else {
+        t = 0.0;
+    }
+    auto it = std::upper_bound(times.begin(), times.end(), t);
+    if (it == times.begin())
+        return 0;
+    return std::size_t(it - times.begin()) - 1;
+}
+
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+parseField(const std::string &raw, double *out)
+{
+    const std::string field = trimmed(raw);
+    if (field.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (errno != 0 || end != field.c_str() + field.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+TraceCsvResult
+fail(TraceCsvStatus status, std::size_t line, std::string message)
+{
+    TraceCsvResult r;
+    r.ok = false;
+    r.error = TraceCsvError{status, line, std::move(message)};
+    return r;
+}
+
+} // namespace
+
+double
+EnvTrace::irradianceAt(double t) const
+{
+    if (timeS.empty())
+        return 0.0;
+    return wpm2[sampleIndexFor(timeS, t)];
+}
+
+double
+EnvTrace::temperatureAt(double t) const
+{
+    if (!hasTemperature || timeS.empty())
+        return 25.0;
+    return tempC[sampleIndexFor(timeS, t)];
+}
+
+const char *
+traceCsvStatusName(TraceCsvStatus status)
+{
+    switch (status) {
+    case TraceCsvStatus::kOk:
+        return "ok";
+    case TraceCsvStatus::kIoError:
+        return "io_error";
+    case TraceCsvStatus::kEmpty:
+        return "empty";
+    case TraceCsvStatus::kBadArity:
+        return "bad_arity";
+    case TraceCsvStatus::kBadField:
+        return "bad_field";
+    case TraceCsvStatus::kNonFinite:
+        return "non_finite";
+    case TraceCsvStatus::kNonMonotonic:
+        return "non_monotonic";
+    }
+    return "unknown";
+}
+
+TraceCsvResult
+parseEnvTraceCsv(const std::string &text)
+{
+    TraceCsvResult result;
+    EnvTrace &trace = result.trace;
+    std::istringstream stream(text);
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t arity = 0;
+    bool header_allowed = true;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const std::string stripped = trimmed(line);
+        if (stripped.empty() || stripped[0] == '#')
+            continue;
+        const std::vector<std::string> fields = splitFields(line);
+        double first = 0.0;
+        if (header_allowed && !parseField(fields[0], &first)) {
+            // A non-numeric first field on the first content row is a
+            // header; anywhere else it is an error (handled below).
+            header_allowed = false;
+            if (fields.size() != 2 && fields.size() != 3)
+                return fail(TraceCsvStatus::kBadArity, line_no,
+                            "header has " +
+                                std::to_string(fields.size()) +
+                                " columns; expected 2 or 3");
+            arity = fields.size();
+            continue;
+        }
+        header_allowed = false;
+        if (fields.size() != 2 && fields.size() != 3)
+            return fail(TraceCsvStatus::kBadArity, line_no,
+                        "row has " + std::to_string(fields.size()) +
+                            " fields; expected 2 or 3");
+        if (arity == 0)
+            arity = fields.size();
+        else if (fields.size() != arity)
+            return fail(TraceCsvStatus::kBadArity, line_no,
+                        "row arity changed from " +
+                            std::to_string(arity) + " to " +
+                            std::to_string(fields.size()));
+        double values[3] = {0.0, 0.0, 0.0};
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (!parseField(fields[i], &values[i]))
+                return fail(TraceCsvStatus::kBadField, line_no,
+                            "field " + std::to_string(i + 1) +
+                                " is not a number: \"" +
+                                trimmed(fields[i]) + "\"");
+            if (!std::isfinite(values[i]))
+                return fail(TraceCsvStatus::kNonFinite, line_no,
+                            "field " + std::to_string(i + 1) +
+                                " is not finite");
+        }
+        if (!trace.timeS.empty() && values[0] <= trace.timeS.back())
+            return fail(TraceCsvStatus::kNonMonotonic, line_no,
+                        "timestamp " + trimmed(fields[0]) +
+                            " does not increase");
+        trace.timeS.push_back(values[0]);
+        trace.wpm2.push_back(values[1]);
+        if (arity == 3)
+            trace.tempC.push_back(values[2]);
+    }
+    if (trace.timeS.empty())
+        return fail(TraceCsvStatus::kEmpty, 0, "no data rows");
+    trace.hasTemperature = (arity == 3);
+    result.ok = true;
+    return result;
+}
+
+TraceCsvResult
+loadEnvTraceCsv(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail(TraceCsvStatus::kIoError, 0,
+                    "cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        return fail(TraceCsvStatus::kIoError, 0,
+                    "read error on " + path);
+    return parseEnvTraceCsv(buf.str());
+}
+
+} // namespace harvest
+} // namespace fs

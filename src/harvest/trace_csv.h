@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Typed CSV loader for environment traces.
+ *
+ * The swarm layer replays measured deployment environments from CSV
+ * files with a time column, an irradiance column, and an optional
+ * temperature column. Unlike the lenient parseNumericCsv helper (which
+ * silently skips anything it cannot read), this loader rejects
+ * malformed input with a typed error naming the offending line:
+ * a trace that drives a million simulated devices must not quietly
+ * lose samples to a formatting bug.
+ *
+ * Accepted format:
+ *   - comma-separated, 2 or 3 columns: time_s, irradiance_wpm2
+ *     [, temp_c]; every data row must have the same arity
+ *   - an optional first header row (detected when its first field is
+ *     not a number)
+ *   - blank lines and `#` comment lines are skipped; CRLF tolerated
+ *   - timestamps must be strictly increasing and all values finite
+ */
+
+#ifndef FS_HARVEST_TRACE_CSV_H_
+#define FS_HARVEST_TRACE_CSV_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace harvest {
+
+/** Columnar environment trace (times strictly increasing). */
+struct EnvTrace {
+    std::vector<double> timeS;
+    std::vector<double> wpm2;
+    /** Empty when the CSV had no temperature column. */
+    std::vector<double> tempC;
+    bool hasTemperature = false;
+
+    std::size_t sampleCount() const { return timeS.size(); }
+    /** Time of the last sample (0 when empty). */
+    double duration() const { return timeS.empty() ? 0.0 : timeS.back(); }
+
+    /** Irradiance at time t: step-hold between samples, wraps. */
+    double irradianceAt(double t) const;
+    /** Temperature at time t (25 C when no temperature column). */
+    double temperatureAt(double t) const;
+};
+
+enum class TraceCsvStatus {
+    kOk = 0,
+    kIoError,      ///< file could not be read
+    kEmpty,        ///< no data rows at all
+    kBadArity,     ///< row with != 2/3 fields, or arity changed mid-file
+    kBadField,     ///< field is not a number (or has trailing junk)
+    kNonFinite,    ///< NaN or infinity in a field
+    kNonMonotonic, ///< timestamp not strictly increasing
+};
+
+const char *traceCsvStatusName(TraceCsvStatus status);
+
+struct TraceCsvError {
+    TraceCsvStatus status = TraceCsvStatus::kOk;
+    /** 1-based line number of the offending row (0 if whole-file). */
+    std::size_t line = 0;
+    std::string message;
+};
+
+struct TraceCsvResult {
+    bool ok = false;
+    EnvTrace trace;
+    TraceCsvError error;
+};
+
+/** Parse CSV text (wire payloads, tests). */
+TraceCsvResult parseEnvTraceCsv(const std::string &text);
+
+/** Read and parse a CSV file; unreadable files yield kIoError. */
+TraceCsvResult loadEnvTraceCsv(const std::string &path);
+
+} // namespace harvest
+} // namespace fs
+
+#endif // FS_HARVEST_TRACE_CSV_H_

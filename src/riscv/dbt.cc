@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/env.h"
+
 namespace fs {
 namespace riscv {
 
@@ -11,23 +13,17 @@ namespace {
 std::size_t
 budgetFromEnv()
 {
-    if (const char *s = std::getenv("FS_DBT_CACHE_BYTES")) {
-        const unsigned long long v = std::strtoull(s, nullptr, 0);
-        if (v > 0)
-            return std::size_t(v);
-    }
-    return DbtCache::kDefaultBudgetBytes;
+    return std::size_t(util::envU64("FS_DBT_CACHE_BYTES",
+                                    DbtCache::kDefaultBudgetBytes, 1024,
+                                    1u << 30));
 }
 
 std::uint32_t
 hotThresholdFromEnv()
 {
-    if (const char *s = std::getenv("FS_DBT_HOT_THRESHOLD")) {
-        const unsigned long long v = std::strtoull(s, nullptr, 0);
-        if (v > 0)
-            return std::uint32_t(v);
-    }
-    return DbtCache::kDefaultHotThreshold;
+    return std::uint32_t(util::envU64("FS_DBT_HOT_THRESHOLD",
+                                      DbtCache::kDefaultHotThreshold, 1,
+                                      1u << 30));
 }
 
 } // namespace

@@ -17,6 +17,8 @@
 #include "riscv/hart.h"
 #include "soc/guest_programs.h"
 #include "soc/soc.h"
+#include "swarm/swarm.h"
+#include "util/env.h"
 #include "util/parallel.h"
 #include "util/random.h"
 
@@ -431,6 +433,27 @@ Engine::executeLintImage(const LintImageJob &job) const
 }
 
 Response
+Engine::executeSwarm(const SwarmJob &job) const
+{
+    // FS_SWARM_MAX_DEVICES caps the fleet a single request may ask
+    // this worker to simulate (hostile or fat-fingered requests).
+    const std::uint64_t max_devices = util::envU64(
+        "FS_SWARM_MAX_DEVICES", 2'000'000, 1, 100'000'000);
+    if (job.deviceCount == 0 || job.deviceCount > max_devices)
+        return badRequest("deviceCount out of range [1, " +
+                          std::to_string(max_devices) + "]");
+    if (job.traceCsv.size() > (4u << 20))
+        return badRequest("traceCsv too large (> 4 MiB)");
+    const swarm::SwarmConfig cfg = fromWire(job);
+    const std::string reason = swarm::validateConfig(cfg);
+    if (!reason.empty())
+        return badRequest("swarm: " + reason);
+    SwarmResult res;
+    res.agg = swarm::runSwarmShard(cfg, pool());
+    return res;
+}
+
+Response
 Engine::execute(const Request &req) const
 {
     if (const auto *ro = std::get_if<RoSweepJob>(&req))
@@ -443,6 +466,8 @@ Engine::execute(const Request &req) const
         return executeTorture(*t);
     if (const auto *g = std::get_if<GuestRunJob>(&req))
         return executeGuestRun(*g);
+    if (const auto *s = std::get_if<SwarmJob>(&req))
+        return executeSwarm(*s);
     return executeLintImage(std::get<LintImageJob>(req));
 }
 

@@ -235,7 +235,227 @@ getPerformance(ByteReader &r)
     return v;
 }
 
+// --- swarm aggregate transport ---------------------------------------
+
+void
+put(ByteWriter &w, const RunningStats &s)
+{
+    w.u64(std::uint64_t(s.count()));
+    w.f64(s.count() ? s.mean() : 0.0);
+    w.f64(s.m2());
+    w.f64(s.rawMin());
+    w.f64(s.rawMax());
+}
+
+RunningStats
+getRunningStats(ByteReader &r)
+{
+    const std::uint64_t n = r.u64();
+    const double mean = r.f64();
+    const double m2 = r.f64();
+    const double mn = r.f64();
+    const double mx = r.f64();
+    return RunningStats::fromMoments(std::size_t(n), mean, m2, mn, mx);
+}
+
+void
+put(ByteWriter &w, const LogHistogram &h)
+{
+    w.u32(std::uint32_t(std::int32_t(h.minExp())));
+    w.u32(std::uint32_t(std::int32_t(h.maxExp())));
+    w.u32(std::uint32_t(h.bucketsPerDecade()));
+    w.u32(std::uint32_t(h.buckets()));
+    for (std::size_t b = 0; b < h.buckets(); ++b)
+        w.u64(h.countAt(b));
+    w.u64(h.underflow());
+    w.u64(h.overflow());
+}
+
+/** Decode into `h`, whose geometry is authoritative (reject others). */
+bool
+getLogHistogram(ByteReader &r, LogHistogram &h, std::string &err)
+{
+    const auto min_exp = std::int32_t(r.u32());
+    const auto max_exp = std::int32_t(r.u32());
+    const std::uint32_t per_decade = r.u32();
+    const std::uint32_t buckets = r.u32();
+    if (!r.ok())
+        return false;
+    if (min_exp != h.minExp() || max_exp != h.maxExp() ||
+        per_decade != h.bucketsPerDecade() || buckets != h.buckets()) {
+        err = "swarm histogram geometry mismatch";
+        return false;
+    }
+    for (std::uint32_t b = 0; r.ok() && b < buckets; ++b) {
+        const std::uint64_t n = r.u64();
+        if (n != 0)
+            h.addToBucket(b, n);
+    }
+    h.addUnderflow(r.u64());
+    h.addOverflow(r.u64());
+    return r.ok();
+}
+
+void
+put(ByteWriter &w, const ReservoirSample &s)
+{
+    w.u32(std::uint32_t(s.k()));
+    w.u64(s.seed());
+    const std::vector<ReservoirSample::Entry> entries = s.sorted();
+    w.u32(std::uint32_t(entries.size()));
+    // Priorities are a pure function of (seed, tag); the decoder
+    // recomputes them, so only (tag, value) travels.
+    for (const ReservoirSample::Entry &e : entries) {
+        w.u64(e.tag);
+        w.f64(e.value);
+    }
+}
+
+bool
+getReservoirSample(ByteReader &r, ReservoirSample &s, std::string &err)
+{
+    const std::uint32_t k = r.u32();
+    const std::uint64_t seed = r.u64();
+    const std::uint32_t n = r.u32();
+    if (!r.ok())
+        return false;
+    if (k != s.k() || seed != s.seed() || n > k) {
+        err = "swarm reservoir parameters mismatch";
+        return false;
+    }
+    for (std::uint32_t i = 0; r.ok() && i < n; ++i) {
+        const std::uint64_t tag = r.u64();
+        const double value = r.f64();
+        s.add(tag, value);
+    }
+    return r.ok();
+}
+
+void
+put(ByteWriter &w, const swarm::SwarmAggregates &a)
+{
+    w.u64(a.firstBlock);
+    w.u64(a.deviceCount);
+    w.u32(std::uint32_t(a.blocks.size()));
+    for (const swarm::BlockStats &b : a.blocks) {
+        put(w, b.lifetime);
+        put(w, b.cadence);
+        put(w, b.dead);
+    }
+    put(w, a.lifetimeHist);
+    put(w, a.cadenceHist);
+    put(w, a.deadHist);
+    put(w, a.lifetimeSample);
+    put(w, a.cadenceSample);
+    put(w, a.deadSample);
+    w.u64(a.boots);
+    w.u64(a.checkpoints);
+    w.u64(a.failedCheckpoints);
+    w.u64(a.flaggedDevices);
+    w.u64(a.cohortDevices);
+    w.u64(a.flaggedInCohort);
+    w.u64(a.neverBooted);
+}
+
+bool
+getSwarmAggregates(ByteReader &r, swarm::SwarmAggregates &a,
+                   std::string &err)
+{
+    a.firstBlock = r.u64();
+    a.deviceCount = r.u64();
+    const std::uint32_t block_count = r.u32();
+    if (!r.ok())
+        return false;
+    // Block count must match the device span exactly.
+    const std::uint64_t expected =
+        (a.deviceCount + swarm::kSwarmBlock - 1) / swarm::kSwarmBlock;
+    if (block_count != expected) {
+        err = "swarm block count does not match device count";
+        return false;
+    }
+    a.blocks.reserve(block_count);
+    for (std::uint32_t i = 0; r.ok() && i < block_count; ++i) {
+        swarm::BlockStats b;
+        b.lifetime = getRunningStats(r);
+        b.cadence = getRunningStats(r);
+        b.dead = getRunningStats(r);
+        a.blocks.push_back(b);
+    }
+    if (!getLogHistogram(r, a.lifetimeHist, err) ||
+        !getLogHistogram(r, a.cadenceHist, err) ||
+        !getLogHistogram(r, a.deadHist, err) ||
+        !getReservoirSample(r, a.lifetimeSample, err) ||
+        !getReservoirSample(r, a.cadenceSample, err) ||
+        !getReservoirSample(r, a.deadSample, err))
+        return false;
+    a.boots = r.u64();
+    a.checkpoints = r.u64();
+    a.failedCheckpoints = r.u64();
+    a.flaggedDevices = r.u64();
+    a.cohortDevices = r.u64();
+    a.flaggedInCohort = r.u64();
+    a.neverBooted = r.u64();
+    return r.ok();
+}
+
 } // namespace
+
+bool
+mergeSwarmResult(SwarmResult &into, const SwarmResult &shard,
+                 std::string &err)
+{
+    // swarm::mergeAggregates validates before mutating, so a failure
+    // leaves the accumulator intact.
+    const std::string reason =
+        swarm::mergeAggregates(&into.agg, shard.agg);
+    if (!reason.empty()) {
+        err = reason;
+        return false;
+    }
+    return true;
+}
+
+SwarmJob
+toWire(const swarm::SwarmConfig &cfg)
+{
+    SwarmJob w;
+    w.deviceCount = cfg.deviceCount;
+    w.firstDevice = cfg.firstDevice;
+    w.spanDevices = cfg.spanDevices;
+    w.seed = cfg.seed;
+    w.profile = std::uint32_t(cfg.profile);
+    w.traceSeconds = cfg.traceSeconds;
+    w.segmentSeconds = cfg.segmentSeconds;
+    w.ckptPeriodS = cfg.ckptPeriodS;
+    w.zThreshold = cfg.zThreshold;
+    w.warmup = cfg.warmup;
+    w.tripsToFlag = cfg.tripsToFlag;
+    w.anomalyEvery = cfg.anomalyEvery;
+    w.anomalyFactor = cfg.anomalyFactor;
+    w.traceCsv = cfg.traceCsv;
+    return w;
+}
+
+swarm::SwarmConfig
+fromWire(const SwarmJob &w)
+{
+    swarm::SwarmConfig cfg;
+    cfg.deviceCount = w.deviceCount;
+    cfg.firstDevice = w.firstDevice;
+    cfg.spanDevices = w.spanDevices;
+    cfg.seed = w.seed;
+    cfg.profile = swarm::HarvestProfile(w.profile);
+    cfg.traceSeconds = w.traceSeconds;
+    cfg.segmentSeconds = w.segmentSeconds;
+    cfg.ckptPeriodS = w.ckptPeriodS;
+    cfg.zThreshold = w.zThreshold;
+    cfg.warmup = w.warmup;
+    cfg.tripsToFlag = w.tripsToFlag;
+    cfg.anomalyEvery = w.anomalyEvery;
+    cfg.anomalyFactor = w.anomalyFactor;
+    cfg.traceCsv = w.traceCsv;
+    return cfg;
+}
 
 MsgKind
 requestKind(const Request &req)
@@ -246,7 +466,8 @@ requestKind(const Request &req)
       case 2: return MsgKind::kDseShard;
       case 3: return MsgKind::kTorture;
       case 4: return MsgKind::kGuestRun;
-      default: return MsgKind::kLintImage;
+      case 5: return MsgKind::kLintImage;
+      default: return MsgKind::kSwarm;
     }
 }
 
@@ -260,6 +481,7 @@ responseKind(const Response &resp)
       case 3: return MsgKind::kTortureReply;
       case 4: return MsgKind::kGuestRunReply;
       case 5: return MsgKind::kLintImageReply;
+      case 6: return MsgKind::kSwarmReply;
       default: return MsgKind::kErrorReply;
     }
 }
@@ -274,6 +496,7 @@ replyKindFor(MsgKind request_kind)
       case MsgKind::kTorture: return MsgKind::kTortureReply;
       case MsgKind::kGuestRun: return MsgKind::kGuestRunReply;
       case MsgKind::kLintImage: return MsgKind::kLintImageReply;
+      case MsgKind::kSwarm: return MsgKind::kSwarmReply;
       case MsgKind::kPing: return MsgKind::kPingReply;
       case MsgKind::kCacheInsert: return MsgKind::kCacheInsertReply;
       default: return MsgKind::kErrorReply;
@@ -286,6 +509,7 @@ requestPriority(MsgKind kind)
     switch (kind) {
       case MsgKind::kDseShard:
       case MsgKind::kTorture:
+      case MsgKind::kSwarm:
         return 1; // heavy batch work: shed first under overload
       default:
         return 2;
@@ -437,6 +661,21 @@ encodeRequestPayload(const Request &req)
         for (std::uint32_t word : l->code)
             w.u32(word);
         w.u8(l->emitPruning);
+    } else if (const auto *s = std::get_if<SwarmJob>(&req)) {
+        w.u64(s->deviceCount);
+        w.u64(s->firstDevice);
+        w.u64(s->spanDevices);
+        w.u64(s->seed);
+        w.u32(s->profile);
+        w.f64(s->traceSeconds);
+        w.f64(s->segmentSeconds);
+        w.f64(s->ckptPeriodS);
+        w.f64(s->zThreshold);
+        w.u32(s->warmup);
+        w.u32(s->tripsToFlag);
+        w.u64(s->anomalyEvery);
+        w.f64(s->anomalyFactor);
+        w.str(s->traceCsv);
     }
     return bytes;
 }
@@ -508,6 +747,25 @@ decodeRequestPayload(MsgKind kind, const std::uint8_t *data,
           for (std::uint32_t i = 0; r.ok() && i < n; ++i)
               job.code.push_back(r.u32());
           job.emitPruning = r.u8();
+          out = std::move(job);
+          break;
+      }
+      case MsgKind::kSwarm: {
+          SwarmJob job;
+          job.deviceCount = r.u64();
+          job.firstDevice = r.u64();
+          job.spanDevices = r.u64();
+          job.seed = r.u64();
+          job.profile = r.u32();
+          job.traceSeconds = r.f64();
+          job.segmentSeconds = r.f64();
+          job.ckptPeriodS = r.f64();
+          job.zThreshold = r.f64();
+          job.warmup = r.u32();
+          job.tripsToFlag = r.u32();
+          job.anomalyEvery = r.u64();
+          job.anomalyFactor = r.f64();
+          job.traceCsv = r.str();
           out = std::move(job);
           break;
       }
@@ -590,6 +848,8 @@ encodeResponsePayload(const Response &resp)
         w.f64(l->energyBudgetJoules);
         w.str(l->reportJson);
         w.str(l->pruningJson);
+    } else if (const auto *s = std::get_if<SwarmResult>(&resp)) {
+        put(w, s->agg);
     } else if (const auto *e = std::get_if<ErrorResult>(&resp)) {
         w.u16(std::uint16_t(e->code));
         w.str(e->message);
@@ -686,6 +946,16 @@ decodeResponsePayload(MsgKind kind, const std::uint8_t *data,
           res.energyBudgetJoules = r.f64();
           res.reportJson = r.str();
           res.pruningJson = r.str();
+          out = std::move(res);
+          break;
+      }
+      case MsgKind::kSwarmReply: {
+          SwarmResult res;
+          if (!getSwarmAggregates(r, res.agg, err)) {
+              if (err.empty())
+                  err = "truncated response payload";
+              return false;
+          }
           out = std::move(res);
           break;
       }

@@ -31,6 +31,7 @@
 
 #include "core/fs_config.h"
 #include "core/performance_model.h"
+#include "swarm/swarm.h"
 #include "util/hash.h"
 
 namespace fs {
@@ -40,8 +41,8 @@ namespace serve {
 
 /** "FSRV" */
 constexpr std::uint32_t kWireMagic = 0x46535256u;
-/** v2: TortureJob exhaustive point-range shards + coverage maps. */
-constexpr std::uint16_t kWireVersion = 2;
+/** v3: swarm fleet-simulation shards (v2: exhaustive torture shards). */
+constexpr std::uint16_t kWireVersion = 3;
 /** Frame header: magic u32 + version u16 + kind u16 + length u32. */
 constexpr std::size_t kFrameHeaderSize = 12;
 /** Upper bound on a frame payload; larger frames are rejected. */
@@ -63,6 +64,7 @@ enum class MsgKind : std::uint16_t {
     kPing = 6,
     kCacheInsert = 7,
     kLintImage = 8,
+    kSwarm = 9,
 
     kRoSweepReply = 0x8001,
     kDesignPointReply = 0x8002,
@@ -72,6 +74,7 @@ enum class MsgKind : std::uint16_t {
     kPingReply = 0x8006,
     kCacheInsertReply = 0x8007,
     kLintImageReply = 0x8008,
+    kSwarmReply = 0x8009,
     kErrorReply = 0x80ff,
 };
 
@@ -313,6 +316,48 @@ struct LintImageResult {
     std::string pruningJson;
 };
 
+/**
+ * One shard of a fleet-scale swarm simulation (src/swarm). Mirrors
+ * swarm::SwarmConfig field for field; `firstDevice` must be aligned to
+ * swarm::kSwarmBlock so the per-block Welford partials of any sharding
+ * concatenate into exactly the blocks of the unsharded run.
+ */
+struct SwarmJob {
+    std::uint64_t deviceCount = 100000;
+    std::uint64_t firstDevice = 0;
+    std::uint64_t spanDevices = 0; ///< 0 = through the end of the fleet
+    std::uint64_t seed = 1;
+    std::uint32_t profile = 1; ///< swarm::HarvestProfile
+    double traceSeconds = 600.0;
+    double segmentSeconds = 5.0;
+    double ckptPeriodS = 1.0;
+    double zThreshold = 4.0;
+    std::uint32_t warmup = 16;
+    std::uint32_t tripsToFlag = 2;
+    std::uint64_t anomalyEvery = 0;
+    double anomalyFactor = 0.25;
+    std::string traceCsv; ///< for HarvestProfile::kTraceCsv
+};
+
+/**
+ * Swarm shard result: the streaming aggregates, transported exactly
+ * (Welford raw moments per block, histogram counts, reservoir entries
+ * in canonical priority order). Shards merge with mergeSwarmResult in
+ * block order; the merged encoding is byte-identical to the unsharded
+ * run's.
+ */
+struct SwarmResult {
+    swarm::SwarmAggregates agg;
+};
+
+/**
+ * Fold one swarm shard into an accumulator (block order, matching
+ * sketch geometry). Returns false with a reason in err on mismatch,
+ * leaving `into` untouched.
+ */
+bool mergeSwarmResult(SwarmResult &into, const SwarmResult &shard,
+                      std::string &err);
+
 struct ErrorResult {
     ErrorCode code = ErrorCode::kInternal;
     std::string message;
@@ -355,11 +400,12 @@ struct CacheInsertResult {
 };
 
 using Request = std::variant<RoSweepJob, DesignPointJob, DseShardJob,
-                             TortureJob, GuestRunJob, LintImageJob>;
+                             TortureJob, GuestRunJob, LintImageJob,
+                             SwarmJob>;
 using Response =
     std::variant<RoSweepResult, DesignPointResult, DseShardResult,
                  TortureResult, GuestRunResult, LintImageResult,
-                 ErrorResult>;
+                 SwarmResult, ErrorResult>;
 
 /** Wire kind of a request/response variant. */
 MsgKind requestKind(const Request &req);
@@ -467,6 +513,8 @@ ConfigWire toWire(const core::FsConfig &cfg);
 core::FsConfig fromWire(const ConfigWire &w);
 PerformanceWire toWire(const core::Performance &perf);
 core::Performance fromWire(const PerformanceWire &w);
+SwarmJob toWire(const swarm::SwarmConfig &cfg);
+swarm::SwarmConfig fromWire(const SwarmJob &w);
 
 /** Human-readable workload name, e.g. "crc32-256". */
 std::string workloadName(const WorkloadSpec &spec);

@@ -1,0 +1,348 @@
+#include "swarm/audit_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace fs {
+namespace swarm {
+
+namespace {
+
+constexpr std::uint64_t kAuditMagic = 0x3154494455415346ull; // "FSAUDT1"
+constexpr std::uint32_t kAuditVersion = 1;
+
+void
+putU16(unsigned char *p, std::uint16_t v)
+{
+    p[0] = (unsigned char)(v & 0xff);
+    p[1] = (unsigned char)(v >> 8);
+}
+
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = (unsigned char)((v >> (8 * i)) & 0xff);
+}
+
+void
+putU64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = (unsigned char)((v >> (8 * i)) & 0xff);
+}
+
+std::uint16_t
+getU16(const unsigned char *p)
+{
+    return std::uint16_t(p[0] | (std::uint16_t(p[1]) << 8));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+void
+encodeHeader(unsigned char out[kAuditHeaderBytes])
+{
+    putU64(out, kAuditMagic);
+    putU32(out + 8, kAuditVersion);
+    putU32(out + 12, 0);
+}
+
+/** Chain value anchoring record 0: a hash of the header itself. */
+std::uint64_t
+headerAnchor()
+{
+    unsigned char header[kAuditHeaderBytes];
+    encodeHeader(header);
+    return util::fnv1a64(header, sizeof header);
+}
+
+/** Serialize the 40-byte prefix, then the self hash seeded by prev. */
+void
+encodeRecord(const AuditRecord &r, unsigned char out[kAuditRecordBytes])
+{
+    putU16(out, std::uint16_t(r.event));
+    putU16(out + 2, 0); // pad
+    putU32(out + 4, r.seq);
+    putU64(out + 8, r.device);
+    putU64(out + 16, r.a);
+    putU64(out + 24, r.b);
+    putU64(out + 32, r.prev);
+    putU64(out + 40, util::fnv1a64(out, 40, r.prev));
+}
+
+bool
+decodeRecord(const unsigned char in[kAuditRecordBytes], AuditRecord *r)
+{
+    r->event = AuditEvent(getU16(in));
+    r->seq = getU32(in + 4);
+    r->device = getU64(in + 8);
+    r->a = getU64(in + 16);
+    r->b = getU64(in + 24);
+    r->prev = getU64(in + 32);
+    r->self = getU64(in + 40);
+    if (getU16(in + 2) != 0)
+        return false; // pad bytes are covered by the hash; reject junk
+    return r->self == util::fnv1a64(in, 40, r->prev);
+}
+
+struct ScanResult {
+    AuditVerifyReport report;
+    /** Chain value after the valid prefix (anchor when no records). */
+    std::uint64_t chain = 0;
+    /** File offset just past the valid prefix. */
+    std::uint64_t validBytes = 0;
+};
+
+/** Shared chain walk used by the verifier and by reopen-for-append. */
+ScanResult
+scanLog(const std::string &path)
+{
+    ScanResult scan;
+    AuditVerifyReport &rep = scan.report;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        rep.status = AuditStatus::kIoError;
+        rep.message = "cannot open " + path;
+        return scan;
+    }
+    std::vector<unsigned char> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (bytes.size() < kAuditHeaderBytes) {
+        rep.status = AuditStatus::kIoError;
+        rep.message = "missing header";
+        return scan;
+    }
+    unsigned char expect[kAuditHeaderBytes];
+    encodeHeader(expect);
+    if (std::memcmp(bytes.data(), expect, kAuditHeaderBytes) != 0) {
+        rep.status = AuditStatus::kIoError;
+        rep.message = "bad magic/version in header";
+        return scan;
+    }
+    std::uint64_t chain = headerAnchor();
+    std::size_t off = kAuditHeaderBytes;
+    std::uint64_t index = 0;
+    while (off + kAuditRecordBytes <= bytes.size()) {
+        AuditRecord r;
+        if (!decodeRecord(bytes.data() + off, &r) || r.prev != chain ||
+            r.seq != std::uint32_t(index)) {
+            rep.status = AuditStatus::kCorrupt;
+            rep.records = index; // the still-trustworthy prefix
+            rep.firstBadRecord = index;
+            rep.trailingBytes = bytes.size() - off;
+            rep.message = "record " + std::to_string(index) +
+                          " fails the chain";
+            scan.chain = chain;
+            scan.validBytes = off;
+            return scan;
+        }
+        chain = r.self;
+        if (r.event == AuditEvent::kGap)
+            ++rep.gaps;
+        ++index;
+        off += kAuditRecordBytes;
+    }
+    rep.records = index;
+    scan.chain = chain;
+    scan.validBytes = off;
+    if (off != bytes.size()) {
+        rep.status = AuditStatus::kTornTail;
+        rep.trailingBytes = bytes.size() - off;
+        rep.message = std::to_string(rep.trailingBytes) +
+                      " torn bytes after record " + std::to_string(index);
+        return scan;
+    }
+    rep.status = AuditStatus::kOk;
+    return scan;
+}
+
+} // namespace
+
+const char *
+auditEventName(AuditEvent event)
+{
+    switch (event) {
+    case AuditEvent::kGap:
+        return "gap";
+    case AuditEvent::kShardBegin:
+        return "shard_begin";
+    case AuditEvent::kShardEnd:
+        return "shard_end";
+    case AuditEvent::kDeviceUp:
+        return "device_up";
+    case AuditEvent::kDeviceDown:
+        return "device_down";
+    case AuditEvent::kAnomalyFlag:
+        return "anomaly_flag";
+    case AuditEvent::kCheckpointFail:
+        return "checkpoint_fail";
+    }
+    return "unknown";
+}
+
+const char *
+auditStatusName(AuditStatus status)
+{
+    switch (status) {
+    case AuditStatus::kOk:
+        return "ok";
+    case AuditStatus::kIoError:
+        return "io_error";
+    case AuditStatus::kTornTail:
+        return "torn_tail";
+    case AuditStatus::kCorrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
+AuditWriter::AuditWriter(const std::string &path)
+{
+    // Probe for an existing log first; a fresh file gets a header, a
+    // damaged one is truncated to its valid prefix and gap-marked.
+    const ScanResult scan = scanLog(path);
+    if (scan.report.status == AuditStatus::kIoError) {
+        file_ = std::fopen(path.c_str(), "wb");
+        if (file_ == nullptr)
+            fatal("audit log: cannot create ", path);
+        unsigned char header[kAuditHeaderBytes];
+        encodeHeader(header);
+        chain_ = headerAnchor();
+        writeRaw(header, sizeof header);
+        return;
+    }
+    const std::uint64_t dropped = scan.report.trailingBytes;
+    // Truncate to the valid prefix by rewriting it (portable, and the
+    // prefix of a per-shard log is small).
+    std::vector<unsigned char> prefix;
+    {
+        std::ifstream in(path, std::ios::binary);
+        prefix.resize(scan.validBytes);
+        in.read(reinterpret_cast<char *>(prefix.data()),
+                std::streamsize(prefix.size()));
+        if (!in)
+            fatal("audit log: cannot reread ", path);
+    }
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        fatal("audit log: cannot reopen ", path);
+    chain_ = scan.chain;
+    next_seq_ = std::uint32_t(scan.report.records);
+    writeRaw(prefix.data(), prefix.size());
+    if (dropped != 0) {
+        append(AuditEvent::kGap, 0, dropped, 0);
+        ++gaps_on_open_;
+    }
+}
+
+AuditWriter::~AuditWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+AuditWriter::append(AuditEvent event, std::uint64_t device,
+                    std::uint64_t a, std::uint64_t b)
+{
+    if (dead_)
+        return;
+    AuditRecord r;
+    r.event = event;
+    r.seq = next_seq_;
+    r.device = device;
+    r.a = a;
+    r.b = b;
+    r.prev = chain_;
+    unsigned char buf[kAuditRecordBytes];
+    encodeRecord(r, buf);
+    writeRaw(buf, sizeof buf);
+    if (dead_)
+        return; // power died mid-record; chain state no longer matters
+    chain_ = getU64(buf + 40);
+    ++next_seq_;
+}
+
+void
+AuditWriter::flush()
+{
+    if (file_ != nullptr)
+        std::fflush(file_);
+}
+
+void
+AuditWriter::killAfterBytes(std::uint64_t n)
+{
+    budget_armed_ = true;
+    byte_budget_ = n;
+}
+
+void
+AuditWriter::writeRaw(const unsigned char *data, std::size_t n)
+{
+    std::size_t to_write = n;
+    if (budget_armed_) {
+        to_write = std::size_t(std::min<std::uint64_t>(n, byte_budget_));
+        byte_budget_ -= to_write;
+        if (to_write < n || byte_budget_ == 0)
+            dead_ = true;
+    }
+    if (to_write == 0)
+        return;
+    if (std::fwrite(data, 1, to_write, file_) != to_write)
+        fatal("audit log: short write");
+    if (dead_)
+        std::fflush(file_);
+}
+
+AuditVerifyReport
+verifyAuditLog(const std::string &path)
+{
+    return scanLog(path).report;
+}
+
+std::vector<AuditRecord>
+readAuditRecords(const std::string &path)
+{
+    std::vector<AuditRecord> records;
+    const ScanResult scan = scanLog(path);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return records;
+    std::vector<unsigned char> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    std::size_t off = kAuditHeaderBytes;
+    for (std::uint64_t i = 0; i < scan.report.records; ++i) {
+        AuditRecord r;
+        decodeRecord(bytes.data() + off, &r);
+        records.push_back(r);
+        off += kAuditRecordBytes;
+    }
+    return records;
+}
+
+} // namespace swarm
+} // namespace fs

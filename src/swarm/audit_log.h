@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Crash-consistent, tamper-evident audit log for fleet events.
+ *
+ * Failure semantics follow the securaCV fail-closed discipline: the
+ * absence of evidence must itself leave evidence. Every record carries
+ * the hash of its predecessor and a hash of itself seeded by that
+ * chain value, so the log is an append-only hash chain anchored at the
+ * file header. A reader can therefore detect (a) any bit flip in any
+ * record, (b) truncation that tears a record, and (c) a writer that
+ * died mid-record -- and when a writer reopens a torn log it truncates
+ * the tail and appends an explicit *gap artifact* recording how many
+ * bytes were lost, rather than silently presenting a shorter but
+ * "valid" history.
+ *
+ * Records are fixed-size (48 bytes, little-endian) and carry no wall
+ * clock: sequence numbers and simulation-time payloads only, so logs
+ * from deterministic runs are byte-identical.
+ */
+
+#ifndef FS_SWARM_AUDIT_LOG_H_
+#define FS_SWARM_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fs {
+namespace swarm {
+
+enum class AuditEvent : std::uint16_t {
+    kGap = 1,            ///< a = bytes dropped from a torn tail
+    kShardBegin = 2,     ///< device = first device, a = span, b = seed
+    kShardEnd = 3,       ///< a = boots in shard, b = flagged devices
+    kDeviceUp = 4,       ///< a = boot ordinal, b = sim time bits
+    kDeviceDown = 5,     ///< a = death ordinal, b = sim time bits
+    kAnomalyFlag = 6,    ///< a = checkpoint ordinal, b = |z| bits
+    kCheckpointFail = 7, ///< a = checkpoint ordinal, b = voltage bits
+};
+
+const char *auditEventName(AuditEvent event);
+
+/** One fixed-size chained record. */
+struct AuditRecord {
+    AuditEvent event = AuditEvent::kGap;
+    std::uint32_t seq = 0;
+    std::uint64_t device = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    /** Chain hash of the predecessor (header anchor for record 0). */
+    std::uint64_t prev = 0;
+    /** FNV-1a over the preceding 40 bytes, seeded with `prev`. */
+    std::uint64_t self = 0;
+};
+
+constexpr std::size_t kAuditHeaderBytes = 16;
+constexpr std::size_t kAuditRecordBytes = 48;
+
+/**
+ * Append-only writer. Creating a writer on a fresh path writes the
+ * header; creating one on an existing log verifies the chain, keeps
+ * the longest valid prefix, and -- if anything was torn or trailing --
+ * records a kGap artifact before accepting new events.
+ */
+class AuditWriter
+{
+  public:
+    explicit AuditWriter(const std::string &path);
+    ~AuditWriter();
+
+    AuditWriter(const AuditWriter &) = delete;
+    AuditWriter &operator=(const AuditWriter &) = delete;
+
+    /** Append one event (no-op after simulated power loss). */
+    void append(AuditEvent event, std::uint64_t device, std::uint64_t a,
+                std::uint64_t b);
+
+    void flush();
+
+    /**
+     * Testing hook simulating power loss: write at most `n` more bytes
+     * (possibly tearing a record in half), then go dead silently.
+     */
+    void killAfterBytes(std::uint64_t n);
+
+    bool dead() const { return dead_; }
+    std::uint32_t nextSeq() const { return next_seq_; }
+    /** Gap artifacts appended by *this* writer on reopen. */
+    std::uint64_t gapsOnOpen() const { return gaps_on_open_; }
+
+  private:
+    void writeRaw(const unsigned char *data, std::size_t n);
+
+    std::FILE *file_ = nullptr;
+    std::uint64_t chain_ = 0;
+    std::uint32_t next_seq_ = 0;
+    std::uint64_t byte_budget_ = 0;
+    bool budget_armed_ = false;
+    bool dead_ = false;
+    std::uint64_t gaps_on_open_ = 0;
+};
+
+enum class AuditStatus {
+    kOk = 0,
+    kIoError,  ///< file missing/unreadable or header malformed
+    kTornTail, ///< valid prefix, then a partial record (crash/truncation)
+    kCorrupt,  ///< a full record fails its chain hash (tampering)
+};
+
+const char *auditStatusName(AuditStatus status);
+
+struct AuditVerifyReport {
+    AuditStatus status = AuditStatus::kIoError;
+    /** Records in the longest valid prefix. */
+    std::uint64_t records = 0;
+    /** kGap artifacts among them. */
+    std::uint64_t gaps = 0;
+    /** Bytes past the valid prefix (torn tail / corrupt remainder). */
+    std::uint64_t trailingBytes = 0;
+    /** 0-based index of the first bad record (kCorrupt only). */
+    std::uint64_t firstBadRecord = 0;
+    std::string message;
+};
+
+/** Walk the whole chain; fail closed on the first inconsistency. */
+AuditVerifyReport verifyAuditLog(const std::string &path);
+
+/** Decode the valid prefix (for tests and reporting). */
+std::vector<AuditRecord> readAuditRecords(const std::string &path);
+
+} // namespace swarm
+} // namespace fs
+
+#endif // FS_SWARM_AUDIT_LOG_H_

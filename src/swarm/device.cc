@@ -1,0 +1,316 @@
+#include "swarm/device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace fs {
+namespace swarm {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double
+clampd(double v, double lo, double hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+} // namespace
+
+const char *
+harvestProfileName(HarvestProfile profile)
+{
+    switch (profile) {
+    case HarvestProfile::kNight:
+        return "night";
+    case HarvestProfile::kOffice:
+        return "office";
+    case HarvestProfile::kDiurnal:
+        return "diurnal";
+    case HarvestProfile::kRf:
+        return "rf";
+    case HarvestProfile::kTraceCsv:
+        return "trace";
+    }
+    return "unknown";
+}
+
+DeviceParams
+nominalDeviceParams()
+{
+    return DeviceParams{};
+}
+
+DeviceParams
+applyVariation(DeviceParams p, Rng &rng)
+{
+    // Component tolerances: capacitor +-5%, cell efficiency +-5%,
+    // active current +-3%, leakage lognormal (process spread),
+    // firmware cadence +-2%, sentinel margin gaussian around nominal
+    // (the low tail is the mis-provisioned population), and a site
+    // placement factor for how much light the panel actually sees.
+    p.capF *= clampd(1.0 + rng.gaussian(0.0, 0.05), 0.5, 1.5);
+    p.panelEff *= clampd(1.0 + rng.gaussian(0.0, 0.05), 0.5, 1.5);
+    p.activeCurrentA *= clampd(1.0 + rng.gaussian(0.0, 0.03), 0.7, 1.3);
+    p.leakA *= std::exp(rng.gaussian(0.0, 0.3));
+    p.ckptPeriodS *= clampd(1.0 + rng.gaussian(0.0, 0.02), 0.8, 1.2);
+    p.monitorMarginV = clampd(rng.gaussian(0.05, 0.04), -0.02, 0.2);
+    p.placementFactor = rng.uniform(0.7, 1.3);
+    return p;
+}
+
+std::vector<HarvestSegment>
+makeSegments(HarvestProfile profile, double trace_seconds,
+             double segment_seconds, Rng &rng,
+             const harvest::EnvTrace *trace)
+{
+    FS_ASSERT(trace_seconds > 0.0 && segment_seconds > 0.0,
+              "segment generation needs positive durations");
+    std::vector<HarvestSegment> segments;
+    const auto count =
+        std::size_t(std::ceil(trace_seconds / segment_seconds));
+    segments.reserve(count);
+    // Per-device phase offset so a fleet is not lock-stepped.
+    const double phase = rng.uniform(0.0, 1.0);
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        HarvestSegment seg;
+        seg.durS = std::min(segment_seconds, trace_seconds - t);
+        const double tc = t + 0.5 * seg.durS; // segment midpoint
+        switch (profile) {
+        case HarvestProfile::kNight: {
+            const double roll = rng.uniform();
+            if (roll < 0.05)
+                seg.wpm2 = 0.01; // dark stretch
+            else if (roll < 0.20)
+                seg.wpm2 = rng.uniform(1.0, 3.0); // streetlight lobe
+            else
+                seg.wpm2 = rng.uniform(0.06, 0.15); // urban ambient
+            seg.tempC = 10.0 + rng.gaussian(0.0, 2.0);
+            break;
+        }
+        case HarvestProfile::kOffice: {
+            // Occupancy cycles: lights on ~70% of a 40 s period,
+            // phase-shifted per device.
+            const double cycle = std::fmod(tc / 40.0 + phase, 1.0);
+            if (cycle < 0.7)
+                seg.wpm2 = 3.0 * (1.0 + rng.gaussian(0.0, 0.08));
+            else
+                seg.wpm2 = 0.05;
+            seg.tempC = 24.0 + rng.gaussian(0.0, 1.0);
+            break;
+        }
+        case HarvestProfile::kDiurnal: {
+            const double day =
+                std::max(0.0, std::sin(kPi * tc / trace_seconds));
+            seg.wpm2 = 300.0 * day * rng.uniform(0.4, 1.0);
+            seg.tempC = 15.0 + 15.0 * day + rng.gaussian(0.0, 1.0);
+            break;
+        }
+        case HarvestProfile::kRf: {
+            seg.wpm2 = rng.uniform() < 0.10
+                           ? rng.uniform(20.0, 80.0) // reader pass
+                           : 0.02;
+            seg.tempC = 25.0;
+            break;
+        }
+        case HarvestProfile::kTraceCsv: {
+            FS_ASSERT(trace != nullptr,
+                      "kTraceCsv needs a loaded trace");
+            // Phase-shift into the trace so devices decorrelate.
+            const double tt = tc + phase * trace->duration();
+            seg.wpm2 = trace->irradianceAt(tt);
+            seg.tempC = trace->temperatureAt(tt);
+            break;
+        }
+        }
+        seg.wpm2 = std::max(0.0, seg.wpm2);
+        segments.push_back(seg);
+        t += seg.durS;
+    }
+    return segments;
+}
+
+DeviceResult
+simulateDevice(const DeviceParams &p,
+               const std::vector<HarvestSegment> &segments,
+               const TimingMonitorConfig &monitor_cfg,
+               DeviceEventSink *sink)
+{
+    DeviceResult out;
+    TimingMonitor monitor(monitor_cfg);
+    static DeviceEventSink null_sink;
+    if (sink == nullptr)
+        sink = &null_sink;
+
+    const double i_active = p.activeCurrentA;
+    // Worst-case voltage droop across one checkpoint write (harvest
+    // assumed absent), plus the sentinel's resolution margin, gives
+    // the trip voltage. A negative margin models a monitor whose
+    // resolution is too coarse for this device's droop.
+    const double ckpt_droop = (i_active + p.leakA) * p.tCkptS / p.capF;
+    const double trip_v = p.coreVmin + ckpt_droop + p.monitorMarginV;
+
+    enum class State { Off, Running };
+    State state = State::Off;
+    double v = 0.0;
+    double t = 0.0;
+    double boot_time = 0.0;
+    double death_time = 0.0;
+    double last_ckpt = 0.0;
+    double lifetime_sum = 0.0, cadence_sum = 0.0, dead_sum = 0.0;
+    std::uint32_t lifetimes = 0, cadences = 0, deads = 0;
+
+    // Performs one checkpoint at time tc/voltage vc; returns the
+    // voltage afterwards or a negative value when the write browned
+    // out (failed checkpoint). Only *scheduled* checkpoints feed the
+    // timing monitor: their inter-arrival is firmware cadence (what
+    // ageing drift shifts), whereas emergency-trip intervals are
+    // harvest-driven noise that belongs in the cadence histogram but
+    // would drown the baseline.
+    const auto doCheckpoint = [&](double tc, double vc, double i_in,
+                                  bool scheduled) -> double {
+        const double v_after =
+            vc - (i_active + p.leakA - i_in) * p.tCkptS / p.capF;
+        if (v_after < p.coreVmin) {
+            ++out.failedCheckpoints;
+            sink->onCheckpointFail(out.checkpoints +
+                                       out.failedCheckpoints,
+                                   v_after);
+            return -1.0;
+        }
+        ++out.checkpoints;
+        const double dt = tc - last_ckpt;
+        cadence_sum += dt;
+        ++cadences;
+        sink->onCadence(dt);
+        if (scheduled && monitor.observe(dt)) {
+            out.flagged = true;
+            sink->onFlag(out.checkpoints, monitor.maxAbsZ());
+        }
+        last_ckpt = tc;
+        return v_after;
+    };
+
+    const auto die = [&](double tc) {
+        const double life = tc - boot_time;
+        out.upS += life;
+        lifetime_sum += life;
+        ++lifetimes;
+        sink->onLifetime(life);
+        sink->onDeath(lifetimes, tc);
+        death_time = tc;
+        state = State::Off;
+    };
+
+    for (const HarvestSegment &seg : segments) {
+        const double temp_factor =
+            std::max(0.1, 1.0 + p.tempLeakPerC * (seg.tempC - 25.0));
+        const double i_leak = p.leakA * temp_factor;
+        const double i_in = seg.wpm2 * p.panelAreaM2 * p.panelEff *
+                            p.placementFactor / p.harvestVRef;
+        double rem = seg.durS;
+        while (rem > 0.0) {
+            if (state == State::Off) {
+                const double i_net = i_in - i_leak;
+                if (v >= p.enableV ||
+                    (i_net > 0.0 &&
+                     (p.enableV - v) * p.capF / i_net <= rem)) {
+                    const double t_charge =
+                        v >= p.enableV
+                            ? 0.0
+                            : (p.enableV - v) * p.capF / i_net;
+                    t += t_charge;
+                    rem -= t_charge;
+                    v = p.enableV;
+                    // Boot: close the dead bout, start a lifetime.
+                    ++out.boots;
+                    const double dead = t - death_time;
+                    out.deadS += dead;
+                    if (out.boots > 1) {
+                        // The pre-first-boot stretch is cold stock,
+                        // not an outage; only count completed
+                        // post-death bouts.
+                        dead_sum += dead;
+                        ++deads;
+                        sink->onDeadTime(dead);
+                    }
+                    sink->onBoot(out.boots, t);
+                    boot_time = t;
+                    last_ckpt = t;
+                    state = State::Running;
+                    continue;
+                }
+                // Stays off through the segment.
+                v = clampd(v + i_net * rem / p.capF, 0.0, p.vMax);
+                t += rem;
+                rem = 0.0;
+                continue;
+            }
+            // Running: race the next scheduled checkpoint, the
+            // sentinel trip voltage, and the segment boundary.
+            const double i_net = i_in - i_active - i_leak;
+            const double period =
+                p.anomalyAtS > 0.0 && t >= p.anomalyAtS
+                    ? p.ckptPeriodS * p.anomalyScale
+                    : p.ckptPeriodS;
+            const double t_sched =
+                std::max(0.0, (last_ckpt + period) - t);
+            double t_trip = std::numeric_limits<double>::infinity();
+            if (i_net < 0.0 && v > trip_v)
+                t_trip = (v - trip_v) * p.capF / (-i_net);
+            else if (v <= trip_v)
+                t_trip = 0.0;
+            const double dt = std::min({t_sched, t_trip, rem});
+            t += dt;
+            rem -= dt;
+            v = clampd(v + i_net * dt / p.capF, 0.0, p.vMax);
+            if (t_trip <= dt && t_trip <= t_sched) {
+                // Sentinel fired: emergency checkpoint, then power off.
+                const double v_after = doCheckpoint(t, v, i_in, false);
+                v = std::max(0.0, v_after < 0.0 ? v - ckpt_droop
+                                                : v_after);
+                t += p.tCkptS;
+                rem = std::max(0.0, rem - p.tCkptS);
+                die(t);
+            } else if (t_sched <= dt && rem > 0.0) {
+                // Scheduled checkpoint (still above the trip voltage).
+                const double v_after = doCheckpoint(t, v, i_in, true);
+                t += p.tCkptS;
+                rem = std::max(0.0, rem - p.tCkptS);
+                if (v_after < 0.0) {
+                    // Write browned out: progress lost, device dies.
+                    v = 0.0;
+                    die(t);
+                } else {
+                    v = v_after;
+                }
+            }
+            // Otherwise the segment ended; loop exits via rem == 0.
+        }
+    }
+    // Close partial bouts into the totals (but not the completed-bout
+    // distributions).
+    const double t_end = t;
+    if (state == State::Running)
+        out.upS += t_end - boot_time;
+    else
+        out.deadS += t_end - death_time;
+
+    if (lifetimes > 0)
+        out.meanLifetimeS = lifetime_sum / double(lifetimes);
+    if (cadences > 0)
+        out.meanCadenceS = cadence_sum / double(cadences);
+    if (deads > 0)
+        out.meanDeadS = dead_sum / double(deads);
+    out.maxAbsZ = monitor.maxAbsZ();
+    out.flagged = monitor.flagged();
+    return out;
+}
+
+} // namespace swarm
+} // namespace fs

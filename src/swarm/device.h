@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Closed-form per-device intermittent-computation model.
+ *
+ * The circuit-level IntermittentSim integrates the storage capacitor
+ * at 50 us steps -- perfect for one device, hopeless for a million.
+ * The swarm instead models each device as a charge/run/checkpoint/die
+ * state machine over *piecewise-constant* harvest segments: within a
+ * segment every current is constant, so the capacitor voltage is
+ * linear in time and every event (reaching the turn-on threshold, the
+ * next scheduled checkpoint, the failure-sentinel trip voltage, the
+ * segment boundary) has an analytic arrival time. Cost is O(events)
+ * per device, a few microseconds instead of seconds.
+ *
+ * Electrical numbers come from the paper's device cards: MSP430FR5969
+ * core + ADXL362 load, tens-of-uF storage, mW-class solar harvest.
+ * The harvester is simplified to a constant-current source
+ * P / harvestVRef per segment so the closed form holds.
+ */
+
+#ifndef FS_SWARM_DEVICE_H_
+#define FS_SWARM_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "harvest/trace_csv.h"
+#include "swarm/timing_monitor.h"
+#include "util/random.h"
+
+namespace fs {
+namespace swarm {
+
+/** Environment regimes a fleet slice can live in. */
+enum class HarvestProfile : std::uint32_t {
+    kNight = 0,    ///< EnHANTs-like urban pedestrian at night
+    kOffice = 1,   ///< indoor lighting with occupancy cycles
+    kDiurnal = 2,  ///< outdoor day/night sine with cloud transients
+    kRf = 3,       ///< RF-harvesting bursts (WISP-class)
+    kTraceCsv = 4, ///< replay a measured EnvTrace
+};
+
+const char *harvestProfileName(HarvestProfile profile);
+
+/** Per-device electrical parameters (after Monte-Carlo variation). */
+struct DeviceParams {
+    double panelAreaM2 = 5e-4;      ///< 5 cm^2 panel
+    double panelEff = 0.15;         ///< cell efficiency
+    double placementFactor = 1.0;   ///< site-specific light multiplier
+    double capF = 47e-6;            ///< storage capacitance
+    double vMax = 3.6;              ///< storage clamp voltage
+    double enableV = 3.5;           ///< boot threshold
+    double coreVmin = 1.8;          ///< brown-out voltage
+    double activeCurrentA = 113.7e-6; ///< core @1 MHz + sensor
+    double leakA = 0.5e-6;          ///< off-state leakage at 25 C
+    double tCkptS = 8.192e-3;       ///< checkpoint write time
+    double ckptPeriodS = 1.0;       ///< scheduled checkpoint cadence
+    double harvestVRef = 3.0;       ///< P-to-I conversion voltage
+    /** Sentinel resolution margin above the worst-case checkpoint
+     *  droop; variation can drive it negative, which is exactly the
+     *  mis-provisioned-monitor population that fails checkpoints. */
+    double monitorMarginV = 0.05;
+    double tempLeakPerC = 0.02;     ///< leakage slope per deg C
+    /** Injected cadence anomaly (ageing-style timing drift): from
+     *  `anomalyAtS` seconds on (0 = never), the effective checkpoint
+     *  period becomes ckptPeriodS * anomalyScale. This is the
+     *  known-anomalous cohort the timing monitor is graded against. */
+    double anomalyAtS = 0.0;
+    double anomalyScale = 1.0;
+};
+
+DeviceParams nominalDeviceParams();
+
+/** Seeded component variation (capacitance, efficiency, leakage,
+ *  active current, checkpoint cadence, sentinel margin, placement). */
+DeviceParams applyVariation(DeviceParams p, Rng &rng);
+
+/** One piecewise-constant slice of the environment. */
+struct HarvestSegment {
+    double durS = 0.0;
+    double wpm2 = 0.0;
+    double tempC = 25.0;
+};
+
+/**
+ * Per-device environment: `traceSeconds` of `segmentSeconds` slices
+ * drawn from the profile's generator (or sampled from `trace` for
+ * kTraceCsv) using the device's RNG stream.
+ */
+std::vector<HarvestSegment>
+makeSegments(HarvestProfile profile, double trace_seconds,
+             double segment_seconds, Rng &rng,
+             const harvest::EnvTrace *trace);
+
+/** Per-device lifecycle totals; distributions flow through the sink. */
+struct DeviceResult {
+    std::uint32_t boots = 0;
+    std::uint32_t checkpoints = 0;
+    std::uint32_t failedCheckpoints = 0;
+    double upS = 0.0;
+    double deadS = 0.0;
+    /** Means over *completed* bouts (0 when none completed). */
+    double meanLifetimeS = 0.0;
+    double meanCadenceS = 0.0;
+    double meanDeadS = 0.0;
+    bool flagged = false;
+    double maxAbsZ = 0.0;
+};
+
+/**
+ * Streaming receiver for per-event distributions and audit hooks.
+ * Default implementations drop everything, so callers override only
+ * what they aggregate.
+ */
+class DeviceEventSink
+{
+  public:
+    virtual ~DeviceEventSink() = default;
+    virtual void onLifetime(double /*s*/) {}
+    virtual void onCadence(double /*s*/) {}
+    virtual void onDeadTime(double /*s*/) {}
+    virtual void onBoot(std::uint32_t /*ordinal*/, double /*t*/) {}
+    virtual void onDeath(std::uint32_t /*ordinal*/, double /*t*/) {}
+    virtual void onFlag(std::uint32_t /*ckpt*/, double /*absZ*/) {}
+    virtual void onCheckpointFail(std::uint32_t /*ckpt*/, double /*v*/) {}
+};
+
+/** Run one device across its segments. Pure function of its inputs. */
+DeviceResult simulateDevice(const DeviceParams &params,
+                            const std::vector<HarvestSegment> &segments,
+                            const TimingMonitorConfig &monitor,
+                            DeviceEventSink *sink);
+
+} // namespace swarm
+} // namespace fs
+
+#endif // FS_SWARM_DEVICE_H_

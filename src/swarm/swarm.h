@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fleet-scale swarm simulation: 10^5-10^6 Failure-Sentinels devices in
+ * one deterministic run.
+ *
+ * Devices are processed in fixed blocks of kSwarmBlock; each block
+ * accumulates its own streaming sketches, and blocks are folded in
+ * block order afterwards. Because the fold order is a pure function of
+ * the device range -- never of thread scheduling or sharding -- a run
+ * is bit-identical at any thread count, and a fleet-sharded run whose
+ * shards are block-aligned merges to exactly the bytes of the
+ * in-process run: histograms, reservoirs, and counters merge exactly
+ * in any order, and the order-sensitive Welford accumulators are
+ * transported per block and folded once, in block order, at render
+ * time.
+ */
+
+#ifndef FS_SWARM_SWARM_H_
+#define FS_SWARM_SWARM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "swarm/audit_log.h"
+#include "swarm/device.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace fs {
+namespace swarm {
+
+/** Devices per aggregation block (the unit of parallelism and of
+ *  Welford transport). Shard boundaries must be multiples of this. */
+constexpr std::uint64_t kSwarmBlock = 512;
+
+struct SwarmConfig {
+    /** Global fleet size (the full run, not this shard). */
+    std::uint64_t deviceCount = 100000;
+    /** This shard's slice [firstDevice, firstDevice + spanDevices).
+     *  firstDevice must be block-aligned; spanDevices == 0 means
+     *  "through the end of the fleet". */
+    std::uint64_t firstDevice = 0;
+    std::uint64_t spanDevices = 0;
+    std::uint64_t seed = 1;
+    HarvestProfile profile = HarvestProfile::kOffice;
+    double traceSeconds = 600.0;
+    double segmentSeconds = 5.0;
+    double ckptPeriodS = 1.0;
+    /** Timing-monitor knobs. */
+    double zThreshold = 4.0;
+    std::uint32_t warmup = 16;
+    std::uint32_t tripsToFlag = 2;
+    /** Every N-th device is anomalous (0 = none): halfway through the
+     *  trace its checkpoint cadence drifts to anomalyFactor times the
+     *  nominal period (ageing-style timing drift). */
+    std::uint64_t anomalyEvery = 0;
+    double anomalyFactor = 0.25;
+    /** CSV text for HarvestProfile::kTraceCsv (see trace_csv.h). */
+    std::string traceCsv;
+
+    std::uint64_t spanOrRest() const;
+};
+
+/** Welford accumulators for one block, transported exactly. */
+struct BlockStats {
+    RunningStats lifetime;
+    RunningStats cadence;
+    RunningStats dead;
+};
+
+/** Mergeable shard result: O(blocks + buckets + k), not O(devices). */
+struct SwarmAggregates {
+    /** Global index of blocks[0]. */
+    std::uint64_t firstBlock = 0;
+    std::uint64_t deviceCount = 0;
+    std::vector<BlockStats> blocks;
+    LogHistogram lifetimeHist;
+    LogHistogram cadenceHist;
+    LogHistogram deadHist;
+    /** Per-device mean lifetimes/cadences/dead times, sampled. */
+    ReservoirSample lifetimeSample;
+    ReservoirSample cadenceSample;
+    ReservoirSample deadSample;
+    std::uint64_t boots = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t failedCheckpoints = 0;
+    std::uint64_t flaggedDevices = 0;
+    /** Injected-anomaly cohort bookkeeping (monitor precision). */
+    std::uint64_t cohortDevices = 0;
+    std::uint64_t flaggedInCohort = 0;
+    std::uint64_t neverBooted = 0;
+
+    SwarmAggregates();
+
+    /** Fold the per-block Welford partials in block order. */
+    BlockStats foldStats() const;
+};
+
+/**
+ * Validate a config (block alignment, ranges, trace). Returns an empty
+ * string when usable, else a one-line reason.
+ */
+std::string validateConfig(const SwarmConfig &cfg);
+
+/**
+ * Simulate [firstDevice, firstDevice + spanOrRest()) on the pool.
+ * When `audit` is non-null, fleet events for the sampled device cohort
+ * (every auditEvery-th device) plus shard boundaries are appended in
+ * deterministic order. Throws FatalError on an invalid config.
+ */
+SwarmAggregates runSwarmShard(const SwarmConfig &cfg,
+                              util::ThreadPool &pool,
+                              AuditWriter *audit = nullptr,
+                              std::uint64_t audit_every = 1000);
+
+/**
+ * Merge a shard into an accumulator. Shards must arrive in block
+ * order and agree on sketch geometry. Returns an empty string on
+ * success, else the reason (accumulator untouched).
+ */
+std::string mergeAggregates(SwarmAggregates *into,
+                            const SwarmAggregates &from);
+
+} // namespace swarm
+} // namespace fs
+
+#endif // FS_SWARM_SWARM_H_

@@ -1,0 +1,44 @@
+#include "swarm/timing_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fs {
+namespace swarm {
+
+bool
+TimingMonitor::observe(double dt_s)
+{
+    bool just_flagged = false;
+    if (baseline_.count() >= cfg_.warmup) {
+        const double sd =
+            std::max(baseline_.stddev(),
+                     cfg_.sdFloorRel * std::abs(baseline_.mean()));
+        // A perfectly regular baseline (sd == 0) treats any deviation
+        // at all as out-of-band.
+        double z;
+        if (sd > 0.0)
+            z = (dt_s - baseline_.mean()) / sd;
+        else if (dt_s == baseline_.mean())
+            z = 0.0;
+        else
+            z = dt_s > baseline_.mean() ? cfg_.zThreshold + 1.0
+                                        : -cfg_.zThreshold - 1.0;
+        last_z_ = z;
+        max_abs_z_ = std::max(max_abs_z_, std::abs(z));
+        if (std::abs(z) > cfg_.zThreshold) {
+            ++trips_;
+            if (trips_ >= cfg_.tripsToFlag && !flagged_) {
+                flagged_ = true;
+                just_flagged = true;
+            }
+        } else {
+            trips_ = 0;
+        }
+    }
+    baseline_.add(dt_s);
+    return just_flagged;
+}
+
+} // namespace swarm
+} // namespace fs

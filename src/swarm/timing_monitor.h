@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Adaptive per-device timing-baseline monitor.
+ *
+ * The timing-FSM idiom: learn a baseline of checkpoint inter-arrival
+ * times online (Welford mean/variance, O(1) memory), score each new
+ * interval as a z-score against the baseline *before* folding it in,
+ * and require several consecutive out-of-band intervals before
+ * flagging, so a single harvest glitch does not page anyone. No
+ * hand-tuned absolute thresholds: the baseline is whatever this
+ * device's environment actually produces.
+ */
+
+#ifndef FS_SWARM_TIMING_MONITOR_H_
+#define FS_SWARM_TIMING_MONITOR_H_
+
+#include <cstddef>
+
+#include "util/stats.h"
+
+namespace fs {
+namespace swarm {
+
+struct TimingMonitorConfig {
+    /** |z| above which one interval counts as a trip. */
+    double zThreshold = 4.0;
+    /** Baseline samples required before intervals are judged. */
+    std::size_t warmup = 16;
+    /** Consecutive trips required to flag the device. */
+    std::size_t tripsToFlag = 2;
+    /**
+     * Relative variance floor: the effective stddev is at least
+     * sdFloorRel * |mean|, so a near-perfectly regular baseline (all
+     * intervals equal up to float noise) does not turn ulp jitter
+     * into astronomical z-scores.
+     */
+    double sdFloorRel = 0.05;
+};
+
+class TimingMonitor
+{
+  public:
+    explicit TimingMonitor(const TimingMonitorConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Observe one checkpoint inter-arrival time. Returns true exactly
+     * once, on the observation that transitions the device to flagged.
+     */
+    bool observe(double dt_s);
+
+    bool flagged() const { return flagged_; }
+    std::size_t samples() const { return baseline_.count(); }
+    /** z-score of the most recent judged interval (0 during warmup). */
+    double lastZ() const { return last_z_; }
+    /** Largest |z| seen so far. */
+    double maxAbsZ() const { return max_abs_z_; }
+
+  private:
+    TimingMonitorConfig cfg_;
+    RunningStats baseline_;
+    std::size_t trips_ = 0;
+    bool flagged_ = false;
+    double last_z_ = 0.0;
+    double max_abs_z_ = 0.0;
+};
+
+} // namespace swarm
+} // namespace fs
+
+#endif // FS_SWARM_TIMING_MONITOR_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/env.h"
+
 namespace fs {
 namespace util {
 
@@ -129,13 +131,9 @@ ThreadPool::shared()
 std::size_t
 ThreadPool::configuredThreads()
 {
-    if (const char *env = std::getenv("FS_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return std::size_t(std::min<long>(v, 256));
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
+    const std::uint64_t def = hw == 0 ? 1 : hw;
+    return std::size_t(envU64("FS_THREADS", def, 1, 256));
 }
 
 std::uint64_t

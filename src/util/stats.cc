@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace fs {
 
@@ -40,6 +41,172 @@ double
 RunningStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+RunningStats
+RunningStats::fromMoments(std::size_t n, double mean, double m2,
+                          double min, double max)
+{
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+}
+
+LogHistogram::LogHistogram(int min_exp, int max_exp,
+                           std::size_t buckets_per_decade)
+    : min_exp_(min_exp), max_exp_(max_exp),
+      per_decade_(buckets_per_decade),
+      counts_(std::size_t(max_exp - min_exp) * buckets_per_decade, 0)
+{
+    FS_ASSERT(max_exp > min_exp, "log histogram needs >= 1 decade");
+    FS_ASSERT(buckets_per_decade > 0,
+              "log histogram needs >= 1 bucket per decade");
+}
+
+void
+LogHistogram::add(double x)
+{
+    ++total_;
+    if (!(x > 0.0)) { // NaN and non-positive values underflow
+        ++underflow_;
+        return;
+    }
+    const double pos = (std::log10(x) - double(min_exp_)) *
+                       double(per_decade_);
+    if (pos < 0.0) {
+        ++underflow_;
+        return;
+    }
+    const auto bucket = std::size_t(pos);
+    if (bucket >= counts_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[bucket];
+}
+
+void
+LogHistogram::addToBucket(std::size_t bucket, std::uint64_t n)
+{
+    FS_ASSERT(bucket < counts_.size(), "bucket out of range");
+    counts_[bucket] += n;
+    total_ += n;
+}
+
+bool
+LogHistogram::sameGeometry(const LogHistogram &other) const
+{
+    return min_exp_ == other.min_exp_ && max_exp_ == other.max_exp_ &&
+           per_decade_ == other.per_decade_;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    FS_ASSERT(sameGeometry(other),
+              "merging log histograms with different geometry");
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+        counts_[b] += other.counts_[b];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
+std::uint64_t
+LogHistogram::countAt(std::size_t bucket) const
+{
+    FS_ASSERT(bucket < counts_.size(), "bucket out of range");
+    return counts_[bucket];
+}
+
+double
+LogHistogram::bucketLowerEdge(std::size_t bucket) const
+{
+    return std::pow(10.0, double(min_exp_) +
+                              double(bucket) / double(per_decade_));
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return std::pow(10.0, double(min_exp_));
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = std::uint64_t(q * double(total_));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = underflow_;
+    if (seen >= target)
+        return std::pow(10.0, double(min_exp_));
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        seen += counts_[b];
+        if (seen >= target)
+            return bucketLowerEdge(b);
+    }
+    return std::pow(10.0, double(max_exp_));
+}
+
+namespace {
+
+/** Heap order: largest (priority, tag) on top, first to evict. */
+bool
+evictsLater(const ReservoirSample::Entry &a,
+            const ReservoirSample::Entry &b)
+{
+    if (a.priority != b.priority)
+        return a.priority < b.priority;
+    return a.tag < b.tag;
+}
+
+} // namespace
+
+ReservoirSample::ReservoirSample(std::size_t k, std::uint64_t seed)
+    : k_(k), seed_(seed)
+{
+    FS_ASSERT(k > 0, "reservoir needs k >= 1");
+    heap_.reserve(k);
+}
+
+void
+ReservoirSample::add(std::uint64_t tag, double value)
+{
+    addEntry(Entry{tag, util::mixSeed(seed_, tag), value});
+}
+
+void
+ReservoirSample::addEntry(const Entry &entry)
+{
+    if (heap_.size() < k_) {
+        heap_.push_back(entry);
+        std::push_heap(heap_.begin(), heap_.end(), evictsLater);
+        return;
+    }
+    if (!evictsLater(entry, heap_.front()))
+        return; // worse than the current worst kept entry
+    std::pop_heap(heap_.begin(), heap_.end(), evictsLater);
+    heap_.back() = entry;
+    std::push_heap(heap_.begin(), heap_.end(), evictsLater);
+}
+
+void
+ReservoirSample::merge(const ReservoirSample &other)
+{
+    FS_ASSERT(k_ == other.k_ && seed_ == other.seed_,
+              "merging reservoirs with different k/seed");
+    for (const Entry &e : other.heap_)
+        addEntry(e);
+}
+
+std::vector<ReservoirSample::Entry>
+ReservoirSample::sorted() const
+{
+    std::vector<Entry> out = heap_;
+    std::sort(out.begin(), out.end(), evictsLater);
+    return out;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -1,12 +1,30 @@
 /**
  * @file
  * Streaming statistics accumulators.
+ *
+ * Everything here is O(1) (or O(buckets)/O(k)) in the number of
+ * observations and mergeable, which is what lets the swarm layer
+ * aggregate a million simulated devices without ever materializing a
+ * million result structs. Merge contracts:
+ *
+ *  - RunningStats (Welford): merging is exact in counts but, like any
+ *    floating-point reduction, the mean/m2 bits depend on the merge
+ *    *tree*. Callers that need bit-identical results across thread
+ *    counts or shardings must fold fixed-granularity partials in a
+ *    fixed order (the swarm layer folds per-block accumulators in
+ *    block order).
+ *  - LogHistogram: pure counters; merging is exact and order-
+ *    independent.
+ *  - ReservoirSample: bottom-k by a pure hash priority; merging is
+ *    exact and order-independent (bottom-k of a union is a union of
+ *    bottom-ks).
  */
 
 #ifndef FS_UTIL_STATS_H_
 #define FS_UTIL_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -35,12 +53,118 @@ class RunningStats
     /** Peak-to-peak spread. */
     double range() const { return n_ ? max_ - min_ : 0.0; }
 
+    /** Raw second central moment (for exact-bit transport). */
+    double m2() const { return m2_; }
+    /** Raw min/max including the empty-state infinities. */
+    double rawMin() const { return min_; }
+    double rawMax() const { return max_; }
+
+    /** Rebuild from transported raw moments (wire decode). */
+    static RunningStats fromMoments(std::size_t n, double mean,
+                                    double m2, double min, double max);
+
   private:
     std::size_t n_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Mergeable log-bucketed histogram over [10^minExp, 10^maxExp) with
+ * `bucketsPerDecade` geometric buckets per decade plus explicit
+ * underflow (including zero and negatives) and overflow buckets.
+ * Buckets are global, not data-dependent, so two histograms with the
+ * same geometry merge by summing counts -- exactly, in any order.
+ */
+class LogHistogram
+{
+  public:
+    LogHistogram(int min_exp, int max_exp,
+                 std::size_t buckets_per_decade);
+
+    void add(double x);
+    /** Add `n` observations to one interior bucket (wire decode). */
+    void addToBucket(std::size_t bucket, std::uint64_t n);
+    void addUnderflow(std::uint64_t n) { underflow_ += n; total_ += n; }
+    void addOverflow(std::uint64_t n) { overflow_ += n; total_ += n; }
+
+    /** True when `other` has identical geometry (mergeable). */
+    bool sameGeometry(const LogHistogram &other) const;
+
+    /** Sum counts from a same-geometry histogram (panics otherwise). */
+    void merge(const LogHistogram &other);
+
+    int minExp() const { return min_exp_; }
+    int maxExp() const { return max_exp_; }
+    std::size_t bucketsPerDecade() const { return per_decade_; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t countAt(std::size_t bucket) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Geometric lower edge of an interior bucket. */
+    double bucketLowerEdge(std::size_t bucket) const;
+
+    /**
+     * Approximate quantile in [0, 1]: the lower edge of the bucket
+     * holding the q-th observation (minExp edge for underflow, maxExp
+     * edge for overflow).
+     */
+    double quantile(double q) const;
+
+  private:
+    int min_exp_;
+    int max_exp_;
+    std::size_t per_decade_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Seeded bottom-k reservoir: keeps the k tagged observations with the
+ * smallest hash priority, where priority is a pure function of
+ * (seed, tag). Because the priority does not depend on arrival order
+ * or sharding, any partition of the tag space merges to exactly the
+ * sample a single sequential pass would keep -- a deterministic,
+ * order-independent "uniform" sample of a distributed population.
+ * Tags must be unique across the population (the swarm uses the
+ * device index).
+ */
+class ReservoirSample
+{
+  public:
+    struct Entry {
+        std::uint64_t tag = 0;
+        std::uint64_t priority = 0;
+        double value = 0.0;
+    };
+
+    ReservoirSample(std::size_t k, std::uint64_t seed);
+
+    /** Offer one observation; kept iff its priority makes bottom-k. */
+    void add(std::uint64_t tag, double value);
+
+    /** Re-insert a transported entry with its recorded priority. */
+    void addEntry(const Entry &entry);
+
+    void merge(const ReservoirSample &other);
+
+    std::size_t k() const { return k_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Kept entries sorted by (priority, tag) -- canonical order. */
+    std::vector<Entry> sorted() const;
+
+  private:
+    std::size_t k_;
+    std::uint64_t seed_;
+    /** Max-heap on (priority, tag): top is the first entry to evict. */
+    std::vector<Entry> heap_;
 };
 
 /**

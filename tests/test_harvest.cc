@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 
 #include "harvest/checkpoint_study.h"
 #include "harvest/system_comparison.h"
+#include "harvest/trace_csv.h"
 #include "util/logging.h"
 
 namespace fs {
@@ -384,6 +387,125 @@ TEST_F(CheckpointStudyTest, EfficiencyIsAFraction)
 TEST_F(CheckpointStudyTest, RejectsNonPositivePeriod)
 {
     EXPECT_DEATH(study_.runPeriodic(0.0), "period");
+}
+
+// ---------------------------------------------------------------------
+// Typed environment-trace CSV loader
+// ---------------------------------------------------------------------
+
+TEST(TraceCsv, ParsesTwoColumnTrace)
+{
+    const TraceCsvResult r =
+        parseEnvTraceCsv("0,3.0\n10,0.5\n20,2.25\n");
+    ASSERT_TRUE(r.ok) << r.error.message;
+    ASSERT_EQ(r.trace.sampleCount(), 3u);
+    EXPECT_FALSE(r.trace.hasTemperature);
+    EXPECT_DOUBLE_EQ(r.trace.duration(), 20.0);
+    // Step-hold lookup, wrapping past the end.
+    EXPECT_DOUBLE_EQ(r.trace.irradianceAt(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(r.trace.irradianceAt(9.9), 3.0);
+    EXPECT_DOUBLE_EQ(r.trace.irradianceAt(10.0), 0.5);
+    // Past the end the trace is periodic: t=35 wraps to t=15.
+    EXPECT_DOUBLE_EQ(r.trace.irradianceAt(35.0), 0.5);
+    // No temperature column: the default ambient applies.
+    EXPECT_DOUBLE_EQ(r.trace.temperatureAt(0.0), 25.0);
+}
+
+TEST(TraceCsv, ParsesThreeColumnTraceWithHeaderCommentsAndCrlf)
+{
+    const TraceCsvResult r = parseEnvTraceCsv(
+        "# measured on the roof\r\n"
+        "time_s,irradiance_wpm2,temp_c\r\n"
+        "0, 300.0, 21.5\r\n"
+        "\r\n"
+        "60,\t250.0,\t22.0\r\n");
+    ASSERT_TRUE(r.ok) << r.error.message;
+    ASSERT_EQ(r.trace.sampleCount(), 2u);
+    EXPECT_TRUE(r.trace.hasTemperature);
+    EXPECT_DOUBLE_EQ(r.trace.irradianceAt(30.0), 300.0);
+    EXPECT_DOUBLE_EQ(r.trace.temperatureAt(61.0), 21.5); // wraps to t=1
+}
+
+TEST(TraceCsv, RejectsEmptyInputs)
+{
+    EXPECT_FALSE(parseEnvTraceCsv("").ok);
+    EXPECT_EQ(parseEnvTraceCsv("").error.status,
+              TraceCsvStatus::kEmpty);
+    // Header/comments/blank lines only: still no data.
+    const TraceCsvResult r =
+        parseEnvTraceCsv("# nothing\ntime,wpm2\n\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error.status, TraceCsvStatus::kEmpty);
+}
+
+TEST(TraceCsv, RejectsMalformedRows)
+{
+    // Wrong arity.
+    {
+        const TraceCsvResult r = parseEnvTraceCsv("0,1\n5\n");
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.error.status, TraceCsvStatus::kBadArity);
+        EXPECT_EQ(r.error.line, 2u);
+    }
+    // Arity must stay constant across rows.
+    {
+        const TraceCsvResult r = parseEnvTraceCsv("0,1\n5,2,25\n");
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.error.status, TraceCsvStatus::kBadArity);
+    }
+    // Trailing junk after a numeric field.
+    {
+        const TraceCsvResult r = parseEnvTraceCsv("0,1\n5,2.5abc\n");
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.error.status, TraceCsvStatus::kBadField);
+        EXPECT_EQ(r.error.line, 2u);
+    }
+    // Non-numeric field in a data row (only the first row may be a
+    // header).
+    {
+        const TraceCsvResult r = parseEnvTraceCsv("0,1\nten,2\n");
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.error.status, TraceCsvStatus::kBadField);
+    }
+}
+
+TEST(TraceCsv, RejectsNonFiniteValues)
+{
+    const TraceCsvResult nan_row = parseEnvTraceCsv("0,nan\n");
+    EXPECT_FALSE(nan_row.ok);
+    EXPECT_EQ(nan_row.error.status, TraceCsvStatus::kNonFinite);
+    const TraceCsvResult inf_row = parseEnvTraceCsv("0,1\n5,inf\n");
+    EXPECT_FALSE(inf_row.ok);
+    EXPECT_EQ(inf_row.error.status, TraceCsvStatus::kNonFinite);
+}
+
+TEST(TraceCsv, RejectsNonMonotonicTimestamps)
+{
+    const TraceCsvResult dup = parseEnvTraceCsv("0,1\n0,2\n");
+    EXPECT_FALSE(dup.ok);
+    EXPECT_EQ(dup.error.status, TraceCsvStatus::kNonMonotonic);
+    const TraceCsvResult back = parseEnvTraceCsv("0,1\n10,2\n5,3\n");
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error.status, TraceCsvStatus::kNonMonotonic);
+    EXPECT_EQ(back.error.line, 3u);
+}
+
+TEST(TraceCsv, LoadsFromFileAndReportsIoError)
+{
+    const std::string path = testing::TempDir() + "/trace_ok.csv";
+    {
+        std::ofstream out(path);
+        out << "0,1.5\n30,2.5\n";
+    }
+    const TraceCsvResult r = loadEnvTraceCsv(path);
+    ASSERT_TRUE(r.ok) << r.error.message;
+    EXPECT_EQ(r.trace.sampleCount(), 2u);
+    std::remove(path.c_str());
+
+    const TraceCsvResult missing =
+        loadEnvTraceCsv(testing::TempDir() + "/no_such_trace.csv");
+    EXPECT_FALSE(missing.ok);
+    EXPECT_EQ(missing.error.status, TraceCsvStatus::kIoError);
 }
 
 } // namespace

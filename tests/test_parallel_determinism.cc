@@ -10,13 +10,16 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "dse/fs_design_space.h"
 #include "dse/nsga2.h"
 #include "fault/torture_rig.h"
 #include "soc/guest_programs.h"
+#include "util/env.h"
 #include "util/parallel.h"
 
 namespace fs {
@@ -43,6 +46,29 @@ TEST(ThreadPool, MapPreservesIndexOrder)
         for (std::size_t i = 0; i < out.size(); ++i)
             ASSERT_EQ(out[i], double(i) * 3.0 + 1.0);
     }
+}
+
+TEST(ThreadPool, GarbageFsThreadsFallsBackToHardwareDefault)
+{
+    // FS_THREADS goes through the hardened env parser: garbage and
+    // out-of-range values warn once and fall back to the hardware
+    // default instead of silently becoming 0 or crashing.
+    util::resetEnvWarnings();
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t def = hw == 0 ? 1 : hw;
+    for (const char *value : {"banana", "", "-3", "0", "100000"}) {
+        ::setenv("FS_THREADS", value, 1);
+        util::ThreadPool pool(0);
+        EXPECT_EQ(pool.threadCount(), def) << "FS_THREADS='" << value
+                                           << "'";
+        util::resetEnvWarnings();
+    }
+    ::setenv("FS_THREADS", "3", 1);
+    {
+        util::ThreadPool pool(0);
+        EXPECT_EQ(pool.threadCount(), 3u);
+    }
+    ::unsetenv("FS_THREADS");
 }
 
 TEST(ThreadPool, ForCoversEveryIndexExactlyOnce)

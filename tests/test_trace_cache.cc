@@ -644,8 +644,9 @@ TEST(TraceCacheFuzz, SelfModifyingStoreFlushesAndStaysExact)
             hart.run(64);
         ASSERT_TRUE(hart.halted());
         EXPECT_EQ(hart.reg(kA0), 101u) << modeName(modes[m]);
-        if (modes[m] != Mode::kInterp)
+        if (modes[m] != Mode::kInterp) {
             EXPECT_GE(hart.traceCache().flushes(), 1u);
+        }
         if (modes[m] == Mode::kDbt) {
             // The patch store must have invalidated translated code.
             EXPECT_GE(hart.dbtCache().stats().translations, 1u);

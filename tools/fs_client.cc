@@ -28,6 +28,9 @@
 #include "analysis/lint_images.h"
 #include "serve/client.h"
 #include "serve/engine.h"
+#include "swarm/audit_log.h"
+#include "swarm/swarm.h"
+#include "util/env.h"
 #include "util/hash.h"
 
 namespace {
@@ -66,7 +69,17 @@ usage()
         "  guest        [--workload ... --a N --b N --wseed N"
         " --no-trace]\n"
         "  lint         [--image NAME --no-pruning]"
-        " (names: fs_lint --list)\n");
+        " (names: fs_lint --list)\n"
+        "  swarm        [--devices N --seed N --profile"
+        " night|office|diurnal|rf\n"
+        "                --trace FILE --trace-seconds F"
+        " --segment-seconds F\n"
+        "                --ckpt-period F --z F --warmup N --trips N\n"
+        "                --anomaly-every N --anomaly-factor F"
+        " --shards K\n"
+        "                --audit PATH (audit needs --local)]\n"
+        "  audit-verify --log PATH [--json FILE]"
+        " (exit 0 iff chain ok)\n");
     return 2;
 }
 
@@ -165,6 +178,76 @@ writeCoverageJson(const TortureResult &t)
     std::fclose(f);
 }
 
+void
+printRunningStats(const char *name, const fs::RunningStats &s)
+{
+    std::printf("%s.count=%zu\n", name, s.count());
+    std::printf("%s.mean=%.17g\n", name, s.mean());
+    std::printf("%s.stddev=%.17g\n", name, s.stddev());
+    std::printf("%s.min=%.17g\n", name, s.min());
+    std::printf("%s.max=%.17g\n", name, s.max());
+}
+
+void
+printLogHistogram(const char *name, const fs::LogHistogram &h)
+{
+    std::printf("%s.total=%llu\n", name,
+                (unsigned long long)h.total());
+    std::printf("%s.underflow=%llu\n", name,
+                (unsigned long long)h.underflow());
+    std::printf("%s.overflow=%llu\n", name,
+                (unsigned long long)h.overflow());
+    std::printf("%s.p50=%.17g\n", name, h.quantile(0.50));
+    std::printf("%s.p90=%.17g\n", name, h.quantile(0.90));
+    std::printf("%s.p99=%.17g\n", name, h.quantile(0.99));
+}
+
+/**
+ * Deterministic swarm rendering. The digest is the FNV of the
+ * canonical response payload bytes, so a fleet-sharded merge diffs
+ * clean against an unsharded in-process run iff the aggregates are
+ * byte-identical.
+ */
+int
+printSwarmResult(const SwarmResult &s)
+{
+    const fs::swarm::SwarmAggregates &a = s.agg;
+    std::printf("swarm devices=%llu\n",
+                (unsigned long long)a.deviceCount);
+    std::printf("blocks=%zu\n", a.blocks.size());
+    std::printf("boots=%llu\n", (unsigned long long)a.boots);
+    std::printf("checkpoints=%llu\n",
+                (unsigned long long)a.checkpoints);
+    std::printf("failed_checkpoints=%llu\n",
+                (unsigned long long)a.failedCheckpoints);
+    std::printf("flagged_devices=%llu\n",
+                (unsigned long long)a.flaggedDevices);
+    std::printf("cohort_devices=%llu\n",
+                (unsigned long long)a.cohortDevices);
+    std::printf("flagged_in_cohort=%llu\n",
+                (unsigned long long)a.flaggedInCohort);
+    std::printf("never_booted=%llu\n",
+                (unsigned long long)a.neverBooted);
+    const fs::swarm::BlockStats folded = a.foldStats();
+    printRunningStats("lifetime", folded.lifetime);
+    printRunningStats("cadence", folded.cadence);
+    printRunningStats("dead", folded.dead);
+    printLogHistogram("lifetime_hist", a.lifetimeHist);
+    printLogHistogram("cadence_hist", a.cadenceHist);
+    printLogHistogram("dead_hist", a.deadHist);
+    std::printf("lifetime_sample.n=%zu\n",
+                a.lifetimeSample.sorted().size());
+    std::printf("cadence_sample.n=%zu\n",
+                a.cadenceSample.sorted().size());
+    std::printf("dead_sample.n=%zu\n", a.deadSample.sorted().size());
+    const std::vector<std::uint8_t> bytes =
+        encodeResponsePayload(Response{s});
+    std::printf("aggregate_digest=%016llx\n",
+                (unsigned long long)fs::util::fnv1a64(bytes.data(),
+                                                      bytes.size()));
+    return 0;
+}
+
 /** Deterministic rendering; identical for served and --local runs. */
 int
 printResponse(const Response &resp)
@@ -248,6 +331,8 @@ printResponse(const Response &resp)
         std::printf("pruning=%s\n", l->pruningJson.c_str());
         return 0;
     }
+    if (const auto *s = std::get_if<SwarmResult>(&resp))
+        return printSwarmResult(*s);
     const auto &g = std::get<GuestRunResult>(resp);
     std::printf("guest name=%s\n", g.name.c_str());
     std::printf("result=%08x\n", unsigned(g.result));
@@ -358,6 +443,171 @@ runCampaign(const TortureJob &base, std::uint64_t shards,
         }
     }
     return printResponse(Response{merged});
+}
+
+/**
+ * Swarm fan-out: split the fleet into block-aligned device ranges,
+ * simulate every shard (in-process or against the endpoint), and merge
+ * in shard order. Per-block Welford transport makes the merged
+ * aggregates byte-identical to one unsharded run, which is what the
+ * aggregate_digest line lets CI diff.
+ */
+int
+runSwarm(const SwarmJob &base, std::uint64_t shards,
+         const std::string &endpoint, bool local, std::size_t threads,
+         const std::string &audit_path)
+{
+    const std::uint64_t block = fs::swarm::kSwarmBlock;
+    const std::uint64_t total_blocks =
+        (base.deviceCount + block - 1) / block;
+    if (shards == 0)
+        shards = 1;
+    if (shards > total_blocks)
+        shards = total_blocks;
+
+    std::vector<SwarmJob> jobs;
+    jobs.reserve(std::size_t(shards));
+    std::uint64_t block0 = 0;
+    for (std::uint64_t s = 0; s < shards; ++s) {
+        const std::uint64_t nblocks =
+            total_blocks / shards +
+            (s < total_blocks % shards ? 1 : 0);
+        SwarmJob shard = base;
+        shard.firstDevice = block0 * block;
+        // The last shard runs through the fleet end (its span is not
+        // necessarily block-aligned).
+        shard.spanDevices = s + 1 < shards ? nblocks * block : 0;
+        jobs.push_back(shard);
+        block0 += nblocks;
+    }
+
+    std::vector<Response> responses(jobs.size());
+    if (!audit_path.empty()) {
+        // Audit logs are written by the simulating process, so the
+        // audited path runs in-process regardless of sharding.
+        if (!local) {
+            std::fprintf(stderr,
+                         "fs_client: --audit requires --local\n");
+            return 2;
+        }
+        Engine engine(Engine::Options{threads, 64u << 20, ""});
+        const std::uint64_t audit_every = fs::util::envU64(
+            "FS_SWARM_AUDIT_EVERY", 1000, 1, 1'000'000'000);
+        fs::swarm::AuditWriter audit(audit_path);
+        for (std::size_t s = 0; s < jobs.size(); ++s) {
+            const fs::swarm::SwarmConfig cfg = fromWire(jobs[s]);
+            const std::string reason =
+                fs::swarm::validateConfig(cfg);
+            if (!reason.empty()) {
+                std::fprintf(stderr, "fs_client: %s\n",
+                             reason.c_str());
+                return 2;
+            }
+            SwarmResult res;
+            res.agg = fs::swarm::runSwarmShard(cfg, engine.pool(),
+                                               &audit, audit_every);
+            responses[s] = res;
+        }
+    } else if (local) {
+        Engine engine(Engine::Options{threads, 64u << 20, ""});
+        for (std::size_t s = 0; s < jobs.size(); ++s)
+            responses[s] = engine.execute(Request{jobs[s]});
+    } else {
+        if (endpoint.empty()) {
+            std::fprintf(stderr,
+                         "fs_client: no endpoint (use --endpoint,"
+                         " FS_SERVE_SOCKET, or --local)\n");
+            return 2;
+        }
+        const std::size_t workers =
+            std::min<std::size_t>(jobs.size(), 16);
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back([&] {
+                Client client;
+                std::string err;
+                bool connected = client.connect(endpoint, err);
+                for (std::size_t s =
+                         next.fetch_add(1, std::memory_order_relaxed);
+                     s < jobs.size();
+                     s = next.fetch_add(1, std::memory_order_relaxed)) {
+                    if (!connected ||
+                        !client.call(Request{jobs[s]}, responses[s],
+                                     err))
+                        responses[s] = ErrorResult{
+                            ErrorCode::kInternal,
+                            "shard transport failure: " + err};
+                }
+            });
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    SwarmResult merged;
+    for (std::size_t s = 0; s < responses.size(); ++s) {
+        if (const auto *e = std::get_if<ErrorResult>(&responses[s])) {
+            std::fprintf(stderr, "fs_client: shard %zu failed: %s\n",
+                         s, e->message.c_str());
+            return 1;
+        }
+        const auto *r = std::get_if<SwarmResult>(&responses[s]);
+        if (!r) {
+            std::fprintf(stderr,
+                         "fs_client: shard %zu returned an unexpected "
+                         "response kind\n", s);
+            return 1;
+        }
+        std::string err;
+        if (!mergeSwarmResult(merged, *r, err)) {
+            std::fprintf(stderr, "fs_client: shard %zu merge: %s\n", s,
+                         err.c_str());
+            return 1;
+        }
+    }
+    return printSwarmResult(merged);
+}
+
+/** Verify an audit log; prints the report, exit 0 iff the chain is
+ *  intact end to end. */
+int
+runAuditVerify(const std::string &log_path,
+               const std::string &json_path)
+{
+    const fs::swarm::AuditVerifyReport report =
+        fs::swarm::verifyAuditLog(log_path);
+    std::printf("status=%s\n",
+                fs::swarm::auditStatusName(report.status));
+    std::printf("records=%llu\n",
+                (unsigned long long)report.records);
+    std::printf("gaps=%llu\n", (unsigned long long)report.gaps);
+    std::printf("trailing_bytes=%llu\n",
+                (unsigned long long)report.trailingBytes);
+    if (report.status == fs::swarm::AuditStatus::kCorrupt)
+        std::printf("first_bad_record=%llu\n",
+                    (unsigned long long)report.firstBadRecord);
+    if (!report.message.empty())
+        std::printf("message=%s\n", report.message.c_str());
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "fs_client: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"status\": \"%s\",\n  \"records\": %llu,\n"
+                     "  \"gaps\": %llu,\n  \"trailing_bytes\": %llu,\n"
+                     "  \"first_bad_record\": %llu\n}\n",
+                     fs::swarm::auditStatusName(report.status),
+                     (unsigned long long)report.records,
+                     (unsigned long long)report.gaps,
+                     (unsigned long long)report.trailingBytes,
+                     (unsigned long long)report.firstBadRecord);
+        std::fclose(f);
+    }
+    return report.status == fs::swarm::AuditStatus::kOk ? 0 : 1;
 }
 
 } // namespace
@@ -519,6 +769,60 @@ main(int argc, char **argv)
         }
         job.code = image->code;
         req = std::move(job);
+    } else if (job_name == "swarm") {
+        SwarmJob job;
+        optU("--devices", job.deviceCount);
+        optU("--seed", job.seed);
+        std::string profile;
+        if (opt("--profile", profile)) {
+            if (profile == "night")
+                job.profile = 0;
+            else if (profile == "office")
+                job.profile = 1;
+            else if (profile == "diurnal")
+                job.profile = 2;
+            else if (profile == "rf")
+                job.profile = 3;
+            else
+                return usage();
+        }
+        std::string trace_path;
+        if (opt("--trace", trace_path)) {
+            std::FILE *f = std::fopen(trace_path.c_str(), "rb");
+            if (!f) {
+                std::fprintf(stderr,
+                             "fs_client: cannot read %s\n",
+                             trace_path.c_str());
+                return 2;
+            }
+            char buf[4096];
+            std::size_t n;
+            while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+                job.traceCsv.append(buf, n);
+            std::fclose(f);
+            job.profile = 4; // HarvestProfile::kTraceCsv
+        }
+        optD("--trace-seconds", job.traceSeconds);
+        optD("--segment-seconds", job.segmentSeconds);
+        optD("--ckpt-period", job.ckptPeriodS);
+        optD("--z", job.zThreshold);
+        optU("--warmup", job.warmup);
+        optU("--trips", job.tripsToFlag);
+        optU("--anomaly-every", job.anomalyEvery);
+        optD("--anomaly-factor", job.anomalyFactor);
+        std::uint64_t shards = 1;
+        optU("--shards", shards);
+        std::string audit;
+        opt("--audit", audit);
+        return runSwarm(job, shards, endpoint, local, threads,
+                        audit);
+    } else if (job_name == "audit-verify") {
+        std::string log_path;
+        if (!opt("--log", log_path))
+            return usage();
+        std::string json_path;
+        opt("--json", json_path);
+        return runAuditVerify(log_path, json_path);
     } else {
         return usage();
     }
